@@ -1,0 +1,40 @@
+"""Ablation: where CAPE stops paying — speedup vs input size.
+
+CAPE's per-instruction costs (command distribution, the bit-serial walk)
+are independent of how many lanes are active, so small inputs leave the
+CSB underutilised while the baseline's caches shine. This sweep locates
+the crossover for a streaming kernel: below it the out-of-order core
+wins, above it CAPE does — the flip side of the VLA flexibility story
+(Section V-F).
+"""
+
+from repro.baseline.ooo import OoOCore
+from repro.engine.system import CAPE32K, CAPESystem
+from repro.eval.tables import format_table
+from repro.workloads.micro import VVAdd
+
+SIZES = [1 << 8, 1 << 10, 1 << 12, 1 << 15, 1 << 18]
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        wl = VVAdd(n=n)
+        cape = wl.run_cape(CAPESystem(CAPE32K)).seconds
+        base = OoOCore().run(VVAdd(n=n).scalar_trace()).seconds
+        rows.append([n, round(cape * 1e6, 2), round(base * 1e6, 2),
+                     round(base / cape, 2)])
+    return rows
+
+
+def test_ablation_crossover(once):
+    rows = once(run_sweep)
+    print()
+    print("Ablation — vvadd speedup vs input size (CAPE32k vs 1 core)")
+    print(format_table(["n", "CAPE (us)", "baseline (us)", "speedup"], rows))
+    speedups = [r[3] for r in rows]
+    # Monotone-ish growth with size, with the baseline winning (or close)
+    # at the smallest input and CAPE winning clearly at the largest.
+    assert speedups[0] < 2.0
+    assert speedups[-1] > 3.0
+    assert speedups[-1] > speedups[0]

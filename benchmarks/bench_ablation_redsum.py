@@ -1,0 +1,40 @@
+"""Ablation: horizontal reductions (Section V-G).
+
+The paper's claim: a vector redsum is roughly eight times faster than an
+element-wise vector addition, because all rows of all chains reduce
+bit-serially in parallel through the pipelined tree. Prints the measured
+ratio at both design points.
+"""
+
+from repro.engine.system import CAPE131K, CAPE32K, CAPESystem
+from repro.eval.tables import format_table
+
+
+def measure_ratio(config):
+    cape = CAPESystem(config)
+    cape.vsetvl(config.max_vl)
+    before = cape.stats.cycles
+    cape.vadd(2, 1, 1)
+    add_cycles = cape.stats.cycles - before
+    before = cape.stats.cycles
+    cape.vredsum(1)
+    red_cycles = cape.stats.cycles - before
+    return add_cycles, red_cycles
+
+
+def run_ablation():
+    return {
+        config.name: measure_ratio(config) for config in (CAPE32K, CAPE131K)
+    }
+
+
+def test_ablation_redsum_vs_add(once):
+    results = once(run_ablation)
+    print()
+    print("Ablation — redsum vs element-wise add (Section V-G: ~8x)")
+    rows = []
+    for name, (add_c, red_c) in results.items():
+        rows.append([name, round(add_c), round(red_c), round(add_c / red_c, 2)])
+    print(format_table(["config", "vadd cycles", "vredsum cycles", "ratio"], rows))
+    for name, (add_c, red_c) in results.items():
+        assert 5 < add_c / red_c < 10

@@ -1,0 +1,36 @@
+"""Ablation: the replica vector load (Section V-G).
+
+Runs matmul with and without ``vlrw.v``. Without it, the same B^T row is
+re-loaded into every register window through ordinary unit-stride loads,
+paying the memory traffic the replica load exists to avoid.
+"""
+
+from repro.engine.system import CAPE32K, CAPESystem
+from repro.eval.tables import format_table
+from repro.workloads.phoenix import MatMul
+
+ARGS = dict(m=32, n=512, p=32)
+
+
+def run_ablation():
+    with_replica = MatMul(use_replica=True, **ARGS).run_cape(CAPESystem(CAPE32K))
+    without = MatMul(use_replica=False, **ARGS).run_cape(CAPESystem(CAPE32K))
+    return with_replica, without
+
+
+def test_ablation_replica_load(once):
+    with_replica, without = once(run_ablation)
+    gain = without.seconds / with_replica.seconds
+    print()
+    print("Ablation — replica vector load (matmul, CAPE32k)")
+    print(
+        format_table(
+            ["variant", "cycles", "seconds (us)"],
+            [
+                ["vlrw.v", round(with_replica.cycles), round(with_replica.seconds * 1e6, 1)],
+                ["no vlrw", round(without.cycles), round(without.seconds * 1e6, 1)],
+            ],
+        )
+    )
+    print(f"replica load gain: {gain:.2f}x")
+    assert gain > 1.2  # the optimisation pays

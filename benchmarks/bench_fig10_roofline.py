@@ -1,0 +1,63 @@
+"""Figure 10: roofline study of CAPE32k vs CAPE131k.
+
+Places the Phoenix applications in roofline space for both design points
+and checks the paper's observations: constant-intensity apps keep their
+intensity and move up toward the memory roof with the larger CSB;
+variable-intensity apps stay far below the rooflines.
+"""
+
+from repro.engine.system import CAPE131K, CAPE32K
+from repro.eval.roofline import Roofline
+from repro.eval.tables import format_table
+from repro.workloads.phoenix import Histogram, KMeans, LinearRegression, PCA, WordCount
+
+APPS = [LinearRegression, Histogram, KMeans, PCA, WordCount]
+
+
+def build_roofline_study():
+    study = {}
+    for config in (CAPE32K, CAPE131K):
+        roofline = Roofline(config)
+        study[config.name] = (
+            roofline,
+            [roofline.measure(cls) for cls in APPS],
+        )
+    return study
+
+
+def test_fig10_roofline(once):
+    study = once(build_roofline_study)
+    print()
+    for name, (roofline, points) in study.items():
+        print(
+            f"Figure 10 — {name}: compute roof "
+            f"{roofline.compute_roof_ops_per_s / 1e9:.1f} Gop/s, "
+            f"ridge at {roofline.ridge_intensity():.2f} op/B"
+        )
+        print(
+            format_table(
+                ["app", "intensity (op/B)", "throughput (Gop/s)", "bound"],
+                [
+                    [
+                        p.name,
+                        round(p.intensity_ops_per_byte, 3),
+                        round(p.throughput_ops_per_s / 1e9, 2),
+                        p.bound,
+                    ]
+                    for p in points
+                ],
+            )
+        )
+    small = {p.name: p for p in study["CAPE32k"][1]}
+    big = {p.name: p for p in study["CAPE131k"][1]}
+    # Constant-intensity apps gain throughput with the larger CSB...
+    assert big["hist"].throughput_ops_per_s > small["hist"].throughput_ops_per_s
+    assert big["lreg"].throughput_ops_per_s > small["lreg"].throughput_ops_per_s
+    # ...while pca's position is essentially fixed (no replica load).
+    ratio = big["pca"].throughput_ops_per_s / small["pca"].throughput_ops_per_s
+    assert 0.8 < ratio < 1.3
+    # kmeans *changes intensity* when its dataset becomes CSB-resident
+    # (loads drop out of the denominator) and leaps toward the compute
+    # roof — the paper's Section VI-E observation.
+    assert big["kmeans"].intensity_ops_per_byte > 3 * small["kmeans"].intensity_ops_per_byte
+    assert big["kmeans"].throughput_ops_per_s > 2 * small["kmeans"].throughput_ops_per_s

@@ -1,0 +1,45 @@
+"""Figure 8 and the area-equivalence methodology.
+
+Prints the chain layout footprint (13 x 175 um^2) and the resulting tile
+areas of CAPE32k / CAPE131k against the out-of-order reference tile
+("slightly under 9 mm^2 at 7 nm").
+"""
+
+from repro.circuits.area import AreaModel
+from repro.engine.system import CAPE131K, CAPE32K
+from repro.eval.tables import format_table
+
+
+def build_area_report():
+    model = AreaModel()
+    rows = []
+    for config in (CAPE32K, CAPE131K):
+        rows.append(
+            [
+                config.name,
+                config.num_chains,
+                round(model.csb_area_mm2(config.num_chains), 2),
+                round(config.area_mm2(model), 2),
+                round(model.equivalent_baseline_cores(config.num_chains), 2),
+            ]
+        )
+    return model, rows
+
+
+def test_fig8_area(once):
+    model, rows = once(build_area_report)
+    print()
+    print(
+        f"Figure 8 — chain layout: {model.chain.width_um:.0f} x "
+        f"{model.chain.height_um:.0f} um^2 = {model.chain.area_um2:.0f} um^2"
+    )
+    print(
+        format_table(
+            ["config", "chains", "CSB mm^2", "tile mm^2", "OoO-tile equivalents"],
+            rows,
+        )
+    )
+    print(f"reference OoO tile: {model.reference_tile_mm2} mm^2")
+    assert model.chain.area_um2 == 13 * 175
+    assert 0.8 < model.equivalent_baseline_cores(1024) < 1.2
+    assert 1.6 < model.equivalent_baseline_cores(4096) < 2.4

@@ -1,0 +1,14 @@
+"""Benchmark configuration: every experiment runs once, deterministically."""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a (deterministic, expensive) experiment exactly once under
+    pytest-benchmark and return its result."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,44 @@
+"""The paper's motivating example (Section II): histogram by brute force.
+
+A conventional core builds a histogram by updating a shared bin array per
+pixel. CAPE instead *searches* for every possible pixel value across the
+whole image at once — 256 equality searches plus pop-counts — and the
+massive parallelism of the search beats the scatter/update loop by an
+order of magnitude (the paper quotes 13x at the CAPE32k design point).
+
+Run:  python examples/histogram_search.py
+"""
+
+import numpy as np
+
+from repro.baseline.ooo import OoOCore
+from repro.engine.system import CAPE131K, CAPE32K, CAPESystem
+from repro.workloads.phoenix import Histogram
+
+
+def main():
+    n = 1 << 18
+    print(f"Histogram of {n:,} pixels, 256 bins")
+    print()
+
+    baseline_wl = Histogram(n=n)
+    baseline = OoOCore().run(baseline_wl.scalar_trace())
+    print(f"  out-of-order core:  {baseline.seconds * 1e6:9.1f} us "
+          f"(per-pixel bin updates)")
+
+    for config in (CAPE32K, CAPE131K):
+        wl = Histogram(n=n)
+        cape = CAPESystem(config)
+        result = wl.run_cape(cape)
+        searches = cape.vcu.stats.instructions
+        print(f"  {config.name}:            {result.seconds * 1e6:9.1f} us "
+              f"({searches} vector instructions, result verified) "
+              f"-> {baseline.seconds / result.seconds:5.1f}x speedup")
+    print()
+    print("The CAPE code issues one vmseq.vx per possible pixel value per")
+    print("tile and counts matches through the global reduction tree —")
+    print("turning a memory-bound scatter into search/pop-count pairs.")
+
+
+if __name__ == "__main__":
+    main()

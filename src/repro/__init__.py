@@ -1,0 +1,27 @@
+"""CAPE: A Content-Addressable Processing Engine — full-stack reproduction.
+
+A Python implementation of the HPCA 2021 paper by Caminal et al.: a
+CMOS-based associative (content-addressable) processing engine built from
+push-rule 6T SRAM arrays, programmable through the RISC-V vector ISA.
+
+Layers (bottom-up):
+
+* ``repro.circuits`` — microoperation delay/energy (Table II), clocking,
+  and area (Figure 8).
+* ``repro.csb`` — bit-level compute-storage block: subarrays, chains, tag
+  routing, and the global reduction tree.
+* ``repro.assoc`` — truth tables, bit-serial associative algorithms, the
+  behavioural emulator, and the instruction model (Table I).
+* ``repro.memory`` — cache hierarchy, MESI coherence, and HBM.
+* ``repro.engine`` — VCU, VMU, control processor, and the CAPE system
+  (CAPE32k / CAPE131k presets).
+* ``repro.baseline`` — out-of-order, SIMD (SVE-like), and multicore
+  reference models (Table III).
+* ``repro.isa`` — RV64I+RVV subset, assembler, interpreter, intrinsics.
+* ``repro.workloads`` — microbenchmarks and Phoenix applications.
+* ``repro.memmode`` — Section VII memory-only modes.
+* ``repro.eval`` — speedup harness, roofline, and table/figure
+  regeneration.
+"""
+
+__version__ = "1.0.0"

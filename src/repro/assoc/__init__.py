@@ -1,0 +1,36 @@
+"""Associative computing layer: truth tables, algorithms, and emulator.
+
+Associative (bit-serial, element-parallel) algorithms express each vector
+instruction as a sequence of search/update pairs over the rows of a chain,
+encoded as truth tables walked by the chain controller's sequencer
+(Sections II, IV, V-D). This package holds:
+
+* the truth-table memory (TTM) entry format,
+* the microcoded algorithm for every supported vector instruction,
+* a behavioural emulator that executes the microcode on a bit-level chain
+  and records microoperation statistics, and
+* the instruction-level timing/energy model derived from those statistics
+  plus the circuit layer — the reproduction of the paper's Table I.
+"""
+
+from repro.assoc.algorithms import ALGORITHMS, AlgorithmInfo
+from repro.assoc.emulator import AssociativeEmulator, InstructionRun
+from repro.assoc.instruction_model import (
+    TABLE_I_ROWS,
+    InstructionMetrics,
+    InstructionModel,
+)
+from repro.assoc.truthtable import TruthTable, TTEntry, UpdateOp
+
+__all__ = [
+    "ALGORITHMS",
+    "TABLE_I_ROWS",
+    "AlgorithmInfo",
+    "AssociativeEmulator",
+    "InstructionMetrics",
+    "InstructionModel",
+    "InstructionRun",
+    "TTEntry",
+    "TruthTable",
+    "UpdateOp",
+]

@@ -1,0 +1,218 @@
+"""Associative behavioural emulator (paper Section VI-B).
+
+Runs each vector instruction's microcode on a bit-level chain, checks the
+result against plain integer arithmetic, and extracts the microoperation
+mix — the statistics the instruction model combines with the circuit-level
+delay/energy tables to produce per-instruction metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.assoc import algorithms as alg
+from repro.common.bitutils import to_signed, to_unsigned
+from repro.common.errors import ConfigError
+from repro.csb.chain import Chain
+from repro.csb.counter import MicroopStats
+
+
+@dataclass
+class InstructionRun:
+    """Outcome of emulating one instruction on one chain.
+
+    Attributes:
+        mnemonic: the instruction executed.
+        width: element width in bits.
+        stats: microoperations spent by this run only.
+        result: destination register values (or the scalar, for redsum).
+    """
+
+    mnemonic: str
+    width: int
+    stats: MicroopStats
+    result: object
+
+
+class AssociativeEmulator:
+    """Drives the microcoded algorithms on a chain and measures them.
+
+    Args:
+        num_subarrays: bit-slices of the chain (element width ceiling).
+        num_cols: elements per chain.
+    """
+
+    def __init__(self, num_subarrays: int = 32, num_cols: int = 32) -> None:
+        self.chain = Chain(num_subarrays=num_subarrays, num_cols=num_cols)
+
+    # Register conventions used by the emulator: vd=1, vs1=2, vs2=3, vm=0.
+    VD, VS1, VS2, VM = 1, 2, 3, 0
+
+    def run(
+        self,
+        mnemonic: str,
+        a: np.ndarray,
+        b: Optional[np.ndarray] = None,
+        scalar: Optional[int] = None,
+        mask: Optional[np.ndarray] = None,
+        width: Optional[int] = None,
+    ) -> InstructionRun:
+        """Execute ``mnemonic`` on operand vectors and measure microops.
+
+        Args:
+            mnemonic: a key of :data:`repro.assoc.algorithms.ALGORITHMS`.
+            a: first source vector (vs1), one element per column.
+            b: second source vector (vs2), when the form requires it.
+            scalar: scalar operand for ``.vx`` forms.
+            mask: optional per-element mask bits (v0) for masked forms.
+            width: element width in bits (defaults to the chain's slices).
+
+        Returns:
+            An :class:`InstructionRun` with measured stats and the result.
+        """
+        info = alg.ALGORITHMS.get(mnemonic)
+        if info is None:
+            raise ConfigError(f"unknown instruction {mnemonic!r}")
+        chain = self.chain
+        width = chain.num_subarrays if width is None else width
+
+        chain.poke_register(self.VS1, to_unsigned(np.asarray(a), width))
+        if b is not None:
+            chain.poke_register(self.VS2, to_unsigned(np.asarray(b), width))
+        if mask is not None:
+            chain.poke_register(self.VM, np.asarray(mask) & 1)
+
+        baseline = chain.stats.counts.copy()
+        masked = mask is not None
+        if masked and mnemonic not in ("vmerge.vv",):
+            alg.broadcast_mask(chain, self.VM)
+
+        result: object
+        if mnemonic == "vredsum.vs":
+            result = alg.vredsum_partial(chain, self.VS1, width)
+        elif mnemonic in ("vmseq.vx",):
+            alg.vmseq_vx(chain, self.VD, self.VS1, int(scalar), width)
+            result = chain.peek_register(self.VD) & 1
+        elif mnemonic in ("vadd.vx",):
+            alg.vadd_vx(chain, self.VD, self.VS1, int(scalar), width, masked)
+            result = self._narrow(width)
+        elif mnemonic == "vmv.v.x":
+            alg.vmv_vx(chain, self.VD, int(scalar), masked)
+            result = self._narrow(width)
+        elif mnemonic == "vmv.v.v":
+            alg.vmv_vv(chain, self.VD, self.VS1, masked)
+            result = self._narrow(width)
+        elif mnemonic == "vmerge.vv":
+            alg.vmerge_vvm(chain, self.VD, self.VS1, self.VS2, self.VM)
+            result = self._narrow(width)
+        elif mnemonic in ("vmseq.vv", "vmslt.vv", "vmsltu.vv", "vmsne.vv"):
+            info.func(chain, self.VD, self.VS1, self.VS2, width)
+            result = chain.peek_register(self.VD) & 1
+        elif mnemonic in ("vsll.vi", "vsrl.vi", "vsra.vi", "vrsub.vx"):
+            info.func(chain, self.VD, self.VS1, int(scalar), width)
+            result = self._narrow(width)
+        elif mnemonic in ("vmin.vv", "vmax.vv", "vminu.vv", "vmaxu.vv"):
+            info.func(chain, self.VD, self.VS1, self.VS2, width)
+            result = self._narrow(width)
+        elif mnemonic == "vmul.vv":
+            alg.vmul_vv(chain, self.VD, self.VS1, self.VS2, width)
+            result = self._narrow(width)
+        elif mnemonic in ("vadd.vv", "vsub.vv"):
+            info.func(chain, self.VD, self.VS1, self.VS2, width, masked)
+            result = self._narrow(width)
+        elif mnemonic in ("vand.vv", "vor.vv", "vxor.vv"):
+            info.func(chain, self.VD, self.VS1, self.VS2, masked)
+            result = self._narrow(width)
+        else:
+            raise ConfigError(f"emulator has no dispatch for {mnemonic!r}")
+
+        delta = MicroopStats()
+        delta.counts = chain.stats.counts - baseline
+        return InstructionRun(mnemonic, width, delta, result)
+
+    def _narrow(self, width: int) -> np.ndarray:
+        """Destination values truncated to ``width`` bits (unsigned)."""
+        vals = self.chain.peek_register(self.VD)
+        return to_unsigned(vals, width)
+
+
+def golden(
+    mnemonic: str,
+    a: np.ndarray,
+    b: Optional[np.ndarray] = None,
+    scalar: Optional[int] = None,
+    mask: Optional[np.ndarray] = None,
+    width: int = 32,
+    old: Optional[np.ndarray] = None,
+) -> object:
+    """Reference semantics computed with plain integer arithmetic.
+
+    ``old`` supplies the prior destination contents for masked forms
+    (inactive elements are unchanged).
+    """
+    au = to_unsigned(np.asarray(a, dtype=np.int64), width)
+    bu = to_unsigned(np.asarray(b, dtype=np.int64), width) if b is not None else None
+    modulus = np.int64(1) << width
+
+    if mnemonic == "vadd.vv":
+        out = (au + bu) % modulus
+    elif mnemonic == "vsub.vv":
+        out = (au - bu) % modulus
+    elif mnemonic == "vadd.vx":
+        out = (au + to_unsigned(np.int64(scalar), width)) % modulus
+    elif mnemonic == "vmul.vv":
+        out = (au * bu) % modulus
+    elif mnemonic == "vand.vv":
+        out = au & bu
+    elif mnemonic == "vor.vv":
+        out = au | bu
+    elif mnemonic == "vxor.vv":
+        out = au ^ bu
+    elif mnemonic == "vmseq.vx":
+        out = (au == to_unsigned(np.int64(scalar), width)).astype(np.int64)
+    elif mnemonic == "vmseq.vv":
+        out = (au == bu).astype(np.int64)
+    elif mnemonic == "vmslt.vv":
+        out = (to_signed(au, width) < to_signed(bu, width)).astype(np.int64)
+    elif mnemonic == "vmsltu.vv":
+        out = (au < bu).astype(np.int64)
+    elif mnemonic == "vmsne.vv":
+        out = (au != bu).astype(np.int64)
+    elif mnemonic == "vmin.vv":
+        out = np.minimum(to_signed(au, width), to_signed(bu, width))
+        out = to_unsigned(out, width)
+    elif mnemonic == "vmax.vv":
+        out = np.maximum(to_signed(au, width), to_signed(bu, width))
+        out = to_unsigned(out, width)
+    elif mnemonic == "vminu.vv":
+        out = np.minimum(au, bu)
+    elif mnemonic == "vmaxu.vv":
+        out = np.maximum(au, bu)
+    elif mnemonic == "vsll.vi":
+        out = (au << int(scalar)) % modulus
+    elif mnemonic == "vsrl.vi":
+        out = au >> int(scalar)
+    elif mnemonic == "vsra.vi":
+        out = to_unsigned(to_signed(au, width) >> int(scalar), width)
+    elif mnemonic == "vrsub.vx":
+        out = (to_unsigned(np.int64(scalar), width) - au) % modulus
+    elif mnemonic == "vmerge.vv":
+        m = np.asarray(mask) & 1
+        out = np.where(m == 1, au, bu)
+    elif mnemonic == "vmv.v.v":
+        out = au.copy()
+    elif mnemonic == "vmv.v.x":
+        out = np.full_like(au, to_unsigned(np.int64(scalar), width))
+    elif mnemonic == "vredsum.vs":
+        return int(au.sum())
+    else:
+        raise ConfigError(f"no golden model for {mnemonic!r}")
+
+    if mask is not None and mnemonic != "vmerge.vv":
+        m = np.asarray(mask) & 1
+        base = to_unsigned(np.asarray(old, dtype=np.int64), width) if old is not None else np.zeros_like(out)
+        out = np.where(m == 1, out, base)
+    return out

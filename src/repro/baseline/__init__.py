@@ -1,0 +1,33 @@
+"""Baseline processor timing models (Table III, Sections VI-C/VI-E).
+
+The paper compares CAPE against gem5 models of (a) an 8-issue out-of-order
+core with three cache levels, (b) 2- and 3-core multicore versions of the
+same tile, and (c) an ARM core with SVE SIMD units. We reproduce those
+comparison points with interval-analysis timing models fed by dynamic
+operation/address traces emitted by the instrumented workloads:
+
+* compute bounds from issue width and per-class functional units,
+* memory bounds from a real cache/HBM simulation with a bounded amount of
+  memory-level parallelism (ROB/LQ limited for the OoO core, ~none for
+  the in-order core),
+* branch-misprediction stalls from per-block misprediction rates.
+"""
+
+from repro.baseline.trace import Trace, TraceBlock
+from repro.baseline.inorder import InOrderConfig, InOrderCore
+from repro.baseline.multicore import Multicore
+from repro.baseline.ooo import OoOConfig, OoOCore, RunResult
+from repro.baseline.simd import SIMDConfig, SIMDCore
+
+__all__ = [
+    "InOrderConfig",
+    "InOrderCore",
+    "Multicore",
+    "OoOConfig",
+    "OoOCore",
+    "RunResult",
+    "SIMDConfig",
+    "SIMDCore",
+    "Trace",
+    "TraceBlock",
+]

@@ -1,0 +1,80 @@
+"""Multicore baseline: N out-of-order tiles with a shared L3 (Table III).
+
+Used for the 2-core and 3-core reference points of Figure 11. Parallel
+trace blocks are split across cores (round-robin address sharding, the
+Phoenix runtime's chunking); serial blocks run on core 0. Each parallel
+region ends with a barrier whose cost grows with the core count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baseline.ooo import OoOConfig, OoOCore, RunResult
+from repro.baseline.trace import Trace
+from repro.common.errors import ConfigError
+from repro.memory.cache import Cache
+from repro.memory.coherence import CoherentBus
+from repro.memory.hbm import HBM
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
+
+#: Barrier/fork-join overhead per parallel block, in cycles per core.
+BARRIER_CYCLES = 2000
+
+
+class Multicore:
+    """N-core shared-L3 baseline.
+
+    Args:
+        num_cores: tiles in the system (2 or 3 in the paper's Figure 11).
+        config: per-core OoO parameters.
+        hierarchy_config: per-core private cache geometry; the L3 is
+            instantiated once and shared.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        config: OoOConfig = OoOConfig(),
+        hierarchy_config: HierarchyConfig = HierarchyConfig(),
+    ) -> None:
+        if num_cores <= 0:
+            raise ConfigError("num_cores must be positive")
+        self.num_cores = num_cores
+        self.config = config
+        hbm = HBM()
+        shared_l3 = CacheHierarchy.make_shared_l3(hierarchy_config)
+        self.hierarchies: List[CacheHierarchy] = [
+            CacheHierarchy(hierarchy_config, hbm=hbm, shared_l3=shared_l3)
+            for _ in range(num_cores)
+        ]
+        self.bus = CoherentBus(self.hierarchies)
+        self.cores = [
+            OoOCore(config, hierarchy) for hierarchy in self.hierarchies
+        ]
+
+    def run(self, trace: Trace) -> RunResult:
+        """Run a trace with parallel blocks split across the cores.
+
+        Each parallel block's time is the slowest shard (cores proceed
+        concurrently); serial blocks execute on core 0 alone.
+        """
+        total = 0.0
+        for block in trace.blocks:
+            if block.parallel and self.num_cores > 1:
+                shards = block.split(self.num_cores)
+                shard_cycles = [
+                    core.block_cycles(shard)
+                    for core, shard in zip(self.cores, shards)
+                ]
+                total += max(shard_cycles) + BARRIER_CYCLES
+            else:
+                total += self.cores[0].block_cycles(block)
+        total *= trace.repeat
+        return RunResult(
+            name=trace.name,
+            cycles=total,
+            seconds=total / self.config.frequency_hz,
+            instructions=trace.total_ops * trace.repeat,
+            frequency_hz=self.config.frequency_hz,
+        )

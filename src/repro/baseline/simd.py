@@ -1,0 +1,102 @@
+"""SVE-like SIMD engine model (Section VI-E, Figure 12).
+
+The paper's SIMD study runs an ARM core (configured to match the RISC-V
+out-of-order baseline) with four SIMD ALUs at 128/256/512-bit vector
+widths, on hand-vectorised SVE code. We model the same design point: the
+OoO core of ``ooo.py`` executing *SIMD traces* — workload traces whose
+data-parallel blocks are re-expressed as W-lane vector operations.
+
+Workloads provide a ``simd_trace(lanes)`` generator; this module supplies
+the core configuration and the lane math.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baseline.ooo import OoOConfig, OoOCore, RunResult
+from repro.baseline.trace import Trace
+from repro.common.errors import ConfigError
+from repro.memory.hierarchy import CacheHierarchy
+
+
+@dataclass(frozen=True)
+class SIMDConfig:
+    """SIMD datapath parameters.
+
+    Attributes:
+        vector_bits: SVE register width (128/256/512 in Figure 12).
+        element_bits: element width of the workloads (32).
+        simd_units: vector ALUs (4, Section VI-E).
+    """
+
+    vector_bits: int = 512
+    element_bits: int = 32
+    simd_units: int = 4
+
+    def __post_init__(self) -> None:
+        if self.vector_bits % self.element_bits != 0:
+            raise ConfigError("vector width must be a multiple of element width")
+
+    @property
+    def lanes(self) -> int:
+        """Elements processed per SIMD operation."""
+        return self.vector_bits // self.element_bits
+
+
+class SIMDCore:
+    """An OoO core with an SVE-like SIMD datapath.
+
+    The scalar pipeline parameters match the baseline; vector blocks in
+    the trace use the ``simd_units`` for their (already lane-compressed)
+    operation counts. Horizontal reductions pay a log2(lanes) tree per
+    use — the classic cross-lane cost CAPE's redsum avoids.
+    """
+
+    def __init__(
+        self,
+        config: SIMDConfig = SIMDConfig(),
+        core_config: Optional[OoOConfig] = None,
+        hierarchy: Optional[CacheHierarchy] = None,
+    ) -> None:
+        self.config = config
+        base = core_config if core_config is not None else OoOConfig()
+        # Wider vector loads cover more bytes per load-queue entry, so
+        # the same LQ sustains more outstanding cache lines: streaming
+        # memory-level parallelism grows (mildly) with register width.
+        mlp = base.max_mlp * (1 + 0.2 * math.log2(config.lanes))
+        # SIMD ops issue to the vector ALUs: narrow the per-class unit
+        # counts used by the interval model accordingly.
+        self._core = OoOCore(
+            OoOConfig(
+                issue_width=base.issue_width,
+                rob_entries=base.rob_entries,
+                load_queue=base.load_queue,
+                store_queue=base.store_queue,
+                int_units=config.simd_units,
+                mul_units=config.simd_units,
+                fp_units=config.simd_units,
+                mem_units=base.mem_units,
+                branch_units=base.branch_units,
+                mul_latency=base.mul_latency,
+                fp_latency=base.fp_latency,
+                branch_penalty=base.branch_penalty,
+                frequency_hz=base.frequency_hz,
+                max_mlp=mlp,
+            ),
+            hierarchy,
+        )
+
+    @property
+    def lanes(self) -> int:
+        return self.config.lanes
+
+    @property
+    def hierarchy(self) -> CacheHierarchy:
+        return self._core.hierarchy
+
+    def run(self, trace: Trace) -> RunResult:
+        """Run a lane-compressed SIMD trace."""
+        return self._core.run(trace)

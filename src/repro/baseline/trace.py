@@ -1,0 +1,130 @@
+"""Dynamic operation/address traces emitted by instrumented workloads.
+
+A trace is a list of blocks; each block summarises a region of dynamic
+execution (typically one loop nest) with operation counts by class and the
+actual memory addresses touched. Core models consume blocks independently:
+compute bounds come from the counts, memory bounds from simulating the
+addresses through a cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+@dataclass
+class TraceBlock:
+    """One region of dynamic execution.
+
+    Attributes:
+        name: label for reports.
+        int_ops: simple integer ALU operations.
+        mul_ops: integer multiplies.
+        fp_ops: floating-point operations.
+        branches: (mostly-biased) branch instructions.
+        branch_miss_rate: fraction of branches mispredicted — near zero
+            for counted loops, noticeable for data-dependent control.
+        loads / stores: addresses touched, in program order.
+        parallel: True when a multicore may split this block across cores
+            (the workload's thread-parallel region).
+        dependent_loads: loads on the critical path (pointer chasing /
+            serialized post-processing): their latency cannot overlap.
+    """
+
+    name: str
+    int_ops: int = 0
+    mul_ops: int = 0
+    fp_ops: int = 0
+    branches: int = 0
+    branch_miss_rate: float = 0.0
+    loads: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    stores: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    parallel: bool = True
+    dependent_loads: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.branch_miss_rate <= 1.0:
+            raise ConfigError("branch_miss_rate must be in [0, 1]")
+        self.loads = np.asarray(self.loads, dtype=np.int64)
+        self.stores = np.asarray(self.stores, dtype=np.int64)
+
+    @property
+    def total_ops(self) -> int:
+        """All micro-operations in the block, including memory ops."""
+        return (
+            self.int_ops
+            + self.mul_ops
+            + self.fp_ops
+            + self.branches
+            + len(self.loads)
+            + len(self.stores)
+        )
+
+    def split(self, shards: int) -> List["TraceBlock"]:
+        """Split a parallel block into per-core shards.
+
+        Memory addresses are split into contiguous chunks (the Phoenix
+        runtime's chunked work distribution — each thread owns a disjoint
+        slice of the input, avoiding false line sharing); op counts divide
+        evenly.
+        """
+        if shards <= 0:
+            raise ConfigError("shards must be positive")
+        if shards == 1 or not self.parallel:
+            return [self]
+        out = []
+        n_loads, n_stores = len(self.loads), len(self.stores)
+        for s in range(shards):
+            lo_l, hi_l = s * n_loads // shards, (s + 1) * n_loads // shards
+            lo_s, hi_s = s * n_stores // shards, (s + 1) * n_stores // shards
+            out.append(
+                TraceBlock(
+                    name=f"{self.name}[{s}/{shards}]",
+                    int_ops=self.int_ops // shards,
+                    mul_ops=self.mul_ops // shards,
+                    fp_ops=self.fp_ops // shards,
+                    branches=self.branches // shards,
+                    branch_miss_rate=self.branch_miss_rate,
+                    loads=self.loads[lo_l:hi_l],
+                    stores=self.stores[lo_s:hi_s],
+                    parallel=True,
+                    dependent_loads=self.dependent_loads // shards,
+                )
+            )
+        return out
+
+
+@dataclass
+class Trace:
+    """A whole program's dynamic trace.
+
+    ``repeat`` marks a trace that represents one iteration of an
+    outer loop executed ``repeat`` times with identical behaviour (e.g.
+    kmeans sweeps): cores simulate the blocks once and scale the cycle
+    count, which keeps cache simulation tractable without changing the
+    steady-state behaviour being measured.
+    """
+
+    name: str
+    blocks: List[TraceBlock] = field(default_factory=list)
+    repeat: int = 1
+
+    def add(self, block: TraceBlock) -> None:
+        self.blocks.append(block)
+
+    def extend(self, blocks: Iterable[TraceBlock]) -> None:
+        self.blocks.extend(blocks)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(b.total_ops for b in self.blocks)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Touched bytes assuming 4-byte accesses (reporting only)."""
+        return 4 * sum(len(b.loads) + len(b.stores) for b in self.blocks)

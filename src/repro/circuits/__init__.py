@@ -1,0 +1,26 @@
+"""Circuit-level models: microoperation delay/energy, clocking, and area.
+
+This is the lowest modelling level of the reproduction. The paper obtains
+these numbers from ASAP 7 nm PDK circuit simulation plus synthesis and
+place-and-route (Section VI-A); we encode the published measurements
+(Table II, Figure 8, and the clocking discussion of Section VI-B) as a
+parameterised model. Every higher level — instruction timing (Table I) and
+system simulation — derives its numbers from this layer.
+"""
+
+from repro.circuits.area import AreaModel, ChainLayout
+from repro.circuits.microops import (
+    CircuitModel,
+    Microop,
+    MicroopTiming,
+    TABLE_II_TIMINGS,
+)
+
+__all__ = [
+    "TABLE_II_TIMINGS",
+    "AreaModel",
+    "ChainLayout",
+    "CircuitModel",
+    "Microop",
+    "MicroopTiming",
+]

@@ -1,0 +1,88 @@
+"""Area model: chain layout (Figure 8) and area-equivalent comparisons.
+
+The paper's layout of one chain — 32 subarrays plus peripherals, placed and
+routed at ASAP 7 nm — measures 13 x 175 um^2 (Figure 8). The evaluation's
+area reference is a high-end out-of-order tile (Skylake-derived, scaled from
+14 nm to 7 nm) of slightly under 9 mm^2 including an 8-issue core, private
+L1/L2, and an L3 slice. CAPE32k (1,024 chains) is sized to match one such
+tile; CAPE131k (4,096 chains) to match two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+#: Square micrometres per square millimetre.
+_UM2_PER_MM2 = 1e6
+
+
+@dataclass(frozen=True)
+class ChainLayout:
+    """Physical dimensions of one CAPE chain (Figure 8)."""
+
+    width_um: float = 13.0
+    height_um: float = 175.0
+
+    def __post_init__(self) -> None:
+        if self.width_um <= 0 or self.height_um <= 0:
+            raise ConfigError("chain dimensions must be positive")
+
+    @property
+    def area_um2(self) -> float:
+        """Footprint of one chain in square micrometres."""
+        return self.width_um * self.height_um
+
+    @property
+    def area_mm2(self) -> float:
+        """Footprint of one chain in square millimetres."""
+        return self.area_um2 / _UM2_PER_MM2
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area accounting for a CAPE tile and its out-of-order reference tile.
+
+    Attributes:
+        chain: layout of a single chain.
+        control_processor_mm2: CAPE's in-order control processor with its
+            L1/L2 caches. Dominated by the 1 MB L2 (same capacity as the
+            baseline's private L2).
+        vcu_vmu_mm2: vector control + memory units, including the chain
+            controllers and truth-table memories.
+        reduction_tree_mm2: the pipelined global reduction logic for a
+            1,024-chain CSB; scaled linearly with chain count.
+        reference_tile_mm2: the area-equivalent out-of-order tile
+            ("slightly under 9 mm^2 at 7 nm").
+    """
+
+    chain: ChainLayout = ChainLayout()
+    control_processor_mm2: float = 5.5
+    vcu_vmu_mm2: float = 0.8
+    reduction_tree_mm2: float = 0.25
+    reference_tile_mm2: float = 8.87
+
+    def csb_area_mm2(self, num_chains: int) -> float:
+        """Area of the compute-storage block for ``num_chains`` chains."""
+        if num_chains <= 0:
+            raise ConfigError(f"num_chains must be positive, got {num_chains}")
+        return num_chains * self.chain.area_mm2
+
+    def cape_tile_area_mm2(self, num_chains: int) -> float:
+        """Total area of a CAPE tile with ``num_chains`` chains.
+
+        The reduction tree grows linearly with the chain count (stages are
+        replicated or removed to cover the CSB capacity, Section VI-C).
+        """
+        reduction = self.reduction_tree_mm2 * (num_chains / 1024)
+        return (
+            self.csb_area_mm2(num_chains)
+            + self.control_processor_mm2
+            + self.vcu_vmu_mm2
+            + reduction
+        )
+
+    def equivalent_baseline_cores(self, num_chains: int) -> float:
+        """How many out-of-order reference tiles fit in this CAPE tile's area."""
+        return self.cape_tile_area_mm2(num_chains) / self.reference_tile_mm2

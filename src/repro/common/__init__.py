@@ -1,0 +1,62 @@
+"""Shared utilities: units, bit manipulation helpers, and error types.
+
+Everything in this package is substrate-neutral — no CAPE-specific policy
+lives here, only plumbing shared by the circuit, CSB, engine, memory, and
+baseline layers.
+"""
+
+from repro.common.bitutils import (
+    bits_to_ints,
+    ints_to_bits,
+    mask_lsbs,
+    to_signed,
+    to_unsigned,
+)
+from repro.common.errors import (
+    CapacityError,
+    ConfigError,
+    ProtocolError,
+    ReproError,
+)
+from repro.common.units import (
+    GHZ,
+    GIB,
+    KIB,
+    MIB,
+    MS,
+    NJ,
+    NS,
+    PJ,
+    PS,
+    US,
+    Energy,
+    Time,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+
+__all__ = [
+    "GHZ",
+    "GIB",
+    "KIB",
+    "MIB",
+    "MS",
+    "NJ",
+    "NS",
+    "PJ",
+    "PS",
+    "US",
+    "CapacityError",
+    "ConfigError",
+    "Energy",
+    "ProtocolError",
+    "ReproError",
+    "Time",
+    "bits_to_ints",
+    "cycles_to_seconds",
+    "ints_to_bits",
+    "mask_lsbs",
+    "seconds_to_cycles",
+    "to_signed",
+    "to_unsigned",
+]

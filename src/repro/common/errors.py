@@ -1,0 +1,31 @@
+"""Exception hierarchy for the CAPE reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class CapacityError(ReproError):
+    """A request exceeds the capacity of a hardware structure.
+
+    Raised e.g. when a vector length exceeds MAX_VL, a truth table exceeds
+    the TTM entry count, or a key-value insert finds no free slot.
+    """
+
+
+class ProtocolError(ReproError):
+    """A hardware protocol invariant was violated.
+
+    Examples: searching more than four rows of one subarray, updating more
+    than one row per subarray, or an illegal MESI transition.
+    """

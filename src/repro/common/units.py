@@ -1,0 +1,44 @@
+"""Physical units used throughout the models.
+
+All internal model state is kept in SI base units (seconds, joules, bytes).
+The constants here are multipliers: ``3 * NS`` is three nanoseconds in
+seconds, ``energy / PJ`` renders joules as picojoules for reporting.
+"""
+
+from __future__ import annotations
+
+# Time multipliers (value in seconds).
+PS = 1e-12
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# Energy multipliers (value in joules).
+PJ = 1e-12
+NJ = 1e-9
+
+# Frequency multiplier (value in hertz).
+GHZ = 1e9
+
+# Capacity multipliers (value in bytes).
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# Readability aliases for annotations: plain floats carrying SI units.
+Time = float
+Energy = float
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert a cycle count at ``frequency_hz`` into seconds."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert wall-clock ``seconds`` into cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return seconds * frequency_hz

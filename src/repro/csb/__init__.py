@@ -1,0 +1,29 @@
+"""Bit-level model of CAPE's Compute-Storage Block (CSB).
+
+The CSB is built from 32x32 push-rule 6T SRAM subarrays with split
+wordlines (Jeloka et al.), organised into *chains* of 32 subarrays. A
+vector element lives in one column; its 32 bits are bit-sliced across the
+chain's subarrays (subarray *i* holds bit *i* of every vector register).
+
+This package simulates the four CSB microoperations — read, write, search,
+update — at the bit level, enforcing the paper's circuit constraints
+(at most four active rows per search, one updated row per subarray, tag-
+driven column selection with optional propagation to the next subarray),
+plus the intra-chain reduction-sum logic and the global reduction tree.
+"""
+
+from repro.csb.counter import MicroopStats
+from repro.csb.chain import Chain, MetaRow
+from repro.csb.csb import CSB
+from repro.csb.reduction import ReductionTree
+from repro.csb.subarray import Subarray, WordlineDrive
+
+__all__ = [
+    "CSB",
+    "Chain",
+    "MetaRow",
+    "MicroopStats",
+    "ReductionTree",
+    "Subarray",
+    "WordlineDrive",
+]

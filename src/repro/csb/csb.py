@@ -1,0 +1,152 @@
+"""The Compute-Storage Block: a collection of chains plus reduction tree.
+
+At the published design points the CSB holds 1,024 chains (CAPE32k:
+1,024 x 32 = 32,768 lanes) or 4,096 chains (CAPE131k: 131,072 lanes). The
+bit-level CSB here is used for functional validation, the memory-only modes
+of Section VII, and instruction-model derivation; the system-level
+simulator charges timing from the instruction model instead of stepping
+every chain (mirroring the paper's gem5 methodology).
+
+Adjacent vector elements are interleaved across chains by the VMU (element
+``e`` lives in chain ``e % num_chains``, column ``e // num_chains``), so a
+memory sub-request can stream one element into every chain in one cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import CapacityError, ConfigError
+from repro.csb.chain import NUM_VREGS, Chain
+from repro.csb.counter import MicroopStats
+from repro.csb.reduction import ReductionTree
+
+
+class CSB:
+    """A bit-level compute-storage block of ``num_chains`` chains.
+
+    Args:
+        num_chains: chains in the block (1,024 / 4,096 at the paper's
+            design points; tests use small counts).
+        num_subarrays: subarrays (bit-slices) per chain.
+        num_cols: columns (elements) per chain.
+    """
+
+    def __init__(
+        self,
+        num_chains: int = 4,
+        num_subarrays: int = 32,
+        num_cols: int = 32,
+    ) -> None:
+        if num_chains <= 0:
+            raise ConfigError(f"num_chains must be positive, got {num_chains}")
+        self.stats = MicroopStats()
+        self.chains: List[Chain] = [
+            Chain(num_subarrays, num_cols, stats=self.stats)
+            for _ in range(num_chains)
+        ]
+        self.reduction_tree = ReductionTree(num_chains)
+        self.num_chains = num_chains
+        self.num_subarrays = num_subarrays
+        self.num_cols = num_cols
+
+    @property
+    def max_vl(self) -> int:
+        """MAX_VL: total lanes available (chains x columns)."""
+        return self.num_chains * self.num_cols
+
+    # ------------------------------------------------------------------
+    # Element placement (VMU interleaving)
+    # ------------------------------------------------------------------
+
+    def locate(self, element: int) -> tuple:
+        """Map an element index to its (chain, column) home."""
+        if not 0 <= element < self.max_vl:
+            raise CapacityError(
+                f"element {element} outside CSB capacity {self.max_vl}"
+            )
+        return element % self.num_chains, element // self.num_chains
+
+    def set_vector_length(self, vl: int, vstart: int = 0) -> None:
+        """Program the active window on every chain (Section V-F).
+
+        Chains whose columns are entirely outside [vstart, vl) compute an
+        all-zero mask and may power-gate their peripherals.
+        """
+        if not 0 <= vl <= self.max_vl:
+            raise CapacityError(f"vl {vl} outside [0, {self.max_vl}]")
+        if not 0 <= vstart <= vl:
+            raise ConfigError(f"vstart {vstart} outside [0, vl={vl}]")
+        for chain_id, chain in enumerate(self.chains):
+            # Elements chain_id, chain_id + C, chain_id + 2C, ... live here.
+            element_ids = chain_id + self.num_chains * np.arange(chain.num_cols)
+            active = (element_ids >= vstart) & (element_ids < vl)
+            chain.active_columns = active.astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Whole-vector host access (used by tests and the VMU model)
+    # ------------------------------------------------------------------
+
+    def write_vector(self, vreg: int, values: Sequence[int]) -> None:
+        """Scatter ``values`` into register ``vreg`` with chain interleave."""
+        self._check_vreg(vreg)
+        values = np.asarray(values)
+        if len(values) > self.max_vl:
+            raise CapacityError(
+                f"vector of {len(values)} elements exceeds MAX_VL {self.max_vl}"
+            )
+        for element, value in enumerate(values):
+            chain, col = self.locate(element)
+            self.chains[chain].write_element(vreg, col, int(value))
+
+    def read_vector(self, vreg: int, vl: Optional[int] = None) -> np.ndarray:
+        """Gather register ``vreg`` back into element order."""
+        self._check_vreg(vreg)
+        vl = self.max_vl if vl is None else vl
+        out = np.zeros(vl, dtype=np.int64)
+        for element in range(vl):
+            chain, col = self.locate(element)
+            out[element] = self.chains[chain].read_element(vreg, col)
+        return out
+
+    def peek_vector(self, vreg: int, vl: Optional[int] = None, signed: bool = False) -> np.ndarray:
+        """Host-side gather without microop cost (validation fixture)."""
+        self._check_vreg(vreg)
+        vl = self.max_vl if vl is None else vl
+        per_chain = [c.peek_register(vreg, signed=signed) for c in self.chains]
+        out = np.zeros(vl, dtype=np.int64)
+        for element in range(vl):
+            chain, col = self.locate(element)
+            out[element] = per_chain[chain][col]
+        return out
+
+    def poke_vector(self, vreg: int, values: Sequence[int]) -> None:
+        """Host-side scatter without microop cost (validation fixture)."""
+        self._check_vreg(vreg)
+        values = np.asarray(values)
+        if len(values) > self.max_vl:
+            raise CapacityError(
+                f"vector of {len(values)} elements exceeds MAX_VL {self.max_vl}"
+            )
+        per_chain = [c.peek_register(vreg) for c in self.chains]
+        for element, value in enumerate(values):
+            chain, col = self.locate(element)
+            per_chain[chain][col] = value
+        for chain, vals in zip(self.chains, per_chain):
+            chain.poke_register(vreg, vals)
+
+    # ------------------------------------------------------------------
+    # Global reduction
+    # ------------------------------------------------------------------
+
+    def redsum(self, vreg: int, width: Optional[int] = None) -> int:
+        """Reduction sum of ``vreg`` across every chain and the global tree."""
+        self._check_vreg(vreg)
+        partials = [chain.redsum(vreg, width) for chain in self.chains]
+        return self.reduction_tree.reduce(partials)
+
+    def _check_vreg(self, vreg: int) -> None:
+        if not 0 <= vreg < NUM_VREGS:
+            raise ConfigError(f"vector register {vreg} out of range [0, {NUM_VREGS})")

@@ -1,0 +1,188 @@
+"""A push-rule 6T SRAM subarray with split wordlines (paper Figure 3).
+
+Each row of the subarray has two wordlines — wordline left (WLL) and
+wordline right (WLR) — which double as searchlines. Driving them encodes a
+per-row search key:
+
+* search for 1:  WLR=VDD, WLL=GND
+* search for 0:  WLR=GND, WLL=VDD
+* don't care:    WLR=GND, WLL=GND (row excluded)
+
+During a search the bitlines act as matchlines; ANDing BL and BLB per
+column yields 1 only if every searched row matched. The match outcome is
+latched into one *tag bit* per column, optionally OR-accumulated across
+searches (the peripheral "tag bit accumulator").
+
+A bulk update asserts both wordlines of exactly one row and drives the
+bitlines of the columns selected by a column mask (normally the tag bits),
+writing the same bit value to all selected columns at once.
+
+Circuit constraints enforced (Section V-A / VI-A): a search may drive at
+most four rows; an update writes at most one row of the subarray.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError, ProtocolError
+
+#: Maximum rows that may be searched simultaneously (sensing constraint).
+MAX_SEARCH_ROWS = 4
+
+
+class WordlineDrive(enum.Enum):
+    """Per-row wordline drive pattern during a search."""
+
+    SEARCH_ONE = "search_one"    # WLR=VDD, WLL=GND
+    SEARCH_ZERO = "search_zero"  # WLR=GND, WLL=VDD
+    DONT_CARE = "dont_care"      # WLR=GND, WLL=GND
+
+
+@dataclass
+class Subarray:
+    """One 6T BCAM subarray: a bit matrix plus tag-bit peripherals.
+
+    Attributes:
+        num_rows: wordline count (36 in CAPE: 32 vector names + 4 metadata).
+        num_cols: bitline-pair count (32 vector elements per chain).
+    """
+
+    num_rows: int = 36
+    num_cols: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_rows <= 0 or self.num_cols <= 0:
+            raise ConfigError("subarray dimensions must be positive")
+        self.bits = np.zeros((self.num_rows, self.num_cols), dtype=np.uint8)
+        self.tags = np.zeros(self.num_cols, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Conventional SRAM accesses
+    # ------------------------------------------------------------------
+
+    def read_bit(self, row: int, col: int) -> int:
+        """Read a single bitcell (conventional SRAM read)."""
+        self._check_row(row)
+        self._check_col(col)
+        return int(self.bits[row, col])
+
+    def write_bit(self, row: int, col: int, value: int) -> None:
+        """Write a single bitcell (conventional SRAM write)."""
+        self._check_row(row)
+        self._check_col(col)
+        self.bits[row, col] = 1 if value else 0
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Read an entire row (used by memory-only mode, Section VII)."""
+        self._check_row(row)
+        return self.bits[row].copy()
+
+    def write_row(self, row: int, values: np.ndarray) -> None:
+        """Write an entire row (used by memory-only mode, Section VII)."""
+        self._check_row(row)
+        values = np.asarray(values, dtype=np.uint8)
+        if values.shape != (self.num_cols,):
+            raise ConfigError(
+                f"row write expects {self.num_cols} bits, got shape {values.shape}"
+            )
+        self.bits[row] = values & 1
+
+    # ------------------------------------------------------------------
+    # Associative microoperations
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        key: Mapping[int, int],
+        accumulate: bool = False,
+    ) -> np.ndarray:
+        """Search all columns in parallel against a per-row key.
+
+        Args:
+            key: map from row index to the bit value searched on that row;
+                rows absent from the map are "don't care".
+            accumulate: if True, OR the match outcome into the tag bits
+                instead of overwriting them (the tag-bit accumulator).
+
+        Returns:
+            The updated tag-bit vector (one bit per column).
+
+        Raises:
+            ProtocolError: if more than four rows are driven.
+        """
+        if len(key) > MAX_SEARCH_ROWS:
+            raise ProtocolError(
+                f"search may drive at most {MAX_SEARCH_ROWS} rows, got {len(key)}"
+            )
+        match = np.ones(self.num_cols, dtype=np.uint8)
+        for row, want in key.items():
+            self._check_row(row)
+            drive = WordlineDrive.SEARCH_ONE if want else WordlineDrive.SEARCH_ZERO
+            match &= self._matchline(row, drive)
+        if accumulate:
+            self.tags |= match
+        else:
+            self.tags = match
+        return self.tags.copy()
+
+    def update(
+        self,
+        row: int,
+        value: int,
+        column_select: Optional[np.ndarray] = None,
+    ) -> None:
+        """Bulk-update one row: write ``value`` to all selected columns.
+
+        Args:
+            row: the single row whose wordlines are asserted.
+            value: the bit driven on the bitlines (same for all columns).
+            column_select: per-column enable; defaults to this subarray's
+                tag bits (the normal associative-update path). The chain
+                may instead pass the *previous* subarray's tags to realise
+                carry propagation (Figure 5).
+        """
+        self._check_row(row)
+        select = self.tags if column_select is None else np.asarray(column_select)
+        if select.shape != (self.num_cols,):
+            raise ConfigError(
+                f"column select expects {self.num_cols} bits, got {select.shape}"
+            )
+        cols = select.astype(bool)
+        self.bits[row, cols] = 1 if value else 0
+
+    def set_tags(self, tags: np.ndarray) -> None:
+        """Load the tag bits directly (used by the chain's tag routing)."""
+        tags = np.asarray(tags, dtype=np.uint8)
+        if tags.shape != (self.num_cols,):
+            raise ConfigError(f"tags expect {self.num_cols} bits, got {tags.shape}")
+        self.tags = tags & 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _matchline(self, row: int, drive: WordlineDrive) -> np.ndarray:
+        """Per-column match outcome of driving one row's wordlines.
+
+        Models the BL/BLB sensing: a cell matches a SEARCH_ONE drive iff it
+        stores 1, a SEARCH_ZERO drive iff it stores 0; don't-care rows
+        leave the matchlines precharged (all match).
+        """
+        if drive is WordlineDrive.DONT_CARE:
+            return np.ones(self.num_cols, dtype=np.uint8)
+        if drive is WordlineDrive.SEARCH_ONE:
+            return self.bits[row]
+        return (1 - self.bits[row]).astype(np.uint8)
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.num_rows:
+            raise ConfigError(f"row {row} out of range [0, {self.num_rows})")
+
+    def _check_col(self, col: int) -> None:
+        if not 0 <= col < self.num_cols:
+            raise ConfigError(f"column {col} out of range [0, {self.num_cols})")

@@ -1,0 +1,44 @@
+"""CAPE's micro-architecture blocks and system model (Sections III, V, VI-C).
+
+* :mod:`repro.engine.vcu` — the vector control unit: chain-controller
+  FSM, truth-table memory/decoder, and global command distribution.
+* :mod:`repro.engine.vmu` — the vector memory unit: sub-request
+  splitting, chain interleaving, replica loads, coherence traffic.
+* :mod:`repro.engine.cp` — the in-order control processor and its
+  vector-shadow issue rules.
+* :mod:`repro.engine.system` — the integrated CAPE system with the
+  CAPE32k / CAPE131k presets and the intrinsics-level execution API used
+  by the workloads.
+"""
+
+from repro.engine.cp import ControlProcessor
+from repro.engine.system import (
+    CAPE32K,
+    CAPE131K,
+    CAPEConfig,
+    CAPESystem,
+    CAPERunStats,
+)
+from repro.engine.tile import CAPETile, CoreTile, TiledChip, TileMode
+from repro.engine.vcu import ChainControllerFSM, SequencerState, TTDecoder, VCU
+from repro.engine.vmu import VMU, PageFault, VMUConfig
+
+__all__ = [
+    "CAPE131K",
+    "CAPE32K",
+    "CAPEConfig",
+    "CAPERunStats",
+    "CAPESystem",
+    "CAPETile",
+    "ChainControllerFSM",
+    "ControlProcessor",
+    "CoreTile",
+    "PageFault",
+    "SequencerState",
+    "TTDecoder",
+    "TiledChip",
+    "TileMode",
+    "VCU",
+    "VMU",
+    "VMUConfig",
+]

@@ -1,0 +1,642 @@
+"""The CAPE system model: CP + VCU + VMU + CSB (Sections III, VI-C).
+
+This is the reproduction's analogue of the paper's gem5 integration: a
+cycle-approximate system simulator where vector instructions execute
+*functionally* on packed numpy vectors and are *charged* latency/energy
+from the instruction model (Table I), the VCU command-distribution model,
+the VMU/HBM transfer model, and the control processor's issue rules. The
+bit-level CSB of :mod:`repro.csb` validates the functional semantics in
+the test suite; stepping every subarray for whole applications is what
+the instruction-level model exists to avoid — exactly the paper's
+methodology split (Section VI).
+
+Presets: ``CAPE32K`` (1,024 chains = 32,768 lanes, area-equivalent to one
+out-of-order tile) and ``CAPE131K`` (4,096 chains = 131,072 lanes, two
+tiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.assoc.instruction_model import InstructionModel
+from repro.baseline.trace import TraceBlock
+from repro.circuits.area import AreaModel
+from repro.circuits.microops import CircuitModel
+from repro.common.bitutils import to_signed, to_unsigned
+from repro.common.errors import CapacityError, ConfigError
+from repro.engine.cp import ControlProcessor
+from repro.engine.vcu import VCU
+from repro.engine.vmu import VMU, PageFault, VMUConfig
+from repro.memory.hbm import HBM
+from repro.memory.mainmem import WordMemory
+
+#: CP cycles charged per page-fault service (trap + OS page-in bookkeeping;
+#: the HBM fill itself is charged through the VMU on the retried transfer).
+PAGE_FAULT_HANDLER_CYCLES = 5000
+
+#: Energy per transferred byte on the HBM interface (~3.9 pJ/bit).
+HBM_ENERGY_PER_BYTE_J = 31.2e-12
+
+
+@dataclass(frozen=True)
+class CAPEConfig:
+    """A CAPE design point.
+
+    Attributes:
+        name: label (CAPE32k / CAPE131k).
+        num_chains: chains in the CSB.
+        cols_per_chain: elements per chain (32).
+        element_bits: element width / subarrays per chain (32).
+    """
+
+    name: str
+    num_chains: int
+    cols_per_chain: int = 32
+    element_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_chains <= 0:
+            raise ConfigError("num_chains must be positive")
+
+    @property
+    def max_vl(self) -> int:
+        """MAX_VL: the lane count (chains x columns)."""
+        return self.num_chains * self.cols_per_chain
+
+    def area_mm2(self, area_model: Optional[AreaModel] = None) -> float:
+        model = area_model if area_model is not None else AreaModel()
+        return model.cape_tile_area_mm2(self.num_chains)
+
+
+CAPE32K = CAPEConfig(name="CAPE32k", num_chains=1024)
+CAPE131K = CAPEConfig(name="CAPE131k", num_chains=4096)
+
+
+@dataclass
+class CAPERunStats:
+    """Cumulative outcome of a CAPE program run."""
+
+    cycles: float = 0.0
+    frequency_hz: float = 2.7e9
+    vector_instructions: int = 0
+    memory_instructions: int = 0
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    scalar_exposed_cycles: float = 0.0
+    energy_j: float = 0.0
+    page_faults: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    def summary(self) -> str:
+        """One-paragraph human-readable run summary."""
+        total = max(self.cycles, 1e-12)
+        return (
+            f"{self.cycles:,.0f} cycles ({self.seconds * 1e6:.1f} us at "
+            f"{self.frequency_hz / 1e9:.1f} GHz): "
+            f"{100 * self.compute_cycles / total:.0f}% CSB compute, "
+            f"{100 * self.memory_cycles / total:.0f}% vector memory, "
+            f"{100 * self.scalar_exposed_cycles / total:.0f}% exposed scalar; "
+            f"{self.vector_instructions} vector + "
+            f"{self.memory_instructions} memory instructions, "
+            f"{self.page_faults} page faults, "
+            f"{self.energy_j * 1e6:.1f} uJ"
+        )
+
+
+class CAPESystem:
+    """Executable CAPE system with an intrinsics-level API.
+
+    Vector state is held functionally (one numpy row per architectural
+    vector register, unsigned modulo 2^32); every intrinsic updates the
+    state and charges cycles/energy. Typical use::
+
+        cape = CAPESystem(CAPE32K)
+        cape.memory.write_words(0x1000, data)
+        vl = cape.vsetvl(len(data))
+        cape.vle(1, 0x1000)
+        cape.vadd_vx(2, 1, 5)
+        cape.vse(2, 0x8000)
+        stats = cape.stats
+
+    Args:
+        config: design point (CAPE32K / CAPE131K).
+        memory: functional main memory (fresh 64 MiB store by default).
+        accounting: instruction cycle accounting — ``"paper"`` (Table I
+            closed forms) or ``"measured"`` (emulated microcode counts).
+    """
+
+    NUM_VREGS = 32
+
+    def __init__(
+        self,
+        config: CAPEConfig = CAPE32K,
+        memory: Optional[WordMemory] = None,
+        accounting: str = "paper",
+        circuit: Optional[CircuitModel] = None,
+    ) -> None:
+        self.config = config
+        self.circuit = circuit if circuit is not None else CircuitModel()
+        self.model = InstructionModel(
+            self.circuit, width=config.element_bits, accounting=accounting
+        )
+        self.memory = memory if memory is not None else WordMemory()
+        self.hbm = HBM()
+        self.cp = ControlProcessor()
+        self.vcu = VCU(config.num_chains, self.model)
+        # Sub-requests must not cover more elements than there are
+        # chains (Section V-E); small test configurations shrink them.
+        vmu_config = VMUConfig(
+            sub_request_bytes=min(512, config.num_chains * 4)
+        )
+        self.vmu = VMU(
+            config.num_chains,
+            self.hbm,
+            self.memory,
+            vmu_config,
+            frequency_hz=self.circuit.frequency_hz,
+        )
+        self.vregs = np.zeros((self.NUM_VREGS, config.max_vl), dtype=np.int64)
+        self.vl = config.max_vl
+        self.vstart = 0
+        self.stats = CAPERunStats(frequency_hz=self.circuit.frequency_hz)
+        self._memory_energy_j = 0.0
+        self._accounting = accounting
+        #: Selected element width (SEW). Narrower elements keep one lane
+        #: per chain column but walk fewer bit-slices, so bit-serial
+        #: instructions speed up proportionally (Section V-A: "element
+        #: types smaller than 32 bits ... handled by the microcode").
+        self.sew = config.element_bits
+        self._models = {config.element_bits: self.model}
+        self._mod = np.int64(1) << self.sew
+
+    def set_sew(self, bits: int) -> None:
+        """Select the element width (8, 16, or the full hardware width).
+
+        Reconfigures the microcode sequences: the truth-table walks cover
+        ``bits`` slices instead of 32, so e.g. ``vadd`` drops from 8x32+2
+        to 8x8+2 cycles at SEW=8.
+        """
+        if bits not in (8, 16, self.config.element_bits):
+            raise ConfigError(
+                f"SEW {bits} unsupported (8, 16, or "
+                f"{self.config.element_bits})"
+            )
+        if bits not in self._models:
+            self._models[bits] = InstructionModel(
+                self.circuit, width=bits, accounting=self._accounting
+            )
+        self.sew = bits
+        self.model = self._models[bits]
+        self.vcu.model = self.model
+        self._mod = np.int64(1) << bits
+
+    # ------------------------------------------------------------------
+    # Configuration intrinsics
+    # ------------------------------------------------------------------
+
+    def vsetvl(self, requested: int, sew: Optional[int] = None) -> int:
+        """``vsetvli``: request a vector length; returns the granted vl.
+
+        Grants ``min(requested, MAX_VL)`` per the RISC-V VLA contract.
+        Chains whose columns fall wholly outside the active window
+        power-gate their peripherals (Section V-F). ``sew`` optionally
+        reprograms the element width (vtype's e8/e16/e32).
+        """
+        if requested < 0:
+            raise CapacityError("requested vl must be non-negative")
+        if sew is not None and sew != self.sew:
+            self.set_sew(sew)
+        self.vl = min(requested, self.config.max_vl)
+        self._charge_compute_cycles(1)
+        return self.vl
+
+    def set_vstart(self, vstart: int) -> None:
+        """Program the ``vstart`` CSR (index of the first active element)."""
+        if not 0 <= vstart <= self.vl:
+            raise ConfigError(f"vstart {vstart} outside [0, vl={self.vl}]")
+        self.vstart = vstart
+
+    @property
+    def active_slice(self) -> slice:
+        return slice(self.vstart, self.vl)
+
+    # ------------------------------------------------------------------
+    # Memory intrinsics (through the VMU)
+    # ------------------------------------------------------------------
+
+    def vle(self, vd: int, addr: int) -> None:
+        """``vle32.v vd, (addr)`` — unit-stride vector load.
+
+        Page faults restart the instruction at the faulting element via
+        ``vstart`` (Section V-C): the completed prefix is architecturally
+        committed, the CP services the fault, and the transfer resumes.
+        """
+        original_vstart = self.vstart
+        offset = 0
+        while True:
+            remaining = self.vl - self.vstart
+            try:
+                values, cycles = self.vmu.load(
+                    addr + 4 * offset, remaining, element_bytes=self.sew // 8
+                )
+            except PageFault as fault:
+                self._commit_load_prefix(vd, addr, offset, fault.element_index)
+                offset += fault.element_index
+                self._service_fault(fault)
+                continue
+            self._write_active(vd, values)
+            self._charge_memory(cycles, len(values) * 4)
+            break
+        self.vstart = original_vstart
+
+    def vse(self, vs: int, addr: int) -> None:
+        """``vse32.v vs, (addr)`` — unit-stride vector store.
+
+        Restartable at the faulting index, like :meth:`vle`.
+        """
+        original_vstart = self.vstart
+        offset = 0
+        while True:
+            values = self._read_active(vs)
+            try:
+                cycles = self.vmu.store(
+                    addr + 4 * offset, values, element_bytes=self.sew // 8
+                )
+            except PageFault as fault:
+                k = fault.element_index
+                if k > 0:
+                    prefix_cycles = self.vmu.store(
+                        addr + 4 * offset, values[:k], element_bytes=self.sew // 8
+                    )
+                    self._charge_memory(prefix_cycles, 4 * k)
+                    self.set_vstart(self.vstart + k)
+                    offset += k
+                self._service_fault(fault)
+                continue
+            self._charge_memory(cycles, len(values) * 4)
+            break
+        self.vstart = original_vstart
+
+    def _commit_load_prefix(self, vd: int, addr: int, offset: int, count: int) -> None:
+        """Commit the elements transferred before a load fault."""
+        if count <= 0:
+            return
+        values, cycles = self.vmu.load(
+            addr + 4 * offset, count, element_bytes=self.sew // 8
+        )
+        sl = slice(self.vstart, self.vstart + count)
+        self.vregs[vd, sl] = to_unsigned(values, self.sew)
+        self._charge_memory(cycles, 4 * count)
+        self.set_vstart(self.vstart + count)
+
+    def _service_fault(self, fault: PageFault) -> None:
+        """Trap to the CP, page the faulting address in, account the cost."""
+        self.vmu.map_range(fault.addr, 4)
+        self.stats.page_faults += 1
+        self.stats.cycles += PAGE_FAULT_HANDLER_CYCLES
+        self.stats.scalar_exposed_cycles += PAGE_FAULT_HANDLER_CYCLES
+
+    def vlse(self, vd: int, addr: int, stride_bytes: int) -> None:
+        """``vlse32.v`` — strided load (one packet per element)."""
+        values, cycles = self.vmu.load_strided(
+            addr, self.vl - self.vstart, stride_bytes
+        )
+        self._write_active(vd, values)
+        self._charge_memory(cycles, len(values) * 4)
+
+    def vsse(self, vs: int, addr: int, stride_bytes: int) -> None:
+        """``vsse32.v`` — strided store (one packet per element)."""
+        values = self._read_active(vs)
+        cycles = self.vmu.store_strided(addr, values, stride_bytes)
+        self._charge_memory(cycles, len(values) * 4)
+
+    def vlrw(self, vd: int, addr: int, chunk: int) -> None:
+        """``vlrw.v vd, r1, r2`` — replica vector load (Section V-G)."""
+        values, cycles = self.vmu.load_replica(addr, chunk, self.vl - self.vstart)
+        self._write_active(vd, values)
+        self._charge_memory(cycles, chunk * 4)
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic intrinsics (through the VCU)
+    # ------------------------------------------------------------------
+
+    def vadd(self, vd: int, vs1: int, vs2: int, mask: Optional[int] = None) -> None:
+        """``vadd.vv`` (optionally masked by register ``mask``)."""
+        self._binary("vadd.vv", vd, vs1, vs2, lambda a, b: a + b, mask)
+
+    def vsub(self, vd: int, vs1: int, vs2: int, mask: Optional[int] = None) -> None:
+        """``vsub.vv``."""
+        self._binary("vsub.vv", vd, vs1, vs2, lambda a, b: a - b, mask)
+
+    def vmul(self, vd: int, vs1: int, vs2: int, mask: Optional[int] = None) -> None:
+        """``vmul.vv`` — low half of the product."""
+        self._binary("vmul.vv", vd, vs1, vs2, lambda a, b: a * b, mask)
+
+    def vand(self, vd: int, vs1: int, vs2: int, mask: Optional[int] = None) -> None:
+        """``vand.vv``."""
+        self._binary("vand.vv", vd, vs1, vs2, lambda a, b: a & b, mask)
+
+    def vor(self, vd: int, vs1: int, vs2: int, mask: Optional[int] = None) -> None:
+        """``vor.vv``."""
+        self._binary("vor.vv", vd, vs1, vs2, lambda a, b: a | b, mask)
+
+    def vxor(self, vd: int, vs1: int, vs2: int, mask: Optional[int] = None) -> None:
+        """``vxor.vv``."""
+        self._binary("vxor.vv", vd, vs1, vs2, lambda a, b: a ^ b, mask)
+
+    def vadd_vx(self, vd: int, vs1: int, scalar: int, mask: Optional[int] = None) -> None:
+        """``vadd.vx`` — add a scalar to every element."""
+        s = int(scalar)
+        self._binary("vadd.vx", vd, vs1, None, lambda a, _: a + s, mask)
+
+    def vrsub_vx(self, vd: int, vs1: int, scalar: int, mask: Optional[int] = None) -> None:
+        """``vrsub.vx`` — reverse subtract: vd = scalar - vs1."""
+        s = int(scalar)
+        self._binary("vrsub.vx", vd, vs1, None, lambda a, _: s - a, mask)
+
+    def vsll_vi(self, vd: int, vs1: int, shamt: int) -> None:
+        """``vsll.vi`` — logical shift left by an immediate."""
+        self._shift("vsll.vi", vd, vs1, shamt, lambda a, k: a << k)
+
+    def vsrl_vi(self, vd: int, vs1: int, shamt: int) -> None:
+        """``vsrl.vi`` — logical shift right by an immediate."""
+        self._shift("vsrl.vi", vd, vs1, shamt, lambda a, k: a >> k)
+
+    def vsra_vi(self, vd: int, vs1: int, shamt: int) -> None:
+        """``vsra.vi`` — arithmetic shift right by an immediate."""
+        bits = self.sew
+
+        def op(a: np.ndarray, k: int) -> np.ndarray:
+            return to_unsigned(to_signed(a, bits) >> k, bits)
+
+        self._shift("vsra.vi", vd, vs1, shamt, op)
+
+    def _shift(self, mnemonic, vd, vs1, shamt, op) -> None:
+        if not 0 <= shamt < self.sew:
+            raise ConfigError(
+                f"shift amount {shamt} outside [0, {self.sew})"
+            )
+        sl = self.active_slice
+        self.vregs[vd, sl] = op(self.vregs[vs1, sl], int(shamt)) % self._mod
+        cycles = self.vcu.dispatch(mnemonic, self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    def vmin(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vmin.vv`` — signed element-wise minimum."""
+        self._minmax("vmin.vv", vd, vs1, vs2, signed=True, smaller=True)
+
+    def vmax(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vmax.vv`` — signed element-wise maximum."""
+        self._minmax("vmax.vv", vd, vs1, vs2, signed=True, smaller=False)
+
+    def vminu(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vminu.vv`` — unsigned element-wise minimum."""
+        self._minmax("vminu.vv", vd, vs1, vs2, signed=False, smaller=True)
+
+    def vmaxu(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vmaxu.vv`` — unsigned element-wise maximum."""
+        self._minmax("vmaxu.vv", vd, vs1, vs2, signed=False, smaller=False)
+
+    def _minmax(self, mnemonic, vd, vs1, vs2, signed, smaller) -> None:
+        sl = self.active_slice
+        bits = self.sew
+        a, b = self.vregs[vs1, sl], self.vregs[vs2, sl]
+        if signed:
+            a, b = to_signed(a, bits), to_signed(b, bits)
+        out = np.minimum(a, b) if smaller else np.maximum(a, b)
+        self.vregs[vd, sl] = to_unsigned(out, bits)
+        cycles = self.vcu.dispatch(mnemonic, self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    def vmsne(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vmsne.vv`` — inequality mask."""
+        sl = self.active_slice
+        self.vregs[vd, sl] = (
+            self.vregs[vs1, sl] != self.vregs[vs2, sl]
+        ).astype(np.int64)
+        cycles = self.vcu.dispatch("vmsne.vv", self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    def vmv_vx(self, vd: int, scalar: int) -> None:
+        """``vmv.v.x`` — broadcast a scalar."""
+        sl = self.active_slice
+        self.vregs[vd, sl] = to_unsigned(np.int64(scalar), self.sew)
+        cycles = self.vcu.dispatch("vmv.v.x", self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    def vmv(self, vd: int, vs1: int) -> None:
+        """``vmv.v.v`` — register copy."""
+        sl = self.active_slice
+        self.vregs[vd, sl] = self.vregs[vs1, sl]
+        cycles = self.vcu.dispatch("vmv.v.v", self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    # ------------------------------------------------------------------
+    # Comparisons and select
+    # ------------------------------------------------------------------
+
+    def vmseq_vx(self, vd: int, vs1: int, scalar: int) -> None:
+        """``vmseq.vx`` — mask of elements equal to a scalar."""
+        sl = self.active_slice
+        s = to_unsigned(np.int64(scalar), self.sew)
+        self.vregs[vd, sl] = (self.vregs[vs1, sl] == s).astype(np.int64)
+        cycles = self.vcu.dispatch("vmseq.vx", self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    def vmseq(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vmseq.vv``."""
+        sl = self.active_slice
+        self.vregs[vd, sl] = (
+            self.vregs[vs1, sl] == self.vregs[vs2, sl]
+        ).astype(np.int64)
+        cycles = self.vcu.dispatch("vmseq.vv", self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    def vmslt(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vmslt.vv`` — signed less-than mask."""
+        sl = self.active_slice
+        bits = self.sew
+        a = to_signed(self.vregs[vs1, sl], bits)
+        b = to_signed(self.vregs[vs2, sl], bits)
+        self.vregs[vd, sl] = (a < b).astype(np.int64)
+        cycles = self.vcu.dispatch("vmslt.vv", self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    def vmsltu(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vmsltu.vv`` — unsigned less-than mask."""
+        sl = self.active_slice
+        self.vregs[vd, sl] = (
+            self.vregs[vs1, sl] < self.vregs[vs2, sl]
+        ).astype(np.int64)
+        cycles = self.vcu.dispatch("vmsltu.vv", self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    def vmerge(self, vd: int, vs1: int, vs2: int, vm: int = 0) -> None:
+        """``vmerge.vvm`` — vd = mask ? vs1 : vs2."""
+        sl = self.active_slice
+        m = (self.vregs[vm, sl] & 1) == 1
+        self.vregs[vd, sl] = np.where(
+            m, self.vregs[vs1, sl], self.vregs[vs2, sl]
+        )
+        cycles = self.vcu.dispatch("vmerge.vv", self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+
+    def vredsum(self, vs1: int, signed: bool = True) -> int:
+        """``vredsum.vs`` — sum all active elements to a scalar.
+
+        Bit-serially echoes each bit through the tags, pop-counts per
+        chain, and combines partials through the pipelined global tree —
+        roughly 8x faster than an element-wise add (Section V-G).
+        """
+        sl = self.active_slice
+        vals = self.vregs[vs1, sl]
+        if signed:
+            total = int(to_signed(vals, self.sew).sum())
+        else:
+            total = int(vals.sum())
+        cycles = self.vcu.dispatch(
+            "vredsum.vs", self.vl - self.vstart, reduction=True
+        )
+        self._charge_compute(cycles)
+        return total
+
+    def vmask_popcount(self, vm: int) -> int:
+        """``vcpop.m``-style count of set mask bits.
+
+        A mask is a single bit per element, so the reduction is one
+        echo-search plus one pass through the pipelined tree — the 1-bit
+        special case of the redsum (Figure 6).
+        """
+        sl = self.active_slice
+        count = int((self.vregs[vm, sl] & 1).sum())
+        cycles = self.vcu.dispatch_raw(
+            1 + self.vcu.reduction_tree.num_stages,
+            self.vl - self.vstart,
+            energy_per_lane_j=0.4e-12 / 32,
+        )
+        self._charge_compute(cycles)
+        return count
+
+    def fence(self) -> None:
+        """Memory fence between scalar and vector accesses.
+
+        CAPE does not disambiguate store-load or store-store ordering
+        between vector and scalar instructions (footnote 1): the compiler
+        or programmer inserts fences. A fence waits for the outstanding
+        vector instruction's shadow to drain, serialising the CP against
+        the CSB.
+        """
+        drained = self.cp._shadow_budget
+        self.cp._shadow_budget = 0.0
+        self.stats.cycles += drained
+        self.stats.scalar_exposed_cycles += drained
+
+    def vfirst(self, vm: int) -> int:
+        """``vfirst.m``-style find-first-set mask bit (or -1).
+
+        CAPE's updates deliberately avoid a priority encoder (Section
+        VI-A), so find-first is microcoded as a binary search over the
+        active window: each probe masks half the remaining columns and
+        pop-counts the tags through the tree — log2(vl) popcount passes.
+        """
+        sl = self.active_slice
+        bits = self.vregs[vm, sl] & 1
+        hits = np.flatnonzero(bits)
+        result = int(hits[0]) + self.vstart if len(hits) else -1
+        active = max(1, self.vl - self.vstart)
+        probes = max(1, math.ceil(math.log2(active)))
+        per_probe = 1 + self.vcu.reduction_tree.num_stages
+        cycles = self.vcu.dispatch_raw(
+            probes * per_probe, active, energy_per_lane_j=0.4e-12 / 32
+        )
+        self._charge_compute(cycles)
+        return result
+
+    # ------------------------------------------------------------------
+    # Scalar work (control processor)
+    # ------------------------------------------------------------------
+
+    def scalar_block(self, block: TraceBlock) -> None:
+        """Run scalar work on the CP; hides under vector shadows."""
+        exposed = self.cp.scalar_block(block)
+        self.stats.cycles += exposed
+        self.stats.scalar_exposed_cycles += exposed
+
+    def scalar_ops(self, **kwargs) -> None:
+        """Scalar work from raw counts (see ``ControlProcessor.scalar_ops``)."""
+        exposed = self.cp.scalar_ops(**kwargs)
+        self.stats.cycles += exposed
+        self.stats.scalar_exposed_cycles += exposed
+
+    # ------------------------------------------------------------------
+    # Host-side accessors
+    # ------------------------------------------------------------------
+
+    def read_vreg(self, vreg: int, signed: bool = False) -> np.ndarray:
+        """Inspect a vector register's active elements (no cost)."""
+        vals = self.vregs[vreg, self.active_slice].copy()
+        if signed:
+            return to_signed(vals, self.sew)
+        return vals
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _binary(self, mnemonic, vd, vs1, vs2, op, mask) -> None:
+        sl = self.active_slice
+        a = self.vregs[vs1, sl]
+        b = self.vregs[vs2, sl] if vs2 is not None else None
+        result = op(a, b) % self._mod
+        if mask is not None:
+            m = (self.vregs[mask, sl] & 1) == 1
+            result = np.where(m, result, self.vregs[vd, sl])
+            # Mask broadcast into the MASK metadata rows (3 microops).
+            self._charge_compute_cycles(3)
+        self.vregs[vd, sl] = result
+        cycles = self.vcu.dispatch(mnemonic, self.vl - self.vstart)
+        self._charge_compute(cycles)
+
+    def _write_active(self, vd: int, values: np.ndarray) -> None:
+        sl = self.active_slice
+        expected = sl.stop - sl.start
+        if len(values) != expected:
+            raise CapacityError(
+                f"vector of {len(values)} values does not match active "
+                f"window of {expected}"
+            )
+        self.vregs[vd, sl] = to_unsigned(values, self.sew)
+
+    def _read_active(self, vs: int) -> np.ndarray:
+        return self.vregs[vs, self.active_slice].copy()
+
+    def _charge_compute(self, cycles: float) -> None:
+        added = self.cp.vector_issue(cycles)
+        self.stats.cycles += added
+        self.stats.compute_cycles += added
+        self.stats.vector_instructions += 1
+        self.stats.energy_j = self.vcu.stats.energy_j + self._memory_energy_j
+
+    def _charge_compute_cycles(self, cycles: float) -> None:
+        self.stats.cycles += cycles
+        self.stats.compute_cycles += cycles
+
+    def _charge_memory(self, cycles: float, num_bytes: int) -> None:
+        added = self.cp.vector_issue(cycles)
+        self.stats.cycles += added
+        self.stats.memory_cycles += added
+        self.stats.memory_instructions += 1
+        self._memory_energy_j += num_bytes * HBM_ENERGY_PER_BYTE_J
+        self.stats.energy_j = self.vcu.stats.energy_j + self._memory_energy_j

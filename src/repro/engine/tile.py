@@ -1,0 +1,225 @@
+"""Tiled-chip integration (paper Sections I, III, VII).
+
+The paper envisions CAPE as "a standalone core that specializes in
+associative computing, [which] can be integrated in a tiled multicore
+chip alongside other types of compute engines". This module provides that
+chip-level view:
+
+* a :class:`TiledChip` hosting CAPE tiles and out-of-order core tiles on
+  a shared HBM stack, with bandwidth contention between concurrently
+  running tiles;
+* mode switching for CAPE tiles: a tile not running vector work can be
+  reconfigured as a scratchpad, key-value store, or victim cache serving
+  a neighbouring core tile (Section VII).
+
+Timing model for co-scheduled jobs: compute portions of different tiles
+overlap fully; the HBM is shared, so each tile's memory portion stretches
+by the number of tiles concurrently streaming.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.baseline.ooo import OoOConfig, OoOCore, RunResult
+from repro.baseline.trace import Trace
+from repro.common.errors import ConfigError
+from repro.csb.csb import CSB
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.memmode import KeyValueStore, Scratchpad, VictimCache
+from repro.memory.hbm import HBM
+from repro.memory.hierarchy import CacheHierarchy, HierarchyConfig
+
+
+class TileMode(enum.Enum):
+    """Operating mode of a CAPE tile."""
+
+    COMPUTE = "compute"
+    SCRATCHPAD = "scratchpad"
+    KEY_VALUE = "key_value"
+    VICTIM_CACHE = "victim_cache"
+
+
+@dataclass
+class CoScheduleResult:
+    """Outcome of running jobs concurrently on a chip."""
+
+    per_tile_seconds: Dict[str, float]
+    chip_seconds: float
+
+
+class CAPETile:
+    """One CAPE tile with Section VII mode switching.
+
+    In COMPUTE mode the tile exposes a :class:`CAPESystem`. The
+    memory-only modes re-purpose a bit-level CSB of the same geometry
+    (scaled down by ``memmode_chains`` for simulation tractability).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: CAPEConfig,
+        memmode_chains: int = 4,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.mode = TileMode.COMPUTE
+        self.system: Optional[CAPESystem] = CAPESystem(config)
+        self._memmode_chains = memmode_chains
+        self.storage: Optional[object] = None
+
+    def set_mode(self, mode: TileMode) -> None:
+        """Reconfigure the tile; storage modes build the backing CSB."""
+        self.mode = mode
+        if mode is TileMode.COMPUTE:
+            self.system = CAPESystem(self.config)
+            self.storage = None
+            return
+        self.system = None
+        csb = CSB(
+            num_chains=self._memmode_chains,
+            num_subarrays=self.config.element_bits,
+            num_cols=self.config.cols_per_chain,
+        )
+        if mode is TileMode.SCRATCHPAD:
+            self.storage = Scratchpad(csb)
+        elif mode is TileMode.KEY_VALUE:
+            self.storage = KeyValueStore(csb)
+        elif mode is TileMode.VICTIM_CACHE:
+            self.storage = VictimCache(
+                num_rows=self.config.cols_per_chain * self.config.element_bits,
+                ways=8,
+            )
+        else:
+            raise ConfigError(f"unknown tile mode {mode}")
+
+    def require_compute(self) -> CAPESystem:
+        if self.mode is not TileMode.COMPUTE or self.system is None:
+            raise ConfigError(
+                f"tile {self.name} is in {self.mode.value} mode, not compute"
+            )
+        return self.system
+
+
+class CoreTile:
+    """One out-of-order core tile (the baseline tile of Table III)."""
+
+    def __init__(
+        self,
+        name: str,
+        config: OoOConfig = OoOConfig(),
+        hierarchy_config: HierarchyConfig = HierarchyConfig(),
+        victim_cache: Optional[VictimCache] = None,
+    ) -> None:
+        self.name = name
+        self.hierarchy = CacheHierarchy(
+            hierarchy_config, victim_cache=victim_cache
+        )
+        self.core = OoOCore(config, self.hierarchy)
+
+    def run(self, trace: Trace) -> RunResult:
+        return self.core.run(trace)
+
+
+class TiledChip:
+    """A chip of CAPE and core tiles sharing one HBM stack.
+
+    Args:
+        cape_tiles: CAPE tile count (CAPE32k geometry each by default).
+        core_tiles: out-of-order core tile count.
+    """
+
+    def __init__(
+        self,
+        cape_tiles: int = 1,
+        core_tiles: int = 1,
+        cape_config: Optional[CAPEConfig] = None,
+    ) -> None:
+        if cape_tiles < 0 or core_tiles < 0 or cape_tiles + core_tiles == 0:
+            raise ConfigError("a chip needs at least one tile")
+        from repro.engine.system import CAPE32K
+
+        config = cape_config if cape_config is not None else CAPE32K
+        self.hbm = HBM()
+        self.cape: List[CAPETile] = [
+            CAPETile(f"cape{i}", config) for i in range(cape_tiles)
+        ]
+        self.cores: List[CoreTile] = [
+            CoreTile(f"core{i}") for i in range(core_tiles)
+        ]
+
+    def tile(self, name: str) -> Union[CAPETile, CoreTile]:
+        for t in self.cape + self.cores:
+            if t.name == name:
+                return t
+        raise ConfigError(f"no tile named {name!r}")
+
+    def attach_victim_cache(self, cape_name: str, core_name: str) -> VictimCache:
+        """Section VII: a CAPE tile backs a core tile's L2 as victim cache."""
+        cape_tile = self.tile(cape_name)
+        core_tile = self.tile(core_name)
+        if not isinstance(cape_tile, CAPETile) or not isinstance(core_tile, CoreTile):
+            raise ConfigError("victim-cache pairing needs a CAPE and a core tile")
+        cape_tile.set_mode(TileMode.VICTIM_CACHE)
+        core_tile.hierarchy.victim_cache = cape_tile.storage
+        return cape_tile.storage
+
+    # ------------------------------------------------------------------
+
+    def co_schedule(self, jobs: Dict[str, Callable]) -> CoScheduleResult:
+        """Run one job per tile "concurrently".
+
+        Each job callable receives its tile and returns a standalone-run
+        ``(compute_seconds, memory_seconds)`` split. Compute overlaps
+        across tiles; memory portions contend for the shared HBM, so each
+        tile's memory time stretches by the number of tiles with a
+        non-trivial memory portion.
+        """
+        splits: Dict[str, tuple] = {}
+        for name, job in jobs.items():
+            splits[name] = job(self.tile(name))
+        streams = sum(1 for _, mem in splits.values() if mem > 1e-12)
+        contention = max(1, streams)
+        per_tile = {
+            name: compute + mem * contention
+            for name, (compute, mem) in splits.items()
+        }
+        return CoScheduleResult(
+            per_tile_seconds=per_tile,
+            chip_seconds=max(per_tile.values()) if per_tile else 0.0,
+        )
+
+
+def cape_job(workload_factory) -> Callable:
+    """Adapt a workload to a CAPE-tile job for :meth:`co_schedule`."""
+
+    def job(tile: CAPETile) -> tuple:
+        system = tile.require_compute()
+        workload_factory().run_cape(system)
+        freq = system.stats.frequency_hz
+        compute = (
+            system.stats.compute_cycles + system.stats.scalar_exposed_cycles
+        ) / freq
+        memory = system.stats.memory_cycles / freq
+        return compute, memory
+
+    return job
+
+
+def core_job(trace_factory) -> Callable:
+    """Adapt a scalar trace to a core-tile job for :meth:`co_schedule`."""
+
+    def job(tile: CoreTile) -> tuple:
+        trace = trace_factory()
+        result = tile.run(trace)
+        # Split the interval-model time: memory-bound share approximated
+        # by the hierarchy's accumulated latency.
+        mem_cycles = min(result.cycles, tile.hierarchy.total_cycles / 4)
+        compute = (result.cycles - mem_cycles) / result.frequency_hz
+        memory = mem_cycles / result.frequency_hz
+        return compute, memory
+
+    return job

@@ -1,0 +1,277 @@
+"""Vector Memory Unit (Section V-E): cacheless vector transfers.
+
+The VMU breaks each vector memory instruction into *sub-requests* of the
+memory data-bus packet size. Adjacent vector elements are interleaved
+across chains (like byte interleaving across DRAM chips), so every chain
+can accept its element of a sub-request independently and a full
+sub-request transfers into the CSB in a single cycle. The VMU is sized so
+a sub-request never exceeds the chain count — no buffering needed — and
+CSB writes proceed concurrently with the main-memory transfers, leaving
+vector loads/stores bandwidth-bound on HBM.
+
+The CSB is cacheless; the VMU sits directly on the memory bus and follows
+the same coherence protocol as the control processor's caches (modelled as
+range invalidations/downgrades — a trivial overhead, since the CP and CSB
+share little data).
+
+Also implements the CAPE-specific *replica vector load* ``vlrw.v v1, r1,
+r2`` (Section V-G): loads ``r2`` contiguous values and replicates them
+along the whole vector register, paying memory traffic for just one copy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import CapacityError, ConfigError, ReproError
+from repro.memory.hbm import HBM
+from repro.memory.mainmem import WORD_BYTES, WordMemory
+
+#: Virtual-memory page size used by the fault model.
+PAGE_BYTES = 4096
+
+
+class PageFault(ReproError):
+    """A vector memory instruction touched an unmapped page.
+
+    Carries the element index at which the transfer stopped, so the
+    control processor can restart the instruction there via ``vstart``
+    (Section V-C: "load/store operations can be restarted at the index
+    where a page fault occurred").
+    """
+
+    def __init__(self, element_index: int, addr: int) -> None:
+        super().__init__(f"page fault at element {element_index} (addr {addr:#x})")
+        self.element_index = element_index
+        self.addr = addr
+
+
+@dataclass(frozen=True)
+class VMUConfig:
+    """VMU parameters.
+
+    Attributes:
+        sub_request_bytes: memory data-bus packet size; must not cover
+            more elements than there are chains.
+        element_bytes: vector element size (32-bit).
+        coherence_cycles: flat per-instruction cost of the coherence
+            interaction with the CP's caches ("very trivial performance
+            overhead").
+    """
+
+    sub_request_bytes: int = 512
+    element_bytes: int = WORD_BYTES
+    coherence_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.sub_request_bytes <= 0 or self.element_bytes <= 0:
+            raise ConfigError("VMU sizes must be positive")
+
+    @property
+    def elements_per_sub_request(self) -> int:
+        return self.sub_request_bytes // self.element_bytes
+
+
+@dataclass
+class VMUStats:
+    """Transfer counters."""
+
+    loads: int = 0
+    stores: int = 0
+    replica_loads: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    sub_requests: int = 0
+
+
+class VMU:
+    """Functional + timing model of the vector memory unit.
+
+    Args:
+        num_chains: CSB chains (sub-requests must fit within them).
+        hbm: the memory system's timing model.
+        memory: functional word store shared with the control processor.
+        config: VMU parameters.
+        frequency_hz: CAPE clock, to convert HBM seconds into cycles.
+    """
+
+    def __init__(
+        self,
+        num_chains: int,
+        hbm: HBM,
+        memory: WordMemory,
+        config: VMUConfig = VMUConfig(),
+        frequency_hz: float = 2.7e9,
+    ) -> None:
+        if config.elements_per_sub_request > num_chains:
+            raise ConfigError(
+                f"sub-request of {config.elements_per_sub_request} elements "
+                f"exceeds {num_chains} chains (would require VMU buffering)"
+            )
+        self.num_chains = num_chains
+        self.hbm = hbm
+        self.memory = memory
+        self.config = config
+        self.frequency_hz = frequency_hz
+        self.stats = VMUStats()
+        # Fault model: None = no paging (every page mapped); otherwise
+        # the set of mapped page numbers.
+        self._mapped_pages = None
+
+    # ------------------------------------------------------------------
+    # Virtual-memory fault model (Section V-C)
+    # ------------------------------------------------------------------
+
+    def enable_paging(self, mapped_ranges=()) -> None:
+        """Turn on the page-fault model with the given mapped ranges."""
+        self._mapped_pages = set()
+        for base, num_bytes in mapped_ranges:
+            self.map_range(base, num_bytes)
+
+    def map_range(self, base: int, num_bytes: int) -> None:
+        """Mark every page overlapping ``[base, base+num_bytes)`` mapped."""
+        if self._mapped_pages is None:
+            self._mapped_pages = set()
+        first = base // PAGE_BYTES
+        last = (base + max(0, num_bytes - 1)) // PAGE_BYTES
+        self._mapped_pages.update(range(first, last + 1))
+
+    def _check_pages(self, addr: int, vl: int) -> None:
+        """Raise :class:`PageFault` at the first unmapped element."""
+        if self._mapped_pages is None:
+            return
+        element_bytes = self.config.element_bytes
+        page = -1
+        for element in range(vl):
+            a = addr + element * element_bytes
+            p = a // PAGE_BYTES
+            if p != page:
+                page = p
+                if p not in self._mapped_pages:
+                    raise PageFault(element, a)
+
+    # ------------------------------------------------------------------
+
+    def _transfer_cycles(self, num_bytes: int) -> int:
+        """Cycles for a unit-stride transfer of ``num_bytes``.
+
+        The HBM side is bandwidth-bound (channel-interleaved); the CSB
+        side consumes one sub-request per cycle. The two overlap, so the
+        cost is their maximum, plus the coherence handshake.
+        """
+        mem_s = self.hbm.transfer_time_s(num_bytes, interleaved=True)
+        mem_cycles = math.ceil(mem_s * self.frequency_hz)
+        sub_requests = math.ceil(num_bytes / self.config.sub_request_bytes)
+        self.stats.sub_requests += sub_requests
+        return max(mem_cycles, sub_requests) + self.config.coherence_cycles
+
+    def load(self, addr: int, vl: int, element_bytes: Optional[int] = None) -> tuple:
+        """``vle<sew>.v``: load ``vl`` elements; returns (values, cycles).
+
+        ``element_bytes`` reflects the selected SEW for traffic/timing
+        purposes (the functional store keeps one word slot per element).
+        Raises :class:`PageFault` at the first element whose page is
+        unmapped (when the paging model is enabled); the instruction is
+        restartable at that index.
+        """
+        if vl < 0:
+            raise CapacityError("vl must be non-negative")
+        eb = element_bytes if element_bytes is not None else self.config.element_bytes
+        self._check_pages(addr, vl)
+        values = self.memory.read_words(addr, vl)
+        num_bytes = vl * eb
+        cycles = self._transfer_cycles(num_bytes)
+        self.stats.loads += 1
+        self.stats.bytes_loaded += num_bytes
+        return values, cycles
+
+    def store(self, addr: int, values: np.ndarray, element_bytes: Optional[int] = None) -> int:
+        """``vse<sew>.v``: store elements; returns cycles.
+
+        Raises :class:`PageFault` like :meth:`load` when paging is on.
+        """
+        values = np.asarray(values)
+        eb = element_bytes if element_bytes is not None else self.config.element_bytes
+        self._check_pages(addr, len(values))
+        self.memory.write_words(addr, values)
+        num_bytes = len(values) * eb
+        cycles = self._transfer_cycles(num_bytes)
+        self.stats.stores += 1
+        self.stats.bytes_stored += num_bytes
+        return cycles
+
+    def load_strided(self, addr: int, vl: int, stride_bytes: int) -> tuple:
+        """``vlse32.v``: strided load — one sub-request per element.
+
+        Strided access defeats the chain interleaving: each element rides
+        its own memory packet, so the transfer is latency/packet-bound
+        rather than bandwidth-bound.
+        """
+        addrs = addr + stride_bytes * np.arange(vl)
+        values = np.array(
+            [self.memory.read_word(int(a)) for a in addrs], dtype=np.int64
+        )
+        packet = self.config.sub_request_bytes
+        mem_s = self.hbm.transfer_time_s(vl * packet, interleaved=True)
+        cycles = math.ceil(mem_s * self.frequency_hz) + self.config.coherence_cycles
+        self.stats.loads += 1
+        self.stats.bytes_loaded += vl * packet
+        self.stats.sub_requests += vl
+        return values, cycles
+
+    def store_strided(self, addr: int, values: np.ndarray, stride_bytes: int) -> int:
+        """``vsse32.v``: strided store — one packet per element.
+
+        Like the strided load, stride defeats the chain interleaving, so
+        the transfer pays a memory packet per element.
+        """
+        values = np.asarray(values)
+        for i, value in enumerate(values):
+            self.memory.write_word(addr + i * stride_bytes, int(value))
+        packet = self.config.sub_request_bytes
+        mem_s = self.hbm.transfer_time_s(len(values) * packet, interleaved=True)
+        cycles = math.ceil(mem_s * self.frequency_hz) + self.config.coherence_cycles
+        self.stats.stores += 1
+        self.stats.bytes_stored += len(values) * packet
+        self.stats.sub_requests += len(values)
+        return cycles
+
+    def load_replica(self, addr: int, chunk: int, vl: int) -> tuple:
+        """``vlrw.v vd, r1, r2``: replica vector load (Section V-G).
+
+        Loads ``chunk`` contiguous elements once and replicates them along
+        the register: memory traffic for a single copy, CSB-side broadcast
+        of one column per cycle.
+        """
+        if chunk <= 0:
+            raise ConfigError("replica chunk must be positive")
+        base = self.memory.read_words(addr, chunk)
+        reps = math.ceil(vl / chunk)
+        values = np.tile(base, reps)[:vl]
+        num_bytes = chunk * self.config.element_bytes
+        mem_s = self.hbm.transfer_time_s(num_bytes, interleaved=True)
+        mem_cycles = math.ceil(mem_s * self.frequency_hz)
+        # Broadcast: every chain receives the replicated pattern; one
+        # column (one element per chain) commits per cycle.
+        broadcast_cycles = math.ceil(vl / self.num_chains)
+        cycles = max(mem_cycles, broadcast_cycles) + self.config.coherence_cycles
+        self.stats.replica_loads += 1
+        self.stats.bytes_loaded += num_bytes
+        self.stats.sub_requests += math.ceil(num_bytes / self.config.sub_request_bytes)
+        return values, cycles
+
+    def load_indexed(self, base: int, indices) -> tuple:
+        """Vector-indexed (gather) load — not supported.
+
+        The paper leaves vector-indexed loads/stores for future work
+        (Section V-C, footnote: software restart markers may address
+        their restartability at minimal overhead).
+        """
+        raise NotImplementedError(
+            "vector-indexed loads/stores are left for future work "
+            "(CAPE paper, Section V-C)"
+        )

@@ -1,0 +1,26 @@
+"""Evaluation harness: speedups, roofline, and table formatting.
+
+Regenerates the paper's evaluation artefacts: per-workload speedups of
+CAPE32k/CAPE131k over the area-equivalent 1/2/3-core baselines
+(Figure 11), the SVE SIMD comparison (Figure 12), the microbenchmark
+study (Figure 9), and the roofline analysis (Figure 10).
+"""
+
+from repro.eval.harness import (
+    SpeedupRow,
+    compare_simd,
+    run_phoenix_suite,
+    run_micro_suite,
+)
+from repro.eval.roofline import Roofline, RooflinePoint
+from repro.eval.tables import format_table
+
+__all__ = [
+    "Roofline",
+    "RooflinePoint",
+    "SpeedupRow",
+    "compare_simd",
+    "format_table",
+    "run_micro_suite",
+    "run_phoenix_suite",
+]

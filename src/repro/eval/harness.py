@@ -1,0 +1,129 @@
+"""Speedup harness: run one workload on every system and compare.
+
+The comparisons mirror the paper's area-equivalence methodology:
+CAPE32k against one out-of-order tile, CAPE131k against two, with a
+three-core system shown for reference (Figure 11); the SVE study
+normalises SIMD configurations to a scalar run of the same core
+(Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Type
+
+from repro.baseline.multicore import Multicore
+from repro.baseline.ooo import OoOCore
+from repro.baseline.simd import SIMDConfig, SIMDCore
+from repro.engine.system import CAPE131K, CAPE32K, CAPEConfig, CAPESystem
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SpeedupRow:
+    """One workload's cross-system comparison (Figure 11 data)."""
+
+    name: str
+    intensity: str
+    cape32k_s: float
+    cape131k_s: float
+    core1_s: float
+    core2_s: float
+    core3_s: float
+
+    @property
+    def speedup_32k(self) -> float:
+        """CAPE32k vs one core (area-equivalent)."""
+        return self.core1_s / self.cape32k_s
+
+    @property
+    def speedup_131k(self) -> float:
+        """CAPE131k vs two cores (area-equivalent)."""
+        return self.core2_s / self.cape131k_s
+
+    @property
+    def speedup_131k_vs_3core(self) -> float:
+        """CAPE131k vs the three-core reference point."""
+        return self.core3_s / self.cape131k_s
+
+
+def _run_cape(workload_cls: Type[Workload], config: CAPEConfig, **kwargs) -> float:
+    workload = workload_cls(**kwargs)
+    result = workload.run_cape(CAPESystem(config))
+    return result.seconds
+
+
+def run_workload(workload_cls: Type[Workload], **kwargs) -> SpeedupRow:
+    """Produce one Figure 11 row for a workload class."""
+    probe = workload_cls(**kwargs)
+    trace = probe.scalar_trace()
+    core1 = OoOCore().run(trace).seconds
+    core2 = Multicore(2).run(probe.scalar_trace()).seconds
+    core3 = Multicore(3).run(probe.scalar_trace()).seconds
+    return SpeedupRow(
+        name=probe.name,
+        intensity=probe.intensity,
+        cape32k_s=_run_cape(workload_cls, CAPE32K, **kwargs),
+        cape131k_s=_run_cape(workload_cls, CAPE131K, **kwargs),
+        core1_s=core1,
+        core2_s=core2,
+        core3_s=core3,
+    )
+
+
+def run_phoenix_suite(
+    apps: Optional[Iterable[Type[Workload]]] = None,
+) -> List[SpeedupRow]:
+    """Figure 11: all Phoenix applications across all systems."""
+    from repro.workloads.phoenix import PHOENIX_APPS
+
+    classes = list(apps) if apps is not None else list(PHOENIX_APPS.values())
+    return [run_workload(cls) for cls in classes]
+
+
+def run_micro_suite(
+    benches: Optional[Iterable[Type[Workload]]] = None,
+) -> List[SpeedupRow]:
+    """Figure 9: the microbenchmarks across all systems."""
+    from repro.workloads.micro import MICROBENCHMARKS
+
+    classes = list(benches) if benches is not None else list(MICROBENCHMARKS.values())
+    return [run_workload(cls) for cls in classes]
+
+
+@dataclass
+class SIMDRow:
+    """One workload's SVE comparison (Figure 12 data)."""
+
+    name: str
+    scalar_s: float
+    sve128_s: float
+    sve256_s: float
+    sve512_s: float
+    cape32k_s: float
+
+    def speedup(self, bits: int) -> float:
+        return self.scalar_s / {128: self.sve128_s, 256: self.sve256_s, 512: self.sve512_s}[bits]
+
+    @property
+    def cape_vs_sve512(self) -> float:
+        return self.sve512_s / self.cape32k_s
+
+
+def compare_simd(workload_cls: Type[Workload], **kwargs) -> SIMDRow:
+    """Figure 12: scalar vs 128/256/512-bit SVE vs CAPE32k."""
+    probe = workload_cls(**kwargs)
+    scalar = OoOCore().run(probe.scalar_trace()).seconds
+    times = {}
+    for bits in (128, 256, 512):
+        core = SIMDCore(SIMDConfig(vector_bits=bits))
+        times[bits] = core.run(probe.simd_trace(core.lanes)).seconds
+    cape = _run_cape(workload_cls, CAPE32K, **kwargs)
+    return SIMDRow(
+        name=probe.name,
+        scalar_s=scalar,
+        sve128_s=times[128],
+        sve256_s=times[256],
+        sve512_s=times[512],
+        cape32k_s=cape,
+    )

@@ -1,0 +1,280 @@
+"""One-shot evaluation report: ``python -m repro.eval.report``.
+
+Regenerates the paper's evaluation artefacts as a single text report:
+Table I, Table II, the area study, microbenchmark and Phoenix speedups,
+the SVE comparison, and the roofline placement. ``--quick`` restricts the
+run to the calibration tables and a reduced workload set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from typing import Dict, List, Optional, TextIO
+
+from repro.assoc.instruction_model import InstructionModel
+from repro.circuits.area import AreaModel
+from repro.circuits.microops import CircuitModel, Microop
+from repro.common.units import PJ, PS
+from repro.engine.system import CAPE131K, CAPE32K
+from repro.eval.harness import compare_simd, run_micro_suite, run_phoenix_suite
+from repro.eval.roofline import Roofline
+from repro.eval.tables import format_table
+
+
+def _section(out: TextIO, title: str) -> None:
+    out.write("\n" + "=" * 72 + "\n")
+    out.write(title + "\n")
+    out.write("=" * 72 + "\n")
+
+
+def report_table_ii(out: TextIO) -> None:
+    _section(out, "Table II — microoperation delay / energy, and the clock")
+    model = CircuitModel()
+    rows = []
+    for op in Microop:
+        t = model.timings[op]
+        rows.append([
+            op.value,
+            round(t.delay_s / PS),
+            "-" if t.bs_energy_j is None else round(t.bs_energy_j / PJ, 1),
+            "-" if t.bp_energy_j is None else round(t.bp_energy_j / PJ, 1),
+        ])
+    out.write(format_table(["microop", "delay (ps)", "BS E (pJ)", "BP E (pJ)"], rows))
+    out.write(
+        f"\ncritical path {model.critical_path_s / PS:.0f} ps -> "
+        f"{model.max_frequency_hz / 1e9:.2f} GHz raw -> "
+        f"{model.frequency_hz / 1e9:.2f} GHz derated\n"
+    )
+
+
+def report_table_i(out: TextIO) -> None:
+    _section(out, "Table I — instruction metrics (paper vs measured)")
+    model = InstructionModel(width=32)
+    rows = [
+        [
+            r.mnemonic, r.category, r.tt_entries, r.reduction_cycles,
+            r.paper_cycles, r.measured_cycles,
+            r.paper_energy_pj, round(r.energy_per_lane_pj, 2),
+        ]
+        for r in model.table_i()
+    ]
+    out.write(
+        format_table(
+            ["inst", "cat", "TT", "red", "cyc paper", "cyc meas",
+             "pJ paper", "pJ meas"],
+            rows,
+        )
+    )
+    out.write("\n")
+
+
+def report_area(out: TextIO) -> None:
+    _section(out, "Figure 8 — area equivalence")
+    model = AreaModel()
+    rows = [
+        [
+            c.name, c.num_chains, round(c.area_mm2(model), 2),
+            round(model.equivalent_baseline_cores(c.num_chains), 2),
+        ]
+        for c in (CAPE32K, CAPE131K)
+    ]
+    out.write(format_table(["config", "chains", "tile mm^2", "OoO tiles"], rows))
+    out.write(f"\nchain layout: 13 x 175 um^2; reference tile {model.reference_tile_mm2} mm^2\n")
+
+
+def report_micro(out: TextIO) -> None:
+    _section(out, "Figure 9 — microbenchmark speedups")
+    rows = run_micro_suite()
+    out.write(
+        format_table(
+            ["bench", "intensity", "CAPE32k vs 1c", "CAPE131k vs 2c"],
+            [[r.name, r.intensity, round(r.speedup_32k, 2), round(r.speedup_131k, 2)]
+             for r in rows],
+        )
+    )
+    out.write("\n")
+
+
+def report_phoenix(out: TextIO) -> None:
+    _section(out, "Figure 11 — Phoenix speedups")
+    rows = run_phoenix_suite()
+    out.write(
+        format_table(
+            ["app", "intensity", "CAPE32k vs 1c", "CAPE131k vs 2c", "CAPE131k vs 3c"],
+            [
+                [r.name, r.intensity, round(r.speedup_32k, 2),
+                 round(r.speedup_131k, 2), round(r.speedup_131k_vs_3core, 2)]
+                for r in rows
+            ],
+        )
+    )
+    geo = math.exp(sum(math.log(r.speedup_32k) for r in rows) / len(rows))
+    arith = sum(r.speedup_32k for r in rows) / len(rows)
+    out.write(f"\nCAPE32k vs 1-core: geo-mean {geo:.1f}x / arith-mean {arith:.1f}x\n")
+
+
+def report_simd(out: TextIO) -> None:
+    _section(out, "Figure 12 — SVE SIMD study")
+    from repro.workloads.phoenix import PHOENIX_APPS
+
+    rows = [compare_simd(cls) for cls in PHOENIX_APPS.values()]
+    out.write(
+        format_table(
+            ["app", "SVE-128", "SVE-256", "SVE-512", "CAPE32k/SVE-512"],
+            [
+                [r.name, round(r.speedup(128), 2), round(r.speedup(256), 2),
+                 round(r.speedup(512), 2), round(r.cape_vs_sve512, 2)]
+                for r in rows
+            ],
+        )
+    )
+    out.write("\n")
+
+
+def report_roofline(out: TextIO) -> None:
+    _section(out, "Figure 10 — roofline placement")
+    from repro.workloads.phoenix import Histogram, KMeans, LinearRegression, PCA
+
+    for config in (CAPE32K, CAPE131K):
+        roofline = Roofline(config)
+        out.write(
+            f"\n{config.name}: compute roof "
+            f"{roofline.compute_roof_ops_per_s / 1e9:.0f} Gop/s, "
+            f"ridge {roofline.ridge_intensity():.2f} op/B\n"
+        )
+        points = [
+            roofline.measure(cls)
+            for cls in (LinearRegression, Histogram, KMeans, PCA)
+        ]
+        out.write(
+            format_table(
+                ["app", "op/B", "Gop/s", "bound"],
+                [
+                    [p.name, round(p.intensity_ops_per_byte, 2),
+                     round(p.throughput_ops_per_s / 1e9, 1), p.bound]
+                    for p in points
+                ],
+            )
+        )
+        out.write("\n")
+
+
+def export_json(directory: str, quick: bool) -> List[str]:
+    """Write each artefact's data as a JSON file; returns the paths.
+
+    The files carry the raw series behind the figures so downstream
+    users can plot them without re-running the simulations.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    def dump(name: str, payload) -> None:
+        path = os.path.join(directory, name)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        written.append(path)
+
+    model = InstructionModel(width=32)
+    dump(
+        "table1_instructions.json",
+        [
+            {
+                "inst": r.mnemonic,
+                "category": r.category,
+                "tt_entries": r.tt_entries,
+                "reduction_cycles": r.reduction_cycles,
+                "paper_cycles": r.paper_cycles,
+                "measured_cycles": r.measured_cycles,
+                "paper_energy_pj": r.paper_energy_pj,
+                "measured_energy_pj": round(r.energy_per_lane_pj, 3),
+            }
+            for r in model.table_i()
+        ],
+    )
+    circuit = CircuitModel()
+    dump(
+        "table2_microops.json",
+        {
+            op.value: {
+                "delay_ps": round(circuit.timings[op].delay_s / PS, 1),
+                "bs_energy_pj": (
+                    None
+                    if circuit.timings[op].bs_energy_j is None
+                    else round(circuit.timings[op].bs_energy_j / PJ, 2)
+                ),
+                "bp_energy_pj": (
+                    None
+                    if circuit.timings[op].bp_energy_j is None
+                    else round(circuit.timings[op].bp_energy_j / PJ, 2)
+                ),
+            }
+            for op in Microop
+        },
+    )
+    if not quick:
+        dump(
+            "fig11_phoenix.json",
+            [
+                {
+                    "app": r.name,
+                    "intensity": r.intensity,
+                    "speedup_cape32k_vs_1core": round(r.speedup_32k, 3),
+                    "speedup_cape131k_vs_2core": round(r.speedup_131k, 3),
+                    "speedup_cape131k_vs_3core": round(r.speedup_131k_vs_3core, 3),
+                }
+                for r in run_phoenix_suite()
+            ],
+        )
+        dump(
+            "fig9_micro.json",
+            [
+                {
+                    "bench": r.name,
+                    "intensity": r.intensity,
+                    "speedup_cape32k_vs_1core": round(r.speedup_32k, 3),
+                    "speedup_cape131k_vs_2core": round(r.speedup_131k, 3),
+                }
+                for r in run_micro_suite()
+            ],
+        )
+    return written
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the CAPE paper's evaluation as a text report."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="calibration tables and area only (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        help="also export the raw series as JSON files into DIR",
+    )
+    args = parser.parse_args(argv)
+    out = sys.stdout
+    out.write("CAPE (HPCA 2021) reproduction — evaluation report\n")
+    report_table_ii(out)
+    report_table_i(out)
+    report_area(out)
+    if not args.quick:
+        report_micro(out)
+        report_phoenix(out)
+        report_simd(out)
+        report_roofline(out)
+    if args.json:
+        for path in export_json(args.json, args.quick):
+            out.write(f"wrote {path}\n")
+    out.write("\nDone. See EXPERIMENTS.md for the paper-vs-measured notes.\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

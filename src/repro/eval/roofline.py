@@ -1,0 +1,102 @@
+"""Roofline model (Williams et al.) for CAPE design points (Figure 10).
+
+Throughput is measured in lane-operations per second (one 32-bit element
+result of a vector instruction = one lane-op); operational intensity in
+lane-ops per byte of main-memory traffic. The compute roof of a CAPE
+configuration is the rate at which the CSB retires lane-ops on its
+cheapest-per-lane mixes (vl lanes every ~cycles(vadd) cycles); the memory
+roof is the HBM bandwidth divided by the bytes per lane-op at a given
+intensity.
+
+The paper's observations to reproduce: constant-intensity apps keep their
+intensity and move *up* (toward the memory-bound roofline) when capacity
+grows 32k -> 131k; variable-intensity apps stay far below the rooflines
+and can even lose throughput as command distribution grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.assoc.instruction_model import InstructionModel
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.memory.hbm import HBMConfig
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One application's position in roofline space."""
+
+    name: str
+    intensity_ops_per_byte: float
+    throughput_ops_per_s: float
+    bound: str  # "compute" or "memory"
+
+
+class Roofline:
+    """Roofline for one CAPE configuration.
+
+    Args:
+        config: the CAPE design point.
+        reference_cycles: per-lane cost anchor — cycles of the vector add
+            (the representative arithmetic instruction).
+    """
+
+    def __init__(self, config: CAPEConfig) -> None:
+        self.config = config
+        model = InstructionModel(width=config.element_bits)
+        self._add_cycles = model.cycles("vadd.vv")
+        system = CAPESystem(config)
+        self.frequency_hz = system.circuit.frequency_hz
+        self.bandwidth_bytes_per_s = HBMConfig().total_bandwidth_bytes_per_s
+
+    @property
+    def compute_roof_ops_per_s(self) -> float:
+        """Peak lane-op rate: every lane completes one vadd per 8n+2."""
+        return self.config.max_vl * self.frequency_hz / self._add_cycles
+
+    def memory_roof_ops_per_s(self, intensity: float) -> float:
+        """Bandwidth-limited lane-op rate at a given intensity."""
+        return self.bandwidth_bytes_per_s * intensity
+
+    def ridge_intensity(self) -> float:
+        """Intensity where the compute and memory roofs meet."""
+        return self.compute_roof_ops_per_s / self.bandwidth_bytes_per_s
+
+    def attainable(self, intensity: float) -> float:
+        """Roofline ceiling at ``intensity``."""
+        return min(self.compute_roof_ops_per_s, self.memory_roof_ops_per_s(intensity))
+
+    # ------------------------------------------------------------------
+
+    def measure(self, workload_cls: Type[Workload], **kwargs) -> RooflinePoint:
+        """Place one workload in this configuration's roofline space.
+
+        Intensity = vector lane-ops per byte moved over the VMU;
+        throughput = lane-ops per second of the measured run.
+        """
+        workload = workload_cls(**kwargs)
+        cape = CAPESystem(self.config)
+        result = workload.run_cape(cape)
+        lane_ops = _lane_ops(cape)
+        traffic = cape.vmu.stats.bytes_loaded + cape.vmu.stats.bytes_stored
+        intensity = lane_ops / traffic if traffic else float("inf")
+        throughput = lane_ops / result.seconds
+        bound = (
+            "memory"
+            if self.attainable(intensity) < self.compute_roof_ops_per_s
+            else "compute"
+        )
+        return RooflinePoint(workload.name, intensity, throughput, bound)
+
+
+def _lane_ops(cape: CAPESystem) -> int:
+    """Lane-operations retired: vector instructions x active lanes.
+
+    Uses the VCU's instruction count with the system's (final) vl as the
+    per-instruction lane count — exact for fixed-vl runs, a close
+    approximation for strip-mined loops.
+    """
+    return cape.vcu.stats.instructions * max(1, cape.vl)

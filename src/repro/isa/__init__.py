@@ -1,0 +1,33 @@
+"""RISC-V ISA layer: registers, encodings, assembler, and interpreter.
+
+CAPE is programmable through the standard RISC-V ISA with vector
+extensions (Section V-A): scalar RV64I code runs on the control processor
+while RVV instructions are offloaded to the VCU/VMU. This package
+implements the subset needed by the paper's workloads:
+
+* scalar: the RV64I ALU/branch/load-store core (plus M-extension ``mul``),
+* vector: ``vsetvli``, unit-stride ``vle32.v``/``vse32.v``, the Table I
+  instruction set, and the CAPE-specific replica load ``vlrw.v``.
+
+The assembler produces real 32-bit RISC-V encodings (standard formats
+R/I/S/B/U/J and the OP-V major opcode for vector instructions); the
+interpreter decodes them back and executes scalar instructions on the
+control-processor model and vector instructions on a
+:class:`~repro.engine.system.CAPESystem`.
+"""
+
+from repro.isa.assembler import assemble, AssemblyError
+from repro.isa.encoding import decode, encode
+from repro.isa.interpreter import Machine, MachineResult
+from repro.isa.registers import parse_vreg, parse_xreg
+
+__all__ = [
+    "AssemblyError",
+    "Machine",
+    "MachineResult",
+    "assemble",
+    "decode",
+    "encode",
+    "parse_vreg",
+    "parse_xreg",
+]

@@ -1,0 +1,272 @@
+"""Two-pass RISC-V assembler for the supported RV64I + RVV subset.
+
+Accepts standard assembly syntax: one instruction per line, ``label:``
+definitions, ``#`` comments, memory operands as ``offset(reg)``, and
+branch/jump targets as labels. Pseudo-instructions ``li``, ``mv``, ``j``,
+``ret``, ``nop``, ``ble``, and ``bgt`` expand to base instructions.
+
+Vector syntax follows the RVV spec, e.g.::
+
+    vsetvli t0, a0, e32
+    vle32.v v1, (a1)
+    vadd.vv v3, v1, v2
+    vredsum.vs v4, v3, v0
+    vse32.v v3, (a2)
+    vlrw.v v2, a3, a4        # CAPE replica load (Section V-G)
+
+Output is a list of 32-bit words, directly executable by
+:class:`repro.isa.interpreter.Machine`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.isa import encoding
+from repro.isa.registers import parse_vreg, parse_xreg
+
+
+class AssemblyError(ReproError):
+    """A syntax or range error in assembly source."""
+
+
+_MEM_RE = re.compile(r"^(-?\w*)\s*\(\s*(\w+)\s*\)$")
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [op.strip() for op in rest.split(",") if op.strip()]
+
+
+def _parse_imm(text: str, symbols: Dict[str, int]) -> int:
+    text = text.strip()
+    if text in symbols:
+        return symbols[text]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(f"bad immediate or unknown symbol {text!r}") from None
+
+
+def _parse_mem(operand: str) -> Tuple[int, int]:
+    """Parse ``offset(reg)``; returns (offset, reg index)."""
+    match = _MEM_RE.match(operand.strip())
+    if not match:
+        raise AssemblyError(f"bad memory operand {operand!r}")
+    off_text, reg = match.groups()
+    offset = int(off_text, 0) if off_text else 0
+    return offset, parse_xreg(reg)
+
+
+def _expand_pseudo(mnemonic: str, ops: List[str]) -> List[Tuple[str, List[str]]]:
+    """Expand a pseudo-instruction into base instructions."""
+    if mnemonic == "nop":
+        return [("addi", ["x0", "x0", "0"])]
+    if mnemonic == "mv":
+        return [("addi", [ops[0], ops[1], "0"])]
+    if mnemonic == "li":
+        value = int(ops[1], 0)
+        if -2048 <= value <= 2047:
+            return [("addi", [ops[0], "x0", str(value)])]
+        upper = (value + 0x800) >> 12
+        if -(1 << 19) <= upper < (1 << 19):
+            lower = value - (upper << 12)
+            return [
+                ("lui", [ops[0], str(upper)]),
+                ("addi", [ops[0], ops[0], str(lower)]),
+            ]
+        # General RV64 constant synthesis: build the value from signed
+        # 12-bit chunks interleaved with 12-bit shifts (the classic
+        # li expansion for constants beyond lui's reach).
+        rd = ops[0]
+        chunks = []
+        remaining = value
+        while remaining < -2048 or remaining > 2047:
+            low = ((remaining + 0x800) & 0xFFF) - 0x800
+            chunks.append(low)
+            remaining = (remaining - low) >> 12
+        seq = [("addi", [rd, "x0", str(remaining)])]
+        for low in reversed(chunks):
+            seq.append(("slli", [rd, rd, "12"]))
+            if low:
+                seq.append(("addi", [rd, rd, str(low)]))
+        return seq
+    if mnemonic == "j":
+        return [("jal", ["x0", ops[0]])]
+    if mnemonic == "ret":
+        return [("jalr", ["x0", "0(ra)"])]
+    if mnemonic == "ble":  # ble a, b, L  ==  bge b, a, L
+        return [("bge", [ops[1], ops[0], ops[2]])]
+    if mnemonic == "bgt":
+        return [("blt", [ops[1], ops[0], ops[2]])]
+    return [(mnemonic, ops)]
+
+
+def _tokenize(source: str) -> List[Tuple[str, List[str]]]:
+    """First pass helper: strip comments, split labels and operands."""
+    items: List[Tuple[str, List[str]]] = []
+    for raw in source.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        while line:
+            if ":" in line.split()[0] or (line.endswith(":") and " " not in line):
+                label, _, line = line.partition(":")
+                items.append((".label", [label.strip()]))
+                line = line.strip()
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            ops = _split_operands(parts[1]) if len(parts) > 1 else []
+            for expanded in _expand_pseudo(mnemonic, ops):
+                items.append(expanded)
+            line = ""
+    return items
+
+
+def assemble(source: str, base_address: int = 0) -> List[int]:
+    """Assemble source text into a list of 32-bit instruction words."""
+    items = _tokenize(source)
+
+    # Pass 1: assign addresses to labels.
+    symbols: Dict[str, int] = {}
+    pc = base_address
+    for mnemonic, ops in items:
+        if mnemonic == ".label":
+            symbols[ops[0]] = pc
+        else:
+            pc += 4
+
+    # Pass 2: encode.
+    words: List[int] = []
+    pc = base_address
+    for mnemonic, ops in items:
+        if mnemonic == ".label":
+            continue
+        try:
+            words.append(_encode_one(mnemonic, ops, pc, symbols))
+        except ReproError as exc:
+            raise AssemblyError(f"at {pc:#x} ({mnemonic}): {exc}") from exc
+        pc += 4
+    return words
+
+
+def _encode_one(
+    mnemonic: str, ops: List[str], pc: int, symbols: Dict[str, int]
+) -> int:
+    m = mnemonic
+    if m in encoding._R_OPS:
+        return encoding.encode(
+            m, rd=parse_xreg(ops[0]), rs1=parse_xreg(ops[1]), rs2=parse_xreg(ops[2])
+        )
+    if m in encoding._I_OPS:
+        return encoding.encode(
+            m,
+            rd=parse_xreg(ops[0]),
+            rs1=parse_xreg(ops[1]),
+            imm=_parse_imm(ops[2], symbols),
+        )
+    if m in encoding._LOAD_OPS:
+        offset, rs1 = _parse_mem(ops[1])
+        return encoding.encode(m, rd=parse_xreg(ops[0]), rs1=rs1, imm=offset)
+    if m in encoding._STORE_OPS:
+        offset, rs1 = _parse_mem(ops[1])
+        return encoding.encode(m, rs2=parse_xreg(ops[0]), rs1=rs1, imm=offset)
+    if m in encoding._BRANCH_OPS:
+        target = _parse_imm(ops[2], symbols)
+        return encoding.encode(
+            m,
+            rs1=parse_xreg(ops[0]),
+            rs2=parse_xreg(ops[1]),
+            imm=target - pc,
+        )
+    if m in ("lui", "auipc"):
+        return encoding.encode(
+            m, rd=parse_xreg(ops[0]), imm=_parse_imm(ops[1], symbols)
+        )
+    if m == "jal":
+        if len(ops) == 1:
+            ops = ["ra", ops[0]]
+        target = _parse_imm(ops[1], symbols)
+        return encoding.encode(m, rd=parse_xreg(ops[0]), imm=target - pc)
+    if m == "jalr":
+        offset, rs1 = _parse_mem(ops[1]) if "(" in ops[1] else (0, parse_xreg(ops[1]))
+        return encoding.encode(m, rd=parse_xreg(ops[0]), rs1=rs1, imm=offset)
+    if m in ("ecall", "fence"):
+        return encoding.encode(m)
+    if m == "vsetvli":
+        # vtype text: eN selects the element width (vsew in vtype[5:3]);
+        # m1/ta/ma grouping and agnosticism flags are accepted and
+        # ignored (the model is LMUL=1, tail/mask agnostic).
+        vsew = 2  # e32 default
+        for token in ops[2:]:
+            token = token.strip().lower()
+            if token.startswith("e") and token[1:].isdigit():
+                width = int(token[1:])
+                if width not in (8, 16, 32):
+                    raise AssemblyError(f"unsupported element width {token}")
+                vsew = {8: 0, 16: 1, 32: 2}[width]
+        return encoding.encode(
+            m, rd=parse_xreg(ops[0]), rs1=parse_xreg(ops[1]), imm=vsew << 3
+        )
+    if m == "vle32.v":
+        offset, rs1 = _parse_mem(ops[1])
+        if offset:
+            raise AssemblyError("vle32.v takes a plain (reg) address")
+        return encoding.encode(m, vd=parse_vreg(ops[0]), rs1=rs1)
+    if m == "vse32.v":
+        offset, rs1 = _parse_mem(ops[1])
+        if offset:
+            raise AssemblyError("vse32.v takes a plain (reg) address")
+        return encoding.encode(m, vs3=parse_vreg(ops[0]), rs1=rs1)
+    if m == "vlse32.v":
+        offset, rs1 = _parse_mem(ops[1])
+        return encoding.encode(
+            m, vd=parse_vreg(ops[0]), rs1=rs1, rs2=parse_xreg(ops[2])
+        )
+    if m == "vsse32.v":
+        offset, rs1 = _parse_mem(ops[1])
+        return encoding.encode(
+            m, vs3=parse_vreg(ops[0]), rs1=rs1, rs2=parse_xreg(ops[2])
+        )
+    if m == "vlrw.v":
+        return encoding.encode(
+            m,
+            vd=parse_vreg(ops[0]),
+            rs1=parse_xreg(ops[1]),
+            rs2=parse_xreg(ops[2]),
+        )
+    if m in ("vmv.v.x",):
+        return encoding.encode(m, vd=parse_vreg(ops[0]), rs1=parse_xreg(ops[1]))
+    if m in ("vmv.v.v",):
+        return encoding.encode(m, vd=parse_vreg(ops[0]), vs1=parse_vreg(ops[1]))
+    if m == "vmerge.vvm":
+        return encoding.encode(
+            m,
+            vd=parse_vreg(ops[0]),
+            vs2=parse_vreg(ops[1]),
+            vs1=parse_vreg(ops[2]),
+            vm=0,
+        )
+    if m in encoding._V_OPS:
+        # Standard RVV operand order: vop.vv vd, vs2, vs1 / vop.vx vd, vs2, rs1.
+        if m.endswith(".vi"):
+            return encoding.encode(
+                m,
+                vd=parse_vreg(ops[0]),
+                vs2=parse_vreg(ops[1]),
+                imm=_parse_imm(ops[2], symbols),
+            )
+        if m.endswith(".vx"):
+            return encoding.encode(
+                m,
+                vd=parse_vreg(ops[0]),
+                vs2=parse_vreg(ops[1]),
+                rs1=parse_xreg(ops[2]),
+            )
+        return encoding.encode(
+            m,
+            vd=parse_vreg(ops[0]),
+            vs2=parse_vreg(ops[1]),
+            vs1=parse_vreg(ops[2]),
+        )
+    raise AssemblyError(f"unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,344 @@
+"""32-bit RISC-V instruction encoding and decoding.
+
+Implements the standard base formats (R/I/S/B/U/J), the OP-V major opcode
+for vector-arithmetic instructions (funct6/vm/vs2/vs1/funct3/vd), the
+vector unit-stride and strided loads/stores under LOAD-FP/STORE-FP, and
+``vsetvli``. The CAPE-specific replica vector load ``vlrw.v`` (Section
+V-G) is encoded under the *custom-0* opcode, as a real implementation
+would.
+
+Operand field names follow the spec: ``rd``, ``rs1``, ``rs2``, ``imm``
+for scalar formats; ``vd``, ``vs1``, ``vs2`` for OP-V (note the RVV
+convention ``vop.vv vd, vs2, vs1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+# Major opcodes.
+OP = 0b0110011
+OP_IMM = 0b0010011
+LOAD = 0b0000011
+STORE = 0b0100011
+BRANCH = 0b1100011
+LUI = 0b0110111
+AUIPC = 0b0010111
+JAL = 0b1101111
+JALR = 0b1100111
+SYSTEM = 0b1110011
+OP_V = 0b1010111
+LOAD_FP = 0b0000111
+STORE_FP = 0b0100111
+CUSTOM_0 = 0b0001011  # vlrw.v
+
+#: R-type scalar ops: mnemonic -> (funct3, funct7).
+_R_OPS: Dict[str, Tuple[int, int]] = {
+    "add": (0b000, 0b0000000),
+    "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000),
+    "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000),
+    "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000),
+    "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000),
+    "and": (0b111, 0b0000000),
+    "mul": (0b000, 0b0000001),
+    "div": (0b100, 0b0000001),
+    "rem": (0b110, 0b0000001),
+}
+
+#: I-type ALU ops: mnemonic -> funct3.
+_I_OPS: Dict[str, int] = {
+    "addi": 0b000,
+    "slti": 0b010,
+    "sltiu": 0b011,
+    "xori": 0b100,
+    "ori": 0b110,
+    "andi": 0b111,
+    "slli": 0b001,
+    "srli": 0b101,
+    "srai": 0b101,  # distinguished by imm[11:5]
+}
+
+_LOAD_OPS: Dict[str, int] = {"lw": 0b010, "ld": 0b011}
+_STORE_OPS: Dict[str, int] = {"sw": 0b010, "sd": 0b011}
+_BRANCH_OPS: Dict[str, int] = {
+    "beq": 0b000, "bne": 0b001, "blt": 0b100,
+    "bge": 0b101, "bltu": 0b110, "bgeu": 0b111,
+}
+
+#: OP-V arithmetic: mnemonic -> (funct6, funct3). OPIVV=000, OPIVX=100,
+#: OPMVV=010 per the RVV spec.
+_V_OPS: Dict[str, Tuple[int, int]] = {
+    "vadd.vv": (0b000000, 0b000),
+    "vadd.vx": (0b000000, 0b100),
+    "vsub.vv": (0b000010, 0b000),
+    "vrsub.vx": (0b000011, 0b100),
+    "vminu.vv": (0b000100, 0b000),
+    "vmin.vv": (0b000101, 0b000),
+    "vmaxu.vv": (0b000110, 0b000),
+    "vmax.vv": (0b000111, 0b000),
+    "vand.vv": (0b001001, 0b000),
+    "vor.vv": (0b001010, 0b000),
+    "vxor.vv": (0b001011, 0b000),
+    "vmseq.vv": (0b011000, 0b000),
+    "vmseq.vx": (0b011000, 0b100),
+    "vmsne.vv": (0b011001, 0b000),
+    "vmsltu.vv": (0b011010, 0b000),
+    "vmslt.vv": (0b011011, 0b000),
+    "vmerge.vvm": (0b010111, 0b000),
+    "vmv.v.v": (0b010111, 0b000),  # vmerge with vm=1, vs2=0
+    "vmv.v.x": (0b010111, 0b100),
+    "vmul.vv": (0b100101, 0b010),
+    "vredsum.vs": (0b000000, 0b010),
+    # OPIVI forms (funct3 = 011): 5-bit unsigned immediate in rs1.
+    "vsll.vi": (0b100101, 0b011),
+    "vsrl.vi": (0b101000, 0b011),
+    "vsra.vi": (0b101001, 0b011),
+}
+
+
+def _check_reg(value: int, what: str) -> int:
+    if not 0 <= value < 32:
+        raise ConfigError(f"{what} {value} out of range")
+    return value
+
+
+def _check_imm(imm: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= imm <= hi:
+        raise ConfigError(f"{what} {imm} outside [{lo}, {hi}]")
+    return imm & ((1 << bits) - 1)
+
+
+def encode(mnemonic: str, **f) -> int:
+    """Encode one instruction into its 32-bit word.
+
+    Field keywords by format: R (rd, rs1, rs2); I (rd, rs1, imm);
+    loads (rd, rs1, imm); stores (rs2, rs1, imm); branches (rs1, rs2,
+    imm); U/J (rd, imm); OP-V (vd, vs1, vs2 / rs1, vm); vector memory
+    (vd/vs3, rs1, and rs2 for strided); vsetvli (rd, rs1, imm=vtype).
+    """
+    m = mnemonic.lower()
+    if m in _R_OPS:
+        f3, f7 = _R_OPS[m]
+        return (
+            (f7 << 25) | (_check_reg(f["rs2"], "rs2") << 20)
+            | (_check_reg(f["rs1"], "rs1") << 15) | (f3 << 12)
+            | (_check_reg(f["rd"], "rd") << 7) | OP
+        )
+    if m in _I_OPS:
+        f3 = _I_OPS[m]
+        imm = f["imm"]
+        if m in ("slli", "srli", "srai"):
+            if not 0 <= imm < 64:
+                raise ConfigError(f"shift amount {imm} out of range")
+            top = 0b010000 if m == "srai" else 0
+            imm12 = (top << 6) | imm
+        else:
+            imm12 = _check_imm(imm, 12, "immediate")
+        return (
+            (imm12 << 20) | (_check_reg(f["rs1"], "rs1") << 15)
+            | (f3 << 12) | (_check_reg(f["rd"], "rd") << 7) | OP_IMM
+        )
+    if m in _LOAD_OPS:
+        imm12 = _check_imm(f.get("imm", 0), 12, "offset")
+        return (
+            (imm12 << 20) | (_check_reg(f["rs1"], "rs1") << 15)
+            | (_LOAD_OPS[m] << 12) | (_check_reg(f["rd"], "rd") << 7) | LOAD
+        )
+    if m in _STORE_OPS:
+        imm12 = _check_imm(f.get("imm", 0), 12, "offset")
+        return (
+            ((imm12 >> 5) << 25) | (_check_reg(f["rs2"], "rs2") << 20)
+            | (_check_reg(f["rs1"], "rs1") << 15) | (_STORE_OPS[m] << 12)
+            | ((imm12 & 0x1F) << 7) | STORE
+        )
+    if m in _BRANCH_OPS:
+        imm = f["imm"]
+        if imm % 2:
+            raise ConfigError("branch offset must be even")
+        imm13 = _check_imm(imm, 13, "branch offset")
+        return (
+            (((imm13 >> 12) & 1) << 31) | (((imm13 >> 5) & 0x3F) << 25)
+            | (_check_reg(f["rs2"], "rs2") << 20)
+            | (_check_reg(f["rs1"], "rs1") << 15)
+            | (_BRANCH_OPS[m] << 12) | (((imm13 >> 1) & 0xF) << 8)
+            | (((imm13 >> 11) & 1) << 7) | BRANCH
+        )
+    if m in ("lui", "auipc"):
+        imm20 = f["imm"] & 0xFFFFF
+        opcode = LUI if m == "lui" else AUIPC
+        return (imm20 << 12) | (_check_reg(f["rd"], "rd") << 7) | opcode
+    if m == "jal":
+        imm = f["imm"]
+        imm21 = _check_imm(imm, 21, "jump offset")
+        return (
+            (((imm21 >> 20) & 1) << 31) | (((imm21 >> 1) & 0x3FF) << 21)
+            | (((imm21 >> 11) & 1) << 20) | (((imm21 >> 12) & 0xFF) << 12)
+            | (_check_reg(f["rd"], "rd") << 7) | JAL
+        )
+    if m == "jalr":
+        imm12 = _check_imm(f.get("imm", 0), 12, "offset")
+        return (
+            (imm12 << 20) | (_check_reg(f["rs1"], "rs1") << 15)
+            | (_check_reg(f["rd"], "rd") << 7) | JALR
+        )
+    if m == "ecall":
+        return SYSTEM
+    if m == "fence":
+        return 0b0001111  # MISC-MEM, fields ignored by this model
+    if m == "vsetvli":
+        vtype = f.get("imm", 0) & 0x7FF
+        return (
+            (vtype << 20) | (_check_reg(f["rs1"], "rs1") << 15)
+            | (0b111 << 12) | (_check_reg(f["rd"], "rd") << 7) | OP_V
+        )
+    if m in _V_OPS:
+        f6, f3 = _V_OPS[m]
+        vm = 0 if m == "vmerge.vvm" else f.get("vm", 1)
+        vs2 = f.get("vs2", 0)
+        if f3 == 0b011:  # OPIVI: 5-bit unsigned immediate
+            imm = f.get("imm", 0)
+            if not 0 <= imm < 32:
+                raise ConfigError(f"vector immediate {imm} outside [0, 32)")
+            src1 = imm
+        else:
+            src1 = f.get("vs1", f.get("rs1", 0))
+        return (
+            (f6 << 26) | ((vm & 1) << 25) | (_check_reg(vs2, "vs2") << 20)
+            | (_check_reg(src1, "vs1/rs1") << 15) | (f3 << 12)
+            | (_check_reg(f["vd"], "vd") << 7) | OP_V
+        )
+    if m == "vle32.v":
+        return (
+            (0b1 << 25) | (_check_reg(f["rs1"], "rs1") << 15)
+            | (0b110 << 12) | (_check_reg(f["vd"], "vd") << 7) | LOAD_FP
+        )
+    if m == "vse32.v":
+        return (
+            (0b1 << 25) | (_check_reg(f["rs1"], "rs1") << 15)
+            | (0b110 << 12) | (_check_reg(f["vs3"], "vs3") << 7) | STORE_FP
+        )
+    if m == "vlse32.v":
+        return (
+            (0b10 << 26) | (0b1 << 25) | (_check_reg(f["rs2"], "rs2") << 20)
+            | (_check_reg(f["rs1"], "rs1") << 15) | (0b110 << 12)
+            | (_check_reg(f["vd"], "vd") << 7) | LOAD_FP
+        )
+    if m == "vsse32.v":
+        return (
+            (0b10 << 26) | (0b1 << 25) | (_check_reg(f["rs2"], "rs2") << 20)
+            | (_check_reg(f["rs1"], "rs1") << 15) | (0b110 << 12)
+            | (_check_reg(f["vs3"], "vs3") << 7) | STORE_FP
+        )
+    if m == "vlrw.v":
+        return (
+            (_check_reg(f["rs2"], "rs2") << 20)
+            | (_check_reg(f["rs1"], "rs1") << 15)
+            | (_check_reg(f["vd"], "vd") << 7) | CUSTOM_0
+        )
+    raise ConfigError(f"cannot encode unknown mnemonic {mnemonic!r}")
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded instruction: mnemonic plus named fields."""
+
+    mnemonic: str
+    fields: Dict[str, int]
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value ^ sign) - sign
+
+
+def decode(word: int) -> Decoded:
+    """Decode a 32-bit instruction word back to mnemonic + fields."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    f3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    f7 = (word >> 25) & 0x7F
+
+    if opcode == OP:
+        for m, (mf3, mf7) in _R_OPS.items():
+            if f3 == mf3 and f7 == mf7:
+                return Decoded(m, {"rd": rd, "rs1": rs1, "rs2": rs2})
+    if opcode == OP_IMM:
+        imm = _sext(word >> 20, 12)
+        if f3 == 0b001:
+            return Decoded("slli", {"rd": rd, "rs1": rs1, "imm": (word >> 20) & 0x3F})
+        if f3 == 0b101:
+            shamt = (word >> 20) & 0x3F
+            m = "srai" if (word >> 26) == 0b010000 else "srli"
+            return Decoded(m, {"rd": rd, "rs1": rs1, "imm": shamt})
+        for m, mf3 in _I_OPS.items():
+            if f3 == mf3 and m not in ("slli", "srli", "srai"):
+                return Decoded(m, {"rd": rd, "rs1": rs1, "imm": imm})
+    if opcode == LOAD:
+        for m, mf3 in _LOAD_OPS.items():
+            if f3 == mf3:
+                return Decoded(m, {"rd": rd, "rs1": rs1, "imm": _sext(word >> 20, 12)})
+    if opcode == STORE:
+        imm = _sext((f7 << 5) | rd, 12)
+        for m, mf3 in _STORE_OPS.items():
+            if f3 == mf3:
+                return Decoded(m, {"rs1": rs1, "rs2": rs2, "imm": imm})
+    if opcode == BRANCH:
+        imm = (
+            (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        )
+        imm = _sext(imm, 13)
+        for m, mf3 in _BRANCH_OPS.items():
+            if f3 == mf3:
+                return Decoded(m, {"rs1": rs1, "rs2": rs2, "imm": imm})
+    if opcode in (LUI, AUIPC):
+        m = "lui" if opcode == LUI else "auipc"
+        return Decoded(m, {"rd": rd, "imm": _sext(word >> 12, 20)})
+    if opcode == JAL:
+        imm = (
+            (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        )
+        return Decoded("jal", {"rd": rd, "imm": _sext(imm, 21)})
+    if opcode == JALR:
+        return Decoded("jalr", {"rd": rd, "rs1": rs1, "imm": _sext(word >> 20, 12)})
+    if opcode == SYSTEM and word == SYSTEM:
+        return Decoded("ecall", {})
+    if opcode == 0b0001111:
+        return Decoded("fence", {})
+    if opcode == OP_V:
+        if f3 == 0b111:
+            return Decoded("vsetvli", {"rd": rd, "rs1": rs1, "imm": (word >> 20) & 0x7FF})
+        f6 = (word >> 26) & 0x3F
+        vm = (word >> 25) & 1
+        for m, (mf6, mf3) in _V_OPS.items():
+            if f6 == mf6 and f3 == mf3:
+                if m == "vmerge.vvm" and vm == 1:
+                    continue  # vm=1 under this funct6 is vmv.v.v
+                if m == "vmv.v.v" and vm == 0:
+                    continue
+                key = {0b100: "rs1", 0b011: "imm"}.get(f3, "vs1")
+                return Decoded(m, {"vd": rd, key: rs1, "vs2": rs2, "vm": vm})
+    if opcode == LOAD_FP and f3 == 0b110:
+        mop = (word >> 26) & 0x3
+        if mop == 0b10:
+            return Decoded("vlse32.v", {"vd": rd, "rs1": rs1, "rs2": rs2})
+        return Decoded("vle32.v", {"vd": rd, "rs1": rs1})
+    if opcode == STORE_FP and f3 == 0b110:
+        mop = (word >> 26) & 0x3
+        if mop == 0b10:
+            return Decoded("vsse32.v", {"vs3": rd, "rs1": rs1, "rs2": rs2})
+        return Decoded("vse32.v", {"vs3": rd, "rs1": rs1})
+    if opcode == CUSTOM_0:
+        return Decoded("vlrw.v", {"vd": rd, "rs1": rs1, "rs2": rs2})
+    raise ConfigError(f"cannot decode word {word:#010x}")

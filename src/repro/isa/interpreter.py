@@ -1,0 +1,331 @@
+"""RISC-V machine: executes assembled words on the CAPE system model.
+
+Scalar instructions run on the control processor (functional semantics
+here, timing via the CP's in-order model with its cache hierarchy); vector
+instructions dispatch to the :class:`~repro.engine.system.CAPESystem`
+intrinsics exactly as the CP offloads them to the VCU/VMU. Scalar work
+between vector instructions is batched into trace blocks so it can hide
+in the shadow of outstanding vector instructions (Section III).
+
+Execution halts at ``ecall`` or after ``max_steps``.
+
+Memory model note: the functional store is word-addressable; ``lw``/``sw``
+move 32-bit values and ``ld``/``sd`` move full 64-bit values in one slot
+(a modelling simplification — addresses still advance by 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.baseline.trace import TraceBlock
+from repro.common.errors import ConfigError, ReproError
+from repro.engine.system import CAPE32K, CAPESystem
+from repro.isa.assembler import assemble
+from repro.isa.encoding import Decoded, decode
+
+_MASK64 = (1 << 64) - 1
+
+
+def _wrap64(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+def _wrap32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >> 31 else value
+
+
+@dataclass
+class MachineResult:
+    """Outcome of a program run."""
+
+    cycles: float
+    seconds: float
+    instructions: int
+    scalar_instructions: int
+    vector_instructions: int
+    halted: str
+    xregs: List[int]
+
+
+class Machine:
+    """A RISC-V RV64 + RVV machine bound to a CAPE system.
+
+    Args:
+        program: assembly source text or pre-assembled words.
+        cape: the CAPE system (a fresh CAPE32k is built when omitted).
+        base_address: load address of the program.
+    """
+
+    def __init__(
+        self,
+        program: Union[str, List[int]],
+        cape: Optional[CAPESystem] = None,
+        base_address: int = 0,
+    ) -> None:
+        self.cape = cape if cape is not None else CAPESystem(CAPE32K)
+        self.memory = self.cape.memory
+        if isinstance(program, str):
+            self.words = assemble(program, base_address)
+        else:
+            self.words = list(program)
+        self.base = base_address
+        self.pc = base_address
+        self.x = [0] * 32
+        self.instret = 0
+        self.scalar_instructions = 0
+        self.vector_instructions = 0
+        # Pending scalar block (flushed at vector instructions / halt).
+        self._pending_int = 0
+        self._pending_branches = 0
+        self._pending_loads: List[int] = []
+        self._pending_stores: List[int] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 2_000_000) -> MachineResult:
+        """Execute until ``ecall`` or the step limit."""
+        halted = "step-limit"
+        end = self.base + 4 * len(self.words)
+        for _ in range(max_steps):
+            if not self.base <= self.pc < end:
+                halted = "fell-off-end"
+                break
+            word = self.words[(self.pc - self.base) // 4]
+            inst = decode(word)
+            self.instret += 1
+            if inst.mnemonic == "ecall":
+                halted = "ecall"
+                break
+            if inst.mnemonic == "fence":
+                # Serialise: pending scalar work commits and the vector
+                # shadow drains before anything later issues.
+                self._flush_scalar()
+                self.cape.fence()
+                self.scalar_instructions += 1
+                self.pc += 4
+                continue
+            if self._is_vector(inst.mnemonic):
+                self._flush_scalar()
+                self._exec_vector(inst)
+                self.vector_instructions += 1
+                self.pc += 4
+            else:
+                next_pc = self._exec_scalar(inst)
+                self.scalar_instructions += 1
+                self.pc = next_pc
+        self._flush_scalar()
+        stats = self.cape.stats
+        return MachineResult(
+            cycles=stats.cycles,
+            seconds=stats.seconds,
+            instructions=self.instret,
+            scalar_instructions=self.scalar_instructions,
+            vector_instructions=self.vector_instructions,
+            halted=halted,
+            xregs=list(self.x),
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_vector(mnemonic: str) -> bool:
+        return mnemonic.startswith("v")
+
+    def _set_x(self, rd: int, value: int) -> None:
+        if rd != 0:
+            self.x[rd] = _wrap64(value)
+
+    def _exec_scalar(self, inst: Decoded) -> int:
+        m, f = inst.mnemonic, inst.fields
+        x = self.x
+        pc = self.pc
+        next_pc = pc + 4
+        self._pending_int += 1
+
+        if m == "add":
+            self._set_x(f["rd"], x[f["rs1"]] + x[f["rs2"]])
+        elif m == "sub":
+            self._set_x(f["rd"], x[f["rs1"]] - x[f["rs2"]])
+        elif m == "mul":
+            self._set_x(f["rd"], x[f["rs1"]] * x[f["rs2"]])
+        elif m == "div":
+            a, b = x[f["rs1"]], x[f["rs2"]]
+            self._set_x(f["rd"], -1 if b == 0 else int(a / b) if b else 0)
+        elif m == "rem":
+            a, b = x[f["rs1"]], x[f["rs2"]]
+            self._set_x(f["rd"], a if b == 0 else a - int(a / b) * b)
+        elif m == "and":
+            self._set_x(f["rd"], x[f["rs1"]] & x[f["rs2"]])
+        elif m == "or":
+            self._set_x(f["rd"], x[f["rs1"]] | x[f["rs2"]])
+        elif m == "xor":
+            self._set_x(f["rd"], x[f["rs1"]] ^ x[f["rs2"]])
+        elif m == "sll":
+            self._set_x(f["rd"], x[f["rs1"]] << (x[f["rs2"]] & 63))
+        elif m == "srl":
+            self._set_x(f["rd"], (x[f["rs1"]] & _MASK64) >> (x[f["rs2"]] & 63))
+        elif m == "sra":
+            self._set_x(f["rd"], x[f["rs1"]] >> (x[f["rs2"]] & 63))
+        elif m == "slt":
+            self._set_x(f["rd"], int(x[f["rs1"]] < x[f["rs2"]]))
+        elif m == "sltu":
+            self._set_x(f["rd"], int((x[f["rs1"]] & _MASK64) < (x[f["rs2"]] & _MASK64)))
+        elif m == "addi":
+            self._set_x(f["rd"], x[f["rs1"]] + f["imm"])
+        elif m == "slti":
+            self._set_x(f["rd"], int(x[f["rs1"]] < f["imm"]))
+        elif m == "sltiu":
+            self._set_x(f["rd"], int((x[f["rs1"]] & _MASK64) < (f["imm"] & _MASK64)))
+        elif m == "xori":
+            self._set_x(f["rd"], x[f["rs1"]] ^ f["imm"])
+        elif m == "ori":
+            self._set_x(f["rd"], x[f["rs1"]] | f["imm"])
+        elif m == "andi":
+            self._set_x(f["rd"], x[f["rs1"]] & f["imm"])
+        elif m == "slli":
+            self._set_x(f["rd"], x[f["rs1"]] << f["imm"])
+        elif m == "srli":
+            self._set_x(f["rd"], (x[f["rs1"]] & _MASK64) >> f["imm"])
+        elif m == "srai":
+            self._set_x(f["rd"], x[f["rs1"]] >> f["imm"])
+        elif m == "lui":
+            self._set_x(f["rd"], f["imm"] << 12)
+        elif m == "auipc":
+            self._set_x(f["rd"], pc + (f["imm"] << 12))
+        elif m == "lw":
+            addr = _wrap64(x[f["rs1"]] + f["imm"])
+            self._pending_loads.append(addr)
+            self._set_x(f["rd"], _wrap32(self.memory.read_word(addr)))
+        elif m == "ld":
+            addr = _wrap64(x[f["rs1"]] + f["imm"])
+            self._pending_loads.append(addr)
+            self._set_x(f["rd"], self.memory.read_word(addr))
+        elif m == "sw":
+            addr = _wrap64(x[f["rs1"]] + f["imm"])
+            self._pending_stores.append(addr)
+            self.memory.write_word(addr, x[f["rs2"]] & 0xFFFFFFFF)
+        elif m == "sd":
+            addr = _wrap64(x[f["rs1"]] + f["imm"])
+            self._pending_stores.append(addr)
+            self.memory.write_word(addr, x[f["rs2"]])
+        elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            a, b = x[f["rs1"]], x[f["rs2"]]
+            au, bu = a & _MASK64, b & _MASK64
+            taken = {
+                "beq": a == b,
+                "bne": a != b,
+                "blt": a < b,
+                "bge": a >= b,
+                "bltu": au < bu,
+                "bgeu": au >= bu,
+            }[m]
+            self._pending_branches += 1
+            if taken:
+                next_pc = pc + f["imm"]
+        elif m == "jal":
+            self._set_x(f["rd"], pc + 4)
+            next_pc = pc + f["imm"]
+        elif m == "jalr":
+            self._set_x(f["rd"], pc + 4)
+            next_pc = _wrap64(x[f["rs1"]] + f["imm"]) & ~1
+        else:
+            raise ConfigError(f"scalar interpreter cannot execute {m!r}")
+        return next_pc
+
+    def _exec_vector(self, inst: Decoded) -> None:
+        m, f = inst.mnemonic, inst.fields
+        cape, x = self.cape, self.x
+        if m == "vsetvli":
+            sew = 8 << ((f.get("imm", 16) >> 3) & 0x7)
+            vl = cape.vsetvl(x[f["rs1"]], sew=sew)
+            self._set_x(f["rd"], vl)
+        elif m == "vle32.v":
+            cape.vle(f["vd"], x[f["rs1"]])
+        elif m == "vse32.v":
+            cape.vse(f["vs3"], x[f["rs1"]])
+        elif m == "vlse32.v":
+            cape.vlse(f["vd"], x[f["rs1"]], x[f["rs2"]])
+        elif m == "vsse32.v":
+            cape.vsse(f["vs3"], x[f["rs1"]], x[f["rs2"]])
+        elif m == "vlrw.v":
+            cape.vlrw(f["vd"], x[f["rs1"]], x[f["rs2"]])
+        elif m == "vadd.vv":
+            cape.vadd(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vadd.vx":
+            cape.vadd_vx(f["vd"], f["vs2"], x[f["rs1"]])
+        elif m == "vsub.vv":
+            cape.vsub(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vmul.vv":
+            cape.vmul(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vand.vv":
+            cape.vand(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vor.vv":
+            cape.vor(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vxor.vv":
+            cape.vxor(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vmseq.vv":
+            cape.vmseq(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vmseq.vx":
+            cape.vmseq_vx(f["vd"], f["vs2"], x[f["rs1"]])
+        elif m == "vmslt.vv":
+            cape.vmslt(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vmsltu.vv":
+            cape.vmsltu(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vmsne.vv":
+            cape.vmsne(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vrsub.vx":
+            cape.vrsub_vx(f["vd"], f["vs2"], x[f["rs1"]])
+        elif m == "vmin.vv":
+            cape.vmin(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vmax.vv":
+            cape.vmax(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vminu.vv":
+            cape.vminu(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vmaxu.vv":
+            cape.vmaxu(f["vd"], f["vs2"], f["vs1"])
+        elif m == "vsll.vi":
+            cape.vsll_vi(f["vd"], f["vs2"], f["imm"])
+        elif m == "vsrl.vi":
+            cape.vsrl_vi(f["vd"], f["vs2"], f["imm"])
+        elif m == "vsra.vi":
+            cape.vsra_vi(f["vd"], f["vs2"], f["imm"])
+        elif m == "vmerge.vvm":
+            cape.vmerge(f["vd"], f["vs1"], f["vs2"], vm=0)
+        elif m == "vmv.v.v":
+            cape.vmv(f["vd"], f["vs1"])
+        elif m == "vmv.v.x":
+            cape.vmv_vx(f["vd"], x[f["rs1"]])
+        elif m == "vredsum.vs":
+            total = cape.vredsum(f["vs2"], signed=True)
+            init = int(cape.vregs[f["vs1"], 0])
+            cape.vregs[f["vd"], 0] = (total + init) & 0xFFFFFFFF
+        else:
+            raise ConfigError(f"vector interpreter cannot execute {m!r}")
+
+    def _flush_scalar(self) -> None:
+        """Commit pending scalar work to the CP as one trace block."""
+        if (
+            self._pending_int == 0
+            and not self._pending_loads
+            and not self._pending_stores
+        ):
+            return
+        block = TraceBlock(
+            name="scalar",
+            int_ops=self._pending_int,
+            branches=self._pending_branches,
+            branch_miss_rate=0.02,
+            loads=np.asarray(self._pending_loads, dtype=np.int64),
+            stores=np.asarray(self._pending_stores, dtype=np.int64),
+        )
+        self.cape.scalar_block(block)
+        self._pending_int = 0
+        self._pending_branches = 0
+        self._pending_loads = []
+        self._pending_stores = []

@@ -1,0 +1,52 @@
+"""Register-name parsing: numeric and ABI names for x-regs, v-regs.
+
+Supports ``x0``-``x31``, the standard ABI mnemonics (``zero``, ``ra``,
+``sp``, ``a0``-``a7``, ``t0``-``t6``, ``s0``-``s11``), and vector
+registers ``v0``-``v31``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import ConfigError
+
+_ABI_NAMES: Dict[str, int] = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def parse_xreg(name: str) -> int:
+    """Parse a scalar register name into its index."""
+    name = name.strip().lower()
+    if name in _ABI_NAMES:
+        return _ABI_NAMES[name]
+    if name.startswith("x") and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < 32:
+            return idx
+    raise ConfigError(f"unknown scalar register {name!r}")
+
+
+def parse_vreg(name: str) -> int:
+    """Parse a vector register name into its index."""
+    name = name.strip().lower()
+    if name.startswith("v") and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < 32:
+            return idx
+    raise ConfigError(f"unknown vector register {name!r}")
+
+
+def xreg_name(idx: int) -> str:
+    """Canonical name of a scalar register index."""
+    if not 0 <= idx < 32:
+        raise ConfigError(f"register index {idx} out of range")
+    return f"x{idx}"

@@ -1,0 +1,19 @@
+"""Memory-only modes for the CSB (Section VII).
+
+CAPE's compute-storage block can be reconfigured by the chip as plain
+storage whenever that is more useful than associative compute:
+
+* :class:`Scratchpad` — a physically-indexed block of memory reachable
+  through ordinary loads/stores routed to the VMU.
+* :class:`KeyValueStore` — content-addressable key-value pairs; a chain
+  holds 16 x 32 = 512 pairs, looked up with a single parallel search.
+* :class:`VictimCache` — the CSB emulating a victim cache: lines stored
+  row-wise (tags and data not bit-sliced), up to ten index bits, with
+  tag-match searches driven by a small VCU microprogram.
+"""
+
+from repro.memmode.kvstore import KeyValueStore
+from repro.memmode.scratchpad import Scratchpad
+from repro.memmode.victim_cache import VictimCache
+
+__all__ = ["KeyValueStore", "Scratchpad", "VictimCache"]

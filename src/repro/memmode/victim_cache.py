@@ -1,0 +1,111 @@
+"""Victim-cache mode (Section VII).
+
+The CSB emulates a victim cache for an L2 (or an extra LLC slice): each
+cache line — tag and data — is stored *row-wise* (not bit-sliced, since
+lines are large). With 32 rows of subarrays and 32 bitcell rows per
+subarray the CSB offers 1,024 line rows, i.e. up to ten index bits. An
+access runs a few microinstructions that search a set's rows for a tag
+match and, on a hit, command the VMU to deliver the block. Row reads take
+one cycle and row writes two (Jeloka et al.).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+#: Jeloka et al. row access latencies, in CSB cycles.
+ROW_READ_CYCLES = 1
+ROW_WRITE_CYCLES = 2
+#: Tag-match microprogram: one search plus the hit/miss resolution.
+TAG_SEARCH_CYCLES = 2
+
+
+@dataclass
+class VictimCacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class VictimCache:
+    """The CSB configured as a victim cache.
+
+    Args:
+        num_rows: line-capacity of the CSB in rows (1,024 for the
+            published geometry: 32 subarray rows x 32 bitcell rows).
+        line_bytes: cache line size of the cache being augmented.
+        ways: associativity of the emulated victim cache; the row space
+            is split into ``num_rows / ways`` sets (index bits <= 10).
+    """
+
+    def __init__(
+        self, num_rows: int = 1024, line_bytes: int = 64, ways: int = 8
+    ) -> None:
+        if num_rows <= 0 or num_rows % ways != 0:
+            raise ConfigError("num_rows must be a positive multiple of ways")
+        self.num_rows = num_rows
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = num_rows // ways
+        if self.num_sets > 1024:
+            raise ConfigError("the CSB supports at most ten index bits")
+        self._sets: Dict[int, "OrderedDict[int, np.ndarray]"] = {}
+        self.stats = VictimCacheStats()
+        self.cycles = 0
+
+    def _locate(self, line_addr: int) -> Tuple[int, int]:
+        index = line_addr % self.num_sets
+        tag = line_addr // self.num_sets
+        return index, tag
+
+    def insert(self, addr: int, data: Optional[np.ndarray] = None) -> None:
+        """Install a victim line (called by the L2 on eviction)."""
+        line_addr = addr // self.line_bytes
+        index, tag = self._locate(line_addr)
+        lines = self._sets.setdefault(index, OrderedDict())
+        if tag in lines:
+            lines.move_to_end(tag)
+        else:
+            if len(lines) >= self.ways:
+                lines.popitem(last=False)  # evict LRU
+                self.stats.evictions += 1
+            if data is None:
+                data = np.zeros(self.line_bytes, dtype=np.uint8)
+            lines[tag] = np.asarray(data, dtype=np.uint8)
+        self.stats.insertions += 1
+        self.cycles += TAG_SEARCH_CYCLES + ROW_WRITE_CYCLES
+
+    def lookup(self, addr: int) -> Optional[np.ndarray]:
+        """Probe on an L2 miss; returns the block on a hit.
+
+        The probe runs concurrently with the LLC access in the host
+        system, so only CSB-side cycles are accounted here.
+        """
+        line_addr = addr // self.line_bytes
+        index, tag = self._locate(line_addr)
+        lines = self._sets.get(index)
+        self.cycles += TAG_SEARCH_CYCLES
+        if lines is not None and tag in lines:
+            lines.move_to_end(tag)
+            self.stats.hits += 1
+            self.cycles += ROW_READ_CYCLES
+            return lines[tag].copy()
+        self.stats.misses += 1
+        return None
+
+    @property
+    def index_bits(self) -> int:
+        """Address index bits consumed by the set mapping."""
+        return int(np.log2(self.num_sets)) if self.num_sets > 1 else 0

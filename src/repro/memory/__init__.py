@@ -1,0 +1,25 @@
+"""Memory substrate: caches, coherence, hierarchy, and HBM (Table III).
+
+The baseline out-of-order tile owns a three-level cache hierarchy
+(32 kB/32 kB L1D/L1I, 1 MB L2, 5.5 MB shared L3) in front of a 4-high HBM
+stack with 8 channels of 16 GB/s and 512 MB each. CAPE's control processor
+keeps L1s and an L2; CAPE's vector memory unit is cacheless and talks to
+the HBM directly (Section V-E).
+"""
+
+from repro.memory.cache import Cache, CacheStats, MESIState
+from repro.memory.coherence import CoherentBus
+from repro.memory.hbm import HBM, HBMConfig
+from repro.memory.hierarchy import AccessType, CacheHierarchy, HierarchyConfig
+
+__all__ = [
+    "HBM",
+    "AccessType",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "CoherentBus",
+    "HBMConfig",
+    "HierarchyConfig",
+    "MESIState",
+]

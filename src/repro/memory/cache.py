@@ -1,0 +1,185 @@
+"""A set-associative, write-back, write-allocate cache with MESI states.
+
+Replacement is true LRU within each set. Lines carry a MESI coherence
+state; a single-cache configuration simply never leaves the E/M/I corner
+of the protocol. The coherent bus (``coherence.py``) drives the
+state transitions for multicore configurations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+class MESIState(enum.Enum):
+    """MESI coherence states."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations_received: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _Line:
+    tag: int
+    state: MESIState
+    dirty: bool
+    lru: int
+
+
+class Cache:
+    """One cache level.
+
+    Args:
+        size_bytes: total capacity.
+        assoc: ways per set.
+        line_bytes: cache-line size (the baseline LLC uses 512 B lines,
+            Table III).
+        name: label used in reports.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ConfigError("cache geometry must be positive")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ConfigError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"assoc*line ({assoc}*{line_bytes})"
+            )
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.name = name
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self.stats = CacheStats()
+        self._sets: Dict[int, Dict[int, _Line]] = {}
+        self._tick = 0
+        #: Line address of the victim evicted by the most recent fill
+        #: (dirty or clean), or None. Consumed by victim-cache hooks.
+        self.last_victim: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line_addr = addr // self.line_bytes
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def lookup(self, addr: int) -> Optional[MESIState]:
+        """Peek a line's state without touching LRU (snoop path)."""
+        set_idx, tag = self._locate(addr)
+        line = self._sets.get(set_idx, {}).get(tag)
+        return line.state if line and line.state != MESIState.INVALID else None
+
+    def access(self, addr: int, is_write: bool) -> Tuple[bool, Optional[int]]:
+        """Access one address; fill on miss.
+
+        Returns:
+            ``(hit, writeback_line_addr)`` — the second element is the
+            line address written back when a dirty victim was evicted,
+            else ``None``.
+        """
+        self._tick += 1
+        set_idx, tag = self._locate(addr)
+        lines = self._sets.setdefault(set_idx, {})
+        line = lines.get(tag)
+        if line is not None and line.state != MESIState.INVALID:
+            self.stats.hits += 1
+            line.lru = self._tick
+            if is_write:
+                line.dirty = True
+                line.state = MESIState.MODIFIED
+            return True, None
+
+        self.stats.misses += 1
+        writeback = self._fill(set_idx, tag, is_write)
+        return False, writeback
+
+    def _fill(self, set_idx: int, tag: int, is_write: bool) -> Optional[int]:
+        """Insert a line, evicting the LRU way if the set is full."""
+        lines = self._sets.setdefault(set_idx, {})
+        # Reuse an INVALID slot if one exists.
+        invalid = [t for t, l in lines.items() if l.state == MESIState.INVALID]
+        for t in invalid:
+            del lines[t]
+        writeback = None
+        self.last_victim = None
+        if len(lines) >= self.assoc:
+            victim_tag = min(lines, key=lambda t: lines[t].lru)
+            victim = lines.pop(victim_tag)
+            self.stats.evictions += 1
+            victim_addr = (victim_tag * self.num_sets + set_idx) * self.line_bytes
+            self.last_victim = victim_addr
+            if victim.dirty:
+                self.stats.writebacks += 1
+                writeback = victim_addr
+        state = MESIState.MODIFIED if is_write else MESIState.EXCLUSIVE
+        lines[tag] = _Line(tag=tag, state=state, dirty=is_write, lru=self._tick)
+        return writeback
+
+    # ------------------------------------------------------------------
+    # Coherence hooks (driven by the bus)
+    # ------------------------------------------------------------------
+
+    def set_state(self, addr: int, state: MESIState) -> None:
+        """Force a line's MESI state (bus-directed transition)."""
+        set_idx, tag = self._locate(addr)
+        line = self._sets.get(set_idx, {}).get(tag)
+        if line is None:
+            return
+        if state == MESIState.INVALID:
+            self.stats.invalidations_received += 1
+            line.dirty = False
+        line.state = state
+
+    def flush(self) -> int:
+        """Write back all dirty lines; returns the count written back."""
+        count = 0
+        for lines in self._sets.values():
+            for line in lines.values():
+                if line.dirty and line.state != MESIState.INVALID:
+                    count += 1
+                    line.dirty = False
+                    if line.state == MESIState.MODIFIED:
+                        line.state = MESIState.EXCLUSIVE
+        self.stats.writebacks += count
+        return count
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(
+            1
+            for lines in self._sets.values()
+            for line in lines.values()
+            if line.state != MESIState.INVALID
+        )

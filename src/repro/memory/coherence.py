@@ -1,0 +1,122 @@
+"""MESI coherence bus for multicore baselines (Table III).
+
+Private L1/L2 stacks of each core snoop a shared bus. The protocol is
+MESI at the granularity of the private hierarchies: a write by one core
+invalidates the line in every other core's private caches; a read of a
+line another core holds exclusively/modified downgrades it to SHARED.
+
+CAPE's cacheless VMU participates as a bus agent too — it issues
+invalidations for the ranges it writes and observes writebacks for the
+ranges it reads, which is the "follows the same cache coherence protocol"
+behaviour of Section V-E. The paper notes this traffic is trivial because
+the CSB and the control processor share little data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.common.errors import ConfigError
+from repro.memory.cache import MESIState
+from repro.memory.hierarchy import AccessType, CacheHierarchy
+
+
+@dataclass
+class BusStats:
+    """Coherence traffic counters."""
+
+    invalidations: int = 0
+    downgrades: int = 0
+    interventions: int = 0  # dirty data supplied by a peer cache
+
+
+class CoherentBus:
+    """Snooping MESI bus connecting private cache hierarchies.
+
+    Args:
+        hierarchies: the per-core private stacks (sharing one L3/HBM).
+    """
+
+    def __init__(self, hierarchies: List[CacheHierarchy]) -> None:
+        if not hierarchies:
+            raise ConfigError("a coherent bus needs at least one hierarchy")
+        self.hierarchies = hierarchies
+        self.stats = BusStats()
+
+    def access(self, core: int, addr: int, kind: AccessType) -> int:
+        """Coherent access by ``core``; returns latency in cycles.
+
+        Snoops every peer before the access proceeds: writes invalidate
+        peer copies, reads downgrade peer M/E lines to SHARED (with a
+        dirty-data intervention when MODIFIED).
+        """
+        if not 0 <= core < len(self.hierarchies):
+            raise ConfigError(f"core {core} out of range")
+        is_write = kind is AccessType.STORE
+        extra = self._snoop(core, addr, is_write)
+        return self.hierarchies[core].access(addr, kind) + extra
+
+    def _snoop(self, requester: int, addr: int, is_write: bool) -> int:
+        """Apply peer-state transitions; returns added snoop latency."""
+        extra = 0
+        for idx, peer in enumerate(self.hierarchies):
+            if idx == requester:
+                continue
+            for cache in (peer.l1d, peer.l2):
+                state = cache.lookup(addr)
+                if state is None:
+                    continue
+                if is_write:
+                    if state == MESIState.MODIFIED:
+                        self.stats.interventions += 1
+                        extra += 4  # dirty-data transfer on the bus
+                    cache.set_state(addr, MESIState.INVALID)
+                    self.stats.invalidations += 1
+                else:
+                    if state == MESIState.MODIFIED:
+                        self.stats.interventions += 1
+                        extra += 4
+                    if state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+                        cache.set_state(addr, MESIState.SHARED)
+                        self.stats.downgrades += 1
+        return extra
+
+    def vmu_write_range(self, base: int, num_bytes: int, line_bytes: int = 64) -> int:
+        """Invalidate every peer copy of a range the VMU is writing.
+
+        Returns the number of invalidations sent (used to charge CAPE the
+        — trivially small — coherence overhead of vector stores).
+        """
+        sent = 0
+        for addr in range(base, base + num_bytes, line_bytes):
+            for peer in self.hierarchies:
+                for cache in (peer.l1d, peer.l2):
+                    if cache.lookup(addr) is not None:
+                        cache.set_state(addr, MESIState.INVALID)
+                        self.stats.invalidations += 1
+                        sent += 1
+        return sent
+
+    def vmu_read_range(self, base: int, num_bytes: int, line_bytes: int = 64) -> int:
+        """Downgrade peer M/E copies of a range the VMU is reading.
+
+        Returns the number of dirty interventions observed.
+        """
+        dirty = 0
+        for addr in range(base, base + num_bytes, line_bytes):
+            for peer in self.hierarchies:
+                # The L1/L2 pair forms one private hierarchy: one
+                # intervention per peer that holds the line dirty.
+                peer_dirty = False
+                for cache in (peer.l1d, peer.l2):
+                    state = cache.lookup(addr)
+                    if state == MESIState.MODIFIED:
+                        peer_dirty = True
+                    if state in (MESIState.MODIFIED, MESIState.EXCLUSIVE):
+                        cache.set_state(addr, MESIState.SHARED)
+                        self.stats.downgrades += 1
+                if peer_dirty:
+                    dirty += 1
+                    self.stats.interventions += 1
+        return dirty

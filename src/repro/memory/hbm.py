@@ -1,0 +1,82 @@
+"""High-bandwidth memory model (Table III: 4H HBM, 8 channels).
+
+Each channel provides 16 GB/s of bandwidth and 512 MB of capacity.
+Addresses interleave across channels at the bus-packet granularity, so
+streaming transfers aggregate the full 128 GB/s. The timing model is
+latency + bandwidth: a transfer of B bytes on one channel takes
+``base_latency + B / channel_bandwidth``; concurrent transfers on
+different channels overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.common.errors import ConfigError
+from repro.common.units import GIB, MIB, NS
+
+
+@dataclass(frozen=True)
+class HBMConfig:
+    """HBM stack parameters (defaults per Table III)."""
+
+    num_channels: int = 8
+    channel_bandwidth_bytes_per_s: float = 16 * 1e9  # 16 GB/s
+    channel_capacity_bytes: int = 512 * MIB
+    base_latency_s: float = 100 * NS
+    packet_bytes: int = 32  # data-bus packet (sub-request granularity)
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ConfigError("num_channels must be positive")
+        if self.channel_bandwidth_bytes_per_s <= 0:
+            raise ConfigError("channel bandwidth must be positive")
+
+    @property
+    def total_bandwidth_bytes_per_s(self) -> float:
+        return self.num_channels * self.channel_bandwidth_bytes_per_s
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.num_channels * self.channel_capacity_bytes
+
+
+class HBM:
+    """Bandwidth/latency model of the HBM stack.
+
+    Tracks per-channel busy time so that interleaved streaming saturates
+    all channels while single-channel hot-spotting does not.
+    """
+
+    def __init__(self, config: HBMConfig = HBMConfig()) -> None:
+        self.config = config
+        self._channel_busy_s: List[float] = [0.0] * config.num_channels
+        self.bytes_transferred = 0
+
+    def channel_of(self, addr: int) -> int:
+        """Channel an address maps to (packet-granularity interleave)."""
+        return (addr // self.config.packet_bytes) % self.config.num_channels
+
+    def transfer_time_s(self, num_bytes: int, interleaved: bool = True) -> float:
+        """Latency of a transfer of ``num_bytes``.
+
+        Args:
+            num_bytes: payload size.
+            interleaved: True when the access pattern spreads across all
+                channels (unit-stride vector transfers); False pins the
+                whole transfer on one channel.
+        """
+        if num_bytes < 0:
+            raise ConfigError("transfer size must be non-negative")
+        self.bytes_transferred += num_bytes
+        channels = self.config.num_channels if interleaved else 1
+        bandwidth = channels * self.config.channel_bandwidth_bytes_per_s
+        return self.config.base_latency_s + num_bytes / bandwidth
+
+    def line_fill_time_s(self, line_bytes: int) -> float:
+        """Latency of one cache-line fill (single-channel burst)."""
+        return self.transfer_time_s(line_bytes, interleaved=False)
+
+    def reset_stats(self) -> None:
+        self.bytes_transferred = 0

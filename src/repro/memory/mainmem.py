@@ -1,0 +1,54 @@
+"""Functional main-memory contents (word-addressable numpy store).
+
+Timing lives in :mod:`repro.memory.hbm`; this module only holds values so
+that workloads running on the CAPE system and on the baselines see the
+same data. Words are 32-bit; addresses are byte addresses (word-aligned).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import CapacityError, ConfigError
+
+WORD_BYTES = 4
+
+
+class WordMemory:
+    """A flat, zero-initialised word store.
+
+    Args:
+        size_bytes: capacity; addresses in ``[0, size_bytes)``.
+    """
+
+    def __init__(self, size_bytes: int = 1 << 26) -> None:
+        if size_bytes <= 0 or size_bytes % WORD_BYTES != 0:
+            raise ConfigError("memory size must be a positive multiple of 4")
+        self._words = np.zeros(size_bytes // WORD_BYTES, dtype=np.int64)
+        self.size_bytes = size_bytes
+
+    def _index(self, addr: int, count: int = 1) -> int:
+        if addr % WORD_BYTES != 0:
+            raise ConfigError(f"address {addr:#x} is not word-aligned")
+        if addr < 0 or addr + count * WORD_BYTES > self.size_bytes:
+            raise CapacityError(
+                f"range [{addr:#x}, {addr + count * WORD_BYTES:#x}) outside memory"
+            )
+        return addr // WORD_BYTES
+
+    def read_words(self, addr: int, count: int) -> np.ndarray:
+        """Read ``count`` consecutive words starting at ``addr``."""
+        idx = self._index(addr, count)
+        return self._words[idx : idx + count].copy()
+
+    def write_words(self, addr: int, values: np.ndarray) -> None:
+        """Write consecutive words starting at ``addr``."""
+        values = np.asarray(values, dtype=np.int64)
+        idx = self._index(addr, len(values))
+        self._words[idx : idx + len(values)] = values
+
+    def read_word(self, addr: int) -> int:
+        return int(self._words[self._index(addr)])
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._words[self._index(addr)] = value

@@ -1,0 +1,45 @@
+"""Workloads: Phoenix applications and microbenchmarks (Sections VI-D/E).
+
+Every workload provides three faithful implementations of the same
+algorithm:
+
+* ``run_cape(cape)`` — RISC-V-vector code via the CAPE intrinsics,
+  including the CAPE-specific optimisations the paper describes
+  (redsum-heavy formulations, replica vector loads, brute-force
+  search-based histogramming);
+* ``scalar_trace()`` — the dynamic operation/address trace of the scalar
+  C implementation, consumed by the out-of-order / in-order / multicore
+  models;
+* ``simd_trace(lanes)`` — the trace of the hand-vectorised SVE version
+  (Figure 12).
+
+All three compute the same answer from the same inputs; ``run_cape``
+verifies its result against the numpy golden model and raises on any
+mismatch, so the performance numbers are backed by functional
+correctness.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.micro import (
+    Dotprod,
+    IdxSearch,
+    MemcpyBench,
+    Saxpy,
+    VVAdd,
+    VVMul,
+    MICROBENCHMARKS,
+)
+from repro.workloads.phoenix import PHOENIX_APPS
+
+__all__ = [
+    "MICROBENCHMARKS",
+    "PHOENIX_APPS",
+    "Dotprod",
+    "IdxSearch",
+    "MemcpyBench",
+    "Saxpy",
+    "VVAdd",
+    "VVMul",
+    "Workload",
+    "WorkloadResult",
+]

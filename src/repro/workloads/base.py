@@ -1,0 +1,117 @@
+"""Workload abstraction shared by microbenchmarks and Phoenix apps."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.baseline.trace import Trace, TraceBlock
+from repro.common.errors import ReproError
+from repro.engine.system import CAPESystem
+
+#: Base addresses for workload arrays in the shared word memory.
+ARRAY_BASE = 0x0010_0000
+ARRAY_SPACING = 0x0100_0000
+
+
+class ValidationError(ReproError):
+    """A CAPE run produced a result different from the golden model."""
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one CAPE workload run."""
+
+    name: str
+    cycles: float
+    seconds: float
+    checked: bool
+
+
+class Workload(abc.ABC):
+    """One benchmark with CAPE, scalar, and SIMD implementations.
+
+    Subclasses generate their own inputs deterministically from ``seed``
+    so all three implementations consume identical data.
+
+    Attributes:
+        name: short identifier used in reports (paper's label).
+        intensity: ``"constant"`` or ``"variable"`` — the roofline
+            classification of Section VI-E.
+    """
+
+    name: str = "workload"
+    intensity: str = "constant"
+
+    def array_base(self, index: int) -> int:
+        """Base address of the workload's ``index``-th array."""
+        return ARRAY_BASE + index * ARRAY_SPACING
+
+    # -- the three implementations -------------------------------------
+
+    @abc.abstractmethod
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        """Run the vectorised CAPE implementation and verify the result."""
+
+    @abc.abstractmethod
+    def scalar_trace(self) -> Trace:
+        """Dynamic trace of the scalar implementation."""
+
+    @abc.abstractmethod
+    def simd_trace(self, lanes: int) -> Trace:
+        """Dynamic trace of the W-lane SIMD implementation."""
+
+    # -- helpers ---------------------------------------------------------
+
+    def check(self, actual: np.ndarray, expected: np.ndarray) -> None:
+        """Raise unless the CAPE output matches the golden result."""
+        if not np.array_equal(np.asarray(actual), np.asarray(expected)):
+            raise ValidationError(
+                f"{self.name}: CAPE result differs from golden model"
+            )
+
+    def finish(self, cape: CAPESystem, checked: bool = True) -> WorkloadResult:
+        return WorkloadResult(
+            name=self.name,
+            cycles=cape.stats.cycles,
+            seconds=cape.stats.seconds,
+            checked=checked,
+        )
+
+
+def strided_addresses(base: int, count: int, stride: int = 4) -> np.ndarray:
+    """Unit/constant-stride address stream for ``count`` elements."""
+    return base + stride * np.arange(count, dtype=np.int64)
+
+
+def loop_block(
+    name: str,
+    iterations: int,
+    int_ops_per_iter: float = 1.0,
+    mul_ops_per_iter: float = 0.0,
+    loads: Optional[np.ndarray] = None,
+    stores: Optional[np.ndarray] = None,
+    branch_miss_rate: float = 0.0,
+    parallel: bool = True,
+    dependent_loads: int = 0,
+    unroll: int = 4,
+) -> TraceBlock:
+    """Build a trace block for a counted loop.
+
+    Adds the loop-control overhead (index update + branch) at the given
+    unroll factor on top of the body's operation counts.
+    """
+    return TraceBlock(
+        name=name,
+        int_ops=int(iterations * int_ops_per_iter) + iterations // unroll,
+        mul_ops=int(iterations * mul_ops_per_iter),
+        branches=max(1, iterations // unroll),
+        branch_miss_rate=branch_miss_rate,
+        loads=loads if loads is not None else np.empty(0, np.int64),
+        stores=stores if stores is not None else np.empty(0, np.int64),
+        parallel=parallel,
+        dependent_loads=dependent_loads,
+    )

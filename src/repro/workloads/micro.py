@@ -1,0 +1,385 @@
+"""Microbenchmarks (Section VI-D).
+
+Streaming kernels of constant intensity (vvadd, vvmul, saxpy, memcpy,
+dotprod) plus the variable-intensity ``idxsrch`` the paper calls out: an
+index search whose parallel-search phase is followed by serialized
+post-processing of every match — the pattern that caps the speedup of the
+text-based Phoenix applications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.baseline.trace import Trace, TraceBlock
+from repro.engine.system import CAPESystem
+from repro.workloads.base import (
+    Workload,
+    WorkloadResult,
+    loop_block,
+    strided_addresses,
+)
+
+_A, _B, _C = 0, 1, 2  # array slots
+
+
+class _Streaming(Workload):
+    """Shared plumbing for two-in/one-out streaming kernels."""
+
+    intensity = "constant"
+
+    def __init__(self, n: int = 1 << 17, seed: int = 7) -> None:
+        self.n = n
+        rng = np.random.default_rng(seed)
+        self.a = rng.integers(0, 1 << 20, size=n).astype(np.int64)
+        self.b = rng.integers(0, 1 << 20, size=n).astype(np.int64)
+
+    def _load_inputs(self, cape: CAPESystem) -> None:
+        cape.memory.write_words(self.array_base(_A), self.a)
+        cape.memory.write_words(self.array_base(_B), self.b)
+
+    def _tile_loop(self, cape: CAPESystem, body) -> None:
+        """Strip-mine over MAX_VL-sized tiles, like the assembly loop."""
+        done = 0
+        while done < self.n:
+            vl = cape.vsetvl(self.n - done)
+            body(done, vl)
+            # Loop control on the CP (pointer bumps + branch).
+            cape.scalar_ops(int_ops=5, branches=1, name=f"{self.name}-loop")
+            done += vl
+
+
+class VVAdd(_Streaming):
+    """``c[i] = a[i] + b[i]`` — bandwidth-bound element-wise add."""
+
+    name = "vvadd"
+
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        self._load_inputs(cape)
+
+        def body(done: int, vl: int) -> None:
+            cape.vle(1, self.array_base(_A) + 4 * done)
+            cape.vle(2, self.array_base(_B) + 4 * done)
+            cape.vadd(3, 1, 2)
+            cape.vse(3, self.array_base(_C) + 4 * done)
+
+        self._tile_loop(cape, body)
+        out = cape.memory.read_words(self.array_base(_C), self.n)
+        self.check(out, (self.a + self.b) & 0xFFFFFFFF)
+        return self.finish(cape)
+
+    def scalar_trace(self) -> Trace:
+        loads = np.empty(2 * self.n, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_A), self.n)
+        loads[1::2] = strided_addresses(self.array_base(_B), self.n)
+        return Trace(self.name, [
+            loop_block(
+                "add-loop", self.n, int_ops_per_iter=1,
+                loads=loads,
+                stores=strided_addresses(self.array_base(_C), self.n),
+            )
+        ])
+
+    def simd_trace(self, lanes: int) -> Trace:
+        iters = self.n // lanes
+        stride = 4 * lanes
+        loads = np.empty(2 * iters, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_A), iters, stride)
+        loads[1::2] = strided_addresses(self.array_base(_B), iters, stride)
+        return Trace(self.name, [
+            loop_block(
+                "add-loop", iters, int_ops_per_iter=1,
+                loads=loads,
+                stores=strided_addresses(self.array_base(_C), iters, stride),
+            )
+        ])
+
+
+class VVMul(_Streaming):
+    """``c[i] = a[i] * b[i]`` — exposes CAPE's quadratic multiply cost."""
+
+    name = "vvmul"
+
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        self._load_inputs(cape)
+
+        def body(done: int, vl: int) -> None:
+            cape.vle(1, self.array_base(_A) + 4 * done)
+            cape.vle(2, self.array_base(_B) + 4 * done)
+            cape.vmul(3, 1, 2)
+            cape.vse(3, self.array_base(_C) + 4 * done)
+
+        self._tile_loop(cape, body)
+        out = cape.memory.read_words(self.array_base(_C), self.n)
+        self.check(out, (self.a * self.b) & 0xFFFFFFFF)
+        return self.finish(cape)
+
+    def scalar_trace(self) -> Trace:
+        loads = np.empty(2 * self.n, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_A), self.n)
+        loads[1::2] = strided_addresses(self.array_base(_B), self.n)
+        return Trace(self.name, [
+            loop_block(
+                "mul-loop", self.n, mul_ops_per_iter=1,
+                loads=loads,
+                stores=strided_addresses(self.array_base(_C), self.n),
+            )
+        ])
+
+    def simd_trace(self, lanes: int) -> Trace:
+        iters = self.n // lanes
+        stride = 4 * lanes
+        loads = np.empty(2 * iters, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_A), iters, stride)
+        loads[1::2] = strided_addresses(self.array_base(_B), iters, stride)
+        return Trace(self.name, [
+            loop_block(
+                "mul-loop", iters, mul_ops_per_iter=1,
+                loads=loads,
+                stores=strided_addresses(self.array_base(_C), iters, stride),
+            )
+        ])
+
+
+class Saxpy(_Streaming):
+    """``y[i] = alpha * x[i] + y[i]`` with a scalar alpha."""
+
+    name = "saxpy"
+    alpha = 13
+
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        self._load_inputs(cape)
+
+        def body(done: int, vl: int) -> None:
+            cape.vle(1, self.array_base(_A) + 4 * done)
+            cape.vle(2, self.array_base(_B) + 4 * done)
+            cape.vmv_vx(4, self.alpha)
+            cape.vmul(3, 1, 4)
+            cape.vadd(3, 3, 2)
+            cape.vse(3, self.array_base(_C) + 4 * done)
+
+        self._tile_loop(cape, body)
+        out = cape.memory.read_words(self.array_base(_C), self.n)
+        self.check(out, (self.alpha * self.a + self.b) & 0xFFFFFFFF)
+        return self.finish(cape)
+
+    def scalar_trace(self) -> Trace:
+        loads = np.empty(2 * self.n, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_A), self.n)
+        loads[1::2] = strided_addresses(self.array_base(_B), self.n)
+        return Trace(self.name, [
+            loop_block(
+                "saxpy-loop", self.n, int_ops_per_iter=1, mul_ops_per_iter=1,
+                loads=loads,
+                stores=strided_addresses(self.array_base(_C), self.n),
+            )
+        ])
+
+    def simd_trace(self, lanes: int) -> Trace:
+        iters = self.n // lanes
+        stride = 4 * lanes
+        loads = np.empty(2 * iters, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_A), iters, stride)
+        loads[1::2] = strided_addresses(self.array_base(_B), iters, stride)
+        return Trace(self.name, [
+            loop_block(
+                "saxpy-loop", iters, int_ops_per_iter=1, mul_ops_per_iter=1,
+                loads=loads,
+                stores=strided_addresses(self.array_base(_C), iters, stride),
+            )
+        ])
+
+
+class MemcpyBench(_Streaming):
+    """``c[i] = a[i]`` — a pure-transfer roofline anchor."""
+
+    name = "memcpy"
+
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        self._load_inputs(cape)
+
+        def body(done: int, vl: int) -> None:
+            cape.vle(1, self.array_base(_A) + 4 * done)
+            cape.vse(1, self.array_base(_C) + 4 * done)
+
+        self._tile_loop(cape, body)
+        out = cape.memory.read_words(self.array_base(_C), self.n)
+        self.check(out, self.a & 0xFFFFFFFF)
+        return self.finish(cape)
+
+    def scalar_trace(self) -> Trace:
+        return Trace(self.name, [
+            loop_block(
+                "copy-loop", self.n, int_ops_per_iter=0,
+                loads=strided_addresses(self.array_base(_A), self.n),
+                stores=strided_addresses(self.array_base(_C), self.n),
+            )
+        ])
+
+    def simd_trace(self, lanes: int) -> Trace:
+        iters = self.n // lanes
+        stride = 4 * lanes
+        return Trace(self.name, [
+            loop_block(
+                "copy-loop", iters, int_ops_per_iter=0,
+                loads=strided_addresses(self.array_base(_A), iters, stride),
+                stores=strided_addresses(self.array_base(_C), iters, stride),
+            )
+        ])
+
+
+class Dotprod(_Streaming):
+    """``sum(a[i] * b[i])`` — the redsum-heavy kernel (Section V-G).
+
+    CAPE's horizontal reduction is roughly the cost of one element-wise
+    add per 8 tiles, so the reduction-friendly formulation wins.
+    """
+
+    name = "dotprod"
+
+    def __init__(self, n: int = 1 << 17, seed: int = 7) -> None:
+        super().__init__(n, seed)
+        # Keep products small enough that the scalar 32-bit golden model
+        # and CAPE agree without overflow concerns.
+        self.a %= 1 << 10
+        self.b %= 1 << 10
+
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        self._load_inputs(cape)
+        total = 0
+
+        def body(done: int, vl: int) -> None:
+            nonlocal total
+            cape.vle(1, self.array_base(_A) + 4 * done)
+            cape.vle(2, self.array_base(_B) + 4 * done)
+            cape.vmul(3, 1, 2)
+            total += cape.vredsum(3)
+
+        self._tile_loop(cape, body)
+        self.check(np.array([total]), np.array([int((self.a * self.b).sum())]))
+        return self.finish(cape)
+
+    def scalar_trace(self) -> Trace:
+        loads = np.empty(2 * self.n, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_A), self.n)
+        loads[1::2] = strided_addresses(self.array_base(_B), self.n)
+        return Trace(self.name, [
+            loop_block(
+                "dot-loop", self.n, int_ops_per_iter=1, mul_ops_per_iter=1,
+                loads=loads,
+            )
+        ])
+
+    def simd_trace(self, lanes: int) -> Trace:
+        iters = self.n // lanes
+        stride = 4 * lanes
+        loads = np.empty(2 * iters, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_A), iters, stride)
+        loads[1::2] = strided_addresses(self.array_base(_B), iters, stride)
+        # Horizontal reduction across lanes at the end of each tile: a
+        # log2(lanes) shuffle/add tree (the classic cross-lane cost).
+        tree_ops = int(np.log2(lanes)) * max(1, iters // 64)
+        return Trace(self.name, [
+            loop_block(
+                "dot-loop", iters, int_ops_per_iter=1, mul_ops_per_iter=1,
+                loads=loads,
+            ),
+            TraceBlock("lane-reduce", int_ops=tree_ops, parallel=False),
+        ])
+
+
+class IdxSearch(Workload):
+    """``idxsrch``: find the positions of a key in a large array.
+
+    The parallel search itself is a single ``vmseq.vx`` per tile; every
+    match is then post-processed serially (the paper's "sequential
+    traversing of the matches" that makes this — and the text-based
+    Phoenix apps — variable-intensity and caps their scaling).
+    """
+
+    name = "idxsrch"
+    intensity = "variable"
+
+    def __init__(self, n: int = 1 << 17, match_rate: float = 0.002, seed: int = 9) -> None:
+        self.n = n
+        self.key = 0xBEEF
+        rng = np.random.default_rng(seed)
+        self.a = rng.integers(0, 1 << 20, size=n).astype(np.int64)
+        hit_count = max(1, int(n * match_rate))
+        hits = rng.choice(n, size=hit_count, replace=False)
+        self.a[hits] = self.key
+        self.expected = np.sort(np.flatnonzero(self.a == self.key))
+
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        cape.memory.write_words(self.array_base(_A), self.a)
+        found: List[int] = []
+        done = 0
+        while done < self.n:
+            vl = cape.vsetvl(self.n - done)
+            cape.vle(1, self.array_base(_A) + 4 * done)
+            cape.vmseq_vx(2, 1, self.key)
+            count = cape.vmask_popcount(2)
+            # Serialized post-processing: the CP walks the match bits and
+            # records each index (dependent loads, unpredictable branch).
+            matches = np.flatnonzero(cape.read_vreg(2) & 1) + done
+            found.extend(int(i) for i in matches)
+            cape.scalar_ops(
+                int_ops=4 * count + 8,
+                branches=count + 1,
+                branch_miss_rate=0.5,
+                loads=self.array_base(_A) + 4 * matches,
+                stores=self.array_base(_C) + 4 * np.arange(len(found) - count, len(found)),
+                dependent_loads=count,
+                name="idxsrch-post",
+            )
+            done += vl
+        self.check(np.array(found), self.expected)
+        return self.finish(cape)
+
+    def scalar_trace(self) -> Trace:
+        match_addrs = self.array_base(_A) + 4 * self.expected
+        return Trace(self.name, [
+            loop_block(
+                "scan", self.n, int_ops_per_iter=1,
+                loads=strided_addresses(self.array_base(_A), self.n),
+                branch_miss_rate=0.001,
+            ),
+            TraceBlock(
+                "record",
+                int_ops=4 * len(self.expected),
+                branches=len(self.expected),
+                branch_miss_rate=0.5,
+                stores=self.array_base(_C) + 4 * np.arange(len(self.expected)),
+                parallel=False,
+            ),
+        ])
+
+    def simd_trace(self, lanes: int) -> Trace:
+        iters = self.n // lanes
+        stride = 4 * lanes
+        return Trace(self.name, [
+            loop_block(
+                "scan", iters, int_ops_per_iter=2,  # compare + mask test
+                loads=strided_addresses(self.array_base(_A), iters, stride),
+                branch_miss_rate=0.05,
+            ),
+            TraceBlock(
+                "record",
+                int_ops=4 * len(self.expected),
+                branches=len(self.expected),
+                branch_miss_rate=0.5,
+                loads=self.array_base(_A) + 4 * self.expected,
+                stores=self.array_base(_C) + 4 * np.arange(len(self.expected)),
+                parallel=False,
+                dependent_loads=len(self.expected),
+            ),
+        ])
+
+
+#: Registry in the order used by the Figure 9/10 benches.
+MICROBENCHMARKS: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (VVAdd, VVMul, Saxpy, MemcpyBench, Dotprod, IdxSearch)
+}

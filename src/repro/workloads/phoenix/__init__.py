@@ -1,0 +1,47 @@
+"""The eight Phoenix applications of the paper's Figure 11/12 study.
+
+Phoenix (Ranger et al., HPCA 2007) is the MapReduce-for-multicore suite
+the paper evaluates: matrix multiply, PCA, linear regression, histogram,
+kmeans, word count, reverse index, and string match. Each is
+re-implemented here in the three forms the study compares (CAPE vector
+code, scalar trace, SIMD trace); input sizes are scaled to our simulation
+budget with the capacity relationships the paper relies on preserved
+(notably: kmeans' working set fits in CAPE131k's CSB but not CAPE32k's).
+"""
+
+from typing import Dict, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.phoenix.hist import Histogram
+from repro.workloads.phoenix.kmeans import KMeans
+from repro.workloads.phoenix.lreg import LinearRegression
+from repro.workloads.phoenix.matmul import MatMul
+from repro.workloads.phoenix.pca import PCA
+from repro.workloads.phoenix.textapps import ReverseIndex, StringMatch, WordCount
+
+#: Registry in the paper's Figure 11 order.
+PHOENIX_APPS: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        MatMul,
+        PCA,
+        LinearRegression,
+        Histogram,
+        KMeans,
+        WordCount,
+        ReverseIndex,
+        StringMatch,
+    )
+}
+
+__all__ = [
+    "PHOENIX_APPS",
+    "Histogram",
+    "KMeans",
+    "LinearRegression",
+    "MatMul",
+    "PCA",
+    "ReverseIndex",
+    "StringMatch",
+    "WordCount",
+]

@@ -1,0 +1,95 @@
+"""Phoenix linear regression: least-squares fit over a point stream.
+
+The kernel reduces five sums (Sx, Sy, Sxx, Syy, Sxy) over all points —
+a redsum-heavy, constant-intensity streaming workload that scales cleanly
+with CSB capacity until it hits the HBM bandwidth roofline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.trace import Trace, TraceBlock
+from repro.engine.system import CAPESystem
+from repro.workloads.base import (
+    Workload,
+    WorkloadResult,
+    loop_block,
+    strided_addresses,
+)
+
+_X, _Y = 0, 1
+
+
+class LinearRegression(Workload):
+    """``lreg``: sums for the closed-form least-squares line."""
+
+    name = "lreg"
+    intensity = "constant"
+
+    def __init__(self, n: int = 1 << 18, seed: int = 17) -> None:
+        self.n = n
+        rng = np.random.default_rng(seed)
+        self.x = rng.integers(0, 1 << 10, size=n).astype(np.int64)
+        self.y = (3 * self.x + rng.integers(0, 1 << 8, size=n)).astype(np.int64)
+        self.expected = np.array(
+            [
+                self.x.sum(),
+                self.y.sum(),
+                (self.x * self.x).sum(),
+                (self.y * self.y).sum(),
+                (self.x * self.y).sum(),
+            ],
+            dtype=np.int64,
+        )
+
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        cape.memory.write_words(self.array_base(_X), self.x)
+        cape.memory.write_words(self.array_base(_Y), self.y)
+        sums = np.zeros(5, dtype=np.int64)
+        done = 0
+        while done < self.n:
+            vl = cape.vsetvl(self.n - done)
+            cape.vle(1, self.array_base(_X) + 4 * done)
+            cape.vle(2, self.array_base(_Y) + 4 * done)
+            sums[0] += cape.vredsum(1)
+            sums[1] += cape.vredsum(2)
+            cape.vmul(3, 1, 1)
+            sums[2] += cape.vredsum(3)
+            cape.vmul(3, 2, 2)
+            sums[3] += cape.vredsum(3)
+            cape.vmul(3, 1, 2)
+            sums[4] += cape.vredsum(3)
+            cape.scalar_ops(int_ops=8, branches=1)
+            done += vl
+        self.check(sums, self.expected)
+        return self.finish(cape)
+
+    def scalar_trace(self) -> Trace:
+        loads = np.empty(2 * self.n, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_X), self.n)
+        loads[1::2] = strided_addresses(self.array_base(_Y), self.n)
+        return Trace(self.name, [
+            loop_block(
+                "lreg-loop", self.n,
+                int_ops_per_iter=5,  # five accumulations
+                mul_ops_per_iter=3,  # xx, yy, xy
+                loads=loads,
+            )
+        ])
+
+    def simd_trace(self, lanes: int) -> Trace:
+        iters = self.n // lanes
+        stride = 4 * lanes
+        loads = np.empty(2 * iters, np.int64)
+        loads[0::2] = strided_addresses(self.array_base(_X), iters, stride)
+        loads[1::2] = strided_addresses(self.array_base(_Y), iters, stride)
+        tree_ops = int(np.log2(lanes)) * 5
+        return Trace(self.name, [
+            loop_block(
+                "lreg-loop", iters,
+                int_ops_per_iter=5, mul_ops_per_iter=3,
+                loads=loads,
+            ),
+            TraceBlock("lane-reduce", int_ops=tree_ops, parallel=False),
+        ])

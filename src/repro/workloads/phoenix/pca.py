@@ -1,0 +1,119 @@
+"""Phoenix PCA: row means and covariance matrix.
+
+The paper notes pca's for-loop inter-iteration dependencies prevented the
+replica-load optimisation, so CAPE's vector length is pinned to one row
+(low utilisation) and the costly bit-serial ``vmul`` is not amortised —
+pca's speedup is the weakest of the matrix apps and does not improve from
+CAPE32k to CAPE131k (its roofline point is fixed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.trace import Trace, TraceBlock
+from repro.engine.system import CAPESystem
+from repro.workloads.base import (
+    Workload,
+    WorkloadResult,
+    loop_block,
+    strided_addresses,
+)
+
+_M, _COV = 0, 1
+
+
+class PCA(Workload):
+    """``pca``: means and covariance of an ``rows x cols`` matrix."""
+
+    name = "pca"
+    intensity = "constant"
+
+    def __init__(self, rows: int = 16, cols: int = 8192, seed: int = 13) -> None:
+        self.rows, self.cols = rows, cols
+        rng = np.random.default_rng(seed)
+        self.M = rng.integers(0, 256, size=(rows, cols)).astype(np.int64)
+        self.means = self.M.sum(axis=1) // cols
+        centered = self.M - self.means[:, None]
+        self.expected_cov = (centered @ centered.T) & 0xFFFFFFFF
+
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        rows, cols = self.rows, self.cols
+        cape.memory.write_words(self.array_base(_M), self.M.reshape(-1))
+        base = self.array_base(_M)
+
+        # Phase 1: row means (one redsum per row; vl = one row only).
+        means = np.zeros(rows, dtype=np.int64)
+        for i in range(rows):
+            cape.vsetvl(cols)
+            cape.vle(1, base + 4 * i * cols)
+            means[i] = cape.vredsum(1) // cols
+            cape.scalar_ops(int_ops=3, branches=1)  # divide + bookkeeping
+        self.check(means, self.means)
+
+        # Phase 2: covariance; the row-pair loop carries the dependency
+        # that blocks vlrw, so each op works on a single row (vl = cols).
+        cov = np.zeros((rows, rows), dtype=np.int64)
+        for i in range(rows):
+            cape.vsetvl(cols)
+            cape.vle(1, base + 4 * i * cols)
+            cape.vadd_vx(1, 1, -int(means[i]))
+            for j in range(i, rows):
+                cape.vsetvl(cols)
+                cape.vle(2, base + 4 * j * cols)
+                cape.vadd_vx(2, 2, -int(means[j]))
+                cape.vmul(3, 1, 2)
+                cov[i, j] = cov[j, i] = cape.vredsum(3) & 0xFFFFFFFF
+                cape.scalar_ops(
+                    int_ops=4, branches=1,
+                    stores=[self.array_base(_COV) + 4 * (i * rows + j)],
+                )
+        self.check(cov, self.expected_cov)
+        return self.finish(cape)
+
+    def scalar_trace(self) -> Trace:
+        rows, cols = self.rows, self.cols
+        base = self.array_base(_M)
+        offsets = 4 * np.arange(cols, dtype=np.int64)
+        mean_loads = np.concatenate([base + 4 * i * cols + offsets for i in range(rows)])
+        cov_loads = []
+        for i in range(rows):
+            for j in range(i, rows):
+                cov_loads.append(base + 4 * i * cols + offsets)
+                cov_loads.append(base + 4 * j * cols + offsets)
+        pairs = rows * (rows + 1) // 2
+        return Trace(self.name, [
+            loop_block("means", rows * cols, int_ops_per_iter=1, loads=mean_loads),
+            loop_block(
+                "cov", pairs * cols,
+                int_ops_per_iter=3,  # two subtracts + accumulate
+                mul_ops_per_iter=1,
+                loads=np.concatenate(cov_loads),
+                stores=self.array_base(_COV) + 4 * np.arange(pairs, dtype=np.int64),
+            ),
+        ])
+
+    def simd_trace(self, lanes: int) -> Trace:
+        rows, cols = self.rows, self.cols
+        base = self.array_base(_M)
+        stride = 4 * lanes
+        vec_iters = cols // lanes
+        offsets = stride * np.arange(vec_iters, dtype=np.int64)
+        mean_loads = np.concatenate([base + 4 * i * cols + offsets for i in range(rows)])
+        cov_loads = []
+        for i in range(rows):
+            for j in range(i, rows):
+                cov_loads.append(base + 4 * i * cols + offsets)
+                cov_loads.append(base + 4 * j * cols + offsets)
+        pairs = rows * (rows + 1) // 2
+        tree_ops = int(np.log2(lanes)) * (rows + pairs)
+        return Trace(self.name, [
+            loop_block("means", rows * vec_iters, int_ops_per_iter=1, loads=mean_loads),
+            loop_block(
+                "cov", pairs * vec_iters,
+                int_ops_per_iter=3, mul_ops_per_iter=1,
+                loads=np.concatenate(cov_loads),
+                stores=self.array_base(_COV) + 4 * np.arange(pairs, dtype=np.int64),
+            ),
+            TraceBlock("lane-reduce", int_ops=tree_ops, parallel=False),
+        ])

@@ -1,0 +1,198 @@
+"""Phoenix text applications: word count, reverse index, string match.
+
+All three share the structure the paper identifies as CAPE's scaling
+limit (Section VI-E): a sequential traversal of the input (parsing) and a
+serialized post-processing of every match, on top of a massively parallel
+search phase. Their intensity is *variable*: bigger CSBs speed up only
+the search phase, so by Amdahl's law — compounded by the growing command
+distribution overhead — their speedup plateaus and then degrades from
+CAPE32k to CAPE131k.
+
+Inputs are token streams (integer word/character ids), the form Phoenix's
+parsers produce in memory.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.baseline.trace import Trace, TraceBlock
+from repro.engine.system import CAPESystem
+from repro.workloads.base import (
+    Workload,
+    WorkloadResult,
+    loop_block,
+    strided_addresses,
+)
+
+_TOKENS, _OUT = 0, 1
+
+
+class _TextSearchApp(Workload):
+    """Shared skeleton: parse serially, search in parallel, post-process
+    each match serially."""
+
+    intensity = "variable"
+    #: CP operations spent per match in the serialized post-processing.
+    ops_per_match = 4
+    #: Fraction of tokens the CP still touches serially (delimiters,
+    #: record boundaries) after the search phase takes over the scanning.
+    parse_fraction = 1.0 / 32
+    #: Fraction of all tokens that are occurrences of tracked keys.
+    match_fraction = 1.0 / 16
+
+    def __init__(
+        self,
+        n: int = 1 << 18,
+        vocabulary: int = 4096,
+        num_keys: int = 32,
+        seed: int = 31,
+    ) -> None:
+        self.n = n
+        self.num_keys = num_keys
+        rng = np.random.default_rng(seed)
+        # Filler tokens above the key range, with tracked keys planted at
+        # the configured density.
+        self.tokens = rng.integers(
+            num_keys + 1, vocabulary, size=n
+        ).astype(np.int64)
+        planted = max(1, int(n * self.match_fraction))
+        where = rng.choice(n, size=planted, replace=False)
+        self.tokens[where] = rng.integers(1, num_keys + 1, size=planted)
+        self.keys = np.arange(1, num_keys + 1, dtype=np.int64)
+
+    # -- golden ---------------------------------------------------------
+
+    def golden_counts(self) -> np.ndarray:
+        return np.array(
+            [(self.tokens == k).sum() for k in self.keys], dtype=np.int64
+        )
+
+    def total_matches(self) -> int:
+        return int(self.golden_counts().sum())
+
+    # -- CAPE -------------------------------------------------------------
+
+    def run_cape(self, cape: CAPESystem) -> WorkloadResult:
+        cape.memory.write_words(self.array_base(_TOKENS), self.tokens)
+        counts = np.zeros(self.num_keys, dtype=np.int64)
+        # Serial parse remnant: the CP walks record boundaries; the bulk
+        # of the scanning moved into the searches below.
+        parse_tokens = int(self.n * self.parse_fraction)
+        cape.scalar_ops(
+            int_ops=2 * parse_tokens,
+            branches=parse_tokens // 4,
+            branch_miss_rate=0.08,
+            loads=strided_addresses(self.array_base(_TOKENS), parse_tokens, 64),
+            name=f"{self.name}-parse",
+        )
+        done = 0
+        while done < self.n:
+            vl = cape.vsetvl(self.n - done)
+            cape.vle(1, self.array_base(_TOKENS) + 4 * done)
+            for i, key in enumerate(self.keys):
+                cape.vmseq_vx(2, 1, int(key))
+                matched = cape.vmask_popcount(2)
+                counts[i] += matched
+                # Serialized per-match post-processing on the CP.
+                if matched:
+                    # The matched key is already known from the search, so
+                    # the CP only records/aggregates each occurrence
+                    # (unpredictable branch per match, sequential output).
+                    out_pos = int(counts[:i].sum()) + int(counts[i]) - matched
+                    cape.scalar_ops(
+                        int_ops=self.ops_per_match * matched,
+                        branches=matched,
+                        branch_miss_rate=0.2,
+                        stores=self.array_base(_OUT)
+                        + 4 * (out_pos + np.arange(matched, dtype=np.int64)),
+                        name=f"{self.name}-post",
+                    )
+            done += vl
+        self.check(counts, self.golden_counts())
+        return self.finish(cape)
+
+    # -- scalar -----------------------------------------------------------
+
+    def scalar_trace(self) -> Trace:
+        matches = self.total_matches()
+        return Trace(self.name, [
+            loop_block(
+                "parse+scan", self.n,
+                int_ops_per_iter=3,  # hash/compare per token
+                loads=strided_addresses(self.array_base(_TOKENS), self.n),
+                branch_miss_rate=0.08,
+                dependent_loads=self.n // 16,
+            ),
+            TraceBlock(
+                "post",
+                int_ops=self.ops_per_match * matches,
+                branches=matches,
+                branch_miss_rate=0.3,
+                stores=self.array_base(_OUT) + 4 * np.arange(matches, dtype=np.int64),
+                parallel=False,
+            ),
+        ])
+
+    def simd_trace(self, lanes: int) -> Trace:
+        iters = self.n // lanes
+        matches = self.total_matches()
+        return Trace(self.name, [
+            loop_block(
+                "scan", iters * min(self.num_keys, 8),
+                int_ops_per_iter=2,
+                loads=strided_addresses(self.array_base(_TOKENS), iters, 4 * lanes),
+                branch_miss_rate=0.05,
+            ),
+            TraceBlock(
+                "parse",
+                int_ops=self.n // 4,
+                branches=self.n // 32,
+                branch_miss_rate=0.08,
+                loads=strided_addresses(self.array_base(_TOKENS), self.n // 8, 32),
+                dependent_loads=self.n // 64,
+                parallel=False,
+            ),
+            TraceBlock(
+                "post",
+                int_ops=self.ops_per_match * matches,
+                branches=matches,
+                branch_miss_rate=0.3,
+                stores=self.array_base(_OUT) + 4 * np.arange(matches, dtype=np.int64),
+                parallel=False,
+            ),
+        ])
+
+
+class WordCount(_TextSearchApp):
+    """``wrdcnt``: frequency of the tracked words in a document stream."""
+
+    name = "wrdcnt"
+    ops_per_match = 3
+    parse_fraction = 1.0 / 8
+
+
+class ReverseIndex(_TextSearchApp):
+    """``revidx``: word -> positions index; heavier per-match extraction."""
+
+    name = "revidx"
+    ops_per_match = 8
+    parse_fraction = 1.0 / 12
+    match_fraction = 1.0 / 16
+
+    def __init__(self, n: int = 1 << 18, seed: int = 37) -> None:
+        super().__init__(n=n, vocabulary=2048, num_keys=24, seed=seed)
+
+
+class StringMatch(_TextSearchApp):
+    """``strmatch``: locate key strings; rare matches, per-candidate verify."""
+
+    name = "strmatch"
+    ops_per_match = 12
+    parse_fraction = 1.0 / 24
+    match_fraction = 1.0 / 64
+
+    def __init__(self, n: int = 1 << 18, seed: int = 41) -> None:
+        super().__init__(n=n, vocabulary=1 << 15, num_keys=8, seed=seed)

@@ -1,0 +1,102 @@
+"""Measured microoperation counts vs Table I closed forms.
+
+The strongest reproduction claims: our reconstructed microcode *measures*
+exactly the published cycle counts for add/sub/logic/vmseq.vv/redsum at
+every width, and matches the published asymptotic shape (with documented
+constant-factor deltas) for the instructions whose microcode the paper
+does not fully specify.
+"""
+
+import numpy as np
+import pytest
+
+from repro.assoc.instruction_model import InstructionModel
+
+WIDTHS = [4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return InstructionModel(width=32)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("mnemonic", ["vadd.vv", "vsub.vv"])
+def test_add_sub_measure_exactly_8n_plus_2(model, mnemonic, width):
+    metrics = model.measure(mnemonic, width=width)
+    assert metrics.measured_cycles == 8 * width + 2
+
+
+@pytest.mark.parametrize("mnemonic,cycles", [("vand.vv", 3), ("vor.vv", 3), ("vxor.vv", 4)])
+def test_logic_ops_are_width_independent(model, mnemonic, cycles):
+    for width in WIDTHS:
+        assert model.measure(mnemonic, width=width).measured_cycles == cycles
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_vmseq_vv_measures_exactly_n_plus_4(model, width):
+    assert model.measure("vmseq.vv", width=width).measured_cycles == width + 4
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_vredsum_measures_n(model, width):
+    assert model.measure("vredsum.vs", width=width).measured_cycles == width
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_vmseq_vx_close_to_n_plus_1(model, width):
+    """Our microcode spends n+3 (explicit preset + final update)."""
+    measured = model.measure("vmseq.vx", width=width).measured_cycles
+    assert width + 1 <= measured <= width + 3
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_vmslt_is_linear_like_3n_plus_6(model, width):
+    """Reconstructed borrow-chain compare: linear in width (4n + 9 here
+    vs the paper's 3n + 6 — same shape, constant documented)."""
+    measured = model.measure("vmslt.vv", width=width).measured_cycles
+    assert 3 * width + 6 <= measured <= 5 * width + 10
+
+
+def test_vmul_is_quadratic(model):
+    """vmul traverses its table a quadratic number of times."""
+    m8 = model.measure("vmul.vv", width=8).measured_cycles
+    m16 = model.measure("vmul.vv", width=16).measured_cycles
+    m32 = model.measure("vmul.vv", width=32).measured_cycles
+    # Quadratic growth: doubling the width ~quadruples the cycles.
+    assert 3.2 <= m16 / m8 <= 4.8
+    assert 3.2 <= m32 / m16 <= 4.8
+
+
+def test_vmul_does_thousands_of_searches_and_updates(model):
+    """Section VI-B: vmul performs more than 3,000 searches and updates."""
+    from repro.assoc.emulator import AssociativeEmulator
+    from repro.circuits.microops import Microop
+
+    em = AssociativeEmulator(num_subarrays=32, num_cols=32)
+    rng = np.random.default_rng(3)
+    run = em.run(
+        "vmul.vv",
+        rng.integers(0, 2**31, 32),
+        rng.integers(0, 2**31, 32),
+        width=32,
+    )
+    searches = run.stats.count(Microop.SEARCH)
+    updates = (
+        run.stats.count(Microop.UPDATE) + run.stats.count(Microop.UPDATE_PROP)
+    )
+    assert searches + updates > 3000
+
+
+def test_paper_accounting_uses_closed_forms():
+    model = InstructionModel(width=32, accounting="paper")
+    assert model.cycles("vadd.vv") == 8 * 32 + 2
+    assert model.cycles("vmul.vv") == 4 * 32 * 32 - 4 * 32
+    assert model.cycles("vmslt.vv") == 3 * 32 + 6
+    assert model.cycles("vmerge.vv") == 4
+
+
+def test_measured_accounting_uses_emulator_counts():
+    model = InstructionModel(width=32, accounting="measured")
+    assert model.cycles("vadd.vv") == 258  # matches the closed form
+    assert model.cycles("vmul.vv") > 4 * 32 * 32  # documented delta

@@ -1,0 +1,120 @@
+"""The extended instruction set: shifts, min/max, vmsne, vrsub.
+
+Property-based sweeps against integer semantics at several widths, plus
+aliasing behaviour for the compositions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.assoc import algorithms as alg
+from repro.assoc.emulator import AssociativeEmulator, golden
+from repro.common.errors import ConfigError
+from repro.csb.chain import Chain
+
+MINMAX = ["vmin.vv", "vmax.vv", "vminu.vv", "vmaxu.vv"]
+SHIFTS = ["vsll.vi", "vsrl.vi", "vsra.vi"]
+
+
+def run_and_check(mnemonic, a, b=None, scalar=None, width=8):
+    em = AssociativeEmulator(num_subarrays=width, num_cols=len(a))
+    run = em.run(mnemonic, a, b=b, scalar=scalar, width=width)
+    expect = golden(mnemonic, a, b=b, scalar=scalar, width=width)
+    assert np.array_equal(np.asarray(run.result), np.asarray(expect)), mnemonic
+    return run
+
+
+@pytest.mark.parametrize("mnemonic", MINMAX + ["vmsne.vv"])
+def test_minmax_and_msne_fixed(mnemonic):
+    a = np.array([0, 255, 127, 128, 5, 5, 200, 1])
+    b = np.array([255, 0, 128, 127, 5, 6, 100, 254])
+    run_and_check(mnemonic, a, b, width=8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(0, 255), min_size=4, max_size=8),
+    st.lists(st.integers(0, 255), min_size=4, max_size=8),
+    st.sampled_from(MINMAX),
+)
+def test_minmax_property(a, b, mnemonic):
+    n = min(len(a), len(b))
+    run_and_check(mnemonic, np.array(a[:n]), np.array(b[:n]), width=8)
+
+
+def test_min_max_signed_vs_unsigned_differ():
+    a = np.array([0x80] * 4)  # -128 signed, 128 unsigned
+    b = np.array([0x01] * 4)
+    signed = run_and_check("vmin.vv", a, b, width=8)
+    unsigned = run_and_check("vminu.vv", a, b, width=8)
+    assert np.asarray(signed.result).tolist() == [0x80] * 4
+    assert np.asarray(unsigned.result).tolist() == [0x01] * 4
+
+
+def test_minmax_allows_aliasing_destination():
+    chain = Chain(num_subarrays=8, num_cols=8)
+    a = np.array([9, 1, 200, 40, 7, 250, 0, 128])
+    b = np.array([3, 90, 100, 41, 7, 251, 1, 127])
+    chain.poke_register(1, a)
+    chain.poke_register(2, b)
+    alg.vminu_vv(chain, 1, 1, 2, width=8)  # vd aliases vs1
+    assert chain.peek_register(1).tolist() == np.minimum(a, b).tolist()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(0, 255), min_size=4, max_size=8),
+    st.integers(0, 7),
+    st.sampled_from(SHIFTS),
+)
+def test_shift_property(a, shamt, mnemonic):
+    run_and_check(mnemonic, np.array(a), scalar=shamt, width=8)
+
+
+def test_sra_sign_extends():
+    run = run_and_check("vsra.vi", np.array([0x80, 0x40, 0xFF, 0x01]), scalar=3, width=8)
+    assert np.asarray(run.result).tolist() == [0xF0, 0x08, 0xFF, 0x00]
+
+
+def test_shift_amount_validated():
+    chain = Chain(num_subarrays=8, num_cols=4)
+    with pytest.raises(ConfigError):
+        alg.vsll_vi(chain, 1, 2, 8, width=8)
+    with pytest.raises(ConfigError):
+        alg.vsrl_vi(chain, 1, 2, -1, width=8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(0, 255), min_size=4, max_size=8),
+    st.integers(0, 255),
+)
+def test_vrsub_property(a, scalar):
+    run_and_check("vrsub.vx", np.array(a), scalar=scalar, width=8)
+
+
+def test_vrsub_in_place():
+    chain = Chain(num_subarrays=8, num_cols=4)
+    a = np.array([10, 200, 0, 77])
+    chain.poke_register(1, a)
+    alg.vrsub_vx(chain, 1, 1, 50, width=8)  # vd aliases vs1
+    assert chain.peek_register(1).tolist() == ((50 - a) % 256).tolist()
+
+
+@pytest.mark.parametrize("width", [4, 8, 16])
+def test_minmax_across_widths(width):
+    rng = np.random.default_rng(width)
+    a = rng.integers(0, 1 << width, size=8)
+    b = rng.integers(0, 1 << width, size=8)
+    for mnemonic in MINMAX:
+        run_and_check(mnemonic, a, b, width=width)
+
+
+def test_new_instructions_registered():
+    from repro.assoc.algorithms import ALGORITHMS
+
+    for mnemonic in MINMAX + SHIFTS + ["vmsne.vv", "vrsub.vx"]:
+        assert mnemonic in ALGORITHMS
+        info = ALGORITHMS[mnemonic]
+        assert info.paper_cycles(32) > 0

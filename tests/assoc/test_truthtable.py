@@ -1,0 +1,80 @@
+"""TTM entry format: encoding limits and circuit constraints."""
+
+import pytest
+
+from repro.assoc.truthtable import TruthTable, TTEntry, UpdateOp
+from repro.common.errors import ConfigError, ProtocolError
+
+
+def test_entry_accepts_up_to_four_search_rows():
+    TTEntry(search=(("vs1", 1), ("vs2", 0), ("carry", 1), ("mask", 1)))
+
+
+def test_entry_rejects_five_search_rows():
+    with pytest.raises(ProtocolError):
+        TTEntry(
+            search=(
+                ("vs1", 1), ("vs2", 0), ("carry", 1), ("mask", 1), ("flag", 0),
+            )
+        )
+
+
+def test_entry_rejects_two_local_updates():
+    """At most one row per subarray may be updated (Section V-A)."""
+    with pytest.raises(ProtocolError):
+        TTEntry(updates=(UpdateOp("vd", 1), UpdateOp("carry", 0)))
+
+
+def test_entry_allows_local_plus_next_subarray_update():
+    entry = TTEntry(
+        updates=(UpdateOp("vd", 1), UpdateOp("carry", 1, next_subarray=True))
+    )
+    assert entry.has_update
+
+
+def test_unknown_role_rejected():
+    with pytest.raises(ConfigError):
+        TTEntry(search=(("bogus", 1),))
+    with pytest.raises(ConfigError):
+        UpdateOp("bogus", 1)
+
+
+def test_non_binary_values_rejected():
+    with pytest.raises(ConfigError):
+        TTEntry(search=(("vs1", 2),))
+    with pytest.raises(ConfigError):
+        UpdateOp("vd", -1)
+
+
+def test_table_respects_ttm_capacity():
+    entries = tuple(TTEntry(search=(("vs1", 1),)) for _ in range(17))
+    with pytest.raises(ProtocolError):
+        TruthTable("too-big", entries)
+
+
+def test_table_reports_row_extremes():
+    table = TruthTable(
+        "t",
+        (
+            TTEntry(search=(("vs1", 1),)),
+            TTEntry(
+                search=(("vs1", 0), ("vs2", 1), ("carry", 1)),
+                updates=(UpdateOp("vd", 1), UpdateOp("carry", 1, next_subarray=True)),
+            ),
+        ),
+    )
+    assert table.max_search_rows == 3
+    assert table.max_update_rows == 2
+    assert len(table) == 2
+
+
+def test_encoded_bits_only_store_involved_rows():
+    """Section V-D: entries are encoded efficiently — storage grows with
+    the rows actually referenced, plus 4 control bits per entry."""
+    small = TruthTable("s", (TTEntry(search=(("vs1", 1),)),))
+    big = TruthTable(
+        "b",
+        (TTEntry(search=(("vs1", 1), ("vs2", 0)), updates=(UpdateOp("vd", 1),)),),
+    )
+    assert small.encoded_bits() == 1 * 7 + 4
+    assert big.encoded_bits() == 3 * 7 + 4

@@ -1,0 +1,104 @@
+"""Comprehensive width matrix: every instruction at 4/8/16/32 bits.
+
+One randomised correctness check per (instruction, width) cell — the
+coarse safety net behind the targeted property tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.assoc.emulator import AssociativeEmulator, golden
+
+WIDTHS = [4, 8, 16, 32]
+
+BINARY = [
+    "vadd.vv", "vsub.vv", "vand.vv", "vor.vv", "vxor.vv",
+    "vmseq.vv", "vmsne.vv", "vmslt.vv", "vmsltu.vv",
+    "vmin.vv", "vmax.vv", "vminu.vv", "vmaxu.vv",
+]
+SCALAR = ["vadd.vx", "vrsub.vx", "vmseq.vx"]
+SHIFT = ["vsll.vi", "vsrl.vi", "vsra.vi"]
+
+
+def _operands(width, seed):
+    rng = np.random.default_rng(seed)
+    lanes = 8
+    a = rng.integers(0, 1 << width, size=lanes)
+    b = rng.integers(0, 1 << width, size=lanes)
+    return a, b, int(rng.integers(0, 1 << width)), int(rng.integers(0, width))
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("mnemonic", BINARY)
+def test_binary_matrix(mnemonic, width):
+    a, b, _, _ = _operands(width, hash((mnemonic, width)) % 2**31)
+    em = AssociativeEmulator(num_subarrays=width, num_cols=len(a))
+    run = em.run(mnemonic, a, b, width=width)
+    expect = golden(mnemonic, a, b, width=width)
+    assert np.array_equal(np.asarray(run.result), np.asarray(expect))
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("mnemonic", SCALAR)
+def test_scalar_matrix(mnemonic, width):
+    a, _, scalar, _ = _operands(width, hash((mnemonic, width)) % 2**31)
+    em = AssociativeEmulator(num_subarrays=width, num_cols=len(a))
+    run = em.run(mnemonic, a, scalar=scalar, width=width)
+    expect = golden(mnemonic, a, scalar=scalar, width=width)
+    assert np.array_equal(np.asarray(run.result), np.asarray(expect))
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("mnemonic", SHIFT)
+def test_shift_matrix(mnemonic, width):
+    a, _, _, shamt = _operands(width, hash((mnemonic, width)) % 2**31)
+    em = AssociativeEmulator(num_subarrays=width, num_cols=len(a))
+    run = em.run(mnemonic, a, scalar=shamt, width=width)
+    expect = golden(mnemonic, a, scalar=shamt, width=width)
+    assert np.array_equal(np.asarray(run.result), np.asarray(expect))
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_vmul_matrix(width):
+    a, b, _, _ = _operands(width, width)
+    em = AssociativeEmulator(num_subarrays=width, num_cols=len(a))
+    run = em.run("vmul.vv", a, b, width=width)
+    expect = golden("vmul.vv", a, b, width=width)
+    assert np.array_equal(np.asarray(run.result), np.asarray(expect))
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_redsum_matrix(width):
+    a, _, _, _ = _operands(width, width + 100)
+    em = AssociativeEmulator(num_subarrays=width, num_cols=len(a))
+    run = em.run("vredsum.vs", a, width=width)
+    assert run.result == int(a.sum())
+
+
+def test_bit_domain_invariant_after_random_microops(rng):
+    """Whatever microoperations run, every bitcell stays 0/1 and tags
+    stay 0/1 — the physical domain invariant."""
+    from repro.csb.chain import Chain
+
+    chain = Chain(num_subarrays=8, num_cols=8)
+    for _ in range(200):
+        op = rng.integers(0, 5)
+        sub = int(rng.integers(0, 8))
+        row = int(rng.integers(0, 36))
+        if op == 0:
+            chain.search(sub, {row: int(rng.integers(0, 2))},
+                         accumulate=bool(rng.integers(0, 2)))
+        elif op == 1:
+            chain.update(sub, row, int(rng.integers(0, 2)))
+        elif op == 2:
+            chain.update_bit_parallel(row, int(rng.integers(0, 2)),
+                                      use_tags=bool(rng.integers(0, 2)))
+        elif op == 3:
+            chain.write_element(int(rng.integers(0, 32)), int(rng.integers(0, 8)),
+                                int(rng.integers(0, 256)))
+        else:
+            chain.search_accumulate_next(sub, {row: int(rng.integers(0, 2))},
+                                         accumulate=bool(rng.integers(0, 2)))
+    for sub in chain.subarrays:
+        assert set(np.unique(sub.bits)) <= {0, 1}
+        assert set(np.unique(sub.tags)) <= {0, 1}

@@ -1,0 +1,50 @@
+"""In-order core model (CAPE's control processor)."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.inorder import (
+    InOrderConfig,
+    InOrderCore,
+    control_processor_hierarchy,
+)
+from repro.baseline.ooo import OoOCore
+from repro.baseline.trace import Trace, TraceBlock
+
+
+def test_dual_issue_bound():
+    core = InOrderCore()
+    block = TraceBlock("alu", int_ops=1000)
+    # 2-wide issue is the ceiling even with 4 int units.
+    assert core.block_cycles(block) >= 1000 / 2
+
+
+def test_memory_stalls_add_not_hide():
+    core = InOrderCore()
+    loads = 512 * np.arange(64, dtype=np.int64) * 4
+    with_mem = TraceBlock("m", int_ops=1000, loads=loads)
+    without = TraceBlock("c", int_ops=1000)
+    assert core.block_cycles(with_mem) > core.block_cycles(without) + 100
+
+
+def test_in_order_slower_than_ooo_on_memory():
+    loads = 512 * np.arange(256, dtype=np.int64) * 4
+    t1 = Trace("t", [TraceBlock("m", loads=loads.copy())])
+    t2 = Trace("t", [TraceBlock("m", loads=loads.copy())])
+    inorder = InOrderCore().run(t1)
+    ooo = OoOCore().run(t2)
+    assert inorder.cycles > ooo.cycles
+
+
+def test_cp_hierarchy_has_no_l3_and_512b_l2_lines():
+    h = control_processor_hierarchy()
+    assert h.l3 is None
+    assert h.l2.line_bytes == 512
+    assert h.config.frequency_hz == pytest.approx(2.7e9)
+
+
+def test_cp_config_matches_table_iii():
+    config = InOrderConfig()
+    assert config.issue_width == 2
+    assert config.lsq_entries == 5
+    assert config.frequency_hz == pytest.approx(2.7e9)

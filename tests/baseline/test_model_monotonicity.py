@@ -1,0 +1,80 @@
+"""Timing-model sanity: more resources never make a core slower.
+
+Monotonicity properties that any defensible interval model must satisfy;
+violations would indicate accounting bugs rather than interesting
+microarchitecture.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.inorder import InOrderConfig, InOrderCore
+from repro.baseline.ooo import OoOConfig, OoOCore
+from repro.baseline.trace import Trace, TraceBlock
+
+
+def mixed_trace(n=4096, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace("t", [
+        TraceBlock(
+            "b",
+            int_ops=2 * n,
+            mul_ops=n // 4,
+            branches=n // 8,
+            branch_miss_rate=0.02,
+            loads=4 * rng.integers(0, 1 << 16, size=n),
+            stores=4 * rng.integers(0, 1 << 16, size=n // 4),
+        )
+    ])
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 8), st.integers(1, 8))
+def test_wider_issue_never_slower(w1, w2):
+    lo, hi = sorted((w1, w2))
+    slow = OoOCore(OoOConfig(issue_width=lo)).run(mixed_trace())
+    fast = OoOCore(OoOConfig(issue_width=hi)).run(mixed_trace())
+    assert fast.cycles <= slow.cycles + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 8), st.integers(1, 8))
+def test_more_int_units_never_slower(u1, u2):
+    lo, hi = sorted((u1, u2))
+    slow = OoOCore(OoOConfig(int_units=lo)).run(mixed_trace())
+    fast = OoOCore(OoOConfig(int_units=hi)).run(mixed_trace())
+    assert fast.cycles <= slow.cycles + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(1.0, 32.0), st.floats(1.0, 32.0))
+def test_more_mlp_never_slower(m1, m2):
+    lo, hi = sorted((m1, m2))
+    slow = OoOCore(OoOConfig(max_mlp=lo)).run(mixed_trace())
+    fast = OoOCore(OoOConfig(max_mlp=hi)).run(mixed_trace())
+    assert fast.cycles <= slow.cycles + 1e-9
+
+
+def test_fewer_mispredictions_never_slower():
+    clean = TraceBlock("c", int_ops=100, branches=1000, branch_miss_rate=0.0)
+    dirty = TraceBlock("d", int_ops=100, branches=1000, branch_miss_rate=0.2)
+    core = OoOCore()
+    assert core.block_cycles(clean) <= core.block_cycles(dirty)
+
+
+def test_ooo_never_slower_than_inorder_on_same_trace():
+    ooo = OoOCore().run(mixed_trace(seed=1))
+    ino = InOrderCore(
+        InOrderConfig(frequency_hz=3.6e9)  # same clock for a fair check
+    ).run(mixed_trace(seed=1))
+    assert ooo.cycles <= ino.cycles
+
+
+def test_adding_work_never_speeds_up():
+    small = mixed_trace(n=1024, seed=2)
+    large = mixed_trace(n=4096, seed=2)
+    core = OoOCore()
+    t_small = core.run(small).cycles
+    t_large = OoOCore().run(large).cycles
+    assert t_large >= t_small

@@ -1,0 +1,55 @@
+"""Multicore baseline: parallel scaling and serial bottlenecks."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.multicore import Multicore
+from repro.baseline.ooo import OoOCore
+from repro.baseline.trace import Trace, TraceBlock
+from repro.common.errors import ConfigError
+
+
+def _parallel_trace(n=1 << 15):
+    loads = 4 * np.arange(n, dtype=np.int64)
+    return Trace("p", [TraceBlock("work", int_ops=4 * n, loads=loads)])
+
+
+def test_two_cores_faster_than_one():
+    single = OoOCore().run(_parallel_trace())
+    dual = Multicore(2).run(_parallel_trace())
+    assert 1.3 < single.seconds / dual.seconds <= 2.2
+
+
+def test_three_cores_faster_than_two():
+    dual = Multicore(2).run(_parallel_trace())
+    triple = Multicore(3).run(_parallel_trace())
+    assert triple.seconds < dual.seconds
+
+
+def test_serial_blocks_do_not_scale():
+    trace = Trace("s", [TraceBlock("serial", int_ops=1 << 18, parallel=False)])
+    single = OoOCore().run(Trace("s", [TraceBlock("serial", int_ops=1 << 18, parallel=False)]))
+    quad = Multicore(4).run(trace)
+    assert quad.cycles == pytest.approx(single.cycles, rel=0.01)
+
+
+def test_amdahl_with_mixed_trace():
+    blocks = [
+        TraceBlock("par", int_ops=1 << 18),
+        TraceBlock("ser", int_ops=1 << 18, parallel=False),
+    ]
+    single = OoOCore()
+    t_single = sum(single.block_cycles(b) for b in blocks)
+    t_multi = Multicore(4).run(Trace("m", blocks)).cycles
+    speedup = t_single / t_multi
+    assert 1.2 < speedup < 2.2  # serial half caps the gain near 2x
+
+
+def test_shared_l3_is_shared():
+    mc = Multicore(2)
+    assert mc.hierarchies[0].l3 is mc.hierarchies[1].l3
+
+
+def test_invalid_core_count():
+    with pytest.raises(ConfigError):
+        Multicore(0)

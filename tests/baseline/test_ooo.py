@@ -1,0 +1,88 @@
+"""Out-of-order interval model: which bound dominates when."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.ooo import OoOConfig, OoOCore
+from repro.baseline.trace import Trace, TraceBlock
+
+
+def test_issue_bound_for_pure_alu_mix():
+    """With ops spread across classes, the 8-wide front end is the limit."""
+    core = OoOCore()
+    block = TraceBlock("alu", int_ops=4000, mul_ops=2000, fp_ops=2000)
+    cycles = core.block_cycles(block)
+    assert cycles >= 8000 / 8
+
+
+def test_int_unit_bound_when_alu_heavy():
+    core = OoOCore()
+    block = TraceBlock("int", int_ops=8000)
+    # 4 int units < 8-wide issue: unit bound dominates.
+    assert core.block_cycles(block) == pytest.approx(8000 / 4)
+
+
+def test_mul_latency_weighs_on_unit_bound():
+    core = OoOCore()
+    block = TraceBlock("mul", mul_ops=4000)
+    assert core.block_cycles(block) == pytest.approx(4000 * 3 / 4)
+
+
+def test_branch_mispredictions_add_penalty():
+    core = OoOCore()
+    clean = TraceBlock("clean", int_ops=100, branches=1000, branch_miss_rate=0.0)
+    dirty = TraceBlock("dirty", int_ops=100, branches=1000, branch_miss_rate=0.1)
+    delta = core.block_cycles(dirty) - core.block_cycles(clean)
+    assert delta == pytest.approx(1000 * 0.1 * core.config.branch_penalty)
+
+
+def test_memory_bound_streaming_misses():
+    core = OoOCore()
+    # 1,000 distinct lines: all cold misses to HBM.
+    loads = 64 * np.arange(1000, dtype=np.int64) * 8
+    block = TraceBlock("stream", loads=loads)
+    cycles = core.block_cycles(block)
+    assert cycles > 1000  # far above the 1000/3 mem-unit bound
+
+
+def test_l1_hits_are_hidden():
+    core = OoOCore()
+    warm = 64 * np.arange(8, dtype=np.int64)
+    core.block_cycles(TraceBlock("warm", loads=warm))
+    cycles = core.block_cycles(TraceBlock("hits", loads=np.tile(warm, 100)))
+    # 800 L1 hits bound by the 3 memory units, not by latency.
+    assert cycles == pytest.approx(800 / 3, rel=0.2)
+
+
+def test_dependent_loads_serialise():
+    core = OoOCore()
+    loads = 64 * np.arange(100, dtype=np.int64) * 8
+    parallel = TraceBlock("mlp", loads=loads.copy())
+    serial = TraceBlock("chase", loads=loads.copy(), dependent_loads=100)
+    core2 = OoOCore()
+    assert core2.block_cycles(serial) > core.block_cycles(parallel) * 3
+
+
+def test_run_aggregates_blocks_and_repeat():
+    core = OoOCore()
+    trace = Trace("t", [TraceBlock("a", int_ops=800)], repeat=3)
+    result = core.run(trace)
+    assert result.cycles == pytest.approx(3 * core.block_cycles(TraceBlock("a", int_ops=800)))
+    assert result.instructions == 3 * 800
+    assert result.seconds == pytest.approx(result.cycles / 3.6e9)
+
+
+def test_table_iii_core_defaults():
+    config = OoOConfig()
+    assert config.issue_width == 8
+    assert config.rob_entries == 224
+    assert config.load_queue == 72
+    assert config.store_queue == 56
+    assert config.frequency_hz == pytest.approx(3.6e9)
+
+
+def test_ipc_bounded_by_issue_width():
+    core = OoOCore()
+    trace = Trace("t", [TraceBlock("a", int_ops=1000, mul_ops=500, fp_ops=500, branches=250)])
+    result = core.run(trace)
+    assert result.ipc <= core.config.issue_width

@@ -1,0 +1,47 @@
+"""SVE-like SIMD model (Figure 12 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.simd import SIMDConfig, SIMDCore
+from repro.baseline.ooo import OoOCore
+from repro.common.errors import ConfigError
+from repro.workloads.micro import VVAdd
+
+
+def test_lane_math():
+    assert SIMDConfig(vector_bits=128).lanes == 4
+    assert SIMDConfig(vector_bits=256).lanes == 8
+    assert SIMDConfig(vector_bits=512).lanes == 16
+
+
+def test_misaligned_width_rejected():
+    with pytest.raises(ConfigError):
+        SIMDConfig(vector_bits=100)
+
+
+def test_wider_vectors_run_faster():
+    wl = VVAdd(n=1 << 14)
+    times = {}
+    for bits in (128, 256, 512):
+        core = SIMDCore(SIMDConfig(vector_bits=bits))
+        times[bits] = core.run(wl.simd_trace(core.lanes)).seconds
+    assert times[128] > times[256] > times[512]
+
+
+def test_simd_beats_scalar():
+    wl = VVAdd(n=1 << 14)
+    scalar = OoOCore().run(wl.scalar_trace()).seconds
+    core = SIMDCore(SIMDConfig(vector_bits=512))
+    simd = core.run(wl.simd_trace(core.lanes)).seconds
+    assert scalar / simd > 1.5
+
+
+def test_simd_speedup_sublinear_in_lanes():
+    """Memory-bound streaming: 4x lanes does not give 4x speedup."""
+    wl = VVAdd(n=1 << 15)
+    core128 = SIMDCore(SIMDConfig(vector_bits=128))
+    core512 = SIMDCore(SIMDConfig(vector_bits=512))
+    t128 = core128.run(wl.simd_trace(core128.lanes)).seconds
+    t512 = core512.run(wl.simd_trace(core512.lanes)).seconds
+    assert t128 / t512 < 4.0

@@ -1,0 +1,52 @@
+"""Trace blocks: op accounting and parallel sharding."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.trace import Trace, TraceBlock
+from repro.common.errors import ConfigError
+
+
+def test_total_ops_counts_everything():
+    block = TraceBlock(
+        "b", int_ops=10, mul_ops=2, fp_ops=3, branches=4,
+        loads=np.arange(5), stores=np.arange(6),
+    )
+    assert block.total_ops == 10 + 2 + 3 + 4 + 5 + 6
+
+
+def test_split_deals_contiguous_chunks():
+    """Phoenix-style chunking: each core owns a disjoint address slice."""
+    block = TraceBlock("b", int_ops=8, loads=np.arange(8) * 4)
+    shards = block.split(2)
+    assert len(shards) == 2
+    assert shards[0].loads.tolist() == [0, 4, 8, 12]
+    assert shards[1].loads.tolist() == [16, 20, 24, 28]
+    assert shards[0].int_ops == 4
+
+
+def test_serial_block_does_not_split():
+    block = TraceBlock("b", int_ops=8, parallel=False)
+    assert block.split(4) == [block]
+
+
+def test_split_one_is_identity():
+    block = TraceBlock("b", int_ops=8)
+    assert block.split(1) == [block]
+
+
+def test_invalid_miss_rate_rejected():
+    with pytest.raises(ConfigError):
+        TraceBlock("b", branch_miss_rate=1.5)
+
+
+def test_trace_aggregates():
+    trace = Trace("t")
+    trace.add(TraceBlock("a", int_ops=5, loads=np.arange(3)))
+    trace.add(TraceBlock("b", int_ops=5, stores=np.arange(2)))
+    assert trace.total_ops == 15
+    assert trace.total_memory_bytes == 4 * 5
+
+
+def test_repeat_defaults_to_one():
+    assert Trace("t").repeat == 1

@@ -1,0 +1,51 @@
+"""Area model: Figure 8 chain layout and tile-level area equivalence."""
+
+import pytest
+
+from repro.circuits.area import AreaModel, ChainLayout
+from repro.common.errors import ConfigError
+
+
+def test_chain_layout_matches_figure_8():
+    layout = ChainLayout()
+    assert layout.width_um == pytest.approx(13.0)
+    assert layout.height_um == pytest.approx(175.0)
+    assert layout.area_um2 == pytest.approx(13 * 175)
+
+
+def test_csb_area_scales_linearly():
+    model = AreaModel()
+    assert model.csb_area_mm2(2048) == pytest.approx(2 * model.csb_area_mm2(1024))
+
+
+def test_cape32k_fits_one_reference_tile():
+    """CAPE32k (1,024 chains) is area-equivalent to ~1 OoO tile."""
+    model = AreaModel()
+    ratio = model.equivalent_baseline_cores(1024)
+    assert 0.8 <= ratio <= 1.2
+
+
+def test_cape131k_fits_two_reference_tiles():
+    """CAPE131k (4,096 chains) is area-equivalent to ~2 OoO tiles."""
+    model = AreaModel()
+    ratio = model.equivalent_baseline_cores(4096)
+    assert 1.6 <= ratio <= 2.4
+
+
+def test_reference_tile_slightly_under_9mm2():
+    assert AreaModel().reference_tile_mm2 < 9.0
+
+
+def test_reduction_tree_area_scales_with_chains():
+    model = AreaModel()
+    a1 = model.cape_tile_area_mm2(1024)
+    a4 = model.cape_tile_area_mm2(4096)
+    csb_delta = model.csb_area_mm2(4096) - model.csb_area_mm2(1024)
+    assert a4 - a1 > csb_delta  # tree growth adds beyond raw CSB area
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ConfigError):
+        ChainLayout(width_um=0)
+    with pytest.raises(ConfigError):
+        AreaModel().csb_area_mm2(0)

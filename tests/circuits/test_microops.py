@@ -1,0 +1,77 @@
+"""Circuit-level model: Table II values and the derived 2.7 GHz clock."""
+
+import pytest
+
+from repro.circuits.microops import (
+    CircuitModel,
+    Microop,
+    MicroopTiming,
+    TABLE_II_TIMINGS,
+)
+from repro.common.errors import ConfigError
+from repro.common.units import PJ, PS
+
+
+def test_table_ii_delays_match_paper():
+    expect_ps = {
+        Microop.READ: 237,
+        Microop.WRITE: 181,
+        Microop.SEARCH: 227,
+        Microop.UPDATE: 209,
+        Microop.UPDATE_PROP: 209,
+        Microop.REDUCE: 217,
+    }
+    for op, ps in expect_ps.items():
+        assert TABLE_II_TIMINGS[op].delay_s == pytest.approx(ps * PS)
+
+
+def test_table_ii_energies_match_paper():
+    model = CircuitModel()
+    assert model.energy(Microop.SEARCH) == pytest.approx(1.0 * PJ)
+    assert model.energy(Microop.UPDATE) == pytest.approx(1.2 * PJ)
+    assert model.energy(Microop.READ, bit_parallel=True) == pytest.approx(2.8 * PJ)
+    assert model.energy(Microop.WRITE, bit_parallel=True) == pytest.approx(2.4 * PJ)
+    assert model.energy(Microop.SEARCH, bit_parallel=True) == pytest.approx(5.7 * PJ)
+    assert model.energy(Microop.UPDATE, bit_parallel=True) == pytest.approx(3.8 * PJ)
+    assert model.energy(Microop.REDUCE, bit_parallel=True) == pytest.approx(8.9 * PJ)
+
+
+def test_critical_path_is_read():
+    model = CircuitModel()
+    assert model.critical_path_s == TABLE_II_TIMINGS[Microop.READ].delay_s
+
+
+def test_raw_frequency_is_4_22_ghz():
+    model = CircuitModel()
+    assert model.max_frequency_hz == pytest.approx(4.22e9, rel=0.01)
+
+
+def test_derated_frequency_is_2_7_ghz():
+    """Section VI-B: the clock is conservatively derated to 2.7 GHz."""
+    model = CircuitModel()
+    assert model.frequency_hz == pytest.approx(2.7e9, rel=0.02)
+
+
+def test_update_prop_has_no_bit_parallel_flavour():
+    model = CircuitModel()
+    with pytest.raises(ConfigError):
+        model.energy(Microop.UPDATE_PROP, bit_parallel=True)
+
+
+def test_read_falls_back_to_bit_parallel_energy():
+    # Reads access all subarrays of a chain at once; the bit-serial
+    # request resolves to the only flavour that exists.
+    model = CircuitModel()
+    assert model.energy(Microop.READ) == pytest.approx(2.8 * PJ)
+
+
+def test_invalid_derate_rejected():
+    with pytest.raises(ConfigError):
+        CircuitModel(frequency_derate=0.0)
+    with pytest.raises(ConfigError):
+        CircuitModel(frequency_derate=1.5)
+
+
+def test_missing_timing_rejected():
+    with pytest.raises(ConfigError):
+        CircuitModel(timings={Microop.READ: MicroopTiming(1 * PS, None, 1 * PJ)})

@@ -1,0 +1,45 @@
+"""Unit conversions and constants."""
+
+import pytest
+
+from repro.common.units import (
+    GHZ,
+    GIB,
+    KIB,
+    MIB,
+    NS,
+    PJ,
+    PS,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+
+
+def test_time_multipliers_are_si():
+    assert PS == pytest.approx(1e-12)
+    assert NS == pytest.approx(1e-9)
+    assert 237 * PS == pytest.approx(2.37e-10)
+
+
+def test_capacity_multipliers():
+    assert KIB == 1024
+    assert MIB == 1024 * 1024
+    assert GIB == 1024 ** 3
+
+
+def test_cycles_seconds_round_trip():
+    freq = 2.7 * GHZ
+    cycles = 1234.0
+    assert seconds_to_cycles(cycles_to_seconds(cycles, freq), freq) == pytest.approx(cycles)
+
+
+def test_cycles_to_seconds_at_2_7ghz():
+    assert cycles_to_seconds(2.7e9, 2.7 * GHZ) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_nonpositive_frequency_rejected(bad):
+    with pytest.raises(ValueError):
+        cycles_to_seconds(1.0, bad)
+    with pytest.raises(ValueError):
+        seconds_to_cycles(1.0, bad)

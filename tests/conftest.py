@@ -1,0 +1,39 @@
+"""Shared fixtures for the CAPE reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.csb.chain import Chain
+from repro.csb.csb import CSB
+from repro.engine.system import CAPEConfig, CAPESystem
+
+
+@pytest.fixture
+def chain8():
+    """A small chain: 8-bit elements, 16 columns (fast bit-level tests)."""
+    return Chain(num_subarrays=8, num_cols=16)
+
+
+@pytest.fixture
+def chain32():
+    """A full-width chain: 32-bit elements, 32 columns."""
+    return Chain(num_subarrays=32, num_cols=32)
+
+
+@pytest.fixture
+def small_csb():
+    """A 4-chain CSB with 8-bit elements."""
+    return CSB(num_chains=4, num_subarrays=8, num_cols=8)
+
+
+@pytest.fixture
+def tiny_cape():
+    """A small CAPE system (64 chains = 2,048 lanes) for fast system tests."""
+    return CAPESystem(CAPEConfig(name="tiny", num_chains=64))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xCAFE)

@@ -1,0 +1,136 @@
+"""Chain-level behaviour: bit-slicing, tag routing, the active window."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.microops import Microop
+from repro.common.errors import ConfigError
+from repro.csb.chain import Chain, MetaRow
+
+
+def test_element_bits_are_sliced_across_subarrays(chain8):
+    chain8.write_element(3, 5, 0b10110010)
+    for i in range(8):
+        expected = (0b10110010 >> i) & 1
+        assert chain8.subarrays[i].read_bit(3, 5) == expected
+
+
+def test_element_read_write_round_trip(chain8):
+    for value in (0, 1, 127, 200, 255):
+        chain8.write_element(1, 2, value)
+        assert chain8.read_element(1, 2) == value
+
+
+def test_register_write_read_round_trip(chain8, rng):
+    values = rng.integers(0, 256, size=16)
+    chain8.write_register(4, values)
+    assert chain8.read_register(4).tolist() == values.tolist()
+
+
+def test_read_and_write_count_as_single_microops(chain8):
+    before = chain8.stats.count(Microop.WRITE)
+    chain8.write_element(0, 0, 42)
+    assert chain8.stats.count(Microop.WRITE) == before + 1
+    before = chain8.stats.count(Microop.READ)
+    chain8.read_element(0, 0)
+    assert chain8.stats.count(Microop.READ) == before + 1
+
+
+def test_bit_serial_search_touches_one_subarray(chain8):
+    chain8.poke_register(1, np.arange(16))
+    tags = chain8.search(0, {1: 1})  # bit 0 of register 1
+    assert tags.tolist() == [v & 1 for v in range(16)]
+    assert chain8.stats.count(Microop.SEARCH, bit_parallel=False) == 1
+
+
+def test_search_accumulate_next_routes_to_next_subarray(chain8):
+    chain8.poke_register(1, np.full(16, 0b1))  # bit 0 set everywhere
+    chain8.clear_tags()
+    match = chain8.search_accumulate_next(0, {1: 1}, accumulate=False)
+    assert match.tolist() == [1] * 16
+    assert chain8.tags_of(1).tolist() == [1] * 16
+    assert chain8.tags_of(0).tolist() == [0] * 16  # source tags untouched
+
+
+def test_search_accumulate_next_wraps_at_chain_end(chain8):
+    chain8.poke_register(1, np.full(16, 1 << 7))  # MSB set
+    chain8.clear_tags()
+    chain8.search_accumulate_next(7, {1: 1}, accumulate=False)
+    assert chain8.tags_of(0).tolist() == [1] * 16
+
+
+def test_update_prop_writes_two_subarrays_one_cycle(chain8):
+    chain8.poke_register(1, np.zeros(16))
+    for sub in chain8.subarrays:
+        sub.tags[:] = 1
+    before = chain8.stats.total_microops
+    chain8.update_prop(2, 1, 1, int(MetaRow.CARRY), 1)
+    assert chain8.stats.total_microops == before + 1
+    assert chain8.subarrays[2].read_row(1).tolist() == [1] * 16
+    assert chain8.subarrays[3].read_row(int(MetaRow.CARRY)).tolist() == [1] * 16
+
+
+def test_bit_parallel_update_full_select_clears_register(chain8, rng):
+    chain8.poke_register(5, rng.integers(0, 256, 16))
+    chain8.update_bit_parallel(5, 0, use_tags=False)
+    assert chain8.peek_register(5).tolist() == [0] * 16
+
+
+def test_bit_parallel_values_broadcast_scalar(chain8):
+    value = 0b1011_0101
+    bits = [(value >> i) & 1 for i in range(8)]
+    chain8.update_bit_parallel_values(6, bits, use_tags=False)
+    assert chain8.peek_register(6).tolist() == [value] * 16
+
+
+def test_active_window_masks_updates(chain8):
+    chain8.poke_register(1, np.zeros(16))
+    chain8.set_active_window(4, 8)  # columns 4..11 active
+    chain8.update_bit_parallel(1, 1, use_tags=False)
+    expected = [0] * 4 + [255] * 8 + [0] * 4
+    assert chain8.peek_register(1).tolist() == expected
+
+
+def test_power_gated_when_fully_masked(chain8):
+    assert not chain8.is_power_gated
+    chain8.set_active_window(0, 0)
+    assert chain8.is_power_gated
+
+
+def test_active_window_bounds_checked(chain8):
+    with pytest.raises(ConfigError):
+        chain8.set_active_window(10, 10)
+
+
+def test_combine_tags_serial_ands_per_element(chain8):
+    chain8.poke_register(1, np.array([3] * 8 + [1] * 8))  # 0b11 vs 0b01
+    keys = [{1: 1}, {1: 1}] + [{}] * 6
+    chain8.search_bit_parallel(keys)
+    combined = chain8.combine_tags_serial(limit=2)
+    assert combined.tolist() == [1] * 8 + [0] * 8
+
+
+def test_redsum_matches_sum(chain8, rng):
+    values = rng.integers(0, 256, 16)
+    chain8.poke_register(2, values)
+    assert chain8.redsum(2, width=8) == int(values.sum())
+
+
+def test_redsum_figure6_example():
+    """Figure 6: four-element two-bit vector (values 2, 1, 3, 0) sums to 6."""
+    chain = Chain(num_subarrays=2, num_cols=4)
+    chain.poke_register(0, np.array([2, 1, 3, 0]))
+    assert chain.redsum(0, width=2) == 6
+
+
+def test_redsum_respects_active_window(chain8):
+    chain8.poke_register(2, np.ones(16))
+    chain8.set_active_window(0, 10)
+    assert chain8.redsum(2, width=8) == 10
+
+
+def test_vreg_bounds_checked(chain8):
+    with pytest.raises(ConfigError):
+        chain8.write_element(32, 0, 1)
+    with pytest.raises(ConfigError):
+        chain8.search(9, {0: 1})

@@ -1,0 +1,51 @@
+"""Global reduction tree: pipeline depth and staged-sum correctness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.csb.reduction import ReductionTree
+
+
+def test_five_stages_at_1024_chains():
+    """Section VI-C: the synthesized tree for 1,024 chains has 5 stages."""
+    assert ReductionTree(1024).num_stages == 5
+
+
+def test_stage_count_scales_with_capacity():
+    assert ReductionTree(4096).num_stages == 6
+    assert ReductionTree(256).num_stages == 4
+    assert ReductionTree(4).num_stages == 1
+    assert ReductionTree(1).num_stages == 1
+
+
+def test_latency_is_bits_plus_pipeline_fill():
+    tree = ReductionTree(1024)
+    assert tree.latency_cycles(32) == 32 + 5
+    assert tree.latency_cycles(1) == 1 + 5
+
+
+def test_latency_rejects_nonpositive_bits():
+    with pytest.raises(ConfigError):
+        ReductionTree(4).latency_cycles(0)
+
+
+def test_reduce_small():
+    tree = ReductionTree(4)
+    assert tree.reduce([1, 2, 3, 4]) == 10
+
+
+def test_reduce_validates_arity():
+    with pytest.raises(ConfigError):
+        ReductionTree(4).reduce([1, 2, 3])
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=64))
+def test_staged_reduce_equals_flat_sum(partials):
+    tree = ReductionTree(len(partials))
+    assert tree.reduce(partials) == sum(partials)
+
+
+def test_invalid_chain_count():
+    with pytest.raises(ConfigError):
+        ReductionTree(0)

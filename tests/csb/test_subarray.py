@@ -1,0 +1,105 @@
+"""Subarray semantics: the Figure 3 search/update behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.csb.subarray import MAX_SEARCH_ROWS, Subarray
+
+
+def make_3x3(values):
+    """Build the paper's 3x3 illustration with given row bit patterns."""
+    sub = Subarray(num_rows=3, num_cols=3)
+    for r, row in enumerate(values):
+        sub.write_row(r, np.array(row, dtype=np.uint8))
+    return sub
+
+
+def test_figure3_search_matches_column_with_all_bits_equal():
+    # Columns: c0=(1,0,1), c1=(0,0,1), c2=(1,1,0)
+    sub = make_3x3([[1, 0, 1], [0, 0, 1], [1, 1, 0]])
+    tags = sub.search({0: 1, 1: 0, 2: 1})
+    assert tags.tolist() == [1, 0, 0]
+
+
+def test_search_dont_care_rows_excluded():
+    sub = make_3x3([[1, 0, 1], [0, 0, 1], [1, 1, 0]])
+    tags = sub.search({0: 1})  # only row 0 driven
+    assert tags.tolist() == [1, 0, 1]
+
+
+def test_search_for_zero_drives_wll():
+    sub = make_3x3([[1, 0, 1], [0, 0, 1], [1, 1, 0]])
+    tags = sub.search({0: 0})
+    assert tags.tolist() == [0, 1, 0]
+
+
+def test_empty_search_matches_all_columns():
+    """No driven rows: matchlines stay precharged (all match)."""
+    sub = make_3x3([[1, 0, 1], [0, 0, 1], [1, 1, 0]])
+    assert sub.search({}).tolist() == [1, 1, 1]
+
+
+def test_search_row_limit_enforced():
+    sub = Subarray(num_rows=8, num_cols=4)
+    with pytest.raises(ProtocolError):
+        sub.search({0: 1, 1: 1, 2: 1, 3: 1, 4: 1})
+    sub.search({i: 1 for i in range(MAX_SEARCH_ROWS)})  # exactly 4 is legal
+
+
+def test_update_writes_only_selected_columns():
+    sub = make_3x3([[0, 0, 0], [0, 0, 0], [0, 0, 0]])
+    sub.update(1, 1, column_select=np.array([1, 0, 1], dtype=np.uint8))
+    assert sub.read_row(1).tolist() == [1, 0, 1]
+
+
+def test_update_defaults_to_tag_bits():
+    sub = make_3x3([[1, 0, 1], [0, 0, 1], [1, 1, 0]])
+    sub.search({0: 1})  # tags = [1, 0, 1]
+    sub.update(2, 1)
+    assert sub.read_row(2).tolist() == [1, 1, 1]  # col1 keeps its old 1
+    sub.search({0: 0})  # tags = [0, 1, 0]
+    sub.update(2, 0)
+    assert sub.read_row(2).tolist() == [1, 0, 1]
+
+
+def test_tag_accumulation_ors_matches():
+    sub = make_3x3([[1, 0, 1], [0, 1, 1], [0, 0, 0]])
+    sub.search({0: 1})                   # [1, 0, 1]
+    tags = sub.search({1: 1}, accumulate=True)  # OR [0, 1, 1]
+    assert tags.tolist() == [1, 1, 1]
+
+
+def test_read_write_bit():
+    sub = Subarray(num_rows=4, num_cols=4)
+    sub.write_bit(2, 3, 1)
+    assert sub.read_bit(2, 3) == 1
+    sub.write_bit(2, 3, 0)
+    assert sub.read_bit(2, 3) == 0
+
+
+def test_row_bounds_checked():
+    sub = Subarray(num_rows=4, num_cols=4)
+    with pytest.raises(ConfigError):
+        sub.read_bit(4, 0)
+    with pytest.raises(ConfigError):
+        sub.write_bit(-1, 0, 1)
+    with pytest.raises(ConfigError):
+        sub.search({9: 1})
+
+
+@given(st.lists(st.integers(0, 1), min_size=8, max_size=8),
+       st.integers(0, 1))
+def test_search_single_row_property(col_bits, want):
+    """A one-row search marks exactly the columns storing the wanted bit."""
+    sub = Subarray(num_rows=2, num_cols=8)
+    sub.write_row(0, np.array(col_bits, dtype=np.uint8))
+    tags = sub.search({0: want})
+    assert tags.tolist() == [1 if b == want else 0 for b in col_bits]
+
+
+def test_write_row_validates_shape():
+    sub = Subarray(num_rows=2, num_cols=8)
+    with pytest.raises(ConfigError):
+        sub.write_row(0, np.zeros(4, dtype=np.uint8))

@@ -1,0 +1,54 @@
+"""Microcode tracing (the debugging/teaching view of the Table I walks)."""
+
+import pytest
+
+from repro.circuits.microops import Microop
+from repro.csb.counter import MicroopStats, trace_microcode
+
+
+def test_trace_disabled_by_default():
+    stats = MicroopStats()
+    stats.record(Microop.SEARCH)
+    assert stats.trace == []
+
+
+def test_trace_records_sequence():
+    stats = MicroopStats(keep_trace=True)
+    stats.record(Microop.SEARCH)
+    stats.record(Microop.UPDATE, bit_parallel=True, n=2)
+    assert stats.trace == [
+        (Microop.SEARCH, False),
+        (Microop.UPDATE, True),
+        (Microop.UPDATE, True),
+    ]
+
+
+def test_clear_resets_trace():
+    stats = MicroopStats(keep_trace=True)
+    stats.record(Microop.READ)
+    stats.clear()
+    assert stats.trace == []
+    assert stats.total_microops == 0
+
+
+def test_vadd_listing_is_8n_plus_2():
+    lines = trace_microcode("vadd.vv", width=4)
+    assert len(lines) == 8 * 4 + 2
+    # The two initialisation updates lead, bit-parallel.
+    assert "BP update" in lines[0]
+    assert "BP update" in lines[1]
+    # Per bit: seven searches then the dual-subarray update.
+    assert "update_prop" in lines[9]
+
+
+def test_logic_listing_is_three_lines():
+    lines = trace_microcode("vand.vv")
+    assert len(lines) == 3
+    assert "BP update" in lines[0]
+    assert "BP search" in lines[1]
+    assert "BP update" in lines[2]
+
+
+def test_listing_for_scalar_and_shift_forms():
+    assert len(trace_microcode("vadd.vx", width=4)) > 4
+    assert len(trace_microcode("vsll.vi", width=8, lanes=4)) == 8  # 2 x cols

@@ -1,0 +1,53 @@
+"""Control processor: vector-shadow issue accounting."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.trace import TraceBlock
+from repro.engine.cp import ControlProcessor
+
+
+def test_vector_instructions_serialise():
+    cp = ControlProcessor()
+    added = cp.vector_issue(100) + cp.vector_issue(200)
+    assert added == 300
+    assert cp.stats.vector_cycles == 300
+
+
+def test_scalar_work_hides_in_vector_shadow():
+    """Section III: scalar instructions issue and execute in the shadow
+    of an outstanding vector instruction."""
+    cp = ControlProcessor()
+    cp.vector_issue(10_000)
+    exposed = cp.scalar_block(TraceBlock("s", int_ops=100))
+    assert exposed == 0.0
+    assert cp.stats.hidden_scalar_cycles > 0
+
+
+def test_scalar_overflow_beyond_shadow_is_exposed():
+    cp = ControlProcessor()
+    cp.vector_issue(10)
+    exposed = cp.scalar_block(TraceBlock("s", int_ops=10_000))
+    assert exposed > 0
+    assert exposed == pytest.approx(cp.stats.scalar_cycles - 10)
+
+
+def test_shadow_budget_consumed_once():
+    cp = ControlProcessor()
+    cp.vector_issue(100)
+    cp.scalar_block(TraceBlock("a", int_ops=150))  # eats ~75 cycles of shadow
+    first_hidden = cp.stats.hidden_scalar_cycles
+    cp.scalar_block(TraceBlock("b", int_ops=400))
+    assert cp.stats.hidden_scalar_cycles - first_hidden <= 100 - first_hidden + 1e-9
+
+
+def test_scalar_ops_convenience():
+    cp = ControlProcessor()
+    exposed = cp.scalar_ops(int_ops=20, branches=2)
+    assert exposed > 0
+
+
+def test_negative_vector_cycles_rejected():
+    cp = ControlProcessor()
+    with pytest.raises(Exception):
+        cp.vector_issue(-1)

@@ -1,0 +1,50 @@
+"""Mask-register operations: popcount and find-first."""
+
+import numpy as np
+import pytest
+
+from repro.engine.system import CAPEConfig, CAPESystem
+
+
+def test_vfirst_finds_lowest_set_bit(tiny_cape):
+    tiny_cape.vsetvl(16)
+    tiny_cape.vregs[1, :16] = 0
+    tiny_cape.vregs[1, 5] = 1
+    tiny_cape.vregs[1, 9] = 1
+    assert tiny_cape.vfirst(1) == 5
+
+
+def test_vfirst_empty_mask_returns_minus_one(tiny_cape):
+    tiny_cape.vsetvl(16)
+    tiny_cape.vregs[1, :16] = 0
+    assert tiny_cape.vfirst(1) == -1
+
+
+def test_vfirst_respects_vstart(tiny_cape):
+    tiny_cape.vsetvl(16)
+    tiny_cape.vregs[1, :16] = 0
+    tiny_cape.vregs[1, 2] = 1
+    tiny_cape.vregs[1, 10] = 1
+    tiny_cape.set_vstart(4)
+    assert tiny_cape.vfirst(1) == 10
+    tiny_cape.set_vstart(0)
+
+
+def test_vfirst_cost_is_logarithmic(tiny_cape):
+    tiny_cape.vsetvl(tiny_cape.config.max_vl)
+    before = tiny_cape.stats.cycles
+    tiny_cape.vfirst(1)
+    log_cost = tiny_cape.stats.cycles - before
+    before = tiny_cape.stats.cycles
+    tiny_cape.vadd(2, 1, 1)
+    add_cost = tiny_cape.stats.cycles - before
+    assert log_cost < add_cost  # log2(vl) popcounts beat a full vadd
+
+
+def test_popcount_and_vfirst_agree_on_hot_mask(tiny_cape, rng):
+    tiny_cape.vsetvl(64)
+    mask = rng.integers(0, 2, size=64)
+    tiny_cape.vregs[1, :64] = mask
+    assert tiny_cape.vmask_popcount(1) == int(mask.sum())
+    expected_first = int(np.flatnonzero(mask)[0]) if mask.any() else -1
+    assert tiny_cape.vfirst(1) == expected_first

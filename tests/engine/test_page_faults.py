@@ -1,0 +1,86 @@
+"""Section V-C: restartable vector memory instructions (fault injection)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.engine.vmu import PAGE_BYTES, PageFault
+
+
+@pytest.fixture
+def paged_cape():
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=64))  # 2,048 lanes
+    cape.vmu.enable_paging()
+    return cape
+
+
+def test_unmapped_page_raises_at_faulting_element(paged_cape):
+    cape = paged_cape
+    cape.vmu.map_range(0, PAGE_BYTES)  # first page only
+    with pytest.raises(PageFault) as exc:
+        cape.vmu.load(0, 2048)  # 8 KiB spans two pages
+    assert exc.value.element_index == PAGE_BYTES // 4
+
+
+def test_vle_restarts_and_completes(paged_cape, rng):
+    cape = paged_cape
+    values = rng.integers(0, 2**31, size=2000)
+    cape.memory.write_words(0, values)
+    cape.vmu.map_range(0, PAGE_BYTES)  # the rest faults on first touch
+    cape.vsetvl(2000)
+    cape.vle(1, 0)
+    assert cape.read_vreg(1).tolist() == values.tolist()
+    assert cape.stats.page_faults == 1  # 8000 B = 2 pages, one unmapped
+    assert cape.vstart == 0  # restored after completion
+
+
+def test_vse_restarts_and_completes(paged_cape, rng):
+    cape = paged_cape
+    values = rng.integers(0, 2**31, size=2048)
+    cape.vsetvl(2048)
+    cape.vregs[2, :2048] = values
+    cape.vmu.map_range(0, PAGE_BYTES)
+    cape.vse(2, 0)
+    assert cape.memory.read_words(0, 2048).tolist() == values.tolist()
+    assert cape.stats.page_faults == 1
+
+
+def test_multiple_faults_in_one_instruction(paged_cape, rng):
+    cape = paged_cape
+    n = 2048  # 8 KiB: pages 0 and 1 from a page-aligned base
+    values = rng.integers(0, 2**31, size=n)
+    cape.memory.write_words(0, values)
+    # Nothing mapped: every page faults once.
+    cape.vsetvl(n)
+    cape.vle(1, 0)
+    assert cape.read_vreg(1).tolist() == values.tolist()
+    assert cape.stats.page_faults == 2
+
+
+def test_fault_handler_cost_is_charged(paged_cape, rng):
+    cape = paged_cape
+    cape.memory.write_words(0, rng.integers(0, 100, size=1024))
+    cape.vsetvl(1024)
+    before = cape.stats.cycles
+    cape.vle(1, 0)
+    with_fault = cape.stats.cycles - before
+
+    clean = CAPESystem(CAPEConfig(name="t", num_chains=64))
+    clean.memory.write_words(0, np.zeros(1024))
+    clean.vsetvl(1024)
+    before = clean.stats.cycles
+    clean.vle(1, 0)
+    without = clean.stats.cycles - before
+    assert with_fault > without + 1000
+
+
+def test_no_paging_means_no_faults(rng):
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=64))
+    cape.vsetvl(1024)
+    cape.vle(1, 0)  # paging model off: never faults
+    assert cape.stats.page_faults == 0
+
+
+def test_indexed_loads_are_future_work(paged_cape):
+    with pytest.raises(NotImplementedError):
+        paged_cape.vmu.load_indexed(0, [1, 2, 3])

@@ -1,0 +1,108 @@
+"""SEW reconfiguration (narrow elements) and memory fences."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.engine.system import CAPEConfig, CAPESystem
+
+
+def test_set_sew_changes_wraparound(tiny_cape):
+    tiny_cape.vsetvl(4, sew=8)
+    tiny_cape.vregs[1, :4] = [250, 10, 255, 0]
+    tiny_cape.vadd_vx(2, 1, 10)
+    assert tiny_cape.read_vreg(2).tolist() == [4, 20, 9, 10]  # mod 256
+
+
+def test_narrow_sew_speeds_up_bit_serial_arithmetic(tiny_cape):
+    tiny_cape.vsetvl(tiny_cape.config.max_vl, sew=32)
+    before = tiny_cape.stats.cycles
+    tiny_cape.vadd(2, 1, 1)
+    cost32 = tiny_cape.stats.cycles - before
+
+    tiny_cape.vsetvl(tiny_cape.config.max_vl, sew=8)
+    before = tiny_cape.stats.cycles
+    tiny_cape.vadd(2, 1, 1)
+    cost8 = tiny_cape.stats.cycles - before
+    # 8n+2: 258 -> 66 cycles (plus identical dispatch overhead).
+    assert cost8 < cost32 / 3
+
+
+def test_narrow_sew_reduces_memory_traffic(tiny_cape):
+    tiny_cape.vsetvl(1024, sew=32)
+    tiny_cape.vle(1, 0)
+    at32 = tiny_cape.vmu.stats.bytes_loaded
+    tiny_cape.vsetvl(1024, sew=8)
+    tiny_cape.vle(1, 0)
+    at8 = tiny_cape.vmu.stats.bytes_loaded - at32
+    assert at32 == 4096
+    assert at8 == 1024
+
+
+def test_logic_ops_unaffected_by_sew(tiny_cape):
+    """Bit-parallel instructions cost the same at any width."""
+    tiny_cape.vsetvl(100, sew=32)
+    before = tiny_cape.stats.cycles
+    tiny_cape.vand(3, 1, 2)
+    cost32 = tiny_cape.stats.cycles - before
+    tiny_cape.vsetvl(100, sew=8)
+    before = tiny_cape.stats.cycles
+    tiny_cape.vand(3, 1, 2)
+    cost8 = tiny_cape.stats.cycles - before
+    assert cost8 == cost32
+
+
+def test_unsupported_sew_rejected(tiny_cape):
+    with pytest.raises(ConfigError):
+        tiny_cape.set_sew(12)
+    with pytest.raises(ConfigError):
+        tiny_cape.set_sew(64)
+
+
+def test_sew_via_assembly():
+    from repro.isa.interpreter import Machine
+
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=64))
+    cape.memory.write_words(0x1000, np.array([250, 10, 255, 0]))
+    machine = Machine(
+        """
+            li a0, 4
+            li a1, 0x1000
+            vsetvli t0, a0, e8
+            vle32.v v1, (a1)
+            vadd.vx v2, v1, a0
+            ecall
+        """,
+        cape,
+    )
+    machine.run()
+    assert cape.sew == 8
+    assert cape.read_vreg(2).tolist() == [(250 + 4) % 256, 14, 3, 4]
+
+
+def test_fence_drains_vector_shadow(tiny_cape):
+    tiny_cape.vsetvl(tiny_cape.config.max_vl)
+    tiny_cape.vmul(2, 1, 1)  # long-running vector op -> big shadow
+    before = tiny_cape.stats.cycles
+    tiny_cape.fence()
+    assert tiny_cape.stats.cycles > before  # the drain is visible time
+    # After the fence, scalar work no longer hides.
+    exposed_before = tiny_cape.stats.scalar_exposed_cycles
+    tiny_cape.scalar_ops(int_ops=1000)
+    assert tiny_cape.stats.scalar_exposed_cycles > exposed_before
+
+
+def test_fence_in_assembly():
+    from repro.isa.interpreter import Machine
+
+    machine = Machine(
+        """
+            li a0, 8
+            vsetvli t0, a0, e32
+            vmul.vv v3, v1, v2
+            fence
+            ecall
+        """
+    )
+    result = machine.run()
+    assert result.halted == "ecall"

@@ -1,0 +1,23 @@
+"""Run-stats summary rendering."""
+
+import pytest
+
+from repro.engine.system import CAPEConfig, CAPESystem
+
+
+def test_summary_reports_breakdown(tiny_cape):
+    tiny_cape.vsetvl(500)
+    tiny_cape.vle(1, 0)
+    tiny_cape.vadd(2, 1, 1)
+    text = tiny_cape.stats.summary()
+    assert "cycles" in text
+    assert "CSB compute" in text
+    assert "vector memory" in text
+    assert "uJ" in text
+    assert "1 memory instructions" in text
+
+
+def test_summary_on_fresh_system():
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=8))
+    text = cape.stats.summary()
+    assert "0 vector" in text

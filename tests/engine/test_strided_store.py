@@ -1,0 +1,69 @@
+"""Strided stores (vsse32.v): functional scatter and timing."""
+
+import numpy as np
+import pytest
+
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.engine.vmu import VMU, VMUConfig
+from repro.memory.hbm import HBM
+from repro.memory.mainmem import WordMemory
+
+
+def test_store_strided_scatters():
+    vmu = VMU(1024, HBM(), WordMemory(1 << 20), VMUConfig())
+    values = np.arange(10, dtype=np.int64) + 100
+    vmu.store_strided(0x1000, values, stride_bytes=32)
+    for i in range(10):
+        assert vmu.memory.read_word(0x1000 + 32 * i) == 100 + i
+
+
+def test_strided_store_costs_more_than_unit_stride():
+    vmu = VMU(1024, HBM(), WordMemory(1 << 22), VMUConfig())
+    values = np.zeros(512, dtype=np.int64)
+    unit = vmu.store(0, values)
+    strided = vmu.store_strided(0, values, stride_bytes=64)
+    assert strided > unit
+
+
+def test_vsse_intrinsic(tiny_cape, rng):
+    n = 64
+    values = rng.integers(0, 1000, size=n)
+    tiny_cape.vsetvl(n)
+    tiny_cape.vregs[1, :n] = values
+    tiny_cape.vsse(1, 0x2000, 16)
+    for i in range(n):
+        assert tiny_cape.memory.read_word(0x2000 + 16 * i) == values[i]
+
+
+def test_vsse_in_assembly(rng):
+    from repro.isa.interpreter import Machine
+
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=64))
+    values = rng.integers(0, 1000, size=16)
+    cape.memory.write_words(0x1000, values)
+    machine = Machine(
+        """
+            li a0, 16
+            li a1, 0x1000
+            li a2, 0x8000
+            li a3, 8          # stride in bytes
+            vsetvli t0, a0, e32
+            vle32.v v1, (a1)
+            vsse32.v v1, (a2), a3
+            ecall
+        """,
+        cape,
+    )
+    machine.run()
+    for i in range(16):
+        assert cape.memory.read_word(0x8000 + 8 * i) == values[i]
+
+
+def test_vsse_vlse_round_trip(tiny_cape, rng):
+    n = 32
+    values = rng.integers(0, 1000, size=n)
+    tiny_cape.vsetvl(n)
+    tiny_cape.vregs[1, :n] = values
+    tiny_cape.vsse(1, 0x4000, 12)
+    tiny_cape.vlse(2, 0x4000, 12)
+    assert tiny_cape.read_vreg(2).tolist() == values.tolist()

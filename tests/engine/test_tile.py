@@ -1,0 +1,104 @@
+"""Tiled-chip integration: modes, pairing, and co-scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.trace import Trace, TraceBlock
+from repro.common.errors import ConfigError
+from repro.engine.system import CAPEConfig
+from repro.engine.tile import (
+    CAPETile,
+    CoreTile,
+    TiledChip,
+    TileMode,
+    cape_job,
+    core_job,
+)
+from repro.memmode import KeyValueStore, Scratchpad, VictimCache
+from repro.workloads.micro import VVAdd
+
+TINY = CAPEConfig(name="tiny", num_chains=64)
+
+
+def test_cape_tile_defaults_to_compute():
+    tile = CAPETile("cape0", TINY)
+    system = tile.require_compute()
+    system.vsetvl(100)
+    system.vadd(1, 2, 3)
+    assert system.stats.cycles > 0
+
+
+@pytest.mark.parametrize(
+    "mode,storage_type",
+    [
+        (TileMode.SCRATCHPAD, Scratchpad),
+        (TileMode.KEY_VALUE, KeyValueStore),
+        (TileMode.VICTIM_CACHE, VictimCache),
+    ],
+)
+def test_mode_switching_builds_storage(mode, storage_type):
+    tile = CAPETile("cape0", TINY)
+    tile.set_mode(mode)
+    assert isinstance(tile.storage, storage_type)
+    with pytest.raises(ConfigError):
+        tile.require_compute()
+    tile.set_mode(TileMode.COMPUTE)
+    assert tile.require_compute() is not None
+
+
+def test_chip_lookup_by_name():
+    chip = TiledChip(cape_tiles=2, core_tiles=1, cape_config=TINY)
+    assert isinstance(chip.tile("cape1"), CAPETile)
+    assert isinstance(chip.tile("core0"), CoreTile)
+    with pytest.raises(ConfigError):
+        chip.tile("gpu0")
+
+
+def test_victim_cache_pairing_serves_core_tile():
+    chip = TiledChip(cape_tiles=1, core_tiles=1, cape_config=TINY)
+    vc = chip.attach_victim_cache("cape0", "core0")
+    core = chip.tile("core0")
+    assert core.hierarchy.victim_cache is vc
+    # Drive the core tile past its L2 so victims land in the CAPE tile.
+    lines = (core.hierarchy.config.l2_size // 64) + 2048
+    loads = 64 * np.arange(lines, dtype=np.int64)
+    core.run(Trace("thrash", [TraceBlock("w", loads=np.tile(loads, 2))]))
+    assert vc.stats.insertions > 0
+
+
+def test_co_schedule_overlaps_compute_and_shares_memory():
+    chip = TiledChip(cape_tiles=1, core_tiles=1, cape_config=TINY)
+    result = chip.co_schedule(
+        {
+            "cape0": cape_job(lambda: VVAdd(n=4096)),
+            "core0": core_job(lambda: VVAdd(n=4096).scalar_trace()),
+        }
+    )
+    assert set(result.per_tile_seconds) == {"cape0", "core0"}
+    assert result.chip_seconds == max(result.per_tile_seconds.values())
+    # Contention: the co-scheduled CAPE time exceeds a solo run.
+    solo_chip = TiledChip(cape_tiles=1, core_tiles=0, cape_config=TINY)
+    solo = solo_chip.co_schedule({"cape0": cape_job(lambda: VVAdd(n=4096))})
+    assert result.per_tile_seconds["cape0"] >= solo.per_tile_seconds["cape0"]
+
+
+def test_empty_chip_rejected():
+    with pytest.raises(ConfigError):
+        TiledChip(cape_tiles=0, core_tiles=0)
+
+
+def test_two_cape_tiles_split_a_workload():
+    """Data-parallel work split across two CAPE tiles finishes sooner
+    than on one (compute overlaps; the shared HBM stretches memory)."""
+    chip2 = TiledChip(cape_tiles=2, core_tiles=0, cape_config=TINY)
+    halves = chip2.co_schedule(
+        {
+            "cape0": cape_job(lambda: VVAdd(n=8192, seed=1)),
+            "cape1": cape_job(lambda: VVAdd(n=8192, seed=2)),
+        }
+    )
+    chip1 = TiledChip(cape_tiles=1, core_tiles=0, cape_config=TINY)
+    whole = chip1.co_schedule(
+        {"cape0": cape_job(lambda: VVAdd(n=16384, seed=1))}
+    )
+    assert halves.chip_seconds < whole.chip_seconds

@@ -1,0 +1,129 @@
+"""VCU: sequencer FSM, truth-table decoder, command distribution."""
+
+import pytest
+
+from repro.assoc.instruction_model import InstructionModel
+from repro.assoc.truthtable import TTEntry, UpdateOp
+from repro.common.errors import ConfigError
+from repro.csb.chain import MetaRow
+from repro.engine.vcu import (
+    COMMAND_BUS_BITS,
+    ChainControllerFSM,
+    SequencerState,
+    TRUTH_TABLES,
+    TTDecoder,
+    VCU,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return InstructionModel(width=32)
+
+
+def test_decoder_binds_roles_to_rows():
+    decoder = TTDecoder(vd=3, vs1=1, vs2=2)
+    assert decoder.row_of("vd") == 3
+    assert decoder.row_of("vs1") == 1
+    assert decoder.row_of("carry") == int(MetaRow.CARRY)
+    with pytest.raises(ConfigError):
+        decoder.row_of("nope")
+
+
+def test_decoder_shifts_bits_into_command_word():
+    decoder = TTDecoder(vd=3, vs1=1, vs2=2)
+    entry = TTEntry(
+        search=(("vs1", 1), ("vs2", 0), ("carry", 1)),
+        updates=(UpdateOp("vd", 1), UpdateOp("carry", 1, next_subarray=True)),
+    )
+    word = decoder.decode(entry, subarray=5)
+    assert word.search_mask == (1 << 1) | (1 << 2) | (1 << int(MetaRow.CARRY))
+    assert word.search_data == (1 << 1) | (1 << int(MetaRow.CARRY))
+    assert word.update_mask == 1 << 3
+    assert word.update_data == 1 << 3
+    assert word.update_next_mask == 1 << int(MetaRow.CARRY)
+    assert word.subarray_select == 5
+
+
+def test_fsm_walks_entries_per_bit():
+    decoder = TTDecoder(vd=3, vs1=1, vs2=2)
+    fsm = ChainControllerFSM(TRUTH_TABLES["vxor.vv"], decoder, width=4)
+    states = [s for s, _ in fsm.run()]
+    # Per bit: (READ_TTM, SEARCH) + (READ_TTM, SEARCH, UPDATE); 4 bits,
+    # then a final IDLE.
+    per_bit = [
+        SequencerState.READ_TTM, SequencerState.GEN_SEARCH,
+        SequencerState.READ_TTM, SequencerState.GEN_SEARCH,
+        SequencerState.GEN_UPDATE,
+    ]
+    assert states == per_bit * 4 + [SequencerState.IDLE]
+
+
+def test_fsm_msb_first_order():
+    decoder = TTDecoder(vd=3, vs1=1, vs2=2)
+    fsm = ChainControllerFSM(
+        TRUTH_TABLES["vredsum.vs"], decoder, width=4, msb_first=True
+    )
+    selects = [
+        w.subarray_select
+        for s, w in fsm.run()
+        if s is SequencerState.GEN_SEARCH
+    ]
+    assert selects == [3, 2, 1, 0]
+
+
+def test_fsm_reduce_state_engaged_for_redsum():
+    decoder = TTDecoder(vd=3, vs1=1, vs2=2)
+    fsm = ChainControllerFSM(TRUTH_TABLES["vredsum.vs"], decoder, width=2, msb_first=True)
+    states = [s for s, _ in fsm.run()]
+    assert SequencerState.REDUCE in states
+
+
+def test_reference_truth_tables_respect_circuit_limits():
+    for table in TRUTH_TABLES.values():
+        assert table.max_search_rows <= 4
+        assert table.max_update_rows <= 2
+
+
+def test_vadd_table_has_paper_entry_structure():
+    table = TRUTH_TABLES["vadd.vv"]
+    # 4 sum entries + 3 carry (majority) entries, one committing update
+    # to two subarrays.
+    assert len(table) == 7
+    assert table.max_update_rows == 2
+
+
+def test_command_bus_width_documented():
+    assert COMMAND_BUS_BITS == 143
+
+
+def test_distribution_cycles_grow_with_chains(model):
+    small = VCU(64, model)
+    big = VCU(4096, model)
+    assert big.distribution_cycles > small.distribution_cycles
+
+
+def test_dispatch_charges_distribution_plus_instruction(model):
+    vcu = VCU(1024, model)
+    total = vcu.dispatch("vadd.vv", vl=1000)
+    assert total == vcu.distribution_cycles + model.cycles("vadd.vv")
+
+
+def test_dispatch_reduction_adds_tree_stages(model):
+    vcu = VCU(1024, model)
+    plain = vcu.dispatch("vredsum.vs", vl=10, reduction=False)
+    with_tree = vcu.dispatch("vredsum.vs", vl=10, reduction=True)
+    assert with_tree == plain + vcu.reduction_tree.num_stages
+
+
+def test_dispatch_accumulates_energy(model):
+    vcu = VCU(1024, model)
+    vcu.dispatch("vadd.vv", vl=32768)
+    expected = model.energy_per_lane_j("vadd.vv") * 32768
+    assert vcu.stats.energy_j == pytest.approx(expected)
+
+
+def test_dispatch_raw_charges_explicit_cycles(model):
+    vcu = VCU(1024, model)
+    total = vcu.dispatch_raw(7, vl=100)
+    assert total == vcu.distribution_cycles + 7

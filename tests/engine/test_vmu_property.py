@@ -1,0 +1,71 @@
+"""Property-based VMU tests: round trips and timing monotonicity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.vmu import VMU, VMUConfig
+from repro.memory.hbm import HBM
+from repro.memory.mainmem import WordMemory
+
+
+def make_vmu():
+    return VMU(1024, HBM(), WordMemory(1 << 22), VMUConfig())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(0, 1 << 18).map(lambda a: a * 4),
+    st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=200),
+)
+def test_store_load_round_trip(addr, values):
+    vmu = make_vmu()
+    arr = np.array(values, dtype=np.int64)
+    vmu.store(addr, arr)
+    out, _ = vmu.load(addr, len(arr))
+    assert out.tolist() == arr.tolist()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(1, 64),
+    st.integers(1, 2000),
+)
+def test_replica_load_tiles_exactly(chunk, vl):
+    vmu = make_vmu()
+    base = np.arange(chunk, dtype=np.int64) + 1
+    vmu.memory.write_words(0, base)
+    out, _ = vmu.load_replica(0, chunk, vl)
+    assert len(out) == vl
+    for i in range(vl):
+        assert out[i] == base[i % chunk]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4000), st.integers(1, 4000))
+def test_transfer_cycles_monotone_in_size(n1, n2):
+    vmu = make_vmu()
+    _, c1 = vmu.load(0, min(n1, n2))
+    _, c2 = vmu.load(0, max(n1, n2))
+    assert c2 >= c1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 1000))
+def test_replica_never_costs_more_than_full_load(vl):
+    vmu = make_vmu()
+    _, full = vmu.load(0, vl)
+    vmu2 = make_vmu()
+    _, replica = vmu2.load_replica(0, 1, vl)
+    assert replica <= full + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, 2**31), min_size=1, max_size=100))
+def test_bytes_accounting_consistent(values):
+    vmu = make_vmu()
+    arr = np.array(values, dtype=np.int64)
+    vmu.store(0, arr)
+    vmu.load(0, len(arr))
+    assert vmu.stats.bytes_stored == 4 * len(arr)
+    assert vmu.stats.bytes_loaded == 4 * len(arr)

@@ -1,0 +1,32 @@
+"""Speedup harness and SIMD comparison plumbing."""
+
+import pytest
+
+from repro.eval.harness import SpeedupRow, compare_simd, run_workload
+from repro.workloads.micro import VVAdd
+
+
+def test_speedup_row_ratios():
+    row = SpeedupRow(
+        name="x", intensity="constant",
+        cape32k_s=1.0, cape131k_s=0.5,
+        core1_s=10.0, core2_s=6.0, core3_s=4.5,
+    )
+    assert row.speedup_32k == pytest.approx(10.0)
+    assert row.speedup_131k == pytest.approx(12.0)
+    assert row.speedup_131k_vs_3core == pytest.approx(9.0)
+
+
+def test_run_workload_produces_all_systems():
+    row = run_workload(VVAdd, n=4096)
+    assert row.name == "vvadd"
+    for value in (row.cape32k_s, row.cape131k_s, row.core1_s, row.core2_s, row.core3_s):
+        assert value > 0
+    assert row.speedup_32k > 1  # CAPE wins on streaming adds
+
+
+def test_compare_simd_orders_widths():
+    row = compare_simd(VVAdd, n=8192)
+    assert row.scalar_s >= row.sve128_s >= row.sve256_s >= row.sve512_s
+    assert row.speedup(512) >= row.speedup(128)
+    assert row.cape_vs_sve512 > 0

@@ -1,0 +1,52 @@
+"""The report CLI (quick mode)."""
+
+import io
+import sys
+
+import pytest
+
+from repro.eval import report
+
+
+def test_quick_report_renders(capsys):
+    assert report.main(["--quick"]) == 0
+    text = capsys.readouterr().out
+    assert "Table II" in text
+    assert "Table I" in text
+    assert "2.7" in text  # derated clock
+    assert "vadd.vv" in text
+    assert "CAPE32k" in text
+
+
+def test_report_sections_compose():
+    out = io.StringIO()
+    report.report_table_ii(out)
+    report.report_area(out)
+    text = out.getvalue()
+    assert "critical path 237 ps" in text
+    assert "CAPE131k" in text
+
+
+def test_json_export_quick(tmp_path):
+    import json
+
+    paths = report.export_json(str(tmp_path), quick=True)
+    assert len(paths) == 2
+    table1 = json.loads((tmp_path / "table1_instructions.json").read_text())
+    by_inst = {row["inst"]: row for row in table1}
+    assert by_inst["vadd.vv"]["measured_cycles"] == 258
+    table2 = json.loads((tmp_path / "table2_microops.json").read_text())
+    assert table2["read"]["delay_ps"] == 237.0
+
+
+def test_instruction_mix_recorded():
+    from repro.engine.system import CAPEConfig, CAPESystem
+
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=8))
+    cape.vsetvl(64)
+    cape.vadd(3, 1, 2)
+    cape.vadd(3, 1, 2)
+    cape.vmul(4, 1, 2)
+    mix = cape.vcu.stats.mix
+    assert mix["vadd.vv"] == 2
+    assert mix["vmul.vv"] == 1

@@ -1,0 +1,48 @@
+"""Roofline model: roofs, ridge point, workload placement."""
+
+import pytest
+
+from repro.engine.system import CAPE131K, CAPE32K, CAPEConfig
+from repro.eval.roofline import Roofline
+from repro.workloads.micro import VVAdd, Dotprod
+
+SMALL = CAPEConfig(name="t", num_chains=128)
+
+
+def test_compute_roof_scales_with_capacity():
+    r32 = Roofline(CAPE32K)
+    r131 = Roofline(CAPE131K)
+    assert r131.compute_roof_ops_per_s == pytest.approx(
+        4 * r32.compute_roof_ops_per_s
+    )
+
+
+def test_memory_roof_linear_in_intensity():
+    r = Roofline(CAPE32K)
+    assert r.memory_roof_ops_per_s(2.0) == pytest.approx(
+        2 * r.memory_roof_ops_per_s(1.0)
+    )
+
+
+def test_attainable_is_min_of_roofs():
+    r = Roofline(CAPE32K)
+    ridge = r.ridge_intensity()
+    assert r.attainable(ridge / 10) < r.compute_roof_ops_per_s
+    assert r.attainable(ridge * 10) == r.compute_roof_ops_per_s
+
+
+def test_ridge_moves_right_with_more_compute():
+    assert Roofline(CAPE131K).ridge_intensity() > Roofline(CAPE32K).ridge_intensity()
+
+
+def test_measure_places_point_under_roof():
+    r = Roofline(SMALL)
+    point = r.measure(VVAdd, n=4096)
+    assert point.throughput_ops_per_s > 0
+    assert point.intensity_ops_per_byte > 0
+    assert point.throughput_ops_per_s <= r.attainable(point.intensity_ops_per_byte) * 1.5
+
+
+def test_streaming_add_is_memory_bound_at_scale():
+    point = Roofline(CAPE32K).measure(VVAdd, n=1 << 17)
+    assert point.bound == "memory"

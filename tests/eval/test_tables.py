@@ -1,0 +1,22 @@
+"""ASCII table formatting."""
+
+from repro.eval.tables import format_table
+
+
+def test_alignment_and_separator():
+    text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert "long-name" in lines[3]
+    assert "2.50" in lines[3]
+
+
+def test_floats_rendered_with_two_decimals():
+    text = format_table(["x"], [[3.14159]])
+    assert "3.14" in text
+
+
+def test_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert len(text.splitlines()) == 2

@@ -1,0 +1,53 @@
+"""Smoke tests: the shipped examples keep working.
+
+The fast examples run in-process (imported by path); the long-running
+capacity studies are covered by the integration shape tests instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_stops_run(capsys):
+    quickstart = load_example("quickstart")
+    quickstart.stop_1_figure1_increment()
+    quickstart.stop_2_chain_level_vadd()
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "8n + 2" in out
+
+
+def test_memory_modes_example(capsys):
+    memory_modes = load_example("memory_modes")
+    memory_modes.scratchpad_demo()
+    memory_modes.kv_demo()
+    memory_modes.victim_cache_demo()
+    out = capsys.readouterr().out
+    assert "capacity" in out
+    assert "lookup" in out
+
+
+def test_riscv_dotprod_example(capsys):
+    dotprod = load_example("riscv_dotprod")
+    dotprod.main()
+    out = capsys.readouterr().out
+    assert "vector instructions" in out
+
+
+def test_tiled_chip_scenes(capsys):
+    tiled = load_example("tiled_chip")
+    tiled.scene_3_key_value()
+    out = capsys.readouterr().out
+    assert "key-value" in out or "capacity" in out

@@ -1,0 +1,90 @@
+"""End-to-end shape assertions: the paper's qualitative results.
+
+These tests assert the *relationships* the paper reports (who wins, in
+which direction design points scale) at reduced input sizes, so the full
+evaluation in ``benchmarks/`` is backed by always-on regression checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline.multicore import Multicore
+from repro.baseline.ooo import OoOCore
+from repro.baseline.simd import SIMDConfig, SIMDCore
+from repro.engine.system import CAPE131K, CAPE32K, CAPEConfig, CAPESystem
+from repro.workloads.micro import VVAdd, IdxSearch
+from repro.workloads.phoenix import Histogram, KMeans, WordCount
+
+
+def cape_seconds(workload_cls, config, **kwargs):
+    wl = workload_cls(**kwargs)
+    return wl.run_cape(CAPESystem(config)).seconds
+
+
+def test_cape_beats_ooo_on_streaming_add():
+    wl = VVAdd(n=1 << 15)
+    baseline = OoOCore().run(wl.scalar_trace()).seconds
+    cape = cape_seconds(VVAdd, CAPE32K, n=1 << 15)
+    assert baseline / cape > 2
+
+
+def test_histogram_speedup_roughly_13x():
+    """Section II quotes 13x for the brute-force search histogram."""
+    wl = Histogram(n=1 << 17)
+    baseline = OoOCore().run(wl.scalar_trace()).seconds
+    cape = cape_seconds(Histogram, CAPE32K, n=1 << 17)
+    assert 6 < baseline / cape < 30
+
+
+def test_kmeans_capacity_cliff():
+    """kmeans fits CAPE131k's CSB but not CAPE32k's: the bigger design
+    point gains far more than the 2x area would suggest."""
+    args = dict(points=3000, dims=4, k=3, iterations=3)
+    small_fits = CAPEConfig(name="fits", num_chains=128)      # 4,096 lanes
+    small_spills = CAPEConfig(name="spills", num_chains=64)   # 2,048 lanes
+    t_fits = cape_seconds(KMeans, small_fits, **args)
+    t_spills = cape_seconds(KMeans, small_spills, **args)
+    # The resident configuration is disproportionately faster (loads once,
+    # and halves the per-iteration tile count).
+    assert t_spills / t_fits > 2.0
+
+
+def test_variable_intensity_apps_scale_worse():
+    """wrdcnt's serial parse/post-processing caps its gain from a 4x
+    larger CSB, unlike the constant-intensity histogram."""
+    args = dict(n=1 << 15)
+    hist_small = cape_seconds(Histogram, CAPEConfig(name="s", num_chains=64), **args)
+    hist_big = cape_seconds(Histogram, CAPEConfig(name="b", num_chains=256), **args)
+    wc_small = cape_seconds(WordCount, CAPEConfig(name="s", num_chains=64), **args)
+    wc_big = cape_seconds(WordCount, CAPEConfig(name="b", num_chains=256), **args)
+    hist_gain = hist_small / hist_big
+    wc_gain = wc_small / wc_big
+    assert hist_gain > wc_gain
+
+
+def test_idxsrch_limited_by_serial_postprocessing():
+    """More matches -> more serialized work -> smaller speedup."""
+    few = IdxSearch(n=1 << 14, match_rate=0.001)
+    many = IdxSearch(n=1 << 14, match_rate=0.05)
+    base_few = OoOCore().run(few.scalar_trace()).seconds
+    base_many = OoOCore().run(many.scalar_trace()).seconds
+    cape_few = IdxSearch(n=1 << 14, match_rate=0.001).run_cape(CAPESystem(CAPE32K)).seconds
+    cape_many = IdxSearch(n=1 << 14, match_rate=0.05).run_cape(CAPESystem(CAPE32K)).seconds
+    assert base_few / cape_few > base_many / cape_many
+
+
+def test_cape_beats_sve512_on_data_parallel_code():
+    """Figure 12's headline: CAPE32k clearly outruns the 512-bit SVE
+    configuration on vectorisable code."""
+    wl = VVAdd(n=1 << 15)
+    core = SIMDCore(SIMDConfig(vector_bits=512))
+    sve = core.run(wl.simd_trace(core.lanes)).seconds
+    cape = cape_seconds(VVAdd, CAPE32K, n=1 << 15)
+    assert sve / cape > 1.5
+
+
+def test_multicore_reference_scales_on_parallel_apps():
+    wl = Histogram(n=1 << 15)
+    one = OoOCore().run(wl.scalar_trace()).seconds
+    three = Multicore(3).run(Histogram(n=1 << 15).scalar_trace()).seconds
+    assert one / three > 1.5

@@ -1,0 +1,112 @@
+"""Two-pass assembler: labels, pseudo-instructions, error reporting."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.encoding import decode
+
+
+def mnemonics(words):
+    return [decode(w).mnemonic for w in words]
+
+
+def test_basic_program_assembles():
+    words = assemble("""
+        addi a0, zero, 5
+        add a1, a0, a0
+        ecall
+    """)
+    assert mnemonics(words) == ["addi", "add", "ecall"]
+
+
+def test_comments_and_blank_lines_ignored():
+    words = assemble("""
+        # a comment
+        addi a0, zero, 1   # trailing comment
+
+        ecall
+    """)
+    assert len(words) == 2
+
+
+def test_labels_resolve_backward_and_forward():
+    words = assemble("""
+        j end
+    loop:
+        addi a0, a0, -1
+        bne a0, zero, loop
+    end:
+        ecall
+    """)
+    decoded = [decode(w) for w in words]
+    assert decoded[0].mnemonic == "jal"
+    assert decoded[0].fields["imm"] == 12  # to `end` at 0xc
+    assert decoded[2].fields["imm"] == -4  # back to `loop`
+
+
+def test_label_on_same_line_as_instruction():
+    words = assemble("loop: addi a0, a0, 1\nbne a0, zero, loop\necall")
+    assert mnemonics(words) == ["addi", "bne", "ecall"]
+
+
+def test_li_small_expands_to_addi():
+    words = assemble("li a0, 42")
+    d = decode(words[0])
+    assert d.mnemonic == "addi"
+    assert d.fields["imm"] == 42
+
+
+def test_li_large_expands_to_lui_addi():
+    words = assemble("li a0, 0x12345")
+    assert mnemonics(words) == ["lui", "addi"]
+
+
+def test_other_pseudos():
+    assert mnemonics(assemble("nop")) == ["addi"]
+    assert mnemonics(assemble("mv a0, a1")) == ["addi"]
+    assert mnemonics(assemble("ret")) == ["jalr"]
+    assert mnemonics(assemble("start: ble a0, a1, start")) == ["bge"]
+    assert mnemonics(assemble("start: bgt a0, a1, start")) == ["blt"]
+
+
+def test_memory_operand_syntax():
+    words = assemble("lw a0, 16(sp)\nsw a0, -8(sp)")
+    d0, d1 = decode(words[0]), decode(words[1])
+    assert d0.fields["imm"] == 16
+    assert d1.fields["imm"] == -8
+
+
+def test_vector_program_assembles():
+    words = assemble("""
+        vsetvli t0, a0, e32
+        vle32.v v1, (a1)
+        vlrw.v v2, a2, a3
+        vmul.vv v3, v1, v2
+        vredsum.vs v4, v3, v0
+        vse32.v v3, (a1)
+    """)
+    assert mnemonics(words) == [
+        "vsetvli", "vle32.v", "vlrw.v", "vmul.vv", "vredsum.vs", "vse32.v",
+    ]
+
+
+def test_vector_operand_order_follows_rvv():
+    # vsub.vv vd, vs2, vs1 -> vd = vs2 - vs1
+    word = assemble("vsub.vv v3, v1, v2")[0]
+    d = decode(word)
+    assert d.fields == {"vd": 3, "vs2": 1, "vs1": 2, "vm": 1}
+
+
+def test_unknown_mnemonic_reports_location():
+    with pytest.raises(AssemblyError):
+        assemble("bogus a0, a1")
+
+
+def test_unknown_symbol_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("beq a0, a1, nowhere")
+
+
+def test_base_address_offsets_labels():
+    words = assemble("target: beq zero, zero, target", base_address=0x1000)
+    assert decode(words[0]).fields["imm"] == 0

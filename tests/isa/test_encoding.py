@@ -1,0 +1,127 @@
+"""Instruction encode/decode round trips, including property sweeps."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.isa.encoding import decode, encode
+
+reg = st.integers(0, 31)
+
+
+def roundtrip(mnemonic, **fields):
+    d = decode(encode(mnemonic, **fields))
+    assert d.mnemonic == mnemonic
+    for key, value in fields.items():
+        if key in d.fields:
+            assert d.fields[key] == value, (mnemonic, key)
+    return d
+
+
+@given(rd=reg, rs1=reg, rs2=reg)
+@settings(max_examples=30, deadline=None)
+def test_r_type_round_trip(rd, rs1, rs2):
+    for m in ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+              "slt", "sltu", "mul", "div", "rem"):
+        roundtrip(m, rd=rd, rs1=rs1, rs2=rs2)
+
+
+@given(rd=reg, rs1=reg, imm=st.integers(-2048, 2047))
+@settings(max_examples=30, deadline=None)
+def test_i_type_round_trip(rd, rs1, imm):
+    for m in ("addi", "andi", "ori", "xori", "slti"):
+        roundtrip(m, rd=rd, rs1=rs1, imm=imm)
+
+
+@given(rd=reg, rs1=reg, imm=st.integers(0, 63))
+@settings(max_examples=20, deadline=None)
+def test_shift_immediates(rd, rs1, imm):
+    for m in ("slli", "srli", "srai"):
+        roundtrip(m, rd=rd, rs1=rs1, imm=imm)
+
+
+@given(rd=reg, rs1=reg, imm=st.integers(-2048, 2047))
+@settings(max_examples=20, deadline=None)
+def test_load_round_trip(rd, rs1, imm):
+    roundtrip("lw", rd=rd, rs1=rs1, imm=imm)
+    roundtrip("ld", rd=rd, rs1=rs1, imm=imm)
+
+
+@given(rs1=reg, rs2=reg, imm=st.integers(-2048, 2047))
+@settings(max_examples=20, deadline=None)
+def test_store_round_trip(rs1, rs2, imm):
+    roundtrip("sw", rs1=rs1, rs2=rs2, imm=imm)
+    roundtrip("sd", rs1=rs1, rs2=rs2, imm=imm)
+
+
+@given(rs1=reg, rs2=reg, imm=st.integers(-2048, 2046).map(lambda i: i * 2))
+@settings(max_examples=20, deadline=None)
+def test_branch_round_trip(rs1, rs2, imm):
+    for m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        roundtrip(m, rs1=rs1, rs2=rs2, imm=imm)
+
+
+@given(rd=reg, imm=st.integers(-(2**19), 2**19 - 1).map(lambda i: i * 2))
+@settings(max_examples=20, deadline=None)
+def test_jal_round_trip(rd, imm):
+    roundtrip("jal", rd=rd, imm=imm)
+
+
+def test_lui_auipc_jalr_ecall():
+    roundtrip("lui", rd=5, imm=0x12345)
+    roundtrip("lui", rd=5, imm=-1)  # sign-extended 20-bit immediate
+    roundtrip("auipc", rd=5, imm=100)
+    roundtrip("jalr", rd=1, rs1=2, imm=-4)
+    assert decode(encode("ecall")).mnemonic == "ecall"
+
+
+@given(vd=reg, vs1=reg, vs2=reg)
+@settings(max_examples=30, deadline=None)
+def test_vector_arith_round_trip(vd, vs1, vs2):
+    for m in ("vadd.vv", "vsub.vv", "vand.vv", "vor.vv", "vxor.vv",
+              "vmseq.vv", "vmslt.vv", "vmsltu.vv", "vmul.vv", "vredsum.vs"):
+        roundtrip(m, vd=vd, vs1=vs1, vs2=vs2)
+
+
+def test_vector_vx_forms():
+    roundtrip("vadd.vx", vd=1, vs2=2, rs1=3)
+    roundtrip("vmseq.vx", vd=1, vs2=2, rs1=3)
+    roundtrip("vmv.v.x", vd=1, rs1=3)
+
+
+def test_vmerge_vs_vmv_disambiguated_by_vm():
+    d = decode(encode("vmerge.vvm", vd=1, vs2=2, vs1=3))
+    assert d.mnemonic == "vmerge.vvm"
+    assert d.fields["vm"] == 0
+    d = decode(encode("vmv.v.v", vd=1, vs1=3))
+    assert d.mnemonic == "vmv.v.v"
+
+
+def test_vector_memory_forms():
+    roundtrip("vle32.v", vd=4, rs1=10)
+    roundtrip("vse32.v", vs3=4, rs1=10)
+    roundtrip("vlse32.v", vd=4, rs1=10, rs2=11)
+    roundtrip("vlrw.v", vd=4, rs1=10, rs2=11)
+
+
+def test_vsetvli():
+    d = decode(encode("vsetvli", rd=5, rs1=10, imm=0))
+    assert d.mnemonic == "vsetvli"
+    assert d.fields["rd"] == 5
+    assert d.fields["rs1"] == 10
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ConfigError):
+        encode("addi", rd=1, rs1=2, imm=5000)
+    with pytest.raises(ConfigError):
+        encode("add", rd=32, rs1=0, rs2=0)
+    with pytest.raises(ConfigError):
+        encode("beq", rs1=0, rs2=0, imm=3)  # odd offset
+    with pytest.raises(ConfigError):
+        encode("nonsense")
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ConfigError):
+        decode(0xFFFFFFFF)

@@ -1,0 +1,128 @@
+"""Assembly-level tests for the extended vector instruction set."""
+
+import numpy as np
+import pytest
+
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.isa.interpreter import Machine
+
+
+def run_vector_program(src, cape, **arrays):
+    for addr, values in arrays.values():
+        cape.memory.write_words(addr, values)
+    machine = Machine(src, cape)
+    result = machine.run()
+    assert result.halted == "ecall"
+    return machine
+
+
+@pytest.fixture
+def cape():
+    return CAPESystem(CAPEConfig(name="t", num_chains=64))
+
+
+def test_vmin_vmax_in_assembly(cape, rng):
+    a = rng.integers(0, 1000, size=100)
+    b = rng.integers(0, 1000, size=100)
+    run_vector_program(
+        """
+            li a0, 100
+            li a1, 0x1000
+            li a2, 0x2000
+            vsetvli t0, a0, e32
+            vle32.v v1, (a1)
+            vle32.v v2, (a2)
+            vminu.vv v3, v1, v2
+            vmaxu.vv v4, v1, v2
+            ecall
+        """,
+        cape,
+        a=(0x1000, a),
+        b=(0x2000, b),
+    )
+    assert cape.read_vreg(3).tolist() == np.minimum(a, b).tolist()
+    assert cape.read_vreg(4).tolist() == np.maximum(a, b).tolist()
+
+
+def test_shifts_in_assembly(cape, rng):
+    a = rng.integers(0, 1 << 20, size=64)
+    run_vector_program(
+        """
+            li a0, 64
+            li a1, 0x1000
+            vsetvli t0, a0, e32
+            vle32.v v1, (a1)
+            vsll.vi v2, v1, 4
+            vsrl.vi v3, v1, 4
+            vsra.vi v4, v1, 4
+            ecall
+        """,
+        cape,
+        a=(0x1000, a),
+    )
+    assert cape.read_vreg(2).tolist() == ((a << 4) & 0xFFFFFFFF).tolist()
+    assert cape.read_vreg(3).tolist() == (a >> 4).tolist()
+    assert cape.read_vreg(4).tolist() == (a >> 4).tolist()  # positive values
+
+
+def test_vrsub_in_assembly(cape, rng):
+    a = rng.integers(0, 100, size=32)
+    run_vector_program(
+        """
+            li a0, 32
+            li a1, 0x1000
+            li a3, 1000
+            vsetvli t0, a0, e32
+            vle32.v v1, (a1)
+            vrsub.vx v2, v1, a3
+            ecall
+        """,
+        cape,
+        a=(0x1000, a),
+    )
+    assert cape.read_vreg(2).tolist() == (1000 - a).tolist()
+
+
+def test_vmsne_in_assembly(cape):
+    a = np.array([1, 2, 3, 4])
+    b = np.array([1, 9, 3, 9])
+    run_vector_program(
+        """
+            li a0, 4
+            li a1, 0x1000
+            li a2, 0x2000
+            vsetvli t0, a0, e32
+            vle32.v v1, (a1)
+            vle32.v v2, (a2)
+            vmsne.vv v3, v1, v2
+            ecall
+        """,
+        cape,
+        a=(0x1000, a),
+        b=(0x2000, b),
+    )
+    assert cape.read_vreg(3).tolist() == [0, 1, 0, 1]
+
+
+def test_clipping_kernel_composed_from_extended_ops(cape, rng):
+    """A realistic kernel: clamp values to [lo, hi] with vmin/vmax."""
+    a = rng.integers(0, 2000, size=200)
+    lo, hi = 100, 1500
+    run_vector_program(
+        f"""
+            li a0, 200
+            li a1, 0x1000
+            li a4, {lo}
+            li a5, {hi}
+            vsetvli t0, a0, e32
+            vle32.v v1, (a1)
+            vmv.v.x v2, a4
+            vmv.v.x v3, a5
+            vmaxu.vv v4, v1, v2
+            vminu.vv v4, v4, v3
+            ecall
+        """,
+        cape,
+        a=(0x1000, a),
+    )
+    assert cape.read_vreg(4).tolist() == np.clip(a, lo, hi).tolist()

@@ -1,0 +1,189 @@
+"""Machine execution: scalar semantics, control flow, vector offload."""
+
+import numpy as np
+import pytest
+
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.isa.interpreter import Machine
+
+
+def run(src, cape=None, **kwargs):
+    machine = Machine(src, cape)
+    result = machine.run(**kwargs)
+    return machine, result
+
+
+def test_arithmetic_and_halt():
+    machine, result = run("""
+        li a0, 6
+        li a1, 7
+        mul a2, a0, a1
+        ecall
+    """)
+    assert result.halted == "ecall"
+    assert machine.x[12] == 42
+
+
+def test_loop_sums_1_to_10():
+    machine, _ = run("""
+        li a0, 10
+        li a1, 0
+    loop:
+        add a1, a1, a0
+        addi a0, a0, -1
+        bne a0, zero, loop
+        ecall
+    """)
+    assert machine.x[11] == 55
+
+
+def test_memory_load_store():
+    machine, _ = run("""
+        li a0, 0x1000
+        li a1, 1234
+        sw a1, 0(a0)
+        lw a2, 0(a0)
+        ecall
+    """)
+    assert machine.x[12] == 1234
+
+
+def test_lw_sign_extends():
+    machine, _ = run("""
+        li a0, 0x1000
+        li a1, -1
+        sw a1, 0(a0)
+        lw a2, 0(a0)
+        ecall
+    """)
+    assert machine.x[12] == -1
+
+
+def test_function_call_and_return():
+    machine, _ = run("""
+        li a0, 5
+        jal ra, double
+        ecall
+    double:
+        add a0, a0, a0
+        ret
+    """)
+    assert machine.x[10] == 10
+
+
+def test_slt_and_branches():
+    machine, _ = run("""
+        li a0, -3
+        li a1, 2
+        slt a2, a0, a1
+        sltu a3, a0, a1
+        ecall
+    """)
+    assert machine.x[12] == 1  # signed: -3 < 2
+    assert machine.x[13] == 0  # unsigned: huge > 2
+
+
+def test_div_rem_semantics():
+    machine, _ = run("""
+        li a0, -7
+        li a1, 2
+        div a2, a0, a1
+        rem a3, a0, a1
+        ecall
+    """)
+    assert machine.x[12] == -3  # truncates toward zero
+    assert machine.x[13] == -1
+
+
+def test_step_limit():
+    _, result = run("loop: j loop", max_steps=100)
+    assert result.halted == "step-limit"
+
+
+def test_fell_off_end():
+    _, result = run("addi a0, zero, 1")
+    assert result.halted == "fell-off-end"
+
+
+def test_vector_program_end_to_end(rng):
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=64))
+    a = rng.integers(0, 1000, size=300)
+    b = rng.integers(0, 1000, size=300)
+    cape.memory.write_words(0x10000, a)
+    cape.memory.write_words(0x20000, b)
+    machine, result = run("""
+        li a0, 300
+        li a1, 0x10000
+        li a2, 0x20000
+        li a3, 0x30000
+    loop:
+        vsetvli t0, a0, e32
+        vle32.v v1, (a1)
+        vle32.v v2, (a2)
+        vadd.vv v3, v1, v2
+        vse32.v v3, (a3)
+        sub a0, a0, t0
+        slli t1, t0, 2
+        add a1, a1, t1
+        add a2, a2, t1
+        add a3, a3, t1
+        bne a0, zero, loop
+        ecall
+    """, cape)
+    assert result.halted == "ecall"
+    assert cape.memory.read_words(0x30000, 300).tolist() == (a + b).tolist()
+    assert result.vector_instructions > 0
+    assert result.cycles > 0
+
+
+def test_vsetvli_returns_granted_vl():
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=64))  # max_vl 2048
+    machine, _ = run("""
+        li a0, 100000
+        vsetvli t0, a0, e32
+        ecall
+    """, cape)
+    assert machine.x[5] == 2048
+
+
+def test_vredsum_writes_element_zero(rng):
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=64))
+    values = rng.integers(0, 100, size=50)
+    cape.memory.write_words(0x1000, values)
+    machine, _ = run("""
+        li a0, 50
+        li a1, 0x1000
+        vsetvli t0, a0, e32
+        vle32.v v1, (a1)
+        vmv.v.x v0, zero
+        vredsum.vs v2, v1, v0
+        ecall
+    """, cape)
+    assert int(cape.vregs[2, 0]) == int(values.sum())
+
+
+def test_vlrw_replica_in_assembly(rng):
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=64))
+    chunk = rng.integers(0, 100, size=4)
+    cape.memory.write_words(0x1000, chunk)
+    machine, _ = run("""
+        li a0, 12
+        li a1, 0x1000
+        li a2, 4
+        vsetvli t0, a0, e32
+        vlrw.v v1, a1, a2
+        ecall
+    """, cape)
+    assert cape.read_vreg(1).tolist() == np.tile(chunk, 3).tolist()
+
+
+def test_scalar_work_contributes_cycles():
+    _, result = run("""
+        li a0, 1000
+    loop:
+        addi a0, a0, -1
+        bne a0, zero, loop
+        ecall
+    """)
+    assert result.cycles > 0
+    assert result.scalar_instructions > 2000

@@ -1,0 +1,43 @@
+"""Register name parsing."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.isa.registers import parse_vreg, parse_xreg, xreg_name
+
+
+def test_numeric_names():
+    assert parse_xreg("x0") == 0
+    assert parse_xreg("x31") == 31
+    assert parse_vreg("v0") == 0
+    assert parse_vreg("v31") == 31
+
+
+def test_abi_names():
+    assert parse_xreg("zero") == 0
+    assert parse_xreg("ra") == 1
+    assert parse_xreg("sp") == 2
+    assert parse_xreg("a0") == 10
+    assert parse_xreg("t0") == 5
+    assert parse_xreg("s11") == 27
+    assert parse_xreg("fp") == parse_xreg("s0") == 8
+
+
+def test_case_and_whitespace_tolerated():
+    assert parse_xreg(" A0 ") == 10
+    assert parse_vreg(" V3 ") == 3
+
+
+@pytest.mark.parametrize("bad", ["x32", "v32", "y1", "a8", "", "v-1"])
+def test_invalid_names_rejected(bad):
+    with pytest.raises(ConfigError):
+        parse_xreg(bad)
+    with pytest.raises(ConfigError):
+        parse_vreg(bad)
+
+
+def test_xreg_name_round_trip():
+    for i in range(32):
+        assert parse_xreg(xreg_name(i)) == i
+    with pytest.raises(ConfigError):
+        xreg_name(32)

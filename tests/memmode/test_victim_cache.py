@@ -1,0 +1,63 @@
+"""Victim cache mode (Section VII)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.memmode.victim_cache import VictimCache
+
+
+def test_miss_then_hit():
+    vc = VictimCache()
+    assert vc.lookup(0x1000) is None
+    vc.insert(0x1000)
+    assert vc.lookup(0x1000) is not None
+
+
+def test_index_bits_bounded_by_ten():
+    assert VictimCache(num_rows=1024, ways=1).index_bits == 10
+    with pytest.raises(ConfigError):
+        VictimCache(num_rows=4096, ways=1)  # 12 index bits
+
+
+def test_data_round_trip():
+    vc = VictimCache(line_bytes=8)
+    data = np.arange(8, dtype=np.uint8)
+    vc.insert(0x40, data)
+    out = vc.lookup(0x40)
+    assert out.tolist() == data.tolist()
+
+
+def test_lru_eviction_within_set():
+    vc = VictimCache(num_rows=4, line_bytes=64, ways=2)  # 2 sets x 2 ways
+    s = vc.num_sets
+    vc.insert(0 * s * 64)       # set 0
+    vc.insert(1 * s * 64)       # set 0, other tag
+    vc.lookup(0 * s * 64)       # refresh first
+    vc.insert(2 * s * 64)       # evicts tag 1
+    assert vc.lookup(0 * s * 64) is not None
+    assert vc.lookup(1 * s * 64) is None
+    assert vc.stats.evictions == 1
+
+
+def test_hit_rate_statistic():
+    vc = VictimCache()
+    vc.insert(0)
+    vc.lookup(0)
+    vc.lookup(12345678)
+    assert vc.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_cycle_accounting():
+    vc = VictimCache()
+    c0 = vc.cycles
+    vc.insert(0)
+    assert vc.cycles > c0
+    c1 = vc.cycles
+    vc.lookup(0)
+    assert vc.cycles > c1
+
+
+def test_geometry_validated():
+    with pytest.raises(ConfigError):
+        VictimCache(num_rows=10, ways=3)

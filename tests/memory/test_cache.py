@@ -1,0 +1,133 @@
+"""Set-associative cache: hits, LRU, writebacks, MESI hooks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.memory.cache import Cache, MESIState
+
+
+def test_first_access_misses_then_hits():
+    cache = Cache(1024, assoc=2, line_bytes=64)
+    hit, _ = cache.access(0x100, False)
+    assert not hit
+    hit, _ = cache.access(0x100, False)
+    assert hit
+
+
+def test_same_line_different_words_hit():
+    cache = Cache(1024, assoc=2, line_bytes=64)
+    cache.access(0x100, False)
+    hit, _ = cache.access(0x13C, False)  # same 64B line
+    assert hit
+
+
+def test_lru_eviction_order():
+    # 2-way, one set per way group: addresses mapping to the same set.
+    cache = Cache(2 * 64, assoc=2, line_bytes=64)  # 1 set, 2 ways
+    cache.access(0 * 64, False)
+    cache.access(1 * 64, False)
+    cache.access(0 * 64, False)       # refresh line 0
+    cache.access(2 * 64, False)       # evicts line 1 (LRU)
+    hit, _ = cache.access(0 * 64, False)
+    assert hit
+    hit, _ = cache.access(1 * 64, False)
+    assert not hit
+
+
+def test_dirty_eviction_reports_writeback():
+    cache = Cache(2 * 64, assoc=2, line_bytes=64)
+    cache.access(0, True)             # dirty
+    cache.access(64, False)
+    _, wb = cache.access(128, False)  # evicts dirty line 0
+    assert wb == 0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_has_no_writeback():
+    cache = Cache(2 * 64, assoc=2, line_bytes=64)
+    cache.access(0, False)
+    cache.access(64, False)
+    _, wb = cache.access(128, False)
+    assert wb is None
+
+
+def test_write_sets_modified_state():
+    cache = Cache(1024, assoc=2, line_bytes=64)
+    cache.access(0x40, True)
+    assert cache.lookup(0x40) == MESIState.MODIFIED
+    cache2 = Cache(1024, assoc=2, line_bytes=64)
+    cache2.access(0x40, False)
+    assert cache2.lookup(0x40) == MESIState.EXCLUSIVE
+
+
+def test_invalidate_via_set_state():
+    cache = Cache(1024, assoc=2, line_bytes=64)
+    cache.access(0x40, False)
+    cache.set_state(0x40, MESIState.INVALID)
+    assert cache.lookup(0x40) is None
+    assert cache.stats.invalidations_received == 1
+    hit, _ = cache.access(0x40, False)
+    assert not hit
+
+
+def test_flush_writes_back_dirty_lines():
+    cache = Cache(1024, assoc=2, line_bytes=64)
+    cache.access(0x00, True)
+    cache.access(0x40, True)
+    cache.access(0x80, False)
+    assert cache.flush() == 2
+    assert cache.flush() == 0  # idempotent
+
+
+def test_occupancy_counts_valid_lines():
+    cache = Cache(1024, assoc=2, line_bytes=64)
+    for i in range(5):
+        cache.access(i * 64, False)
+    assert cache.occupancy == 5
+    cache.set_state(0, MESIState.INVALID)
+    assert cache.occupancy == 4
+
+
+def test_geometry_validated():
+    with pytest.raises(ConfigError):
+        Cache(1000, assoc=3, line_bytes=64)  # not divisible
+    with pytest.raises(ConfigError):
+        Cache(0, assoc=1)
+
+
+def test_miss_rate_statistic():
+    cache = Cache(1024, assoc=2, line_bytes=64)
+    cache.access(0, False)
+    cache.access(0, False)
+    assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 4095), min_size=1, max_size=200))
+def test_occupancy_never_exceeds_capacity(addrs):
+    cache = Cache(512, assoc=2, line_bytes=64)  # 8 lines total
+    for addr in addrs:
+        cache.access(addr, False)
+    assert cache.occupancy <= 8
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2**16), st.booleans()), min_size=1, max_size=300))
+def test_accesses_equals_hits_plus_misses(ops):
+    cache = Cache(2048, assoc=4, line_bytes=64)
+    for addr, is_write in ops:
+        cache.access(addr, is_write)
+    assert cache.stats.accesses == len(ops)
+    assert cache.stats.hits + cache.stats.misses == len(ops)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 2**14), min_size=1, max_size=100))
+def test_rereferenced_address_always_hits_immediately(addrs):
+    cache = Cache(4096, assoc=4, line_bytes=64)
+    for addr in addrs:
+        cache.access(addr, False)
+        hit, _ = cache.access(addr, False)
+        assert hit

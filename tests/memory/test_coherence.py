@@ -1,0 +1,80 @@
+"""MESI snooping bus: invalidations, downgrades, VMU participation."""
+
+import pytest
+
+from repro.memory.cache import MESIState
+from repro.memory.coherence import CoherentBus
+from repro.memory.hierarchy import AccessType, CacheHierarchy, HierarchyConfig
+
+
+def make_bus(cores=2):
+    config = HierarchyConfig()
+    shared = CacheHierarchy.make_shared_l3(config)
+    hierarchies = [
+        CacheHierarchy(config, shared_l3=shared) for _ in range(cores)
+    ]
+    return CoherentBus(hierarchies)
+
+
+def test_write_invalidates_peer_copy():
+    bus = make_bus()
+    bus.access(0, 0x1000, AccessType.LOAD)
+    bus.access(1, 0x1000, AccessType.STORE)
+    assert bus.hierarchies[0].l1d.lookup(0x1000) is None
+    assert bus.stats.invalidations >= 1
+
+
+def test_read_downgrades_peer_exclusive_to_shared():
+    bus = make_bus()
+    bus.access(0, 0x2000, AccessType.LOAD)  # core 0: EXCLUSIVE
+    bus.access(1, 0x2000, AccessType.LOAD)
+    assert bus.hierarchies[0].l1d.lookup(0x2000) == MESIState.SHARED
+    assert bus.stats.downgrades >= 1
+
+
+def test_read_of_modified_line_triggers_intervention():
+    bus = make_bus()
+    bus.access(0, 0x3000, AccessType.STORE)  # core 0: MODIFIED
+    latency = bus.access(1, 0x3000, AccessType.LOAD)
+    assert bus.stats.interventions >= 1
+    assert latency > 0
+
+
+def test_no_snoop_traffic_for_private_data():
+    bus = make_bus()
+    bus.access(0, 0x4000, AccessType.LOAD)
+    bus.access(1, 0x9000, AccessType.LOAD)
+    assert bus.stats.invalidations == 0
+    assert bus.stats.downgrades == 0
+
+
+def test_vmu_write_range_invalidates_cached_lines():
+    bus = make_bus()
+    for addr in range(0x5000, 0x5100, 64):
+        bus.access(0, addr, AccessType.LOAD)
+    sent = bus.vmu_write_range(0x5000, 0x100)
+    assert sent >= 4
+    assert bus.hierarchies[0].l1d.lookup(0x5000) is None
+
+
+def test_vmu_read_range_downgrades_dirty_lines():
+    bus = make_bus()
+    bus.access(0, 0x6000, AccessType.STORE)
+    dirty = bus.vmu_read_range(0x6000, 64)
+    assert dirty == 1
+    assert bus.hierarchies[0].l1d.lookup(0x6000) == MESIState.SHARED
+
+
+def test_vmu_traffic_is_trivial_for_disjoint_data():
+    """Section V-E: coherence overhead is trivial when the CP and CSB
+    share little data."""
+    bus = make_bus()
+    bus.access(0, 0x100, AccessType.STORE)
+    sent = bus.vmu_write_range(0x800000, 4096)
+    assert sent == 0
+
+
+def test_core_index_validated():
+    bus = make_bus()
+    with pytest.raises(Exception):
+        bus.access(5, 0x0, AccessType.LOAD)

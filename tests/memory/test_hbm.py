@@ -1,0 +1,62 @@
+"""HBM bandwidth/latency model (Table III: 8 channels x 16 GB/s)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.memory.hbm import HBM, HBMConfig
+
+
+def test_aggregate_bandwidth_is_128_gbps():
+    config = HBMConfig()
+    assert config.total_bandwidth_bytes_per_s == pytest.approx(128e9)
+
+
+def test_total_capacity_is_4_gib():
+    config = HBMConfig()
+    assert config.total_capacity_bytes == 8 * 512 * 1024 * 1024
+
+
+def test_interleaved_transfer_uses_all_channels():
+    hbm = HBM()
+    t_one = hbm.transfer_time_s(1 << 20, interleaved=False)
+    t_all = hbm.transfer_time_s(1 << 20, interleaved=True)
+    # 8 channels: ~8x the streaming bandwidth for large transfers.
+    ratio = (t_one - hbm.config.base_latency_s) / (t_all - hbm.config.base_latency_s)
+    assert ratio == pytest.approx(8, rel=0.01)
+
+
+def test_latency_floor_for_tiny_transfer():
+    hbm = HBM()
+    assert hbm.transfer_time_s(4) >= hbm.config.base_latency_s
+
+
+def test_bandwidth_bound_for_large_transfer():
+    hbm = HBM()
+    size = 128 << 20  # 128 MiB
+    t = hbm.transfer_time_s(size, interleaved=True)
+    assert t == pytest.approx(size / 128e9, rel=0.05)
+
+
+def test_channel_mapping_interleaves_packets():
+    hbm = HBM()
+    packets = [hbm.channel_of(i * 32) for i in range(16)]
+    assert packets == list(range(8)) * 2
+
+
+def test_bytes_accounted():
+    hbm = HBM()
+    hbm.transfer_time_s(100)
+    hbm.transfer_time_s(28)
+    assert hbm.bytes_transferred == 128
+    hbm.reset_stats()
+    assert hbm.bytes_transferred == 0
+
+
+def test_negative_transfer_rejected():
+    with pytest.raises(ConfigError):
+        HBM().transfer_time_s(-1)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigError):
+        HBMConfig(num_channels=0)

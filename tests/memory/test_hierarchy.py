@@ -1,0 +1,83 @@
+"""Three-level hierarchy latencies (Table III) and miss propagation."""
+
+import pytest
+
+from repro.memory.hierarchy import AccessType, CacheHierarchy, HierarchyConfig
+
+
+def test_l1_hit_latency_is_2_cycles():
+    h = CacheHierarchy()
+    h.access(0x1000)             # install
+    assert h.access(0x1000) == 2
+
+
+def test_l2_hit_latency_adds_14():
+    h = CacheHierarchy()
+    h.access(0x1000)
+    # Evict from tiny L1? Instead: access enough distinct lines to
+    # overflow one L1 set (8 ways) but stay in L2.
+    base = 0x1000
+    stride = h.l1d.num_sets * h.config.l1_line  # same L1 set
+    for i in range(9):
+        h.access(base + i * stride)
+    latency = h.access(base)  # L1 miss (evicted), L2 hit
+    assert latency == 2 + 14
+
+
+def test_llc_miss_goes_to_hbm():
+    h = CacheHierarchy()
+    latency = h.access(0x5000)
+    # Cold miss walks L1+L2+L3 then HBM (hundreds of cycles).
+    assert latency > 2 + 14 + 50
+
+
+def test_ifetch_uses_l1i():
+    h = CacheHierarchy()
+    h.access(0x2000, AccessType.IFETCH)
+    assert h.l1i.stats.accesses == 1
+    assert h.l1d.stats.accesses == 0
+
+
+def test_no_l3_configuration():
+    h = CacheHierarchy(HierarchyConfig(l3_size=0, l2_line=512))
+    assert h.l3 is None
+    latency = h.access(0x3000)
+    assert latency > 2 + 14  # straight to HBM after L2
+
+
+def test_shared_l3_between_hierarchies():
+    config = HierarchyConfig()
+    shared = CacheHierarchy.make_shared_l3(config)
+    h1 = CacheHierarchy(config, shared_l3=shared)
+    h2 = CacheHierarchy(config, shared_l3=shared)
+    h1.access(0x8000)
+    # Second core misses privately but hits the shared L3.
+    latency = h2.access(0x8000)
+    assert latency == 2 + 14 + 50
+
+
+def test_amat_tracks_accesses():
+    h = CacheHierarchy()
+    h.access(0x100)
+    h.access(0x100)
+    assert h.accesses == 2
+    assert h.amat_cycles() > 2  # cold miss raised the average
+
+
+def test_reset_stats():
+    h = CacheHierarchy()
+    h.access(0x100)
+    h.reset_stats()
+    assert h.accesses == 0
+    assert h.l1d.stats.accesses == 0
+
+
+def test_table_iii_defaults():
+    config = HierarchyConfig()
+    assert config.l1d_size == 32 * 1024
+    assert config.l2_size == 1024 * 1024
+    assert config.l3_size == int(5.5 * 1024 * 1024)
+    assert config.l3_line == 512  # 512 B LL cache line
+    assert config.l1_latency == 2
+    assert config.l2_latency == 14
+    assert config.l3_latency == 50

@@ -1,0 +1,48 @@
+"""Functional word memory."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CapacityError, ConfigError
+from repro.memory.mainmem import WordMemory
+
+
+def test_zero_initialised():
+    mem = WordMemory(1024)
+    assert mem.read_words(0, 4).tolist() == [0, 0, 0, 0]
+
+
+def test_write_read_round_trip(rng):
+    mem = WordMemory(1 << 16)
+    values = rng.integers(0, 2**31, size=100)
+    mem.write_words(0x400, values)
+    assert mem.read_words(0x400, 100).tolist() == values.tolist()
+
+
+def test_single_word_access():
+    mem = WordMemory(1024)
+    mem.write_word(8, 1234)
+    assert mem.read_word(8) == 1234
+
+
+def test_unaligned_address_rejected():
+    mem = WordMemory(1024)
+    with pytest.raises(ConfigError):
+        mem.read_word(3)
+    with pytest.raises(ConfigError):
+        mem.write_word(5, 1)
+
+
+def test_out_of_range_rejected():
+    mem = WordMemory(64)
+    with pytest.raises(CapacityError):
+        mem.read_words(60, 2)
+    with pytest.raises(CapacityError):
+        mem.write_words(64, np.array([1]))
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ConfigError):
+        WordMemory(10)
+    with pytest.raises(ConfigError):
+        WordMemory(0)

@@ -1,0 +1,53 @@
+"""Workload base helpers: validation, address builders, loop blocks."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import (
+    ValidationError,
+    Workload,
+    loop_block,
+    strided_addresses,
+)
+
+
+class _Stub(Workload):
+    name = "stub"
+
+    def run_cape(self, cape):
+        raise NotImplementedError
+
+    def scalar_trace(self):
+        raise NotImplementedError
+
+    def simd_trace(self, lanes):
+        raise NotImplementedError
+
+
+def test_check_passes_on_equal_arrays():
+    _Stub().check(np.array([1, 2, 3]), np.array([1, 2, 3]))
+
+
+def test_check_raises_on_mismatch():
+    with pytest.raises(ValidationError):
+        _Stub().check(np.array([1, 2, 3]), np.array([1, 2, 4]))
+
+
+def test_array_bases_do_not_overlap():
+    wl = _Stub()
+    assert wl.array_base(1) - wl.array_base(0) >= 1 << 20
+
+
+def test_strided_addresses():
+    assert strided_addresses(100, 4).tolist() == [100, 104, 108, 112]
+    assert strided_addresses(0, 3, stride=64).tolist() == [0, 64, 128]
+
+
+def test_loop_block_adds_control_overhead():
+    block = loop_block("l", 1000, int_ops_per_iter=2)
+    assert block.int_ops == 2000 + 1000 // 4  # body + loop control
+    assert block.branches == 1000 // 4
+
+
+def test_loop_block_minimum_one_branch():
+    assert loop_block("l", 2).branches == 1

@@ -1,0 +1,79 @@
+"""Microbenchmarks: functional verification and trace sanity."""
+
+import numpy as np
+import pytest
+
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.workloads.micro import (
+    MICROBENCHMARKS,
+    Dotprod,
+    IdxSearch,
+    MemcpyBench,
+    Saxpy,
+    VVAdd,
+    VVMul,
+)
+
+SMALL = CAPEConfig(name="test", num_chains=128)  # 4,096 lanes
+
+
+@pytest.mark.parametrize("cls", list(MICROBENCHMARKS.values()), ids=list(MICROBENCHMARKS))
+def test_cape_run_verifies_against_golden(cls):
+    wl = cls(n=4096)
+    result = wl.run_cape(CAPESystem(SMALL))
+    assert result.checked
+    assert result.cycles > 0
+    assert result.seconds > 0
+
+
+@pytest.mark.parametrize("cls", list(MICROBENCHMARKS.values()), ids=list(MICROBENCHMARKS))
+def test_scalar_trace_has_work(cls):
+    trace = cls(n=2048).scalar_trace()
+    assert trace.total_ops > 2048
+
+
+@pytest.mark.parametrize("cls", list(MICROBENCHMARKS.values()), ids=list(MICROBENCHMARKS))
+def test_simd_trace_compresses_ops(cls):
+    wl = cls(n=4096)
+    scalar_ops = wl.scalar_trace().total_ops
+    simd_ops = cls(n=4096).simd_trace(16).total_ops
+    assert simd_ops < scalar_ops
+
+
+def test_strip_mining_covers_many_tiles():
+    wl = VVAdd(n=4096)  # 4,096 elements on a 512-lane machine = 8 tiles
+    cape = CAPESystem(CAPEConfig(name="t", num_chains=16))
+    wl.run_cape(cape)
+    assert cape.vmu.stats.loads >= 16  # two loads per tile
+
+
+def test_vvmul_slower_than_vvadd_on_cape():
+    add = VVAdd(n=4096).run_cape(CAPESystem(SMALL))
+    mul = VVMul(n=4096).run_cape(CAPESystem(SMALL))
+    assert mul.cycles > add.cycles
+
+
+def test_dotprod_checks_full_sum():
+    wl = Dotprod(n=2048)
+    result = wl.run_cape(CAPESystem(SMALL))
+    assert result.checked
+
+
+def test_idxsrch_finds_planted_matches():
+    wl = IdxSearch(n=4096, match_rate=0.01)
+    assert len(wl.expected) >= 40
+    result = wl.run_cape(CAPESystem(SMALL))
+    assert result.checked
+
+
+def test_idxsrch_is_variable_intensity():
+    assert IdxSearch.intensity == "variable"
+    assert VVAdd.intensity == "constant"
+
+
+def test_deterministic_inputs():
+    a1 = VVAdd(n=128, seed=3)
+    a2 = VVAdd(n=128, seed=3)
+    assert np.array_equal(a1.a, a2.a)
+    a3 = VVAdd(n=128, seed=4)
+    assert not np.array_equal(a1.a, a3.a)
