@@ -9,14 +9,14 @@ it on a streaming add and multiply kernel at e8/e16/e32.
 
 import numpy as np
 
-from repro.engine.system import CAPE32K, CAPESystem
+from repro.engine.system import CAPESystem
 from repro.eval.tables import format_table
 
 N = 1 << 17
 
 
-def run_kernel(sew: int):
-    cape = CAPESystem(CAPE32K)
+def run_kernel(sew: int, config):
+    cape = CAPESystem(config)
     data = np.arange(N) % (1 << (sew - 1))
     cape.memory.write_words(0x100000, data)
     cape.memory.write_words(0x900000, data)
@@ -34,14 +34,17 @@ def run_kernel(sew: int):
     return cape.stats
 
 
-def run_sweep():
-    return {sew: run_kernel(sew) for sew in (8, 16, 32)}
+def run_sweep(config):
+    return {sew: run_kernel(sew, config) for sew in (8, 16, 32)}
 
 
-def test_ablation_sew(once):
-    results = once(run_sweep)
+def test_ablation_sew(once, device_config):
+    results = once(run_sweep, device_config)
     print()
-    print(f"Ablation — element width sweep (add+mul kernel, {N:,} elements)")
+    print(
+        f"Ablation — element width sweep on {device_config.name} "
+        f"(add+mul kernel, {N:,} elements)"
+    )
     rows = []
     for sew, stats in results.items():
         rows.append(

@@ -2,20 +2,21 @@
 
 Not a paper figure — an extension enabled by the instruction-level energy
 model (Table I energies x executed lanes, plus HBM transfer energy).
-Prints compute vs memory energy for every Phoenix app at CAPE32k and
-checks the expected structure: vmul-heavy apps are compute-energy
-dominated, streaming apps memory-dominated.
+Prints compute vs memory energy for every Phoenix app at the selected
+design point (``--device``, CAPE32k by default) and checks the expected
+structure: vmul-heavy apps are compute-energy dominated, streaming apps
+memory-dominated.
 """
 
-from repro.engine.system import CAPE32K, CAPESystem
+from repro.engine.system import CAPESystem
 from repro.eval.tables import format_table
 from repro.workloads.phoenix import PHOENIX_APPS
 
 
-def run_energy_study():
+def run_energy_study(config):
     rows = []
     for name, cls in PHOENIX_APPS.items():
-        cape = CAPESystem(CAPE32K)
+        cape = CAPESystem(config)
         cls().run_cape(cape)
         compute_j = cape.vcu.stats.energy_j
         total_j = cape.stats.energy_j
@@ -32,10 +33,10 @@ def run_energy_study():
     return rows
 
 
-def test_energy_breakdown(once):
-    rows = once(run_energy_study)
+def test_energy_breakdown(once, device_config):
+    rows = once(run_energy_study, device_config)
     print()
-    print("Extension — CAPE32k energy breakdown per Phoenix app")
+    print(f"Extension — {device_config.name} energy breakdown per Phoenix app")
     print(
         format_table(
             ["app", "total (uJ)", "CSB compute (uJ)", "HBM transfer (uJ)", "compute %"],

@@ -2,6 +2,29 @@
 
 import pytest
 
+from repro.engine.system import CAPE32K, CAPE131K
+
+#: Design-point presets selectable from the command line.
+DEVICE_PRESETS = {
+    "cape32k": CAPE32K,
+    "cape131k": CAPE131K,
+}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--device",
+        default="cape32k",
+        choices=sorted(DEVICE_PRESETS),
+        help="CAPE design point the device-parameterised benches run on",
+    )
+
+
+@pytest.fixture
+def device_config(request):
+    """The CAPE design point selected with ``--device`` (CAPE32k default)."""
+    return DEVICE_PRESETS[request.config.getoption("--device")]
+
 
 @pytest.fixture
 def once(benchmark):

@@ -1,0 +1,157 @@
+"""Serving a mixed job stream on a multi-tenant CAPE device pool.
+
+The single-shot simulator becomes a servable engine: 22 jobs — Phoenix
+applications and microbenchmarks at mixed sizes, priorities, and
+deadlines — arrive over time and are sharded across three devices (two
+CAPE32k, one CAPE131k). Placement is capacity-aware best-fit, queues
+are reordered shortest-job-first, and idle devices steal work.
+
+One job carries 200,000 lanes of live state — more than even CAPE131k's
+131,072-lane CSB — and is served through context spill/restore: the
+register file is time-shared between segments, with every spill's HBM
+cycles and energy charged to the job. Every job's output is validated
+against its numpy golden model before the telemetry is reported.
+
+Run:  python examples/serving_pool.py
+"""
+
+import numpy as np
+
+from repro.engine.system import CAPE131K, CAPE32K
+from repro.eval.serving import serving_report
+from repro.runtime import DevicePool, Job, SegmentedJob
+from repro.workloads.micro import (
+    Dotprod,
+    IdxSearch,
+    MemcpyBench,
+    Saxpy,
+    VVAdd,
+    VVMul,
+)
+from repro.workloads.phoenix import (
+    Histogram,
+    KMeans,
+    LinearRegression,
+    MatMul,
+    StringMatch,
+    WordCount,
+)
+
+#: Two small shards plus one large for capacity-hungry jobs.
+POOL = (CAPE32K, CAPE32K, CAPE131K)
+
+#: Cycles between job arrivals (a steady submission stream).
+INTERARRIVAL = 500.0
+
+
+def oversized_job() -> SegmentedJob:
+    """An iterative accumulate over 200k resident lanes: y = 3a.
+
+    The live registers (input + accumulator) exceed every device, so
+    the runtime partitions the lanes into MAX_VL segments and
+    spills/restores the register file between them on each of the three
+    passes — the capacity cliff served instead of failing.
+    """
+    n = 200_000
+    rng = np.random.default_rng(99)
+    a = rng.integers(0, 1 << 16, size=n).astype(np.int64)
+    base = 0x0010_0000
+
+    def segment(system, offset, vl, pass_index):
+        if pass_index == 0:
+            system.memory.write_words(base + 4 * offset, a[offset : offset + vl])
+            system.vle(1, base + 4 * offset)  # input slice
+            system.vmv_vx(2, 0)  # accumulator
+        system.vadd(2, 2, 1)
+        if pass_index == 2:
+            return int(system.vredsum(2, signed=False))
+
+    return SegmentedJob(
+        "3a-accum",
+        total_lanes=n,
+        segment_body=segment,
+        live_vregs=(1, 2),
+        passes=3,
+        finalize=sum,
+        golden=int((3 * a).sum()),
+        priority=1,
+    )
+
+
+def make_jobs():
+    """22 mixed jobs: micro + Phoenix + one oversized spill-served."""
+    jobs = [
+        # A burst of streaming microbenchmarks at mixed sizes.
+        Job.from_workload(VVAdd(n=1 << 14, seed=1)),
+        Job.from_workload(VVMul(n=1 << 14, seed=2)),
+        Job.from_workload(Saxpy(n=1 << 14, seed=3)),
+        Job.from_workload(MemcpyBench(n=1 << 15, seed=4)),
+        Job.from_workload(Dotprod(n=1 << 14, seed=5)),
+        Job.from_workload(IdxSearch(n=1 << 14, seed=6)),
+        Job.from_workload(VVAdd(n=1 << 16, seed=7)),
+        Job.from_workload(Saxpy(n=1 << 16, seed=8)),
+        Job.from_workload(MemcpyBench(n=1 << 16, seed=9)),
+        Job.from_workload(Dotprod(n=1 << 15, seed=10)),
+        # Latency-sensitive interactive lookups: high priority + deadline.
+        Job.from_workload(
+            IdxSearch(n=1 << 13, seed=11), priority=2, deadline_cycles=60_000
+        ),
+        Job.from_workload(
+            IdxSearch(n=1 << 13, seed=12), priority=2, deadline_cycles=60_000
+        ),
+        # Phoenix applications (scaled to the simulation budget).
+        Job.from_workload(Histogram(n=1 << 15)),
+        Job.from_workload(LinearRegression(n=1 << 15)),
+        Job.from_workload(MatMul(m=16, n=512, p=16), lanes=16 * 512),
+        Job.from_workload(StringMatch(n=1 << 14)),
+        Job.from_workload(WordCount(n=1 << 14)),
+        Job.from_workload(
+            KMeans(points=40_000, dims=4, k=4, iterations=2),
+            lanes=40_000,
+            resident=True,  # placement keeps the dataset CSB-resident
+        ),
+        # Background batch work at low priority.
+        Job.from_workload(VVAdd(n=1 << 15, seed=13), priority=-1),
+        Job.from_workload(VVMul(n=1 << 15, seed=14), priority=-1),
+        Job.from_workload(Histogram(n=1 << 14, seed=15), priority=-1),
+        # The capacity-cliff job, spill-served on the big device.
+        oversized_job(),
+    ]
+    return jobs
+
+
+def run_pool(policy: str):
+    pool = DevicePool(POOL, policy=policy)
+    pool.submit_stream(make_jobs(), interarrival_cycles=INTERARRIVAL)
+    return pool.run()
+
+
+def main():
+    report = run_pool("sjf")
+    print(serving_report(
+        report,
+        title="CAPE device pool — 22 jobs, 2x CAPE32k + 1x CAPE131k, SJF",
+    ))
+
+    failed = [j for j in report.jobs if not j.validated]
+    assert not failed, f"jobs failed golden validation: {failed}"
+    spilled = [j for j in report.jobs if j.spills]
+    assert spilled, "expected the oversized job to be spill-served"
+    big = spilled[0]
+    print()
+    print(
+        f"capacity cliff served: {big.name!r} ({big.lanes:,} lanes > "
+        f"{max(c.max_vl for c in POOL):,}) ran with {big.spills} spills / "
+        f"{big.restores} restores instead of failing"
+    )
+
+    fifo = run_pool("fifo")
+    print(
+        f"policy comparison: mean turnaround fifo "
+        f"{fifo.mean_turnaround_cycles():,.0f} cycles vs sjf "
+        f"{report.mean_turnaround_cycles():,.0f} cycles"
+    )
+
+
+if __name__ == "__main__":
+    main()

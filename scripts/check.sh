@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo health check: byte-compile the library, then run the tier-1 suite.
+#
+# Usage:  scripts/check.sh [extra pytest args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall src =="
+python -m compileall -q src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q "$@"

@@ -23,6 +23,55 @@ class CapacityError(ReproError):
     """
 
 
+class CSBCapacityError(CapacityError):
+    """A vector-state request exceeds the CSB's footprint.
+
+    Structured variant of :class:`CapacityError` for the register-file
+    capacity cliff (Section VI-E): carries the requested vs. available
+    footprint so schedulers and callers can react programmatically
+    (queue, spill, or re-place the work) instead of parsing a message.
+
+    Attributes:
+        requested_lanes / available_lanes: vector elements (columns
+            summed over chains) requested vs. what the CSB offers.
+        cols_per_chain: columns per chain, to convert lanes to chains.
+        requested_registers / available_registers: architectural vector
+            registers requested vs. the register-file rows available
+            (``None`` when the failure is lane-only).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested_lanes: int = 0,
+        available_lanes: int = 0,
+        cols_per_chain: int = 32,
+        requested_registers=None,
+        available_registers=None,
+    ) -> None:
+        super().__init__(message)
+        self.requested_lanes = requested_lanes
+        self.available_lanes = available_lanes
+        self.cols_per_chain = max(1, cols_per_chain)
+        self.requested_registers = requested_registers
+        self.available_registers = available_registers
+
+    @property
+    def requested_chains(self) -> int:
+        """Chains needed for the requested lanes (ceiling division)."""
+        return -(-self.requested_lanes // self.cols_per_chain)
+
+    @property
+    def available_chains(self) -> int:
+        return self.available_lanes // self.cols_per_chain
+
+    @property
+    def shortfall_lanes(self) -> int:
+        """Lanes the request overshoots capacity by (never negative)."""
+        return max(0, self.requested_lanes - self.available_lanes)
+
+
 class ProtocolError(ReproError):
     """A hardware protocol invariant was violated.
 

@@ -28,10 +28,10 @@ from repro.baseline.trace import TraceBlock
 from repro.circuits.area import AreaModel
 from repro.circuits.microops import CircuitModel
 from repro.common.bitutils import to_signed, to_unsigned
-from repro.common.errors import CapacityError, ConfigError
-from repro.engine.cp import ControlProcessor
-from repro.engine.vcu import VCU
-from repro.engine.vmu import VMU, PageFault, VMUConfig
+from repro.common.errors import CapacityError, ConfigError, CSBCapacityError
+from repro.engine.cp import ControlProcessor, CPStats
+from repro.engine.vcu import VCU, VCUStats
+from repro.engine.vmu import VMU, PageFault, VMUConfig, VMUStats
 from repro.memory.hbm import HBM
 from repro.memory.mainmem import WordMemory
 
@@ -176,6 +176,35 @@ class CAPESystem:
         self.sew = config.element_bits
         self._models = {config.element_bits: self.model}
         self._mod = np.int64(1) << self.sew
+        #: Architectural registers written since construction/reset —
+        #: the register-file occupancy the runtime schedules against.
+        self._written_vregs: set = set()
+
+    def reset(self, clear_memory: bool = False) -> None:
+        """Restore architectural and stats state without reconstruction.
+
+        Re-arms the system for a fresh run — vector registers, vl/vstart,
+        SEW, cycle/energy stats, CP shadow, VCU/VMU counters, and the
+        paging model all return to their initial state. Main-memory
+        *contents* are preserved unless ``clear_memory`` is set, so a
+        device pool can reuse one system (and its preloaded data) across
+        jobs instead of rebuilding it per run.
+        """
+        self.vregs.fill(0)
+        self.vl = self.config.max_vl
+        self.vstart = 0
+        if self.sew != self.config.element_bits:
+            self.set_sew(self.config.element_bits)
+        self.stats = CAPERunStats(frequency_hz=self.circuit.frequency_hz)
+        self._memory_energy_j = 0.0
+        self._written_vregs.clear()
+        self.cp.stats = CPStats()
+        self.cp._shadow_budget = 0.0
+        self.vcu.stats = VCUStats()
+        self.vmu.stats = VMUStats()
+        self.vmu._mapped_pages = None
+        if clear_memory:
+            self.memory._words.fill(0)
 
     def set_sew(self, bits: int) -> None:
         """Select the element width (8, 16, or the full hardware width).
@@ -202,16 +231,35 @@ class CAPESystem:
     # Configuration intrinsics
     # ------------------------------------------------------------------
 
-    def vsetvl(self, requested: int, sew: Optional[int] = None) -> int:
+    def vsetvl(
+        self, requested: int, sew: Optional[int] = None, strict: bool = False
+    ) -> int:
         """``vsetvli``: request a vector length; returns the granted vl.
 
         Grants ``min(requested, MAX_VL)`` per the RISC-V VLA contract.
         Chains whose columns fall wholly outside the active window
         power-gate their peripherals (Section V-F). ``sew`` optionally
-        reprograms the element width (vtype's e8/e16/e32).
+        reprograms the element width (vtype's e8/e16/e32). With
+        ``strict`` the VLA clamp becomes a :class:`CSBCapacityError`
+        instead — the allocation mode runtimes use to learn the exact
+        shortfall rather than silently strip-mine.
         """
         if requested < 0:
-            raise CapacityError("requested vl must be non-negative")
+            raise CSBCapacityError(
+                "requested vl must be non-negative",
+                requested_lanes=requested,
+                available_lanes=self.config.max_vl,
+                cols_per_chain=self.config.cols_per_chain,
+            )
+        if strict and requested > self.config.max_vl:
+            raise CSBCapacityError(
+                f"requested vl {requested} exceeds MAX_VL "
+                f"{self.config.max_vl} ({self.config.num_chains} chains x "
+                f"{self.config.cols_per_chain} columns)",
+                requested_lanes=requested,
+                available_lanes=self.config.max_vl,
+                cols_per_chain=self.config.cols_per_chain,
+            )
         if sew is not None and sew != self.sew:
             self.set_sew(sew)
         self.vl = min(requested, self.config.max_vl)
@@ -294,6 +342,7 @@ class CAPESystem:
         )
         sl = slice(self.vstart, self.vstart + count)
         self.vregs[vd, sl] = to_unsigned(values, self.sew)
+        self._written_vregs.add(vd)
         self._charge_memory(cycles, 4 * count)
         self.set_vstart(self.vstart + count)
 
@@ -386,6 +435,7 @@ class CAPESystem:
             )
         sl = self.active_slice
         self.vregs[vd, sl] = op(self.vregs[vs1, sl], int(shamt)) % self._mod
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch(mnemonic, self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -413,6 +463,7 @@ class CAPESystem:
             a, b = to_signed(a, bits), to_signed(b, bits)
         out = np.minimum(a, b) if smaller else np.maximum(a, b)
         self.vregs[vd, sl] = to_unsigned(out, bits)
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch(mnemonic, self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -422,6 +473,7 @@ class CAPESystem:
         self.vregs[vd, sl] = (
             self.vregs[vs1, sl] != self.vregs[vs2, sl]
         ).astype(np.int64)
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmsne.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -429,6 +481,7 @@ class CAPESystem:
         """``vmv.v.x`` — broadcast a scalar."""
         sl = self.active_slice
         self.vregs[vd, sl] = to_unsigned(np.int64(scalar), self.sew)
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmv.v.x", self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -436,6 +489,7 @@ class CAPESystem:
         """``vmv.v.v`` — register copy."""
         sl = self.active_slice
         self.vregs[vd, sl] = self.vregs[vs1, sl]
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmv.v.v", self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -448,6 +502,7 @@ class CAPESystem:
         sl = self.active_slice
         s = to_unsigned(np.int64(scalar), self.sew)
         self.vregs[vd, sl] = (self.vregs[vs1, sl] == s).astype(np.int64)
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmseq.vx", self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -457,6 +512,7 @@ class CAPESystem:
         self.vregs[vd, sl] = (
             self.vregs[vs1, sl] == self.vregs[vs2, sl]
         ).astype(np.int64)
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmseq.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -467,6 +523,7 @@ class CAPESystem:
         a = to_signed(self.vregs[vs1, sl], bits)
         b = to_signed(self.vregs[vs2, sl], bits)
         self.vregs[vd, sl] = (a < b).astype(np.int64)
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmslt.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -476,6 +533,7 @@ class CAPESystem:
         self.vregs[vd, sl] = (
             self.vregs[vs1, sl] < self.vregs[vs2, sl]
         ).astype(np.int64)
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmsltu.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -486,6 +544,7 @@ class CAPESystem:
         self.vregs[vd, sl] = np.where(
             m, self.vregs[vs1, sl], self.vregs[vs2, sl]
         )
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmerge.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -591,6 +650,51 @@ class CAPESystem:
             return to_signed(vals, self.sew)
         return vals
 
+    def vreg_occupancy(self) -> tuple:
+        """Architectural registers written since construction/reset.
+
+        The register-file occupancy a runtime places jobs against: a
+        sorted tuple of vector-register indices holding live state.
+        """
+        return tuple(sorted(self._written_vregs))
+
+    @property
+    def lane_occupancy(self) -> float:
+        """Fraction of the CSB's lanes inside the active vl window."""
+        return self.vl / self.config.max_vl
+
+    # ------------------------------------------------------------------
+    # Context save/restore hooks (runtime spill path)
+    # ------------------------------------------------------------------
+
+    def spill_vregs(self, regs, addr: int) -> float:
+        """Save registers' ``[0, vl)`` windows to memory; returns cycles.
+
+        The bulk VMU path stores the block contiguously at ``addr`` and
+        the transfer is charged like any vector store (HBM cycles and
+        energy land in :attr:`stats`), so scheduling decisions that
+        force spills are visible in the run's totals.
+        """
+        regs = list(regs)
+        if not regs:
+            return 0.0
+        block = self.vregs[regs, : self.vl]
+        cycles = self.vmu.spill(addr, block)
+        self._charge_memory(cycles, block.size * 4)
+        return cycles
+
+    def fill_vregs(self, regs, addr: int) -> float:
+        """Restore registers spilled by :meth:`spill_vregs`; returns cycles."""
+        regs = list(regs)
+        if not regs:
+            return 0.0
+        block, cycles = self.vmu.fill(addr, len(regs), self.vl)
+        for row, reg in zip(block, regs):
+            self.vregs[reg, : self.vl] = row
+            self._written_vregs.add(reg)
+        self._charge_memory(cycles, block.size * 4)
+        return cycles
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -606,6 +710,7 @@ class CAPESystem:
             # Mask broadcast into the MASK metadata rows (3 microops).
             self._charge_compute_cycles(3)
         self.vregs[vd, sl] = result
+        self._written_vregs.add(vd)
         cycles = self.vcu.dispatch(mnemonic, self.vl - self.vstart)
         self._charge_compute(cycles)
 
@@ -613,11 +718,15 @@ class CAPESystem:
         sl = self.active_slice
         expected = sl.stop - sl.start
         if len(values) != expected:
-            raise CapacityError(
+            raise CSBCapacityError(
                 f"vector of {len(values)} values does not match active "
-                f"window of {expected}"
+                f"window of {expected}",
+                requested_lanes=len(values),
+                available_lanes=expected,
+                cols_per_chain=self.config.cols_per_chain,
             )
         self.vregs[vd, sl] = to_unsigned(values, self.sew)
+        self._written_vregs.add(vd)
 
     def _read_active(self, vs: int) -> np.ndarray:
         return self.vregs[vs, self.active_slice].copy()

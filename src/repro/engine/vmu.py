@@ -86,6 +86,8 @@ class VMUStats:
     bytes_loaded: int = 0
     bytes_stored: int = 0
     sub_requests: int = 0
+    spills: int = 0
+    fills: int = 0
 
 
 class VMU:
@@ -263,6 +265,42 @@ class VMU:
         self.stats.bytes_loaded += num_bytes
         self.stats.sub_requests += math.ceil(num_bytes / self.config.sub_request_bytes)
         return values, cycles
+
+    # ------------------------------------------------------------------
+    # Bulk architectural-state transfers (runtime spill/restore path)
+    # ------------------------------------------------------------------
+
+    def spill(self, addr: int, block: np.ndarray) -> int:
+        """Bulk-store a register block (context spill); returns cycles.
+
+        ``block`` is ``(registers, lanes)``; rows are laid out
+        contiguously at ``addr``. The whole block rides one unit-stride
+        burst — a single coherence handshake for the full transfer, since
+        the spill slab is runtime-private and pinned (no page faults).
+        """
+        block = np.atleast_2d(np.asarray(block))
+        self.memory.write_words(addr, block.reshape(-1))
+        num_bytes = block.size * self.config.element_bytes
+        cycles = self._transfer_cycles(num_bytes)
+        self.stats.spills += 1
+        self.stats.bytes_stored += num_bytes
+        return cycles
+
+    def fill(self, addr: int, rows: int, row_len: int) -> tuple:
+        """Bulk-load a spilled register block; returns (block, cycles).
+
+        Inverse of :meth:`spill`: reads ``rows x row_len`` words laid out
+        contiguously at ``addr`` and returns them as a 2-D block.
+        """
+        if rows < 0 or row_len < 0:
+            raise CapacityError("fill shape must be non-negative")
+        flat = self.memory.read_words(addr, rows * row_len)
+        block = flat.reshape(rows, row_len)
+        num_bytes = block.size * self.config.element_bytes
+        cycles = self._transfer_cycles(num_bytes)
+        self.stats.fills += 1
+        self.stats.bytes_loaded += num_bytes
+        return block, cycles
 
     def load_indexed(self, base: int, indices) -> tuple:
         """Vector-indexed (gather) load — not supported.

@@ -13,6 +13,7 @@ from repro.eval.harness import (
     run_micro_suite,
 )
 from repro.eval.roofline import Roofline, RooflinePoint
+from repro.eval.serving import latency_table, serving_report
 from repro.eval.tables import format_table
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "SpeedupRow",
     "compare_simd",
     "format_table",
+    "latency_table",
     "run_micro_suite",
     "run_phoenix_suite",
+    "serving_report",
 ]

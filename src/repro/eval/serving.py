@@ -1,0 +1,70 @@
+"""Serving evaluation: throughput/latency report for pool runs.
+
+Folds a :class:`~repro.runtime.telemetry.TelemetryReport` into the same
+plain-text table format as the paper-figure benches — per-job latency
+breakdown, per-device utilization/occupancy, queue-depth histogram, and
+a throughput/latency headline — so a runtime experiment drops into the
+evaluation flow like any other artefact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.eval.tables import format_table
+
+if TYPE_CHECKING:  # import cycle: repro.runtime.telemetry renders via eval
+    from repro.runtime.telemetry import TelemetryReport
+
+
+def latency_table(report: TelemetryReport) -> str:
+    """Wait/service/turnaround percentiles across the job stream."""
+    rows: List[list] = []
+    for label, values in (
+        ("wait", [j.wait_cycles for j in report.jobs]),
+        ("service", [j.service_cycles for j in report.jobs]),
+        ("turnaround", [j.turnaround_cycles for j in report.jobs]),
+    ):
+        if not values:
+            rows.append([label, 0, 0, 0, 0])
+            continue
+        ordered = sorted(values)
+
+        def pct(p: float) -> float:
+            rank = max(1, int(round(p / 100.0 * len(ordered))))
+            return ordered[min(rank, len(ordered)) - 1]
+
+        rows.append(
+            [
+                label,
+                round(sum(ordered) / len(ordered)),
+                round(pct(50)),
+                round(pct(95)),
+                round(ordered[-1]),
+            ]
+        )
+    return format_table(
+        ["phase (cycles)", "mean", "p50", "p95", "max"], rows
+    )
+
+
+def serving_report(report: TelemetryReport, title: str = "CAPE pool run") -> str:
+    """One printable report: headline, jobs, latency, devices, queues."""
+    sections = [
+        title,
+        "=" * len(title),
+        report.summary(),
+        "",
+        "Per-job telemetry",
+        report.job_table(),
+        "",
+        "Latency distribution",
+        latency_table(report),
+        "",
+        "Per-device service record",
+        report.device_table(),
+        "",
+        "Queue-depth histogram (all devices)",
+        report.queue_table(),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,387 @@
+"""Job abstraction: schedulable units of CAPE work.
+
+A :class:`Job` wraps anything that runs against a
+:class:`~repro.engine.system.CAPESystem` — a ``repro.workloads`` kernel,
+an assembled RISC-V program driven through the interpreter, or a plain
+callable of intrinsics — together with the metadata the scheduler
+places it by: its vector-register *footprint*, priority, deadline, and
+a service-time estimate.
+
+Footprints follow the paper's capacity model (Section VI-E): a job
+either strip-mines over arbitrary vl windows (``resident=False``, runs
+anywhere), requires its lanes simultaneously CSB-resident
+(``resident=True``, only fits devices with enough chains), or — when
+resident state exceeds every device — is *spill-served* as a
+:class:`SegmentedJob`, time-sharing the register file through
+:mod:`repro.runtime.context` at explicit HBM cost.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError, CSBCapacityError, ReproError
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.runtime.context import ContextManager
+from repro.workloads.base import Workload, WorkloadResult
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """A job's claim on the CSB register file.
+
+    Attributes:
+        lanes: vector elements of live state (columns across chains).
+        vregs: architectural vector registers the job keeps live.
+        resident: whether the lanes must be simultaneously resident
+            (kmeans-style reuse) or the job strip-mines over any granted
+            vl (streaming kernels).
+    """
+
+    lanes: int
+    vregs: int = 8
+    resident: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ConfigError("footprint lanes must be positive")
+        if not 0 < self.vregs <= CAPESystem.NUM_VREGS:
+            raise ConfigError(
+                f"footprint vregs must be in [1, {CAPESystem.NUM_VREGS}]"
+            )
+
+    def fits(self, config: CAPEConfig) -> bool:
+        """Does this footprint fit the design point's CSB?"""
+        if not self.resident:
+            return True
+        return self.lanes <= config.max_vl
+
+    def check(self, config: CAPEConfig) -> None:
+        """Raise a structured capacity error unless the footprint fits."""
+        if not self.fits(config):
+            raise CSBCapacityError(
+                f"footprint of {self.lanes} resident lanes x {self.vregs} "
+                f"registers exceeds {config.name}'s {config.max_vl} lanes",
+                requested_lanes=self.lanes,
+                available_lanes=config.max_vl,
+                cols_per_chain=config.cols_per_chain,
+                requested_registers=self.vregs,
+                available_registers=CAPESystem.NUM_VREGS,
+            )
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside the pool."""
+
+    PENDING = "pending"
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job execution on a device."""
+
+    output: Any
+    validated: bool
+    service_cycles: float
+    energy_j: float
+    spills: int = 0
+    restores: int = 0
+    error: Optional[str] = None
+
+
+class Job:
+    """One schedulable unit of CAPE work.
+
+    Args:
+        name: label used in telemetry tables.
+        body: callable taking the device's :class:`CAPESystem`; its
+            return value becomes the job's output.
+        footprint: register-file claim used for admission/placement.
+        priority: higher runs earlier within a queue (default 0).
+        deadline_cycles: optional turnaround target, in cycles from
+            submission; telemetry reports met/missed.
+        estimated_cycles: service-time estimate for shortest-job-first
+            (falls back to the footprint's lane count).
+        golden: optional expected output; compared with
+            ``np.array_equal`` after the run.
+        validate: optional predicate over the output (wins over
+            ``golden``).
+    """
+
+    _ids = itertools.count()
+
+    #: Oversized jobs of this class may be spill-served (segment the
+    #: register file through HBM) instead of being refused admission.
+    spillable = False
+
+    def __init__(
+        self,
+        name: str,
+        body: Callable[[CAPESystem], Any],
+        footprint: Footprint,
+        priority: int = 0,
+        deadline_cycles: Optional[float] = None,
+        estimated_cycles: Optional[float] = None,
+        golden: Any = None,
+        validate: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        self.job_id = next(Job._ids)
+        self.name = name
+        self.body = body
+        self.footprint = footprint
+        self.priority = priority
+        self.deadline_cycles = deadline_cycles
+        self.estimated_cycles = estimated_cycles
+        self.golden = golden
+        self.validate = validate
+        self.state = JobState.PENDING
+        self.submit_cycle: Optional[float] = None
+        self.start_cycle: Optional[float] = None
+        self.finish_cycle: Optional[float] = None
+        self.device_id: Optional[int] = None
+        self.stolen = False
+        self.result: Optional[JobResult] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(#{self.job_id} {self.name!r}, {self.footprint.lanes} lanes, "
+            f"prio {self.priority}, {self.state.value})"
+        )
+
+    @property
+    def service_estimate(self) -> float:
+        """Comparable service-time guess for shortest-job-first."""
+        if self.estimated_cycles is not None:
+            return float(self.estimated_cycles)
+        return float(self.footprint.lanes)
+
+    # -- execution -----------------------------------------------------
+
+    def execute(self, system: CAPESystem) -> JobResult:
+        """Run on a (freshly reset) device; returns the result record.
+
+        Library errors — validation mismatches, structured capacity
+        errors from strict allocations — are captured in the result
+        rather than unwinding the pool's event loop.
+        """
+        start_cycles = system.stats.cycles
+        start_energy = system.stats.energy_j
+        try:
+            output = self._run_body(system)
+        except ReproError as exc:
+            return JobResult(
+                output=None,
+                validated=False,
+                service_cycles=system.stats.cycles - start_cycles,
+                energy_j=system.stats.energy_j - start_energy,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        result = JobResult(
+            output=output,
+            validated=self._validated(output),
+            service_cycles=system.stats.cycles - start_cycles,
+            energy_j=system.stats.energy_j - start_energy,
+        )
+        return result
+
+    def _run_body(self, system: CAPESystem) -> Any:
+        return self.body(system)
+
+    def _validated(self, output: Any) -> bool:
+        if self.validate is not None:
+            return bool(self.validate(output))
+        if self.golden is not None:
+            return bool(np.array_equal(np.asarray(output), np.asarray(self.golden)))
+        if isinstance(output, WorkloadResult):
+            return output.checked
+        return True
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: Workload,
+        priority: int = 0,
+        deadline_cycles: Optional[float] = None,
+        estimated_cycles: Optional[float] = None,
+        lanes: Optional[int] = None,
+        vregs: int = 8,
+        resident: bool = False,
+    ) -> "Job":
+        """Wrap a ``repro.workloads`` kernel as a job.
+
+        Workload kernels strip-mine internally (``resident=False``), so
+        they run on any device; their lane count still steers the
+        capacity-aware placement toward a device where the working set
+        stays CSB-resident. Validation rides the workload's own golden
+        check (``run_cape`` raises on mismatch, and its
+        :class:`WorkloadResult` carries ``checked``).
+        """
+        if lanes is None:
+            lanes = getattr(workload, "n", None) or getattr(workload, "points", None)
+        if lanes is None:
+            raise ConfigError(
+                f"cannot infer {workload.name}'s lanes; pass lanes= explicitly"
+            )
+        return cls(
+            name=workload.name,
+            body=workload.run_cape,
+            footprint=Footprint(lanes=int(lanes), vregs=vregs, resident=resident),
+            priority=priority,
+            deadline_cycles=deadline_cycles,
+            estimated_cycles=estimated_cycles,
+        )
+
+    @classmethod
+    def from_program(
+        cls,
+        name: str,
+        source: str,
+        footprint: Footprint,
+        priority: int = 0,
+        deadline_cycles: Optional[float] = None,
+        estimated_cycles: Optional[float] = None,
+        golden: Any = None,
+        validate: Optional[Callable[[Any], bool]] = None,
+    ) -> "Job":
+        """Wrap an assembled RISC-V program (run via the interpreter).
+
+        The program is assembled once at job-construction time; each
+        execution interprets it on the target device. The job's output
+        is the :class:`~repro.isa.interpreter.MachineResult` (use
+        ``validate`` to check its final ``xregs``/memory).
+        """
+        from repro.isa.assembler import assemble
+        from repro.isa.interpreter import Machine
+
+        words = assemble(source)
+
+        def body(system: CAPESystem):
+            return Machine(words, cape=system).run()
+
+        return cls(
+            name=name,
+            body=body,
+            footprint=footprint,
+            priority=priority,
+            deadline_cycles=deadline_cycles,
+            estimated_cycles=estimated_cycles,
+            golden=golden,
+            validate=validate,
+        )
+
+
+class SegmentedJob(Job):
+    """A resident job larger than a device: spill-served in segments.
+
+    The job's lanes are partitioned into MAX_VL-sized segments. Each
+    *pass* visits every segment: the segment's live registers are
+    restored from the spill slab (after their first visit), the segment
+    body runs, and the registers are spilled again before the register
+    file is handed to the next segment. On a device big enough to hold
+    the whole footprint there is exactly one segment and the spill path
+    never engages — the same job description scales down to zero
+    overhead.
+
+    Args:
+        name: telemetry label.
+        total_lanes: the full resident footprint, possibly > MAX_VL.
+        segment_body: ``fn(system, offset, vl, pass_index)`` computing
+            one segment's slice; its final-pass return values are
+            collected.
+        live_vregs: architectural registers carrying state across
+            passes (the spilled/restored set).
+        passes: times each segment is visited (iterative kernels).
+        finalize: optional ``fn(final_pass_returns) -> output``.
+    """
+
+    spillable = True
+
+    def __init__(
+        self,
+        name: str,
+        total_lanes: int,
+        segment_body: Callable[[CAPESystem, int, int, int], Any],
+        live_vregs: Tuple[int, ...],
+        passes: int = 1,
+        finalize: Optional[Callable[[List[Any]], Any]] = None,
+        priority: int = 0,
+        deadline_cycles: Optional[float] = None,
+        estimated_cycles: Optional[float] = None,
+        golden: Any = None,
+        validate: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        live_vregs = tuple(int(r) for r in live_vregs)
+        if not live_vregs:
+            raise ConfigError("a segmented job needs at least one live register")
+        if passes <= 0:
+            raise ConfigError("passes must be positive")
+        super().__init__(
+            name=name,
+            body=self._run_segments,  # dispatched through _run_body
+            footprint=Footprint(
+                lanes=total_lanes, vregs=len(live_vregs), resident=True
+            ),
+            priority=priority,
+            deadline_cycles=deadline_cycles,
+            estimated_cycles=estimated_cycles,
+            golden=golden,
+            validate=validate,
+        )
+        self.segment_body = segment_body
+        self.live_vregs = live_vregs
+        self.passes = passes
+        self.finalize = finalize
+        self.context_stats = None  # ContextStats of the last execution
+
+    def segments(self, config: CAPEConfig) -> List[Tuple[int, int]]:
+        """The (offset, vl) partition of the footprint on ``config``."""
+        out = []
+        offset = 0
+        while offset < self.footprint.lanes:
+            vl = min(config.max_vl, self.footprint.lanes - offset)
+            out.append((offset, vl))
+            offset += vl
+        return out
+
+    def execute(self, system: CAPESystem) -> JobResult:
+        result = super().execute(system)
+        if self.context_stats is not None:
+            result.spills = self.context_stats.spills
+            result.restores = self.context_stats.restores
+        return result
+
+    def _run_segments(self, system: CAPESystem) -> Any:
+        manager = ContextManager(system)
+        self.context_stats = manager.stats
+        segments = self.segments(system.config)
+        swap = len(segments) > 1  # register file must be time-shared
+        finals: List[Any] = []
+        for pass_index in range(self.passes):
+            for seg_index, (offset, vl) in enumerate(segments):
+                if seg_index in manager:
+                    manager.restore(seg_index)
+                else:
+                    system.vsetvl(vl)
+                value = self.segment_body(system, offset, vl, pass_index)
+                last_visit = (
+                    pass_index == self.passes - 1
+                    and seg_index == len(segments) - 1
+                )
+                if swap and not last_visit:
+                    manager.spill(seg_index, self.live_vregs)
+                if pass_index == self.passes - 1:
+                    finals.append(value)
+        if self.finalize is not None:
+            return self.finalize(finals)
+        return finals

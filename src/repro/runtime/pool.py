@@ -1,0 +1,290 @@
+"""Device pool: shard a job stream across N CAPE systems.
+
+The pool turns the single-shot simulator into a servable engine: a
+stream of jobs is placed across a heterogeneous set of
+:class:`~repro.engine.system.CAPESystem` devices (mixing CAPE32k and
+CAPE131k presets), each with its own queue, and a simulated clock
+interleaves the device timelines deterministically.
+
+Placement is *capacity-aware best-fit*: a job goes to the
+smallest-capacity device whose CSB holds its resident footprint — big
+devices stay free for the jobs that actually need their lanes — with
+queue length breaking ties. Jobs too large for every device are either
+spill-served on the largest device (segmented jobs, through
+:mod:`repro.runtime.context`) or refused with the structured
+:class:`~repro.common.errors.CSBCapacityError`.
+
+Idle devices steal queued work from the most-loaded peer (from the tail
+of its queue, classic work-stealing order), so one hot queue cannot
+leave the rest of the pool dark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Sequence
+
+from repro.common.errors import ConfigError, CSBCapacityError
+from repro.engine.system import CAPE32K, CAPE131K, CAPEConfig, CAPESystem
+from repro.memory.mainmem import WordMemory
+
+from repro.runtime.clock import SimClock
+from repro.runtime.job import Job, JobState
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.telemetry import DeviceRecord, Telemetry, TelemetryReport
+
+#: Default pool shape: two small shards + one large for capacity-hungry
+#: jobs, mirroring the paper's two design points.
+DEFAULT_POOL = (CAPE32K, CAPE32K, CAPE131K)
+
+
+class Device:
+    """One pool shard: a CAPE system plus its queue and timeline."""
+
+    def __init__(self, device_id: int, system: CAPESystem) -> None:
+        self.device_id = device_id
+        self.system = system
+        self.queue: Deque[Job] = deque()
+        self.current: Optional[Job] = None
+        self.busy_until = 0.0
+        self.busy_cycles = 0.0
+        self.jobs_run = 0
+        self.lane_occupancies: List[float] = []
+
+    @property
+    def config(self) -> CAPEConfig:
+        return self.system.config
+
+    @property
+    def name(self) -> str:
+        return f"{self.config.name}#{self.device_id}"
+
+    @property
+    def load(self) -> int:
+        """Queued plus running jobs — the placement tie-breaker."""
+        return len(self.queue) + (1 if self.current is not None else 0)
+
+    def __repr__(self) -> str:
+        return f"Device({self.name}, load={self.load})"
+
+
+class DevicePool:
+    """A multi-tenant CAPE runtime over a pool of devices.
+
+    Typical use::
+
+        pool = DevicePool(policy="sjf")
+        for job in jobs:
+            pool.submit(job)
+        report = pool.run()
+        print(report.job_table())
+
+    Args:
+        configs: design points, one device per entry (mixed presets
+            welcome).
+        policy: queue-ordering policy name or instance (see
+            :mod:`repro.runtime.scheduler`).
+        work_stealing: let idle devices pull from loaded peers.
+        memory_bytes: per-device functional memory size (defaults to
+            each system's 64 MiB store).
+        accounting: instruction accounting mode passed to every device.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[CAPEConfig] = DEFAULT_POOL,
+        policy="fifo",
+        work_stealing: bool = True,
+        memory_bytes: Optional[int] = None,
+        accounting: str = "paper",
+    ) -> None:
+        if not configs:
+            raise ConfigError("a pool needs at least one device")
+        self.clock = SimClock()
+        self.scheduler = Scheduler(policy)
+        self.telemetry = Telemetry()
+        self.work_stealing = work_stealing
+        self.devices = [
+            Device(
+                i,
+                CAPESystem(
+                    config,
+                    memory=(
+                        WordMemory(memory_bytes)
+                        if memory_bytes is not None
+                        else None
+                    ),
+                    accounting=accounting,
+                ),
+            )
+            for i, config in enumerate(configs)
+        ]
+        self._submitted: List[Job] = []
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, job: Job, at_cycle: float = 0.0) -> Job:
+        """Enqueue a job to arrive at ``at_cycle`` on the shared clock."""
+        if job.state is not JobState.PENDING:
+            raise ConfigError(f"{job!r} was already submitted")
+        job.state = JobState.QUEUED
+        self._submitted.append(job)
+        self.clock.schedule_at(at_cycle, lambda j=job: self._arrive(j))
+        return job
+
+    def submit_stream(
+        self, jobs: Iterable[Job], interarrival_cycles: float = 0.0
+    ) -> List[Job]:
+        """Submit jobs with a fixed interarrival spacing."""
+        out = []
+        for i, job in enumerate(jobs):
+            out.append(self.submit(job, at_cycle=i * interarrival_cycles))
+        return out
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def place(self, job: Job) -> Device:
+        """Choose the device a job queues on (capacity-aware best-fit)."""
+        fitting = [d for d in self.devices if job.footprint.fits(d.config)]
+        if fitting:
+            return min(
+                fitting,
+                key=lambda d: (d.config.max_vl, d.load, d.device_id),
+            )
+        if job.spillable:
+            # Serve on the largest device: fewest segments, least spill
+            # traffic per pass.
+            return min(
+                self.devices,
+                key=lambda d: (-d.config.max_vl, d.load, d.device_id),
+            )
+        best = max(d.config.max_vl for d in self.devices)
+        raise CSBCapacityError(
+            f"job {job.name!r} needs {job.footprint.lanes} resident lanes; "
+            f"largest device offers {best} and the job is not spill-servable",
+            requested_lanes=job.footprint.lanes,
+            available_lanes=best,
+            cols_per_chain=self.devices[0].config.cols_per_chain,
+            requested_registers=job.footprint.vregs,
+            available_registers=CAPESystem.NUM_VREGS,
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _arrive(self, job: Job) -> None:
+        job.submit_cycle = self.clock.now
+        device = self.place(job)
+        self.scheduler.admit(job, device.config)  # raises if unservable
+        device.queue.append(job)
+        self.telemetry.sample_queue(
+            device.device_id, self.clock.now, len(device.queue)
+        )
+        self._dispatch(device)
+        if self.work_stealing and device.current is not None:
+            # The placed device is busy: let an idle peer steal the work
+            # rather than leaving it dark until its next completion.
+            for peer in self.devices:
+                if peer.current is None and not peer.queue:
+                    self._dispatch(peer)
+
+    def _dispatch(self, device: Device) -> None:
+        if device.current is not None:
+            return
+        job = self.scheduler.pick(device.queue, device.config)
+        if job is None and self.work_stealing:
+            job = self._steal(device)
+        if job is None:
+            return
+        self._start(device, job)
+
+    def _start(self, device: Device, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.start_cycle = self.clock.now
+        job.device_id = device.device_id
+        device.current = job
+        system = device.system
+        system.reset()
+        # The job executes functionally *now*; its cycle cost stretches
+        # over simulated time, so completion lands at now + service.
+        result = job.execute(system)
+        job.result = result
+        device.lane_occupancies.append(
+            min(job.footprint.lanes, device.config.max_vl)
+            / device.config.max_vl
+        )
+        finish = self.clock.now + result.service_cycles
+        device.busy_until = finish
+        device.busy_cycles += result.service_cycles
+        self.clock.schedule_at(
+            finish, lambda d=device, j=job: self._complete(d, j)
+        )
+
+    def _complete(self, device: Device, job: Job) -> None:
+        job.finish_cycle = self.clock.now
+        ok = job.result is not None and job.result.validated
+        job.state = JobState.DONE if ok else JobState.FAILED
+        device.current = None
+        device.jobs_run += 1
+        self.telemetry.record_complete(job, device.name)
+        self.telemetry.sample_queue(
+            device.device_id, self.clock.now, len(device.queue)
+        )
+        self._dispatch(device)
+
+    def _steal(self, thief: Device) -> Optional[Job]:
+        """Pull one job from the tail of the most-loaded peer's queue."""
+        victims = sorted(
+            (d for d in self.devices if d is not thief and d.queue),
+            key=lambda d: (-len(d.queue), d.device_id),
+        )
+        for victim in victims:
+            # Tail-first: steal the work the victim would reach last.
+            for index in range(len(victim.queue) - 1, -1, -1):
+                job = victim.queue[index]
+                if job.footprint.fits(thief.config) or job.spillable:
+                    del victim.queue[index]
+                    job.stolen = True
+                    self.telemetry.record_steal()
+                    self.telemetry.sample_queue(
+                        victim.device_id, self.clock.now, len(victim.queue)
+                    )
+                    return job
+        return None
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, max_events: int = 1_000_000) -> TelemetryReport:
+        """Drain the event loop and fold telemetry into a report."""
+        self.clock.run(max_events=max_events)
+        leftovers = [d for d in self.devices if d.queue or d.current]
+        if leftovers:  # pragma: no cover - loop invariant
+            raise ConfigError(f"event loop drained with work left: {leftovers}")
+        return self.report()
+
+    @property
+    def makespan_cycles(self) -> float:
+        """Pool completion time: the max over the device timelines."""
+        return max((d.busy_until for d in self.devices), default=0.0)
+
+    def report(self) -> TelemetryReport:
+        frequency = self.devices[0].system.circuit.frequency_hz
+        records = [
+            DeviceRecord(
+                device_id=d.device_id,
+                name=d.config.name,
+                max_vl=d.config.max_vl,
+                jobs_run=d.jobs_run,
+                busy_cycles=d.busy_cycles,
+                lane_occupancies=list(d.lane_occupancies),
+            )
+            for d in self.devices
+        ]
+        return self.telemetry.report(records, self.makespan_cycles, frequency)

@@ -1,0 +1,145 @@
+"""Capacity-aware job scheduling policies.
+
+Admission is the hard constraint: a *resident* job is only admitted to a
+device whose CSB holds its footprint — otherwise the admission check
+raises the structured :class:`~repro.common.errors.CSBCapacityError`
+(unless the job is spill-servable, in which case it is admitted and the
+pool serves it through the context spill path at explicit HBM cost).
+
+Queue *ordering* is the pluggable soft policy. All policies respect
+priority first (higher runs earlier); within a priority band they
+differ:
+
+``fifo``
+    submission order — the latency-fair baseline.
+``sjf``
+    shortest job first by the service-time estimate; minimises mean
+    wait under convoy effects (a long Phoenix app no longer blocks a
+    burst of microbenchmarks).
+``best-fit``
+    largest footprint that fits the device first; packs the register
+    file tightly so capacity-hungry jobs drain before fragmenting
+    arrivals, and falls back to FIFO among equals.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence, Type
+
+from repro.common.errors import ConfigError
+from repro.engine.system import CAPEConfig
+
+from repro.runtime.job import Job
+
+
+class SchedulingPolicy(abc.ABC):
+    """Orders a device's queue; ``select`` returns the index to run next."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def select(self, queue: Sequence[Job], config: CAPEConfig) -> Optional[int]:
+        """Index of the next job to dispatch, or ``None`` if empty."""
+
+    def _band(self, queue: Sequence[Job]) -> Sequence[int]:
+        """Indices of the highest-priority band, in queue order."""
+        if not queue:
+            return ()
+        top = max(job.priority for job in queue)
+        return [i for i, job in enumerate(queue) if job.priority == top]
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """First-come, first-served within the top priority band."""
+
+    name = "fifo"
+
+    def select(self, queue: Sequence[Job], config: CAPEConfig) -> Optional[int]:
+        band = self._band(queue)
+        return band[0] if band else None
+
+
+class ShortestJobFirstPolicy(SchedulingPolicy):
+    """Smallest service-time estimate first (ties to queue order)."""
+
+    name = "sjf"
+
+    def select(self, queue: Sequence[Job], config: CAPEConfig) -> Optional[int]:
+        band = self._band(queue)
+        if not band:
+            return None
+        return min(band, key=lambda i: (queue[i].service_estimate, i))
+
+
+class BestFitPolicy(SchedulingPolicy):
+    """Largest footprint that fits the device's CSB first.
+
+    Jobs larger than the device (spill-served) rank after every fitting
+    job: their register-file hunger is unbounded anyway, so tight
+    packing gains nothing by running them early.
+    """
+
+    name = "best-fit"
+
+    def select(self, queue: Sequence[Job], config: CAPEConfig) -> Optional[int]:
+        band = self._band(queue)
+        if not band:
+            return None
+        fitting = [i for i in band if queue[i].footprint.lanes <= config.max_vl]
+        if fitting:
+            return max(fitting, key=lambda i: (queue[i].footprint.lanes, -i))
+        return band[0]
+
+
+POLICIES: Dict[str, Type[SchedulingPolicy]] = {
+    cls.name: cls
+    for cls in (FIFOPolicy, ShortestJobFirstPolicy, BestFitPolicy)
+}
+
+
+def make_policy(policy) -> SchedulingPolicy:
+    """Resolve a policy name or instance to an instance."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheduling policy {policy!r} "
+            f"(choose from {sorted(POLICIES)})"
+        ) from None
+
+
+class Scheduler:
+    """Admission control + queue ordering for one device pool.
+
+    Args:
+        policy: a name from :data:`POLICIES` or a policy instance.
+    """
+
+    def __init__(self, policy="fifo") -> None:
+        self.policy = make_policy(policy)
+
+    def admit(self, job: Job, config: CAPEConfig) -> bool:
+        """Check a job against a device's capacity.
+
+        Returns ``True`` when the footprint fits outright, ``False``
+        when the job must be spill-served, and raises the structured
+        :class:`CSBCapacityError` when it can be neither.
+        """
+        if job.footprint.fits(config):
+            return True
+        if job.spillable:
+            return False
+        job.footprint.check(config)  # raises with the exact shortfall
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def pick(self, queue, config: CAPEConfig) -> Optional[Job]:
+        """Remove and return the next job for a device, if any."""
+        index = self.policy.select(queue, config)
+        if index is None:
+            return None
+        job = queue[index]
+        del queue[index]
+        return job

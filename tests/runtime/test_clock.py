@@ -1,0 +1,65 @@
+"""Deterministic simulated-clock event loop."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.runtime.clock import SimClock
+
+
+def test_events_fire_in_time_order():
+    clock = SimClock()
+    fired = []
+    clock.schedule_at(30.0, lambda: fired.append("c"))
+    clock.schedule_at(10.0, lambda: fired.append("a"))
+    clock.schedule_at(20.0, lambda: fired.append("b"))
+    clock.run()
+    assert fired == ["a", "b", "c"]
+    assert clock.now == 30.0
+    assert clock.events_fired == 3
+
+
+def test_ties_break_by_schedule_order():
+    clock = SimClock()
+    fired = []
+    for label in "abcd":
+        clock.schedule_at(5.0, lambda l=label: fired.append(l))
+    clock.run()
+    assert fired == list("abcd")
+
+
+def test_schedule_in_is_relative_to_now():
+    clock = SimClock()
+    times = []
+    clock.schedule_at(100.0, lambda: clock.schedule_in(7.0, lambda: times.append(clock.now)))
+    clock.run()
+    assert times == [107.0]
+
+
+def test_scheduling_in_the_past_is_rejected():
+    clock = SimClock()
+    clock.schedule_at(50.0, lambda: None)
+    clock.run()
+    with pytest.raises(ConfigError):
+        clock.schedule_at(10.0, lambda: None)
+
+
+def test_tick_fires_exactly_one_event():
+    clock = SimClock()
+    fired = []
+    clock.schedule_at(1.0, lambda: fired.append(1))
+    clock.schedule_at(2.0, lambda: fired.append(2))
+    assert len(clock) == 2
+    assert clock.tick() is True
+    assert fired == [1]
+    assert len(clock) == 1
+
+
+def test_runaway_loop_is_capped():
+    clock = SimClock()
+
+    def rearm():
+        clock.schedule_in(1.0, rearm)
+
+    clock.schedule_at(0.0, rearm)
+    with pytest.raises(ConfigError):
+        clock.run(max_events=100)

@@ -1,0 +1,123 @@
+"""Context spill/restore through the VMU spill slab."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CapacityError, ConfigError
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.runtime.context import SPILL_BASE, ContextManager
+
+
+def make_cape():
+    return CAPESystem(CAPEConfig(name="t", num_chains=8))  # 256 lanes
+
+
+def fill_regs(cape, regs, vl, seed=1):
+    rng = np.random.default_rng(seed)
+    values = {}
+    cape.vsetvl(vl)
+    for r in regs:
+        v = rng.integers(0, 1 << 32, size=vl, dtype=np.int64)
+        cape.vregs[r, :vl] = v
+        values[r] = v.copy()
+    return values
+
+
+def test_spill_restore_round_trips_state():
+    cape = make_cape()
+    values = fill_regs(cape, (1, 3), vl=100)
+    manager = ContextManager(cape)
+    manager.spill("seg", (1, 3))
+    # Clobber everything the context should bring back.
+    cape.vsetvl(256)
+    cape.vregs[1, :] = -1
+    cape.vregs[3, :] = -1
+    manager.restore("seg")
+    assert cape.vl == 100
+    assert cape.vstart == 0
+    for r in (1, 3):
+        np.testing.assert_array_equal(cape.vregs[r, :100], values[r])
+
+
+def test_spill_charges_hbm_cycles_and_energy():
+    cape = make_cape()
+    fill_regs(cape, (2,), vl=64)
+    cycles0 = cape.stats.cycles
+    energy0 = cape.stats.energy_j
+    manager = ContextManager(cape)
+    manager.spill(0, (2,))
+    manager.restore(0)
+    assert cape.stats.cycles > cycles0
+    assert cape.stats.energy_j > energy0
+    assert cape.vmu.stats.spills == 1
+    assert cape.vmu.stats.fills == 1
+    assert manager.stats.spills == 1
+    assert manager.stats.restores == 1
+    assert manager.stats.bytes_spilled == 64 * 4
+    assert manager.stats.bytes_restored == 64 * 4
+    assert manager.stats.cycles > 0
+
+
+def test_slot_reuse_keeps_address_for_compatible_respill():
+    cape = make_cape()
+    fill_regs(cape, (1,), vl=128)
+    manager = ContextManager(cape)
+    first = manager.spill("k", (1,))
+    cape.vsetvl(64)  # smaller window fits the same slot
+    second = manager.spill("k", (1,))
+    assert second.addr == first.addr
+    assert second.capacity_words == first.capacity_words
+
+
+def test_duplicate_registers_are_spilled_once():
+    cape = make_cape()
+    fill_regs(cape, (4,), vl=16)
+    manager = ContextManager(cape)
+    ctx = manager.spill("k", (4, 4, 4))
+    assert ctx.regs == (4,)
+    assert ctx.words == 16
+
+
+def test_slab_exhaustion_raises_capacity_error():
+    cape = make_cape()
+    fill_regs(cape, (1, 2), vl=256)
+    manager = ContextManager(
+        cape, base=SPILL_BASE, limit=SPILL_BASE + 256 * 4
+    )  # room for one register, not two
+    with pytest.raises(CapacityError):
+        manager.spill("big", (1, 2))
+
+
+def test_restore_of_unknown_key_raises():
+    cape = make_cape()
+    manager = ContextManager(cape)
+    with pytest.raises(ConfigError):
+        manager.restore("nope")
+
+
+def test_empty_register_set_is_rejected():
+    cape = make_cape()
+    manager = ContextManager(cape)
+    with pytest.raises(ConfigError):
+        manager.spill("k", ())
+
+
+def test_misaligned_base_is_rejected():
+    cape = make_cape()
+    with pytest.raises(ConfigError):
+        ContextManager(cape, base=SPILL_BASE + 1)
+
+
+def test_restore_rearms_sew():
+    cape = make_cape()
+    cape.set_sew(16)
+    fill_regs(cape, (1,), vl=32)
+    cape.vregs[1, :32] &= 0xFFFF
+    saved = cape.vregs[1, :32].copy()
+    manager = ContextManager(cape)
+    manager.spill("s", (1,))
+    cape.set_sew(32)
+    cape.vregs[1, :] = 0
+    manager.restore("s")
+    assert cape.sew == 16
+    np.testing.assert_array_equal(cape.vregs[1, :32], saved)

@@ -1,0 +1,191 @@
+"""Job abstraction: footprints, execution, validation, segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, CSBCapacityError
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.runtime.job import Footprint, Job, JobState, SegmentedJob
+from repro.workloads.micro import VVAdd
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+SMALL = CAPEConfig(name="small", num_chains=32)  # 1,024 lanes
+
+
+def make_cape(config=NANO):
+    return CAPESystem(config)
+
+
+def sum_job(name, lanes, value, **kwargs):
+    """A job filling ``lanes`` elements with ``value`` and reducing."""
+
+    def body(system):
+        system.vsetvl(lanes)
+        system.vmv_vx(1, value)
+        return int(system.vredsum(1, signed=False))
+
+    kwargs.setdefault("golden", lanes * value)
+    return Job(name, body, Footprint(lanes=lanes), **kwargs)
+
+
+# -- footprints ---------------------------------------------------------
+
+
+def test_footprint_validation():
+    with pytest.raises(ConfigError):
+        Footprint(lanes=0)
+    with pytest.raises(ConfigError):
+        Footprint(lanes=8, vregs=0)
+    with pytest.raises(ConfigError):
+        Footprint(lanes=8, vregs=CAPESystem.NUM_VREGS + 1)
+
+
+def test_resident_footprint_fits_by_lanes():
+    assert Footprint(lanes=256).fits(NANO)
+    assert not Footprint(lanes=257).fits(NANO)
+    assert Footprint(lanes=257).fits(SMALL)
+
+
+def test_non_resident_footprint_fits_anywhere():
+    assert Footprint(lanes=10**9, resident=False).fits(NANO)
+
+
+def test_footprint_check_raises_structured_error():
+    with pytest.raises(CSBCapacityError) as excinfo:
+        Footprint(lanes=1000, vregs=4).check(NANO)
+    err = excinfo.value
+    assert err.requested_lanes == 1000
+    assert err.available_lanes == 256
+    assert err.shortfall_lanes == 744
+    assert err.requested_chains == -(-1000 // 32)
+    assert err.requested_registers == 4
+
+
+# -- execution ----------------------------------------------------------
+
+
+def test_job_executes_and_validates_golden():
+    job = sum_job("sum", lanes=100, value=3)
+    result = job.execute(make_cape())
+    assert result.output == 300
+    assert result.validated
+    assert result.service_cycles > 0
+    assert result.energy_j > 0
+    assert result.error is None
+
+
+def test_golden_mismatch_fails_validation():
+    job = sum_job("bad", lanes=100, value=3, golden=301)
+    result = job.execute(make_cape())
+    assert not result.validated
+
+
+def test_validate_callable_wins_over_golden():
+    job = sum_job("pred", lanes=10, value=2, golden=999)
+    job.validate = lambda out: out == 20
+    assert job.execute(make_cape()).validated
+
+
+def test_library_errors_are_captured_not_raised():
+    def body(system):
+        system.vsetvl(-1)  # structured capacity error
+
+    job = Job("boom", body, Footprint(lanes=8))
+    result = job.execute(make_cape())
+    assert not result.validated
+    assert "CSBCapacityError" in result.error
+
+
+def test_from_workload_infers_lanes_and_validates():
+    job = Job.from_workload(VVAdd(n=512, seed=3))
+    assert job.footprint.lanes == 512
+    assert not job.footprint.resident  # workloads strip-mine
+    result = job.execute(make_cape())
+    assert result.validated
+    assert job.name == "vvadd"
+
+
+def test_from_program_runs_through_interpreter():
+    job = Job.from_program(
+        "asm",
+        """
+            li a0, 6
+            li a1, 7
+            mul a2, a0, a1
+            ecall
+        """,
+        footprint=Footprint(lanes=1),
+        validate=lambda res: res.xregs[12] == 42,
+    )
+    assert job.execute(make_cape()).validated
+
+
+def test_job_lifecycle_defaults():
+    job = sum_job("fresh", lanes=8, value=1)
+    assert job.state is JobState.PENDING
+    assert job.result is None
+    assert job.service_estimate == 8.0
+    job.estimated_cycles = 99
+    assert job.service_estimate == 99.0
+
+
+# -- segmented jobs -----------------------------------------------------
+
+
+def accumulate_job(n, passes=2, seed=5):
+    """y = passes * a over ``n`` resident lanes, segment-at-a-time."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << 16, size=n).astype(np.int64)
+    base = 0x0010_0000
+
+    def segment(system, offset, vl, pass_index):
+        if pass_index == 0:
+            system.memory.write_words(base + 4 * offset, a[offset : offset + vl])
+            system.vle(1, base + 4 * offset)
+            system.vmv_vx(2, 0)
+        system.vadd(2, 2, 1)
+        if pass_index == passes - 1:
+            return int(system.vredsum(2, signed=False))
+
+    return SegmentedJob(
+        "accum",
+        total_lanes=n,
+        segment_body=segment,
+        live_vregs=(1, 2),
+        passes=passes,
+        finalize=sum,
+        golden=int(passes * a.sum()),
+    )
+
+
+def test_segments_partition_the_footprint():
+    job = accumulate_job(600)
+    segs = job.segments(NANO)
+    assert segs == [(0, 256), (256, 256), (512, 88)]
+    assert sum(vl for _, vl in segs) == 600
+
+
+def test_oversized_job_is_spill_served_and_exact():
+    job = accumulate_job(600, passes=3)
+    result = job.execute(make_cape())
+    assert result.validated, result.error
+    # 3 segments x 3 passes = 9 visits; every visit but the last spills,
+    # every revisit restores.
+    assert result.spills == 8
+    assert result.restores == 6
+    assert job.context_stats.bytes_spilled > 0
+
+
+def test_fitting_segmented_job_never_touches_the_spill_path():
+    job = accumulate_job(200, passes=2)
+    result = job.execute(make_cape())
+    assert result.validated
+    assert result.spills == 0
+    assert result.restores == 0
+
+
+def test_segmented_job_validation():
+    with pytest.raises(ConfigError):
+        SegmentedJob("x", 8, lambda *a: None, live_vregs=())
+    with pytest.raises(ConfigError):
+        SegmentedJob("x", 8, lambda *a: None, live_vregs=(1,), passes=0)

@@ -1,0 +1,180 @@
+"""Device pool: placement, stealing, spill service, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, CSBCapacityError
+from repro.engine.system import CAPEConfig
+from repro.runtime.job import Footprint, Job, SegmentedJob
+from repro.runtime.pool import DevicePool
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+SMALL = CAPEConfig(name="small", num_chains=32)  # 1,024 lanes
+
+
+def sum_job(name, lanes, value=3, **kwargs):
+    def body(system):
+        system.vsetvl(min(lanes, system.config.max_vl))
+        system.vmv_vx(1, value)
+        return int(system.vredsum(1, signed=False))
+
+    kwargs.setdefault("golden", min(lanes, 256) * value)
+    footprint = Footprint(lanes=lanes, resident=kwargs.pop("resident", True))
+    return Job(name, body, footprint, **kwargs)
+
+
+def accumulate_job(n, passes=2, seed=5, **kwargs):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << 16, size=n).astype(np.int64)
+    base = 0x0010_0000
+
+    def segment(system, offset, vl, pass_index):
+        if pass_index == 0:
+            system.memory.write_words(base + 4 * offset, a[offset : offset + vl])
+            system.vle(1, base + 4 * offset)
+            system.vmv_vx(2, 0)
+        system.vadd(2, 2, 1)
+        if pass_index == passes - 1:
+            return int(system.vredsum(2, signed=False))
+
+    return SegmentedJob(
+        "accum",
+        total_lanes=n,
+        segment_body=segment,
+        live_vregs=(1, 2),
+        passes=passes,
+        finalize=sum,
+        golden=int(passes * a.sum()),
+        **kwargs,
+    )
+
+
+def test_placement_prefers_smallest_fitting_device():
+    pool = DevicePool((SMALL, NANO), memory_bytes=1 << 22)
+    device = pool.place(sum_job("j", lanes=200))
+    assert device.config is NANO
+    device = pool.place(sum_job("wide", lanes=500))
+    assert device.config is SMALL
+
+
+def test_placement_breaks_capacity_ties_by_load():
+    pool = DevicePool((NANO, NANO), memory_bytes=1 << 22)
+    pool.devices[0].queue.append(sum_job("queued", lanes=8))
+    device = pool.place(sum_job("j", lanes=8))
+    assert device.device_id == 1
+
+
+def test_oversized_spillable_lands_on_largest_device():
+    pool = DevicePool((NANO, SMALL), memory_bytes=1 << 26)
+    device = pool.place(accumulate_job(5000))
+    assert device.config is SMALL
+
+
+def test_oversized_rigid_job_is_refused_with_structured_error():
+    pool = DevicePool((NANO, SMALL), memory_bytes=1 << 22)
+    with pytest.raises(CSBCapacityError) as excinfo:
+        pool.place(sum_job("rigid", lanes=5000))
+    assert excinfo.value.requested_lanes == 5000
+    assert excinfo.value.available_lanes == SMALL.max_vl
+
+
+def test_pool_runs_stream_to_completion():
+    pool = DevicePool((NANO, NANO), policy="sjf", memory_bytes=1 << 22)
+    jobs = [sum_job(f"j{i}", lanes=64 + i) for i in range(6)]
+    pool.submit_stream(jobs, interarrival_cycles=10.0)
+    report = pool.run()
+    assert report.completed == 6
+    assert report.failed == 0
+    assert all(j.validated for j in report.jobs)
+    assert report.makespan_cycles == max(d.busy_until for d in pool.devices)
+    assert sum(d.jobs_run for d in pool.devices) == 6
+
+
+def test_idle_device_steals_from_loaded_peer():
+    # Placement always prefers the nano device, so every job queues
+    # there; the big device only gets work by stealing.
+    pool = DevicePool((NANO, SMALL), policy="fifo", memory_bytes=1 << 22)
+    jobs = [sum_job(f"j{i}", lanes=32) for i in range(6)]
+    for job in jobs:
+        pool.submit(job)
+    report = pool.run()
+    assert report.completed == 6
+    assert report.steals > 0
+    assert any(j.stolen for j in report.jobs)
+    assert pool.devices[1].jobs_run > 0
+
+
+def test_work_stealing_can_be_disabled():
+    pool = DevicePool(
+        (NANO, SMALL), policy="fifo", work_stealing=False, memory_bytes=1 << 22
+    )
+    for i in range(6):
+        pool.submit(sum_job(f"j{i}", lanes=32))
+    report = pool.run()
+    assert report.steals == 0
+    assert pool.devices[1].jobs_run == 0  # placement never chose it
+
+
+def test_oversized_job_is_spill_served_in_the_pool():
+    pool = DevicePool((NANO,), memory_bytes=1 << 26)
+    big = accumulate_job(600, passes=2)
+    pool.submit(big)
+    pool.submit(sum_job("small", lanes=32))
+    report = pool.run()
+    assert report.completed == 2
+    record = next(j for j in report.jobs if j.name == "accum")
+    assert record.validated
+    assert record.spills > 0
+    assert record.restores > 0
+
+
+def test_priority_runs_before_fifo_order():
+    pool = DevicePool((NANO,), policy="fifo", memory_bytes=1 << 22)
+    pool.submit(sum_job("first", lanes=32), at_cycle=0.0)
+    pool.submit(sum_job("low", lanes=32), at_cycle=1.0)
+    pool.submit(sum_job("hi", lanes=32, priority=3), at_cycle=2.0)
+    report = pool.run()
+    order = [j.name for j in sorted(report.jobs, key=lambda j: j.start_cycle)]
+    # "first" starts immediately; the priority job jumps the queue.
+    assert order == ["first", "hi", "low"]
+
+
+def test_resubmission_is_rejected():
+    pool = DevicePool((NANO,), memory_bytes=1 << 22)
+    job = sum_job("once", lanes=8)
+    pool.submit(job)
+    with pytest.raises(ConfigError):
+        pool.submit(job)
+
+
+def test_failed_validation_is_reported_not_raised():
+    pool = DevicePool((NANO,), memory_bytes=1 << 22)
+    pool.submit(sum_job("bad", lanes=8, golden=-1))
+    report = pool.run()
+    assert report.failed == 1
+    assert report.completed == 0
+
+
+def test_devices_are_reset_between_jobs():
+    leak = {}
+
+    def first(system):
+        system.vsetvl(16)
+        system.vmv_vx(5, 77)
+        return 0
+
+    def second(system):
+        leak["vl"] = system.vl
+        leak["v5"] = int(system.vregs[5, 0])
+        return 0
+
+    pool = DevicePool((NANO,), memory_bytes=1 << 22)
+    pool.submit(Job("a", first, Footprint(lanes=16), golden=0))
+    pool.submit(Job("b", second, Footprint(lanes=16), golden=0))
+    pool.run()
+    assert leak == {"vl": NANO.max_vl, "v5": 0}
+
+
+def test_empty_pool_configuration_is_rejected():
+    with pytest.raises(ConfigError):
+        DevicePool(())

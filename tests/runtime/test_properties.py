@@ -1,0 +1,112 @@
+"""Property-based invariants of the runtime (hypothesis).
+
+The three contracts the subsystem is built on:
+
+1. an admitted job's resident footprint always fits the device that
+   served it (or the job is spill-servable);
+2. spill -> restore round-trips the architectural vector state
+   bit-exactly, whatever registers and windows are involved;
+3. the pool's makespan is exactly the max over the device timelines.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.runtime.context import ContextManager
+from repro.runtime.job import Footprint, Job
+from repro.runtime.pool import DevicePool
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+SMALL = CAPEConfig(name="small", num_chains=32)  # 1,024 lanes
+
+
+def sum_job(lanes, resident, priority=0):
+    def body(system):
+        vl = min(lanes, system.config.max_vl)
+        system.vsetvl(vl)
+        system.vmv_vx(1, 2)
+        return int(system.vredsum(1, signed=False))
+
+    return Job(
+        f"j{lanes}",
+        body,
+        Footprint(lanes=lanes, resident=resident),
+        priority=priority,
+        validate=lambda out: out > 0,
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(1, 1024),  # lanes
+            st.booleans(),  # resident
+            st.integers(-1, 1),  # priority
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    st.sampled_from(["fifo", "sjf", "best-fit"]),
+    st.booleans(),
+)
+def test_admitted_jobs_fit_their_device(specs, policy, stealing):
+    pool = DevicePool(
+        (NANO, SMALL),
+        policy=policy,
+        work_stealing=stealing,
+        memory_bytes=1 << 22,
+    )
+    jobs = [sum_job(lanes, resident, priority) for lanes, resident, priority in specs]
+    pool.submit_stream(jobs, interarrival_cycles=100.0)
+    report = pool.run()
+    assert report.completed == len(jobs)
+    by_id = {d.device_id: d for d in pool.devices}
+    for job in jobs:
+        device = by_id[job.device_id]
+        assert job.footprint.fits(device.config) or job.spillable
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(1, 256),  # vl
+    st.lists(st.integers(0, 7), min_size=1, max_size=4),  # registers
+    st.integers(0, 2**32 - 1),  # fill seed value
+)
+def test_spill_restore_is_bit_exact(vl, regs, seed):
+    cape = CAPESystem(NANO)
+    cape.vsetvl(vl)
+    rng = np.random.default_rng(seed)
+    saved = {}
+    for r in set(regs):
+        v = rng.integers(0, 1 << 32, size=vl, dtype=np.int64)
+        cape.vregs[r, :vl] = v
+        saved[r] = v.copy()
+    manager = ContextManager(cape)
+    manager.spill("ctx", regs)
+    cape.vsetvl(cape.config.max_vl)
+    cape.vregs[:] = -1
+    manager.restore("ctx")
+    assert cape.vl == vl
+    for r, v in saved.items():
+        np.testing.assert_array_equal(cape.vregs[r, :vl], v)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(1, 256), min_size=1, max_size=10),
+    st.floats(0.0, 500.0),
+)
+def test_makespan_is_max_over_device_timelines(lane_list, interarrival):
+    pool = DevicePool((NANO, NANO, SMALL), memory_bytes=1 << 22)
+    jobs = [sum_job(lanes, resident=True) for lanes in lane_list]
+    pool.submit_stream(jobs, interarrival_cycles=interarrival)
+    report = pool.run()
+    per_device_end = {}
+    for job in jobs:
+        per_device_end[job.device_id] = max(
+            per_device_end.get(job.device_id, 0.0), job.finish_cycle
+        )
+    assert report.makespan_cycles == max(per_device_end.values())
+    assert report.makespan_cycles == max(d.busy_until for d in pool.devices)

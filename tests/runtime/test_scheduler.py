@@ -1,0 +1,105 @@
+"""Queue-ordering policies and capacity admission."""
+
+from collections import deque
+
+import pytest
+
+from repro.common.errors import ConfigError, CSBCapacityError
+from repro.engine.system import CAPEConfig
+from repro.runtime.job import Footprint, Job, SegmentedJob
+from repro.runtime.scheduler import (
+    POLICIES,
+    BestFitPolicy,
+    FIFOPolicy,
+    Scheduler,
+    ShortestJobFirstPolicy,
+    make_policy,
+)
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+
+
+def job(name, lanes=8, priority=0, estimate=None, resident=True):
+    return Job(
+        name,
+        body=lambda system: None,
+        footprint=Footprint(lanes=lanes, resident=resident),
+        priority=priority,
+        estimated_cycles=estimate,
+    )
+
+
+def names(queue):
+    return [j.name for j in queue]
+
+
+def test_fifo_is_submission_order():
+    queue = [job("a"), job("b"), job("c")]
+    policy = FIFOPolicy()
+    assert policy.select(queue, NANO) == 0
+
+
+def test_priority_band_preempts_order_in_every_policy():
+    queue = [job("low"), job("hi", priority=5), job("hi2", priority=5)]
+    for name in POLICIES:
+        picked = make_policy(name).select(queue, NANO)
+        assert queue[picked].priority == 5, name
+
+
+def test_sjf_picks_smallest_estimate():
+    queue = [job("slow", estimate=100), job("fast", estimate=1), job("mid", estimate=50)]
+    assert ShortestJobFirstPolicy().select(queue, NANO) == 1
+
+
+def test_sjf_falls_back_to_lane_count():
+    queue = [job("wide", lanes=200), job("narrow", lanes=10)]
+    assert ShortestJobFirstPolicy().select(queue, NANO) == 1
+
+
+def test_best_fit_prefers_largest_fitting_footprint():
+    queue = [job("small", lanes=10), job("big", lanes=200), job("mid", lanes=100)]
+    assert BestFitPolicy().select(queue, NANO) == 1
+
+
+def test_best_fit_ranks_oversized_after_fitting():
+    big = SegmentedJob("huge", 1000, lambda *a: None, live_vregs=(1,))
+    queue = [big, job("fits", lanes=64)]
+    assert BestFitPolicy().select(queue, NANO) == 1
+
+
+def test_best_fit_falls_back_to_fifo_when_nothing_fits():
+    a = SegmentedJob("h1", 1000, lambda *a: None, live_vregs=(1,))
+    b = SegmentedJob("h2", 2000, lambda *a: None, live_vregs=(1,))
+    queue = [a, b]
+    assert BestFitPolicy().select(queue, NANO) == 0
+
+
+def test_empty_queue_selects_none():
+    for name in POLICIES:
+        assert make_policy(name).select([], NANO) is None
+
+
+def test_make_policy_resolves_names_and_instances():
+    assert isinstance(make_policy("sjf"), ShortestJobFirstPolicy)
+    inst = BestFitPolicy()
+    assert make_policy(inst) is inst
+    with pytest.raises(ConfigError):
+        make_policy("lottery")
+
+
+def test_admit_fits_spillable_and_refused():
+    scheduler = Scheduler("fifo")
+    assert scheduler.admit(job("ok", lanes=256), NANO) is True
+    seg = SegmentedJob("seg", 1000, lambda *a: None, live_vregs=(1,))
+    assert scheduler.admit(seg, NANO) is False  # spill-served
+    with pytest.raises(CSBCapacityError):
+        scheduler.admit(job("nope", lanes=1000), NANO)
+
+
+def test_pick_removes_the_selected_job():
+    queue = deque([job("a", estimate=9), job("b", estimate=1)])
+    scheduler = Scheduler("sjf")
+    picked = scheduler.pick(queue, NANO)
+    assert picked.name == "b"
+    assert names(queue) == ["a"]
+    assert scheduler.pick(deque(), NANO) is None

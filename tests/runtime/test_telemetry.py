@@ -1,0 +1,130 @@
+"""Telemetry records, aggregates, and table rendering."""
+
+from repro.runtime.telemetry import (
+    DeviceRecord,
+    JobRecord,
+    Telemetry,
+    TelemetryReport,
+)
+
+
+def record(job_id=0, name="j", submit=0.0, start=10.0, finish=30.0, **kwargs):
+    kwargs.setdefault("device_id", 0)
+    kwargs.setdefault("device_name", "nano#0")
+    kwargs.setdefault("priority", 0)
+    kwargs.setdefault("lanes", 64)
+    kwargs.setdefault("validated", True)
+    kwargs.setdefault("state", "done")
+    return JobRecord(
+        job_id=job_id,
+        name=name,
+        submit_cycle=submit,
+        start_cycle=start,
+        finish_cycle=finish,
+        **kwargs,
+    )
+
+
+def report(jobs, devices=None, makespan=100.0, frequency=2.7e9, **kwargs):
+    return TelemetryReport(
+        jobs=jobs,
+        devices=devices or [],
+        makespan_cycles=makespan,
+        frequency_hz=frequency,
+        queue_samples=kwargs.pop("queue_samples", {}),
+        **kwargs,
+    )
+
+
+def test_job_record_latency_phases():
+    r = record(submit=5.0, start=12.0, finish=40.0)
+    assert r.wait_cycles == 7.0
+    assert r.service_cycles == 28.0
+    assert r.turnaround_cycles == 35.0
+    assert r.deadline_met is None
+    assert record(finish=30.0, deadline_cycles=30.0).deadline_met is True
+    assert record(finish=30.0, deadline_cycles=29.0).deadline_met is False
+
+
+def test_device_record_aggregates():
+    d = DeviceRecord(
+        device_id=0,
+        name="nano",
+        max_vl=256,
+        jobs_run=2,
+        busy_cycles=50.0,
+        lane_occupancies=[0.5, 1.0],
+    )
+    assert d.mean_occupancy == 0.75
+    assert d.utilization(100.0) == 0.5
+    assert d.utilization(0.0) == 0.0
+
+
+def test_report_aggregates():
+    jobs = [
+        record(job_id=0, finish=20.0),
+        record(job_id=1, finish=40.0),
+        record(job_id=2, finish=100.0, validated=False, state="failed"),
+    ]
+    rep = report(jobs)
+    assert rep.completed == 2
+    assert rep.failed == 1
+    assert rep.mean_turnaround_cycles() == (20 + 40 + 100) / 3
+    assert rep.percentile_turnaround_cycles(50) == 40.0
+    assert rep.percentile_turnaround_cycles(100) == 100.0
+    assert rep.makespan_seconds == 100.0 / 2.7e9
+    assert rep.throughput_jobs_per_s == 2 / rep.makespan_seconds
+
+
+def test_queue_depth_histogram_merges_devices():
+    rep = report(
+        [],
+        queue_samples={
+            0: [(0.0, 0), (1.0, 2)],
+            1: [(0.0, 2), (2.0, 1)],
+        },
+    )
+    assert rep.queue_depth_histogram() == {0: 1, 1: 1, 2: 2}
+    assert rep.queue_depth_histogram(device_id=0) == {0: 1, 2: 1}
+
+
+def test_collector_records_lifecycle():
+    from repro.runtime.job import Footprint, Job, JobState
+
+    job = Job("t", lambda s: None, Footprint(lanes=8), deadline_cycles=50.0)
+    job.submit_cycle, job.start_cycle, job.finish_cycle = 0.0, 5.0, 25.0
+    job.device_id = 1
+    job.state = JobState.DONE
+    telemetry = Telemetry()
+    telemetry.record_steal()
+    telemetry.record_complete(job, "nano#1")
+    rep = telemetry.report([], makespan_cycles=25.0, frequency_hz=1e9)
+    assert rep.steals == 1
+    assert len(rep.jobs) == 1
+    assert rep.jobs[0].device_name == "nano#1"
+    assert rep.jobs[0].deadline_met is True
+    # Jobs without a result record as unvalidated, not as a crash.
+    assert rep.jobs[0].validated is False
+
+
+def test_tables_render():
+    jobs = [record(job_id=0, name="alpha", deadline_cycles=10.0)]
+    devices = [
+        DeviceRecord(
+            device_id=0,
+            name="nano",
+            max_vl=256,
+            jobs_run=1,
+            busy_cycles=20.0,
+            lane_occupancies=[0.25],
+        )
+    ]
+    rep = report(jobs, devices=devices, queue_samples={0: [(0.0, 1)]})
+    assert "alpha" in rep.job_table()
+    assert "MISSED" in rep.job_table()
+    assert "nano" in rep.device_table()
+    assert "25.0" in rep.device_table()  # occupancy %
+    assert "queue depth" in rep.queue_table()
+    summary = rep.summary()
+    assert "1/1 jobs completed" in summary
+    assert "steal" in summary
