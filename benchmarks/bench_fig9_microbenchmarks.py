@@ -5,12 +5,24 @@ here (vvadd, vvmul, saxpy, memcpy, dotprod, idxsrch) reconstructs it from
 the kernels the surviving text names (idxsrch and the roofline anchors).
 Prints CAPE32k/CAPE131k speedups over the area-equivalent 1/2-core
 baselines.
+
+``--backend-compare`` (also ``test_fig9_backend_speedup``) additionally
+runs the same kernel set as *real associative microcode* on a bit-level
+CSB under each execution backend (see docs/BACKENDS.md), records the
+wall times in ``BENCH_2.json``, and asserts the vectorized bit-plane
+backend is at least an order of magnitude faster than the per-chain
+reference loop.
 """
 
+import json
 import math
+import time
+from pathlib import Path
 
 from repro.eval.harness import run_micro_suite
 from repro.eval.tables import format_table
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_2.json"
 
 
 def test_fig9_microbenchmarks(once):
@@ -32,3 +44,102 @@ def test_fig9_microbenchmarks(once):
     assert by_name["vvadd"].speedup_32k > 2
     assert by_name["memcpy"].speedup_32k > 2
     assert by_name["idxsrch"].speedup_32k < by_name["vvadd"].speedup_32k
+
+
+def _bit_level_suite(backend, num_chains=64, sew=8, seed=7):
+    """Run the Figure 9 kernel set as real microcode on a bit-level CSB.
+
+    With ``backend=`` set, every supported intrinsic also executes as
+    associative microcode on the CSB mirror and is cross-validated, so
+    the wall time is dominated by microcode execution on the selected
+    backend. Returns ``(elapsed_seconds, checksum)``; the checksum must
+    agree across backends.
+    """
+    import numpy as np
+
+    from repro.engine.system import CAPEConfig, CAPESystem
+
+    config = CAPEConfig("fig9-bit", num_chains=num_chains)
+    cape = CAPESystem(config, backend=backend)
+    n = config.max_vl
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << sew, n, dtype=np.int64)
+    b = rng.integers(0, 1 << sew, n, dtype=np.int64)
+    base_a, base_b = 0x10000, 0x80000
+    cape.vmu.map_range(base_a, 4 * n)
+    cape.vmu.map_range(base_b, 4 * n)
+    cape.vmu.store(base_a, a)
+    cape.vmu.store(base_b, b)
+
+    start = time.perf_counter()
+    cape.vsetvl(n, sew=sew)
+    cape.vle(1, base_a)
+    cape.vle(2, base_b)
+    cape.vadd(3, 1, 2)                       # vvadd
+    cape.vmul(4, 1, 2)                       # vvmul
+    cape.vadd(5, 4, 3)                       # saxpy tail
+    cape.vmv(6, 1)                           # memcpy
+    dot = cape.vredsum(4, signed=False)      # dotprod reduce
+    cape.vmseq_vx(7, 1, int(a[0]))           # idxsrch probe
+    hits = cape.vmask_popcount(7)
+    cape.vse(5, base_b)
+    elapsed = time.perf_counter() - start
+
+    checksum = int(dot) + int(hits) + int(cape.read_vreg(5).sum())
+    return elapsed, checksum
+
+
+def run_backend_compare(num_chains=64, sew=8):
+    """Time the bit-level kernel suite under both backends.
+
+    Returns the ``BENCH_2.json`` payload. The reference backend walks a
+    Python loop per chain, so its cost grows with the chain count; the
+    bit-plane backend executes all chains ganged in lockstep.
+    """
+    timings = {}
+    checksums = {}
+    for backend in ("reference", "bitplane"):
+        timings[backend], checksums[backend] = _bit_level_suite(
+            backend, num_chains=num_chains, sew=sew
+        )
+    assert checksums["reference"] == checksums["bitplane"]
+    speedup = timings["reference"] / timings["bitplane"]
+    return {
+        "benchmark": "fig9 kernels as bit-level microcode (vvadd, vvmul, "
+        "saxpy, memcpy, dotprod, idxsrch)",
+        "config": {"num_chains": num_chains, "sew": sew},
+        "reference_seconds": round(timings["reference"], 4),
+        "bitplane_seconds": round(timings["bitplane"], 4),
+        "speedup": round(speedup, 1),
+    }
+
+
+def test_fig9_backend_speedup():
+    payload = run_backend_compare()
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print("Figure 9 kernels as microcode — backend comparison")
+    print(json.dumps(payload, indent=2))
+    assert payload["speedup"] >= 10
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend-compare",
+        action="store_true",
+        help="time the kernels as bit-level microcode under both "
+        "backends and write BENCH_2.json",
+    )
+    parser.add_argument("--num-chains", type=int, default=64)
+    parser.add_argument("--sew", type=int, default=8)
+    args = parser.parse_args()
+    if args.backend_compare:
+        result = run_backend_compare(num_chains=args.num_chains, sew=args.sew)
+        BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+        print(json.dumps(result, indent=2))
+        print(f"wrote {BENCH_JSON}")
+    else:
+        parser.error("run under pytest, or pass --backend-compare")

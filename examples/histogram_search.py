@@ -12,7 +12,7 @@ Run:  python examples/histogram_search.py
 import numpy as np
 
 from repro.baseline.ooo import OoOCore
-from repro.engine.system import CAPE131K, CAPE32K, CAPESystem
+from repro.api import CAPE131K, CAPE32K, CAPESystem
 from repro.workloads.phoenix import Histogram
 
 

@@ -12,7 +12,7 @@ Run:  python examples/kmeans_capacity.py
 
 from repro.baseline.multicore import Multicore
 from repro.baseline.ooo import OoOCore
-from repro.engine.system import CAPE131K, CAPE32K, CAPESystem
+from repro.api import CAPE131K, CAPE32K, CAPESystem
 from repro.workloads.phoenix import KMeans
 
 ARGS = dict(points=120_000, dims=8, k=8, iterations=8)

@@ -10,7 +10,7 @@ Run:  python examples/memory_modes.py
 
 import numpy as np
 
-from repro.csb.csb import CSB
+from repro.api import CSB
 from repro.memmode import KeyValueStore, Scratchpad, VictimCache
 
 

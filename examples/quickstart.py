@@ -12,11 +12,8 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+from repro.api import CAPE32K, AssociativeEmulator, Device, Subarray
 from repro.assoc import algorithms as alg
-from repro.assoc.emulator import AssociativeEmulator
-from repro.csb.subarray import Subarray
-from repro.engine.system import CAPE32K, CAPESystem
-from repro.isa.interpreter import Machine
 
 
 def stop_1_figure1_increment():
@@ -47,6 +44,14 @@ def stop_2_chain_level_vadd():
     print(f"  32 elements x 32 bits added entirely with searches/updates")
     print(f"  measured microoperations: {run.stats.total_microops}"
           f"  (Table I closed form: 8n + 2 = {8 * 32 + 2})")
+    # The same microcode runs on the vectorized bit-plane backend with
+    # identical results and identical microoperation charges.
+    fast = AssociativeEmulator(num_subarrays=32, num_cols=32, backend="bitplane")
+    fast_run = fast.run("vadd.vv", a, b, width=32)
+    assert np.array_equal(np.asarray(fast_run.result), np.asarray(run.result))
+    assert fast_run.stats.counts == run.stats.counts
+    print(f"  bitplane backend: same bits, same {fast_run.stats.total_microops}"
+          f" microops")
     print()
 
 
@@ -54,14 +59,14 @@ def stop_3_riscv_assembly():
     print("=" * 64)
     print("3. RISC-V vector assembly on the CAPE system model")
     print("=" * 64)
-    cape = CAPESystem(CAPE32K)
+    device = Device(CAPE32K)
     n = 50_000
     a = np.arange(n) % 1000
     b = (np.arange(n) * 3) % 1000
-    cape.memory.write_words(0x100000, a)
-    cape.memory.write_words(0x200000, b)
+    device.write_words(0x100000, a)
+    device.write_words(0x200000, b)
 
-    machine = Machine(
+    result = device.run(
         """
             li a0, 50000          # element count
             li a1, 0x100000       # &a
@@ -80,17 +85,15 @@ def stop_3_riscv_assembly():
             add a3, a3, t1
             bne a0, zero, loop
             ecall
-        """,
-        cape,
+        """
     )
-    result = machine.run()
-    out = cape.memory.read_words(0x300000, n)
+    out = device.read_words(0x300000, n)
     assert np.array_equal(out, a + b)
     print(f"  {n} adds in {result.vector_instructions} vector instructions")
-    print(f"  CAPE32k ({cape.config.max_vl} lanes): "
+    print(f"  CAPE32k ({device.max_vl} lanes): "
           f"{result.cycles:,.0f} cycles = {result.seconds * 1e6:.1f} us "
-          f"at {cape.stats.frequency_hz / 1e9:.1f} GHz")
-    print(f"  energy: {cape.stats.energy_j * 1e6:.1f} uJ")
+          f"at {device.stats.frequency_hz / 1e9:.1f} GHz")
+    print(f"  energy: {device.stats.energy_j * 1e6:.1f} uJ")
     print()
 
 

@@ -16,9 +16,8 @@ Run:  python examples/riscv_dotprod.py
 
 import numpy as np
 
-from repro.engine.system import CAPE32K, CAPESystem
+from repro.api import CAPE32K, Device, Machine
 from repro.isa.assembler import assemble
-from repro.isa.interpreter import Machine
 
 PROGRAM = """
     # a0 = n, a1 = &x, a2 = &weights (chunk of 8), a3 = &result
@@ -41,15 +40,15 @@ loop:
 
 
 def main():
-    cape = CAPESystem(CAPE32K)
+    device = Device(CAPE32K)
     n = 40_000
     rng = np.random.default_rng(7)
     x = rng.integers(0, 100, size=n)
     weights = rng.integers(1, 9, size=8)
-    cape.memory.write_words(0x100000, x)
-    cape.memory.write_words(0x200000, weights)
+    device.write_words(0x100000, x)
+    device.write_words(0x200000, weights)
 
-    machine = Machine(PROGRAM, cape)
+    machine = Machine(PROGRAM, device.system)
     machine.x[10] = n          # a0
     machine.x[11] = 0x100000   # a1
     machine.x[12] = 0x200000   # a2

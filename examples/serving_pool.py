@@ -17,9 +17,8 @@ Run:  python examples/serving_pool.py
 
 import numpy as np
 
-from repro.engine.system import CAPE131K, CAPE32K
+from repro.api import CAPE131K, CAPE32K, DevicePool, Job, SegmentedJob
 from repro.eval.serving import serving_report
-from repro.runtime import DevicePool, Job, SegmentedJob
 from repro.workloads.micro import (
     Dotprod,
     IdxSearch,

@@ -15,7 +15,7 @@ Run:  python examples/tiled_chip.py
 import numpy as np
 
 from repro.baseline.trace import Trace, TraceBlock
-from repro.engine.system import CAPEConfig
+from repro.api import CAPEConfig
 from repro.engine.tile import TiledChip, TileMode, cape_job, core_job
 from repro.workloads.micro import Dotprod, VVAdd
 

@@ -11,5 +11,24 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== compileall src =="
 python -m compileall -q src
 
+echo "== backend equivalence smoke =="
+python - <<'EOF'
+import numpy as np
+from repro.assoc.emulator import AssociativeEmulator
+
+rng = np.random.default_rng(0)
+a = rng.integers(0, 1 << 32, size=16, dtype=np.int64)
+b = rng.integers(0, 1 << 32, size=16, dtype=np.int64)
+for mnemonic in ("vadd.vv", "vmul.vv", "vmslt.vv", "vredsum.vs"):
+    runs = {}
+    for backend in ("reference", "bitplane"):
+        emu = AssociativeEmulator(num_cols=16, backend=backend)
+        runs[backend] = emu.run(mnemonic, a, b, width=32)
+    ref, fast = runs["reference"], runs["bitplane"]
+    assert np.array_equal(np.asarray(ref.result), np.asarray(fast.result)), mnemonic
+    assert ref.stats.counts == fast.stats.counts, mnemonic
+print("reference == bitplane on", "vadd.vv vmul.vv vmslt.vv vredsum.vs")
+EOF
+
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"

@@ -1,0 +1,226 @@
+"""Stable public facade for the CAPE reproduction.
+
+The library is layered bottom-up (circuits, CSB, assoc, engine, runtime)
+and each layer is importable on its own — but the deep module paths are
+an implementation detail that may shift between releases. This module is
+the supported surface: everything a user script needs is importable from
+``repro.api``, and these names are kept stable.
+
+Three levels of entry:
+
+* :func:`run` — one call: assemble a RISC-V vector program, execute it
+  on a fresh device, return the machine result.
+* :class:`Device` — a CAPE system plus its memory and an assembler-aware
+  ``run`` method; pick a design point (:data:`CAPE32K` /
+  :data:`CAPE131K`) and optionally a bit-level execution backend.
+* the re-exported building blocks (:class:`CAPESystem`, :class:`Job`,
+  :class:`DevicePool`, the error taxonomy) for everything else.
+
+Execution backends
+------------------
+
+Every device runs the paper's functional + timing model. Passing
+``backend="bitplane"`` (vectorized) or ``backend="reference"``
+(per-subarray, slow) additionally executes each vector intrinsic as real
+associative microcode on a bit-level CSB mirror and cross-validates the
+results bit-exactly — see ``docs/BACKENDS.md``.
+
+Example::
+
+    from repro.api import CAPE32K, Device
+
+    dev = Device(CAPE32K, backend="bitplane")
+    dev.write_words(0x1000, [1, 2, 3, 4])
+    result = dev.run('''
+        li a0, 4
+        li a1, 0x1000
+        vsetvli t0, a0, e32
+        vle32.v v1, (a1)
+        vadd.vv v2, v1, v1
+        vse32.v v2, (a1)
+        ecall
+    ''')
+    print(dev.read_words(0x1000, 4), result.cycles)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.assoc.emulator import AssociativeEmulator, golden
+from repro.common.errors import (
+    CapacityError,
+    ConfigError,
+    CSBCapacityError,
+    PageFault,
+    ProtocolError,
+    ReproError,
+)
+from repro.csb import BACKEND_NAMES, CSB, Chain, ExecutionBackend, Subarray
+from repro.engine.system import (
+    CAPE32K,
+    CAPE131K,
+    CAPEConfig,
+    CAPERunStats,
+    CAPESystem,
+)
+from repro.isa.interpreter import Machine, MachineResult
+from repro.memory.mainmem import WordMemory
+from repro.runtime import (
+    DevicePool,
+    Footprint,
+    Job,
+    JobResult,
+    SegmentedJob,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CAPE131K",
+    "CAPE32K",
+    "CAPEConfig",
+    "CAPERunStats",
+    "CAPESystem",
+    "CSB",
+    "CSBCapacityError",
+    "CapacityError",
+    "Chain",
+    "ConfigError",
+    "Device",
+    "DevicePool",
+    "ExecutionBackend",
+    "Footprint",
+    "Job",
+    "JobResult",
+    "Machine",
+    "MachineResult",
+    "PageFault",
+    "ProtocolError",
+    "ReproError",
+    "SegmentedJob",
+    "Subarray",
+    "AssociativeEmulator",
+    "golden",
+    "run",
+]
+
+
+class Device:
+    """One CAPE device: a system model plus convenience entry points.
+
+    Args:
+        config: design point (:data:`CAPE32K`, :data:`CAPE131K`, or any
+            :class:`CAPEConfig`).
+        backend: optional bit-level execution backend —
+            ``"bitplane"`` (vectorized) or ``"reference"`` (per-subarray
+            loop). ``None`` (default) runs the functional/timing model
+            only. See :data:`BACKEND_NAMES`.
+        memory_bytes: functional main-memory size (defaults to the
+            system's 64 MiB store).
+        accounting: instruction accounting mode (``"paper"`` keeps the
+            published methodology).
+    """
+
+    def __init__(
+        self,
+        config: CAPEConfig = CAPE32K,
+        backend: Optional[str] = None,
+        memory_bytes: Optional[int] = None,
+        accounting: str = "paper",
+    ) -> None:
+        self.system = CAPESystem(
+            config,
+            memory=WordMemory(memory_bytes) if memory_bytes is not None else None,
+            accounting=accounting,
+            backend=backend,
+        )
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def config(self) -> CAPEConfig:
+        """The device's design point."""
+        return self.system.config
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Active bit-level backend name, or ``None`` (functional only)."""
+        return self.system.backend
+
+    def set_backend(self, backend: Optional[str]) -> None:
+        """Switch the bit-level backend (state is re-mirrored)."""
+        self.system.set_backend(backend)
+
+    @property
+    def max_vl(self) -> int:
+        """Maximum vector length of the design point."""
+        return self.system.config.max_vl
+
+    @property
+    def stats(self) -> CAPERunStats:
+        """Cumulative run statistics (cycles, energy, instruction mix)."""
+        return self.system.stats
+
+    def __repr__(self) -> str:
+        backend = f", backend={self.backend!r}" if self.backend else ""
+        return f"Device({self.config.name}{backend})"
+
+    # -- memory --------------------------------------------------------
+
+    @property
+    def memory(self) -> WordMemory:
+        """The device's word-addressed functional memory."""
+        return self.system.memory
+
+    def write_words(self, addr: int, values: Sequence[int]) -> None:
+        """Write 32-bit words to main memory at byte address ``addr``."""
+        self.system.memory.write_words(addr, np.asarray(values))
+
+    def read_words(self, addr: int, count: int) -> np.ndarray:
+        """Read ``count`` 32-bit words from byte address ``addr``."""
+        return self.system.memory.read_words(addr, count)
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, program: str, max_steps: int = 2_000_000) -> MachineResult:
+        """Assemble and execute a RISC-V (RV64I + RVV subset) program."""
+        return Machine(program, self.system).run(max_steps=max_steps)
+
+    def run_workload(self, workload: Any) -> Any:
+        """Run a ``repro.workloads`` kernel on this device."""
+        return workload.run_cape(self.system)
+
+    def submit(self, body: Callable[[CAPESystem], Any]) -> Any:
+        """Run an intrinsic-level callable against the device's system."""
+        return body(self.system)
+
+    def reset(self) -> None:
+        """Clear vector state, statistics, and the bit-level mirror."""
+        self.system.reset()
+
+
+def run(
+    program: str,
+    config: CAPEConfig = CAPE32K,
+    backend: Optional[str] = None,
+    memory_words: Optional[dict] = None,
+) -> MachineResult:
+    """Assemble and run a program on a fresh :class:`Device`.
+
+    Args:
+        program: RISC-V assembly source (RV64I + RVV subset).
+        config: design point to instantiate.
+        backend: optional bit-level execution backend (see
+            :class:`Device`).
+        memory_words: optional ``{byte_address: array_of_words}``
+            initial memory image.
+
+    Returns:
+        The interpreter's :class:`MachineResult`.
+    """
+    device = Device(config, backend=backend)
+    for addr, values in (memory_words or {}).items():
+        device.write_words(addr, values)
+    return device.run(program)

@@ -281,7 +281,7 @@ def vadd_vx(
     scratch = int(MetaRow.SCRATCH)
     in_place = vd == vs1
     dest = scratch if in_place else vd
-    chain.update_bit_parallel(dest, 0, use_tags=False)
+    _clear_dest(chain, dest, masked)
     chain.update_bit_parallel(carry, 0, use_tags=False)
     for i in range(width):
         b = (scalar >> i) & 1
@@ -528,12 +528,11 @@ def _shift_rmw(chain: Chain, vd: int, vs1: int, shift, width: int) -> None:
     at once (a whole element, Section VI-A), so the chain controller can
     rewrite a register column-by-column: 2 x num_cols microoperations for
     any shift amount — cheaper than walking the tag-routing network once
-    per position.
+    per position. Dispatches through the chain's backend protocol
+    (:meth:`~repro.csb.chain.Chain.rmw_register`) so a vectorized backend
+    can fuse the whole column sweep into one kernel.
     """
-    mask = (1 << width) - 1
-    for col in range(chain.num_cols):
-        value = chain.read_element(vs1, col) & mask
-        chain.write_element(vd, col, shift(value) & mask)
+    chain.rmw_register(vd, vs1, shift, width)
 
 
 def vsll_vi(chain: Chain, vd: int, vs1: int, shamt: int, width: Optional[int] = None) -> None:

@@ -43,10 +43,20 @@ class AssociativeEmulator:
     Args:
         num_subarrays: bit-slices of the chain (element width ceiling).
         num_cols: elements per chain.
+        backend: execution backend for the chain (``"reference"`` or
+            ``"bitplane"``); both run identical microcode and charge
+            identical microop counts.
     """
 
-    def __init__(self, num_subarrays: int = 32, num_cols: int = 32) -> None:
-        self.chain = Chain(num_subarrays=num_subarrays, num_cols=num_cols)
+    def __init__(
+        self,
+        num_subarrays: int = 32,
+        num_cols: int = 32,
+        backend: str = "reference",
+    ) -> None:
+        self.chain = Chain(
+            num_subarrays=num_subarrays, num_cols=num_cols, backend=backend
+        )
 
     # Register conventions used by the emulator: vd=1, vs1=2, vs2=3, vm=0.
     VD, VS1, VS2, VM = 1, 2, 3, 0

@@ -15,6 +15,8 @@ from repro.common.bitutils import (
 from repro.common.errors import (
     CapacityError,
     ConfigError,
+    CSBCapacityError,
+    PageFault,
     ProtocolError,
     ReproError,
 )
@@ -46,9 +48,11 @@ __all__ = [
     "PJ",
     "PS",
     "US",
+    "CSBCapacityError",
     "CapacityError",
     "ConfigError",
     "Energy",
+    "PageFault",
     "ProtocolError",
     "ReproError",
     "Time",

@@ -78,3 +78,18 @@ class ProtocolError(ReproError):
     Examples: searching more than four rows of one subarray, updating more
     than one row per subarray, or an illegal MESI transition.
     """
+
+
+class PageFault(ReproError):
+    """A vector memory instruction touched an unmapped page.
+
+    Carries the element index at which the transfer stopped, so the
+    control processor can restart the instruction there via ``vstart``
+    (Section V-C: "load/store operations can be restarted at the index
+    where a page fault occurred").
+    """
+
+    def __init__(self, element_index: int, addr: int) -> None:
+        super().__init__(f"page fault at element {element_index} (addr {addr:#x})")
+        self.element_index = element_index
+        self.addr = addr

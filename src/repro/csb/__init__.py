@@ -12,6 +12,13 @@ driven column selection with optional propagation to the next subarray),
 plus the intra-chain reduction-sum logic and the global reduction tree.
 """
 
+from repro.csb.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ReferenceBackend,
+    make_backend,
+)
+from repro.csb.bitplane import BitplaneBackend, PlaneView
 from repro.csb.counter import MicroopStats
 from repro.csb.chain import Chain, MetaRow
 from repro.csb.csb import CSB
@@ -19,11 +26,17 @@ from repro.csb.reduction import ReductionTree
 from repro.csb.subarray import Subarray, WordlineDrive
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BitplaneBackend",
     "CSB",
     "Chain",
+    "ExecutionBackend",
     "MetaRow",
     "MicroopStats",
+    "PlaneView",
     "ReductionTree",
+    "ReferenceBackend",
     "Subarray",
     "WordlineDrive",
+    "make_backend",
 ]

@@ -17,20 +17,27 @@ but only one row per subarray").
 
 Reads and writes access the same (row, column) bitcell of *all* subarrays
 in one microoperation, i.e. they transfer a whole element (Section VI-A).
+
+The chain itself is backend-agnostic: it owns the paper-visible semantics
+(microoperation accounting, active-window masking, tag routing) and drives
+an :class:`~repro.csb.backend.ExecutionBackend` for the bitcell state and
+raw kernels. ``backend="reference"`` (default) keeps the per-subarray
+model; ``backend="bitplane"`` swaps in the vectorized engine of
+:mod:`repro.csb.bitplane` with identical semantics and microop charges.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.circuits.microops import Microop
 from repro.common.bitutils import bits_to_ints, ints_to_bits
-from repro.common.errors import ConfigError, ProtocolError
+from repro.common.errors import ConfigError
+from repro.csb.backend import BackendLike, ExecutionBackend, make_backend
 from repro.csb.counter import MicroopStats
-from repro.csb.subarray import Subarray
 
 #: Vector register rows per subarray (one row per RISC-V vector name).
 NUM_VREGS = 32
@@ -54,6 +61,10 @@ class Chain:
         num_cols: elements per chain; 32 for the published design.
         stats: microoperation recorder; a fresh one is created if omitted.
             Multiple chains may share one recorder.
+        backend: execution backend — ``"reference"`` (default) for the
+            per-subarray model, ``"bitplane"`` for the vectorized engine,
+            or a ready :class:`~repro.csb.backend.ExecutionBackend`
+            instance (e.g. a column window of a fused CSB-level backend).
     """
 
     def __init__(
@@ -61,6 +72,7 @@ class Chain:
         num_subarrays: int = 32,
         num_cols: int = 32,
         stats: Optional[MicroopStats] = None,
+        backend: BackendLike = "reference",
     ) -> None:
         if num_subarrays <= 0 or num_cols <= 0:
             raise ConfigError("chain dimensions must be positive")
@@ -68,12 +80,17 @@ class Chain:
         self.num_cols = num_cols
         self.stats = stats if stats is not None else MicroopStats()
         num_rows = NUM_VREGS + len(MetaRow)
-        self.subarrays = [
-            Subarray(num_rows=num_rows, num_cols=num_cols)
-            for _ in range(num_subarrays)
-        ]
+        self.backend: ExecutionBackend = make_backend(
+            backend, num_subarrays, num_rows, num_cols
+        )
         # Active-window column mask (vstart/vl support, Section V-F).
         self.active_columns = np.ones(num_cols, dtype=np.uint8)
+
+    @property
+    def subarrays(self) -> List:
+        """Per-subarray state windows (real :class:`Subarray` objects under
+        the reference backend; live views under the bitplane backend)."""
+        return self.backend.subarrays
 
     # ------------------------------------------------------------------
     # Active window (vstart / vl)
@@ -107,9 +124,7 @@ class Chain:
     def read_element(self, vreg: int, col: int) -> int:
         """Read one element: bit ``i`` comes from subarray ``i``."""
         self._check_vreg(vreg)
-        bits = np.array(
-            [sub.read_bit(vreg, col) for sub in self.subarrays], dtype=np.uint8
-        )
+        bits = self.backend.element_bits(vreg, col)
         self.stats.record(Microop.READ, bit_parallel=True)
         return int(bits_to_ints(bits[:, None])[0])
 
@@ -117,14 +132,13 @@ class Chain:
         """Write one element across all subarrays in one microoperation."""
         self._check_vreg(vreg)
         bits = ints_to_bits(np.array([value]), self.num_subarrays)[:, 0]
-        for i, sub in enumerate(self.subarrays):
-            sub.write_bit(vreg, col, int(bits[i]))
+        self.backend.set_element_bits(vreg, col, bits)
         self.stats.record(Microop.WRITE, bit_parallel=True)
 
     def read_register(self, vreg: int) -> np.ndarray:
         """Read all elements of a register (one READ microop per column)."""
         self._check_vreg(vreg)
-        bits = np.stack([sub.bits[vreg] for sub in self.subarrays])
+        bits = self.backend.register_planes(vreg)
         self.stats.record(Microop.READ, bit_parallel=True, n=self.num_cols)
         return bits_to_ints(bits)
 
@@ -137,10 +151,31 @@ class Chain:
                 f"register write expects {self.num_cols} elements, "
                 f"got shape {values.shape}"
             )
-        bits = ints_to_bits(values, self.num_subarrays)
-        for i, sub in enumerate(self.subarrays):
-            sub.bits[vreg] = bits[i]
+        self.backend.set_register_planes(vreg, ints_to_bits(values, self.num_subarrays))
         self.stats.record(Microop.WRITE, bit_parallel=True, n=self.num_cols)
+
+    def rmw_register(self, vd: int, vs1: int, fn, width: Optional[int] = None) -> None:
+        """Element-wise read-modify-write of a whole register.
+
+        Models the chain controller's per-column rewrite path used by the
+        shift instructions: each element of ``vs1`` is read (one READ
+        microop), passed through ``fn`` (which must accept both Python
+        ints and int64 arrays), truncated to ``width`` bits, and written
+        to ``vd`` (one WRITE microop). The sweep visits only columns in
+        the active window (masked tail elements keep their data) and
+        costs one READ plus one WRITE per visited column, exactly like
+        the explicit per-column loop it replaces — but the backend may
+        fuse the whole sweep into one vectorized kernel.
+        """
+        self._check_vreg(vd)
+        self._check_vreg(vs1)
+        width = self.num_subarrays if width is None else width
+        mask = (1 << width) - 1
+        self.backend.map_register(vd, vs1, fn, mask, active=self.active_columns)
+        n = int(self.active_columns.sum())
+        if n:
+            self.stats.record(Microop.READ, bit_parallel=True, n=n)
+            self.stats.record(Microop.WRITE, bit_parallel=True, n=n)
 
     # ------------------------------------------------------------------
     # Search microoperations
@@ -165,7 +200,7 @@ class Chain:
             The subarray's tag bits after the search.
         """
         self._check_subarray(subarray)
-        tags = self.subarrays[subarray].search(key, accumulate=accumulate)
+        tags = self.backend.search(subarray, key, accumulate=accumulate)
         self.stats.record(Microop.SEARCH, bit_parallel=False)
         return tags
 
@@ -186,15 +221,12 @@ class Chain:
         """
         self._check_subarray(subarray)
         nxt = (subarray + 1) % self.num_subarrays
-        src = self.subarrays[subarray]
         # Compute the match without disturbing the source subarray's tags.
-        saved = src.tags.copy()
-        match = src.search(key, accumulate=False)
-        src.tags = saved
+        match = self.backend.match(subarray, key)
         if accumulate:
-            self.subarrays[nxt].tags |= match
+            self.backend.or_tags(nxt, match)
         else:
-            self.subarrays[nxt].tags = match.copy()
+            self.backend.set_tags(nxt, match)
         self.stats.record(Microop.SEARCH, bit_parallel=False)
         return match
 
@@ -218,12 +250,7 @@ class Chain:
             raise ConfigError(
                 f"expected {self.num_subarrays} keys, got {len(keys)}"
             )
-        tags = np.stack(
-            [
-                sub.search(key, accumulate=accumulate)
-                for sub, key in zip(self.subarrays, keys)
-            ]
-        )
+        tags = self.backend.search_all(keys, accumulate=accumulate)
         self.stats.record(Microop.SEARCH, bit_parallel=True)
         return tags
 
@@ -234,8 +261,8 @@ class Chain:
     def update(self, subarray: int, row: int, value: int) -> None:
         """Bit-serial update of one row in one subarray, on local tags."""
         self._check_subarray(subarray)
-        sub = self.subarrays[subarray]
-        sub.update(row, value, column_select=sub.tags & self.active_columns)
+        select = self.backend.tags_of(subarray) & self.active_columns
+        self.backend.update(subarray, row, value, select)
         self.stats.record(Microop.UPDATE, bit_parallel=False)
 
     def update_prop(
@@ -255,11 +282,10 @@ class Chain:
         """
         self._check_subarray(subarray)
         nxt = (subarray + 1) % self.num_subarrays
-        here, there = self.subarrays[subarray], self.subarrays[nxt]
-        here.update(row, value, column_select=here.tags & self.active_columns)
-        there.update(
-            next_row, next_value, column_select=there.tags & self.active_columns
-        )
+        here = self.backend.tags_of(subarray) & self.active_columns
+        there = self.backend.tags_of(nxt) & self.active_columns
+        self.backend.update(subarray, row, value, here)
+        self.backend.update(nxt, next_row, next_value, there)
         self.stats.record(Microop.UPDATE_PROP, bit_parallel=False)
 
     def update_next(self, subarray: int, next_row: int, value: int) -> None:
@@ -270,10 +296,8 @@ class Chain:
         """
         self._check_subarray(subarray)
         nxt = (subarray + 1) % self.num_subarrays
-        there = self.subarrays[nxt]
-        there.update(
-            next_row, value, column_select=there.tags & self.active_columns
-        )
+        select = self.backend.tags_of(nxt) & self.active_columns
+        self.backend.update(nxt, next_row, value, select)
         self.stats.record(Microop.UPDATE, bit_parallel=False)
 
     def update_row_full(self, subarray: int, row: int, value: int) -> None:
@@ -283,9 +307,7 @@ class Chain:
         spilling tags into it).
         """
         self._check_subarray(subarray)
-        self.subarrays[subarray].update(
-            row, value, column_select=self.active_columns
-        )
+        self.backend.update(subarray, row, value, self.active_columns)
         self.stats.record(Microop.UPDATE, bit_parallel=False)
 
     def update_bit_parallel_select(
@@ -306,8 +328,10 @@ class Chain:
             raise ConfigError(
                 f"column select expects {self.num_cols} bits, got {select.shape}"
             )
-        for sub in self.subarrays:
-            sub.update(row, value, column_select=select & self.active_columns)
+        fanned = np.broadcast_to(
+            select & self.active_columns, (self.num_subarrays, self.num_cols)
+        )
+        self.backend.update_all(row, value, fanned)
         self.stats.record(Microop.UPDATE, bit_parallel=True)
 
     def update_bit_parallel(
@@ -322,9 +346,13 @@ class Chain:
         the bulk clear/preset used to initialise a destination register or
         the carry rows ("+2" initialisation cycles of Table I).
         """
-        for sub in self.subarrays:
-            select = sub.tags if use_tags else np.ones(self.num_cols, np.uint8)
-            sub.update(row, value, column_select=select & self.active_columns)
+        if use_tags:
+            select = self.backend.all_tags() & self.active_columns
+        else:
+            select = np.broadcast_to(
+                self.active_columns, (self.num_subarrays, self.num_cols)
+            )
+        self.backend.update_all(row, value, select)
         self.stats.record(Microop.UPDATE, bit_parallel=True)
 
     def update_bit_parallel_values(
@@ -343,9 +371,13 @@ class Chain:
             raise ConfigError(
                 f"expected {self.num_subarrays} values, got {len(values)}"
             )
-        for sub, value in zip(self.subarrays, values):
-            select = sub.tags if use_tags else np.ones(self.num_cols, np.uint8)
-            sub.update(row, value, column_select=select & self.active_columns)
+        if use_tags:
+            select = self.backend.all_tags() & self.active_columns
+        else:
+            select = np.broadcast_to(
+                self.active_columns, (self.num_subarrays, self.num_cols)
+            )
+        self.backend.update_all_values(row, values, select)
         self.stats.record(Microop.UPDATE, bit_parallel=True)
 
     def set_tags(self, subarray: int, tags: np.ndarray) -> None:
@@ -355,7 +387,7 @@ class Chain:
         happens in the shadow of the reduce that produced ``tags``).
         """
         self._check_subarray(subarray)
-        self.subarrays[subarray].set_tags(tags)
+        self.backend.set_tags(subarray, tags)
 
     # ------------------------------------------------------------------
     # Tag plumbing
@@ -364,13 +396,12 @@ class Chain:
     def clear_tags(self) -> None:
         """Zero every subarray's tag register (no microop cost: part of
         the idle-state precharge)."""
-        for sub in self.subarrays:
-            sub.tags[:] = 0
+        self.backend.clear_tags()
 
     def tags_of(self, subarray: int) -> np.ndarray:
         """The tag bits currently latched in one subarray."""
         self._check_subarray(subarray)
-        return self.subarrays[subarray].tags.copy()
+        return self.backend.tags_of(subarray)
 
     def combine_tags_serial(self, limit: Optional[int] = None) -> np.ndarray:
         """AND the first ``limit`` subarrays' tags into one bit per element.
@@ -382,18 +413,20 @@ class Chain:
         """
         limit = self.num_subarrays if limit is None else limit
         combined = np.ones(self.num_cols, dtype=np.uint8)
-        for sub in self.subarrays[:limit]:
-            combined &= sub.tags
-            self.stats.record(Microop.REDUCE, bit_parallel=False)
+        if limit:
+            tags = self.backend.all_tags()
+            combined = np.bitwise_and.reduce(tags[:limit], axis=0)
+            self.stats.record(Microop.REDUCE, bit_parallel=False, n=limit)
         return combined
 
     def combine_tags_serial_or(self, limit: Optional[int] = None) -> np.ndarray:
         """OR the first ``limit`` subarrays' tags into one bit per element."""
         limit = self.num_subarrays if limit is None else limit
         combined = np.zeros(self.num_cols, dtype=np.uint8)
-        for sub in self.subarrays[:limit]:
-            combined |= sub.tags
-            self.stats.record(Microop.REDUCE, bit_parallel=False)
+        if limit:
+            tags = self.backend.all_tags()
+            combined = np.bitwise_or.reduce(tags[:limit], axis=0)
+            self.stats.record(Microop.REDUCE, bit_parallel=False, n=limit)
         return combined
 
     # ------------------------------------------------------------------
@@ -409,7 +442,7 @@ class Chain:
         chains do this simultaneously) and one REDUCE microop.
         """
         self._check_subarray(subarray)
-        tags = self.subarrays[subarray].search({row: 1})
+        tags = self.backend.search(subarray, {row: 1})
         self.stats.record(Microop.SEARCH, bit_parallel=True)
         self.stats.record(Microop.REDUCE, bit_parallel=True)
         return int((tags & self.active_columns).sum())
@@ -435,8 +468,7 @@ class Chain:
     def peek_register(self, vreg: int, signed: bool = False) -> np.ndarray:
         """Host-side view of a register's values; free of microop cost."""
         self._check_vreg(vreg)
-        bits = np.stack([sub.bits[vreg] for sub in self.subarrays])
-        vals = bits_to_ints(bits)
+        vals = bits_to_ints(self.backend.register_planes(vreg))
         if signed:
             sign = np.int64(1) << (self.num_subarrays - 1)
             vals = (vals ^ sign) - sign
@@ -446,14 +478,14 @@ class Chain:
         """Host-side register load; free of microop cost (test fixture)."""
         self._check_vreg(vreg)
         values = np.asarray(values)
-        bits = ints_to_bits(values, self.num_subarrays)
-        for i, sub in enumerate(self.subarrays):
-            sub.bits[vreg] = bits[i]
+        self.backend.set_register_planes(
+            vreg, ints_to_bits(values, self.num_subarrays)
+        )
 
     def peek_row(self, subarray: int, row: int) -> np.ndarray:
         """Host-side view of one subarray row (metadata inspection)."""
         self._check_subarray(subarray)
-        return self.subarrays[subarray].bits[row].copy()
+        return self.backend.plane(subarray, row)
 
     # ------------------------------------------------------------------
 

@@ -10,6 +10,15 @@ every chain (mirroring the paper's gem5 methodology).
 Adjacent vector elements are interleaved across chains by the VMU (element
 ``e`` lives in chain ``e % num_chains``, column ``e // num_chains``), so a
 memory sub-request can stream one element into every chain in one cycle.
+
+Under ``backend="bitplane"`` the whole block is stored as one fused
+bit-plane matrix of ``num_chains * num_cols`` columns. The interleave
+makes the fused layout trivial: chain ``c``'s column ``j`` holds element
+``c + j * num_chains``, so laying chain ``c`` at fused columns
+``c::num_chains`` puts element ``e`` exactly at fused column ``e``. The
+:attr:`CSB.ganged` chain then drives every column of every chain in one
+vectorized microoperation (the paper's lockstep execution, literally),
+while ``csb.chains[c]`` remain live column windows of the same storage.
 """
 
 from __future__ import annotations
@@ -18,8 +27,11 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.circuits.microops import Microop
+from repro.common.bitutils import bits_to_ints, ints_to_bits
 from repro.common.errors import CapacityError, ConfigError
-from repro.csb.chain import NUM_VREGS, Chain
+from repro.csb.backend import BackendLike
+from repro.csb.chain import NUM_VREGS, Chain, MetaRow
 from repro.csb.counter import MicroopStats
 from repro.csb.reduction import ReductionTree
 
@@ -32,6 +44,10 @@ class CSB:
             design points; tests use small counts).
         num_subarrays: subarrays (bit-slices) per chain.
         num_cols: columns (elements) per chain.
+        backend: execution backend for every chain — ``"reference"``
+            (default, per-subarray objects) or ``"bitplane"`` (one fused
+            bit-plane matrix; enables :attr:`ganged` and the vectorized
+            vector-IO fast paths).
     """
 
     def __init__(
@@ -39,18 +55,49 @@ class CSB:
         num_chains: int = 4,
         num_subarrays: int = 32,
         num_cols: int = 32,
+        backend: BackendLike = "reference",
     ) -> None:
         if num_chains <= 0:
             raise ConfigError(f"num_chains must be positive, got {num_chains}")
         self.stats = MicroopStats()
-        self.chains: List[Chain] = [
-            Chain(num_subarrays, num_cols, stats=self.stats)
-            for _ in range(num_chains)
-        ]
-        self.reduction_tree = ReductionTree(num_chains)
         self.num_chains = num_chains
         self.num_subarrays = num_subarrays
         self.num_cols = num_cols
+        self.backend_name = backend if isinstance(backend, str) else backend.name
+        self.ganged: Optional[Chain] = None
+        if self.backend_name == "bitplane":
+            from repro.csb.bitplane import BitplaneBackend
+
+            num_rows = NUM_VREGS + len(MetaRow)
+            base = BitplaneBackend(
+                num_subarrays, num_rows, num_chains * num_cols
+            )
+            self.chains: List[Chain] = [
+                Chain(
+                    num_subarrays,
+                    num_cols,
+                    stats=self.stats,
+                    backend=base.column_view(slice(c, None, num_chains)),
+                )
+                for c in range(num_chains)
+            ]
+            # The ganged chain spans every column of every chain; because
+            # fused column k holds element k, its active window is simply
+            # [vstart, vl) and one microoperation covers the whole block.
+            self.ganged = Chain(
+                num_subarrays,
+                num_chains * num_cols,
+                stats=self.stats,
+                backend=base,
+            )
+            self.base = base
+        else:
+            self.chains = [
+                Chain(num_subarrays, num_cols, stats=self.stats, backend=backend)
+                for _ in range(num_chains)
+            ]
+            self.base = None
+        self.reduction_tree = ReductionTree(num_chains)
 
     @property
     def max_vl(self) -> int:
@@ -84,6 +131,8 @@ class CSB:
             element_ids = chain_id + self.num_chains * np.arange(chain.num_cols)
             active = (element_ids >= vstart) & (element_ids < vl)
             chain.active_columns = active.astype(np.uint8)
+        if self.ganged is not None:
+            self.ganged.set_active_window(vstart, vl - vstart)
 
     # ------------------------------------------------------------------
     # Whole-vector host access (used by tests and the VMU model)
@@ -97,6 +146,13 @@ class CSB:
             raise CapacityError(
                 f"vector of {len(values)} elements exceeds MAX_VL {self.max_vl}"
             )
+        if self.base is not None and len(values):
+            # Fused column e = element e: one strided store, same microop
+            # tally as the per-element loop (one WRITE per element).
+            bits = ints_to_bits(values, self.num_subarrays)
+            self.base.set_register_planes(vreg, bits, cols=slice(0, len(values)))
+            self.stats.record(Microop.WRITE, bit_parallel=True, n=len(values))
+            return
         for element, value in enumerate(values):
             chain, col = self.locate(element)
             self.chains[chain].write_element(vreg, col, int(value))
@@ -105,6 +161,14 @@ class CSB:
         """Gather register ``vreg`` back into element order."""
         self._check_vreg(vreg)
         vl = self.max_vl if vl is None else vl
+        if vl > self.max_vl:
+            raise CapacityError(
+                f"element {self.max_vl} outside CSB capacity {self.max_vl}"
+            )
+        if self.base is not None and vl:
+            out = bits_to_ints(self.base.bits[:, vreg, :vl])
+            self.stats.record(Microop.READ, bit_parallel=True, n=vl)
+            return out
         out = np.zeros(vl, dtype=np.int64)
         for element in range(vl):
             chain, col = self.locate(element)
@@ -115,6 +179,16 @@ class CSB:
         """Host-side gather without microop cost (validation fixture)."""
         self._check_vreg(vreg)
         vl = self.max_vl if vl is None else vl
+        if vl > self.max_vl:
+            raise CapacityError(
+                f"element {self.max_vl} outside CSB capacity {self.max_vl}"
+            )
+        if self.base is not None:
+            out = bits_to_ints(self.base.bits[:, vreg, :vl])
+            if signed:
+                sign = np.int64(1) << (self.num_subarrays - 1)
+                out = (out ^ sign) - sign
+            return out
         per_chain = [c.peek_register(vreg, signed=signed) for c in self.chains]
         out = np.zeros(vl, dtype=np.int64)
         for element in range(vl):
@@ -130,6 +204,10 @@ class CSB:
             raise CapacityError(
                 f"vector of {len(values)} elements exceeds MAX_VL {self.max_vl}"
             )
+        if self.base is not None:
+            bits = ints_to_bits(values, self.num_subarrays)
+            self.base.set_register_planes(vreg, bits, cols=slice(0, len(values)))
+            return
         per_chain = [c.peek_register(vreg) for c in self.chains]
         for element, value in enumerate(values):
             chain, col = self.locate(element)
@@ -144,8 +222,34 @@ class CSB:
     def redsum(self, vreg: int, width: Optional[int] = None) -> int:
         """Reduction sum of ``vreg`` across every chain and the global tree."""
         self._check_vreg(vreg)
-        partials = [chain.redsum(vreg, width) for chain in self.chains]
+        if self.ganged is not None:
+            partials = self._redsum_partials_ganged(vreg, width)
+        else:
+            partials = [chain.redsum(vreg, width) for chain in self.chains]
         return self.reduction_tree.reduce(partials)
+
+    def _redsum_partials_ganged(self, vreg: int, width: Optional[int]) -> List[int]:
+        """Per-chain reduction partials via the fused backend.
+
+        Each bit-step searches one bit-slice of every chain in lockstep
+        (one SEARCH + one REDUCE microop, the bit-parallel flavour of
+        Figure 6) and pop-counts each chain's columns separately, so the
+        partials feed the same global reduction tree as the per-chain
+        path.
+        """
+        width = self.num_subarrays if width is None else width
+        ganged = self.ganged
+        active = ganged.active_columns.astype(bool)
+        partials = np.zeros(self.num_chains, dtype=np.int64)
+        for bit in reversed(range(width)):
+            tags = ganged.backend.search(bit, {vreg: 1})
+            hits = (tags.astype(bool) & active).reshape(
+                self.num_cols, self.num_chains
+            )
+            self.stats.record(Microop.SEARCH, bit_parallel=True)
+            self.stats.record(Microop.REDUCE, bit_parallel=True)
+            partials = (partials << 1) + hits.sum(axis=0)
+        return [int(p) for p in partials]
 
     def _check_vreg(self, vreg: int) -> None:
         if not 0 <= vreg < NUM_VREGS:

@@ -1,0 +1,207 @@
+"""Bit-accurate execution engine behind :class:`~repro.engine.system.CAPESystem`.
+
+By default the system simulator executes vector intrinsics *functionally*
+(packed numpy rows) and charges timing from the instruction model — the
+paper's gem5 methodology. With a backend selected, every supported compute
+intrinsic is *also* executed as real microcode on a bit-level CSB and
+cross-validated bit-exactly against the functional result, turning whole
+application runs into end-to-end validation of the associative microcode.
+
+The engine drives one of two execution shapes:
+
+* ``backend="bitplane"``: the CSB's fused :attr:`~repro.csb.csb.CSB.ganged`
+  chain — all chains execute each microoperation in one vectorized kernel
+  (the hardware's lockstep, literally), fast enough for full workloads;
+* ``backend="reference"``: the per-subarray model, looped over every
+  chain in Python — the always-available ground truth, practical at the
+  small configurations the test suite uses.
+
+Both run identical microcode from :mod:`repro.assoc.algorithms`. A few
+cases have no microcode (masked ``vmul``/``vrsub``, aliased destination
+forms that the algorithms refuse); those fall back to the functional
+result, which is synced into the CSB so the bit-level state never drifts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.assoc import algorithms as alg
+from repro.csb.chain import Chain
+from repro.csb.csb import CSB
+
+#: Mnemonics whose microcode honours the MASK metadata rows.
+MASKABLE = {
+    "vadd.vv",
+    "vsub.vv",
+    "vand.vv",
+    "vor.vv",
+    "vxor.vv",
+    "vadd.vx",
+    "vmv.v.x",
+    "vmv.v.v",
+}
+
+#: Mnemonics producing a mask (only bit 0 of the destination is defined).
+MASK_RESULTS = {"vmseq.vx", "vmseq.vv", "vmslt.vv", "vmsltu.vv", "vmsne.vv"}
+
+
+class UnsupportedMicrocode(Exception):
+    """Raised when an intrinsic form has no microcode implementation."""
+
+
+class BitEngine:
+    """A bit-level CSB mirror of the functional vector state.
+
+    Args:
+        num_chains: chains in the CSB (the config's chain count).
+        num_subarrays: bit-slices per chain (the element width).
+        num_cols: columns per chain.
+        backend: ``"bitplane"`` (ganged, vectorized) or ``"reference"``
+            (per-chain Python loop).
+    """
+
+    def __init__(
+        self,
+        num_chains: int,
+        num_subarrays: int,
+        num_cols: int,
+        backend: str = "bitplane",
+    ) -> None:
+        self.backend = backend
+        self._shape = (num_chains, num_subarrays, num_cols)
+        self.csb = CSB(num_chains, num_subarrays, num_cols, backend=backend)
+        self._window = (self.csb.max_vl, 0)
+
+    def reset(self) -> None:
+        """Zero the bit-level state (fresh CSB, full window)."""
+        self.csb = CSB(*self._shape, backend=self.backend)
+        self._window = (self.csb.max_vl, 0)
+
+    @property
+    def targets(self) -> List[Chain]:
+        """The chains microcode runs on: the single ganged chain under
+        the bitplane backend, every chain under the reference backend."""
+        if self.csb.ganged is not None:
+            return [self.csb.ganged]
+        return self.csb.chains
+
+    def set_window(self, vl: int, vstart: int) -> None:
+        """Program the active window (cached; cheap to call per-op)."""
+        if (vl, vstart) != self._window:
+            self.csb.set_vector_length(vl, vstart)
+            self._window = (vl, vstart)
+
+    def sync_register(self, vreg: int, values: np.ndarray) -> None:
+        """Mirror one functional register row into the CSB (host-side)."""
+        self.csb.poke_vector(vreg, values)
+
+    def peek(self, vreg: int) -> np.ndarray:
+        """Full-width unsigned view of one register, element order."""
+        return self.csb.peek_vector(vreg)
+
+    def popcount(self, vreg: int, vl: int, vstart: int) -> int:
+        """Bit-level ``vcpop.m``: echo-search bit 0, pop-count the tags."""
+        self.set_window(vl, vstart)
+        total = 0
+        for chain in self.targets:
+            tags = chain.backend.search(0, {vreg: 1})
+            total += int((tags & chain.active_columns).sum())
+        return total
+
+    def execute(
+        self,
+        mnemonic: str,
+        vd: Optional[int] = None,
+        vs1: Optional[int] = None,
+        vs2: Optional[int] = None,
+        scalar: Optional[int] = None,
+        mask_reg: Optional[int] = None,
+        width: int = 32,
+        vl: int = 0,
+        vstart: int = 0,
+    ):
+        """Run one intrinsic's microcode on the bit-level CSB.
+
+        Sources must already be mirrored in the CSB (the system keeps
+        every written register synced). Returns the reduction scalar for
+        ``vredsum.vs``, otherwise ``None`` (the destination lands in the
+        CSB).
+
+        Raises:
+            UnsupportedMicrocode: the form has no microcode (the caller
+                falls back to the functional result).
+            ConfigError: the algorithms refused the operand combination
+                (e.g. an aliased destination) — treated the same way.
+        """
+        self.set_window(vl, vstart)
+        masked = mask_reg is not None
+        if masked and mnemonic not in MASKABLE and mnemonic != "vmerge.vv":
+            raise UnsupportedMicrocode(mnemonic)
+        # The associative algorithms assume distinct operand rows: two
+        # sources on one row would collapse the search key, and a
+        # destination aliasing a source corrupts the operand mid-walk.
+        sources = [r for r in (vs1, vs2) if r is not None]
+        if len(set(sources)) != len(sources) or (
+            vd is not None and vd in sources
+        ):
+            raise UnsupportedMicrocode(f"{mnemonic} with aliased operands")
+
+        if mnemonic == "vredsum.vs":
+            return self.csb.redsum(vs1, width)
+
+        for chain in self.targets:
+            if masked and mnemonic != "vmerge.vv":
+                alg.broadcast_mask(chain, mask_reg)
+            if mnemonic in ("vadd.vv", "vsub.vv"):
+                func = alg.vadd_vv if mnemonic == "vadd.vv" else alg.vsub_vv
+                func(chain, vd, vs1, vs2, width, masked)
+            elif mnemonic in ("vand.vv", "vor.vv", "vxor.vv"):
+                func = {
+                    "vand.vv": alg.vand_vv,
+                    "vor.vv": alg.vor_vv,
+                    "vxor.vv": alg.vxor_vv,
+                }[mnemonic]
+                func(chain, vd, vs1, vs2, masked)
+            elif mnemonic == "vadd.vx":
+                alg.vadd_vx(chain, vd, vs1, int(scalar), width, masked)
+            elif mnemonic == "vrsub.vx":
+                alg.vrsub_vx(chain, vd, vs1, int(scalar), width)
+            elif mnemonic == "vmul.vv":
+                alg.vmul_vv(chain, vd, vs1, vs2, width)
+            elif mnemonic == "vmv.v.x":
+                alg.vmv_vx(chain, vd, int(scalar), masked)
+            elif mnemonic == "vmv.v.v":
+                alg.vmv_vv(chain, vd, vs1, masked)
+            elif mnemonic == "vmerge.vv":
+                alg.vmerge_vvm(chain, vd, vs1, vs2, mask_reg)
+            elif mnemonic == "vmseq.vx":
+                alg.vmseq_vx(chain, vd, vs1, int(scalar), width)
+            elif mnemonic == "vmseq.vv":
+                alg.vmseq_vv(chain, vd, vs1, vs2, width)
+            elif mnemonic == "vmslt.vv":
+                alg.vmslt_vv(chain, vd, vs1, vs2, width)
+            elif mnemonic == "vmsltu.vv":
+                alg.vmsltu_vv(chain, vd, vs1, vs2, width)
+            elif mnemonic == "vmsne.vv":
+                alg.vmsne_vv(chain, vd, vs1, vs2, width)
+            elif mnemonic in ("vmin.vv", "vmax.vv", "vminu.vv", "vmaxu.vv"):
+                func = {
+                    "vmin.vv": alg.vmin_vv,
+                    "vmax.vv": alg.vmax_vv,
+                    "vminu.vv": alg.vminu_vv,
+                    "vmaxu.vv": alg.vmaxu_vv,
+                }[mnemonic]
+                func(chain, vd, vs1, vs2, width)
+            elif mnemonic in ("vsll.vi", "vsrl.vi", "vsra.vi"):
+                func = {
+                    "vsll.vi": alg.vsll_vi,
+                    "vsrl.vi": alg.vsrl_vi,
+                    "vsra.vi": alg.vsra_vi,
+                }[mnemonic]
+                func(chain, vd, vs1, int(scalar), width)
+            else:
+                raise UnsupportedMicrocode(mnemonic)
+        return None

@@ -28,7 +28,13 @@ from repro.baseline.trace import TraceBlock
 from repro.circuits.area import AreaModel
 from repro.circuits.microops import CircuitModel
 from repro.common.bitutils import to_signed, to_unsigned
-from repro.common.errors import CapacityError, ConfigError, CSBCapacityError
+from repro.common.errors import (
+    CapacityError,
+    ConfigError,
+    CSBCapacityError,
+    ProtocolError,
+)
+from repro.engine.bitexec import MASK_RESULTS, BitEngine, UnsupportedMicrocode
 from repro.engine.cp import ControlProcessor, CPStats
 from repro.engine.vcu import VCU, VCUStats
 from repro.engine.vmu import VMU, PageFault, VMUConfig, VMUStats
@@ -131,6 +137,14 @@ class CAPESystem:
         memory: functional main memory (fresh 64 MiB store by default).
         accounting: instruction cycle accounting — ``"paper"`` (Table I
             closed forms) or ``"measured"`` (emulated microcode counts).
+        backend: optional bit-accurate execution backend. ``None``
+            (default) runs purely functionally; ``"bitplane"`` or
+            ``"reference"`` additionally executes every supported compute
+            intrinsic as microcode on a bit-level CSB and raises
+            :class:`~repro.common.errors.ProtocolError` if the two ever
+            diverge (see :mod:`repro.engine.bitexec`). Charged cycles and
+            energy are identical in all modes — charging always comes
+            from the instruction model.
     """
 
     NUM_VREGS = 32
@@ -141,6 +155,7 @@ class CAPESystem:
         memory: Optional[WordMemory] = None,
         accounting: str = "paper",
         circuit: Optional[CircuitModel] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config
         self.circuit = circuit if circuit is not None else CircuitModel()
@@ -179,6 +194,35 @@ class CAPESystem:
         #: Architectural registers written since construction/reset —
         #: the register-file occupancy the runtime schedules against.
         self._written_vregs: set = set()
+        self._bitengine: Optional[BitEngine] = None
+        if backend is not None:
+            self.set_backend(backend)
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Name of the active bit-accurate backend (None = functional)."""
+        return self._bitengine.backend if self._bitengine is not None else None
+
+    def set_backend(self, backend: Optional[str]) -> None:
+        """Select the bit-accurate execution backend at runtime.
+
+        Switching to a backend builds a bit-level CSB and mirrors every
+        live register into it, so cross-validation can start mid-program;
+        ``None`` drops back to purely functional execution.
+        """
+        if backend is None:
+            self._bitengine = None
+            return
+        if self._bitengine is not None and self._bitengine.backend == backend:
+            return
+        self._bitengine = BitEngine(
+            self.config.num_chains,
+            self.config.element_bits,
+            self.config.cols_per_chain,
+            backend=backend,
+        )
+        for vreg in self._written_vregs:
+            self._bitengine.sync_register(vreg, self.vregs[vreg])
 
     def reset(self, clear_memory: bool = False) -> None:
         """Restore architectural and stats state without reconstruction.
@@ -203,6 +247,8 @@ class CAPESystem:
         self.vcu.stats = VCUStats()
         self.vmu.stats = VMUStats()
         self.vmu._mapped_pages = None
+        if self._bitengine is not None:
+            self._bitengine.reset()
         if clear_memory:
             self.memory._words.fill(0)
 
@@ -343,6 +389,7 @@ class CAPESystem:
         sl = slice(self.vstart, self.vstart + count)
         self.vregs[vd, sl] = to_unsigned(values, self.sew)
         self._written_vregs.add(vd)
+        self._bitsync(vd)
         self._charge_memory(cycles, 4 * count)
         self.set_vstart(self.vstart + count)
 
@@ -404,12 +451,12 @@ class CAPESystem:
     def vadd_vx(self, vd: int, vs1: int, scalar: int, mask: Optional[int] = None) -> None:
         """``vadd.vx`` — add a scalar to every element."""
         s = int(scalar)
-        self._binary("vadd.vx", vd, vs1, None, lambda a, _: a + s, mask)
+        self._binary("vadd.vx", vd, vs1, None, lambda a, _: a + s, mask, scalar=s)
 
     def vrsub_vx(self, vd: int, vs1: int, scalar: int, mask: Optional[int] = None) -> None:
         """``vrsub.vx`` — reverse subtract: vd = scalar - vs1."""
         s = int(scalar)
-        self._binary("vrsub.vx", vd, vs1, None, lambda a, _: s - a, mask)
+        self._binary("vrsub.vx", vd, vs1, None, lambda a, _: s - a, mask, scalar=s)
 
     def vsll_vi(self, vd: int, vs1: int, shamt: int) -> None:
         """``vsll.vi`` — logical shift left by an immediate."""
@@ -438,6 +485,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch(mnemonic, self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec(mnemonic, vd=vd, vs1=vs1, scalar=int(shamt))
 
     def vmin(self, vd: int, vs1: int, vs2: int) -> None:
         """``vmin.vv`` — signed element-wise minimum."""
@@ -466,6 +514,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch(mnemonic, self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec(mnemonic, vd=vd, vs1=vs1, vs2=vs2)
 
     def vmsne(self, vd: int, vs1: int, vs2: int) -> None:
         """``vmsne.vv`` — inequality mask."""
@@ -476,6 +525,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmsne.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec("vmsne.vv", vd=vd, vs1=vs1, vs2=vs2)
 
     def vmv_vx(self, vd: int, scalar: int) -> None:
         """``vmv.v.x`` — broadcast a scalar."""
@@ -484,6 +534,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmv.v.x", self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec("vmv.v.x", vd=vd, scalar=int(scalar))
 
     def vmv(self, vd: int, vs1: int) -> None:
         """``vmv.v.v`` — register copy."""
@@ -492,6 +543,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmv.v.v", self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec("vmv.v.v", vd=vd, vs1=vs1)
 
     # ------------------------------------------------------------------
     # Comparisons and select
@@ -505,6 +557,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmseq.vx", self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec("vmseq.vx", vd=vd, vs1=vs1, scalar=int(scalar))
 
     def vmseq(self, vd: int, vs1: int, vs2: int) -> None:
         """``vmseq.vv``."""
@@ -515,6 +568,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmseq.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec("vmseq.vv", vd=vd, vs1=vs1, vs2=vs2)
 
     def vmslt(self, vd: int, vs1: int, vs2: int) -> None:
         """``vmslt.vv`` — signed less-than mask."""
@@ -526,6 +580,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmslt.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec("vmslt.vv", vd=vd, vs1=vs1, vs2=vs2)
 
     def vmsltu(self, vd: int, vs1: int, vs2: int) -> None:
         """``vmsltu.vv`` — unsigned less-than mask."""
@@ -536,6 +591,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmsltu.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec("vmsltu.vv", vd=vd, vs1=vs1, vs2=vs2)
 
     def vmerge(self, vd: int, vs1: int, vs2: int, vm: int = 0) -> None:
         """``vmerge.vvm`` — vd = mask ? vs1 : vs2."""
@@ -547,6 +603,7 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch("vmerge.vv", self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec("vmerge.vv", vd=vd, vs1=vs1, vs2=vs2, mask_reg=vm)
 
     # ------------------------------------------------------------------
     # Reduction
@@ -569,6 +626,14 @@ class CAPESystem:
             "vredsum.vs", self.vl - self.vstart, reduction=True
         )
         self._charge_compute(cycles)
+        if self._bitengine is not None:
+            bit_total = self._bitexec("vredsum.vs", vs1=vs1)
+            if bit_total is not None and bit_total != int(vals.sum()):
+                raise ProtocolError(
+                    f"bit-level {self._bitengine.backend!r} backend redsum "
+                    f"{bit_total} != functional {int(vals.sum())} "
+                    f"(vs1=v{vs1}, vl={self.vl}, vstart={self.vstart})"
+                )
         return total
 
     def vmask_popcount(self, vm: int) -> int:
@@ -586,6 +651,13 @@ class CAPESystem:
             energy_per_lane_j=0.4e-12 / 32,
         )
         self._charge_compute(cycles)
+        if self._bitengine is not None:
+            bit_count = self._bitengine.popcount(vm, self.vl, self.vstart)
+            if bit_count != count:
+                raise ProtocolError(
+                    f"bit-level {self._bitengine.backend!r} backend popcount "
+                    f"{bit_count} != functional {count} (vm=v{vm})"
+                )
         return count
 
     def fence(self) -> None:
@@ -692,6 +764,7 @@ class CAPESystem:
         for row, reg in zip(block, regs):
             self.vregs[reg, : self.vl] = row
             self._written_vregs.add(reg)
+            self._bitsync(reg)
         self._charge_memory(cycles, block.size * 4)
         return cycles
 
@@ -699,7 +772,7 @@ class CAPESystem:
     # Internals
     # ------------------------------------------------------------------
 
-    def _binary(self, mnemonic, vd, vs1, vs2, op, mask) -> None:
+    def _binary(self, mnemonic, vd, vs1, vs2, op, mask, scalar=None) -> None:
         sl = self.active_slice
         a = self.vregs[vs1, sl]
         b = self.vregs[vs2, sl] if vs2 is not None else None
@@ -713,6 +786,74 @@ class CAPESystem:
         self._written_vregs.add(vd)
         cycles = self.vcu.dispatch(mnemonic, self.vl - self.vstart)
         self._charge_compute(cycles)
+        self._bitexec(mnemonic, vd=vd, vs1=vs1, vs2=vs2, scalar=scalar, mask_reg=mask)
+
+    def _bitexec(
+        self,
+        mnemonic,
+        vd=None,
+        vs1=None,
+        vs2=None,
+        scalar=None,
+        mask_reg=None,
+    ):
+        """Execute + cross-validate one intrinsic on the bit-level backend.
+
+        Runs the microcode on the mirror CSB, then compares the
+        destination against the functional register file: within the
+        active window modulo 2^SEW (bit 0 only for mask-producing ops,
+        whose upper bit-planes are architecturally undefined), and
+        bit-for-bit outside the window, which catches microcode leaking
+        past vstart/vl. On success the functional row is re-synced so the
+        mirror never accumulates stale upper bit-planes. Forms without
+        microcode (masked vmul/vrsub, aliased destinations the algorithms
+        refuse) fall back to mirroring the functional result.
+
+        Returns the bit-level scalar for ``vredsum.vs``, else ``None``.
+        """
+        engine = self._bitengine
+        if engine is None:
+            return None
+        try:
+            result = engine.execute(
+                mnemonic,
+                vd=vd,
+                vs1=vs1,
+                vs2=vs2,
+                scalar=scalar,
+                mask_reg=mask_reg,
+                width=self.sew,
+                vl=self.vl,
+                vstart=self.vstart,
+            )
+        except (UnsupportedMicrocode, ConfigError):
+            if vd is not None:
+                engine.sync_register(vd, self.vregs[vd])
+            return None
+        if mnemonic == "vredsum.vs":
+            return result
+        got = engine.peek(vd)
+        want = self.vregs[vd]
+        bits = 1 if mnemonic in MASK_RESULTS else int(self._mod - 1)
+        sl = self.active_slice
+        outside = np.ones(len(got), dtype=bool)
+        outside[sl] = False
+        if not (
+            np.array_equal(got[sl] & bits, want[sl] & bits)
+            and np.array_equal(got[outside], want[outside])
+        ):
+            raise ProtocolError(
+                f"bit-level {engine.backend!r} backend diverged from the "
+                f"functional model on {mnemonic} (vd=v{vd}, vl={self.vl}, "
+                f"vstart={self.vstart}, sew={self.sew})"
+            )
+        engine.sync_register(vd, want)
+        return None
+
+    def _bitsync(self, vd: int) -> None:
+        """Mirror one functional register into the bit-level backend."""
+        if self._bitengine is not None:
+            self._bitengine.sync_register(vd, self.vregs[vd])
 
     def _write_active(self, vd: int, values: np.ndarray) -> None:
         sl = self.active_slice
@@ -727,6 +868,7 @@ class CAPESystem:
             )
         self.vregs[vd, sl] = to_unsigned(values, self.sew)
         self._written_vregs.add(vd)
+        self._bitsync(vd)
 
     def _read_active(self, vs: int) -> np.ndarray:
         return self.vregs[vs, self.active_slice].copy()

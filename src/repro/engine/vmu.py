@@ -27,27 +27,17 @@ from typing import Optional
 
 import numpy as np
 
-from repro.common.errors import CapacityError, ConfigError, ReproError
+from repro.common.errors import CapacityError, ConfigError, PageFault
 from repro.memory.hbm import HBM
 from repro.memory.mainmem import WORD_BYTES, WordMemory
+
+__all__ = ["PAGE_BYTES", "PageFault", "VMU", "VMUConfig", "VMUStats"]
 
 #: Virtual-memory page size used by the fault model.
 PAGE_BYTES = 4096
 
-
-class PageFault(ReproError):
-    """A vector memory instruction touched an unmapped page.
-
-    Carries the element index at which the transfer stopped, so the
-    control processor can restart the instruction there via ``vstart``
-    (Section V-C: "load/store operations can be restarted at the index
-    where a page fault occurred").
-    """
-
-    def __init__(self, element_index: int, addr: int) -> None:
-        super().__init__(f"page fault at element {element_index} (addr {addr:#x})")
-        self.element_index = element_index
-        self.addr = addr
+# PageFault historically lived here; it now sits in the shared error
+# taxonomy (repro.common.errors) and is re-exported for compatibility.
 
 
 @dataclass(frozen=True)

@@ -115,6 +115,11 @@ class Job:
             ``np.array_equal`` after the run.
         validate: optional predicate over the output (wins over
             ``golden``).
+        backend: optional execution backend (``"reference"`` or
+            ``"bitplane"``) selected on the device for this job's
+            duration; every intrinsic is then cross-validated against
+            the bit-level CSB. ``None`` (default) keeps the device's
+            own backend setting.
     """
 
     _ids = itertools.count()
@@ -133,6 +138,7 @@ class Job:
         estimated_cycles: Optional[float] = None,
         golden: Any = None,
         validate: Optional[Callable[[Any], bool]] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.job_id = next(Job._ids)
         self.name = name
@@ -143,6 +149,7 @@ class Job:
         self.estimated_cycles = estimated_cycles
         self.golden = golden
         self.validate = validate
+        self.backend = backend
         self.state = JobState.PENDING
         self.submit_cycle: Optional[float] = None
         self.start_cycle: Optional[float] = None
@@ -175,6 +182,9 @@ class Job:
         """
         start_cycles = system.stats.cycles
         start_energy = system.stats.energy_j
+        previous_backend = system.backend
+        if self.backend is not None:
+            system.set_backend(self.backend)
         try:
             output = self._run_body(system)
         except ReproError as exc:
@@ -185,6 +195,9 @@ class Job:
                 energy_j=system.stats.energy_j - start_energy,
                 error=f"{type(exc).__name__}: {exc}",
             )
+        finally:
+            if self.backend is not None:
+                system.set_backend(previous_backend)
         result = JobResult(
             output=output,
             validated=self._validated(output),
@@ -217,6 +230,7 @@ class Job:
         lanes: Optional[int] = None,
         vregs: int = 8,
         resident: bool = False,
+        backend: Optional[str] = None,
     ) -> "Job":
         """Wrap a ``repro.workloads`` kernel as a job.
 
@@ -240,6 +254,7 @@ class Job:
             priority=priority,
             deadline_cycles=deadline_cycles,
             estimated_cycles=estimated_cycles,
+            backend=backend,
         )
 
     @classmethod
@@ -253,6 +268,7 @@ class Job:
         estimated_cycles: Optional[float] = None,
         golden: Any = None,
         validate: Optional[Callable[[Any], bool]] = None,
+        backend: Optional[str] = None,
     ) -> "Job":
         """Wrap an assembled RISC-V program (run via the interpreter).
 
@@ -278,6 +294,7 @@ class Job:
             estimated_cycles=estimated_cycles,
             golden=golden,
             validate=validate,
+            backend=backend,
         )
 
 

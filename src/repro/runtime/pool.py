@@ -88,6 +88,10 @@ class DevicePool:
         memory_bytes: per-device functional memory size (defaults to
             each system's 64 MiB store).
         accounting: instruction accounting mode passed to every device.
+        backend: execution backend selected on every device
+            (``"reference"`` or ``"bitplane"``); ``None`` keeps the
+            fast functional-only path. Individual jobs may still
+            override it via ``Job(backend=...)``.
     """
 
     def __init__(
@@ -97,6 +101,7 @@ class DevicePool:
         work_stealing: bool = True,
         memory_bytes: Optional[int] = None,
         accounting: str = "paper",
+        backend: Optional[str] = None,
     ) -> None:
         if not configs:
             raise ConfigError("a pool needs at least one device")
@@ -115,6 +120,7 @@ class DevicePool:
                         else None
                     ),
                     accounting=accounting,
+                    backend=backend,
                 ),
             )
             for i, config in enumerate(configs)

@@ -1,0 +1,143 @@
+"""System-level execution backends: selection, cross-validation, fallback.
+
+With ``backend=`` set, every supported vector intrinsic also executes as
+associative microcode on a bit-level CSB mirror; divergence raises
+:class:`ProtocolError`. These tests exercise the selection API, the
+validated path, the functional fallback, and divergence detection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.runtime import DevicePool, Footprint, Job
+
+TINY = CAPEConfig(name="tiny", num_chains=4, cols_per_chain=8)
+
+
+def make_cape(backend):
+    return CAPESystem(TINY, backend=backend)
+
+
+def load_vreg(cape, vreg, values, base=0x1000):
+    values = np.asarray(values)
+    cape.vmu.map_range(base, 4 * 256)
+    cape.vmu.store(base, values)
+    cape.vle(vreg, base)
+
+
+@pytest.mark.parametrize("backend", ["reference", "bitplane"])
+def test_mixed_program_cross_validates(backend):
+    cape = make_cape(backend)
+    cape.vsetvl(20)
+    rng = np.random.default_rng(11)
+    a = rng.integers(0, 2**31, 20, dtype=np.int64)
+    b = rng.integers(1, 2**31, 20, dtype=np.int64)
+    load_vreg(cape, 1, a)
+    load_vreg(cape, 2, b)
+    load_vreg(cape, 0, rng.integers(0, 2, 20, dtype=np.int64))
+
+    cape.vadd(3, 1, 2)
+    cape.vsub(4, 1, 2, mask=0)
+    cape.vmul(5, 1, 2)
+    cape.vadd_vx(6, 1, -3, mask=0)  # masked scalar add: guarded microcode
+    cape.vsll_vi(7, 1, 2)
+    cape.vmslt(8, 1, 2)
+    cape.vmerge(9, 1, 2, vm=0)
+
+    assert np.array_equal(cape.read_vreg(3), (a + b) % 2**32)
+    assert cape.vredsum(3, signed=False) == int(((a + b) % 2**32).sum())
+    assert cape.vmask_popcount(8) == int(cape.vregs[8, :20].sum())
+    assert cape.backend == backend
+
+
+def test_backend_window_and_sew():
+    cape = make_cape("bitplane")
+    cape.vsetvl(16, sew=8)
+    a = np.arange(16) * 3 % 256
+    load_vreg(cape, 1, a)
+    cape.set_vstart(5)
+    cape.vadd_vx(2, 1, 7)
+    cape.vsra_vi(3, 1, 2)
+    cape.set_vstart(0)
+    want = (a + 7) % 256
+    got = cape.read_vreg(2)
+    assert np.array_equal(got[5:16], want[5:16])
+    assert np.array_equal(got[:5], np.zeros(5, dtype=np.int64))
+
+
+def test_unsupported_forms_fall_back():
+    """Masked vmul and aliased operands have no microcode: the functional
+    result is mirrored instead, and execution continues validated."""
+    cape = make_cape("bitplane")
+    cape.vsetvl(12)
+    a = np.arange(1, 13)
+    load_vreg(cape, 1, a)
+    load_vreg(cape, 2, a * 2)
+    load_vreg(cape, 0, np.array([1, 0] * 6))
+    cape.vmul(3, 1, 2, mask=0)        # masked vmul: fallback
+    cape.vadd(4, 1, 1)                # vs1 == vs2 aliasing: fallback
+    cape.vadd(4, 4, 2)                # vd == vs1 aliasing: fallback
+    cape.vadd(5, 4, 1)                # back on the validated path
+    want4 = (a + a + a * 2) % 2**32
+    assert np.array_equal(cape.read_vreg(5), (want4 + a) % 2**32)
+    assert cape.vredsum(5, signed=False) == int(((want4 + a) % 2**32).sum())
+
+
+def test_divergence_raises_protocol_error():
+    cape = make_cape("bitplane")
+    cape.vsetvl(8)
+    load_vreg(cape, 1, np.arange(8))
+    load_vreg(cape, 2, np.arange(8) * 5)
+    # Corrupt the mirror behind the system's back: the next validated
+    # intrinsic computes from stale bits and must be caught.
+    cape._bitengine.sync_register(1, np.arange(8) + 99)
+    with pytest.raises(ProtocolError):
+        cape.vadd(3, 1, 2)
+
+
+def test_set_backend_switching_and_reset():
+    cape = make_cape(None)
+    assert cape.backend is None
+    cape.vsetvl(10)
+    load_vreg(cape, 1, np.arange(10))
+    cape.set_backend("bitplane")      # state is mirrored on attach
+    assert cape.backend == "bitplane"
+    cape.vadd_vx(2, 1, 4)
+    assert np.array_equal(cape.read_vreg(2), np.arange(10) + 4)
+    cape.set_backend("reference")
+    cape.vadd_vx(3, 1, 1)
+    assert np.array_equal(cape.read_vreg(3), np.arange(10) + 1)
+    cape.set_backend(None)
+    assert cape.backend is None
+    cape.reset()
+    assert not cape.vregs.any()
+    with pytest.raises(ConfigError):
+        cape.set_backend("warp-drive")
+
+
+def test_job_and_pool_backend_threading():
+    def body(system):
+        system.vsetvl(8)
+        system.vmu.map_range(0x100, 4 * 32)
+        system.vmu.store(0x100, np.arange(8))
+        system.vle(1, 0x100)
+        system.vadd_vx(2, 1, 10)
+        return system.vredsum(2, signed=False)
+
+    golden = int((np.arange(8) + 10).sum())
+    pool = DevicePool(configs=[TINY, TINY], backend="bitplane")
+    jobs = [
+        Job("validated", body, Footprint(lanes=8), golden=golden),
+        Job("override", body, Footprint(lanes=8), golden=golden,
+            backend="reference"),
+    ]
+    for job in jobs:
+        pool.submit(job)
+    pool.run()
+    for job in jobs:
+        assert job.result.error is None
+        assert job.result.validated
+    # The per-job override is restored after execution.
+    assert all(d.system.backend == "bitplane" for d in pool.devices)
