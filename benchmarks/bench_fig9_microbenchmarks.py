@@ -49,44 +49,42 @@ def test_fig9_microbenchmarks(once):
 def _bit_level_suite(backend, num_chains=64, sew=8, seed=7):
     """Run the Figure 9 kernel set as real microcode on a bit-level CSB.
 
-    With ``backend=`` set, every supported intrinsic also executes as
-    associative microcode on the CSB mirror and is cross-validated, so
-    the wall time is dominated by microcode execution on the selected
-    backend. Returns ``(elapsed_seconds, checksum)``; the checksum must
+    Delegates to :func:`repro.eval.microprofile.run_fig9_kernels` (the
+    canonical kernel runner, shared with ``bench_table2_microops.py``)
+    with observability off, so the timing is the null-observer fast
+    path. Returns ``(elapsed_seconds, checksum)``; the checksum must
     agree across backends.
     """
-    import numpy as np
+    from repro.eval.microprofile import run_fig9_kernels
 
-    from repro.engine.system import CAPEConfig, CAPESystem
+    return run_fig9_kernels(backend, num_chains=num_chains, sew=sew, seed=seed)
 
-    config = CAPEConfig("fig9-bit", num_chains=num_chains)
-    cape = CAPESystem(config, backend=backend)
-    n = config.max_vl
-    rng = np.random.default_rng(seed)
-    a = rng.integers(0, 1 << sew, n, dtype=np.int64)
-    b = rng.integers(0, 1 << sew, n, dtype=np.int64)
-    base_a, base_b = 0x10000, 0x80000
-    cape.vmu.map_range(base_a, 4 * n)
-    cape.vmu.map_range(base_b, 4 * n)
-    cape.vmu.store(base_a, a)
-    cape.vmu.store(base_b, b)
 
-    start = time.perf_counter()
-    cape.vsetvl(n, sew=sew)
-    cape.vle(1, base_a)
-    cape.vle(2, base_b)
-    cape.vadd(3, 1, 2)                       # vvadd
-    cape.vmul(4, 1, 2)                       # vvmul
-    cape.vadd(5, 4, 3)                       # saxpy tail
-    cape.vmv(6, 1)                           # memcpy
-    dot = cape.vredsum(4, signed=False)      # dotprod reduce
-    cape.vmseq_vx(7, 1, int(a[0]))           # idxsrch probe
-    hits = cape.vmask_popcount(7)
-    cape.vse(5, base_b)
-    elapsed = time.perf_counter() - start
+def run_backend_profile(backend, num_chains=64, sew=8):
+    """Time the suite (null observer), then profile it (observer on).
 
-    checksum = int(dot) + int(hits) + int(cape.read_vreg(5).sum())
-    return elapsed, checksum
+    Prints the per-kernel cycle/energy/microop breakdown derived from
+    the observer's counters — the ``obs.report`` replacement for the
+    bench's former hand-rolled accounting — and returns the profile.
+    """
+    from repro.eval.microprofile import profile_fig9_kernels
+
+    elapsed, checksum = _bit_level_suite(backend, num_chains=num_chains, sew=sew)
+    print(
+        f"{backend}: {elapsed:.4f}s wall (null observer), "
+        f"checksum {checksum}"
+    )
+    if BENCH_JSON.exists():
+        baseline = json.loads(BENCH_JSON.read_text())
+        key = f"{backend}_seconds"
+        if key in baseline and baseline["config"] == {
+            "num_chains": num_chains, "sew": sew,
+        }:
+            delta = elapsed / baseline[key] - 1.0
+            print(f"vs BENCH_2.json {baseline[key]}s: {delta:+.1%}")
+    profile = profile_fig9_kernels(backend, num_chains=num_chains, sew=sew)
+    print(profile.table(title=f"fig9 kernels — {backend} backend"))
+    return profile
 
 
 def run_backend_compare(num_chains=64, sew=8):
@@ -133,13 +131,23 @@ if __name__ == "__main__":
         help="time the kernels as bit-level microcode under both "
         "backends and write BENCH_2.json",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("reference", "bitplane"),
+        help="time the kernels on one backend (null observer), then "
+        "print the observer-derived per-kernel profile",
+    )
     parser.add_argument("--num-chains", type=int, default=64)
     parser.add_argument("--sew", type=int, default=8)
     args = parser.parse_args()
-    if args.backend_compare:
+    if args.backend:
+        run_backend_profile(
+            args.backend, num_chains=args.num_chains, sew=args.sew
+        )
+    elif args.backend_compare:
         result = run_backend_compare(num_chains=args.num_chains, sew=args.sew)
         BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
         print(json.dumps(result, indent=2))
         print(f"wrote {BENCH_JSON}")
     else:
-        parser.error("run under pytest, or pass --backend-compare")
+        parser.error("run under pytest, or pass --backend/--backend-compare")

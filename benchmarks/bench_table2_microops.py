@@ -3,10 +3,19 @@
 Prints the circuit-level calibration (delay and bit-serial/bit-parallel
 energies per chain) and the frequency derivation of Section VI-B
 (237 ps critical path -> 4.22 GHz raw -> 2.7 GHz derated).
+
+Also measures the Table II taxonomy *dynamically*:
+:func:`measure_kernel_microops` runs the Fig. 9 kernel set as real
+microcode and folds the observer's ``csb.microops`` counters into
+per-kernel op/flavour totals — asserted identical across the
+``reference`` and ``bitplane`` backends.
 """
+
+import pytest
 
 from repro.circuits.microops import CircuitModel, Microop
 from repro.common.units import PJ, PS
+from repro.eval.microprofile import profile_fig9_kernels
 from repro.eval.tables import format_table
 
 
@@ -38,3 +47,36 @@ def test_table2_microops(once):
     )
     assert round(model.critical_path_s / PS) == 237
     assert abs(model.frequency_hz - 2.7e9) / 2.7e9 < 0.02
+
+
+def measure_kernel_microops(backend, num_chains=16, sew=8):
+    """Per-kernel microop totals (``{kernel: {"op/flavor": count}}``).
+
+    The canonical observer-derived measurement: runs the Fig. 9 kernel
+    set as associative microcode on ``backend`` under a
+    :class:`~repro.obs.ProfileReport` and returns each kernel's Table II
+    op/flavour mix.
+    """
+    report = profile_fig9_kernels(backend, num_chains=num_chains, sew=sew)
+    return {k: report.microop_totals(k) for k in report.kernels}
+
+
+@pytest.mark.slow
+def test_table2_kernel_microops_backend_equal(once):
+    """Both backends charge the exact same microop mix per kernel."""
+    reference = once(lambda: measure_kernel_microops("reference"))
+    bitplane = measure_kernel_microops("bitplane")
+    assert reference == bitplane
+    compute = {k: v for k, v in bitplane.items() if v}
+    assert compute, "no kernel recorded any microops"
+    print()
+    print("Table II taxonomy per fig9 kernel (both backends identical)")
+    print(
+        format_table(
+            ["kernel", "microops", "mix"],
+            [
+                [k, sum(v.values()), " ".join(f"{op}:{n}" for op, n in v.items())]
+                for k, v in compute.items()
+            ],
+        )
+    )

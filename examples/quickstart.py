@@ -94,6 +94,8 @@ def stop_3_riscv_assembly():
           f"{result.cycles:,.0f} cycles = {result.seconds * 1e6:.1f} us "
           f"at {device.stats.frequency_hz / 1e9:.1f} GHz")
     print(f"  energy: {device.stats.energy_j * 1e6:.1f} uJ")
+    # device.run returns a RunResult: stats ride along on the result.
+    print(f"  {result.stats.summary()}")
     print()
 
 

@@ -9,14 +9,20 @@ Shows the two CAPE-specific idioms on real assembly:
 
 The program is assembled to genuine 32-bit RISC-V encodings (OP-V major
 opcode for the vector instructions, custom-0 for ``vlrw.v``), decoded
-back, and executed on the CAPE system model.
+back, and executed on the CAPE system model — under a live
+:class:`~repro.api.Observer`, so the run leaves a Chrome/Perfetto trace
+(``riscv_dotprod.trace.json``, open at https://ui.perfetto.dev) with one
+span per vector instruction (interpreter), per VCU dispatch (microcode),
+and per program run (runtime). See docs/OBSERVABILITY.md.
 
 Run:  python examples/riscv_dotprod.py
 """
 
+from pathlib import Path
+
 import numpy as np
 
-from repro.api import CAPE32K, Device, Machine
+from repro.api import CAPE32K, Device, Machine, Observer
 from repro.isa.assembler import assemble
 
 PROGRAM = """
@@ -40,7 +46,8 @@ loop:
 
 
 def main():
-    device = Device(CAPE32K)
+    observer = Observer()
+    device = Device(CAPE32K, observer=observer)
     n = 40_000
     rng = np.random.default_rng(7)
     x = rng.integers(0, 100, size=n)
@@ -67,6 +74,18 @@ def main():
     print()
     print("vlrw.v moved 32 bytes of weights per tile instead of 128 KiB —")
     print("the replica load keeps matrix-style kernels at full utilisation.")
+
+    trace_path = Path(__file__).with_name("riscv_dotprod.trace.json")
+    observer.tracer.write_chrome(trace_path)
+    layers = {
+        cat: sum(1 for _ in observer.tracer.spans(cat))
+        for cat in ("interpreter", "microcode", "runtime")
+    }
+    print()
+    print(f"trace written to {trace_path.name} (open at ui.perfetto.dev):")
+    print("  " + ", ".join(f"{count} {cat} spans" for cat, count in layers.items()))
+    print()
+    print(device.stats.summary())
 
 
 if __name__ == "__main__":

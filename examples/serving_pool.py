@@ -12,12 +12,25 @@ register file is time-shared between segments, with every spill's HBM
 cycles and energy charged to the job. Every job's output is validated
 against its numpy golden model before the telemetry is reported.
 
+The pool publishes into an :class:`~repro.api.Observer`: every device's
+engine counters are labelled ``device=...``, the scheduler counts
+arrivals/completions/steals, and each job leaves a span on the runtime
+timeline — the same numbers the telemetry report aggregates, but live
+and queryable (see docs/OBSERVABILITY.md).
+
 Run:  python examples/serving_pool.py
 """
 
 import numpy as np
 
-from repro.api import CAPE131K, CAPE32K, DevicePool, Job, SegmentedJob
+from repro.api import (
+    CAPE131K,
+    CAPE32K,
+    DevicePool,
+    Job,
+    Observer,
+    SegmentedJob,
+)
 from repro.eval.serving import serving_report
 from repro.workloads.micro import (
     Dotprod,
@@ -119,14 +132,15 @@ def make_jobs():
     return jobs
 
 
-def run_pool(policy: str):
-    pool = DevicePool(POOL, policy=policy)
+def run_pool(policy: str, observer: Observer = None):
+    pool = DevicePool(POOL, policy=policy, observer=observer)
     pool.submit_stream(make_jobs(), interarrival_cycles=INTERARRIVAL)
     return pool.run()
 
 
 def main():
-    report = run_pool("sjf")
+    observer = Observer()
+    report = run_pool("sjf", observer=observer)
     print(serving_report(
         report,
         title="CAPE device pool — 22 jobs, 2x CAPE32k + 1x CAPE131k, SJF",
@@ -144,7 +158,27 @@ def main():
         f"{big.restores} restores instead of failing"
     )
 
+    metrics = observer.metrics
+    print()
+    print("observer counters (runtime + per-device engine):")
+    print(
+        f"  jobs arrived/done: "
+        f"{metrics.total('runtime.jobs', event='arrived'):.0f}/"
+        f"{metrics.total('runtime.jobs', event='done'):.0f}, "
+        f"steals: {metrics.total('runtime.steals'):.0f}, "
+        f"spills: {metrics.total('runtime.spills'):.0f} "
+        f"({metrics.total('runtime.spill_bytes'):,.0f} bytes)"
+    )
+    for labels, counter in metrics.series("engine.cycles"):
+        if labels.get("kind") == "compute":
+            print(
+                f"  {labels['device']}: {counter.value:,.0f} compute cycles"
+            )
+    job_spans = sum(1 for _ in observer.tracer.spans("runtime"))
+    print(f"  runtime timeline: {job_spans} spans (jobs + program scopes)")
+
     fifo = run_pool("fifo")
+    print()
     print(
         f"policy comparison: mean turnaround fifo "
         f"{fifo.mean_turnaround_cycles():,.0f} cycles vs sjf "

@@ -30,5 +30,37 @@ for mnemonic in ("vadd.vv", "vmul.vv", "vmslt.vv", "vredsum.vs"):
 print("reference == bitplane on", "vadd.vv vmul.vv vmslt.vv vredsum.vs")
 EOF
 
+echo "== observability smoke =="
+python - <<'EOF'
+import json
+
+from repro.api import CAPE32K, Device, Observer
+
+obs = Observer()
+device = Device(CAPE32K, backend="bitplane", observer=obs)
+device.run(
+    """
+        li a0, 64
+        vsetvli t0, a0, e32
+        vmv.v.x v1, a0
+        vmv.v.x v2, t0
+        vadd.vv v3, v1, v2
+        ecall
+    """
+)
+cats = set(obs.tracer.categories())
+assert {"interpreter", "microcode", "runtime"} <= cats, cats
+for family in ("csb.microops", "vcu.instructions", "engine.cycles",
+               "isa.instructions"):
+    assert obs.metrics.total(family) > 0, family
+payload = json.loads(obs.tracer.chrome_json())
+assert payload["traceEvents"]
+print(f"traced bitplane run: {len(obs.tracer)} events, "
+      f"{len(obs.metrics)} metric series, chrome export valid")
+EOF
+
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
+
+echo "== slow markers =="
+python -m pytest -q -m slow benchmarks/bench_table2_microops.py

@@ -1,15 +1,15 @@
 """Stable public facade for the CAPE reproduction.
 
-The library is layered bottom-up (circuits, CSB, assoc, engine, runtime)
-and each layer is importable on its own — but the deep module paths are
-an implementation detail that may shift between releases. This module is
-the supported surface: everything a user script needs is importable from
-``repro.api``, and these names are kept stable.
+The library is layered bottom-up (circuits, CSB, assoc, engine, runtime,
+obs) and each layer is importable on its own — but the deep module paths
+are an implementation detail that may shift between releases. This
+module is the supported surface: everything a user script needs is
+importable from ``repro.api``, and these names are kept stable.
 
 Three levels of entry:
 
 * :func:`run` — one call: assemble a RISC-V vector program, execute it
-  on a fresh device, return the machine result.
+  on a fresh device, return a :class:`RunResult`.
 * :class:`Device` — a CAPE system plus its memory and an assembler-aware
   ``run`` method; pick a design point (:data:`CAPE32K` /
   :data:`CAPE131K`) and optionally a bit-level execution backend.
@@ -24,6 +24,21 @@ Every device runs the paper's functional + timing model. Passing
 (per-subarray, slow) additionally executes each vector intrinsic as real
 associative microcode on a bit-level CSB mirror and cross-validates the
 results bit-exactly — see ``docs/BACKENDS.md``.
+
+Observability
+-------------
+
+Every layer publishes counters and trace events into an
+:class:`Observer` (``Device(..., observer=...)``,
+``DevicePool(..., observer=...)``); the default null observer costs one
+attribute check. ``Device.run(..., trace=True)`` attaches a fresh
+observer for the run and hands back its tracer on the result
+(``result.trace.write_chrome("run.trace.json")`` opens in Perfetto).
+See ``docs/OBSERVABILITY.md``.
+
+Stats surfaces share one contract — :class:`CAPERunStats` (one run),
+:class:`TelemetryReport` (a pool), :class:`ProfileReport` (per-kernel
+breakdowns) all offer ``.as_dict()`` and ``.summary()``.
 
 Example::
 
@@ -41,10 +56,12 @@ Example::
         ecall
     ''')
     print(dev.read_words(0x1000, 4), result.cycles)
+    print(result.stats.summary())
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
@@ -63,17 +80,25 @@ from repro.engine.system import (
     CAPE32K,
     CAPE131K,
     CAPEConfig,
-    CAPERunStats,
     CAPESystem,
 )
 from repro.isa.interpreter import Machine, MachineResult
 from repro.memory.mainmem import WordMemory
+from repro.obs import (
+    CAPERunStats,
+    MetricsRegistry,
+    NullObserver,
+    Observer,
+    ProfileReport,
+    Tracer,
+)
 from repro.runtime import (
     DevicePool,
     Footprint,
     Job,
     JobResult,
     SegmentedJob,
+    TelemetryReport,
 )
 
 __all__ = [
@@ -96,15 +121,63 @@ __all__ = [
     "JobResult",
     "Machine",
     "MachineResult",
+    "MetricsRegistry",
+    "NullObserver",
+    "Observer",
     "PageFault",
+    "ProfileReport",
     "ProtocolError",
     "ReproError",
+    "RunResult",
     "SegmentedJob",
     "Subarray",
+    "TelemetryReport",
+    "Tracer",
     "AssociativeEmulator",
     "golden",
     "run",
 ]
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Device.run` / :func:`run`.
+
+    The interesting fields up front — ``values`` (the scalar register
+    file at halt), ``cycles``, ``stats`` (the run's
+    :class:`CAPERunStats`), and ``trace`` (a :class:`Tracer` when the
+    run was traced, else ``None``). Every :class:`MachineResult` field
+    (``seconds``, ``instructions``, ``halted``, ``xregs``, ...) remains
+    available by delegation, so existing callers keep working.
+    """
+
+    values: list
+    cycles: float
+    stats: CAPERunStats
+    trace: Optional[Tracer] = None
+    machine: Optional[MachineResult] = None
+
+    def __getattr__(self, name: str):
+        machine = object.__getattribute__(self, "machine")
+        if machine is not None and not name.startswith("_"):
+            return getattr(machine, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-able export (stats flattened; trace omitted)."""
+        return {
+            "values": list(self.values),
+            "cycles": self.cycles,
+            "halted": self.machine.halted if self.machine else None,
+            "instructions": self.machine.instructions if self.machine else None,
+            "stats": self.stats.as_dict(),
+        }
+
+    def summary(self) -> str:
+        """The run's one-paragraph stats summary."""
+        return self.stats.summary()
 
 
 class Device:
@@ -121,6 +194,9 @@ class Device:
             system's 64 MiB store).
         accounting: instruction accounting mode (``"paper"`` keeps the
             published methodology).
+        observer: optional :class:`Observer` receiving counters and
+            trace events from every layer; defaults to the shared
+            zero-overhead null observer.
     """
 
     def __init__(
@@ -129,12 +205,14 @@ class Device:
         backend: Optional[str] = None,
         memory_bytes: Optional[int] = None,
         accounting: str = "paper",
+        observer: Optional[Observer] = None,
     ) -> None:
         self.system = CAPESystem(
             config,
             memory=WordMemory(memory_bytes) if memory_bytes is not None else None,
             accounting=accounting,
             backend=backend,
+            observer=observer,
         )
 
     # -- identity ------------------------------------------------------
@@ -163,6 +241,15 @@ class Device:
         """Cumulative run statistics (cycles, energy, instruction mix)."""
         return self.system.stats
 
+    @property
+    def observer(self) -> Observer:
+        """The observer the device publishes into (possibly null)."""
+        return self.system.observer
+
+    def attach_observer(self, observer: Optional[Observer]) -> None:
+        """(Re)thread an observer through every layer of the device."""
+        self.system.attach_observer(observer)
+
     def __repr__(self) -> str:
         backend = f", backend={self.backend!r}" if self.backend else ""
         return f"Device({self.config.name}{backend})"
@@ -184,9 +271,37 @@ class Device:
 
     # -- execution -----------------------------------------------------
 
-    def run(self, program: str, max_steps: int = 2_000_000) -> MachineResult:
-        """Assemble and execute a RISC-V (RV64I + RVV subset) program."""
-        return Machine(program, self.system).run(max_steps=max_steps)
+    def run(
+        self,
+        program: str,
+        max_steps: int = 2_000_000,
+        trace: bool = False,
+    ) -> RunResult:
+        """Assemble and execute a RISC-V (RV64I + RVV subset) program.
+
+        With ``trace=True`` and no live observer attached, a fresh
+        :class:`Observer` is threaded through the device for this run
+        and its :class:`Tracer` is returned on ``result.trace``. A
+        device built with an enabled observer always records; its tracer
+        rides along on the result.
+        """
+        attached = None
+        if trace and not self.system.observer.enabled:
+            attached = Observer()
+            self.system.attach_observer(attached)
+        try:
+            machine = Machine(program, self.system).run(max_steps=max_steps)
+        finally:
+            if attached is not None:
+                self.system.attach_observer(None)
+        observer = attached if attached is not None else self.system.observer
+        return RunResult(
+            values=list(machine.xregs),
+            cycles=machine.cycles,
+            stats=self.system.stats,
+            trace=observer.tracer if observer.enabled else None,
+            machine=machine,
+        )
 
     def run_workload(self, workload: Any) -> Any:
         """Run a ``repro.workloads`` kernel on this device."""
@@ -206,7 +321,9 @@ def run(
     config: CAPEConfig = CAPE32K,
     backend: Optional[str] = None,
     memory_words: Optional[dict] = None,
-) -> MachineResult:
+    observer: Optional[Observer] = None,
+    trace: bool = False,
+) -> RunResult:
     """Assemble and run a program on a fresh :class:`Device`.
 
     Args:
@@ -216,11 +333,15 @@ def run(
             :class:`Device`).
         memory_words: optional ``{byte_address: array_of_words}``
             initial memory image.
+        observer: optional :class:`Observer` threaded through the
+            device.
+        trace: attach a fresh observer for this run and return its
+            tracer on ``result.trace`` (see :meth:`Device.run`).
 
     Returns:
-        The interpreter's :class:`MachineResult`.
+        A :class:`RunResult` (machine fields available by delegation).
     """
-    device = Device(config, backend=backend)
+    device = Device(config, backend=backend, observer=observer)
     for addr, values in (memory_words or {}).items():
         device.write_words(addr, values)
-    return device.run(program)
+    return device.run(program, trace=trace)

@@ -73,12 +73,16 @@ class Chain:
         num_cols: int = 32,
         stats: Optional[MicroopStats] = None,
         backend: BackendLike = "reference",
+        observer=None,
     ) -> None:
         if num_subarrays <= 0 or num_cols <= 0:
             raise ConfigError("chain dimensions must be positive")
         self.num_subarrays = num_subarrays
         self.num_cols = num_cols
         self.stats = stats if stats is not None else MicroopStats()
+        if stats is None and observer is not None:
+            name = backend if isinstance(backend, str) else getattr(backend, "name", "custom")
+            self.stats.attach_observer(observer, backend=name)
         num_rows = NUM_VREGS + len(MetaRow)
         self.backend: ExecutionBackend = make_backend(
             backend, num_subarrays, num_rows, num_cols

@@ -26,15 +26,55 @@ class MicroopStats:
 
     With ``keep_trace=True`` the full microop sequence is also recorded —
     the microcode listing used for documentation and debugging.
+
+    ``muted`` suspends recording entirely. The VCU broadcasts each
+    microoperation to every chain at once, so when the reference backend
+    *walks* the chains in Python, only the first chain's walk charges the
+    sequence — the rest run muted. This keeps the tally the broadcast
+    count (what the hardware issues), identical across backends.
     """
 
     counts: Counter = field(default_factory=Counter)
     keep_trace: bool = False
+    muted: bool = field(default=False, repr=False, compare=False)
     trace: List[Tuple[Microop, bool]] = field(default_factory=list)
+    observer: Optional[object] = field(default=None, repr=False, compare=False)
+    _obs_labels: Dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _obs_counters: Dict[Tuple[Microop, bool], object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def attach_observer(self, observer, **labels: object) -> None:
+        """Mirror future records into ``observer``'s ``csb.microops`` family.
+
+        Disabled (null) observers are dropped so :meth:`record` stays a
+        single ``is None`` check on the hot path. Labels (``backend``,
+        ``device``, ...) are stamped onto every published series.
+        """
+        live = observer is not None and observer.enabled
+        self.observer = observer if live else None
+        self._obs_labels = dict(labels)
+        self._obs_counters.clear()
 
     def record(self, op: Microop, bit_parallel: bool = False, n: int = 1) -> None:
         """Record ``n`` executions of ``op`` in the given flavour."""
+        if self.muted:
+            return
         self.counts[(op, bit_parallel)] += n
+        obs = self.observer
+        if obs is not None:
+            handle = self._obs_counters.get((op, bit_parallel))
+            if handle is None:
+                handle = obs.counter(
+                    "csb.microops",
+                    op=op.value,
+                    flavor="bp" if bit_parallel else "bs",
+                    **self._obs_labels,
+                )
+                self._obs_counters[(op, bit_parallel)] = handle
+            handle.inc(n)
         if self.keep_trace:
             self.trace.extend([(op, bit_parallel)] * n)
 

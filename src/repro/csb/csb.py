@@ -48,6 +48,9 @@ class CSB:
             (default, per-subarray objects) or ``"bitplane"`` (one fused
             bit-plane matrix; enables :attr:`ganged` and the vectorized
             vector-IO fast paths).
+        observer: optional :class:`repro.obs.Observer`; microop counts
+            are mirrored into its ``csb.microops`` family, labelled with
+            the backend name.
     """
 
     def __init__(
@@ -56,6 +59,7 @@ class CSB:
         num_subarrays: int = 32,
         num_cols: int = 32,
         backend: BackendLike = "reference",
+        observer=None,
     ) -> None:
         if num_chains <= 0:
             raise ConfigError(f"num_chains must be positive, got {num_chains}")
@@ -64,6 +68,8 @@ class CSB:
         self.num_subarrays = num_subarrays
         self.num_cols = num_cols
         self.backend_name = backend if isinstance(backend, str) else backend.name
+        if observer is not None:
+            self.stats.attach_observer(observer, backend=self.backend_name)
         self.ganged: Optional[Chain] = None
         if self.backend_name == "bitplane":
             from repro.csb.bitplane import BitplaneBackend
@@ -225,7 +231,15 @@ class CSB:
         if self.ganged is not None:
             partials = self._redsum_partials_ganged(vreg, width)
         else:
-            partials = [chain.redsum(vreg, width) for chain in self.chains]
+            # Every chain runs the bit-serial reduction walk in lockstep
+            # off one VCU broadcast: charge the first chain's walk only.
+            partials = []
+            try:
+                for i, chain in enumerate(self.chains):
+                    self.stats.muted = i > 0
+                    partials.append(chain.redsum(vreg, width))
+            finally:
+                self.stats.muted = False
         return self.reduction_tree.reduce(partials)
 
     def _redsum_partials_ganged(self, vreg: int, width: Optional[int]) -> List[int]:

@@ -17,8 +17,8 @@ from repro.engine.system import (
     CAPE131K,
     CAPEConfig,
     CAPESystem,
-    CAPERunStats,
 )
+from repro.obs.stats import CAPERunStats
 from repro.engine.tile import CAPETile, CoreTile, TiledChip, TileMode
 from repro.engine.vcu import ChainControllerFSM, SequencerState, TTDecoder, VCU
 from repro.engine.vmu import VMU, PageFault, VMUConfig

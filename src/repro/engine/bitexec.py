@@ -61,6 +61,8 @@ class BitEngine:
         num_cols: columns per chain.
         backend: ``"bitplane"`` (ganged, vectorized) or ``"reference"``
             (per-chain Python loop).
+        observer: optional :class:`repro.obs.Observer` forwarded to the
+            CSB's microop counters (survives :meth:`reset`).
     """
 
     def __init__(
@@ -69,16 +71,25 @@ class BitEngine:
         num_subarrays: int,
         num_cols: int,
         backend: str = "bitplane",
+        observer=None,
     ) -> None:
         self.backend = backend
+        self.observer = observer
         self._shape = (num_chains, num_subarrays, num_cols)
-        self.csb = CSB(num_chains, num_subarrays, num_cols, backend=backend)
+        self.csb = CSB(
+            num_chains, num_subarrays, num_cols, backend=backend, observer=observer
+        )
         self._window = (self.csb.max_vl, 0)
 
     def reset(self) -> None:
         """Zero the bit-level state (fresh CSB, full window)."""
-        self.csb = CSB(*self._shape, backend=self.backend)
+        self.csb = CSB(*self._shape, backend=self.backend, observer=self.observer)
         self._window = (self.csb.max_vl, 0)
+
+    def attach_observer(self, observer) -> None:
+        """(Re)bind the observer on the live CSB and future resets."""
+        self.observer = observer
+        self.csb.stats.attach_observer(observer, backend=self.csb.backend_name)
 
     @property
     def targets(self) -> List[Chain]:
@@ -152,56 +163,83 @@ class BitEngine:
         if mnemonic == "vredsum.vs":
             return self.csb.redsum(vs1, width)
 
-        for chain in self.targets:
-            if masked and mnemonic != "vmerge.vv":
-                alg.broadcast_mask(chain, mask_reg)
-            if mnemonic in ("vadd.vv", "vsub.vv"):
-                func = alg.vadd_vv if mnemonic == "vadd.vv" else alg.vsub_vv
-                func(chain, vd, vs1, vs2, width, masked)
-            elif mnemonic in ("vand.vv", "vor.vv", "vxor.vv"):
-                func = {
-                    "vand.vv": alg.vand_vv,
-                    "vor.vv": alg.vor_vv,
-                    "vxor.vv": alg.vxor_vv,
-                }[mnemonic]
-                func(chain, vd, vs1, vs2, masked)
-            elif mnemonic == "vadd.vx":
-                alg.vadd_vx(chain, vd, vs1, int(scalar), width, masked)
-            elif mnemonic == "vrsub.vx":
-                alg.vrsub_vx(chain, vd, vs1, int(scalar), width)
-            elif mnemonic == "vmul.vv":
-                alg.vmul_vv(chain, vd, vs1, vs2, width)
-            elif mnemonic == "vmv.v.x":
-                alg.vmv_vx(chain, vd, int(scalar), masked)
-            elif mnemonic == "vmv.v.v":
-                alg.vmv_vv(chain, vd, vs1, masked)
-            elif mnemonic == "vmerge.vv":
-                alg.vmerge_vvm(chain, vd, vs1, vs2, mask_reg)
-            elif mnemonic == "vmseq.vx":
-                alg.vmseq_vx(chain, vd, vs1, int(scalar), width)
-            elif mnemonic == "vmseq.vv":
-                alg.vmseq_vv(chain, vd, vs1, vs2, width)
-            elif mnemonic == "vmslt.vv":
-                alg.vmslt_vv(chain, vd, vs1, vs2, width)
-            elif mnemonic == "vmsltu.vv":
-                alg.vmsltu_vv(chain, vd, vs1, vs2, width)
-            elif mnemonic == "vmsne.vv":
-                alg.vmsne_vv(chain, vd, vs1, vs2, width)
-            elif mnemonic in ("vmin.vv", "vmax.vv", "vminu.vv", "vmaxu.vv"):
-                func = {
-                    "vmin.vv": alg.vmin_vv,
-                    "vmax.vv": alg.vmax_vv,
-                    "vminu.vv": alg.vminu_vv,
-                    "vmaxu.vv": alg.vmaxu_vv,
-                }[mnemonic]
-                func(chain, vd, vs1, vs2, width)
-            elif mnemonic in ("vsll.vi", "vsrl.vi", "vsra.vi"):
-                func = {
-                    "vsll.vi": alg.vsll_vi,
-                    "vsrl.vi": alg.vsrl_vi,
-                    "vsra.vi": alg.vsra_vi,
-                }[mnemonic]
-                func(chain, vd, vs1, int(scalar), width)
-            else:
-                raise UnsupportedMicrocode(mnemonic)
+        stats = self.csb.stats
+        try:
+            for i, chain in enumerate(self.targets):
+                # The VCU broadcasts one microop sequence to every chain
+                # in lockstep; walking the chains in Python charges it
+                # once (the reference backend mutes chains after the
+                # first, matching the ganged bitplane tally).
+                stats.muted = i > 0
+                self._execute_on(
+                    chain, mnemonic, vd, vs1, vs2, scalar, mask_reg, width,
+                    masked,
+                )
+        finally:
+            stats.muted = False
         return None
+
+    def _execute_on(
+        self,
+        chain: Chain,
+        mnemonic: str,
+        vd: Optional[int],
+        vs1: Optional[int],
+        vs2: Optional[int],
+        scalar: Optional[int],
+        mask_reg: Optional[int],
+        width: int,
+        masked: bool,
+    ) -> None:
+        """Run one intrinsic's microcode on a single chain."""
+        if masked and mnemonic != "vmerge.vv":
+            alg.broadcast_mask(chain, mask_reg)
+        if mnemonic in ("vadd.vv", "vsub.vv"):
+            func = alg.vadd_vv if mnemonic == "vadd.vv" else alg.vsub_vv
+            func(chain, vd, vs1, vs2, width, masked)
+        elif mnemonic in ("vand.vv", "vor.vv", "vxor.vv"):
+            func = {
+                "vand.vv": alg.vand_vv,
+                "vor.vv": alg.vor_vv,
+                "vxor.vv": alg.vxor_vv,
+            }[mnemonic]
+            func(chain, vd, vs1, vs2, masked)
+        elif mnemonic == "vadd.vx":
+            alg.vadd_vx(chain, vd, vs1, int(scalar), width, masked)
+        elif mnemonic == "vrsub.vx":
+            alg.vrsub_vx(chain, vd, vs1, int(scalar), width)
+        elif mnemonic == "vmul.vv":
+            alg.vmul_vv(chain, vd, vs1, vs2, width)
+        elif mnemonic == "vmv.v.x":
+            alg.vmv_vx(chain, vd, int(scalar), masked)
+        elif mnemonic == "vmv.v.v":
+            alg.vmv_vv(chain, vd, vs1, masked)
+        elif mnemonic == "vmerge.vv":
+            alg.vmerge_vvm(chain, vd, vs1, vs2, mask_reg)
+        elif mnemonic == "vmseq.vx":
+            alg.vmseq_vx(chain, vd, vs1, int(scalar), width)
+        elif mnemonic == "vmseq.vv":
+            alg.vmseq_vv(chain, vd, vs1, vs2, width)
+        elif mnemonic == "vmslt.vv":
+            alg.vmslt_vv(chain, vd, vs1, vs2, width)
+        elif mnemonic == "vmsltu.vv":
+            alg.vmsltu_vv(chain, vd, vs1, vs2, width)
+        elif mnemonic == "vmsne.vv":
+            alg.vmsne_vv(chain, vd, vs1, vs2, width)
+        elif mnemonic in ("vmin.vv", "vmax.vv", "vminu.vv", "vmaxu.vv"):
+            func = {
+                "vmin.vv": alg.vmin_vv,
+                "vmax.vv": alg.vmax_vv,
+                "vminu.vv": alg.vminu_vv,
+                "vmaxu.vv": alg.vmaxu_vv,
+            }[mnemonic]
+            func(chain, vd, vs1, vs2, width)
+        elif mnemonic in ("vsll.vi", "vsrl.vi", "vsra.vi"):
+            func = {
+                "vsll.vi": alg.vsll_vi,
+                "vsrl.vi": alg.vsrl_vi,
+                "vsra.vi": alg.vsra_vi,
+            }[mnemonic]
+            func(chain, vd, vs1, int(scalar), width)
+        else:
+            raise UnsupportedMicrocode(mnemonic)

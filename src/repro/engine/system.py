@@ -40,6 +40,8 @@ from repro.engine.vcu import VCU, VCUStats
 from repro.engine.vmu import VMU, PageFault, VMUConfig, VMUStats
 from repro.memory.hbm import HBM
 from repro.memory.mainmem import WordMemory
+from repro.obs.observer import NULL_OBSERVER
+from repro.obs.stats import CAPERunStats as _CAPERunStats
 
 #: CP cycles charged per page-fault service (trap + OS page-in bookkeeping;
 #: the HBM fill itself is charged through the VMU on the retried transfer).
@@ -83,38 +85,21 @@ CAPE32K = CAPEConfig(name="CAPE32k", num_chains=1024)
 CAPE131K = CAPEConfig(name="CAPE131k", num_chains=4096)
 
 
-@dataclass
-class CAPERunStats:
-    """Cumulative outcome of a CAPE program run."""
+def __getattr__(name: str):
+    """Deprecated deep-import shim: ``CAPERunStats`` now lives in
+    :mod:`repro.obs.stats` (import it from :mod:`repro.api` or
+    :mod:`repro.obs`)."""
+    if name == "CAPERunStats":
+        import warnings
 
-    cycles: float = 0.0
-    frequency_hz: float = 2.7e9
-    vector_instructions: int = 0
-    memory_instructions: int = 0
-    compute_cycles: float = 0.0
-    memory_cycles: float = 0.0
-    scalar_exposed_cycles: float = 0.0
-    energy_j: float = 0.0
-    page_faults: int = 0
-
-    @property
-    def seconds(self) -> float:
-        return self.cycles / self.frequency_hz
-
-    def summary(self) -> str:
-        """One-paragraph human-readable run summary."""
-        total = max(self.cycles, 1e-12)
-        return (
-            f"{self.cycles:,.0f} cycles ({self.seconds * 1e6:.1f} us at "
-            f"{self.frequency_hz / 1e9:.1f} GHz): "
-            f"{100 * self.compute_cycles / total:.0f}% CSB compute, "
-            f"{100 * self.memory_cycles / total:.0f}% vector memory, "
-            f"{100 * self.scalar_exposed_cycles / total:.0f}% exposed scalar; "
-            f"{self.vector_instructions} vector + "
-            f"{self.memory_instructions} memory instructions, "
-            f"{self.page_faults} page faults, "
-            f"{self.energy_j * 1e6:.1f} uJ"
+        warnings.warn(
+            "importing CAPERunStats from repro.engine.system is deprecated; "
+            "use repro.api (or repro.obs.stats)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return _CAPERunStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class CAPESystem:
@@ -145,6 +130,10 @@ class CAPESystem:
             diverge (see :mod:`repro.engine.bitexec`). Charged cycles and
             energy are identical in all modes — charging always comes
             from the instruction model.
+        observer: optional :class:`repro.obs.Observer`; counters and
+            trace events flow from every layer (VCU, VMU, CSB backend,
+            paging, spill path) into it. Defaults to the shared null
+            observer, which costs one attribute check per charge.
     """
 
     NUM_VREGS = 32
@@ -156,6 +145,7 @@ class CAPESystem:
         accounting: str = "paper",
         circuit: Optional[CircuitModel] = None,
         backend: Optional[str] = None,
+        observer=None,
     ) -> None:
         self.config = config
         self.circuit = circuit if circuit is not None else CircuitModel()
@@ -181,7 +171,7 @@ class CAPESystem:
         self.vregs = np.zeros((self.NUM_VREGS, config.max_vl), dtype=np.int64)
         self.vl = config.max_vl
         self.vstart = 0
-        self.stats = CAPERunStats(frequency_hz=self.circuit.frequency_hz)
+        self.stats = _CAPERunStats(frequency_hz=self.circuit.frequency_hz)
         self._memory_energy_j = 0.0
         self._accounting = accounting
         #: Selected element width (SEW). Narrower elements keep one lane
@@ -195,6 +185,8 @@ class CAPESystem:
         #: the register-file occupancy the runtime schedules against.
         self._written_vregs: set = set()
         self._bitengine: Optional[BitEngine] = None
+        self.observer = NULL_OBSERVER
+        self.attach_observer(observer)
         if backend is not None:
             self.set_backend(backend)
 
@@ -202,6 +194,21 @@ class CAPESystem:
     def backend(self) -> Optional[str]:
         """Name of the active bit-accurate backend (None = functional)."""
         return self._bitengine.backend if self._bitengine is not None else None
+
+    def attach_observer(self, observer) -> None:
+        """Thread one observer through every instrumented layer.
+
+        ``None`` (re)binds the shared null observer. The VCU gets a
+        ``cycle_source`` so its microcode trace events are stamped with
+        the run's simulated-cycle timeline.
+        """
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        live = self.observer if self.observer.enabled else None
+        self.vcu.observer = live
+        self.vcu.cycle_source = lambda: self.stats.cycles
+        self.vmu.observer = live
+        if self._bitengine is not None:
+            self._bitengine.attach_observer(self.observer)
 
     def set_backend(self, backend: Optional[str]) -> None:
         """Select the bit-accurate execution backend at runtime.
@@ -220,6 +227,7 @@ class CAPESystem:
             self.config.element_bits,
             self.config.cols_per_chain,
             backend=backend,
+            observer=self.observer,
         )
         for vreg in self._written_vregs:
             self._bitengine.sync_register(vreg, self.vregs[vreg])
@@ -239,7 +247,7 @@ class CAPESystem:
         self.vstart = 0
         if self.sew != self.config.element_bits:
             self.set_sew(self.config.element_bits)
-        self.stats = CAPERunStats(frequency_hz=self.circuit.frequency_hz)
+        self.stats = _CAPERunStats(frequency_hz=self.circuit.frequency_hz)
         self._memory_energy_j = 0.0
         self._written_vregs.clear()
         self.cp.stats = CPStats()
@@ -399,6 +407,18 @@ class CAPESystem:
         self.stats.page_faults += 1
         self.stats.cycles += PAGE_FAULT_HANDLER_CYCLES
         self.stats.scalar_exposed_cycles += PAGE_FAULT_HANDLER_CYCLES
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("engine.page_faults").inc()
+            obs.counter("engine.cycles", kind="scalar").inc(PAGE_FAULT_HANDLER_CYCLES)
+            obs.complete(
+                "page_fault.service",
+                "engine",
+                ts=self.stats.cycles - PAGE_FAULT_HANDLER_CYCLES,
+                dur=PAGE_FAULT_HANDLER_CYCLES,
+                tid="cp",
+                addr=fault.addr,
+            )
 
     def vlse(self, vd: int, addr: int, stride_bytes: int) -> None:
         """``vlse32.v`` — strided load (one packet per element)."""
@@ -673,6 +693,9 @@ class CAPESystem:
         self.cp._shadow_budget = 0.0
         self.stats.cycles += drained
         self.stats.scalar_exposed_cycles += drained
+        obs = self.observer
+        if obs.enabled and drained:
+            obs.counter("engine.cycles", kind="scalar").inc(drained)
 
     def vfirst(self, vm: int) -> int:
         """``vfirst.m``-style find-first-set mask bit (or -1).
@@ -704,12 +727,18 @@ class CAPESystem:
         exposed = self.cp.scalar_block(block)
         self.stats.cycles += exposed
         self.stats.scalar_exposed_cycles += exposed
+        obs = self.observer
+        if obs.enabled and exposed:
+            obs.counter("engine.cycles", kind="scalar").inc(exposed)
 
     def scalar_ops(self, **kwargs) -> None:
         """Scalar work from raw counts (see ``ControlProcessor.scalar_ops``)."""
         exposed = self.cp.scalar_ops(**kwargs)
         self.stats.cycles += exposed
         self.stats.scalar_exposed_cycles += exposed
+        obs = self.observer
+        if obs.enabled and exposed:
+            obs.counter("engine.cycles", kind="scalar").inc(exposed)
 
     # ------------------------------------------------------------------
     # Host-side accessors
@@ -750,9 +779,19 @@ class CAPESystem:
         regs = list(regs)
         if not regs:
             return 0.0
+        start = self.stats.cycles
         block = self.vregs[regs, : self.vl]
         cycles = self.vmu.spill(addr, block)
         self._charge_memory(cycles, block.size * 4)
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("runtime.spills").inc()
+            obs.counter("runtime.spill_bytes").inc(block.size * 4)
+            obs.complete(
+                "context.spill", "runtime",
+                ts=start, dur=self.stats.cycles - start,
+                tid="context", regs=len(regs),
+            )
         return cycles
 
     def fill_vregs(self, regs, addr: int) -> float:
@@ -760,12 +799,21 @@ class CAPESystem:
         regs = list(regs)
         if not regs:
             return 0.0
+        start = self.stats.cycles
         block, cycles = self.vmu.fill(addr, len(regs), self.vl)
         for row, reg in zip(block, regs):
             self.vregs[reg, : self.vl] = row
             self._written_vregs.add(reg)
             self._bitsync(reg)
         self._charge_memory(cycles, block.size * 4)
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("runtime.restores").inc()
+            obs.complete(
+                "context.restore", "runtime",
+                ts=start, dur=self.stats.cycles - start,
+                tid="context", regs=len(regs),
+            )
         return cycles
 
     # ------------------------------------------------------------------
@@ -879,10 +927,17 @@ class CAPESystem:
         self.stats.compute_cycles += added
         self.stats.vector_instructions += 1
         self.stats.energy_j = self.vcu.stats.energy_j + self._memory_energy_j
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("engine.cycles", kind="compute").inc(added)
+            obs.counter("engine.instructions", kind="vector").inc()
 
     def _charge_compute_cycles(self, cycles: float) -> None:
         self.stats.cycles += cycles
         self.stats.compute_cycles += cycles
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("engine.cycles", kind="compute").inc(cycles)
 
     def _charge_memory(self, cycles: float, num_bytes: int) -> None:
         added = self.cp.vector_issue(cycles)
@@ -891,3 +946,11 @@ class CAPESystem:
         self.stats.memory_instructions += 1
         self._memory_energy_j += num_bytes * HBM_ENERGY_PER_BYTE_J
         self.stats.energy_j = self.vcu.stats.energy_j + self._memory_energy_j
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("engine.cycles", kind="memory").inc(added)
+            obs.counter("engine.instructions", kind="memory").inc()
+            obs.counter("engine.hbm_bytes").inc(num_bytes)
+            obs.counter("engine.hbm_energy_j").inc(
+                num_bytes * HBM_ENERGY_PER_BYTE_J
+            )

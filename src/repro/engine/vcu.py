@@ -373,6 +373,24 @@ class VCU:
         self.model = model
         self.reduction_tree = ReductionTree(num_chains)
         self.stats = VCUStats()
+        #: Optional :class:`repro.obs.Observer` (set by the system) and a
+        #: callable yielding the run's current cycle for trace timestamps.
+        self.observer = None
+        self.cycle_source = None
+
+    def _observe(self, mnemonic: str, vl: int, cycles: int, total: int,
+                 energy_j: float) -> None:
+        obs = self.observer
+        if obs is None or not obs.enabled:
+            return
+        obs.counter("vcu.instructions", opcode=mnemonic).inc()
+        obs.counter("vcu.cycles", kind="csb").inc(cycles)
+        obs.counter("vcu.cycles", kind="distribution").inc(
+            self.distribution_cycles
+        )
+        obs.counter("vcu.energy_j").inc(energy_j)
+        ts = self.cycle_source() if self.cycle_source is not None else 0.0
+        obs.complete(mnemonic, "microcode", ts=ts, dur=total, tid="vcu", vl=vl)
 
     @property
     def num_controllers(self) -> int:
@@ -410,7 +428,10 @@ class VCU:
         self.stats.count(mnemonic)
         self.stats.csb_cycles += cycles
         self.stats.distribution_cycles += self.distribution_cycles
-        self.stats.energy_j += self.model.energy_per_lane_j(mnemonic) * vl
+        energy = self.model.energy_per_lane_j(mnemonic) * vl
+        self.stats.energy_j += energy
+        if self.observer is not None:
+            self._observe(mnemonic, vl, cycles, total, energy)
         return total
 
     def dispatch_raw(
@@ -427,5 +448,8 @@ class VCU:
         self.stats.count("microcoded")
         self.stats.csb_cycles += cycles
         self.stats.distribution_cycles += self.distribution_cycles
-        self.stats.energy_j += energy_per_lane_j * vl
+        energy = energy_per_lane_j * vl
+        self.stats.energy_j += energy
+        if self.observer is not None:
+            self._observe("microcoded", vl, cycles, total, energy)
         return total

@@ -110,9 +110,16 @@ class VMU:
         self.config = config
         self.frequency_hz = frequency_hz
         self.stats = VMUStats()
+        #: Optional :class:`repro.obs.Observer` (set by the system).
+        self.observer = None
         # Fault model: None = no paging (every page mapped); otherwise
         # the set of mapped page numbers.
         self._mapped_pages = None
+
+    def _obs_count(self, name: str, amount: float = 1.0, **labels) -> None:
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.counter(name, **labels).inc(amount)
 
     # ------------------------------------------------------------------
     # Virtual-memory fault model (Section V-C)
@@ -159,6 +166,7 @@ class VMU:
         mem_cycles = math.ceil(mem_s * self.frequency_hz)
         sub_requests = math.ceil(num_bytes / self.config.sub_request_bytes)
         self.stats.sub_requests += sub_requests
+        self._obs_count("vmu.sub_requests", sub_requests)
         return max(mem_cycles, sub_requests) + self.config.coherence_cycles
 
     def load(self, addr: int, vl: int, element_bytes: Optional[int] = None) -> tuple:
@@ -179,6 +187,8 @@ class VMU:
         cycles = self._transfer_cycles(num_bytes)
         self.stats.loads += 1
         self.stats.bytes_loaded += num_bytes
+        self._obs_count("vmu.loads")
+        self._obs_count("vmu.bytes", num_bytes, dir="load")
         return values, cycles
 
     def store(self, addr: int, values: np.ndarray, element_bytes: Optional[int] = None) -> int:
@@ -194,6 +204,8 @@ class VMU:
         cycles = self._transfer_cycles(num_bytes)
         self.stats.stores += 1
         self.stats.bytes_stored += num_bytes
+        self._obs_count("vmu.stores")
+        self._obs_count("vmu.bytes", num_bytes, dir="store")
         return cycles
 
     def load_strided(self, addr: int, vl: int, stride_bytes: int) -> tuple:
@@ -213,6 +225,9 @@ class VMU:
         self.stats.loads += 1
         self.stats.bytes_loaded += vl * packet
         self.stats.sub_requests += vl
+        self._obs_count("vmu.loads")
+        self._obs_count("vmu.bytes", vl * packet, dir="load")
+        self._obs_count("vmu.sub_requests", vl)
         return values, cycles
 
     def store_strided(self, addr: int, values: np.ndarray, stride_bytes: int) -> int:
@@ -230,6 +245,9 @@ class VMU:
         self.stats.stores += 1
         self.stats.bytes_stored += len(values) * packet
         self.stats.sub_requests += len(values)
+        self._obs_count("vmu.stores")
+        self._obs_count("vmu.bytes", len(values) * packet, dir="store")
+        self._obs_count("vmu.sub_requests", len(values))
         return cycles
 
     def load_replica(self, addr: int, chunk: int, vl: int) -> tuple:
@@ -254,6 +272,9 @@ class VMU:
         self.stats.replica_loads += 1
         self.stats.bytes_loaded += num_bytes
         self.stats.sub_requests += math.ceil(num_bytes / self.config.sub_request_bytes)
+        self._obs_count("vmu.replica_loads")
+        self._obs_count("vmu.bytes", num_bytes, dir="load")
+        self._obs_count("vmu.sub_requests", math.ceil(num_bytes / self.config.sub_request_bytes))
         return values, cycles
 
     # ------------------------------------------------------------------
@@ -274,6 +295,8 @@ class VMU:
         cycles = self._transfer_cycles(num_bytes)
         self.stats.spills += 1
         self.stats.bytes_stored += num_bytes
+        self._obs_count("vmu.spills")
+        self._obs_count("vmu.bytes", num_bytes, dir="store")
         return cycles
 
     def fill(self, addr: int, rows: int, row_len: int) -> tuple:
@@ -290,6 +313,8 @@ class VMU:
         cycles = self._transfer_cycles(num_bytes)
         self.stats.fills += 1
         self.stats.bytes_loaded += num_bytes
+        self._obs_count("vmu.fills")
+        self._obs_count("vmu.bytes", num_bytes, dir="load")
         return block, cycles
 
     def load_indexed(self, base: int, indices) -> tuple:

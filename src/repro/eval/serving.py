@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, List
 from repro.eval.tables import format_table
 
 if TYPE_CHECKING:  # import cycle: repro.runtime.telemetry renders via eval
-    from repro.runtime.telemetry import TelemetryReport
+    from repro.runtime._telemetry import TelemetryReport
 
 
 def latency_table(report: TelemetryReport) -> str:

@@ -92,6 +92,9 @@ class Machine:
         """Execute until ``ecall`` or the step limit."""
         halted = "step-limit"
         end = self.base + 4 * len(self.words)
+        obs = self.cape.observer
+        traced = obs.enabled
+        run_start = self.cape.stats.cycles
         for _ in range(max_steps):
             if not self.base <= self.pc < end:
                 halted = "fell-off-end"
@@ -112,7 +115,16 @@ class Machine:
                 continue
             if self._is_vector(inst.mnemonic):
                 self._flush_scalar()
-                self._exec_vector(inst)
+                if traced:
+                    before = self.cape.stats.cycles
+                    self._exec_vector(inst)
+                    obs.complete(
+                        inst.mnemonic, "interpreter",
+                        ts=before, dur=self.cape.stats.cycles - before,
+                        tid="machine", pc=self.pc,
+                    )
+                else:
+                    self._exec_vector(inst)
                 self.vector_instructions += 1
                 self.pc += 4
             else:
@@ -121,6 +133,18 @@ class Machine:
                 self.pc = next_pc
         self._flush_scalar()
         stats = self.cape.stats
+        if traced:
+            obs.counter("isa.instructions", kind="scalar").inc(
+                self.scalar_instructions
+            )
+            obs.counter("isa.instructions", kind="vector").inc(
+                self.vector_instructions
+            )
+            obs.complete(
+                "program", "runtime",
+                ts=run_start, dur=stats.cycles - run_start,
+                tid="machine", halted=halted, instructions=self.instret,
+            )
         return MachineResult(
             cycles=stats.cycles,
             seconds=stats.seconds,

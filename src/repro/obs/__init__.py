@@ -1,0 +1,42 @@
+"""repro.obs — the unified observability layer.
+
+One :class:`Observer` (metrics registry + structured tracer) threads
+through every layer of the stack — engine, CSB backends, interpreter,
+runtime — with a shared zero-overhead :data:`NULL_OBSERVER` default.
+See ``docs/OBSERVABILITY.md`` for the counter catalog and trace schema.
+
+This package must stay import-light: the engine imports it at module
+level, so nothing here may import ``repro.engine`` (or anything that
+does) except lazily inside functions.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    label_key,
+)
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.report import ProfileReport
+from repro.obs.stats import CAPERunStats
+from repro.obs.trace import PID_SIM, PID_WALL, TraceEvent, Tracer
+
+__all__ = [
+    "CAPERunStats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "PID_SIM",
+    "PID_WALL",
+    "ProfileReport",
+    "TraceEvent",
+    "Tracer",
+    "diff_snapshots",
+    "label_key",
+]

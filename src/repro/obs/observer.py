@@ -1,0 +1,156 @@
+"""The Observer: one handle threaded through every instrumented layer.
+
+An :class:`Observer` bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.trace.Tracer`. `CAPESystem`, `Chain`/`CSB`,
+`Job`, and `DevicePool` all accept one; the default is the shared
+:data:`NULL_OBSERVER`, whose ``enabled`` flag is ``False`` and whose
+handles are shared no-ops — instrumented hot paths guard with
+``if observer.enabled:`` so a disabled observer costs one attribute
+check.
+
+``observer.labelled(device="CAPE32k#0")`` returns a view sharing the
+same registry and tracer but stamping the bound labels onto every
+counter/gauge/histogram it hands out — how the device pool separates
+per-device series without threading label dicts through the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class Observer:
+    """A live observer: metrics + tracing, shared down the stack."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.labels: Dict[str, object] = dict(labels or {})
+
+    # -- metrics handles -----------------------------------------------
+
+    def _merge(self, labels: Dict[str, object]) -> Dict[str, object]:
+        if not self.labels:
+            return labels
+        merged = dict(self.labels)
+        merged.update(labels)
+        return merged
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self.metrics.counter(name, **self._merge(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self.metrics.gauge(name, **self._merge(labels))
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self.metrics.histogram(name, **self._merge(labels))
+
+    # -- tracing passthrough -------------------------------------------
+
+    def span(self, name: str, cat: str, tid: str = "main", **args):
+        return self.tracer.span(name, cat, tid=tid, **args)
+
+    def complete(self, name, cat, ts, dur, tid="sim", **args) -> None:
+        self.tracer.complete(name, cat, ts, dur, tid=tid, **args)
+
+    def instant(self, name, cat, ts=None, tid="sim", **args) -> None:
+        self.tracer.instant(name, cat, ts=ts, tid=tid, **args)
+
+    # -- scoping --------------------------------------------------------
+
+    def labelled(self, **labels: object) -> "Observer":
+        """A view on the same registry/tracer with extra bound labels."""
+        return Observer(
+            metrics=self.metrics, tracer=self.tracer, labels=self._merge(labels)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Observer({len(self.metrics)} series, "
+            f"{len(self.tracer)} events{', ' + repr(self.labels) if self.labels else ''})"
+        )
+
+
+class _NullHandle:
+    """Shared do-nothing metric handle."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    """Shared do-nothing span context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+_NULL_SPAN = _NullSpan()
+
+
+class NullObserver(Observer):
+    """The zero-overhead default: records nothing, allocates nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # no registry, no tracer
+        self.metrics = None
+        self.tracer = None
+        self.labels = {}
+
+    def counter(self, name: str, **labels: object) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def gauge(self, name: str, **labels: object) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def histogram(self, name: str, **labels: object) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def span(self, name: str, cat: str, tid: str = "main", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def complete(self, name, cat, ts, dur, tid="sim", **args) -> None:
+        pass
+
+    def instant(self, name, cat, ts=None, tid="sim", **args) -> None:
+        pass
+
+    def labelled(self, **labels: object) -> "NullObserver":
+        return self
+
+    def __repr__(self) -> str:
+        return "NullObserver()"
+
+
+#: The process-wide disabled observer every layer defaults to.
+NULL_OBSERVER = NullObserver()

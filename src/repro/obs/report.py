@@ -1,0 +1,170 @@
+"""Per-kernel profiling report (the ``obs.report`` surface).
+
+Folds the observer's metrics into per-kernel cycle/energy/microop
+breakdowns following the paper's Table 2 / Fig. 9 taxonomy: for each
+profiled kernel you get the microop mix (search/update/read/write/...,
+split bit-serial vs bit-parallel), the cycle breakdown (compute /
+memory / exposed scalar), and the energy total — the numbers the
+hand-rolled accounting in ``benchmarks/`` used to assemble by hand.
+
+Usage::
+
+    obs = Observer()
+    device = Device(CAPE32K, backend="bitplane", observer=obs)
+    profile = ProfileReport(obs)
+    with profile.kernel("vadd"):
+        device.system.vadd(3, 1, 2)
+    profile.microop_totals("vadd")   # {"logic/bs": 32, ...}
+    print(profile.summary())
+
+Kernels are measured as registry snapshot *deltas*, so a single observer
+can profile many kernels back to back without resetting anything.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.metrics import Snapshot, diff_snapshots
+from repro.obs.observer import Observer
+
+#: Families folded into the cycle breakdown, in report order.
+_CYCLE_KINDS = ("compute", "memory", "scalar")
+
+#: Families summed into the per-kernel energy total.
+_ENERGY_FAMILIES = ("vcu.energy_j", "engine.hbm_energy_j")
+
+
+class ProfileReport:
+    """Per-kernel breakdowns derived from observer metric deltas."""
+
+    def __init__(self, observer: Observer) -> None:
+        if not observer.enabled:
+            raise ValueError(
+                "ProfileReport needs an enabled Observer (got a null observer)"
+            )
+        self.observer = observer
+        #: kernel name -> snapshot delta for that kernel's scope.
+        self.deltas: Dict[str, Snapshot] = {}
+
+    # -- measurement ----------------------------------------------------
+
+    @contextmanager
+    def kernel(self, name: str) -> Iterator[None]:
+        """Profile one kernel: everything recorded inside the scope."""
+        before = self.observer.metrics.snapshot()
+        with self.observer.span(name, cat="profile", tid="profile"):
+            yield
+        after = self.observer.metrics.snapshot()
+        delta = diff_snapshots(after, before)
+        if name in self.deltas:  # accumulate repeated scopes
+            merged = dict(self.deltas[name])
+            for key, value in delta.items():
+                merged[key] = merged.get(key, 0.0) + value
+            delta = merged
+        self.deltas[name] = delta
+
+    @property
+    def kernels(self) -> List[str]:
+        return list(self.deltas)
+
+    # -- folds ----------------------------------------------------------
+
+    def _family(self, kernel: str, family: str) -> Dict[tuple, float]:
+        """Label-key -> delta for one family inside one kernel."""
+        return {
+            key: value
+            for (name, key), value in self.deltas.get(kernel, {}).items()
+            if name == family
+        }
+
+    def microop_totals(self, kernel: str) -> Dict[str, int]:
+        """Microop mix as ``"op/flavor" -> count`` (Table 2 taxonomy).
+
+        ``flavor`` is ``bp`` (bit-parallel) or ``bs`` (bit-serial), the
+        same split the CSB microop counters use.
+        """
+        totals: Dict[str, int] = {}
+        for key, value in self._family(kernel, "csb.microops").items():
+            labels = dict(key)
+            bucket = f"{labels.get('op', '?')}/{labels.get('flavor', '?')}"
+            totals[bucket] = totals.get(bucket, 0) + int(round(value))
+        return dict(sorted(totals.items()))
+
+    def cycles(self, kernel: str) -> Dict[str, float]:
+        """Cycle breakdown ``{"compute": ..., "memory": ..., "scalar": ...}``."""
+        out = {kind: 0.0 for kind in _CYCLE_KINDS}
+        for key, value in self._family(kernel, "engine.cycles").items():
+            kind = dict(key).get("kind", "?")
+            out[kind] = out.get(kind, 0.0) + value
+        return out
+
+    def total_cycles(self, kernel: str) -> float:
+        return sum(self.cycles(kernel).values())
+
+    def energy_j(self, kernel: str) -> float:
+        """Energy total: VCU lane energy + HBM transfer energy."""
+        total = 0.0
+        for family in _ENERGY_FAMILIES:
+            total += sum(self._family(kernel, family).values())
+        return total
+
+    def instructions(self, kernel: str) -> Dict[str, int]:
+        """Instruction counts by kind (vector / memory / scalar)."""
+        out: Dict[str, int] = {}
+        for key, value in self._family(kernel, "engine.instructions").items():
+            kind = dict(key).get("kind", "?")
+            out[kind] = out.get(kind, 0) + int(round(value))
+        return out
+
+    # -- export ---------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-able per-kernel report."""
+        return {
+            kernel: {
+                "microops": self.microop_totals(kernel),
+                "cycles": self.cycles(kernel),
+                "total_cycles": self.total_cycles(kernel),
+                "energy_j": self.energy_j(kernel),
+                "instructions": self.instructions(kernel),
+            }
+            for kernel in self.kernels
+        }
+
+    def table(self, title: Optional[str] = None) -> str:
+        """Render the per-kernel breakdown with the shared table helper."""
+        from repro.eval.tables import format_table
+
+        rows = []
+        for kernel in self.kernels:
+            cycles = self.cycles(kernel)
+            microops = self.microop_totals(kernel)
+            rows.append(
+                [
+                    kernel,
+                    f"{self.total_cycles(kernel):,.0f}",
+                    f"{cycles['compute']:,.0f}",
+                    f"{cycles['memory']:,.0f}",
+                    f"{sum(microops.values()):,d}",
+                    f"{self.energy_j(kernel) * 1e6:.2f}",
+                ]
+            )
+        table = format_table(
+            ["kernel", "cycles", "compute", "memory", "microops", "uJ"],
+            rows,
+        )
+        return f"{title or 'per-kernel profile'}\n{table}"
+
+    def summary(self) -> str:
+        """One line per kernel: cycles, microop total, energy."""
+        lines = []
+        for kernel in self.kernels:
+            microops = sum(self.microop_totals(kernel).values())
+            lines.append(
+                f"{kernel}: {self.total_cycles(kernel):,.0f} cycles, "
+                f"{microops:,d} microops, "
+                f"{self.energy_j(kernel) * 1e6:.2f} uJ"
+            )
+        return "\n".join(lines)

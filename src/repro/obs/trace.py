@@ -1,0 +1,180 @@
+"""Structured event tracer (the ``obs.trace`` surface).
+
+Records spans and instant events on two timelines and exports them as
+Chrome/Perfetto ``trace_event`` JSON (open in https://ui.perfetto.dev or
+``chrome://tracing``) or as a plain JSONL stream:
+
+* the **wall** timeline (pid 1) holds host-side spans opened with
+  :meth:`Tracer.span` — job bodies, benchmark phases — timed with
+  ``time.perf_counter_ns``;
+* the **sim** timeline (pid 2) holds device-time events recorded with
+  :meth:`Tracer.complete` / :meth:`Tracer.instant`, whose timestamps are
+  CAPE cycles (instruction execute, microcode sequences, page-fault
+  service, context spill/restore, scheduling events).
+
+Chrome traces want microseconds; cycles are emitted as-is on the sim
+timeline (read "us" as "cycles" there — the two processes are clearly
+separated in the viewer).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Chrome-trace process ids of the two timelines.
+PID_WALL = 1
+PID_SIM = 2
+
+
+@dataclass
+class TraceEvent:
+    """One ``trace_event``: a complete span (ph="X") or instant (ph="i")."""
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    pid: int
+    tid: str
+    dur: Optional[float] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = self.args
+        if self.ph == "i":
+            out["s"] = "t"  # instant scope: thread
+        return out
+
+
+class _SpanHandle:
+    """Context manager closing one wall-clock span."""
+
+    __slots__ = ("_tracer", "_event", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", event: TraceEvent) -> None:
+        self._tracer = tracer
+        self._event = event
+        self._start_ns = time.perf_counter_ns()
+
+    def __enter__(self) -> TraceEvent:
+        return self._event
+
+    def __exit__(self, *exc) -> None:
+        self._event.dur = (time.perf_counter_ns() - self._start_ns) / 1e3
+        self._tracer.events.append(self._event)
+
+
+class Tracer:
+    """An append-only event log with Chrome-trace / JSONL export."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._epoch_ns = time.perf_counter_ns()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def _wall_us(self) -> float:
+        return (time.perf_counter_ns() - self._epoch_ns) / 1e3
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, name: str, cat: str, tid: str = "main", **args) -> _SpanHandle:
+        """Open a wall-clock span; closes (and records) on ``__exit__``."""
+        event = TraceEvent(
+            name=name, cat=cat, ph="X", ts=self._wall_us(),
+            pid=PID_WALL, tid=tid, args=dict(args),
+        )
+        return _SpanHandle(self, event)
+
+    def complete(
+        self, name: str, cat: str, ts: float, dur: float, tid: str = "sim", **args
+    ) -> None:
+        """Record a finished span on the simulated-cycle timeline."""
+        self.events.append(
+            TraceEvent(
+                name=name, cat=cat, ph="X", ts=float(ts), dur=float(dur),
+                pid=PID_SIM, tid=tid, args=dict(args),
+            )
+        )
+
+    def instant(
+        self, name: str, cat: str, ts: Optional[float] = None, tid: str = "sim", **args
+    ) -> None:
+        """Record an instant event (sim timeline when ``ts`` given)."""
+        if ts is None:
+            self.events.append(
+                TraceEvent(
+                    name=name, cat=cat, ph="i", ts=self._wall_us(),
+                    pid=PID_WALL, tid=tid, args=dict(args),
+                )
+            )
+        else:
+            self.events.append(
+                TraceEvent(
+                    name=name, cat=cat, ph="i", ts=float(ts),
+                    pid=PID_SIM, tid=tid, args=dict(args),
+                )
+            )
+
+    # -- queries --------------------------------------------------------
+
+    def spans(self, cat: Optional[str] = None) -> Iterator[TraceEvent]:
+        """Complete spans, optionally filtered by category."""
+        for event in self.events:
+            if event.ph == "X" and (cat is None or event.cat == cat):
+                yield event
+
+    def categories(self) -> List[str]:
+        return sorted({e.cat for e in self.events})
+
+    # -- export ---------------------------------------------------------
+
+    def chrome(self) -> dict:
+        """The ``{"traceEvents": [...]}`` Chrome-trace payload."""
+        metadata = [
+            {
+                "name": "process_name", "ph": "M", "pid": pid, "ts": 0,
+                "args": {"name": label},
+            }
+            for pid, label in ((PID_WALL, "wall clock"), (PID_SIM, "device cycles"))
+        ]
+        return {
+            "traceEvents": metadata + [e.as_dict() for e in self.events],
+            "displayTimeUnit": "ms",
+        }
+
+    def chrome_json(self) -> str:
+        return json.dumps(self.chrome())
+
+    def write_chrome(self, path) -> None:
+        """Write the Chrome/Perfetto trace JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome(), fh)
+
+    def jsonl(self) -> Iterator[str]:
+        """One JSON object per event, in record order."""
+        for event in self.events:
+            yield json.dumps(event.as_dict())
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as fh:
+            for line in self.jsonl():
+                fh.write(line + "\n")
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -31,7 +31,7 @@ from repro.runtime.scheduler import (
     ShortestJobFirstPolicy,
     make_policy,
 )
-from repro.runtime.telemetry import (
+from repro.runtime._telemetry import (
     DeviceRecord,
     JobRecord,
     Telemetry,

@@ -173,21 +173,36 @@ class Job:
 
     # -- execution -----------------------------------------------------
 
-    def execute(self, system: CAPESystem) -> JobResult:
+    def execute(self, system: CAPESystem, observer=None) -> JobResult:
         """Run on a (freshly reset) device; returns the result record.
 
         Library errors — validation mismatches, structured capacity
         errors from strict allocations — are captured in the result
-        rather than unwinding the pool's event loop.
+        rather than unwinding the pool's event loop. ``observer``
+        defaults to the system's own; the job body's host-side execution
+        is recorded as a wall-clock span and its outcome as a
+        ``runtime.jobs`` counter.
         """
+        obs = observer if observer is not None else system.observer
         start_cycles = system.stats.cycles
         start_energy = system.stats.energy_j
         previous_backend = system.backend
         if self.backend is not None:
             system.set_backend(self.backend)
+        span = (
+            obs.span(f"job:{self.name}", cat="job", tid="jobs")
+            if obs.enabled
+            else None
+        )
         try:
-            output = self._run_body(system)
+            if span is not None:
+                with span:
+                    output = self._run_body(system)
+            else:
+                output = self._run_body(system)
         except ReproError as exc:
+            if obs.enabled:
+                obs.counter("runtime.job_errors", kind=type(exc).__name__).inc()
             return JobResult(
                 output=None,
                 validated=False,
@@ -371,8 +386,8 @@ class SegmentedJob(Job):
             offset += vl
         return out
 
-    def execute(self, system: CAPESystem) -> JobResult:
-        result = super().execute(system)
+    def execute(self, system: CAPESystem, observer=None) -> JobResult:
+        result = super().execute(system, observer=observer)
         if self.context_stats is not None:
             result.spills = self.context_stats.spills
             result.restores = self.context_stats.restores

@@ -27,11 +27,12 @@ from typing import Deque, Iterable, List, Optional, Sequence
 from repro.common.errors import ConfigError, CSBCapacityError
 from repro.engine.system import CAPE32K, CAPE131K, CAPEConfig, CAPESystem
 from repro.memory.mainmem import WordMemory
+from repro.obs.observer import NULL_OBSERVER
 
 from repro.runtime.clock import SimClock
 from repro.runtime.job import Job, JobState
 from repro.runtime.scheduler import Scheduler
-from repro.runtime.telemetry import DeviceRecord, Telemetry, TelemetryReport
+from repro.runtime._telemetry import DeviceRecord, Telemetry, TelemetryReport
 
 #: Default pool shape: two small shards + one large for capacity-hungry
 #: jobs, mirroring the paper's two design points.
@@ -92,6 +93,10 @@ class DevicePool:
             (``"reference"`` or ``"bitplane"``); ``None`` keeps the
             fast functional-only path. Individual jobs may still
             override it via ``Job(backend=...)``.
+        observer: optional :class:`repro.obs.Observer`. Each device's
+            system publishes under a ``device=<name>`` label, and the
+            pool itself records scheduling events (arrivals, job spans
+            per device lane, steals) on the simulated-cycle timeline.
     """
 
     def __init__(
@@ -102,6 +107,7 @@ class DevicePool:
         memory_bytes: Optional[int] = None,
         accounting: str = "paper",
         backend: Optional[str] = None,
+        observer=None,
     ) -> None:
         if not configs:
             raise ConfigError("a pool needs at least one device")
@@ -109,22 +115,24 @@ class DevicePool:
         self.scheduler = Scheduler(policy)
         self.telemetry = Telemetry()
         self.work_stealing = work_stealing
-        self.devices = [
-            Device(
-                i,
-                CAPESystem(
-                    config,
-                    memory=(
-                        WordMemory(memory_bytes)
-                        if memory_bytes is not None
-                        else None
-                    ),
-                    accounting=accounting,
-                    backend=backend,
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.devices = []
+        for i, config in enumerate(configs):
+            system = CAPESystem(
+                config,
+                memory=(
+                    WordMemory(memory_bytes)
+                    if memory_bytes is not None
+                    else None
                 ),
+                accounting=accounting,
+                backend=backend,
             )
-            for i, config in enumerate(configs)
-        ]
+            device = Device(i, system)
+            system.attach_observer(
+                self.observer.labelled(device=device.name)
+            )
+            self.devices.append(device)
         self._submitted: List[Job] = []
 
     # ------------------------------------------------------------------
@@ -191,6 +199,16 @@ class DevicePool:
         self.telemetry.sample_queue(
             device.device_id, self.clock.now, len(device.queue)
         )
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("runtime.jobs", event="arrived").inc()
+            obs.histogram("runtime.queue_depth", device=device.name).observe(
+                len(device.queue)
+            )
+            obs.instant(
+                f"arrive:{job.name}", "runtime", ts=self.clock.now,
+                tid=device.name, lanes=job.footprint.lanes,
+            )
         self._dispatch(device)
         if self.work_stealing and device.current is not None:
             # The placed device is busy: let an idle peer steal the work
@@ -227,6 +245,14 @@ class DevicePool:
         finish = self.clock.now + result.service_cycles
         device.busy_until = finish
         device.busy_cycles += result.service_cycles
+        obs = self.observer
+        if obs.enabled:
+            obs.complete(
+                f"job:{job.name}", "runtime",
+                ts=job.start_cycle, dur=result.service_cycles,
+                tid=device.name, lanes=job.footprint.lanes,
+                stolen=job.stolen,
+            )
         self.clock.schedule_at(
             finish, lambda d=device, j=job: self._complete(d, j)
         )
@@ -237,6 +263,10 @@ class DevicePool:
         job.state = JobState.DONE if ok else JobState.FAILED
         device.current = None
         device.jobs_run += 1
+        if self.observer.enabled:
+            self.observer.counter(
+                "runtime.jobs", event="done" if ok else "failed"
+            ).inc()
         self.telemetry.record_complete(job, device.name)
         self.telemetry.sample_queue(
             device.device_id, self.clock.now, len(device.queue)
@@ -256,6 +286,14 @@ class DevicePool:
                 if job.footprint.fits(thief.config) or job.spillable:
                     del victim.queue[index]
                     job.stolen = True
+                    obs = self.observer
+                    if obs.enabled:
+                        obs.counter("runtime.steals").inc()
+                        obs.instant(
+                            f"steal:{job.name}", "runtime",
+                            ts=self.clock.now, tid=thief.name,
+                            victim=victim.name,
+                        )
                     self.telemetry.record_steal()
                     self.telemetry.sample_queue(
                         victim.device_id, self.clock.now, len(victim.queue)

@@ -1,273 +1,25 @@
-"""Telemetry: per-job latency, per-device utilization, queue depths.
+"""Deprecated import path — telemetry moved behind the facade.
 
-The pool records three streams while the simulated clock runs — job
-lifecycle timestamps, device busy intervals, and queue-depth samples at
-every scheduling event — and folds them into a :class:`TelemetryReport`
-whose tables render through :func:`repro.eval.tables.format_table`, the
-same path as the paper-figure benches.
-
-All times are device cycles; the report converts to seconds at the
-pool's clock frequency.
+``repro.runtime.telemetry`` is kept as a shim: the implementation now
+lives in :mod:`repro.runtime._telemetry` and the public classes are
+re-exported from :mod:`repro.runtime` and :mod:`repro.api`. Import from
+there instead; this module will be removed in a future release.
 """
 
-from __future__ import annotations
+import warnings
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from repro.runtime._telemetry import (  # noqa: F401
+    DeviceRecord,
+    JobRecord,
+    Telemetry,
+    TelemetryReport,
+)
 
-from repro.eval.tables import format_table
-from repro.runtime.job import Job, JobState
+warnings.warn(
+    "repro.runtime.telemetry is deprecated; import Telemetry/"
+    "TelemetryReport from repro.runtime (or repro.api)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-
-@dataclass
-class JobRecord:
-    """One job's lifecycle timestamps and outcome."""
-
-    job_id: int
-    name: str
-    device_id: int
-    device_name: str
-    priority: int
-    lanes: int
-    submit_cycle: float
-    start_cycle: float
-    finish_cycle: float
-    validated: bool
-    state: str
-    spills: int = 0
-    restores: int = 0
-    stolen: bool = False
-    deadline_cycles: Optional[float] = None
-    error: Optional[str] = None
-
-    @property
-    def wait_cycles(self) -> float:
-        return self.start_cycle - self.submit_cycle
-
-    @property
-    def service_cycles(self) -> float:
-        return self.finish_cycle - self.start_cycle
-
-    @property
-    def turnaround_cycles(self) -> float:
-        return self.finish_cycle - self.submit_cycle
-
-    @property
-    def deadline_met(self) -> Optional[bool]:
-        if self.deadline_cycles is None:
-            return None
-        return self.turnaround_cycles <= self.deadline_cycles
-
-
-@dataclass
-class DeviceRecord:
-    """One device's aggregate service record."""
-
-    device_id: int
-    name: str
-    max_vl: int
-    jobs_run: int
-    busy_cycles: float
-    lane_occupancies: List[float] = field(default_factory=list)
-
-    @property
-    def mean_occupancy(self) -> float:
-        """Mean fraction of the CSB's lanes jobs kept live."""
-        if not self.lane_occupancies:
-            return 0.0
-        return sum(self.lane_occupancies) / len(self.lane_occupancies)
-
-    def utilization(self, makespan_cycles: float) -> float:
-        if makespan_cycles <= 0:
-            return 0.0
-        return self.busy_cycles / makespan_cycles
-
-
-class Telemetry:
-    """Event-time collector the pool writes into."""
-
-    def __init__(self) -> None:
-        self.jobs: List[JobRecord] = []
-        #: device_id -> [(cycle, queue depth)] sampled at scheduling events.
-        self.queue_samples: Dict[int, List[Tuple[float, int]]] = {}
-        self.steals = 0
-
-    def sample_queue(self, device_id: int, cycle: float, depth: int) -> None:
-        self.queue_samples.setdefault(device_id, []).append((cycle, depth))
-
-    def record_steal(self) -> None:
-        self.steals += 1
-
-    def record_complete(self, job: Job, device_name: str) -> None:
-        result = job.result
-        self.jobs.append(
-            JobRecord(
-                job_id=job.job_id,
-                name=job.name,
-                device_id=job.device_id,
-                device_name=device_name,
-                priority=job.priority,
-                lanes=job.footprint.lanes,
-                submit_cycle=job.submit_cycle,
-                start_cycle=job.start_cycle,
-                finish_cycle=job.finish_cycle,
-                validated=bool(result and result.validated),
-                state=job.state.value,
-                spills=result.spills if result else 0,
-                restores=result.restores if result else 0,
-                stolen=job.stolen,
-                deadline_cycles=job.deadline_cycles,
-                error=result.error if result else None,
-            )
-        )
-
-    def report(
-        self,
-        devices: List[DeviceRecord],
-        makespan_cycles: float,
-        frequency_hz: float,
-    ) -> "TelemetryReport":
-        return TelemetryReport(
-            jobs=sorted(self.jobs, key=lambda r: r.job_id),
-            devices=devices,
-            makespan_cycles=makespan_cycles,
-            frequency_hz=frequency_hz,
-            queue_samples=self.queue_samples,
-            steals=self.steals,
-        )
-
-
-@dataclass
-class TelemetryReport:
-    """The pool run's full service record, renderable as tables."""
-
-    jobs: List[JobRecord]
-    devices: List[DeviceRecord]
-    makespan_cycles: float
-    frequency_hz: float
-    queue_samples: Dict[int, List[Tuple[float, int]]]
-    steals: int = 0
-
-    # -- aggregates -----------------------------------------------------
-
-    @property
-    def makespan_seconds(self) -> float:
-        return self.makespan_cycles / self.frequency_hz
-
-    @property
-    def completed(self) -> int:
-        return sum(1 for j in self.jobs if j.state == JobState.DONE.value)
-
-    @property
-    def failed(self) -> int:
-        return sum(1 for j in self.jobs if j.state != JobState.DONE.value)
-
-    @property
-    def throughput_jobs_per_s(self) -> float:
-        if self.makespan_seconds <= 0:
-            return 0.0
-        return self.completed / self.makespan_seconds
-
-    def mean_turnaround_cycles(self) -> float:
-        if not self.jobs:
-            return 0.0
-        return sum(j.turnaround_cycles for j in self.jobs) / len(self.jobs)
-
-    def percentile_turnaround_cycles(self, pct: float) -> float:
-        """Turnaround percentile (nearest-rank) across all jobs."""
-        if not self.jobs:
-            return 0.0
-        values = sorted(j.turnaround_cycles for j in self.jobs)
-        rank = max(1, int(round(pct / 100.0 * len(values))))
-        return values[min(rank, len(values)) - 1]
-
-    def queue_depth_histogram(
-        self, device_id: Optional[int] = None
-    ) -> Dict[int, int]:
-        """depth -> number of scheduling events observing that depth."""
-        counts: Counter = Counter()
-        for did, samples in sorted(self.queue_samples.items()):
-            if device_id is not None and did != device_id:
-                continue
-            counts.update(depth for _, depth in samples)
-        return dict(sorted(counts.items()))
-
-    # -- tables ---------------------------------------------------------
-
-    def job_table(self) -> str:
-        rows = []
-        for j in self.jobs:
-            deadline = "-"
-            if j.deadline_met is not None:
-                deadline = "met" if j.deadline_met else "MISSED"
-            rows.append(
-                [
-                    j.job_id,
-                    j.name,
-                    j.device_name,
-                    j.lanes,
-                    j.priority,
-                    round(j.wait_cycles),
-                    round(j.service_cycles),
-                    round(j.turnaround_cycles),
-                    j.spills,
-                    j.restores,
-                    "yes" if j.stolen else "no",
-                    deadline,
-                    "ok" if j.validated else "FAIL",
-                ]
-            )
-        return format_table(
-            [
-                "job", "name", "device", "lanes", "prio", "wait", "service",
-                "turnaround", "spills", "restores", "stolen", "deadline", "check",
-            ],
-            rows,
-        )
-
-    def device_table(self) -> str:
-        rows = []
-        for d in self.devices:
-            rows.append(
-                [
-                    d.device_id,
-                    d.name,
-                    d.max_vl,
-                    d.jobs_run,
-                    round(d.busy_cycles),
-                    round(100 * d.utilization(self.makespan_cycles), 1),
-                    round(100 * d.mean_occupancy, 1),
-                ]
-            )
-        return format_table(
-            [
-                "device", "config", "lanes", "jobs", "busy cycles",
-                "util %", "occupancy %",
-            ],
-            rows,
-        )
-
-    def queue_table(self) -> str:
-        histogram = self.queue_depth_histogram()
-        total = sum(histogram.values()) or 1
-        rows = [
-            [depth, count, round(100 * count / total, 1)]
-            for depth, count in histogram.items()
-        ]
-        return format_table(["queue depth", "events", "events %"], rows)
-
-    def summary(self) -> str:
-        parts = [
-            f"{self.completed}/{len(self.jobs)} jobs completed in "
-            f"{self.makespan_cycles:,.0f} cycles "
-            f"({self.makespan_seconds * 1e3:.2f} ms at "
-            f"{self.frequency_hz / 1e9:.1f} GHz)",
-            f"throughput {self.throughput_jobs_per_s:,.0f} jobs/s",
-            f"mean turnaround {self.mean_turnaround_cycles():,.0f} cycles "
-            f"(p95 {self.percentile_turnaround_cycles(95):,.0f})",
-            f"{self.steals} work steals",
-        ]
-        if self.failed:
-            parts.append(f"{self.failed} FAILED")
-        return "; ".join(parts)
+__all__ = ["DeviceRecord", "JobRecord", "Telemetry", "TelemetryReport"]

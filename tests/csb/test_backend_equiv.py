@@ -12,6 +12,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.assoc.emulator import AssociativeEmulator, golden
 from repro.csb import CSB, Chain
+from repro.obs import Observer
 
 N_COLS = 8
 
@@ -178,3 +179,42 @@ def test_csb_window_and_redsum_parity(num_chains, window_seed, width, seed):
     assert np.array_equal(ref_vec, fast_vec)
     assert ref_sum == fast_sum
     assert ref_sum == int((values[vstart:vl] % (1 << width)).sum())
+
+
+def test_observer_microop_counters_identical_across_backends():
+    """A fixed multi-chain program publishes identical ``csb.microops``
+    observer totals under both backends.
+
+    The VCU broadcasts each microoperation to every chain in lockstep,
+    so the counters tally *broadcasts*: the reference backend's Python
+    walk over the chains charges the sequence once (the rest of the walk
+    runs muted), matching the bitplane backend's single ganged record.
+    """
+    from repro.engine.system import CAPEConfig, CAPESystem
+
+    totals = {}
+    for backend in ("reference", "bitplane"):
+        observer = Observer()
+        system = CAPESystem(
+            CAPEConfig("obs-equiv", num_chains=4),
+            backend=backend,
+            observer=observer,
+        )
+        system.vsetvl(system.config.max_vl, sew=8)
+        system.vmv_vx(1, 17)
+        system.vmv_vx(2, 5)
+        system.vadd(3, 1, 2)
+        system.vmul(4, 1, 2)
+        system.vredsum(4, signed=False)
+        system.vmseq_vx(5, 1, 17)
+        totals[backend] = {
+            (labels["op"], labels["flavor"]): counter.value
+            for labels, counter in observer.metrics.series("csb.microops")
+        }
+        # Labels carry the backend name; one series per (op, flavour).
+        assert all(
+            labels["backend"] == backend
+            for labels, _ in observer.metrics.series("csb.microops")
+        )
+    assert totals["reference"] == totals["bitplane"]
+    assert sum(totals["bitplane"].values()) > 0

@@ -1,0 +1,115 @@
+"""obs.metrics: label handling, kinds, snapshots, and the null fast path."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs import (
+    NULL_OBSERVER,
+    MetricsRegistry,
+    NullObserver,
+    Observer,
+    diff_snapshots,
+    label_key,
+)
+
+
+def test_label_key_is_order_free():
+    assert label_key({"a": 1, "b": "x"}) == label_key({"b": "x", "a": 1})
+    assert label_key({}) == ()
+    # Values are stringified, so 1 and "1" land on the same series.
+    assert label_key({"n": 1}) == label_key({"n": "1"})
+
+
+def test_counter_series_keyed_by_labels():
+    reg = MetricsRegistry()
+    reg.counter("csb.microops", op="search", flavor="bs").inc(3)
+    reg.counter("csb.microops", flavor="bs", op="search").inc(2)  # same series
+    reg.counter("csb.microops", op="search", flavor="bp").inc(10)
+    assert reg.value("csb.microops", op="search", flavor="bs") == 5
+    assert reg.value("csb.microops", op="search", flavor="bp") == 10
+    assert reg.total("csb.microops") == 15
+    assert reg.total("csb.microops", flavor="bs") == 5
+    assert reg.value("csb.microops", op="update", flavor="bs") == 0
+    assert len(reg.series("csb.microops")) == 2
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigError):
+        reg.counter("x").inc(-1)
+
+
+def test_family_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("engine.cycles", kind="compute")
+    with pytest.raises(ConfigError):
+        reg.gauge("engine.cycles", kind="compute")
+
+
+def test_gauge_and_histogram():
+    reg = MetricsRegistry()
+    g = reg.gauge("runtime.occupancy", device="a")
+    g.set(4)
+    g.inc()
+    g.dec(2)
+    assert g.value == 3
+    h = reg.histogram("runtime.queue_depth", device="a")
+    for depth in (1, 2, 5):
+        h.observe(depth)
+    assert h.count == 3
+    assert h.total == 8
+    assert h.min == 1 and h.max == 5
+    assert h.mean == pytest.approx(8 / 3)
+
+
+def test_snapshot_diff_isolates_a_window():
+    reg = MetricsRegistry()
+    reg.counter("a", k="x").inc(5)
+    before = reg.snapshot()
+    reg.counter("a", k="x").inc(2)
+    reg.counter("b").inc(1)
+    delta = diff_snapshots(reg.snapshot(), before)
+    assert delta == {
+        ("a", label_key({"k": "x"})): 2,
+        ("b", ()): 1,
+    }
+
+
+def test_observer_labelled_views_share_registry():
+    obs = Observer()
+    dev = obs.labelled(device="d0")
+    dev.counter("engine.cycles", kind="compute").inc(7)
+    assert obs.metrics.value("engine.cycles", device="d0", kind="compute") == 7
+    assert dev.tracer is obs.tracer
+
+
+def test_null_observer_is_inert_and_shared():
+    assert not NULL_OBSERVER.enabled
+    assert NullObserver().labelled(device="x").enabled is False
+    # Every handle is a no-op and reports zero.
+    handle = NULL_OBSERVER.counter("anything", label=1)
+    handle.inc(100)
+    assert handle.value == 0.0
+    NULL_OBSERVER.gauge("g").set(9)
+    NULL_OBSERVER.histogram("h").observe(3)
+    with NULL_OBSERVER.span("s", cat="c"):
+        pass
+    NULL_OBSERVER.complete("e", "c", ts=0, dur=1)
+    NULL_OBSERVER.instant("i", "c", ts=0)
+    assert NULL_OBSERVER.metrics is None
+    assert NULL_OBSERVER.tracer is None
+
+
+def test_null_observer_system_records_nothing(monkeypatch):
+    """A system without an observer must not build any metric series."""
+    from repro.engine.system import CAPEConfig, CAPESystem
+
+    system = CAPESystem(CAPEConfig("null-obs", num_chains=4))
+    assert not system.observer.enabled
+    assert system.vcu.observer is None
+    assert system.vmu.observer is None
+    system.vsetvl(64, sew=32)
+    system.vmv_vx(1, 5)
+    system.vmv_vx(2, 6)
+    system.vadd(3, 1, 2)
+    assert system.stats.cycles > 0

@@ -1,0 +1,84 @@
+"""obs.trace: the two timelines and the Chrome/JSONL exports."""
+
+import json
+
+from repro.obs import PID_SIM, PID_WALL, Tracer
+
+
+def make_traced():
+    tracer = Tracer()
+    with tracer.span("phase", cat="bench", tid="host", n=3):
+        pass
+    tracer.complete("vadd.vv", "interpreter", ts=100, dur=40, tid="machine")
+    tracer.instant("arrive:job", "runtime", ts=140, tid="dev0")
+    tracer.instant("host-mark", "bench")  # no ts -> wall timeline
+    return tracer
+
+
+def test_timelines_and_queries():
+    tracer = make_traced()
+    assert len(tracer) == 4
+    assert tracer.categories() == ["bench", "interpreter", "runtime"]
+    spans = list(tracer.spans())
+    assert [s.name for s in spans] == ["phase", "vadd.vv"]
+    wall_span, sim_span = spans
+    assert wall_span.pid == PID_WALL
+    assert wall_span.dur is not None and wall_span.dur >= 0
+    assert wall_span.args == {"n": 3}
+    assert sim_span.pid == PID_SIM
+    assert (sim_span.ts, sim_span.dur) == (100, 40)
+    assert [s.name for s in tracer.spans("interpreter")] == ["vadd.vv"]
+    instants = [e for e in tracer.events if e.ph == "i"]
+    assert {e.pid for e in instants} == {PID_WALL, PID_SIM}
+
+
+def test_chrome_export_is_valid_and_labelled():
+    tracer = make_traced()
+    payload = json.loads(tracer.chrome_json())
+    events = payload["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in meta} == {"wall clock", "device cycles"}
+    spans = [e for e in events if e["ph"] == "X"]
+    assert all({"name", "cat", "ts", "pid", "tid", "dur"} <= e.keys() for e in spans)
+    instants = [e for e in events if e["ph"] == "i"]
+    assert all(e["s"] == "t" for e in instants)
+    assert "dur" not in instants[0]
+
+
+def test_write_chrome_and_jsonl_roundtrip(tmp_path):
+    tracer = make_traced()
+    chrome = tmp_path / "run.trace.json"
+    tracer.write_chrome(chrome)
+    assert json.loads(chrome.read_text())["traceEvents"]
+    jsonl = tmp_path / "run.jsonl"
+    tracer.write_jsonl(jsonl)
+    lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert len(lines) == len(tracer)
+    assert lines[1]["name"] == "vadd.vv"
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_traced_run_covers_every_layer():
+    """One traced device run leaves spans on all three layers."""
+    from repro.api import CAPE32K, Device
+
+    device = Device(CAPE32K)
+    result = device.run(
+        """
+            li a0, 64
+            vsetvli t0, a0, e32
+            vmv.v.x v1, a0
+            vmv.v.x v2, t0
+            vadd.vv v3, v1, v2
+            ecall
+        """,
+        trace=True,
+    )
+    assert result.trace is not None
+    cats = set(result.trace.categories())
+    assert {"interpreter", "microcode", "runtime"} <= cats
+    payload = json.loads(result.trace.chrome_json())
+    assert payload["traceEvents"]
+    # The run-scoped observer detaches afterwards: the device is null again.
+    assert not device.observer.enabled

@@ -1,6 +1,6 @@
 """Telemetry records, aggregates, and table rendering."""
 
-from repro.runtime.telemetry import (
+from repro.runtime import (
     DeviceRecord,
     JobRecord,
     Telemetry,
