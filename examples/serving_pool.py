@@ -18,8 +18,17 @@ arrivals/completions/steals, and each job leaves a span on the runtime
 timeline — the same numbers the telemetry report aggregates, but live
 and queryable (see docs/OBSERVABILITY.md).
 
-Run:  python examples/serving_pool.py
+With ``--chaos <seed>`` the same stream is served through a seeded
+fault storm (see docs/FAULTS.md): one CAPE32k shard dies mid-stream and
+the other suffers repeated HBM load corruption — enough to quarantine
+it. The pool retries, quarantines, re-places, and still completes every
+job with validated results; the printed report gains the self-healing
+ledger and the per-device injection summary.
+
+Run:  python examples/serving_pool.py [--chaos 0xCA9E]
 """
+
+import argparse
 
 import numpy as np
 
@@ -27,9 +36,12 @@ from repro.api import (
     CAPE131K,
     CAPE32K,
     DevicePool,
+    DeviceKill,
+    FaultPlan,
     Job,
     Observer,
     SegmentedJob,
+    TransferFault,
 )
 from repro.eval.serving import serving_report
 from repro.workloads.micro import (
@@ -132,19 +144,95 @@ def make_jobs():
     return jobs
 
 
-def run_pool(policy: str, observer: Observer = None):
-    pool = DevicePool(POOL, policy=policy, observer=observer)
+def chaos_plan(seed: int) -> FaultPlan:
+    """A seeded storm aimed at the two small shards.
+
+    Device 0 (CAPE32k) dies mid-stream; device 1 (CAPE32k) suffers
+    repeated load corruption — enough consecutive failures to trip the
+    quarantine threshold. The CAPE131k stays healthy so the
+    capacity-hungry jobs always have a home; everything else about the
+    storm (when, which element, which bit) comes from the seed.
+    """
+    rng = np.random.default_rng(seed)
+    faults = [DeviceKill(at_cycle=float(rng.integers(4_000, 12_000)),
+                         device=0)]
+    # Spread the corruption over distinct transfer windows so successive
+    # jobs on the flaky shard keep failing (tripping its quarantine)
+    # instead of one job absorbing every flip.
+    for i in range(8):
+        faults.append(
+            TransferFault(
+                kind="load",
+                at_transfer=3 * i + int(rng.integers(1, 4)),
+                element=int(rng.integers(0, 256)),
+                bit=int(rng.integers(0, 32)),
+                device=1,
+            )
+        )
+    return FaultPlan(faults=tuple(faults), seed=seed)
+
+
+def run_pool(policy: str, observer: Observer = None, fault_plan=None):
+    healing = dict(failure_threshold=2) if fault_plan is not None else {}
+    pool = DevicePool(
+        POOL, policy=policy, observer=observer, fault_plan=fault_plan,
+        **healing,
+    )
     pool.submit_stream(make_jobs(), interarrival_cycles=INTERARRIVAL)
-    return pool.run()
+    return pool, pool.run()
+
+
+def chaos_section(pool, report, observer):
+    """Print the healing ledger behind a chaos run."""
+    print()
+    print("chaos: seeded fault storm served through self-healing")
+    metrics = observer.metrics
+    print(
+        f"  injected: {metrics.total('faults.injected'):.0f} faults, "
+        f"retries: {report.retries}, quarantines: {report.quarantines}, "
+        f"device deaths: {report.device_deaths}"
+    )
+    for device in pool.devices:
+        inj = device.injector
+        if inj is None or not inj.injected:
+            continue
+        state = device.health.state.name.lower()
+        kinds = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(inj.injected.items())
+        )
+        print(f"  {device.name}: {kinds} ({state})")
+    retried = [r for r in report.jobs if r.attempts > 0]
+    if retried:
+        worst = max(retried, key=lambda r: r.attempts)
+        print(
+            f"  {len(retried)} jobs re-placed after failures "
+            f"(worst: {worst.name!r}, {worst.attempts} retries) — "
+            f"all outputs still validated"
+        )
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--chaos",
+        metavar="SEED",
+        type=lambda s: int(s, 0),
+        default=None,
+        help="serve the stream through a seeded fault storm "
+             "(e.g. --chaos 0xCA9E) and print the self-healing ledger",
+    )
+    args = parser.parse_args()
+    plan = chaos_plan(args.chaos) if args.chaos is not None else None
+
     observer = Observer()
-    report = run_pool("sjf", observer=observer)
-    print(serving_report(
-        report,
-        title="CAPE device pool — 22 jobs, 2x CAPE32k + 1x CAPE131k, SJF",
-    ))
+    pool, report = run_pool("sjf", observer=observer, fault_plan=plan)
+    title = "CAPE device pool — 22 jobs, 2x CAPE32k + 1x CAPE131k, SJF"
+    if plan is not None:
+        title += f" — chaos seed {args.chaos:#x}"
+    print(serving_report(report, title=title))
+
+    if plan is not None:
+        chaos_section(pool, report, observer)
 
     failed = [j for j in report.jobs if not j.validated]
     assert not failed, f"jobs failed golden validation: {failed}"
@@ -177,7 +265,7 @@ def main():
     job_spans = sum(1 for _ in observer.tracer.spans("runtime"))
     print(f"  runtime timeline: {job_spans} spans (jobs + program scopes)")
 
-    fifo = run_pool("fifo")
+    _, fifo = run_pool("fifo")
     print()
     print(
         f"policy comparison: mean turnaround fifo "

@@ -59,6 +59,68 @@ print(f"traced bitplane run: {len(obs.tracer)} events, "
       f"{len(obs.metrics)} metric series, chrome export valid")
 EOF
 
+echo "== fault-injection smoke =="
+python - <<'EOF'
+import numpy as np
+
+from repro.api import FaultPlan, Observer
+from repro.engine.system import CAPEConfig
+from repro.runtime.job import Footprint, Job
+from repro.runtime.pool import DevicePool
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+
+
+def make_jobs():
+    jobs = []
+    for i in range(50):
+        rng = np.random.default_rng(3000 + i)
+        data = rng.integers(0, 1 << 20, size=64).astype(np.int64)
+
+        def body(system, data=data):
+            system.memory.write_words(0x1000, data)
+            system.vsetvl(64)
+            system.vle(1, 0x1000)
+            system.vadd(2, 1, 1)
+            return int(system.vredsum(2, signed=False))
+
+        jobs.append(
+            Job(f"smoke{i:02d}", body, Footprint(lanes=64, resident=True),
+                golden=int(2 * data.sum()),
+                backend="bitplane" if i % 2 else None)
+        )
+    return jobs
+
+
+def run(plan=None, observer=None):
+    pool = DevicePool(
+        (NANO, NANO, NANO), memory_bytes=1 << 22, fault_plan=plan,
+        observer=observer, failure_threshold=2, quarantine_cycles=2_000.0,
+        retry_backoff_cycles=300.0, max_retries=4,
+    )
+    jobs = pool.submit_stream(make_jobs(), interarrival_cycles=40.0)
+    return jobs, pool.run(max_events=100_000)
+
+
+# A seeded storm: one device dies mid-stream, another gets stuck
+# bitcells, a third gets transient HBM corruption (docs/FAULTS.md).
+plan = FaultPlan.chaos(seed=0xCA9E, devices=3, kill_cycle=3_000.0)
+clean_jobs, _ = run()
+obs = Observer()
+jobs, report = run(plan=plan, observer=obs)
+
+assert report.completed == 50 and report.failed == 0, report.summary()
+clean = {j.name: j.result.output for j in clean_jobs}
+for job in jobs:
+    assert job.result.output == clean[job.name], job.name
+assert obs.metrics.total("faults.injected") > 0
+assert report.retries > 0 and report.device_deaths == 1
+print(f"chaos stream (seed {plan.seed:#x}): 50/50 jobs identical to "
+      f"fault-free run through {obs.metrics.total('faults.injected'):.0f} "
+      f"injected faults, {report.retries} retries, "
+      f"{report.quarantines} quarantines, {report.device_deaths} device death")
+EOF
+
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
 

@@ -40,6 +40,14 @@ Stats surfaces share one contract — :class:`CAPERunStats` (one run),
 :class:`TelemetryReport` (a pool), :class:`ProfileReport` (per-kernel
 breakdowns) all offer ``.as_dict()`` and ``.summary()``.
 
+Fault injection
+---------------
+
+A seeded :class:`FaultPlan` (stuck bitcells, transient tag flips, chain
+kills, HBM transfer corruption, whole-device death) drives the
+self-healing runtime: ``DevicePool(..., fault_plan=plan)`` retries,
+quarantines, and re-places deterministically. See ``docs/FAULTS.md``.
+
 Example::
 
     from repro.api import CAPE32K, Device
@@ -71,9 +79,14 @@ from repro.common.errors import (
     CapacityError,
     ConfigError,
     CSBCapacityError,
+    DeviceFailedError,
+    FaultInjectionError,
     PageFault,
+    PoolStalledError,
     ProtocolError,
     ReproError,
+    RetryExhaustedError,
+    SpillCorruptionError,
 )
 from repro.csb import BACKEND_NAMES, CSB, Chain, ExecutionBackend, Subarray
 from repro.engine.system import (
@@ -81,6 +94,15 @@ from repro.engine.system import (
     CAPE131K,
     CAPEConfig,
     CAPESystem,
+)
+from repro.faults import (
+    ChainKill,
+    DeviceKill,
+    FaultInjector,
+    FaultPlan,
+    StuckBit,
+    TagFlip,
+    TransferFault,
 )
 from repro.isa.interpreter import Machine, MachineResult
 from repro.memory.mainmem import WordMemory
@@ -112,10 +134,16 @@ __all__ = [
     "CSBCapacityError",
     "CapacityError",
     "Chain",
+    "ChainKill",
     "ConfigError",
     "Device",
+    "DeviceFailedError",
+    "DeviceKill",
     "DevicePool",
     "ExecutionBackend",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultPlan",
     "Footprint",
     "Job",
     "JobResult",
@@ -125,14 +153,20 @@ __all__ = [
     "NullObserver",
     "Observer",
     "PageFault",
+    "PoolStalledError",
     "ProfileReport",
     "ProtocolError",
     "ReproError",
+    "RetryExhaustedError",
     "RunResult",
     "SegmentedJob",
+    "SpillCorruptionError",
+    "StuckBit",
     "Subarray",
+    "TagFlip",
     "TelemetryReport",
     "Tracer",
+    "TransferFault",
     "AssociativeEmulator",
     "golden",
     "run",

@@ -93,3 +93,78 @@ class PageFault(ReproError):
         super().__init__(f"page fault at element {element_index} (addr {addr:#x})")
         self.element_index = element_index
         self.addr = addr
+
+
+class FaultInjectionError(ConfigError):
+    """A fault plan is malformed or targets state that cannot exist.
+
+    Raised when a :class:`repro.faults.FaultPlan` is validated or bound
+    to a device — a stuck-at value outside {0, 1}, a chain or element
+    index beyond the CSB's shape, an unknown transfer kind. Injection
+    itself never raises this: a bad plan is a configuration bug, caught
+    before any fault fires.
+    """
+
+
+class DeviceFailedError(ReproError):
+    """A device died mid-job (injected whole-device failure).
+
+    Raised from the charging path once a device's cumulative cycles
+    cross its :class:`repro.faults.DeviceKill` threshold — and on every
+    charge thereafter, so a dead device cannot quietly keep serving.
+    The pool catches it through the job-result error channel, marks the
+    device dead in its health ledger, and re-places the work elsewhere.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """A job failed on every allowed attempt and will not be retried.
+
+    The pool's bounded-retry policy (``max_retries`` attempts with
+    exponential backoff in device cycles) gave up on the job; the final
+    :class:`~repro.runtime.job.JobResult` carries this error's message so
+    the telemetry names why the job is FAILED.
+    """
+
+
+class SpillCorruptionError(ReproError):
+    """A context spill slab failed its parity check on restore.
+
+    Each protected spill appends one XOR parity word per register row;
+    a restore that recomputes different parity names the corrupted rows
+    here instead of silently reloading garbage into the register file.
+
+    Attributes:
+        addr: slab address of the corrupted block.
+        bad_rows: indices of the rows whose parity mismatched.
+    """
+
+    def __init__(self, addr: int, bad_rows) -> None:
+        self.addr = addr
+        self.bad_rows = tuple(int(r) for r in bad_rows)
+        rows = ", ".join(str(r) for r in self.bad_rows)
+        super().__init__(
+            f"spill slab at {addr:#x} corrupted: parity mismatch on "
+            f"row(s) {rows}"
+        )
+
+
+class PoolStalledError(ReproError):
+    """The pool's event loop stopped with jobs still queued or running.
+
+    Raised by :meth:`repro.runtime.pool.DevicePool.run` when the event
+    budget is exhausted, or when the loop drains while jobs remain stuck
+    (e.g. every surviving device is dead and work is parked). Carries
+    the stuck jobs' names so the operator sees *what* is stranded, not
+    just that something is.
+
+    Attributes:
+        reason: why the loop stopped.
+        job_names: names of the jobs left queued/running/parked.
+    """
+
+    def __init__(self, reason: str, job_names=()) -> None:
+        self.reason = reason
+        self.job_names = tuple(str(n) for n in job_names)
+        stuck = ", ".join(self.job_names) if self.job_names else "none"
+        super().__init__(f"pool stalled: {reason}; stuck jobs: {stuck}")

@@ -149,6 +149,23 @@ class ExecutionBackend(Protocol):
         (the chain's vstart/vl window); masked columns keep their data.
         """
 
+    # -- fault-injection hooks ------------------------------------------
+
+    def force_bit(self, sub: int, row: int, col: int, value: int) -> None:
+        """Force one bitcell to ``value``, bypassing kernel semantics.
+
+        The physical write a stuck-at fault models; used by
+        :class:`repro.faults.FaultyBackend` to re-assert persistent
+        faults after every mutation.
+        """
+
+    def zero_columns(self, cols: np.ndarray) -> None:
+        """Zero the given columns' bitcells and tags in every subarray.
+
+        Models a dead chain going dark (bitcells read 0, matchlines
+        never discharge); used by the fault injector for chain kills.
+        """
+
 
 class ReferenceBackend:
     """The per-subarray reference model (a list of :class:`Subarray`).
@@ -274,6 +291,16 @@ class ReferenceBackend:
             self.set_element_bits(
                 dst_row, col, ints_to_bits(np.array([out]), self.num_subarrays)[:, 0]
             )
+
+    # -- fault-injection hooks ------------------------------------------
+
+    def force_bit(self, sub: int, row: int, col: int, value: int) -> None:
+        self.subarrays[sub].write_bit(row, col, int(value))
+
+    def zero_columns(self, cols: np.ndarray) -> None:
+        for sub in self.subarrays:
+            sub.bits[:, cols] = 0
+            sub.tags[cols] = 0
 
 
 def make_backend(

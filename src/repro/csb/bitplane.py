@@ -316,6 +316,17 @@ class BitplaneBackend:
             sel = np.asarray(active).astype(bool)
             self.bits[:, dst_row, sel] = planes[:, sel]
 
+    # -- fault-injection hooks ------------------------------------------
+
+    def force_bit(self, sub: int, row: int, col: int, value: int) -> None:
+        self._check_row(row)
+        self._check_col(col)
+        self.bits[sub, row, col] = np.uint8(value & 1)
+
+    def zero_columns(self, cols: np.ndarray) -> None:
+        self.bits[:, :, cols] = 0
+        self.tags[:, cols] = 0
+
     # ------------------------------------------------------------------
 
     def _check_key(self, key: Mapping[int, int]) -> None:

@@ -51,6 +51,12 @@ class CSB:
         observer: optional :class:`repro.obs.Observer`; microop counts
             are mirrored into its ``csb.microops`` family, labelled with
             the backend name.
+        fault_injector: optional :class:`repro.faults.FaultInjector`;
+            when its plan carries CSB-site faults the execution backends
+            are wrapped in a :class:`repro.faults.FaultyBackend` that
+            asserts those faults into the live storage. With no CSB
+            faults (or no injector) the backends are used untouched —
+            the null path stays fault-free code.
     """
 
     def __init__(
@@ -60,6 +66,7 @@ class CSB:
         num_cols: int = 32,
         backend: BackendLike = "reference",
         observer=None,
+        fault_injector=None,
     ) -> None:
         if num_chains <= 0:
             raise ConfigError(f"num_chains must be positive, got {num_chains}")
@@ -70,11 +77,16 @@ class CSB:
         self.backend_name = backend if isinstance(backend, str) else backend.name
         if observer is not None:
             self.stats.attach_observer(observer, backend=self.backend_name)
+        num_rows = NUM_VREGS + len(MetaRow)
+        inject = fault_injector is not None and fault_injector.has_csb_faults
+        if inject:
+            fault_injector.bind_csb(
+                num_chains, num_subarrays, num_rows, num_chains * num_cols
+            )
         self.ganged: Optional[Chain] = None
         if self.backend_name == "bitplane":
             from repro.csb.bitplane import BitplaneBackend
 
-            num_rows = NUM_VREGS + len(MetaRow)
             base = BitplaneBackend(
                 num_subarrays, num_rows, num_chains * num_cols
             )
@@ -87,6 +99,11 @@ class CSB:
                 )
                 for c in range(num_chains)
             ]
+            # Faults are asserted through the fused backend, which owns
+            # the storage every per-chain window aliases.
+            fused = (
+                fault_injector.wrap_fused(base, num_chains) if inject else base
+            )
             # The ganged chain spans every column of every chain; because
             # fused column k holds element k, its active window is simply
             # [vstart, vl) and one microoperation covers the whole block.
@@ -94,14 +111,33 @@ class CSB:
                 num_subarrays,
                 num_chains * num_cols,
                 stats=self.stats,
-                backend=base,
+                backend=fused,
             )
-            self.base = base
+            self.base = fused
         else:
-            self.chains = [
-                Chain(num_subarrays, num_cols, stats=self.stats, backend=backend)
-                for _ in range(num_chains)
-            ]
+            if inject and isinstance(backend, str):
+                from repro.csb.backend import make_backend
+
+                self.chains = [
+                    Chain(
+                        num_subarrays,
+                        num_cols,
+                        stats=self.stats,
+                        backend=fault_injector.wrap_chain(
+                            make_backend(
+                                backend, num_subarrays, num_rows, num_cols
+                            ),
+                            c,
+                            num_chains,
+                        ),
+                    )
+                    for c in range(num_chains)
+                ]
+            else:
+                self.chains = [
+                    Chain(num_subarrays, num_cols, stats=self.stats, backend=backend)
+                    for _ in range(num_chains)
+                ]
             self.base = None
         self.reduction_tree = ReductionTree(num_chains)
 

@@ -63,6 +63,10 @@ class BitEngine:
             (per-chain Python loop).
         observer: optional :class:`repro.obs.Observer` forwarded to the
             CSB's microop counters (survives :meth:`reset`).
+        fault_injector: optional :class:`repro.faults.FaultInjector`;
+            forwarded to every CSB this engine builds, so injected CSB
+            faults survive :meth:`reset` (silicon defects do not heal
+            between jobs).
     """
 
     def __init__(
@@ -72,19 +76,39 @@ class BitEngine:
         num_cols: int,
         backend: str = "bitplane",
         observer=None,
+        fault_injector=None,
     ) -> None:
         self.backend = backend
         self.observer = observer
+        self.fault_injector = fault_injector
         self._shape = (num_chains, num_subarrays, num_cols)
         self.csb = CSB(
-            num_chains, num_subarrays, num_cols, backend=backend, observer=observer
+            num_chains, num_subarrays, num_cols, backend=backend,
+            observer=observer, fault_injector=fault_injector,
         )
         self._window = (self.csb.max_vl, 0)
 
     def reset(self) -> None:
         """Zero the bit-level state (fresh CSB, full window)."""
-        self.csb = CSB(*self._shape, backend=self.backend, observer=self.observer)
+        self.csb = CSB(
+            *self._shape, backend=self.backend, observer=self.observer,
+            fault_injector=self.fault_injector,
+        )
         self._window = (self.csb.max_vl, 0)
+
+    def repair(self, injector) -> List[int]:
+        """Remap permanently faulty chains onto spares; return them.
+
+        Asks the injector which chains carry live permanent faults and
+        retires as many as the spare budget allows. A remapped chain's
+        faults stop being asserted (the spare is clean silicon); the
+        caller re-syncs register state and charges the remap cost.
+        """
+        remapped = []
+        for chain in injector.faulty_chains():
+            if injector.remap_chain(chain):
+                remapped.append(chain)
+        return remapped
 
     def attach_observer(self, observer) -> None:
         """(Re)bind the observer on the live CSB and future resets."""

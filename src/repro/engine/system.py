@@ -50,6 +50,14 @@ PAGE_FAULT_HANDLER_CYCLES = 5000
 #: Energy per transferred byte on the HBM interface (~3.9 pJ/bit).
 HBM_ENERGY_PER_BYTE_J = 31.2e-12
 
+#: Cycles charged for re-syncing the mirror CSB and retrying one
+#: intrinsic's microcode after a detected bit-level divergence.
+FAULT_RETRY_CYCLES = 64
+
+#: Cycles charged per chain remapped onto a spare (copy the chain's
+#: register columns through the VMU path and reprogram the steering).
+CHAIN_REMAP_CYCLES = 256
+
 
 @dataclass(frozen=True)
 class CAPEConfig:
@@ -134,6 +142,9 @@ class CAPESystem:
             trace events flow from every layer (VCU, VMU, CSB backend,
             paging, spill path) into it. Defaults to the shared null
             observer, which costs one attribute check per charge.
+        fault_injector: optional :class:`repro.faults.FaultInjector`
+            bound via :meth:`attach_fault_injector`; with none attached
+            every injection hook is a single ``None`` check.
     """
 
     NUM_VREGS = 32
@@ -146,6 +157,7 @@ class CAPESystem:
         circuit: Optional[CircuitModel] = None,
         backend: Optional[str] = None,
         observer=None,
+        fault_injector=None,
     ) -> None:
         self.config = config
         self.circuit = circuit if circuit is not None else CircuitModel()
@@ -185,8 +197,11 @@ class CAPESystem:
         #: the register-file occupancy the runtime schedules against.
         self._written_vregs: set = set()
         self._bitengine: Optional[BitEngine] = None
+        self.fault_injector = None
         self.observer = NULL_OBSERVER
         self.attach_observer(observer)
+        if fault_injector is not None:
+            self.attach_fault_injector(fault_injector)
         if backend is not None:
             self.set_backend(backend)
 
@@ -207,8 +222,28 @@ class CAPESystem:
         self.vcu.observer = live
         self.vcu.cycle_source = lambda: self.stats.cycles
         self.vmu.observer = live
+        if self.fault_injector is not None:
+            self.fault_injector.observer = live
         if self._bitengine is not None:
             self._bitengine.attach_observer(self.observer)
+
+    def attach_fault_injector(self, injector) -> None:
+        """Bind a per-device fault injector to every injection site.
+
+        Threads the injector into the VMU transfer paths, the cycle
+        charging path (whole-device death), and — rebuilding the mirror
+        CSB if a backend is active — the execution backend. Injector
+        state persists across :meth:`reset`, so faults carry over between
+        jobs on the same device; pass ``None`` to detach.
+        """
+        self.fault_injector = injector
+        self.vmu.fault_injector = injector
+        if injector is not None and injector.observer is None:
+            injector.observer = self.observer if self.observer.enabled else None
+        if self._bitengine is not None:
+            backend = self._bitengine.backend
+            self._bitengine = None
+            self.set_backend(backend)
 
     def set_backend(self, backend: Optional[str]) -> None:
         """Select the bit-accurate execution backend at runtime.
@@ -228,6 +263,7 @@ class CAPESystem:
             self.config.cols_per_chain,
             backend=backend,
             observer=self.observer,
+            fault_injector=self.fault_injector,
         )
         for vreg in self._written_vregs:
             self._bitengine.sync_register(vreg, self.vregs[vreg])
@@ -649,11 +685,12 @@ class CAPESystem:
         if self._bitengine is not None:
             bit_total = self._bitexec("vredsum.vs", vs1=vs1)
             if bit_total is not None and bit_total != int(vals.sum()):
-                raise ProtocolError(
-                    f"bit-level {self._bitengine.backend!r} backend redsum "
-                    f"{bit_total} != functional {int(vals.sum())} "
-                    f"(vs1=v{vs1}, vl={self.vl}, vstart={self.vstart})"
-                )
+                if not self._tolerate_fault("redsum"):
+                    raise ProtocolError(
+                        f"bit-level {self._bitengine.backend!r} backend redsum "
+                        f"{bit_total} != functional {int(vals.sum())} "
+                        f"(vs1=v{vs1}, vl={self.vl}, vstart={self.vstart})"
+                    )
         return total
 
     def vmask_popcount(self, vm: int) -> int:
@@ -674,10 +711,11 @@ class CAPESystem:
         if self._bitengine is not None:
             bit_count = self._bitengine.popcount(vm, self.vl, self.vstart)
             if bit_count != count:
-                raise ProtocolError(
-                    f"bit-level {self._bitengine.backend!r} backend popcount "
-                    f"{bit_count} != functional {count} (vm=v{vm})"
-                )
+                if not self._tolerate_fault("popcount"):
+                    raise ProtocolError(
+                        f"bit-level {self._bitengine.backend!r} backend popcount "
+                        f"{bit_count} != functional {count} (vm=v{vm})"
+                    )
         return count
 
     def fence(self) -> None:
@@ -768,21 +806,23 @@ class CAPESystem:
     # Context save/restore hooks (runtime spill path)
     # ------------------------------------------------------------------
 
-    def spill_vregs(self, regs, addr: int) -> float:
+    def spill_vregs(self, regs, addr: int, protect: bool = False) -> float:
         """Save registers' ``[0, vl)`` windows to memory; returns cycles.
 
         The bulk VMU path stores the block contiguously at ``addr`` and
         the transfer is charged like any vector store (HBM cycles and
         energy land in :attr:`stats`), so scheduling decisions that
-        force spills are visible in the run's totals.
+        force spills are visible in the run's totals. ``protect`` appends
+        one XOR parity word per register (verified on restore).
         """
         regs = list(regs)
         if not regs:
             return 0.0
         start = self.stats.cycles
         block = self.vregs[regs, : self.vl]
-        cycles = self.vmu.spill(addr, block)
-        self._charge_memory(cycles, block.size * 4)
+        cycles = self.vmu.spill(addr, block, protect=protect)
+        words = block.size + (len(regs) if protect else 0)
+        self._charge_memory(cycles, words * 4)
         obs = self.observer
         if obs.enabled:
             obs.counter("runtime.spills").inc()
@@ -794,18 +834,25 @@ class CAPESystem:
             )
         return cycles
 
-    def fill_vregs(self, regs, addr: int) -> float:
-        """Restore registers spilled by :meth:`spill_vregs`; returns cycles."""
+    def fill_vregs(self, regs, addr: int, protect: bool = False) -> float:
+        """Restore registers spilled by :meth:`spill_vregs`; returns cycles.
+
+        With ``protect=True`` the slab's parity words are verified first;
+        a corrupted slab raises
+        :class:`~repro.common.errors.SpillCorruptionError` before any row
+        reaches the register file.
+        """
         regs = list(regs)
         if not regs:
             return 0.0
         start = self.stats.cycles
-        block, cycles = self.vmu.fill(addr, len(regs), self.vl)
+        block, cycles = self.vmu.fill(addr, len(regs), self.vl, protect=protect)
         for row, reg in zip(block, regs):
             self.vregs[reg, : self.vl] = row
             self._written_vregs.add(reg)
             self._bitsync(reg)
-        self._charge_memory(cycles, block.size * 4)
+        words = block.size + (len(regs) if protect else 0)
+        self._charge_memory(cycles, words * 4)
         obs = self.observer
         if obs.enabled:
             obs.counter("runtime.restores").inc()
@@ -880,23 +927,93 @@ class CAPESystem:
             return None
         if mnemonic == "vredsum.vs":
             return result
+        if not self._bitexec_matches(engine, mnemonic, vd):
+            if self.fault_injector is None:
+                raise ProtocolError(
+                    f"bit-level {engine.backend!r} backend diverged from the "
+                    f"functional model on {mnemonic} (vd=v{vd}, vl={self.vl}, "
+                    f"vstart={self.vstart}, sew={self.sew})"
+                )
+            self._recover_bitexec(mnemonic, vd, vs1, vs2, scalar, mask_reg)
+        engine.sync_register(vd, self.vregs[vd])
+        return None
+
+    def _bitexec_matches(self, engine, mnemonic, vd) -> bool:
+        """Compare the mirror's destination against the functional row.
+
+        Within the active window modulo 2^SEW (bit 0 only for mask
+        results); bit-for-bit outside it.
+        """
         got = engine.peek(vd)
         want = self.vregs[vd]
         bits = 1 if mnemonic in MASK_RESULTS else int(self._mod - 1)
         sl = self.active_slice
         outside = np.ones(len(got), dtype=bool)
         outside[sl] = False
-        if not (
+        return bool(
             np.array_equal(got[sl] & bits, want[sl] & bits)
             and np.array_equal(got[outside], want[outside])
-        ):
-            raise ProtocolError(
-                f"bit-level {engine.backend!r} backend diverged from the "
-                f"functional model on {mnemonic} (vd=v{vd}, vl={self.vl}, "
-                f"vstart={self.vstart}, sew={self.sew})"
+        )
+
+    def _tolerate_fault(self, kind: str) -> bool:
+        """Count a detected bit-level divergence under fault injection.
+
+        Returns True when an injector is attached — the caller keeps the
+        functional result (reduction fallback) instead of treating the
+        divergence as a protocol violation and crashing the device.
+        """
+        fi = self.fault_injector
+        if fi is None:
+            return False
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("faults.detected", kind=kind).inc()
+            obs.counter("faults.repaired", kind="fallback").inc()
+            obs.instant(f"fault-detected:{kind}", "faults")
+        return True
+
+    def _recover_bitexec(self, mnemonic, vd, vs1, vs2, scalar, mask_reg) -> None:
+        """Repair ladder for a detected bit-level divergence.
+
+        Detect → remap permanently-faulty chains onto spares (when the
+        budget allows) → re-sync the mirror's live registers → retry the
+        microcode once → fall back to the functional result if it still
+        diverges. Each rung is charged in simulated cycles, so recovery
+        has a visible cost; the caller re-syncs the destination, so the
+        mirror never keeps faulty state regardless of the outcome.
+        """
+        engine = self._bitengine
+        fi = self.fault_injector
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("faults.detected", kind="divergence").inc()
+            obs.instant("fault-detected:divergence", "faults", op=mnemonic)
+        remapped = engine.repair(fi)
+        if remapped:
+            self._charge_compute_cycles(CHAIN_REMAP_CYCLES * len(remapped))
+            if obs.enabled:
+                obs.counter("faults.repaired", kind="remap").inc(len(remapped))
+                obs.instant("fault-remap", "faults", chains=len(remapped))
+        # The divergence may have corrupted operand rows too (a stuck
+        # bit lands wherever it lands): restore the whole mirror from
+        # the functional state before retrying.
+        for reg in sorted(self._written_vregs):
+            if reg != vd:
+                engine.sync_register(reg, self.vregs[reg])
+        self._charge_compute_cycles(FAULT_RETRY_CYCLES)
+        try:
+            engine.execute(
+                mnemonic, vd=vd, vs1=vs1, vs2=vs2, scalar=scalar,
+                mask_reg=mask_reg, width=self.sew, vl=self.vl,
+                vstart=self.vstart,
             )
-        engine.sync_register(vd, want)
-        return None
+            healed = self._bitexec_matches(engine, mnemonic, vd)
+        except (UnsupportedMicrocode, ConfigError):  # pragma: no cover
+            healed = False
+        if obs.enabled:
+            obs.counter(
+                "faults.repaired", kind="retry" if healed else "fallback"
+            ).inc()
 
     def _bitsync(self, vd: int) -> None:
         """Mirror one functional register into the bit-level backend."""
@@ -931,6 +1048,8 @@ class CAPESystem:
         if obs.enabled:
             obs.counter("engine.cycles", kind="compute").inc(added)
             obs.counter("engine.instructions", kind="vector").inc()
+        if self.fault_injector is not None:
+            self.fault_injector.charge(added)
 
     def _charge_compute_cycles(self, cycles: float) -> None:
         self.stats.cycles += cycles
@@ -938,6 +1057,8 @@ class CAPESystem:
         obs = self.observer
         if obs.enabled:
             obs.counter("engine.cycles", kind="compute").inc(cycles)
+        if self.fault_injector is not None:
+            self.fault_injector.charge(cycles)
 
     def _charge_memory(self, cycles: float, num_bytes: int) -> None:
         added = self.cp.vector_issue(cycles)
@@ -954,3 +1075,5 @@ class CAPESystem:
             obs.counter("engine.hbm_energy_j").inc(
                 num_bytes * HBM_ENERGY_PER_BYTE_J
             )
+        if self.fault_injector is not None:
+            self.fault_injector.charge(added)

@@ -27,7 +27,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.common.errors import CapacityError, ConfigError, PageFault
+from repro.common.errors import (
+    CapacityError,
+    ConfigError,
+    PageFault,
+    SpillCorruptionError,
+)
 from repro.memory.hbm import HBM
 from repro.memory.mainmem import WORD_BYTES, WordMemory
 
@@ -112,6 +117,9 @@ class VMU:
         self.stats = VMUStats()
         #: Optional :class:`repro.obs.Observer` (set by the system).
         self.observer = None
+        #: Optional :class:`repro.faults.FaultInjector` (set by the
+        #: system); corrupts in-flight transfers and written spill slabs.
+        self.fault_injector = None
         # Fault model: None = no paging (every page mapped); otherwise
         # the set of mapped page numbers.
         self._mapped_pages = None
@@ -183,6 +191,8 @@ class VMU:
         eb = element_bytes if element_bytes is not None else self.config.element_bytes
         self._check_pages(addr, vl)
         values = self.memory.read_words(addr, vl)
+        if self.fault_injector is not None:
+            values = self.fault_injector.filter_transfer("load", values)
         num_bytes = vl * eb
         cycles = self._transfer_cycles(num_bytes)
         self.stats.loads += 1
@@ -199,6 +209,8 @@ class VMU:
         values = np.asarray(values)
         eb = element_bytes if element_bytes is not None else self.config.element_bytes
         self._check_pages(addr, len(values))
+        if self.fault_injector is not None:
+            values = self.fault_injector.filter_transfer("store", values)
         self.memory.write_words(addr, values)
         num_bytes = len(values) * eb
         cycles = self._transfer_cycles(num_bytes)
@@ -281,17 +293,36 @@ class VMU:
     # Bulk architectural-state transfers (runtime spill/restore path)
     # ------------------------------------------------------------------
 
-    def spill(self, addr: int, block: np.ndarray) -> int:
+    @staticmethod
+    def _slab_parity(block: np.ndarray) -> np.ndarray:
+        """One XOR parity word per register row of a spill block."""
+        if block.shape[1] == 0:
+            return np.zeros(block.shape[0], dtype=np.int64)
+        return np.bitwise_xor.reduce(block.astype(np.int64), axis=1)
+
+    def spill(self, addr: int, block: np.ndarray, protect: bool = False) -> int:
         """Bulk-store a register block (context spill); returns cycles.
 
         ``block`` is ``(registers, lanes)``; rows are laid out
         contiguously at ``addr``. The whole block rides one unit-stride
         burst — a single coherence handshake for the full transfer, since
         the spill slab is runtime-private and pinned (no page faults).
+
+        With ``protect=True`` one XOR parity word per row is appended
+        after the data (and charged as extra traffic); :meth:`fill`
+        verifies it on restore, so a corrupted slab is detected instead
+        of silently reloading garbage.
         """
         block = np.atleast_2d(np.asarray(block))
         self.memory.write_words(addr, block.reshape(-1))
-        num_bytes = block.size * self.config.element_bytes
+        words = block.size
+        if protect:
+            parity = self._slab_parity(block)
+            self.memory.write_words(addr + words * WORD_BYTES, parity)
+            words += len(parity)
+        if self.fault_injector is not None:
+            self.fault_injector.corrupt_slab(self.memory, addr, block.size)
+        num_bytes = words * self.config.element_bytes
         cycles = self._transfer_cycles(num_bytes)
         self.stats.spills += 1
         self.stats.bytes_stored += num_bytes
@@ -299,17 +330,33 @@ class VMU:
         self._obs_count("vmu.bytes", num_bytes, dir="store")
         return cycles
 
-    def fill(self, addr: int, rows: int, row_len: int) -> tuple:
+    def fill(
+        self, addr: int, rows: int, row_len: int, protect: bool = False
+    ) -> tuple:
         """Bulk-load a spilled register block; returns (block, cycles).
 
         Inverse of :meth:`spill`: reads ``rows x row_len`` words laid out
-        contiguously at ``addr`` and returns them as a 2-D block.
+        contiguously at ``addr`` and returns them as a 2-D block. With
+        ``protect=True`` the parity words written by a protected spill
+        are re-read and checked row by row.
+
+        Raises:
+            SpillCorruptionError: a protected slab's recomputed parity
+                disagrees with the stored parity (names the bad rows).
         """
         if rows < 0 or row_len < 0:
             raise CapacityError("fill shape must be non-negative")
         flat = self.memory.read_words(addr, rows * row_len)
         block = flat.reshape(rows, row_len)
-        num_bytes = block.size * self.config.element_bytes
+        words = block.size
+        if protect:
+            stored = self.memory.read_words(addr + words * WORD_BYTES, rows)
+            words += rows
+            bad = np.nonzero(self._slab_parity(block) != stored)[0]
+            if len(bad):
+                self._obs_count("faults.detected", kind="spill_parity")
+                raise SpillCorruptionError(addr, bad)
+        num_bytes = words * self.config.element_bytes
         cycles = self._transfer_cycles(num_bytes)
         self.stats.fills += 1
         self.stats.bytes_loaded += num_bytes

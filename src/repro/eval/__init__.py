@@ -13,7 +13,7 @@ from repro.eval.harness import (
     run_micro_suite,
 )
 from repro.eval.roofline import Roofline, RooflinePoint
-from repro.eval.serving import latency_table, serving_report
+from repro.eval.serving import healing_table, latency_table, serving_report
 from repro.eval.tables import format_table
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "SpeedupRow",
     "compare_simd",
     "format_table",
+    "healing_table",
     "latency_table",
     "run_micro_suite",
     "run_phoenix_suite",

@@ -48,8 +48,26 @@ def latency_table(report: TelemetryReport) -> str:
     )
 
 
+def healing_table(report: TelemetryReport) -> str:
+    """Self-healing ledger: retries, quarantines, and device deaths."""
+    retried = [j for j in report.jobs if j.attempts > 0]
+    rows = [
+        ["retries", report.retries],
+        ["jobs retried", len(retried)],
+        ["max attempts on one job", max((j.attempts for j in retried), default=0)],
+        ["quarantines", report.quarantines],
+        ["device deaths", report.device_deaths],
+    ]
+    return format_table(["event", "count"], rows)
+
+
 def serving_report(report: TelemetryReport, title: str = "CAPE pool run") -> str:
-    """One printable report: headline, jobs, latency, devices, queues."""
+    """One printable report: headline, jobs, latency, devices, queues.
+
+    A self-healing section (retry/quarantine/death counts) appears only
+    when the run actually healed something — fault-free reports are
+    unchanged.
+    """
     sections = [
         title,
         "=" * len(title),
@@ -67,4 +85,10 @@ def serving_report(report: TelemetryReport, title: str = "CAPE pool run") -> str
         "Queue-depth histogram (all devices)",
         report.queue_table(),
     ]
+    if report.retries or report.quarantines or report.device_deaths:
+        sections += [
+            "",
+            "Self-healing ledger",
+            healing_table(report),
+        ]
     return "\n".join(sections)

@@ -1,0 +1,29 @@
+"""repro.faults — deterministic fault injection and repair bookkeeping.
+
+See :mod:`repro.faults.plan` for the fault taxonomy and seeded plans,
+and :mod:`repro.faults.injector` for the per-device injector and the
+backend wrapper that asserts faults into live CSB storage.
+"""
+
+from repro.faults.injector import FaultInjector, FaultyBackend
+from repro.faults.plan import (
+    TRANSFER_KINDS,
+    ChainKill,
+    DeviceKill,
+    FaultPlan,
+    StuckBit,
+    TagFlip,
+    TransferFault,
+)
+
+__all__ = [
+    "ChainKill",
+    "DeviceKill",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyBackend",
+    "StuckBit",
+    "TagFlip",
+    "TransferFault",
+    "TRANSFER_KINDS",
+]

@@ -1,0 +1,303 @@
+"""Fault taxonomy and seeded fault plans.
+
+CAPE's compute substrate is literal SRAM: push-rule 6T bitcells whose
+search/update discharge behaviour *is* the computation (Section IV), so
+cell defects, marginal chains, and mid-job device loss are first-class
+failure modes for a deployed pool — the same observation the related
+CAM substrates (commodity-DRAM CAMs, FeFET associative search engines)
+make about associative storage doubling as the ALU.
+
+This module describes *what* can break, deterministically:
+
+``StuckBit``
+    A bitcell permanently stuck at 0 or 1 — a manufacturing defect or
+    a weak cell that lost its margin. Persistent: re-asserted after
+    every write that lands on it.
+``TagFlip``
+    A transient upset of one tag latch during the Nth search — a
+    marginal matchline discharging late. Fixed by simply redoing the
+    operation.
+``ChainKill``
+    A whole chain going dark at the Nth CSB operation (shared driver or
+    matchline peripheral failure): its bitcells read as zero and its
+    matchlines never discharge.
+``TransferFault``
+    One bit of one element corrupted on the Nth VMU transfer of a given
+    kind (``load`` / ``store`` / ``spill``) — an HBM burst error.
+``DeviceKill``
+    The whole device dies once its cumulative charged cycles cross a
+    threshold — power loss, thermal trip, or a host-side crash.
+
+A :class:`FaultPlan` is an immutable, validated collection of these,
+optionally generated from a seed via :meth:`FaultPlan.chaos` — two plans
+built from the same seed are identical, so every downstream failure and
+recovery replays bit-for-bit.
+
+Faults carry an optional ``device`` id; :meth:`FaultPlan.for_device`
+projects the plan onto one pool member (``device=None`` faults apply to
+every device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import FaultInjectionError
+
+__all__ = [
+    "ChainKill",
+    "DeviceKill",
+    "FaultPlan",
+    "StuckBit",
+    "TagFlip",
+    "TransferFault",
+    "TRANSFER_KINDS",
+]
+
+#: VMU transfer paths a :class:`TransferFault` may target.
+TRANSFER_KINDS = ("load", "store", "spill")
+
+
+def _check_nonneg(fault, **values) -> None:
+    for name, value in values.items():
+        if value < 0:
+            raise FaultInjectionError(
+                f"{type(fault).__name__}.{name} must be non-negative, "
+                f"got {value}"
+            )
+
+
+@dataclass(frozen=True)
+class StuckBit:
+    """A bitcell stuck at ``value`` in register ``row`` of an element.
+
+    ``element`` is the architectural element index (fused column);
+    ``bit`` the bit-slice (subarray). Persistent — the injector
+    re-asserts it into storage after every mutation, so retries alone
+    cannot clear it; only a spare-chain remap retires it.
+    """
+
+    row: int
+    element: int
+    bit: int
+    value: int
+    device: Optional[int] = None
+
+    def validate(self) -> None:
+        _check_nonneg(self, row=self.row, element=self.element, bit=self.bit)
+        if self.value not in (0, 1):
+            raise FaultInjectionError(
+                f"StuckBit.value must be 0 or 1, got {self.value}"
+            )
+
+
+@dataclass(frozen=True)
+class TagFlip:
+    """A transient tag-latch upset during the Nth search (1-based).
+
+    Flips subarray ``bit``'s tag for ``element`` after the search
+    completes — the one-shot soft error a retry fixes.
+    """
+
+    element: int
+    bit: int
+    at_search: int
+    device: Optional[int] = None
+
+    def validate(self) -> None:
+        _check_nonneg(self, element=self.element, bit=self.bit)
+        if self.at_search < 1:
+            raise FaultInjectionError(
+                f"TagFlip.at_search counts searches from 1, got {self.at_search}"
+            )
+
+
+@dataclass(frozen=True)
+class ChainKill:
+    """Chain ``chain`` goes dark at the Nth CSB operation (0 = at boot).
+
+    A dead chain's bitcells read as zero and its matchlines never
+    discharge (tags forced 0); its columns stay dark until a spare
+    chain is remapped over it.
+    """
+
+    chain: int
+    at_op: int = 0
+    device: Optional[int] = None
+
+    def validate(self) -> None:
+        _check_nonneg(self, chain=self.chain, at_op=self.at_op)
+
+
+@dataclass(frozen=True)
+class TransferFault:
+    """One bit of one element corrupted on the Nth transfer of ``kind``.
+
+    ``kind`` is a VMU path from :data:`TRANSFER_KINDS`; ``at_transfer``
+    counts that kind's transfers from 1 over the device's lifetime.
+    ``load``/``store`` corrupt the in-flight values; ``spill`` corrupts
+    the written slab in memory (caught by the parity words on restore).
+    """
+
+    kind: str
+    at_transfer: int
+    element: int
+    bit: int
+    device: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.kind not in TRANSFER_KINDS:
+            raise FaultInjectionError(
+                f"TransferFault.kind must be one of {TRANSFER_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        _check_nonneg(self, element=self.element, bit=self.bit)
+        if self.at_transfer < 1:
+            raise FaultInjectionError(
+                f"TransferFault.at_transfer counts transfers from 1, "
+                f"got {self.at_transfer}"
+            )
+        if self.bit >= 64:
+            raise FaultInjectionError(
+                f"TransferFault.bit must fit a memory word, got {self.bit}"
+            )
+
+
+@dataclass(frozen=True)
+class DeviceKill:
+    """The device dies once its charged cycles reach ``at_cycle``."""
+
+    at_cycle: float
+    device: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.at_cycle < 0:
+            raise FaultInjectionError(
+                f"DeviceKill.at_cycle must be non-negative, got {self.at_cycle}"
+            )
+
+
+_FAULT_TYPES = (StuckBit, TagFlip, ChainKill, TransferFault, DeviceKill)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated set of faults (optionally seed-derived).
+
+    Args:
+        faults: any mix of the fault dataclasses above.
+        seed: the seed :meth:`chaos` built the plan from (metadata only;
+            carried so reports can name the reproducer).
+    """
+
+    faults: Tuple = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for f in self.faults:
+            if not isinstance(f, _FAULT_TYPES):
+                raise FaultInjectionError(
+                    f"not a fault: {f!r} (expected one of "
+                    f"{[t.__name__ for t in _FAULT_TYPES]})"
+                )
+            f.validate()
+
+    @property
+    def empty(self) -> bool:
+        return not self.faults
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def of_type(self, fault_type) -> Tuple:
+        return tuple(f for f in self.faults if isinstance(f, fault_type))
+
+    def for_device(self, device_id: int) -> "FaultPlan":
+        """Project the plan onto one device (``device=None`` = every)."""
+        return FaultPlan(
+            faults=tuple(
+                f for f in self.faults
+                if f.device is None or f.device == device_id
+            ),
+            seed=self.seed,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-able export (same contract as the stats surfaces)."""
+        return {
+            "seed": self.seed,
+            "faults": [
+                {"kind": type(f).__name__,
+                 **{fl.name: getattr(f, fl.name) for fl in fields(f)}}
+                for f in self.faults
+            ],
+        }
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        devices: int = 3,
+        kill_cycle: Optional[float] = None,
+        transient_flips: int = 6,
+        stuck_bits: int = 2,
+        spill_faults: int = 1,
+        max_element: int = 256,
+    ) -> "FaultPlan":
+        """A seeded chaos scenario over a pool of ``devices`` devices.
+
+        Deterministically picks one device to die mid-stream, peppers
+        another with transient transfer-bit flips (enough to trip the
+        pool's quarantine threshold), plants stuck bitcells on a third,
+        and corrupts ``spill_faults`` spill slabs. Same seed, same plan,
+        same failures — the reproducer is the integer.
+        """
+        if devices < 1:
+            raise FaultInjectionError("chaos needs at least one device")
+        rng = np.random.default_rng(seed)
+        victims = rng.permutation(devices)
+        dead = int(victims[0])
+        flaky = int(victims[1 % devices])
+        marginal = int(victims[2 % devices])
+        faults = []
+        cycle = (
+            float(kill_cycle)
+            if kill_cycle is not None
+            else float(rng.integers(50_000, 250_000))
+        )
+        faults.append(DeviceKill(at_cycle=cycle, device=dead))
+        for _ in range(transient_flips):
+            faults.append(
+                TransferFault(
+                    kind="load",
+                    at_transfer=int(rng.integers(1, 12)),
+                    element=int(rng.integers(0, max_element)),
+                    bit=int(rng.integers(0, 32)),
+                    device=flaky,
+                )
+            )
+        for _ in range(stuck_bits):
+            faults.append(
+                StuckBit(
+                    row=int(rng.integers(1, 8)),
+                    element=int(rng.integers(0, max_element)),
+                    bit=int(rng.integers(0, 32)),
+                    value=int(rng.integers(0, 2)),
+                    device=marginal,
+                )
+            )
+        for _ in range(spill_faults):
+            faults.append(
+                TransferFault(
+                    kind="spill",
+                    at_transfer=int(rng.integers(1, 4)),
+                    element=int(rng.integers(0, max_element)),
+                    bit=int(rng.integers(0, 32)),
+                    device=None,
+                )
+            )
+        return cls(faults=tuple(faults), seed=seed)

@@ -6,7 +6,10 @@ capacity-aware scheduler admits them against the CSB capacity cliff
 (Section VI-E) or serves oversized footprints through context
 spill/restore; and a device pool shards the stream across mixed
 CAPE32k/CAPE131k systems under a deterministic simulated clock, with
-per-job and per-device telemetry.
+per-job and per-device telemetry. The pool self-heals through injected
+faults (:mod:`repro.faults`): bounded retries with exponential backoff,
+per-device health ledgers with quarantine/probation, and permanent
+retirement of dead devices — see :mod:`repro.runtime.health`.
 
 See ``docs/RUNTIME.md`` for the job model, the scheduling policies, and
 the spill-cost model.
@@ -14,6 +17,7 @@ the spill-cost model.
 
 from repro.runtime.clock import SimClock
 from repro.runtime.context import ContextManager, ContextStats, VectorContext
+from repro.runtime.health import DeviceHealth, HealthState
 from repro.runtime.job import (
     Footprint,
     Job,
@@ -44,9 +48,11 @@ __all__ = [
     "ContextStats",
     "DEFAULT_POOL",
     "Device",
+    "DeviceHealth",
     "DevicePool",
     "DeviceRecord",
     "FIFOPolicy",
+    "HealthState",
     "Footprint",
     "Job",
     "JobRecord",

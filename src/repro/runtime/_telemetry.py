@@ -40,6 +40,7 @@ class JobRecord:
     stolen: bool = False
     deadline_cycles: Optional[float] = None
     error: Optional[str] = None
+    attempts: int = 0
 
     @property
     def wait_cycles(self) -> float:
@@ -92,12 +93,24 @@ class Telemetry:
         #: device_id -> [(cycle, queue depth)] sampled at scheduling events.
         self.queue_samples: Dict[int, List[Tuple[float, int]]] = {}
         self.steals = 0
+        self.retries = 0
+        self.quarantines = 0
+        self.device_deaths = 0
 
     def sample_queue(self, device_id: int, cycle: float, depth: int) -> None:
         self.queue_samples.setdefault(device_id, []).append((cycle, depth))
 
     def record_steal(self) -> None:
         self.steals += 1
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_quarantine(self) -> None:
+        self.quarantines += 1
+
+    def record_device_death(self) -> None:
+        self.device_deaths += 1
 
     def record_complete(self, job: Job, device_name: str) -> None:
         result = job.result
@@ -119,6 +132,7 @@ class Telemetry:
                 stolen=job.stolen,
                 deadline_cycles=job.deadline_cycles,
                 error=result.error if result else None,
+                attempts=job.attempts,
             )
         )
 
@@ -135,6 +149,9 @@ class Telemetry:
             frequency_hz=frequency_hz,
             queue_samples=self.queue_samples,
             steals=self.steals,
+            retries=self.retries,
+            quarantines=self.quarantines,
+            device_deaths=self.device_deaths,
         )
 
 
@@ -148,6 +165,9 @@ class TelemetryReport:
     frequency_hz: float
     queue_samples: Dict[int, List[Tuple[float, int]]]
     steals: int = 0
+    retries: int = 0
+    quarantines: int = 0
+    device_deaths: int = 0
 
     # -- aggregates -----------------------------------------------------
 
@@ -209,6 +229,9 @@ class TelemetryReport:
             "throughput_jobs_per_s": self.throughput_jobs_per_s,
             "mean_turnaround_cycles": self.mean_turnaround_cycles(),
             "steals": self.steals,
+            "retries": self.retries,
+            "quarantines": self.quarantines,
+            "device_deaths": self.device_deaths,
             "queue_depth_histogram": self.queue_depth_histogram(),
         }
 
@@ -287,6 +310,12 @@ class TelemetryReport:
             f"(p95 {self.percentile_turnaround_cycles(95):,.0f})",
             f"{self.steals} work steals",
         ]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.quarantines:
+            parts.append(f"{self.quarantines} quarantines")
+        if self.device_deaths:
+            parts.append(f"{self.device_deaths} device deaths")
         if self.failed:
             parts.append(f"{self.failed} FAILED")
         return "; ".join(parts)

@@ -74,6 +74,11 @@ class ContextManager:
         base: first byte of the spill slab (word-aligned).
         limit: one past the last usable slab byte (defaults to the end
             of the device's memory).
+        protect: append + verify XOR parity words on every context
+            (one word per register). Defaults to on exactly when the
+            system carries a fault injector with a live plan, so the
+            fault-free path keeps its byte counts and the chaos path
+            detects corrupted slabs instead of reloading garbage.
     """
 
     def __init__(
@@ -81,6 +86,7 @@ class ContextManager:
         system: CAPESystem,
         base: int = SPILL_BASE,
         limit: int = 0,
+        protect: bool = None,
     ) -> None:
         if base % WORD_BYTES != 0:
             raise ConfigError("spill base must be word-aligned")
@@ -92,6 +98,10 @@ class ContextManager:
                 f"spill slab [{base:#x}, {self.limit:#x}) outside device "
                 f"memory of {system.memory.size_bytes:#x} bytes"
             )
+        if protect is None:
+            injector = getattr(system, "fault_injector", None)
+            protect = injector is not None and injector.protect_slabs
+        self.protect = bool(protect)
         self._next = base
         self._slots: Dict[Hashable, VectorContext] = {}
         self.stats = ContextStats()
@@ -125,8 +135,10 @@ class ContextManager:
             raise ConfigError("cannot spill an empty register set")
         system = self.system
         words = len(regs) * system.vl
-        addr, capacity = self._allocate(key, words)
-        cycles = system.spill_vregs(regs, addr)
+        # Parity words live after the data rows inside the same slot.
+        alloc_words = words + (len(regs) if self.protect else 0)
+        addr, capacity = self._allocate(key, alloc_words)
+        cycles = system.spill_vregs(regs, addr, protect=self.protect)
         ctx = VectorContext(
             addr=addr,
             regs=regs,
@@ -152,7 +164,7 @@ class ContextManager:
             system.set_sew(ctx.sew)
         system.vl = ctx.vl
         system.vstart = ctx.vstart
-        cycles = system.fill_vregs(ctx.regs, ctx.addr)
+        cycles = system.fill_vregs(ctx.regs, ctx.addr, protect=self.protect)
         self.stats.restores += 1
         self.stats.bytes_restored += ctx.words * WORD_BYTES
         self.stats.cycles += cycles

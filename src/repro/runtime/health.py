@@ -1,0 +1,122 @@
+"""Per-device health ledger: the pool's self-healing state machine.
+
+Each :class:`~repro.runtime.pool.DevicePool` device carries one
+:class:`DeviceHealth` tracking consecutive job failures and walking a
+four-state machine::
+
+    HEALTHY ──(threshold consecutive failures)──▶ QUARANTINED
+       ▲                                              │
+       │                                   (backoff elapses)
+       │                                              ▼
+       └──(probe job succeeds)──────────────── PROBATION
+                                                      │
+                             (probe job fails)────────┘ (re-quarantined,
+                                                         backoff doubled)
+
+    any state ──(injected whole-device death)──▶ DEAD (terminal)
+
+Quarantine is time-boxed in *device cycles* with exponential backoff: the
+first quarantine lasts ``quarantine_cycles``, each re-quarantine doubles
+it. A quarantined device accepts no work; on re-admission it runs in
+PROBATION, where the scheduler feeds it one small probe job — success
+restores HEALTHY (and resets the backoff), failure re-quarantines
+immediately. DEAD devices never return.
+
+All transitions are driven by the pool's simulated clock — no wall time,
+so a healing sequence replays deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class HealthState(enum.Enum):
+    """The four health states of a pool device."""
+
+    HEALTHY = "healthy"
+    QUARANTINED = "quarantined"
+    PROBATION = "probation"
+    DEAD = "dead"
+
+
+@dataclass
+class DeviceHealth:
+    """Failure ledger + state machine for one device (see module doc).
+
+    Attributes:
+        failure_threshold: consecutive failures that trigger quarantine.
+        quarantine_cycles: first quarantine's length in device cycles
+            (doubles on every re-quarantine).
+        consecutive_failures / total_failures: the ledger.
+        quarantines: times this device has been quarantined.
+        state: current :class:`HealthState`.
+        quarantined_until: cycle at which a quarantine lapses.
+    """
+
+    failure_threshold: int = 3
+    quarantine_cycles: float = 50_000.0
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    quarantines: int = 0
+    state: HealthState = HealthState.HEALTHY
+    quarantined_until: float = 0.0
+    _backoff: float = field(default=0.0, repr=False)
+
+    @property
+    def accepting(self) -> bool:
+        """May the device be handed work (including probation probes)?"""
+        return self.state in (HealthState.HEALTHY, HealthState.PROBATION)
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not HealthState.DEAD
+
+    def record_success(self) -> None:
+        """A job completed: clear the streak; a probe ends probation."""
+        self.consecutive_failures = 0
+        if self.state is HealthState.PROBATION:
+            self.state = HealthState.HEALTHY
+            self._backoff = 0.0
+
+    def record_failure(self, now: float) -> bool:
+        """A job failed at cycle ``now``; True if this quarantines.
+
+        A failure during probation re-quarantines immediately (the probe
+        disproved the recovery); otherwise the streak must reach
+        ``failure_threshold``.
+        """
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.state is HealthState.PROBATION or (
+            self.state is HealthState.HEALTHY
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.quarantine(now)
+            return True
+        return False
+
+    def quarantine(self, now: float) -> None:
+        """Bench the device; each re-quarantine doubles the backoff."""
+        self._backoff = (
+            self.quarantine_cycles if self._backoff == 0.0 else self._backoff * 2
+        )
+        self.state = HealthState.QUARANTINED
+        self.quarantined_until = now + self._backoff
+        self.quarantines += 1
+        self.consecutive_failures = 0
+
+    def readmit(self, now: float) -> bool:
+        """Move a lapsed quarantine to probation; True on transition."""
+        if (
+            self.state is HealthState.QUARANTINED
+            and now >= self.quarantined_until
+        ):
+            self.state = HealthState.PROBATION
+            return True
+        return False
+
+    def kill(self) -> None:
+        """Terminal: an injected whole-device death."""
+        self.state = HealthState.DEAD

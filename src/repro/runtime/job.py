@@ -157,6 +157,11 @@ class Job:
         self.device_id: Optional[int] = None
         self.stolen = False
         self.result: Optional[JobResult] = None
+        #: Failed executions so far (the pool's bounded-retry ledger).
+        self.attempts = 0
+        #: Dispatch epoch; completions from a superseded dispatch (e.g.
+        #: a job re-placed off a dead device) are ignored by the pool.
+        self.epoch = 0
 
     def __repr__(self) -> str:
         return (

@@ -17,6 +17,18 @@ spill-served on the largest device (segmented jobs, through
 Idle devices steal queued work from the most-loaded peer (from the tail
 of its queue, classic work-stealing order), so one hot queue cannot
 leave the rest of the pool dark.
+
+The pool is also *self-healing*: each device carries a
+:class:`~repro.runtime.health.DeviceHealth` ledger. A failed job is
+retried on another device (bounded attempts, exponential backoff in
+device cycles); a device that fails ``failure_threshold`` jobs in a row
+is quarantined for a time-boxed backoff and then re-admitted on
+probation with a small probe job; a device whose fault injector reports
+whole-device death is retired permanently and its queue re-placed. When
+every path is exhausted — the event budget runs out or every serviceable
+device is quarantined/dead with work still queued — :meth:`DevicePool.run`
+raises :class:`~repro.common.errors.PoolStalledError` naming the stuck
+jobs instead of silently returning.
 """
 
 from __future__ import annotations
@@ -24,12 +36,20 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterable, List, Optional, Sequence
 
-from repro.common.errors import ConfigError, CSBCapacityError
+from repro.common.errors import (
+    ConfigError,
+    CSBCapacityError,
+    DeviceFailedError,
+    PoolStalledError,
+    RetryExhaustedError,
+)
 from repro.engine.system import CAPE32K, CAPE131K, CAPEConfig, CAPESystem
+from repro.faults.injector import FaultInjector
 from repro.memory.mainmem import WordMemory
 from repro.obs.observer import NULL_OBSERVER
 
 from repro.runtime.clock import SimClock
+from repro.runtime.health import DeviceHealth, HealthState
 from repro.runtime.job import Job, JobState
 from repro.runtime.scheduler import Scheduler
 from repro.runtime._telemetry import DeviceRecord, Telemetry, TelemetryReport
@@ -51,6 +71,8 @@ class Device:
         self.busy_cycles = 0.0
         self.jobs_run = 0
         self.lane_occupancies: List[float] = []
+        self.health = DeviceHealth()
+        self.injector: Optional[FaultInjector] = None
 
     @property
     def config(self) -> CAPEConfig:
@@ -97,6 +119,20 @@ class DevicePool:
             system publishes under a ``device=<name>`` label, and the
             pool itself records scheduling events (arrivals, job spans
             per device lane, steals) on the simulated-cycle timeline.
+        fault_plan: optional :class:`repro.faults.FaultPlan`; each device
+            gets a :class:`repro.faults.FaultInjector` over its slice of
+            the plan (``plan.for_device(i)``), and the self-healing
+            machinery below keeps the stream running through the
+            injected failures. ``None`` leaves every injection hook as a
+            single ``None`` check.
+        max_retries: failed-job re-executions allowed after the first
+            attempt before the job is declared FAILED with
+            :class:`~repro.common.errors.RetryExhaustedError`.
+        failure_threshold: consecutive failures that quarantine a device.
+        quarantine_cycles: first quarantine's length in device cycles
+            (doubles on each re-quarantine).
+        retry_backoff_cycles: base delay before a failed job is
+            re-queued (doubles per attempt).
     """
 
     def __init__(
@@ -108,6 +144,11 @@ class DevicePool:
         accounting: str = "paper",
         backend: Optional[str] = None,
         observer=None,
+        fault_plan=None,
+        max_retries: int = 3,
+        failure_threshold: int = 3,
+        quarantine_cycles: float = 50_000.0,
+        retry_backoff_cycles: float = 1_000.0,
     ) -> None:
         if not configs:
             raise ConfigError("a pool needs at least one device")
@@ -116,6 +157,9 @@ class DevicePool:
         self.telemetry = Telemetry()
         self.work_stealing = work_stealing
         self.observer = observer if observer is not None else NULL_OBSERVER
+        self.fault_plan = fault_plan
+        self.max_retries = max_retries
+        self.retry_backoff_cycles = retry_backoff_cycles
         self.devices = []
         for i, config in enumerate(configs):
             system = CAPESystem(
@@ -129,11 +173,21 @@ class DevicePool:
                 backend=backend,
             )
             device = Device(i, system)
+            device.health = DeviceHealth(
+                failure_threshold=failure_threshold,
+                quarantine_cycles=quarantine_cycles,
+            )
             system.attach_observer(
                 self.observer.labelled(device=device.name)
             )
+            if fault_plan is not None:
+                device.injector = FaultInjector(fault_plan.for_device(i))
+                system.attach_fault_injector(device.injector)
             self.devices.append(device)
         self._submitted: List[Job] = []
+        #: Jobs with no accepting device right now; replayed on the next
+        #: probationary re-admission.
+        self._parked: List[Job] = []
 
     # ------------------------------------------------------------------
     # Submission
@@ -161,9 +215,24 @@ class DevicePool:
     # Placement
     # ------------------------------------------------------------------
 
-    def place(self, job: Job) -> Device:
-        """Choose the device a job queues on (capacity-aware best-fit)."""
-        fitting = [d for d in self.devices if job.footprint.fits(d.config)]
+    def place(self, job: Job, exclude: Sequence[int] = ()) -> Device:
+        """Choose the device a job queues on (capacity-aware best-fit).
+
+        Only devices whose health ledger is *accepting* (healthy or on
+        probation) are candidates; ``exclude`` softly steers a retried
+        job away from the device that just failed it, unless no other
+        accepting device exists. Raises
+        :class:`~repro.common.errors.DeviceFailedError` when every
+        device is quarantined or dead.
+        """
+        live = [d for d in self.devices if d.health.accepting]
+        if not live:
+            raise DeviceFailedError(
+                f"no accepting device for job {job.name!r}: "
+                f"every device is quarantined or dead"
+            )
+        candidates = [d for d in live if d.device_id not in exclude] or live
+        fitting = [d for d in candidates if job.footprint.fits(d.config)]
         if fitting:
             return min(
                 fitting,
@@ -173,7 +242,7 @@ class DevicePool:
             # Serve on the largest device: fewest segments, least spill
             # traffic per pass.
             return min(
-                self.devices,
+                candidates,
                 key=lambda d: (-d.config.max_vl, d.load, d.device_id),
             )
         best = max(d.config.max_vl for d in self.devices)
@@ -193,7 +262,27 @@ class DevicePool:
 
     def _arrive(self, job: Job) -> None:
         job.submit_cycle = self.clock.now
-        device = self.place(job)
+        device = self._enqueue(job)
+        if self.observer.enabled:
+            self.observer.counter("runtime.jobs", event="arrived").inc()
+            if device is not None:
+                self.observer.instant(
+                    f"arrive:{job.name}", "runtime", ts=self.clock.now,
+                    tid=device.name, lanes=job.footprint.lanes,
+                )
+
+    def _enqueue(self, job: Job, exclude: Sequence[int] = ()) -> Optional[Device]:
+        """Place and queue a job; park it when no device is accepting."""
+        try:
+            device = self.place(job, exclude=exclude)
+        except DeviceFailedError:
+            self._parked.append(job)
+            if self.observer.enabled:
+                self.observer.instant(
+                    f"park:{job.name}", "runtime",
+                    ts=self.clock.now, tid="pool",
+                )
+            return None
         self.scheduler.admit(job, device.config)  # raises if unservable
         device.queue.append(job)
         self.telemetry.sample_queue(
@@ -201,13 +290,8 @@ class DevicePool:
         )
         obs = self.observer
         if obs.enabled:
-            obs.counter("runtime.jobs", event="arrived").inc()
             obs.histogram("runtime.queue_depth", device=device.name).observe(
                 len(device.queue)
-            )
-            obs.instant(
-                f"arrive:{job.name}", "runtime", ts=self.clock.now,
-                tid=device.name, lanes=job.footprint.lanes,
             )
         self._dispatch(device)
         if self.work_stealing and device.current is not None:
@@ -216,11 +300,17 @@ class DevicePool:
             for peer in self.devices:
                 if peer.current is None and not peer.queue:
                     self._dispatch(peer)
+        return device
 
     def _dispatch(self, device: Device) -> None:
-        if device.current is not None:
+        if device.current is not None or not device.health.accepting:
             return
-        job = self.scheduler.pick(device.queue, device.config)
+        if device.health.state is HealthState.PROBATION:
+            # Risk the cheapest queued job on silicon fresh out of
+            # quarantine, whatever the configured ordering policy.
+            job = self.scheduler.pick_probe(device.queue, device.config)
+        else:
+            job = self.scheduler.pick(device.queue, device.config)
         if job is None and self.work_stealing:
             job = self._steal(device)
         if job is None:
@@ -228,6 +318,7 @@ class DevicePool:
         self._start(device, job)
 
     def _start(self, device: Device, job: Job) -> None:
+        job.epoch += 1
         job.state = JobState.RUNNING
         job.start_cycle = self.clock.now
         job.device_id = device.device_id
@@ -254,24 +345,128 @@ class DevicePool:
                 stolen=job.stolen,
             )
         self.clock.schedule_at(
-            finish, lambda d=device, j=job: self._complete(d, j)
+            finish,
+            lambda d=device, j=job, e=job.epoch: self._complete(d, j, e),
         )
 
-    def _complete(self, device: Device, job: Job) -> None:
+    def _complete(
+        self, device: Device, job: Job, epoch: Optional[int] = None
+    ) -> None:
+        if device.current is not job or (
+            epoch is not None and job.epoch != epoch
+        ):
+            # A superseded dispatch (the job was re-placed, or the
+            # device was retired mid-flight): drop the stale event.
+            return
         job.finish_cycle = self.clock.now
-        ok = job.result is not None and job.result.validated
-        job.state = JobState.DONE if ok else JobState.FAILED
         device.current = None
         device.jobs_run += 1
-        if self.observer.enabled:
-            self.observer.counter(
-                "runtime.jobs", event="done" if ok else "failed"
-            ).inc()
-        self.telemetry.record_complete(job, device.name)
+        ok = job.result is not None and job.result.validated
+        if ok:
+            job.state = JobState.DONE
+            device.health.record_success()
+            if self.observer.enabled:
+                self.observer.counter("runtime.jobs", event="done").inc()
+            self.telemetry.record_complete(job, device.name)
+        else:
+            self._handle_failure(device, job)
         self.telemetry.sample_queue(
             device.device_id, self.clock.now, len(device.queue)
         )
         self._dispatch(device)
+
+    # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+
+    def _handle_failure(self, device: Device, job: Job) -> None:
+        """Walk the recovery ladder for one failed execution."""
+        if self.observer.enabled:
+            self.observer.counter("runtime.jobs", event="failed").inc()
+        if device.injector is not None and device.injector.dead:
+            self._kill_device(device)
+        elif device.health.record_failure(self.clock.now):
+            self._on_quarantine(device)
+        self._retry_or_fail(device, job)
+
+    def _kill_device(self, device: Device) -> None:
+        """Retire a device whose injector reported whole-device death."""
+        if not device.health.alive:
+            return
+        device.health.kill()
+        self.telemetry.record_device_death()
+        if self.observer.enabled:
+            self.observer.counter("runtime.device_deaths").inc()
+            self.observer.instant(
+                f"device-dead:{device.name}", "runtime",
+                ts=self.clock.now, tid=device.name,
+            )
+        self._drain(device)
+
+    def _on_quarantine(self, device: Device) -> None:
+        """Bench a device and schedule its probationary re-admission."""
+        self.telemetry.record_quarantine()
+        if self.observer.enabled:
+            self.observer.counter("runtime.quarantined").inc()
+            self.observer.instant(
+                f"quarantine:{device.name}", "runtime",
+                ts=self.clock.now, tid=device.name,
+                until=device.health.quarantined_until,
+            )
+        self._drain(device)
+        self.clock.schedule_at(
+            device.health.quarantined_until,
+            lambda d=device: self._readmit(d),
+        )
+
+    def _drain(self, device: Device) -> None:
+        """Re-place a benched device's queue onto its peers."""
+        while device.queue:
+            job = device.queue.popleft()
+            self._enqueue(job, exclude=(device.device_id,))
+
+    def _readmit(self, device: Device) -> None:
+        """A quarantine lapsed: move to probation and replay parked work."""
+        if not device.health.readmit(self.clock.now):
+            return
+        if self.observer.enabled:
+            self.observer.instant(
+                f"probation:{device.name}", "runtime",
+                ts=self.clock.now, tid=device.name,
+            )
+        parked, self._parked = self._parked, []
+        for job in parked:
+            self._enqueue(job)
+        self._dispatch(device)
+
+    def _retry_or_fail(self, device: Device, job: Job) -> None:
+        """Bounded retry with exponential backoff, away from ``device``."""
+        job.attempts += 1
+        if job.attempts <= self.max_retries:
+            job.state = JobState.QUEUED
+            self.telemetry.record_retry()
+            if self.observer.enabled:
+                self.observer.counter("runtime.retries").inc()
+                self.observer.instant(
+                    f"retry:{job.name}", "runtime",
+                    ts=self.clock.now, tid=device.name,
+                    attempt=job.attempts,
+                )
+            delay = self.retry_backoff_cycles * (2 ** (job.attempts - 1))
+            self.clock.schedule_at(
+                self.clock.now + delay,
+                lambda j=job, e=(device.device_id,): self._enqueue(j, e),
+            )
+            return
+        job.state = JobState.FAILED
+        last = job.result.error if job.result else None
+        err = RetryExhaustedError(
+            f"job {job.name!r} failed {job.attempts} attempts "
+            f"(last error: {last or 'validation failed'})"
+        )
+        if job.result is not None:
+            job.result.error = f"RetryExhaustedError: {err}"
+        self.telemetry.record_complete(job, device.name)
 
     def _steal(self, thief: Device) -> Optional[Job]:
         """Pull one job from the tail of the most-loaded peer's queue."""
@@ -306,12 +501,37 @@ class DevicePool:
     # ------------------------------------------------------------------
 
     def run(self, max_events: int = 1_000_000) -> TelemetryReport:
-        """Drain the event loop and fold telemetry into a report."""
-        self.clock.run(max_events=max_events)
-        leftovers = [d for d in self.devices if d.queue or d.current]
-        if leftovers:  # pragma: no cover - loop invariant
-            raise ConfigError(f"event loop drained with work left: {leftovers}")
+        """Drain the event loop and fold telemetry into a report.
+
+        Raises :class:`~repro.common.errors.PoolStalledError` naming the
+        stuck jobs when the event budget is exhausted with events still
+        pending, or when the loop drains with work still queued (every
+        serviceable device quarantined or dead, parked jobs included) —
+        never a silent partial return.
+        """
+        events = 0
+        while self.clock.tick():
+            events += 1
+            if events >= max_events and len(self.clock) > 0:
+                raise PoolStalledError(
+                    f"event budget of {max_events:,} exhausted with "
+                    f"{len(self.clock)} events pending",
+                    [j.name for j in self._stuck_jobs()],
+                )
+        stuck = self._stuck_jobs()
+        if stuck:
+            raise PoolStalledError(
+                "every serviceable device is quarantined or dead",
+                [j.name for j in stuck],
+            )
         return self.report()
+
+    def _stuck_jobs(self) -> List[Job]:
+        """Submitted jobs still queued/running (parked jobs are QUEUED)."""
+        return [
+            j for j in self._submitted
+            if j.state in (JobState.QUEUED, JobState.RUNNING)
+        ]
 
     @property
     def makespan_cycles(self) -> float:

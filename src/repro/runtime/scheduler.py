@@ -143,3 +143,20 @@ class Scheduler:
         job = queue[index]
         del queue[index]
         return job
+
+    def pick_probe(self, queue, config: CAPEConfig) -> Optional[Job]:
+        """Remove and return the *smallest* queued job, if any.
+
+        A device on probation gets the cheapest available canary —
+        risking the least work on silicon that just left quarantine —
+        regardless of the configured ordering policy.
+        """
+        if not queue:
+            return None
+        index = min(
+            range(len(queue)),
+            key=lambda i: (queue[i].service_estimate, i),
+        )
+        job = queue[index]
+        del queue[index]
+        return job

@@ -1,0 +1,88 @@
+"""Error taxonomy: hierarchy, structured payloads, and api exports."""
+
+import pytest
+
+from repro.common.errors import (
+    CapacityError,
+    ConfigError,
+    CSBCapacityError,
+    DeviceFailedError,
+    FaultInjectionError,
+    PageFault,
+    PoolStalledError,
+    ProtocolError,
+    ReproError,
+    RetryExhaustedError,
+    SpillCorruptionError,
+)
+
+
+def test_every_error_derives_from_repro_error():
+    for exc_type in (
+        ConfigError,
+        CapacityError,
+        CSBCapacityError,
+        ProtocolError,
+        PageFault,
+        FaultInjectionError,
+        DeviceFailedError,
+        RetryExhaustedError,
+        SpillCorruptionError,
+        PoolStalledError,
+    ):
+        assert issubclass(exc_type, ReproError), exc_type
+
+
+def test_fault_injection_error_is_a_config_error():
+    # A malformed plan is a configuration bug: one except ConfigError at
+    # an API boundary catches it.
+    assert issubclass(FaultInjectionError, ConfigError)
+    with pytest.raises(ConfigError):
+        raise FaultInjectionError("bad plan")
+
+
+def test_runtime_failures_are_not_config_errors():
+    # Injected failures are operational, not configuration: they must
+    # not be swallowed by config-validation handlers.
+    for exc_type in (DeviceFailedError, RetryExhaustedError,
+                     SpillCorruptionError, PoolStalledError):
+        assert not issubclass(exc_type, ConfigError), exc_type
+        assert not issubclass(exc_type, CapacityError), exc_type
+
+
+def test_spill_corruption_error_names_rows_and_address():
+    err = SpillCorruptionError(0x2000, [1, 3])
+    assert err.addr == 0x2000
+    assert err.bad_rows == (1, 3)
+    assert "0x2000" in str(err)
+    assert "1, 3" in str(err)
+
+
+def test_pool_stalled_error_names_stuck_jobs():
+    err = PoolStalledError("every device dead", ["kmeans", "hist"])
+    assert err.reason == "every device dead"
+    assert err.job_names == ("kmeans", "hist")
+    assert "kmeans, hist" in str(err)
+    empty = PoolStalledError("budget exhausted")
+    assert "none" in str(empty)
+
+
+def test_api_exports_the_fault_taxonomy():
+    import repro.api as api
+
+    for name in (
+        "DeviceFailedError",
+        "FaultInjectionError",
+        "PoolStalledError",
+        "RetryExhaustedError",
+        "SpillCorruptionError",
+        "FaultPlan",
+        "FaultInjector",
+        "StuckBit",
+        "TagFlip",
+        "ChainKill",
+        "TransferFault",
+        "DeviceKill",
+    ):
+        assert name in api.__all__, name
+        assert hasattr(api, name), name

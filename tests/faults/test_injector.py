@@ -1,0 +1,133 @@
+"""FaultInjector mechanics: counters, transfer corruption, remap budget."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DeviceFailedError, FaultInjectionError
+from repro.faults import (
+    ChainKill,
+    DeviceKill,
+    FaultInjector,
+    FaultPlan,
+    StuckBit,
+    TagFlip,
+    TransferFault,
+)
+from repro.memory.mainmem import WordMemory
+
+
+def test_empty_plan_classifies_as_inert():
+    inj = FaultInjector(FaultPlan())
+    assert not inj.has_csb_faults
+    assert not inj.protect_slabs
+    inj.charge(1e9)  # no DeviceKill: never raises
+    values = np.arange(8)
+    assert inj.filter_transfer("load", values) is values
+
+
+def test_any_live_plan_protects_slabs():
+    inj = FaultInjector(FaultPlan([DeviceKill(at_cycle=1.0)]))
+    assert inj.protect_slabs
+    assert not inj.has_csb_faults  # a device kill needs no backend wrap
+
+
+def test_charge_kills_at_threshold_and_stays_dead():
+    inj = FaultInjector(FaultPlan([DeviceKill(at_cycle=100.0)]))
+    inj.charge(99.0)
+    assert not inj.dead
+    with pytest.raises(DeviceFailedError):
+        inj.charge(1.0)
+    assert inj.dead
+    with pytest.raises(DeviceFailedError):
+        inj.charge(0.0)  # silicon stays dead
+    assert inj.injected["device_kill"] == 1
+
+
+def test_filter_transfer_flips_the_planned_bit_once():
+    inj = FaultInjector(FaultPlan([
+        TransferFault(kind="load", at_transfer=2, element=3, bit=4),
+    ]))
+    first = np.arange(8, dtype=np.int64)
+    assert (inj.filter_transfer("load", first.copy()) == first).all()
+    second = inj.filter_transfer("load", first.copy())
+    expected = first.copy()
+    expected[3] ^= 1 << 4
+    assert (second == expected).all()
+    # Consumed: the third transfer is clean again.
+    third = inj.filter_transfer("load", first.copy())
+    assert (third == first).all()
+    assert inj.injected["transfer"] == 1
+
+
+def test_filter_transfer_kinds_are_independent():
+    inj = FaultInjector(FaultPlan([
+        TransferFault(kind="store", at_transfer=1, element=0, bit=0),
+    ]))
+    values = np.zeros(4, dtype=np.int64)
+    assert (inj.filter_transfer("load", values.copy()) == 0).all()
+    corrupted = inj.filter_transfer("store", values.copy())
+    assert corrupted[0] == 1
+
+
+def test_corrupt_slab_flips_a_written_word():
+    inj = FaultInjector(FaultPlan([
+        TransferFault(kind="spill", at_transfer=1, element=2, bit=7),
+    ]))
+    mem = WordMemory(1 << 16)
+    mem.write_words(0x100, np.arange(8))
+    inj.corrupt_slab(mem, 0x100, 8)
+    got = mem.read_words(0x100, 8)
+    expected = np.arange(8)
+    expected[2] ^= 1 << 7
+    assert (got == expected).all()
+    # One-shot: a second slab write is untouched.
+    mem.write_words(0x200, np.arange(8))
+    inj.corrupt_slab(mem, 0x200, 8)
+    assert (mem.read_words(0x200, 8) == np.arange(8)).all()
+
+
+def test_bind_csb_rejects_out_of_shape_faults():
+    inj = FaultInjector(FaultPlan([
+        StuckBit(row=99, element=0, bit=0, value=1),
+    ]))
+    with pytest.raises(FaultInjectionError):
+        inj.bind_csb(num_chains=8, num_subarrays=32, num_rows=36,
+                     total_cols=256)
+    inj2 = FaultInjector(FaultPlan([ChainKill(chain=8)]))
+    with pytest.raises(FaultInjectionError):
+        inj2.bind_csb(num_chains=8, num_subarrays=32, num_rows=36,
+                      total_cols=256)
+
+
+def test_remap_budget_is_bounded_by_spares():
+    inj = FaultInjector(FaultPlan([TagFlip(element=0, bit=0, at_search=1)]),
+                        spare_chains=1)
+    assert inj.remap_chain(3) is True
+    assert inj.remap_chain(3) is True  # idempotent, costs nothing
+    assert inj.spares_free == 0
+    assert inj.remap_chain(5) is False  # budget spent
+    assert inj.remapped == {3}
+
+
+def test_faulty_chains_tracks_permanent_faults_only():
+    inj = FaultInjector(FaultPlan([
+        StuckBit(row=1, element=5, bit=0, value=1),   # chain 5 % 8
+        ChainKill(chain=2, at_op=10),
+        TagFlip(element=0, bit=0, at_search=1),       # transient: not listed
+    ]))
+    inj.bind_csb(num_chains=8, num_subarrays=32, num_rows=36, total_cols=256)
+    assert inj.faulty_chains() == [5]  # kill not yet active
+    inj.csb_ops = 10
+    assert inj.faulty_chains() == [2, 5]
+    inj.remap_chain(5)
+    assert inj.faulty_chains() == [2]
+
+
+def test_report_summarises_injection_state():
+    inj = FaultInjector(FaultPlan([DeviceKill(at_cycle=10.0)]))
+    with pytest.raises(DeviceFailedError):
+        inj.charge(10.0)
+    report = inj.report()
+    assert report["dead"] is True
+    assert report["injected"] == {"device_kill": 1}
+    assert report["spares_free"] == 2

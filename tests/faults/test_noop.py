@@ -1,0 +1,87 @@
+"""An empty FaultPlan is a true no-op.
+
+The null-path guarantee: attaching an injector with no faults must leave
+every observable identical to an injector-free run — results, cycle
+counts, and the ``csb.microops`` counter families, on both execution
+backends. Anything less means the fault hooks leak into fault-free runs.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import Observer
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+
+OPS = ("vadd", "vsub", "vmul", "vand", "vor", "vxor", "vmin", "vmax")
+
+
+def run_program(backend, injector, values_a, values_b, ops):
+    obs = Observer()
+    system = CAPESystem(
+        NANO, backend=backend, observer=obs, fault_injector=injector
+    )
+    n = len(values_a)
+    system.vsetvl(n)
+    system.vregs[1, :n] = values_a
+    system.vregs[2, :n] = values_b
+    system._written_vregs.update({1, 2})
+    if system._bitengine is not None:
+        system._bitengine.sync_register(1, system.vregs[1])
+        system._bitengine.sync_register(2, system.vregs[2])
+    for i, op in enumerate(ops):
+        getattr(system, op)(3 + (i % 4), 1, 2)
+    system.vmseq(7, 1, 2)
+    total = int(system.vredsum(3, signed=False))
+    registers = [system.read_vreg(r).tolist() for r in range(8)]
+    microops = {
+        key: value
+        for key, value in obs.metrics.snapshot().items()
+        if key[0] == "csb.microops"
+    }
+    return {
+        "total": total,
+        "registers": registers,
+        "cycles": system.stats.cycles,
+        "energy": system.stats.energy_j,
+        "microops": microops,
+    }
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(st.integers(0, 2**32 - 1), min_size=4, max_size=32),
+    st.lists(st.integers(0, 2**32 - 1), min_size=4, max_size=32),
+    st.lists(st.sampled_from(OPS), min_size=1, max_size=6),
+    st.sampled_from(["reference", "bitplane"]),
+)
+def test_empty_plan_is_bit_identical_to_no_injector(a, b, ops, backend):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    bare = run_program(backend, None, a, b, ops)
+    nulled = run_program(backend, FaultInjector(FaultPlan()), a, b, ops)
+    assert nulled == bare
+
+
+def test_empty_plan_noop_covers_memory_and_spill_paths():
+    def drive(injector):
+        system = CAPESystem(NANO, fault_injector=injector)
+        system.memory.write_words(0x1000, np.arange(64))
+        system.vsetvl(64)
+        system.vle(1, 0x1000)
+        system.vadd(2, 1, 1)
+        system.vse(2, 0x2000)
+        system.spill_vregs([1, 2], 0x4000)
+        system.vmv_vx(1, 0)
+        system.fill_vregs([1, 2], 0x4000)
+        return (
+            system.read_vreg(1).tolist(),
+            system.memory.read_words(0x2000, 64).tolist(),
+            system.stats.cycles,
+            system.stats.memory_cycles,
+            system.stats.energy_j,
+        )
+
+    assert drive(FaultInjector(FaultPlan())) == drive(None)

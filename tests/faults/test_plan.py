@@ -1,0 +1,102 @@
+"""Fault plans: validation, device projection, seeded chaos."""
+
+import pytest
+
+from repro.common.errors import FaultInjectionError
+from repro.faults import (
+    ChainKill,
+    DeviceKill,
+    FaultPlan,
+    StuckBit,
+    TagFlip,
+    TransferFault,
+)
+
+
+def test_empty_plan_is_empty():
+    plan = FaultPlan()
+    assert plan.empty
+    assert len(plan) == 0
+    assert plan.for_device(0).empty
+
+
+def test_plan_validates_on_construction():
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([StuckBit(row=0, element=0, bit=0, value=2)])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([TagFlip(element=0, bit=0, at_search=0)])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([ChainKill(chain=-1)])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([TransferFault(kind="dma", at_transfer=1, element=0, bit=0)])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([TransferFault(kind="load", at_transfer=1, element=0, bit=64)])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([DeviceKill(at_cycle=-1.0)])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan(["not a fault"])
+
+
+def test_for_device_keeps_broadcast_and_own_faults():
+    plan = FaultPlan([
+        DeviceKill(at_cycle=100.0, device=0),
+        TagFlip(element=1, bit=0, at_search=1, device=1),
+        TransferFault(kind="spill", at_transfer=1, element=0, bit=3),
+    ])
+    d0 = plan.for_device(0)
+    assert len(d0) == 2  # its own kill + the broadcast spill fault
+    assert len(d0.of_type(DeviceKill)) == 1
+    assert len(d0.of_type(TagFlip)) == 0
+    d1 = plan.for_device(1)
+    assert len(d1.of_type(TagFlip)) == 1
+    assert len(d1.of_type(DeviceKill)) == 0
+
+
+def test_of_type_partitions_the_plan():
+    plan = FaultPlan([
+        StuckBit(row=1, element=2, bit=3, value=1),
+        TagFlip(element=0, bit=0, at_search=5),
+    ])
+    assert len(plan.of_type(StuckBit)) == 1
+    assert len(plan.of_type(TagFlip)) == 1
+    assert len(plan.of_type(ChainKill)) == 0
+
+
+def test_chaos_is_deterministic_from_the_seed():
+    a = FaultPlan.chaos(seed=2026, devices=3)
+    b = FaultPlan.chaos(seed=2026, devices=3)
+    assert a == b
+    assert a.faults == b.faults
+    assert a.seed == 2026
+    c = FaultPlan.chaos(seed=2027, devices=3)
+    assert a != c
+
+
+def test_chaos_covers_the_taxonomy():
+    plan = FaultPlan.chaos(seed=7, devices=3, kill_cycle=120_000.0)
+    kills = plan.of_type(DeviceKill)
+    assert len(kills) == 1 and kills[0].at_cycle == 120_000.0
+    assert len(plan.of_type(TransferFault)) >= 2  # flips + spill fault
+    assert len(plan.of_type(StuckBit)) == 2
+    # The dead, flaky, and marginal devices are distinct with 3 devices.
+    victims = {kills[0].device}
+    victims.update(f.device for f in plan.of_type(TransferFault)
+                   if f.kind == "load")
+    victims.update(s.device for s in plan.of_type(StuckBit))
+    assert len(victims) == 3
+
+
+def test_chaos_single_device_folds_victims():
+    plan = FaultPlan.chaos(seed=3, devices=1)
+    for f in plan.faults:
+        assert f.device in (0, None)
+
+
+def test_as_dict_round_trips_fields():
+    plan = FaultPlan([StuckBit(row=1, element=2, bit=3, value=0)], seed=9)
+    d = plan.as_dict()
+    assert d["seed"] == 9
+    assert d["faults"][0] == {
+        "kind": "StuckBit", "row": 1, "element": 2, "bit": 3,
+        "value": 0, "device": None,
+    }

@@ -1,0 +1,228 @@
+"""Pool self-healing: retries, quarantine, device death, stall detection.
+
+Every scenario drives real injected faults (:mod:`repro.faults`) through
+the pool's event loop and checks the stream still completes — or that
+the pool *says so* loudly (:class:`PoolStalledError`) when it cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PoolStalledError
+from repro.engine.system import CAPEConfig
+from repro.faults import DeviceKill, FaultPlan, TransferFault
+from repro.obs import Observer
+from repro.runtime.health import DeviceHealth, HealthState
+from repro.runtime.job import Footprint, Job, JobState, SegmentedJob
+from repro.runtime.pool import DevicePool
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+
+
+def load_job(name, n=64, seed=1, **kwargs):
+    """A job whose input rides the VMU load path (transfer faults bite)."""
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 20, size=n).astype(np.int64)
+
+    def body(system):
+        system.memory.write_words(0x1000, data)
+        system.vsetvl(n)
+        system.vle(1, 0x1000)
+        system.vadd(2, 1, 1)
+        return int(system.vredsum(2, signed=False))
+
+    kwargs.setdefault("golden", int(2 * data.sum()))
+    return Job(name, body, Footprint(lanes=n, resident=True), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Health ledger unit behaviour
+# ----------------------------------------------------------------------
+
+
+def test_health_walks_the_state_machine():
+    h = DeviceHealth(failure_threshold=2, quarantine_cycles=100.0)
+    assert h.state is HealthState.HEALTHY and h.accepting
+    assert h.record_failure(now=10.0) is False
+    assert h.record_failure(now=20.0) is True  # threshold reached
+    assert h.state is HealthState.QUARANTINED and not h.accepting
+    assert h.quarantined_until == 120.0
+    assert h.readmit(now=50.0) is False  # too early
+    assert h.readmit(now=120.0) is True
+    assert h.state is HealthState.PROBATION and h.accepting
+    h.record_success()
+    assert h.state is HealthState.HEALTHY
+
+
+def test_probation_failure_requarantines_with_doubled_backoff():
+    h = DeviceHealth(failure_threshold=3, quarantine_cycles=100.0)
+    for _ in range(3):
+        h.record_failure(now=0.0)
+    assert h.quarantined_until == 100.0
+    h.readmit(now=100.0)
+    assert h.record_failure(now=100.0) is True  # one strike on probation
+    assert h.state is HealthState.QUARANTINED
+    assert h.quarantined_until == 300.0  # backoff doubled to 200
+
+
+def test_dead_is_terminal():
+    h = DeviceHealth()
+    h.kill()
+    assert not h.accepting and not h.alive
+    assert h.readmit(now=1e12) is False
+
+
+# ----------------------------------------------------------------------
+# Retry and re-placement
+# ----------------------------------------------------------------------
+
+
+def test_transient_failure_retries_on_another_device():
+    # Device 0's first two loads are corrupted; the retried job is
+    # steered to device 1 and completes.
+    plan = FaultPlan([
+        TransferFault(kind="load", at_transfer=1, element=3, bit=5, device=0),
+        TransferFault(kind="load", at_transfer=2, element=3, bit=5, device=0),
+    ])
+    obs = Observer()
+    pool = DevicePool(
+        (NANO, NANO), memory_bytes=1 << 22, fault_plan=plan, observer=obs,
+    )
+    job = pool.submit(load_job("flaky-load"))
+    report = pool.run()
+    assert job.state is JobState.DONE
+    assert job.attempts == 1
+    assert report.completed == 1 and report.failed == 0
+    assert report.retries == 1
+    assert obs.metrics.value("runtime.retries") == 1
+    record = report.jobs[0]
+    assert record.attempts == 1 and record.validated
+
+
+def test_retry_backoff_doubles_per_attempt():
+    plan = FaultPlan([
+        TransferFault(kind="load", at_transfer=t, element=0, bit=1, device=0)
+        for t in (1, 2)
+    ])
+    pool = DevicePool(
+        (NANO,), memory_bytes=1 << 22, fault_plan=plan,
+        retry_backoff_cycles=1_000.0, failure_threshold=10,
+    )
+    job = pool.submit(load_job("slow-heal"))
+    report = pool.run()
+    assert job.state is JobState.DONE and job.attempts == 2
+    # Attempt 1 re-queued after 1,000 cycles, attempt 2 after 2,000 more:
+    # the finish time carries both backoffs.
+    assert report.jobs[0].turnaround_cycles >= 3_000.0
+
+
+def test_retry_exhaustion_fails_the_job_with_a_named_error():
+    plan = FaultPlan([
+        TransferFault(kind="load", at_transfer=t, element=0, bit=1, device=0)
+        for t in (1, 2, 3, 4, 5, 6)
+    ])
+    pool = DevicePool(
+        (NANO,), memory_bytes=1 << 22, fault_plan=plan,
+        max_retries=2, failure_threshold=10,
+    )
+    job = pool.submit(load_job("doomed"))
+    report = pool.run()
+    assert job.state is JobState.FAILED
+    assert job.attempts == 3  # initial + 2 retries
+    assert report.failed == 1
+    assert "RetryExhaustedError" in report.jobs[0].error
+    assert "doomed" in report.jobs[0].error
+
+
+# ----------------------------------------------------------------------
+# Quarantine and probation
+# ----------------------------------------------------------------------
+
+
+def test_repeated_failures_quarantine_then_probation_heals():
+    # Three corrupted loads in a row trip the threshold; the quarantine
+    # lapses, the probe (4th attempt) runs clean, and the device returns
+    # to HEALTHY with the job DONE.
+    plan = FaultPlan([
+        TransferFault(kind="load", at_transfer=t, element=0, bit=1, device=0)
+        for t in (1, 2, 3)
+    ])
+    obs = Observer()
+    pool = DevicePool(
+        (NANO,), memory_bytes=1 << 22, fault_plan=plan, observer=obs,
+        max_retries=3, failure_threshold=2, quarantine_cycles=5_000.0,
+        retry_backoff_cycles=500.0,
+    )
+    job = pool.submit(load_job("survivor"))
+    report = pool.run()
+    assert job.state is JobState.DONE
+    assert report.completed == 1
+    assert report.quarantines >= 1
+    assert obs.metrics.value("runtime.quarantined") == report.quarantines
+    assert pool.devices[0].health.state is HealthState.HEALTHY
+
+
+def test_quarantined_device_gets_no_new_work():
+    pool = DevicePool((NANO, NANO), memory_bytes=1 << 22)
+    pool.devices[0].health.quarantine(now=0.0)
+    job = pool.submit(load_job("routed"))
+    pool.run()
+    assert job.device_id == 1
+
+
+# ----------------------------------------------------------------------
+# Device death
+# ----------------------------------------------------------------------
+
+
+def test_device_death_is_terminal_and_work_moves_on():
+    plan = FaultPlan([DeviceKill(at_cycle=1.0, device=0)])
+    obs = Observer()
+    pool = DevicePool(
+        (NANO, NANO), memory_bytes=1 << 22, fault_plan=plan, observer=obs,
+    )
+    jobs = [pool.submit(load_job(f"j{i}", seed=i), at_cycle=i * 10.0)
+            for i in range(4)]
+    report = pool.run()
+    assert all(j.state is JobState.DONE for j in jobs)
+    assert report.device_deaths == 1
+    assert not pool.devices[0].health.alive
+    assert obs.metrics.value("runtime.device_deaths") == 1
+    # Every completed execution ran on the surviving device.
+    assert {r.device_id for r in report.jobs} == {1}
+
+
+# ----------------------------------------------------------------------
+# Stall detection (no silent partial returns)
+# ----------------------------------------------------------------------
+
+
+def test_all_devices_dead_raises_pool_stalled_error():
+    plan = FaultPlan([DeviceKill(at_cycle=1.0, device=0)])
+    pool = DevicePool((NANO,), memory_bytes=1 << 22, fault_plan=plan)
+    pool.submit(load_job("first"))
+    pool.submit(load_job("second"), at_cycle=50_000.0)
+    with pytest.raises(PoolStalledError) as excinfo:
+        pool.run()
+    assert "quarantined or dead" in str(excinfo.value)
+    assert "first" in excinfo.value.job_names
+    assert "second" in excinfo.value.job_names
+
+
+def test_event_budget_exhaustion_raises_pool_stalled_error():
+    pool = DevicePool((NANO,), memory_bytes=1 << 22)
+    pool.submit(load_job("a"))
+    pool.submit(load_job("b"), at_cycle=10.0)
+    with pytest.raises(PoolStalledError) as excinfo:
+        pool.run(max_events=1)
+    assert "event budget" in str(excinfo.value)
+    assert excinfo.value.job_names  # names the stranded work
+
+
+def test_fault_free_pool_still_drains_and_reports():
+    pool = DevicePool((NANO, NANO), memory_bytes=1 << 22)
+    jobs = [pool.submit(load_job(f"c{i}", seed=i)) for i in range(6)]
+    report = pool.run()
+    assert report.completed == 6 and report.failed == 0
+    assert report.retries == 0 and report.quarantines == 0
+    assert all(j.state is JobState.DONE for j in jobs)
