@@ -17,12 +17,14 @@ reference loop.
 import json
 import math
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.eval.harness import run_micro_suite
 from repro.eval.tables import format_table
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_2.json"
+BENCH5_JSON = Path(__file__).resolve().parent.parent / "BENCH_5.json"
 
 
 def test_fig9_microbenchmarks(once):
@@ -112,6 +114,192 @@ def run_backend_compare(num_chains=64, sew=8):
     }
 
 
+class _WallClockProfile:
+    """Duck-typed stand-in for ``ProfileReport``: wall seconds per kernel."""
+
+    def __init__(self):
+        self.seconds = {}
+
+    @contextmanager
+    def kernel(self, name):
+        start = time.perf_counter()
+        yield
+        self.seconds[name] = round(
+            self.seconds.get(name, 0.0) + time.perf_counter() - start, 6
+        )
+
+
+def _timed_suite(plan_cache, num_chains, sew, repeats):
+    """Best-of-N wall time plus one per-kernel profiled pass.
+
+    Returns ``(best_seconds, checksum, per_kernel_seconds, microops)``.
+    The timing passes run under the null observer; one extra pass with a
+    live observer reads the ``csb.microops`` total, which must be
+    identical with the plan cache on and off.
+    """
+    from repro.eval.microprofile import run_fig9_kernels
+    from repro.obs import Observer
+
+    best, checksum = None, None
+    for _ in range(repeats):
+        elapsed, checksum = run_fig9_kernels(
+            "bitplane", num_chains=num_chains, sew=sew, plan_cache=plan_cache
+        )
+        best = elapsed if best is None else min(best, elapsed)
+    wall = _WallClockProfile()
+    run_fig9_kernels(
+        "bitplane", num_chains=num_chains, sew=sew,
+        plan_cache=plan_cache, profile=wall,
+    )
+    observer = Observer()
+    _, obs_checksum = run_fig9_kernels(
+        "bitplane", num_chains=num_chains, sew=sew,
+        plan_cache=plan_cache, observer=observer,
+    )
+    assert obs_checksum == checksum
+    return best, checksum, wall.seconds, observer.metrics.total("csb.microops")
+
+
+def _parallel_pool_compare(num_chains, sew, jobs_per_device=3, devices=4):
+    """Wall-time a job batch at ``parallelism=1`` vs ``parallelism=4``.
+
+    Each job runs the compute core of the fig9 suite as bit-plane
+    microcode; outputs must match bit-for-bit across the two modes. The
+    host speedup is recorded, not asserted — it depends on the host core
+    count (``host_cpus`` in the payload; a single-core host can at best
+    break even) and how much of each job numpy spends outside the GIL.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.engine.system import CAPEConfig
+    from repro.runtime.job import Footprint, Job
+    from repro.runtime.pool import DevicePool
+
+    config = CAPEConfig("fig9-bit", num_chains=num_chains)
+
+    def body(system, seed, rounds=4):
+        n = system.config.max_vl
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 1 << sew, n, dtype=np.int64)
+        b = rng.integers(0, 1 << sew, n, dtype=np.int64)
+        base_a, base_b = 0x10000, 0x80000
+        system.vmu.map_range(base_a, 4 * n)
+        system.vmu.map_range(base_b, 4 * n)
+        system.vmu.store(base_a, a)
+        system.vmu.store(base_b, b)
+        system.vsetvl(n, sew=sew)
+        system.vle(1, base_a)
+        system.vle(2, base_b)
+        total = 0
+        for _ in range(rounds):
+            system.vadd(3, 1, 2)
+            system.vmul(4, 1, 2)
+            system.vadd(5, 4, 3)
+            total += int(system.read_vreg(5).sum())
+        return total
+
+    def make_jobs():
+        return [
+            Job(
+                f"fig9-{i}",
+                lambda system, seed=100 + i: body(system, seed),
+                Footprint(lanes=config.max_vl, resident=True),
+                backend="bitplane",
+            )
+            for i in range(jobs_per_device * devices)
+        ]
+
+    results = {}
+    timings = {}
+    for parallelism in (1, devices):
+        pool = DevicePool(
+            (config,) * devices,
+            memory_bytes=1 << 24,
+            parallelism=parallelism,
+        )
+        jobs = [pool.submit(job) for job in make_jobs()]
+        start = time.perf_counter()
+        pool.run()
+        timings[parallelism] = time.perf_counter() - start
+        results[parallelism] = [j.result.output for j in jobs]
+    assert results[1] == results[devices], "parallel outputs diverged"
+    return {
+        "jobs": jobs_per_device * devices,
+        "devices": devices,
+        "parallelism": devices,
+        "host_cpus": os.cpu_count(),
+        "sequential_seconds": round(timings[1], 4),
+        "parallel_seconds": round(timings[devices], 4),
+        "speedup": round(timings[1] / timings[devices], 2),
+        "outputs_identical": True,
+    }
+
+
+def run_plan_cache_compare(num_chains=64, sew=8, repeats=3):
+    """Time the bit-plane fig9 suite with the plan cache on vs off.
+
+    Returns the ``BENCH_5.json`` payload: warm plan-cache wall time vs
+    the per-dispatch FSM walk, per-kernel seconds for both, the speedup
+    against ``BENCH_2.json``'s recorded bit-plane time, and a parallel
+    device-pool comparison. Results and ``csb.microops`` totals must be
+    identical in every mode — the plan cache is purely a host-speed
+    optimisation.
+    """
+    from repro.plan import GLOBAL_PLAN_CACHE
+
+    # Warm the shared cache so the "on" timing measures replay, not the
+    # one-time compile (real workloads hit a warm process-wide cache).
+    GLOBAL_PLAN_CACHE.clear()
+    _bit_level_suite("bitplane", num_chains=num_chains, sew=sew)
+
+    on_s, on_ck, on_kernels, on_uops = _timed_suite(
+        True, num_chains, sew, repeats
+    )
+    off_s, off_ck, off_kernels, off_uops = _timed_suite(
+        False, num_chains, sew, repeats
+    )
+
+    payload = {
+        "benchmark": "fig9 kernels as bit-plane microcode — plan cache "
+        "on (warm) vs off (per-dispatch FSM walk)",
+        "config": {"num_chains": num_chains, "sew": sew},
+        "plan_cache_on_seconds": round(on_s, 4),
+        "plan_cache_off_seconds": round(off_s, 4),
+        "speedup_on_vs_off": round(off_s / on_s, 2),
+        "per_kernel_seconds": {"on": on_kernels, "off": off_kernels},
+        "checksum_identical": on_ck == off_ck,
+        "microops_identical": on_uops == off_uops,
+        "plan_cache": {
+            "entries": len(GLOBAL_PLAN_CACHE),
+            "hits": GLOBAL_PLAN_CACHE.hits,
+            "misses": GLOBAL_PLAN_CACHE.misses,
+        },
+        "parallel_pool": _parallel_pool_compare(num_chains, sew),
+    }
+    if BENCH_JSON.exists():
+        baseline = json.loads(BENCH_JSON.read_text())
+        if baseline.get("config") == {"num_chains": num_chains, "sew": sew}:
+            payload["baseline_bitplane_seconds"] = baseline["bitplane_seconds"]
+            payload["speedup_vs_bench2"] = round(
+                baseline["bitplane_seconds"] / on_s, 2
+            )
+    return payload
+
+
+def test_fig9_plan_cache_speedup():
+    payload = run_plan_cache_compare()
+    BENCH5_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print("Figure 9 kernels as microcode — plan-cache comparison")
+    print(json.dumps(payload, indent=2))
+    assert payload["checksum_identical"] and payload["microops_identical"]
+    assert payload["speedup_on_vs_off"] >= 1.5
+    if "speedup_vs_bench2" in payload:
+        assert payload["speedup_vs_bench2"] >= 2
+
+
 def test_fig9_backend_speedup():
     payload = run_backend_compare()
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
@@ -137,10 +325,40 @@ if __name__ == "__main__":
         help="time the kernels on one backend (null observer), then "
         "print the observer-derived per-kernel profile",
     )
+    parser.add_argument(
+        "--plan-cache",
+        choices=("compare", "on", "off"),
+        help="'compare' times the bit-plane suite with the plan cache "
+        "on vs off and writes BENCH_5.json; 'on'/'off' time one mode",
+    )
     parser.add_argument("--num-chains", type=int, default=64)
     parser.add_argument("--sew", type=int, default=8)
     args = parser.parse_args()
-    if args.backend:
+    if args.plan_cache:
+        if args.plan_cache == "compare":
+            result = run_plan_cache_compare(
+                num_chains=args.num_chains, sew=args.sew
+            )
+            BENCH5_JSON.write_text(json.dumps(result, indent=2) + "\n")
+            print(json.dumps(result, indent=2))
+            print(f"wrote {BENCH5_JSON}")
+        else:
+            from repro.eval.microprofile import run_fig9_kernels
+
+            enabled = args.plan_cache == "on"
+            if enabled:  # warm the shared cache first
+                run_fig9_kernels(
+                    "bitplane", num_chains=args.num_chains, sew=args.sew
+                )
+            elapsed, checksum = run_fig9_kernels(
+                "bitplane", num_chains=args.num_chains, sew=args.sew,
+                plan_cache=enabled,
+            )
+            print(
+                f"plan cache {args.plan_cache}: {elapsed:.4f}s wall, "
+                f"checksum {checksum}"
+            )
+    elif args.backend:
         run_backend_profile(
             args.backend, num_chains=args.num_chains, sew=args.sew
         )
@@ -150,4 +368,7 @@ if __name__ == "__main__":
         print(json.dumps(result, indent=2))
         print(f"wrote {BENCH_JSON}")
     else:
-        parser.error("run under pytest, or pass --backend/--backend-compare")
+        parser.error(
+            "run under pytest, or pass --backend/--backend-compare/"
+            "--plan-cache"
+        )

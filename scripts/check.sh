@@ -59,6 +59,36 @@ print(f"traced bitplane run: {len(obs.tracer)} events, "
       f"{len(obs.metrics)} metric series, chrome export valid")
 EOF
 
+echo "== perf smoke (plan cache) =="
+python - <<'EOF'
+from repro.eval.microprofile import run_fig9_kernels
+from repro.obs import Observer
+
+# Warm the shared plan cache, then time replay vs the per-dispatch FSM
+# walk. The plan cache must be purely a host-speed win: identical
+# checksum, identical csb.microops, and at least 1.5x faster warm.
+run_fig9_kernels("bitplane")
+on_s, on_ck = min(
+    (run_fig9_kernels("bitplane") for _ in range(3)), key=lambda r: r[0]
+)
+off_s, off_ck = min(
+    (run_fig9_kernels("bitplane", plan_cache=False) for _ in range(3)),
+    key=lambda r: r[0],
+)
+assert on_ck == off_ck, (on_ck, off_ck)
+uops = {}
+for mode in (True, False):
+    obs = Observer()
+    run_fig9_kernels("bitplane", observer=obs, plan_cache=mode)
+    uops[mode] = obs.metrics.total("csb.microops")
+assert uops[True] == uops[False], uops
+speedup = off_s / on_s
+assert speedup >= 1.5, f"plan cache speedup {speedup:.2f}x < 1.5x"
+print(f"plan cache: {on_s:.4f}s warm vs {off_s:.4f}s FSM walk "
+      f"({speedup:.1f}x), checksum {on_ck} and "
+      f"{uops[True]:.0f} microops identical")
+EOF
+
 echo "== fault-injection smoke =="
 python - <<'EOF'
 import numpy as np
@@ -125,4 +155,5 @@ echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
 
 echo "== slow markers =="
-python -m pytest -q -m slow benchmarks/bench_table2_microops.py
+python -m pytest -q -m slow benchmarks/bench_table2_microops.py \
+    tests/integration/test_chaos.py

@@ -114,6 +114,7 @@ from repro.obs import (
     ProfileReport,
     Tracer,
 )
+from repro.plan import GLOBAL_PLAN_CACHE, CompiledPlan, PlanCache
 from repro.runtime import (
     DevicePool,
     Footprint,
@@ -140,11 +141,13 @@ __all__ = [
     "DeviceFailedError",
     "DeviceKill",
     "DevicePool",
+    "CompiledPlan",
     "ExecutionBackend",
     "FaultInjectionError",
     "FaultInjector",
     "FaultPlan",
     "Footprint",
+    "GLOBAL_PLAN_CACHE",
     "Job",
     "JobResult",
     "Machine",
@@ -153,6 +156,7 @@ __all__ = [
     "NullObserver",
     "Observer",
     "PageFault",
+    "PlanCache",
     "PoolStalledError",
     "ProfileReport",
     "ProtocolError",
@@ -170,6 +174,7 @@ __all__ = [
     "AssociativeEmulator",
     "golden",
     "run",
+    "run_pool",
 ]
 
 
@@ -231,6 +236,12 @@ class Device:
         observer: optional :class:`Observer` receiving counters and
             trace events from every layer; defaults to the shared
             zero-overhead null observer.
+        plan_cache: microcode plan cache — ``True`` (default) shares
+            :data:`GLOBAL_PLAN_CACHE` across all devices in the
+            process, ``False``/``None`` re-walks the microcode FSM per
+            dispatch, or pass a private :class:`PlanCache`. Purely a
+            host-speed knob; cycle/energy accounting is identical
+            (``docs/PERFORMANCE.md``).
     """
 
     def __init__(
@@ -240,6 +251,7 @@ class Device:
         memory_bytes: Optional[int] = None,
         accounting: str = "paper",
         observer: Optional[Observer] = None,
+        plan_cache=True,
     ) -> None:
         self.system = CAPESystem(
             config,
@@ -247,6 +259,7 @@ class Device:
             accounting=accounting,
             backend=backend,
             observer=observer,
+            plan_cache=plan_cache,
         )
 
     # -- identity ------------------------------------------------------
@@ -357,6 +370,7 @@ def run(
     memory_words: Optional[dict] = None,
     observer: Optional[Observer] = None,
     trace: bool = False,
+    plan_cache=True,
 ) -> RunResult:
     """Assemble and run a program on a fresh :class:`Device`.
 
@@ -371,11 +385,44 @@ def run(
             device.
         trace: attach a fresh observer for this run and return its
             tracer on ``result.trace`` (see :meth:`Device.run`).
+        plan_cache: microcode plan cache knob (see :class:`Device`).
 
     Returns:
         A :class:`RunResult` (machine fields available by delegation).
     """
-    device = Device(config, backend=backend, observer=observer)
+    device = Device(config, backend=backend, observer=observer, plan_cache=plan_cache)
     for addr, values in (memory_words or {}).items():
         device.write_words(addr, values)
     return device.run(program, trace=trace)
+
+
+def run_pool(
+    jobs: Sequence[Job],
+    configs: Sequence[CAPEConfig] = (CAPE32K,),
+    parallelism: int = 1,
+    plan_cache=True,
+    observer: Optional[Observer] = None,
+    interarrival_cycles: float = 0.0,
+    **pool_kwargs: Any,
+) -> TelemetryReport:
+    """Run a batch of jobs on a fresh :class:`DevicePool`.
+
+    ``parallelism`` sets the pool's worker-thread count: independent
+    devices' jobs execute concurrently (numpy's fused bit-plane kernels
+    release the GIL) while placement, results, and telemetry stay
+    bit-identical to the sequential loop — see ``docs/PERFORMANCE.md``.
+    Extra keyword arguments pass through to :class:`DevicePool`.
+    """
+    pool = DevicePool(
+        configs,
+        observer=observer,
+        parallelism=parallelism,
+        plan_cache=plan_cache,
+        **pool_kwargs,
+    )
+    if interarrival_cycles:
+        pool.submit_stream(jobs, interarrival_cycles=interarrival_cycles)
+    else:
+        for job in jobs:
+            pool.submit(job)
+    return pool.run()

@@ -16,8 +16,9 @@ latency (cycles) and per-lane energy. Two cycle accountings coexist:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -72,6 +73,15 @@ class InstructionMetrics:
     paper_energy_pj: float
 
 
+#: Process-wide measurement memo: (mnemonic, width, circuit fingerprint)
+#: -> InstructionMetrics. Measuring runs the reference emulator with a
+#: fixed seed, so the result is a pure function of that key — every
+#: fresh CAPESystem used to re-measure its instruction mix from scratch,
+#: which dominated short bit-level runs.
+_SHARED_MEASUREMENTS: Dict[tuple, "InstructionMetrics"] = {}
+_SHARED_LOCK = threading.Lock()
+
+
 class InstructionModel:
     """Latency/energy oracle for CAPE vector instructions.
 
@@ -93,7 +103,17 @@ class InstructionModel:
         self.circuit = circuit if circuit is not None else CircuitModel()
         self.width = width
         self.accounting = accounting
-        self._measured_cache: Dict[str, InstructionMetrics] = {}
+        self._measured_cache: Dict[Tuple[str, int], InstructionMetrics] = {}
+        # CircuitModel is frozen but holds a dict of timings, so it is
+        # not hashable itself; fingerprint the values that feed the
+        # measurement instead.
+        self._circuit_fingerprint = (
+            self.circuit.frequency_derate,
+            tuple(sorted(
+                (op.value, t.delay_s, t.bs_energy_j, t.bp_energy_j)
+                for op, t in self.circuit.timings.items()
+            )),
+        )
 
     def info(self, mnemonic: str) -> AlgorithmInfo:
         try:
@@ -116,17 +136,26 @@ class InstructionModel:
     def measure(self, mnemonic: str, width: Optional[int] = None) -> InstructionMetrics:
         """Emulate one instruction and derive its Table I row.
 
-        Results are cached per mnemonic at the model's width; pass an
-        explicit ``width`` to bypass the cache (used by the closed-form
-        property tests at several widths).
+        Results are cached per ``(mnemonic, width)`` — the cache used to
+        key on the bare mnemonic, so a model whose width changed (or a
+        ``width=`` override) could be served a stale row measured at a
+        different SEW. Measurements are also shared process-wide per
+        circuit fingerprint (the emulation is seeded and pure), so fresh
+        systems stop paying the reference-emulator walk per instance.
         """
-        use_cache = width is None
-        if use_cache and mnemonic in self._measured_cache:
-            return self._measured_cache[mnemonic]
         width = self.width if width is None else width
-        metrics = self._measure_uncached(mnemonic, width)
-        if use_cache:
-            self._measured_cache[mnemonic] = metrics
+        key = (mnemonic, width)
+        metrics = self._measured_cache.get(key)
+        if metrics is not None:
+            return metrics
+        shared_key = (mnemonic, width, self._circuit_fingerprint)
+        with _SHARED_LOCK:
+            metrics = _SHARED_MEASUREMENTS.get(shared_key)
+        if metrics is None:
+            metrics = self._measure_uncached(mnemonic, width)
+            with _SHARED_LOCK:
+                metrics = _SHARED_MEASUREMENTS.setdefault(shared_key, metrics)
+        self._measured_cache[key] = metrics
         return metrics
 
     def table_i(self) -> List[InstructionMetrics]:

@@ -31,6 +31,7 @@ import numpy as np
 from repro.assoc import algorithms as alg
 from repro.csb.chain import Chain
 from repro.csb.csb import CSB
+from repro.plan import compile_chain_program, resolve_plan_cache
 
 #: Mnemonics whose microcode honours the MASK metadata rows.
 MASKABLE = {
@@ -67,6 +68,10 @@ class BitEngine:
             forwarded to every CSB this engine builds, so injected CSB
             faults survive :meth:`reset` (silicon defects do not heal
             between jobs).
+        plan_cache: ``True`` for the process-wide
+            :data:`~repro.plan.cache.GLOBAL_PLAN_CACHE`, ``False``/``None``
+            to re-walk the microcode on every dispatch, or an explicit
+            :class:`~repro.plan.PlanCache`.
     """
 
     def __init__(
@@ -77,10 +82,12 @@ class BitEngine:
         backend: str = "bitplane",
         observer=None,
         fault_injector=None,
+        plan_cache=None,
     ) -> None:
         self.backend = backend
         self.observer = observer
         self.fault_injector = fault_injector
+        self._plan_cache = resolve_plan_cache(plan_cache)
         self._shape = (num_chains, num_subarrays, num_cols)
         self.csb = CSB(
             num_chains, num_subarrays, num_cols, backend=backend,
@@ -187,6 +194,25 @@ class BitEngine:
         if mnemonic == "vredsum.vs":
             return self.csb.redsum(vs1, width)
 
+        cache = self._plan_cache
+        plan = None
+        if cache is not None:
+            key = (
+                "op", mnemonic, width, self._shape[1], vd, vs1, vs2,
+                None if scalar is None else int(scalar), mask_reg, masked,
+            )
+            plan = cache.get_or_compile(
+                key,
+                lambda: compile_chain_program(
+                    self._shape[1],
+                    lambda rec: run_microcode(
+                        rec, mnemonic, vd, vs1, vs2, scalar, mask_reg,
+                        width, masked,
+                    ),
+                ),
+                observer=self.observer,
+            )
+
         stats = self.csb.stats
         try:
             for i, chain in enumerate(self.targets):
@@ -195,10 +221,13 @@ class BitEngine:
                 # once (the reference backend mutes chains after the
                 # first, matching the ganged bitplane tally).
                 stats.muted = i > 0
-                self._execute_on(
-                    chain, mnemonic, vd, vs1, vs2, scalar, mask_reg, width,
-                    masked,
-                )
+                if plan is not None:
+                    plan.replay(chain)
+                else:
+                    run_microcode(
+                        chain, mnemonic, vd, vs1, vs2, scalar, mask_reg,
+                        width, masked,
+                    )
         finally:
             stats.muted = False
         return None
@@ -216,54 +245,77 @@ class BitEngine:
         masked: bool,
     ) -> None:
         """Run one intrinsic's microcode on a single chain."""
-        if masked and mnemonic != "vmerge.vv":
-            alg.broadcast_mask(chain, mask_reg)
-        if mnemonic in ("vadd.vv", "vsub.vv"):
-            func = alg.vadd_vv if mnemonic == "vadd.vv" else alg.vsub_vv
-            func(chain, vd, vs1, vs2, width, masked)
-        elif mnemonic in ("vand.vv", "vor.vv", "vxor.vv"):
-            func = {
-                "vand.vv": alg.vand_vv,
-                "vor.vv": alg.vor_vv,
-                "vxor.vv": alg.vxor_vv,
-            }[mnemonic]
-            func(chain, vd, vs1, vs2, masked)
-        elif mnemonic == "vadd.vx":
-            alg.vadd_vx(chain, vd, vs1, int(scalar), width, masked)
-        elif mnemonic == "vrsub.vx":
-            alg.vrsub_vx(chain, vd, vs1, int(scalar), width)
-        elif mnemonic == "vmul.vv":
-            alg.vmul_vv(chain, vd, vs1, vs2, width)
-        elif mnemonic == "vmv.v.x":
-            alg.vmv_vx(chain, vd, int(scalar), masked)
-        elif mnemonic == "vmv.v.v":
-            alg.vmv_vv(chain, vd, vs1, masked)
-        elif mnemonic == "vmerge.vv":
-            alg.vmerge_vvm(chain, vd, vs1, vs2, mask_reg)
-        elif mnemonic == "vmseq.vx":
-            alg.vmseq_vx(chain, vd, vs1, int(scalar), width)
-        elif mnemonic == "vmseq.vv":
-            alg.vmseq_vv(chain, vd, vs1, vs2, width)
-        elif mnemonic == "vmslt.vv":
-            alg.vmslt_vv(chain, vd, vs1, vs2, width)
-        elif mnemonic == "vmsltu.vv":
-            alg.vmsltu_vv(chain, vd, vs1, vs2, width)
-        elif mnemonic == "vmsne.vv":
-            alg.vmsne_vv(chain, vd, vs1, vs2, width)
-        elif mnemonic in ("vmin.vv", "vmax.vv", "vminu.vv", "vmaxu.vv"):
-            func = {
-                "vmin.vv": alg.vmin_vv,
-                "vmax.vv": alg.vmax_vv,
-                "vminu.vv": alg.vminu_vv,
-                "vmaxu.vv": alg.vmaxu_vv,
-            }[mnemonic]
-            func(chain, vd, vs1, vs2, width)
-        elif mnemonic in ("vsll.vi", "vsrl.vi", "vsra.vi"):
-            func = {
-                "vsll.vi": alg.vsll_vi,
-                "vsrl.vi": alg.vsrl_vi,
-                "vsra.vi": alg.vsra_vi,
-            }[mnemonic]
-            func(chain, vd, vs1, int(scalar), width)
-        else:
-            raise UnsupportedMicrocode(mnemonic)
+        run_microcode(
+            chain, mnemonic, vd, vs1, vs2, scalar, mask_reg, width, masked
+        )
+
+
+def run_microcode(
+    chain,
+    mnemonic: str,
+    vd: Optional[int],
+    vs1: Optional[int],
+    vs2: Optional[int],
+    scalar: Optional[int],
+    mask_reg: Optional[int],
+    width: int,
+    masked: bool,
+) -> None:
+    """Drive one intrinsic's microcode against a chain-shaped target.
+
+    ``chain`` is either a live :class:`~repro.csb.chain.Chain` (direct
+    execution) or a :class:`~repro.plan.RecordingChain` (plan
+    compilation) — the microcode only touches the shared chain surface,
+    which is what makes record-once/replay-many sound.
+    """
+    if masked and mnemonic != "vmerge.vv":
+        alg.broadcast_mask(chain, mask_reg)
+    if mnemonic in ("vadd.vv", "vsub.vv"):
+        func = alg.vadd_vv if mnemonic == "vadd.vv" else alg.vsub_vv
+        func(chain, vd, vs1, vs2, width, masked)
+    elif mnemonic in ("vand.vv", "vor.vv", "vxor.vv"):
+        func = {
+            "vand.vv": alg.vand_vv,
+            "vor.vv": alg.vor_vv,
+            "vxor.vv": alg.vxor_vv,
+        }[mnemonic]
+        func(chain, vd, vs1, vs2, masked)
+    elif mnemonic == "vadd.vx":
+        alg.vadd_vx(chain, vd, vs1, int(scalar), width, masked)
+    elif mnemonic == "vrsub.vx":
+        alg.vrsub_vx(chain, vd, vs1, int(scalar), width)
+    elif mnemonic == "vmul.vv":
+        alg.vmul_vv(chain, vd, vs1, vs2, width)
+    elif mnemonic == "vmv.v.x":
+        alg.vmv_vx(chain, vd, int(scalar), masked)
+    elif mnemonic == "vmv.v.v":
+        alg.vmv_vv(chain, vd, vs1, masked)
+    elif mnemonic == "vmerge.vv":
+        alg.vmerge_vvm(chain, vd, vs1, vs2, mask_reg)
+    elif mnemonic == "vmseq.vx":
+        alg.vmseq_vx(chain, vd, vs1, int(scalar), width)
+    elif mnemonic == "vmseq.vv":
+        alg.vmseq_vv(chain, vd, vs1, vs2, width)
+    elif mnemonic == "vmslt.vv":
+        alg.vmslt_vv(chain, vd, vs1, vs2, width)
+    elif mnemonic == "vmsltu.vv":
+        alg.vmsltu_vv(chain, vd, vs1, vs2, width)
+    elif mnemonic == "vmsne.vv":
+        alg.vmsne_vv(chain, vd, vs1, vs2, width)
+    elif mnemonic in ("vmin.vv", "vmax.vv", "vminu.vv", "vmaxu.vv"):
+        func = {
+            "vmin.vv": alg.vmin_vv,
+            "vmax.vv": alg.vmax_vv,
+            "vminu.vv": alg.vminu_vv,
+            "vmaxu.vv": alg.vmaxu_vv,
+        }[mnemonic]
+        func(chain, vd, vs1, vs2, width)
+    elif mnemonic in ("vsll.vi", "vsrl.vi", "vsra.vi"):
+        func = {
+            "vsll.vi": alg.vsll_vi,
+            "vsrl.vi": alg.vsrl_vi,
+            "vsra.vi": alg.vsra_vi,
+        }[mnemonic]
+        func(chain, vd, vs1, int(scalar), width)
+    else:
+        raise UnsupportedMicrocode(mnemonic)

@@ -145,6 +145,13 @@ class CAPESystem:
         fault_injector: optional :class:`repro.faults.FaultInjector`
             bound via :meth:`attach_fault_injector`; with none attached
             every injection hook is a single ``None`` check.
+        plan_cache: microcode plan caching for the bit-accurate backend —
+            ``True`` (default) shares the process-wide
+            :data:`~repro.plan.cache.GLOBAL_PLAN_CACHE`, ``False`` re-walks
+            the microcode on every dispatch, or pass an explicit
+            :class:`~repro.plan.PlanCache`. Plans are pure (identical
+            results, cycles, and ``csb.microops``), so this is purely a
+            host-speed knob.
     """
 
     NUM_VREGS = 32
@@ -158,6 +165,7 @@ class CAPESystem:
         backend: Optional[str] = None,
         observer=None,
         fault_injector=None,
+        plan_cache=True,
     ) -> None:
         self.config = config
         self.circuit = circuit if circuit is not None else CircuitModel()
@@ -196,6 +204,7 @@ class CAPESystem:
         #: Architectural registers written since construction/reset —
         #: the register-file occupancy the runtime schedules against.
         self._written_vregs: set = set()
+        self._plan_cache = plan_cache
         self._bitengine: Optional[BitEngine] = None
         self.fault_injector = None
         self.observer = NULL_OBSERVER
@@ -264,6 +273,7 @@ class CAPESystem:
             backend=backend,
             observer=self.observer,
             fault_injector=self.fault_injector,
+            plan_cache=self._plan_cache,
         )
         for vreg in self._written_vregs:
             self._bitengine.sync_register(vreg, self.vregs[vreg])

@@ -32,6 +32,7 @@ from repro.assoc.truthtable import TruthTable, TTEntry, UpdateOp
 from repro.common.errors import CapacityError, ConfigError
 from repro.csb.chain import NUM_VREGS, MetaRow
 from repro.csb.reduction import ReductionTree
+from repro.plan import compile_chain_program, resolve_plan_cache
 
 #: Command-bus width per chain at the 32-bit configuration (Section V-D).
 COMMAND_BUS_BITS = 143
@@ -270,40 +271,24 @@ def _word_to_key(mask: int, data: int, num_rows: int = 36) -> Dict[int, int]:
     return key
 
 
-def execute_table(
+def _apply_table(
     chain,
     table: TruthTable,
     decoder: TTDecoder,
     width: int,
-    msb_first: bool = False,
-    preamble: Tuple[Tuple[int, int], ...] = (),
+    msb_first: bool,
+    preamble: Tuple[Tuple[int, int], ...],
 ):
-    """Drive a bit-level chain from a truth table through the FSM path.
+    """Walk the FSM once, driving ``chain`` (live or recording).
 
-    This is the architectural execution route: the chain controller's
-    sequencer walks the TTM, the decoder produces command words, and the
-    commands are applied to the chain's row/column drivers — validating
-    that the TTM encoding is sufficient to realise the associative
-    algorithms (the executable microcode in ``repro.assoc.algorithms``
-    is the reference).
-
-    Args:
-        chain: the bit-level chain to drive.
-        table: the instruction's truth table.
-        decoder: operand-bound TT decoder.
-        width: element width in bits.
-        msb_first: bit-walk direction.
-        preamble: (row, value) bulk initialisations issued before the
-            table walk (the "+2" initialisation updates of Table I).
-
-    Returns:
-        The accumulated redsum value when the table engages the
-        reduction logic, else ``None``.
+    Returns ``(used_reduce, reduce_values)`` where ``reduce_values`` is
+    the per-bit redsum partial list — plain ints on a live chain, plan
+    tokens under a :class:`~repro.plan.RecordingChain`.
     """
     for row, value in preamble:
         chain.update_bit_parallel(row, value, use_tags=False)
     fsm = ChainControllerFSM(table, decoder, width, msb_first=msb_first)
-    reduce_total = 0
+    reduce_values = []
     used_reduce = False
     for state, word in fsm.run():
         if word is None:
@@ -336,8 +321,83 @@ def execute_table(
             used_reduce = True
             key = _word_to_key(word.search_mask, word.search_data)
             (row, _), = key.items()
-            reduce_total = (reduce_total << 1) + chain.redsum_step(subarray, row)
-    return reduce_total if used_reduce else None
+            reduce_values.append(chain.redsum_step(subarray, row))
+    return used_reduce, reduce_values
+
+
+def _fold_reduce(values) -> int:
+    """Fold per-bit redsum partials MSB-first, as the FSM walk did."""
+    total = 0
+    for value in values:
+        total = (total << 1) + int(value)
+    return total
+
+
+def execute_table(
+    chain,
+    table: TruthTable,
+    decoder: TTDecoder,
+    width: int,
+    msb_first: bool = False,
+    preamble: Tuple[Tuple[int, int], ...] = (),
+    plan_cache=True,
+):
+    """Drive a bit-level chain from a truth table through the FSM path.
+
+    This is the architectural execution route: the chain controller's
+    sequencer walks the TTM, the decoder produces command words, and the
+    commands are applied to the chain's row/column drivers — validating
+    that the TTM encoding is sufficient to realise the associative
+    algorithms (the executable microcode in ``repro.assoc.algorithms``
+    is the reference).
+
+    The walk is compiled once per (table, binding, width, direction,
+    subarray count) into a :class:`~repro.plan.CompiledPlan` and replayed
+    from the plan cache on repeats — identical state transitions and
+    identical microop charges, without re-running the sequencer.
+
+    Args:
+        chain: the bit-level chain to drive.
+        table: the instruction's truth table.
+        decoder: operand-bound TT decoder.
+        width: element width in bits.
+        msb_first: bit-walk direction.
+        preamble: (row, value) bulk initialisations issued before the
+            table walk (the "+2" initialisation updates of Table I).
+        plan_cache: ``True`` (default) for the process-wide plan cache,
+            ``False``/``None`` to re-walk the FSM every call, or an
+            explicit :class:`~repro.plan.PlanCache`.
+
+    Returns:
+        The accumulated redsum value when the table engages the
+        reduction logic, else ``None``.
+    """
+    cache = resolve_plan_cache(plan_cache)
+    if cache is not None:
+        key = (
+            "table", chain.num_subarrays, width, bool(msb_first), table,
+            tuple(preamble), tuple(sorted(decoder._binding.items())),
+        )
+        try:
+            hash(key)
+        except TypeError:
+            key = None  # exotic hand-built table; fall through to the walk
+        if key is not None:
+            plan = cache.get_or_compile(
+                key,
+                lambda: compile_chain_program(
+                    chain.num_subarrays,
+                    lambda rec: _apply_table(
+                        rec, table, decoder, width, msb_first, preamble
+                    ),
+                ),
+            )
+            used_reduce, values = plan.replay(chain)
+            return _fold_reduce(values) if used_reduce else None
+    used_reduce, values = _apply_table(
+        chain, table, decoder, width, msb_first, preamble
+    )
+    return _fold_reduce(values) if used_reduce else None
 
 
 @dataclass

@@ -37,6 +37,7 @@ def run_fig9_kernels(
     seed: int = 7,
     observer: Optional[Observer] = None,
     profile: Optional[ProfileReport] = None,
+    plan_cache=True,
 ) -> Tuple[float, int]:
     """Run the Fig. 9 kernel set; returns ``(elapsed_seconds, checksum)``.
 
@@ -44,14 +45,19 @@ def run_fig9_kernels(
     associative microcode on the CSB mirror and is cross-validated, so
     the wall time is dominated by microcode execution on the selected
     backend. The checksum must agree across backends. ``profile`` wraps
-    each kernel in a :meth:`ProfileReport.kernel` scope.
+    each kernel in a :meth:`ProfileReport.kernel` scope. ``plan_cache``
+    is the system's microcode plan-cache knob (``False`` re-walks the
+    FSM per dispatch — the pre-plan behaviour, used by the plan-cache
+    comparison bench).
     """
     import numpy as np
 
     from repro.engine.system import CAPEConfig, CAPESystem
 
     config = CAPEConfig("fig9-bit", num_chains=num_chains)
-    cape = CAPESystem(config, backend=backend, observer=observer)
+    cape = CAPESystem(
+        config, backend=backend, observer=observer, plan_cache=plan_cache
+    )
     n = config.max_vl
     rng = np.random.default_rng(seed)
     a = rng.integers(0, 1 << sew, n, dtype=np.int64)

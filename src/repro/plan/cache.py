@@ -1,0 +1,127 @@
+"""Process-wide LRU cache of compiled microcode plans.
+
+Plans are pure functions of their key — (mnemonic, SEW, operand roles,
+mask form, subarray count) for intrinsics, (table, decoder binding,
+width, walk order) for raw FSM walks — and capture no chain or device
+state, so the cache never needs invalidation. One :data:`GLOBAL_PLAN_CACHE`
+is shared across every ``BitEngine``/``CAPESystem``/``DevicePool`` in the
+process: the second device to dispatch ``vadd.vv`` at SEW=32 reuses the
+plan the first one compiled.
+
+The cache is thread-safe (the parallel device pool compiles from worker
+threads). Compilation happens *outside* the lock — recording a microcode
+walk can take microseconds and must not serialise unrelated lookups —
+with a first-wins re-check on insert so concurrent compilers of the same
+key converge on one plan object.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.common.errors import ConfigError
+from repro.plan.plan import CompiledPlan
+
+#: Default maximum number of cached plans. A plan is a few KiB of step
+#: tuples and lookup tables; 1024 of them is megabytes, far beyond any
+#: realistic (mnemonic × SEW × roles) working set.
+DEFAULT_CAPACITY = 1024
+
+
+class PlanCache:
+    """A bounded, thread-safe, never-invalidated LRU of compiled plans."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ConfigError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self._plans: "OrderedDict[object, CompiledPlan]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compile(
+        self,
+        key,
+        builder: Callable[[], CompiledPlan],
+        observer=None,
+    ) -> CompiledPlan:
+        """Return the plan for ``key``, compiling via ``builder`` on miss.
+
+        ``builder`` runs outside the lock; if two threads race on the
+        same key the first insert wins and the loser's plan is dropped
+        (plans for one key are interchangeable by construction).
+        """
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                if observer is not None and observer.enabled:
+                    observer.counter("plan.cache.hit").inc()
+                return plan
+        start = time.perf_counter_ns()
+        plan = builder()
+        elapsed_ns = time.perf_counter_ns() - start
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                if observer is not None and observer.enabled:
+                    observer.counter("plan.cache.hit").inc()
+                return existing
+            self.misses += 1
+            self._plans[key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+        if observer is not None and observer.enabled:
+            observer.counter("plan.cache.miss").inc()
+            observer.histogram("plan.cache.compile_ns").observe(elapsed_ns)
+        return plan
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache({len(self)}/{self.capacity} plans, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
+#: The shared process-wide cache (``plan_cache=True`` everywhere).
+GLOBAL_PLAN_CACHE = PlanCache()
+
+
+def resolve_plan_cache(plan_cache) -> Optional[PlanCache]:
+    """Normalise the ``plan_cache=`` knob every layer accepts.
+
+    ``True`` → the process-wide :data:`GLOBAL_PLAN_CACHE`; ``False`` or
+    ``None`` → no caching (every dispatch re-walks the FSM, the pre-plan
+    behaviour); a :class:`PlanCache` instance → that instance.
+    """
+    if plan_cache is True:
+        return GLOBAL_PLAN_CACHE
+    if plan_cache is None or plan_cache is False:
+        return None
+    if isinstance(plan_cache, PlanCache):
+        return plan_cache
+    raise ConfigError(
+        f"plan_cache must be True, False, None, or a PlanCache, "
+        f"got {plan_cache!r}"
+    )

@@ -1,0 +1,480 @@
+"""Compiled microcode plans: record once, replay as batched kernels.
+
+A :class:`CompiledPlan` is the immutable result of running a microcode
+body (an associative algorithm, or the sequencer-FSM walk of a truth
+table) against a :class:`~repro.plan.recorder.RecordingChain`. It holds
+
+* the flat step stream (the exact chain-level microoperation sequence),
+* the stream's static microop charges (pre-summed per flavour), and
+* a *lowered* program for the bit-plane backend: steps pre-translated
+  into direct kernels over the backend's fused ``bits``/``tags``
+  matrices, with runs of accumulating searches over the same subarray
+  batched into a single lookup-table kernel (pack the driven row planes
+  into an index, one table gather replaces up to ``MAX_SEARCH_ROWS``-row
+  search cascades).
+
+Replay has two flavours with identical architectural effects:
+
+* **generic** — re-issue every recorded step through the live
+  :class:`~repro.csb.chain.Chain` API. Bit-exact and charge-exact by
+  construction; used for the reference backend, fault-wrapped backends,
+  and traced runs (``stats.keep_trace`` needs the interleaved order).
+* **lowered** — run the pre-translated kernels straight on a
+  :class:`~repro.csb.bitplane.BitplaneBackend`, then apply the static
+  charges in bulk. Same state transitions, same microop totals, same
+  observer counters — just far fewer Python dispatches.
+
+Plans are pure: they capture no chain state, only structure, so one plan
+serves every device whose chains share the subarray count (column count
+is resolved at replay), and caching them never needs invalidation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.csb.bitplane import BitplaneBackend
+from repro.plan.recorder import RecordingChain, Token
+
+#: Largest row-union a batched search group may pack into one lookup
+#: table (2^10 = 1 KiB tables; real microcode unions stay at <= 4 rows).
+MAX_LUT_ROWS = 10
+
+
+def compile_chain_program(num_subarrays: int, body) -> "CompiledPlan":
+    """Record ``body(chain)`` against a fresh recorder and compile it.
+
+    ``body`` is any callable driving the chain-level microcode API; its
+    return value (which may contain :class:`Token` placeholders, nested
+    in tuples/lists) becomes the plan's result template.
+    """
+    recorder = RecordingChain(num_subarrays)
+    result_spec = body(recorder)
+    return CompiledPlan(recorder, result_spec)
+
+
+def _resolve(spec, env):
+    """Substitute token placeholders in a (possibly nested) result."""
+    if type(spec) is Token:
+        return env[spec.index]
+    if isinstance(spec, tuple):
+        return tuple(_resolve(item, env) for item in spec)
+    if isinstance(spec, list):
+        return [_resolve(item, env) for item in spec]
+    return spec
+
+
+def _mark_consumed(spec, consumed) -> None:
+    if type(spec) is Token:
+        consumed.add(spec.index)
+    elif isinstance(spec, (tuple, list)):
+        for item in spec:
+            _mark_consumed(item, consumed)
+
+
+class _Ctx:
+    """Per-replay context handed to every lowered kernel."""
+
+    __slots__ = (
+        "bits", "tags", "env", "active_u8", "active_inv", "chain", "C",
+    )
+
+    def __init__(self, chain, env) -> None:
+        backend = chain.backend
+        self.bits = backend.bits
+        self.tags = backend.tags
+        self.env = env
+        self.active_u8 = chain.active_columns
+        self.active_inv = chain.active_columns ^ 1
+        self.chain = chain
+        self.C = backend.num_cols
+
+
+# ---------------------------------------------------------------------------
+# Lowered kernels. Each takes (payload, ctx) and mutates the backend
+# state exactly like the corresponding Chain method (minus accounting,
+# which the plan applies in bulk). Masked writes are expressed as
+# in-place ``|=`` / ``&=`` over the 0/1 planes — writing value v under
+# select s is ``plane |= s`` (v=1) or ``plane &= ~s`` (v=0) — because a
+# masked ``np.copyto`` on the strided plane views costs ~40x more.
+# ---------------------------------------------------------------------------
+
+def _match(ctx: _Ctx, sub: int, items) -> np.ndarray:
+    match = np.ones(ctx.C, dtype=np.uint8)
+    bits = ctx.bits
+    for row, want in items:
+        plane = bits[sub, row]
+        match &= plane if want else plane ^ 1
+    return match
+
+
+def _op_search(payload, ctx: _Ctx) -> None:
+    sub, items, accumulate, out = payload
+    match = _match(ctx, sub, items)
+    tags = ctx.tags[sub]
+    if accumulate:
+        tags |= match
+    else:
+        tags[:] = match
+    if out is not None:
+        ctx.env[out] = tags.copy()
+
+
+def _op_search_next(payload, ctx: _Ctx) -> None:
+    sub, nxt, items, accumulate, out = payload
+    match = _match(ctx, sub, items)
+    tags = ctx.tags[nxt]
+    if accumulate:
+        tags |= match
+    else:
+        tags[:] = match
+    if out is not None:
+        ctx.env[out] = match
+
+
+def _op_search_bp(payload, ctx: _Ctx) -> None:
+    terms, accumulate, out = payload
+    match = np.ones((ctx.tags.shape[0], ctx.C), dtype=np.uint8)
+    bits = ctx.bits
+    for kind, row, want in terms:
+        planes = bits[:, row, :]
+        if kind == 1:
+            match &= planes
+        elif kind == 0:
+            match &= planes ^ 1
+        else:
+            match &= np.where(
+                want == 1, planes, np.where(want == 0, planes ^ 1, np.uint8(1))
+            )
+    if accumulate:
+        ctx.tags |= match
+    else:
+        ctx.tags[:] = match
+    if out is not None:
+        ctx.env[out] = ctx.tags.copy()
+
+
+def _op_search_lut(payload, ctx: _Ctx) -> None:
+    sub, dest, rows, lut = payload
+    bits = ctx.bits
+    acc = bits[sub, rows[0]].astype(np.int16)
+    for k in range(1, len(rows)):
+        acc |= bits[sub, rows[k]].astype(np.int16) << k
+    ctx.tags[dest][:] = lut[acc]
+
+
+def _op_update(payload, ctx: _Ctx) -> None:
+    sub, row, value = payload
+    sel = ctx.tags[sub] & ctx.active_u8
+    if value:
+        ctx.bits[sub, row] |= sel
+    else:
+        ctx.bits[sub, row] &= sel ^ 1
+
+
+def _op_update_prop(payload, ctx: _Ctx) -> None:
+    sub, nxt, row, value, next_row, next_value = payload
+    here = ctx.tags[sub] & ctx.active_u8
+    there = ctx.tags[nxt] & ctx.active_u8
+    if value:
+        ctx.bits[sub, row] |= here
+    else:
+        ctx.bits[sub, row] &= here ^ 1
+    if next_value:
+        ctx.bits[nxt, next_row] |= there
+    else:
+        ctx.bits[nxt, next_row] &= there ^ 1
+
+
+def _op_update_next(payload, ctx: _Ctx) -> None:
+    nxt, row, value = payload
+    sel = ctx.tags[nxt] & ctx.active_u8
+    if value:
+        ctx.bits[nxt, row] |= sel
+    else:
+        ctx.bits[nxt, row] &= sel ^ 1
+
+
+def _op_update_row_full(payload, ctx: _Ctx) -> None:
+    sub, row, value = payload
+    if value:
+        ctx.bits[sub, row] |= ctx.active_u8
+    else:
+        ctx.bits[sub, row] &= ctx.active_inv
+
+
+def _op_update_bp(payload, ctx: _Ctx) -> None:
+    row, value, use_tags = payload
+    plane = ctx.bits[:, row, :]
+    if use_tags:
+        sel = ctx.tags & ctx.active_u8
+        if value:
+            plane |= sel
+        else:
+            plane &= sel ^ 1
+    elif value:
+        plane |= ctx.active_u8
+    else:
+        plane &= ctx.active_inv
+
+
+def _op_update_bp_select(payload, ctx: _Ctx) -> None:
+    row, value, select = payload
+    sel = ctx.env[select.index] if type(select) is Token else select
+    sel = sel & ctx.active_u8
+    if value:
+        ctx.bits[:, row, :] |= sel
+    else:
+        ctx.bits[:, row, :] &= sel ^ 1
+
+
+def _op_update_bp_values(payload, ctx: _Ctx) -> None:
+    row, data, use_tags = payload
+    plane = ctx.bits[:, row, :]
+    if use_tags:
+        sel = ctx.tags & ctx.active_u8
+        plane &= sel ^ 1
+        plane |= data & sel
+    else:
+        plane &= ctx.active_inv
+        plane |= data & ctx.active_u8
+
+
+def _op_set_tags(payload, ctx: _Ctx) -> None:
+    sub, tags = payload
+    value = ctx.env[tags.index] if type(tags) is Token else tags
+    ctx.tags[sub][:] = np.asarray(value, dtype=np.uint8) & 1
+
+
+def _op_clear_tags(payload, ctx: _Ctx) -> None:
+    ctx.tags[:] = 0
+
+
+def _op_combine_and(payload, ctx: _Ctx) -> None:
+    limit, out = payload
+    if limit:
+        ctx.env[out] = np.bitwise_and.reduce(ctx.tags[:limit], axis=0)
+    else:
+        ctx.env[out] = np.ones(ctx.C, dtype=np.uint8)
+
+
+def _op_combine_or(payload, ctx: _Ctx) -> None:
+    limit, out = payload
+    if limit:
+        ctx.env[out] = np.bitwise_or.reduce(ctx.tags[:limit], axis=0)
+    else:
+        ctx.env[out] = np.zeros(ctx.C, dtype=np.uint8)
+
+
+def _op_redsum_step(payload, ctx: _Ctx) -> None:
+    sub, row, out = payload
+    tags = ctx.tags[sub]
+    tags[:] = ctx.bits[sub, row]
+    ctx.env[out] = int((tags & ctx.active_u8).sum())
+
+
+def _op_rmw(payload, ctx: _Ctx) -> None:
+    vd, vs1, fn, width = payload
+    ctx.chain.rmw_register(vd, vs1, fn, width)
+
+
+class CompiledPlan:
+    """An immutable, replayable microcode program.
+
+    Built by :func:`compile_chain_program`; replay with :meth:`replay`.
+    The plan is independent of column count and chain state, so it is
+    safe to share across chains, devices, and threads.
+    """
+
+    def __init__(self, recorder: RecordingChain, result_spec) -> None:
+        self.num_subarrays = recorder.num_subarrays
+        self.steps: Tuple[Tuple[str, tuple, Optional[int]], ...] = tuple(
+            recorder.steps
+        )
+        self.charges = dict(recorder.charges)
+        self.result_spec = result_spec
+        self._num_tokens = recorder.num_tokens
+        consumed = set()
+        for _method, args, _out in self.steps:
+            for arg in args:
+                if type(arg) is Token:
+                    consumed.add(arg.index)
+        _mark_consumed(result_spec, consumed)
+        self._consumed = consumed
+        self._lowered = self._lower()
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_kernels(self) -> int:
+        """Lowered kernel count (≤ ``num_steps`` thanks to batching)."""
+        return len(self._lowered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledPlan(subarrays={self.num_subarrays}, "
+            f"steps={self.num_steps}, kernels={self.num_kernels})"
+        )
+
+    # -- lowering -------------------------------------------------------
+
+    def _lower(self) -> List[Tuple]:
+        """Translate the step stream into bit-plane kernels, batching
+        consecutive accumulate-search runs into lookup-table gathers."""
+        program: List[Tuple] = []
+        group: List[Tuple[int, dict]] = []   # (src_sub, key) of the run
+        group_dest = group_src = None
+
+        def flush() -> None:
+            nonlocal group, group_dest, group_src
+            if not group:
+                return
+            if len(group) == 1:
+                sub, key = group[0]
+                items = tuple(key.items())
+                if group_dest == sub:
+                    program.append(
+                        (_op_search, (sub, items, False, None))
+                    )
+                else:
+                    program.append(
+                        (_op_search_next, (sub, group_dest, items, False, None))
+                    )
+            else:
+                rows = sorted({row for _sub, key in group for row in key})
+                lut = np.zeros(1 << len(rows), dtype=np.uint8)
+                index = np.arange(lut.size)
+                for _sub, key in group:
+                    mask_bits = want_bits = 0
+                    for k, row in enumerate(rows):
+                        if row in key:
+                            mask_bits |= 1 << k
+                            want_bits |= key[row] << k
+                    lut[(index & mask_bits) == want_bits] = 1
+                program.append(
+                    (_op_search_lut,
+                     (group_src, group_dest, tuple(rows), lut))
+                )
+            group = []
+            group_dest = group_src = None
+
+        for method, args, out in self.steps:
+            out = out if (out is not None and out in self._consumed) else None
+            if method in ("search", "search_accumulate_next"):
+                sub, key, accumulate = args
+                dest = (
+                    sub if method == "search"
+                    else (sub + 1) % self.num_subarrays
+                )
+                if out is None:
+                    if group and accumulate and sub == group_src \
+                            and dest == group_dest \
+                            and len({row for _s, k in group for row in k}
+                                    | set(key)) <= MAX_LUT_ROWS:
+                        group.append((sub, key))
+                        continue
+                    flush()
+                    if not accumulate:
+                        group = [(sub, key)]
+                        group_src, group_dest = sub, dest
+                        continue
+                flush()
+                items = tuple(key.items())
+                if method == "search":
+                    program.append((_op_search, (sub, items, accumulate, out)))
+                else:
+                    program.append(
+                        (_op_search_next, (sub, dest, items, accumulate, out))
+                    )
+                continue
+            flush()
+            if method == "search_bit_parallel":
+                keys, accumulate = args
+                rows = sorted({row for key in keys for row in key})
+                terms = []
+                for row in rows:
+                    wants = [key.get(row, -1) for key in keys]
+                    if all(w == 1 for w in wants):
+                        terms.append((1, row, None))
+                    elif all(w == 0 for w in wants):
+                        terms.append((0, row, None))
+                    else:
+                        terms.append(
+                            (-1, row, np.array(wants, dtype=np.int8)[:, None])
+                        )
+                program.append((_op_search_bp, (tuple(terms), accumulate, out)))
+            elif method == "update":
+                program.append((_op_update, args))
+            elif method == "update_prop":
+                sub, row, value, next_row, next_value = args
+                nxt = (sub + 1) % self.num_subarrays
+                program.append(
+                    (_op_update_prop,
+                     (sub, nxt, row, value, next_row, next_value))
+                )
+            elif method == "update_next":
+                sub, next_row, value = args
+                nxt = (sub + 1) % self.num_subarrays
+                program.append((_op_update_next, (nxt, next_row, value)))
+            elif method == "update_row_full":
+                program.append((_op_update_row_full, args))
+            elif method == "update_bit_parallel":
+                program.append((_op_update_bp, args))
+            elif method == "update_bit_parallel_select":
+                program.append((_op_update_bp_select, args))
+            elif method == "update_bit_parallel_values":
+                row, values, use_tags = args
+                data = (np.asarray(values, dtype=np.uint8) & 1)[:, None]
+                program.append((_op_update_bp_values, (row, data, use_tags)))
+            elif method == "set_tags":
+                program.append((_op_set_tags, args))
+            elif method == "clear_tags":
+                program.append((_op_clear_tags, None))
+            elif method == "combine_tags_serial":
+                program.append((_op_combine_and, (args[0], out)))
+            elif method == "combine_tags_serial_or":
+                program.append((_op_combine_or, (args[0], out)))
+            elif method == "redsum_step":
+                program.append((_op_redsum_step, (*args, out)))
+            elif method == "rmw_register":
+                program.append((_op_rmw, args))
+            else:  # pragma: no cover - recorder and plan must stay in sync
+                raise AssertionError(f"unloweable step {method!r}")
+        flush()
+        return program
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(self, chain):
+        """Re-execute the plan on a live chain; returns the resolved
+        result template (e.g. the FSM walk's reduce values).
+
+        The lowered kernels run only on a plain
+        :class:`~repro.csb.bitplane.BitplaneBackend` (fault-injection
+        wrappers and the reference backend replay step-by-step through
+        the chain API) and only when the stats recorder is not keeping a
+        microop trace (bulk charging would reorder the trace).
+        """
+        env: List = [None] * self._num_tokens
+        stats = chain.stats
+        if type(chain.backend) is BitplaneBackend and not stats.keep_trace:
+            ctx = _Ctx(chain, env)
+            for fn, payload in self._lowered:
+                fn(payload, ctx)
+            for (op, bit_parallel), n in self.charges.items():
+                stats.record(op, bit_parallel, n)
+            return _resolve(self.result_spec, env)
+        for method, args, out in self.steps:
+            bound = tuple(
+                env[arg.index] if type(arg) is Token else arg for arg in args
+            )
+            result = getattr(chain, method)(*bound)
+            if out is not None:
+                env[out] = result
+        return _resolve(self.result_spec, env)

@@ -36,6 +36,15 @@ class SimClock:
     def __len__(self) -> int:
         return len(self._heap)
 
+    @property
+    def next_time(self):
+        """Timestamp of the earliest pending event, or ``None`` if idle.
+
+        Lets the pool's parallel driver drain all events sharing one
+        simulated timestamp as a batch without firing any of them early.
+        """
+        return self._heap[0][0] if self._heap else None
+
     def schedule_at(self, time: float, callback: Callable[[], Any]) -> None:
         """Fire ``callback`` when the clock reaches ``time`` cycles."""
         if time < self.now:

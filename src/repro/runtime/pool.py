@@ -33,8 +33,10 @@ jobs instead of silently returning.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
-from typing import Deque, Iterable, List, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import (
     ConfigError,
@@ -73,6 +75,11 @@ class Device:
         self.lane_occupancies: List[float] = []
         self.health = DeviceHealth()
         self.injector: Optional[FaultInjector] = None
+        #: Serialises job execution on this device's system — the
+        #: parallel driver runs *different* devices concurrently, never
+        #: one device's jobs, so the injector/health ledger and the
+        #: device's CSB state see a single writer at a time.
+        self.lock = threading.Lock()
 
     @property
     def config(self) -> CAPEConfig:
@@ -133,6 +140,16 @@ class DevicePool:
             (doubles on each re-quarantine).
         retry_backoff_cycles: base delay before a failed job is
             re-queued (doubles per attempt).
+        parallelism: worker threads executing *independent devices'*
+            jobs concurrently (numpy releases the GIL inside the fused
+            bit-plane kernels). ``1`` (default) keeps the fully
+            sequential event loop. Simulated-clock order, placement, and
+            per-device job sequences are identical either way — see
+            ``docs/PERFORMANCE.md`` for the exact contract.
+        plan_cache: microcode plan-cache knob passed to every device's
+            system. ``True`` (default) shares the process-wide cache
+            across all devices — the second device to dispatch an
+            intrinsic reuses the first one's compiled plan.
     """
 
     def __init__(
@@ -149,9 +166,13 @@ class DevicePool:
         failure_threshold: int = 3,
         quarantine_cycles: float = 50_000.0,
         retry_backoff_cycles: float = 1_000.0,
+        parallelism: int = 1,
+        plan_cache=True,
     ) -> None:
         if not configs:
             raise ConfigError("a pool needs at least one device")
+        if parallelism < 1:
+            raise ConfigError("parallelism must be at least 1")
         self.clock = SimClock()
         self.scheduler = Scheduler(policy)
         self.telemetry = Telemetry()
@@ -160,6 +181,14 @@ class DevicePool:
         self.fault_plan = fault_plan
         self.max_retries = max_retries
         self.retry_backoff_cycles = retry_backoff_cycles
+        self.parallelism = parallelism
+        if parallelism > 1 and self.observer.enabled:
+            # Workers get-or-create device-labelled series concurrently.
+            self.observer.metrics.enable_thread_safety()
+        #: Launch batch under construction (parallel run only): jobs
+        #: started by the current timestamp's events, executed together
+        #: once the timestamp is fully drained. ``None`` = inline mode.
+        self._launching: Optional[List[Tuple[Device, Job]]] = None
         self.devices = []
         for i, config in enumerate(configs):
             system = CAPESystem(
@@ -171,6 +200,7 @@ class DevicePool:
                 ),
                 accounting=accounting,
                 backend=backend,
+                plan_cache=plan_cache,
             )
             device = Device(i, system)
             device.health = DeviceHealth(
@@ -323,12 +353,34 @@ class DevicePool:
         job.start_cycle = self.clock.now
         job.device_id = device.device_id
         device.current = job
-        system = device.system
-        system.reset()
-        # The job executes functionally *now*; its cycle cost stretches
-        # over simulated time, so completion lands at now + service.
-        result = job.execute(system)
-        job.result = result
+        if self._launching is not None:
+            # Parallel run: defer execution until the current timestamp
+            # is fully drained, then run the batch across devices. The
+            # bookkeeping above already marks the device busy, so later
+            # events in this timestamp place work exactly as the
+            # sequential loop would.
+            self._launching.append((device, job))
+            return
+        self._run_job(device, job)
+        self._finish_start(device, job)
+
+    def _run_job(self, device: Device, job: Job) -> None:
+        """Execute a started job on its device (worker-thread safe).
+
+        The job executes functionally *now*; its cycle cost stretches
+        over simulated time, so completion lands at now + service. Only
+        this method runs off the main thread, and only under the
+        device's lock — everything it touches (the system, its CSB, the
+        injector, the device-labelled observer series) belongs to this
+        one device.
+        """
+        with device.lock:
+            device.system.reset()
+            job.result = job.execute(device.system)
+
+    def _finish_start(self, device: Device, job: Job) -> None:
+        """Main-thread bookkeeping after a started job has executed."""
+        result = job.result
         device.lane_occupancies.append(
             min(job.footprint.lanes, device.config.max_vl)
             / device.config.max_vl
@@ -509,6 +561,8 @@ class DevicePool:
         serviceable device quarantined or dead, parked jobs included) —
         never a silent partial return.
         """
+        if self.parallelism > 1:
+            return self._run_parallel(max_events)
         events = 0
         while self.clock.tick():
             events += 1
@@ -518,6 +572,72 @@ class DevicePool:
                     f"{len(self.clock)} events pending",
                     [j.name for j in self._stuck_jobs()],
                 )
+        stuck = self._stuck_jobs()
+        if stuck:
+            raise PoolStalledError(
+                "every serviceable device is quarantined or dead",
+                [j.name for j in stuck],
+            )
+        return self.report()
+
+    def _run_parallel(self, max_events: int) -> TelemetryReport:
+        """Batched event loop: independent devices execute concurrently.
+
+        All events sharing the earliest simulated timestamp fire on the
+        main thread in the same deterministic (time, seq) order as the
+        sequential loop; job *starts* within that timestamp only record
+        bookkeeping and land on a launchpad. The batch of started jobs
+        then executes across the worker pool — at most one job per
+        device (``device.current`` blocks a second dispatch) — and
+        post-run bookkeeping replays on the main thread in launchpad
+        order. Placement decisions therefore match the sequential loop
+        exactly; numpy's fused bit-plane kernels release the GIL, which
+        is where the parallel speedup comes from.
+        """
+        obs = self.observer
+        events = 0
+        with ThreadPoolExecutor(
+            max_workers=self.parallelism, thread_name_prefix="cape-pool"
+        ) as executor:
+            if obs.enabled:
+                obs.metrics.gauge("pool.parallel.workers").set(self.parallelism)
+            while True:
+                t = self.clock.next_time
+                if t is None:
+                    break
+                self._launching = []
+                # Callbacks may schedule more events at this same
+                # timestamp (e.g. a completion freeing a device that
+                # immediately dispatches) — keep draining until the
+                # earliest pending time moves forward.
+                while self.clock.next_time == t:
+                    self.clock.tick()
+                    events += 1
+                batch, self._launching = self._launching, None
+                if batch:
+                    if len(batch) == 1:
+                        self._run_job(*batch[0])
+                    else:
+                        futures = [
+                            executor.submit(self._run_job, device, job)
+                            for device, job in batch
+                        ]
+                        for future in futures:
+                            future.result()
+                    for device, job in batch:
+                        self._finish_start(device, job)
+                    if obs.enabled:
+                        obs.metrics.counter("pool.parallel.batches").inc()
+                        obs.metrics.counter("pool.parallel.jobs").inc(len(batch))
+                        obs.metrics.histogram("pool.parallel.batch_width").observe(
+                            len(batch)
+                        )
+                if events >= max_events and len(self.clock) > 0:
+                    raise PoolStalledError(
+                        f"event budget of {max_events:,} exhausted with "
+                        f"{len(self.clock)} events pending",
+                        [j.name for j in self._stuck_jobs()],
+                    )
         stuck = self._stuck_jobs()
         if stuck:
             raise PoolStalledError(

@@ -75,6 +75,27 @@ def test_measure_caches_at_model_width(model):
     assert model.measure("vand.vv", width=8) is not first
 
 
+def test_measure_cache_keys_on_width(model):
+    """Regression: the cache once keyed on the bare mnemonic, so a
+    width-8 measure after a width-32 one returned the stale 32-bit
+    metrics. Widths must get distinct, stable entries."""
+    wide = model.measure("vadd.vv", width=32)
+    narrow = model.measure("vadd.vv", width=8)
+    assert narrow is not wide
+    assert narrow.measured_cycles < wide.measured_cycles  # 8n+2 scales with n
+    # Both stay cached under their own key.
+    assert model.measure("vadd.vv", width=32) is wide
+    assert model.measure("vadd.vv", width=8) is narrow
+
+
+def test_measurements_shared_across_instances():
+    """Two models with identical circuits reuse one measurement — the
+    process-wide cache that keeps fresh CAPESystems from re-measuring."""
+    one = InstructionModel(width=16)
+    two = InstructionModel(width=16)
+    assert one.measure("vxor.vv") is two.measure("vxor.vv")
+
+
 def test_energy_per_lane_j_is_si(model):
     e = model.energy_per_lane_j("vadd.vv")
     assert 1e-12 < e < 1e-10

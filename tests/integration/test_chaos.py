@@ -85,7 +85,7 @@ def make_jobs():
     return jobs
 
 
-def run_stream(fault_plan=None, observer=None):
+def run_stream(fault_plan=None, observer=None, parallelism=1):
     pool = DevicePool(
         (NANO, NANO, NANO),
         memory_bytes=1 << 26,  # room for the spill slab base
@@ -95,6 +95,7 @@ def run_stream(fault_plan=None, observer=None):
         quarantine_cycles=2_000.0,
         retry_backoff_cycles=300.0,
         max_retries=4,
+        parallelism=parallelism,
     )
     jobs = pool.submit_stream(make_jobs(), interarrival_cycles=40.0)
     report = pool.run(max_events=100_000)
@@ -162,3 +163,34 @@ def test_chaos_replays_bit_for_bit_from_the_seed():
 def test_chaos_plan_itself_is_reproducible():
     assert chaos_plan() == chaos_plan()
     assert chaos_plan().as_dict() == chaos_plan().as_dict()
+
+
+@pytest.mark.slow
+def test_chaos_stream_identical_under_parallel_pool():
+    """The full storm replayed with ``parallelism=4``: placement, job
+    outputs, retries, quarantines, and the device death must all match
+    the sequential run — worker threads only move the *host* execution
+    of already-placed jobs, never the simulated schedule (the
+    determinism contract in docs/PERFORMANCE.md)."""
+
+    def fingerprint(parallelism):
+        obs = Observer()
+        pool, jobs, report = run_stream(
+            fault_plan=chaos_plan(), observer=obs, parallelism=parallelism
+        )
+        return (
+            [(r.name, r.state, r.attempts, r.device_id,
+              r.start_cycle, r.finish_cycle) for r in report.jobs],
+            report.completed,
+            report.failed,
+            report.retries,
+            report.quarantines,
+            report.device_deaths,
+            report.makespan_cycles,
+            [j.result.output for j in jobs],
+            obs.metrics.total("faults.injected"),
+        )
+
+    sequential = fingerprint(1)
+    parallel = fingerprint(4)
+    assert parallel == sequential

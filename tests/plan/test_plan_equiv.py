@@ -1,0 +1,233 @@
+"""Differential tests: compiled plans vs the per-dispatch FSM walk.
+
+``repro.plan`` replaces repeated microcode FSM walks with a recorded
+plan replay. The contract is total equivalence: with the plan cache on,
+every observable — destination values, the full register file, cycle
+and energy totals, and every ``csb.microops`` series — must be
+bit-identical to the cache-off walk, on both execution backends,
+including masked forms, truth-table execution, and runs with an active
+fault plan (faulty backends take the generic replay path, so the
+divergence ladder is preserved).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.csb.chain import Chain, MetaRow
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.engine.vcu import TRUTH_TABLES, TTDecoder, execute_table
+from repro.faults import FaultInjector, FaultPlan, StuckBit, TagFlip
+from repro.obs import Observer
+from repro.plan import (
+    GLOBAL_PLAN_CACHE,
+    PlanCache,
+    resolve_plan_cache,
+)
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+
+#: (system method, supports mask kwarg) — ops whose masked microcode
+#: exists; masked vmul/vrsub fall back to re-sync and are covered by
+#: the unmasked entries.
+OPS = (
+    ("vadd", True),
+    ("vsub", True),
+    ("vmul", False),
+    ("vand", True),
+    ("vor", True),
+    ("vxor", True),
+    ("vmin", False),
+    ("vmax", False),
+)
+
+
+def run_program(backend, plan_cache, a, b, mask, ops, injector=None):
+    """Run an op sequence; snapshot every observable."""
+    obs = Observer()
+    system = CAPESystem(
+        NANO, backend=backend, observer=obs, plan_cache=plan_cache,
+        fault_injector=injector,
+    )
+    n = len(a)
+    system.vsetvl(n)
+    system.vregs[1, :n] = a
+    system.vregs[2, :n] = b
+    system.vregs[6, :n] = mask
+    system._written_vregs.update({1, 2, 6})
+    if system._bitengine is not None:
+        for reg in (1, 2, 6):
+            system._bitengine.sync_register(reg, system.vregs[reg])
+    for i, (op, use_mask) in enumerate(ops):
+        _, maskable = next(entry for entry in OPS if entry[0] == op)
+        kwargs = {"mask": 6} if (use_mask and maskable) else {}
+        getattr(system, op)(3 + (i % 3), 1, 2, **kwargs)
+    system.vmerge(5, 1, 2, vm=6)
+    system.vmseq(7, 1, 2)
+    total = int(system.vredsum(3, signed=False))
+    return {
+        "total": total,
+        "registers": [system.read_vreg(r).tolist() for r in range(8)],
+        "cycles": system.stats.cycles,
+        "energy": system.stats.energy_j,
+        "microops": {
+            key: value
+            for key, value in obs.metrics.snapshot().items()
+            if key[0] == "csb.microops"
+        },
+    }
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(st.integers(0, 2**32 - 1), min_size=4, max_size=32),
+    st.lists(st.integers(0, 2**32 - 1), min_size=4, max_size=32),
+    st.lists(st.tuples(st.sampled_from([op for op, _ in OPS]), st.booleans()),
+             min_size=1, max_size=5),
+    st.sampled_from(["reference", "bitplane"]),
+)
+def test_plan_replay_is_bit_identical_to_fsm_walk(a, b, ops, backend):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    mask = [(x ^ y) & 1 for x, y in zip(a, b)]
+    planned = run_program(backend, True, a, b, mask, ops)
+    walked = run_program(backend, False, a, b, mask, ops)
+    assert planned == walked
+
+
+@pytest.mark.parametrize("backend", ["reference", "bitplane"])
+def test_plan_replay_identical_under_active_faults(backend):
+    """Faulty backends take the generic replay path: the injected
+    divergence (stuck bits, tag flips) lands identically whether the
+    microcode comes from a plan or a live FSM walk."""
+    rng = np.random.default_rng(0xCA9E)
+    a = rng.integers(0, 1 << 16, 16).tolist()
+    b = rng.integers(0, 1 << 16, 16).tolist()
+    mask = (rng.integers(0, 2, 16)).tolist()
+    ops = [("vadd", True), ("vmul", False), ("vxor", True), ("vmin", False)]
+
+    def faulty():
+        return FaultInjector(FaultPlan([
+            StuckBit(row=3, element=2, bit=1, value=1),
+            TagFlip(element=0, bit=0, at_search=3),
+        ]))
+
+    planned = run_program(backend, True, a, b, mask, ops, injector=faulty())
+    walked = run_program(backend, False, a, b, mask, ops, injector=faulty())
+    assert planned == walked
+
+
+# ---------------------------------------------------------------------
+# Truth-table (execute_table) plans
+# ---------------------------------------------------------------------
+
+VD, VS1, VS2 = 3, 1, 2
+CARRY = int(MetaRow.CARRY)
+
+
+def _table_chain(rng, width=8, cols=16):
+    chain = Chain(num_subarrays=width, num_cols=cols)
+    chain.poke_register(VS1, rng.integers(0, 1 << width, size=cols))
+    chain.poke_register(VS2, rng.integers(0, 1 << width, size=cols))
+    return chain
+
+
+@pytest.mark.parametrize("name,preamble,msb_first", [
+    ("vadd.vv", ((VD, 0), (CARRY, 0)), False),
+    ("vredsum.vs", (), True),
+])
+def test_execute_table_plan_matches_walk(rng, name, preamble, msb_first):
+    decoder = TTDecoder(vd=VD, vs1=VS1, vs2=VS2)
+    cache = PlanCache()
+    results = {}
+    for mode in ("walk", "plan", "plan-again"):
+        chain = _table_chain(np.random.default_rng(17))
+        before = chain.stats.counts.copy()
+        out = execute_table(
+            chain, TRUTH_TABLES[name], decoder, width=8,
+            msb_first=msb_first, preamble=preamble,
+            plan_cache=False if mode == "walk" else cache,
+        )
+        results[mode] = (
+            out,
+            chain.peek_register(VD).tolist(),
+            {k: v - before.get(k, 0) for k, v in chain.stats.counts.items()},
+        )
+    assert results["walk"] == results["plan"] == results["plan-again"]
+    assert cache.hits == 1 and cache.misses == 1
+
+
+# ---------------------------------------------------------------------
+# PlanCache unit behaviour
+# ---------------------------------------------------------------------
+
+
+def test_plan_cache_lru_eviction():
+    cache = PlanCache(capacity=2)
+    built = []
+
+    def builder(tag):
+        def build():
+            built.append(tag)
+            return tag
+        return build
+
+    assert cache.get_or_compile("a", builder("A")) == "A"
+    assert cache.get_or_compile("b", builder("B")) == "B"
+    assert cache.get_or_compile("a", builder("A2")) == "A"  # hit; refreshes a
+    assert cache.get_or_compile("c", builder("C")) == "C"  # evicts b
+    assert "b" not in cache and "a" in cache and "c" in cache
+    assert len(cache) == 2
+    assert cache.get_or_compile("b", builder("B2")) == "B2"  # rebuilt
+    assert built == ["A", "B", "C", "B2"]
+    assert cache.hits == 1 and cache.misses == 4
+
+
+def test_plan_cache_publishes_hit_miss_metrics():
+    cache = PlanCache()
+    obs = Observer()
+    cache.get_or_compile("k", lambda: "v", observer=obs)
+    cache.get_or_compile("k", lambda: "v", observer=obs)
+    assert obs.metrics.total("plan.cache.miss") == 1
+    assert obs.metrics.total("plan.cache.hit") == 1
+    series = obs.metrics.series("plan.cache.compile_ns")
+    assert series and series[0][1].count == 1
+
+
+def test_plans_shared_across_device_widths():
+    """The plan key excludes the column count: devices with different
+    chain counts (hence different fused widths) share compiled plans."""
+    cache = PlanCache()
+
+    def drive(num_chains):
+        system = CAPESystem(
+            CAPEConfig(name=f"w{num_chains}", num_chains=num_chains),
+            backend="bitplane", plan_cache=cache,
+        )
+        n = system.config.max_vl
+        system.vsetvl(n)
+        system.vregs[1, :n] = np.arange(n) % 251
+        system.vregs[2, :n] = np.arange(n) % 97
+        system._written_vregs.update({1, 2})
+        system._bitengine.sync_register(1, system.vregs[1])
+        system._bitengine.sync_register(2, system.vregs[2])
+        system.vadd(3, 1, 2)
+        return system.read_vreg(3)
+
+    small = drive(2)
+    misses_after_first = cache.misses
+    large = drive(8)
+    assert cache.misses == misses_after_first  # second device: all hits
+    assert cache.hits >= 1
+    assert np.array_equal(small, large[: len(small)])
+
+
+def test_resolve_plan_cache():
+    assert resolve_plan_cache(True) is GLOBAL_PLAN_CACHE
+    assert resolve_plan_cache(False) is None
+    assert resolve_plan_cache(None) is None
+    private = PlanCache()
+    assert resolve_plan_cache(private) is private
+    with pytest.raises(ConfigError):
+        resolve_plan_cache("bogus")
