@@ -151,9 +151,65 @@ print(f"chaos stream (seed {plan.seed:#x}): 50/50 jobs identical to "
       f"{report.quarantines} quarantines, {report.device_deaths} device death")
 EOF
 
+echo "== serving smoke (process-sharded gateway) =="
+python - <<'EOF'
+import asyncio
+
+import numpy as np
+
+from repro.engine.system import CAPEConfig
+from repro.runtime import DevicePool
+from repro.serve import Gateway, JobSpec, ServeConfig
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+
+
+def make_specs():
+    specs = []
+    for i in range(20):
+        if i % 2:
+            specs.append(JobSpec(
+                f"dot{i:02d}", "dot",
+                {"x": np.arange(16) + i, "y": np.arange(16) + 1}, lanes=16,
+            ))
+        else:
+            specs.append(JobSpec(
+                f"match{i:02d}", "match_count",
+                {"data": np.arange(32) % 5, "needle": i % 5}, lanes=32,
+            ))
+    return specs
+
+
+# Sequential reference: the same mix through the in-process pool.
+pool = DevicePool((NANO, NANO), memory_bytes=1 << 22)
+seq_jobs = pool.submit_stream(
+    [s.to_job() for s in make_specs()], interarrival_cycles=40.0
+)
+pool.run()
+seq = {j.name: j.result.output for j in seq_jobs}
+
+
+async def main():
+    cfg = ServeConfig(
+        configs=(NANO, NANO), workers=2, memory_bytes=1 << 22
+    )
+    async with Gateway(cfg) as gateway:
+        return await asyncio.gather(
+            *(gateway.submit_retrying(s) for s in make_specs())
+        )
+
+results = asyncio.run(main())
+assert len(results) == 20 and all(r.ok for r in results)
+served = {r.name: r.output for r in results}
+assert served == seq, "gateway outputs diverged from sequential pool"
+workers = {r.worker_id for r in results}
+print(f"gateway served 20/20 mixed jobs across workers {sorted(workers)}; "
+      f"checksums match the sequential pool")
+EOF
+
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
 
 echo "== slow markers =="
 python -m pytest -q -m slow benchmarks/bench_table2_microops.py \
-    tests/integration/test_chaos.py
+    tests/integration/test_chaos.py tests/serve/test_saturation.py

@@ -76,6 +76,7 @@ import numpy as np
 
 from repro.assoc.emulator import AssociativeEmulator, golden
 from repro.common.errors import (
+    AdmissionError,
     CapacityError,
     ConfigError,
     CSBCapacityError,
@@ -84,9 +85,11 @@ from repro.common.errors import (
     PageFault,
     PoolStalledError,
     ProtocolError,
+    QuotaExceededError,
     ReproError,
     RetryExhaustedError,
     SpillCorruptionError,
+    WorkerDiedError,
 )
 from repro.csb import BACKEND_NAMES, CSB, Chain, ExecutionBackend, Subarray
 from repro.engine.system import (
@@ -103,6 +106,7 @@ from repro.faults import (
     StuckBit,
     TagFlip,
     TransferFault,
+    WorkerKill,
 )
 from repro.isa.interpreter import Machine, MachineResult
 from repro.memory.mainmem import WordMemory
@@ -122,9 +126,21 @@ from repro.runtime import (
     JobResult,
     SegmentedJob,
     TelemetryReport,
+    ThreadParallelismWarning,
+)
+from repro.serve import (
+    Gateway,
+    GatewayReport,
+    JobSpec,
+    ServeConfig,
+    ServePool,
+    ServeResult,
+    TenantQuota,
+    register_kernel,
 )
 
 __all__ = [
+    "AdmissionError",
     "BACKEND_NAMES",
     "CAPE131K",
     "CAPE32K",
@@ -148,8 +164,11 @@ __all__ = [
     "FaultPlan",
     "Footprint",
     "GLOBAL_PLAN_CACHE",
+    "Gateway",
+    "GatewayReport",
     "Job",
     "JobResult",
+    "JobSpec",
     "Machine",
     "MachineResult",
     "MetricsRegistry",
@@ -160,21 +179,31 @@ __all__ = [
     "PoolStalledError",
     "ProfileReport",
     "ProtocolError",
+    "QuotaExceededError",
     "ReproError",
     "RetryExhaustedError",
     "RunResult",
     "SegmentedJob",
+    "ServeConfig",
+    "ServePool",
+    "ServeResult",
     "SpillCorruptionError",
     "StuckBit",
     "Subarray",
     "TagFlip",
     "TelemetryReport",
+    "TenantQuota",
+    "ThreadParallelismWarning",
     "Tracer",
     "TransferFault",
+    "WorkerDiedError",
+    "WorkerKill",
     "AssociativeEmulator",
     "golden",
+    "register_kernel",
     "run",
     "run_pool",
+    "serve",
 ]
 
 
@@ -403,16 +432,36 @@ def run_pool(
     plan_cache=True,
     observer: Optional[Observer] = None,
     interarrival_cycles: float = 0.0,
+    pool: Optional[DevicePool] = None,
     **pool_kwargs: Any,
 ) -> TelemetryReport:
-    """Run a batch of jobs on a fresh :class:`DevicePool`.
+    """Run a batch of jobs on a :class:`DevicePool`.
 
     ``parallelism`` sets the pool's worker-thread count: independent
     devices' jobs execute concurrently (numpy's fused bit-plane kernels
     release the GIL) while placement, results, and telemetry stay
     bit-identical to the sequential loop — see ``docs/PERFORMANCE.md``.
     Extra keyword arguments pass through to :class:`DevicePool`.
+
+    Pass ``pool=`` to reuse an existing pool (a :class:`DevicePool`, a
+    :class:`ServePool`, or anything with the same surface) instead of
+    building a fresh one: devices, plan caches, and health ledgers
+    carry over between calls, so a second batch runs against warm
+    state. ``configs``/``parallelism``/``plan_cache``/``observer`` and
+    ``pool_kwargs`` describe pool *construction* and are rejected
+    alongside ``pool=`` to rule out silent disagreement.
     """
+    if pool is not None:
+        if pool_kwargs or observer is not None:
+            raise ConfigError(
+                "pool= reuses an existing pool; construction arguments "
+                f"({', '.join([*pool_kwargs] + (['observer'] if observer is not None else []))}) "
+                "must be set when the pool is built"
+            )
+        base = pool.clock.now
+        for i, job in enumerate(jobs):
+            pool.submit(job, at_cycle=base + i * interarrival_cycles)
+        return pool.run()
     pool = DevicePool(
         configs,
         observer=observer,
@@ -426,3 +475,46 @@ def run_pool(
         for job in jobs:
             pool.submit(job)
     return pool.run()
+
+
+def serve(
+    specs: Sequence[JobSpec],
+    configs: Sequence[CAPEConfig] = (CAPE32K, CAPE32K),
+    workers: int = 2,
+    observer: Optional[Observer] = None,
+    config: Optional[ServeConfig] = None,
+    **config_kwargs: Any,
+) -> list:
+    """Serve a batch of specs through a fresh asyncio :class:`Gateway`.
+
+    The synchronous convenience wrapper around the serving tier: boots
+    ``workers`` worker processes, submits every spec concurrently (as a
+    well-behaved client — honouring ``retry_after_s`` backpressure
+    hints), drains, shuts down, and returns the
+    :class:`ServeResult` list in submission order.
+
+    Pass a full :class:`ServeConfig` via ``config=`` for quota/fault
+    control, or individual :class:`ServeConfig` fields as keyword
+    arguments. Must be called from outside a running event loop; async
+    applications should use :class:`Gateway` directly.
+    """
+    import asyncio
+
+    if config is None:
+        config = ServeConfig(
+            configs=tuple(configs), workers=workers, **config_kwargs
+        )
+    elif config_kwargs:
+        raise ConfigError(
+            "pass either config= or individual ServeConfig fields, not both"
+        )
+
+    async def _main() -> list:
+        async with Gateway(config, observer=observer) as gateway:
+            return list(
+                await asyncio.gather(
+                    *(gateway.submit_retrying(spec) for spec in specs)
+                )
+            )
+
+    return asyncio.run(_main())

@@ -149,6 +149,59 @@ class SpillCorruptionError(ReproError):
         )
 
 
+class AdmissionError(ReproError):
+    """The serving gateway refused a request at the front door.
+
+    The gateway applies backpressure instead of buffering without
+    bound: a request that cannot be admitted right now — the pending
+    queue is full, the tenant is over quota, or the footprint fits no
+    live device — is rejected immediately with a ``retry_after_s``
+    hint so a well-behaved client can back off and resubmit.
+
+    Attributes:
+        reason: machine-readable rejection class (``"queue_full"``,
+            ``"quota"``, ``"capacity"``, ``"closed"``).
+        retry_after_s: suggested client backoff in wall seconds
+            (``None`` when retrying cannot help, e.g. capacity).
+    """
+
+    def __init__(self, message: str, reason: str, retry_after_s=None) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        hint = (
+            f" (retry after {retry_after_s:.3g}s)"
+            if retry_after_s is not None
+            else ""
+        )
+        super().__init__(f"{message}{hint}")
+
+
+class QuotaExceededError(AdmissionError):
+    """A tenant exceeded its serving quota (in-flight jobs or lanes).
+
+    Per-tenant admission rides the same :class:`~repro.runtime.job.
+    Footprint` machinery as device placement: each tenant's in-flight
+    footprint lanes and job count are bounded, and a submit past either
+    bound is rejected here rather than starving the other tenants.
+    """
+
+    def __init__(self, message: str, tenant: str, retry_after_s=None) -> None:
+        self.tenant = tenant
+        super().__init__(message, reason="quota", retry_after_s=retry_after_s)
+
+
+class WorkerDiedError(ReproError):
+    """A serving worker process died with requests in flight.
+
+    The process-sharded tier treats a worker crash exactly like an
+    injected :class:`repro.faults.DeviceKill` on every device the
+    worker owned: the devices are retired, their queues re-placed, and
+    the in-flight jobs retried elsewhere. This error surfaces only when
+    no retry path remains (or directly from a raw
+    :class:`repro.serve.worker.WorkerHandle`).
+    """
+
+
 class PoolStalledError(ReproError):
     """The pool's event loop stopped with jobs still queued or running.
 

@@ -14,6 +14,7 @@ from repro.faults.plan import (
     StuckBit,
     TagFlip,
     TransferFault,
+    WorkerKill,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "TagFlip",
     "TransferFault",
     "TRANSFER_KINDS",
+    "WorkerKill",
 ]

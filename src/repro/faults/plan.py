@@ -27,6 +27,14 @@ This module describes *what* can break, deterministically:
 ``DeviceKill``
     The whole device dies once its cumulative charged cycles cross a
     threshold — power loss, thermal trip, or a host-side crash.
+``WorkerKill``
+    A serving worker *process* (``repro.serve``) dies abruptly while
+    executing its Nth job — an OOM kill, a segfault in a native
+    kernel, or an operator ``kill -9``. Worker-scoped rather than
+    device-scoped: every device the worker owned goes dark at once.
+    Ignored by the in-process :class:`~repro.faults.injector.
+    FaultInjector` (and by :meth:`FaultPlan.for_device` projections);
+    only the process-sharded serving tier consumes it.
 
 A :class:`FaultPlan` is an immutable, validated collection of these,
 optionally generated from a seed via :meth:`FaultPlan.chaos` — two plans
@@ -180,7 +188,28 @@ class DeviceKill:
             )
 
 
-_FAULT_TYPES = (StuckBit, TagFlip, ChainKill, TransferFault, DeviceKill)
+@dataclass(frozen=True)
+class WorkerKill:
+    """Serving worker ``worker`` dies while executing its Nth job.
+
+    ``at_job`` counts the jobs the worker has executed over its
+    lifetime, from 1; the process exits abruptly (no reply is sent for
+    the in-flight job, simulating a hard crash). ``worker=None``
+    applies to every worker — usually what a chaos plan wants only with
+    a pool big enough to absorb total loss.
+    """
+
+    at_job: int
+    worker: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.at_job < 1:
+            raise FaultInjectionError(
+                f"WorkerKill.at_job counts jobs from 1, got {self.at_job}"
+            )
+
+
+_FAULT_TYPES = (StuckBit, TagFlip, ChainKill, TransferFault, DeviceKill, WorkerKill)
 
 
 @dataclass(frozen=True)
@@ -217,14 +246,33 @@ class FaultPlan:
         return tuple(f for f in self.faults if isinstance(f, fault_type))
 
     def for_device(self, device_id: int) -> "FaultPlan":
-        """Project the plan onto one device (``device=None`` = every)."""
+        """Project the plan onto one device (``device=None`` = every).
+
+        Worker-scoped faults (:class:`WorkerKill`) are dropped: they
+        target a serving *process*, not a device, and are consumed by
+        the serving tier before any injector is built.
+        """
         return FaultPlan(
             faults=tuple(
                 f for f in self.faults
-                if f.device is None or f.device == device_id
+                if not isinstance(f, WorkerKill)
+                and (f.device is None or f.device == device_id)
             ),
             seed=self.seed,
         )
+
+    def kill_job_for_worker(self, worker_id: int) -> Optional[int]:
+        """The 1-based job index at which ``worker_id`` should crash.
+
+        Folds every matching :class:`WorkerKill` (``worker=None``
+        matches all workers) down to the earliest ``at_job``;
+        ``None`` when the plan never kills this worker.
+        """
+        kills = [
+            f.at_job for f in self.of_type(WorkerKill)
+            if f.worker is None or f.worker == worker_id
+        ]
+        return min(kills) if kills else None
 
     def as_dict(self) -> dict:
         """JSON-able export (same contract as the stats surfaces)."""

@@ -83,6 +83,20 @@ class PlanCache:
             observer.histogram("plan.cache.compile_ns").observe(elapsed_ns)
         return plan
 
+    def stats(self) -> dict:
+        """Point-in-time snapshot: ``{"entries", "hits", "misses"}``.
+
+        Picklable and cheap — the serving tier's worker processes ship
+        this across the pipe with every reply so the gateway can
+        aggregate per-process cache behaviour without sharing memory.
+        """
+        with self._lock:
+            return {
+                "entries": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._plans)

@@ -25,7 +25,12 @@ from repro.runtime.job import (
     JobState,
     SegmentedJob,
 )
-from repro.runtime.pool import DEFAULT_POOL, Device, DevicePool
+from repro.runtime.pool import (
+    DEFAULT_POOL,
+    Device,
+    DevicePool,
+    ThreadParallelismWarning,
+)
 from repro.runtime.scheduler import (
     POLICIES,
     BestFitPolicy,
@@ -66,6 +71,7 @@ __all__ = [
     "SimClock",
     "Telemetry",
     "TelemetryReport",
+    "ThreadParallelismWarning",
     "VectorContext",
     "make_policy",
 ]

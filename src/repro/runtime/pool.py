@@ -33,9 +33,12 @@ jobs instead of silently returning.
 
 from __future__ import annotations
 
+import os
 import threading
+import warnings
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Deque, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import (
@@ -59,6 +62,41 @@ from repro.runtime._telemetry import DeviceRecord, Telemetry, TelemetryReport
 #: Default pool shape: two small shards + one large for capacity-hungry
 #: jobs, mirroring the paper's two design points.
 DEFAULT_POOL = (CAPE32K, CAPE32K, CAPE131K)
+
+
+class ThreadParallelismWarning(RuntimeWarning):
+    """Thread parallelism was requested where threads cannot help."""
+
+
+#: One warning per process — the pool may be constructed hundreds of
+#: times in a sweep and the advice doesn't change.
+_thread_parallelism_warned = False
+
+
+def _warn_thread_parallelism(parallelism: int) -> None:
+    """Warn (once) that worker *threads* cannot beat sequential here.
+
+    BENCH_5 measured ``DevicePool(parallelism=4)`` at **0.85x**
+    sequential on a single-CPU host: the interpreter lock plus
+    numpy-bound workers leave nothing for extra threads to run, so the
+    batching overhead is pure loss. Process sharding (``repro.serve``)
+    is the escape hatch. Multi-core hosts are left alone — numpy
+    releases the GIL inside the fused bit-plane kernels, which is
+    where thread parallelism genuinely pays.
+    """
+    global _thread_parallelism_warned
+    if _thread_parallelism_warned or (os.cpu_count() or 1) > 1:
+        return
+    _thread_parallelism_warned = True
+    warnings.warn(
+        f"DevicePool(parallelism={parallelism}) uses worker *threads*, "
+        f"which cannot help on this {os.cpu_count() or 1}-CPU host "
+        f"(BENCH_5 measured 0.85x vs sequential: GIL + numpy-bound "
+        f"workers). Use the process-sharded serving tier instead — "
+        f"repro.serve.ServePool / repro.api.serve (docs/SERVING.md).",
+        ThreadParallelismWarning,
+        stacklevel=3,
+    )
 
 
 class Device:
@@ -182,9 +220,11 @@ class DevicePool:
         self.max_retries = max_retries
         self.retry_backoff_cycles = retry_backoff_cycles
         self.parallelism = parallelism
-        if parallelism > 1 and self.observer.enabled:
-            # Workers get-or-create device-labelled series concurrently.
-            self.observer.metrics.enable_thread_safety()
+        if parallelism > 1:
+            _warn_thread_parallelism(parallelism)
+            if self.observer.enabled:
+                # Workers get-or-create device-labelled series concurrently.
+                self.observer.metrics.enable_thread_safety()
         #: Launch batch under construction (parallel run only): jobs
         #: started by the current timestamp's events, executed together
         #: once the timestamp is fully drained. ``None`` = inline mode.
@@ -431,11 +471,20 @@ class DevicePool:
     # Self-healing
     # ------------------------------------------------------------------
 
+    def _device_dead(self, device: Device) -> bool:
+        """Did this device's substrate report whole-device death?
+
+        The in-process pool asks the device's fault injector; the
+        process-sharded serving pool overrides this with the death
+        ledger it maintains from worker replies and process exits.
+        """
+        return device.injector is not None and device.injector.dead
+
     def _handle_failure(self, device: Device, job: Job) -> None:
         """Walk the recovery ladder for one failed execution."""
         if self.observer.enabled:
             self.observer.counter("runtime.jobs", event="failed").inc()
-        if device.injector is not None and device.injector.dead:
+        if self._device_dead(device):
             self._kill_device(device)
         elif device.health.record_failure(self.clock.now):
             self._on_quarantine(device)
@@ -580,6 +629,38 @@ class DevicePool:
             )
         return self.report()
 
+    @contextmanager
+    def _execution_tier(self):
+        """Yield a ``execute(batch)`` callable for the batched driver.
+
+        The base tier is a bounded :class:`ThreadPoolExecutor`:
+        independent devices' jobs execute on worker threads under their
+        device locks (numpy releases the GIL inside the fused bit-plane
+        kernels). ``repro.serve.ServePool`` overrides this with a
+        process-sharded tier that ships each job to the worker process
+        owning its device — everything else about the event loop is
+        shared.
+        """
+        obs = self.observer
+        with ThreadPoolExecutor(
+            max_workers=self.parallelism, thread_name_prefix="cape-pool"
+        ) as executor:
+            if obs.enabled:
+                obs.metrics.gauge("pool.parallel.workers").set(self.parallelism)
+
+            def execute(batch) -> None:
+                if len(batch) == 1:
+                    self._run_job(*batch[0])
+                    return
+                futures = [
+                    executor.submit(self._run_job, device, job)
+                    for device, job in batch
+                ]
+                for future in futures:
+                    future.result()
+
+            yield execute
+
     def _run_parallel(self, max_events: int) -> TelemetryReport:
         """Batched event loop: independent devices execute concurrently.
 
@@ -587,20 +668,16 @@ class DevicePool:
         main thread in the same deterministic (time, seq) order as the
         sequential loop; job *starts* within that timestamp only record
         bookkeeping and land on a launchpad. The batch of started jobs
-        then executes across the worker pool — at most one job per
+        then executes across the execution tier — at most one job per
         device (``device.current`` blocks a second dispatch) — and
         post-run bookkeeping replays on the main thread in launchpad
         order. Placement decisions therefore match the sequential loop
-        exactly; numpy's fused bit-plane kernels release the GIL, which
-        is where the parallel speedup comes from.
+        exactly; the tier (worker threads here, worker processes in
+        ``repro.serve``) only supplies host concurrency.
         """
         obs = self.observer
         events = 0
-        with ThreadPoolExecutor(
-            max_workers=self.parallelism, thread_name_prefix="cape-pool"
-        ) as executor:
-            if obs.enabled:
-                obs.metrics.gauge("pool.parallel.workers").set(self.parallelism)
+        with self._execution_tier() as execute:
             while True:
                 t = self.clock.next_time
                 if t is None:
@@ -615,15 +692,7 @@ class DevicePool:
                     events += 1
                 batch, self._launching = self._launching, None
                 if batch:
-                    if len(batch) == 1:
-                        self._run_job(*batch[0])
-                    else:
-                        futures = [
-                            executor.submit(self._run_job, device, job)
-                            for device, job in batch
-                        ]
-                        for future in futures:
-                            future.result()
+                    execute(batch)
                     for device, job in batch:
                         self._finish_start(device, job)
                     if obs.enabled:

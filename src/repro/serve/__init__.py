@@ -1,0 +1,65 @@
+"""repro.serve — the process-sharded serving tier.
+
+Two front doors over one worker substrate:
+
+* :class:`~repro.serve.pool.ServePool` — the deterministic batch tier.
+  A :class:`~repro.runtime.pool.DevicePool` whose jobs execute inside
+  worker *processes* (one process owns one or more devices) while all
+  bookkeeping — placement, scheduling, healing, telemetry — stays on
+  the main thread in simulated-clock order. Results are bit-identical
+  to sequential execution; the processes exist purely to beat the GIL
+  wall that capped worker *threads* at 0.85x (BENCH_5).
+* :class:`~repro.serve.gateway.Gateway` — the asyncio front door for
+  live traffic: ``await submit(spec)``, per-tenant quotas through the
+  :class:`~repro.runtime.job.Footprint` machinery, bounded queues that
+  shed load with ``retry_after_s`` hints, graceful drain/shutdown, and
+  worker-crash failover.
+
+Work crosses the process boundary as picklable
+:class:`~repro.serve.spec.JobSpec` descriptions naming a registered
+kernel; the fault ledger crosses it in both directions (worker-side
+injectors report device death in replies; a worker crash — injectable
+via :class:`~repro.faults.WorkerKill` — retires the worker's devices
+through the PR-4 healing ladder). See ``docs/SERVING.md``.
+"""
+
+from repro.serve.gateway import (
+    Gateway,
+    GatewayReport,
+    ServeConfig,
+    ServeResult,
+    TenantQuota,
+)
+from repro.serve.pool import ServePool, default_mp_context
+from repro.serve.spec import (
+    KERNELS,
+    JobSpec,
+    ServeJob,
+    kernel_names,
+    register_kernel,
+)
+from repro.serve.worker import (
+    KILLED_EXIT_CODE,
+    WorkerHandle,
+    WorkerOptions,
+    worker_main,
+)
+
+__all__ = [
+    "Gateway",
+    "GatewayReport",
+    "JobSpec",
+    "KERNELS",
+    "KILLED_EXIT_CODE",
+    "ServeConfig",
+    "ServeJob",
+    "ServePool",
+    "ServeResult",
+    "TenantQuota",
+    "WorkerHandle",
+    "WorkerOptions",
+    "default_mp_context",
+    "kernel_names",
+    "register_kernel",
+    "worker_main",
+]

@@ -1,0 +1,665 @@
+"""The asyncio front door: admission, quotas, backpressure, dispatch.
+
+The :class:`Gateway` puts an ``await``-able serving surface in front of
+the worker tier. Where :class:`~repro.serve.pool.ServePool` replays a
+whole recorded job set deterministically under the simulated clock, the
+gateway serves *live* traffic on the wall clock: callers
+``await gateway.submit(spec)`` and get a :class:`ServeResult` back when
+the worker that owns the chosen device has executed the spec.
+
+Admission control happens before a request touches a queue:
+
+* **closed** — a draining/closed gateway rejects immediately.
+* **queue_full** — the bounded queue (``max_queue`` requests queued or
+  in flight) rejects with :class:`~repro.common.errors.AdmissionError`
+  carrying ``retry_after_s``, the load-shedding contract: the caller
+  backs off and retries, the gateway never buffers unboundedly.
+* **quota** — per-tenant :class:`TenantQuota` limits, enforced through
+  the same :class:`~repro.runtime.job.Footprint` machinery the
+  scheduler uses: a tenant is capped on simultaneously pending requests
+  and (optionally) on the sum of in-flight footprint *lanes* — CSB
+  occupancy, the resource the capacity cliff is about.
+
+Dispatch is footprint-aware round-robin over free devices. Every
+worker has a daemon reader thread that forwards replies into the event
+loop via ``call_soon_threadsafe`` — the loop thread owns all gateway
+state, so there are no locks. A worker crash fails over: its devices
+are retired, in-flight requests re-queue onto surviving devices (up to
+``max_retries`` attempts each), and only when no device remains does
+the gateway fail pending work.
+
+Shutdown is graceful by default: ``drain()`` stops admission and waits
+for in-flight and queued work; ``close()`` drains, then shuts the
+workers down and joins the reader threads. ``async with Gateway(...)``
+does start/close automatically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import (
+    AdmissionError,
+    ConfigError,
+    QuotaExceededError,
+    WorkerDiedError,
+)
+from repro.engine.system import CAPE32K, CAPEConfig
+from repro.serve.pool import default_mp_context
+from repro.serve.spec import JobSpec
+from repro.serve.worker import WorkerHandle, WorkerOptions
+
+__all__ = [
+    "Gateway",
+    "GatewayReport",
+    "ServeConfig",
+    "ServeResult",
+    "TenantQuota",
+]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits (the quota side of multi-tenancy).
+
+    Args:
+        max_pending: requests the tenant may have queued + in flight.
+        max_lanes: optional cap on the *sum of footprint lanes* the
+            tenant may have in flight — occupancy-weighted fairness, so
+            one tenant of CSB-filling jobs can't starve the others by
+            request count alone.
+    """
+
+    max_pending: int = 64
+    max_lanes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ConfigError("a tenant quota needs max_pending >= 1")
+        if self.max_lanes is not None and self.max_lanes < 1:
+            raise ConfigError("max_lanes must be positive when set")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Gateway construction knobs (one picklable bag).
+
+    Args:
+        configs: device design points; device ``i`` is owned by worker
+            ``i % workers``.
+        workers: worker process count (clamped to the device count).
+        max_queue: bound on requests queued + in flight; beyond it the
+            gateway sheds load with ``retry_after_s``.
+        default_quota: quota applied to tenants absent from ``quotas``.
+        quotas: per-tenant overrides.
+        warmup: specs each worker runs at boot to warm its plan cache.
+        memory_bytes / accounting / backend: device construction knobs,
+            as :class:`~repro.runtime.pool.DevicePool`.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` (device
+            slices go to the workers; ``WorkerKill`` entries kill whole
+            worker processes).
+        max_retries: re-placement attempts for a request whose worker
+            died mid-flight.
+        worker_timeout: seconds of reader-thread silence tolerated while
+            the process is alive (liveness only; requests have no
+            per-request deadline).
+        retry_after_s: floor of the backpressure hint; the advertised
+            value scales with observed service time and queue depth.
+    """
+
+    configs: Tuple[CAPEConfig, ...] = (CAPE32K, CAPE32K)
+    workers: int = 2
+    max_queue: int = 256
+    default_quota: TenantQuota = TenantQuota()
+    quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    warmup: Tuple[JobSpec, ...] = ()
+    memory_bytes: Optional[int] = None
+    accounting: str = "paper"
+    backend: Optional[str] = None
+    fault_plan: object = None
+    max_retries: int = 3
+    worker_timeout: float = 120.0
+    retry_after_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.configs:
+            raise ConfigError("a gateway needs at least one device")
+        if self.workers < 1:
+            raise ConfigError("a gateway needs at least one worker")
+        if self.max_queue < 1:
+            raise ConfigError("max_queue must be at least 1")
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served request: the reply plus serving metadata."""
+
+    name: str
+    tenant: str
+    output: Any
+    validated: Optional[bool]
+    service_cycles: float
+    energy_j: float
+    spills: int
+    restores: int
+    error: Optional[str]
+    worker_id: int
+    device_id: int
+    wall_s: float
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tenant": self.tenant,
+            "output": self.output,
+            "validated": self.validated,
+            "service_cycles": self.service_cycles,
+            "energy_j": self.energy_j,
+            "error": self.error,
+            "worker_id": self.worker_id,
+            "device_id": self.device_id,
+            "wall_s": self.wall_s,
+            "retries": self.retries,
+        }
+
+
+@dataclass
+class GatewayReport:
+    """Aggregate serving counters (see :meth:`Gateway.report`)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_queue_full: int = 0
+    rejected_quota: int = 0
+    rejected_closed: int = 0
+    worker_deaths: int = 0
+    retries: int = 0
+    per_tenant: Dict[str, int] = field(default_factory=dict)
+    wall_latencies_s: List[float] = field(default_factory=list)
+    plan_cache: Dict[int, dict] = field(default_factory=dict)
+
+    @property
+    def rejected(self) -> int:
+        return (
+            self.rejected_queue_full
+            + self.rejected_quota
+            + self.rejected_closed
+        )
+
+    def latency_percentile(self, pct: float) -> Optional[float]:
+        """Wall-latency percentile in seconds (None before traffic)."""
+        if not self.wall_latencies_s:
+            return None
+        ordered = sorted(self.wall_latencies_s)
+        index = min(
+            len(ordered) - 1, max(0, round(pct / 100 * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_quota": self.rejected_quota,
+            "rejected_closed": self.rejected_closed,
+            "worker_deaths": self.worker_deaths,
+            "retries": self.retries,
+            "per_tenant": dict(self.per_tenant),
+            "p50_latency_s": self.latency_percentile(50),
+            "p99_latency_s": self.latency_percentile(99),
+            "plan_cache": {k: dict(v) for k, v in self.plan_cache.items()},
+        }
+
+
+class _Request:
+    """One admitted request's mutable in-gateway state."""
+
+    __slots__ = (
+        "spec", "future", "submitted_at", "retries", "device_id", "seq"
+    )
+
+    def __init__(self, spec: JobSpec, future: asyncio.Future) -> None:
+        self.spec = spec
+        self.future = future
+        self.submitted_at = time.perf_counter()
+        self.retries = 0
+        self.device_id: Optional[int] = None
+        self.seq: Optional[int] = None
+
+
+class Gateway:
+    """The asyncio serving front door over the worker tier.
+
+    Use as an async context manager::
+
+        async with Gateway(ServeConfig(workers=2)) as gw:
+            result = await gw.submit(JobSpec("r0", "dot", {...}))
+
+    All state is owned by the event-loop thread; reader threads only
+    ever schedule callbacks onto the loop.
+    """
+
+    def __init__(self, config: ServeConfig = ServeConfig(), observer=None):
+        self.config = config
+        from repro.obs.observer import NULL_OBSERVER
+
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.report_data = GatewayReport()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._handles: Dict[int, WorkerHandle] = {}
+        self._readers: List[threading.Thread] = []
+        self._stop_readers = threading.Event()
+        self._seq = itertools.count()
+        self._queue: deque = deque()
+        self._inflight: Dict[int, _Request] = {}
+        self._free_devices: deque = deque()
+        self._dead_devices: set = set()
+        self._worker_of: Dict[int, int] = {}
+        self._device_config: Dict[int, CAPEConfig] = {}
+        self._tenant_pending: Dict[str, int] = {}
+        self._tenant_lanes: Dict[str, int] = {}
+        self._started = False
+        self._closing = False
+        self._closed = False
+        self._drained = asyncio.Event()
+        self._ewma_wall_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def __aenter__(self) -> "Gateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        """Boot the workers and their reader threads."""
+        if self._started:
+            raise ConfigError("gateway already started")
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        cfg = self.config
+        num_workers = min(cfg.workers, len(cfg.configs))
+        options = WorkerOptions(
+            memory_bytes=cfg.memory_bytes,
+            accounting=cfg.accounting,
+            backend=cfg.backend,
+            warmup=cfg.warmup,
+            fault_plan=cfg.fault_plan,
+        )
+        ctx = default_mp_context()
+        for device_id, config in enumerate(cfg.configs):
+            self._worker_of[device_id] = device_id % num_workers
+            self._device_config[device_id] = config
+            self._free_devices.append(device_id)
+        for worker_id in range(num_workers):
+            owned = [
+                (device_id, config)
+                for device_id, config in enumerate(cfg.configs)
+                if self._worker_of[device_id] == worker_id
+            ]
+            handle = WorkerHandle(worker_id, owned, options, mp_context=ctx)
+            self._handles[worker_id] = handle.start()
+            reader = threading.Thread(
+                target=self._reader_main,
+                args=(worker_id, handle),
+                name=f"cape-serve-reader-{worker_id}",
+                daemon=True,
+            )
+            reader.start()
+            self._readers.append(reader)
+        if self.observer.enabled:
+            self.observer.gauge("serve.gateway.workers").set(num_workers)
+
+    def _reader_main(self, worker_id: int, handle: WorkerHandle) -> None:
+        """Reader thread: pump one worker's replies into the loop."""
+        while not self._stop_readers.is_set():
+            try:
+                if not handle._conn.poll(0.05):
+                    continue
+                msg = handle._conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                if not self._stop_readers.is_set():
+                    self._loop.call_soon_threadsafe(
+                        self._on_worker_death, worker_id
+                    )
+                return
+            self._loop.call_soon_threadsafe(self._on_message, worker_id, msg)
+
+    async def drain(self) -> None:
+        """Stop admitting; wait until queued + in-flight work finishes."""
+        self._closing = True
+        if not self._queue and not self._inflight:
+            return
+        self._drained.clear()
+        await self._drained.wait()
+
+    async def close(self) -> None:
+        """Graceful shutdown: drain, stop workers, join readers."""
+        if self._closed:
+            return
+        await self.drain()
+        self._closed = True
+        self._stop_readers.set()
+        for handle in self._handles.values():
+            await asyncio.to_thread(handle.shutdown)
+        for reader in self._readers:
+            await asyncio.to_thread(reader.join, 5.0)
+        self._handles.clear()
+        self._readers.clear()
+
+    # ------------------------------------------------------------------
+    # Admission + submission
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests queued + in flight."""
+        return len(self._queue) + len(self._inflight)
+
+    @property
+    def live_devices(self) -> int:
+        return len(self._device_config) - len(self._dead_devices)
+
+    def retry_after_hint(self) -> float:
+        """How long a shed caller should wait before retrying."""
+        floor = self.config.retry_after_s
+        if self._ewma_wall_s is None or not self.live_devices:
+            return floor
+        backlog_rounds = (self.pending + 1) / self.live_devices
+        return max(floor, self._ewma_wall_s * backlog_rounds)
+
+    def _admit(self, spec: JobSpec) -> None:
+        """Raise the appropriate rejection, or record admission."""
+        if self._closing or self._closed:
+            self.report_data.rejected_closed += 1
+            self._count_reject("closed")
+            raise AdmissionError(
+                "gateway is draining/closed", reason="closed"
+            )
+        if not self.live_devices:
+            self.report_data.rejected_closed += 1
+            self._count_reject("capacity")
+            raise AdmissionError(
+                "no live devices remain", reason="capacity"
+            )
+        if self.pending >= self.config.max_queue:
+            self.report_data.rejected_queue_full += 1
+            self._count_reject("queue_full")
+            raise AdmissionError(
+                f"serving queue is full ({self.pending} pending, "
+                f"bound {self.config.max_queue})",
+                reason="queue_full",
+                retry_after_s=self.retry_after_hint(),
+            )
+        quota = self.config.quota_for(spec.tenant)
+        tenant_pending = self._tenant_pending.get(spec.tenant, 0)
+        if tenant_pending >= quota.max_pending:
+            self.report_data.rejected_quota += 1
+            self._count_reject("quota")
+            raise QuotaExceededError(
+                f"tenant {spec.tenant!r} has {tenant_pending} requests "
+                f"pending (quota {quota.max_pending})",
+                tenant=spec.tenant,
+                retry_after_s=self.retry_after_hint(),
+            )
+        lanes = spec.footprint.lanes
+        tenant_lanes = self._tenant_lanes.get(spec.tenant, 0)
+        if quota.max_lanes is not None and tenant_lanes + lanes > quota.max_lanes:
+            self.report_data.rejected_quota += 1
+            self._count_reject("quota")
+            raise QuotaExceededError(
+                f"tenant {spec.tenant!r} has {tenant_lanes} footprint "
+                f"lanes in flight; +{lanes} exceeds quota "
+                f"{quota.max_lanes}",
+                tenant=spec.tenant,
+                retry_after_s=self.retry_after_hint(),
+            )
+        self._tenant_pending[spec.tenant] = tenant_pending + 1
+        self._tenant_lanes[spec.tenant] = tenant_lanes + lanes
+
+    def _count_reject(self, reason: str) -> None:
+        if self.observer.enabled:
+            self.observer.counter(
+                "serve.gateway.rejected", reason=reason
+            ).inc()
+
+    def submit_nowait(self, spec: JobSpec) -> "asyncio.Future[ServeResult]":
+        """Admit (or reject synchronously) and return the result future.
+
+        Raises :class:`~repro.common.errors.AdmissionError` /
+        :class:`~repro.common.errors.QuotaExceededError` *immediately*
+        when the request is shed — rejection is an admission-time
+        verdict, never a late failure.
+        """
+        if not self._started:
+            raise ConfigError("gateway not started (use `async with`)")
+        self._admit(spec)
+        self.report_data.submitted += 1
+        self.report_data.per_tenant[spec.tenant] = (
+            self.report_data.per_tenant.get(spec.tenant, 0) + 1
+        )
+        if self.observer.enabled:
+            self.observer.counter(
+                "serve.gateway.submitted", tenant=spec.tenant
+            ).inc()
+        request = _Request(spec, self._loop.create_future())
+        self._queue.append(request)
+        self._pump()
+        return request.future
+
+    async def submit(self, spec: JobSpec) -> ServeResult:
+        """Admit a spec and await its result."""
+        return await self.submit_nowait(spec)
+
+    async def submit_retrying(
+        self, spec: JobSpec, attempts: int = 8
+    ) -> ServeResult:
+        """Submit, honouring backpressure: sleep ``retry_after_s`` and
+        retry on shed (the well-behaved-client loop)."""
+        for attempt in range(attempts):
+            try:
+                return await self.submit(spec)
+            except AdmissionError as exc:
+                if exc.reason == "closed" or attempt == attempts - 1:
+                    raise
+                await asyncio.sleep(
+                    exc.retry_after_s or self.config.retry_after_s
+                )
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # Dispatch + replies (event-loop thread only)
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Dispatch queued requests onto free devices."""
+        while self._queue and self._free_devices:
+            device_id = self._free_devices.popleft()
+            if device_id in self._dead_devices:
+                continue
+            request = self._queue.popleft()
+            self._dispatch(request, device_id)
+        if self.observer.enabled:
+            self.observer.gauge("serve.gateway.queue_depth").set(
+                len(self._queue)
+            )
+        if self._closing and not self._queue and not self._inflight:
+            self._drained.set()
+
+    def _dispatch(self, request: _Request, device_id: int) -> None:
+        worker_id = self._worker_of[device_id]
+        handle = self._handles.get(worker_id)
+        seq = next(self._seq)
+        request.device_id = device_id
+        request.seq = seq
+        self._inflight[seq] = request
+        try:
+            handle.send_run(seq, device_id, request.spec)
+        except WorkerDiedError:
+            # The reader thread will (or already did) report the death;
+            # reporting here too is idempotent and keeps the request on
+            # the fast path to re-placement.
+            self._on_worker_death(worker_id)
+
+    def _on_message(self, worker_id: int, msg) -> None:
+        kind = msg[0]
+        if kind == "result":
+            _, seq, reply = msg
+            self._on_result(seq, reply)
+        elif kind == "stats":
+            _, _seq, stats = msg
+            self.report_data.plan_cache[worker_id] = stats.get(
+                "plan_cache", {}
+            )
+
+    def _on_result(self, seq: int, reply: dict) -> None:
+        request = self._inflight.pop(seq, None)
+        if request is None:  # raced with a worker-death re-queue
+            return
+        device_id = request.device_id
+        if reply["device_dead"]:
+            self._dead_devices.add(device_id)
+        elif device_id not in self._dead_devices:
+            self._free_devices.append(device_id)
+        self.report_data.plan_cache[reply["worker_id"]] = reply["plan_cache"]
+        wall_s = time.perf_counter() - request.submitted_at
+        self._ewma_wall_s = (
+            wall_s
+            if self._ewma_wall_s is None
+            else 0.8 * self._ewma_wall_s + 0.2 * wall_s
+        )
+        result = ServeResult(
+            name=request.spec.name,
+            tenant=request.spec.tenant,
+            output=reply["output"],
+            validated=reply["validated"],
+            service_cycles=reply["service_cycles"],
+            energy_j=reply["energy_j"],
+            spills=reply["spills"],
+            restores=reply["restores"],
+            error=reply["error"],
+            worker_id=reply["worker_id"],
+            device_id=device_id,
+            wall_s=wall_s,
+            retries=request.retries,
+        )
+        self._release_tenant(request)
+        if result.ok:
+            self.report_data.completed += 1
+        else:
+            self.report_data.failed += 1
+        self.report_data.wall_latencies_s.append(wall_s)
+        if self.observer.enabled:
+            self.observer.counter(
+                "serve.gateway.completed", tenant=result.tenant
+            ).inc()
+            self.observer.histogram("serve.gateway.wall_us").observe(
+                wall_s * 1e6
+            )
+        if not request.future.done():
+            request.future.set_result(result)
+        self._pump()
+
+    def _release_tenant(self, request: _Request) -> None:
+        tenant = request.spec.tenant
+        self._tenant_pending[tenant] = max(
+            0, self._tenant_pending.get(tenant, 0) - 1
+        )
+        self._tenant_lanes[tenant] = max(
+            0, self._tenant_lanes.get(tenant, 0) - request.spec.footprint.lanes
+        )
+
+    def _on_worker_death(self, worker_id: int) -> None:
+        """Fail over a crashed worker: retire devices, re-queue flights."""
+        handle = self._handles.pop(worker_id, None)
+        if handle is None:
+            return
+        self.report_data.worker_deaths += 1
+        self._dead_devices.update(handle.device_ids)
+        self._free_devices = deque(
+            d for d in self._free_devices if d not in self._dead_devices
+        )
+        if self.observer.enabled:
+            self.observer.counter("serve.gateway.worker_deaths").inc()
+        orphans = [
+            (seq, request)
+            for seq, request in self._inflight.items()
+            if request.device_id in handle.device_ids
+        ]
+        for seq, request in orphans:
+            del self._inflight[seq]
+            request.retries += 1
+            if (
+                request.retries <= self.config.max_retries
+                and self.live_devices
+            ):
+                self.report_data.retries += 1
+                self._queue.appendleft(request)
+            else:
+                self._release_tenant(request)
+                self.report_data.failed += 1
+                if not request.future.done():
+                    request.future.set_exception(
+                        WorkerDiedError(
+                            f"worker {worker_id} died and no retry "
+                            f"capacity remains for {request.spec.name!r}"
+                        )
+                    )
+        if not self.live_devices:
+            # Total capacity loss: everything still queued fails fast.
+            while self._queue:
+                request = self._queue.popleft()
+                self._release_tenant(request)
+                self.report_data.failed += 1
+                if not request.future.done():
+                    request.future.set_exception(
+                        AdmissionError(
+                            "all serving capacity lost", reason="capacity"
+                        )
+                    )
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> GatewayReport:
+        """The gateway's aggregate counters (live view)."""
+        return self.report_data
+
+    def __repr__(self) -> str:
+        state = (
+            "closed"
+            if self._closed
+            else "draining"
+            if self._closing
+            else "open"
+            if self._started
+            else "new"
+        )
+        return (
+            f"Gateway({state}, devices={self.live_devices}/"
+            f"{len(self._device_config)}, pending={self.pending})"
+        )

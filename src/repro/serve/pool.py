@@ -1,0 +1,318 @@
+"""The process-sharded device pool: DevicePool bookkeeping, worker
+processes for execution.
+
+:class:`ServePool` subclasses :class:`~repro.runtime.pool.DevicePool`
+and changes exactly one thing: the execution tier. The discrete-event
+loop, placement, scheduling policies, work stealing, retry/quarantine/
+probation healing, and telemetry all run unchanged on the main thread in
+the same deterministic ``(time, seq)`` event order as the sequential
+pool — so placement, results, and telemetry are **bit-identical to
+sequential execution** of the same job set under the same fault plan.
+What moves out of process is the part threads could never speed up on a
+GIL-bound host: the numpy-heavy ``job.execute`` itself, which now runs
+inside the worker process owning the job's device.
+
+Jobs must be :class:`~repro.serve.spec.ServeJob` instances (built from
+picklable :class:`~repro.serve.spec.JobSpec` descriptions) because only
+the spec crosses the pipe. Devices are assigned to workers round-robin;
+each worker rebuilds its devices — same config, memory size, accounting,
+backend, and fault-plan slice as the in-process pool would use — plus a
+per-process plan cache warmed from ``plan_cache_warmup``.
+
+The fault/healing ledger crosses the process boundary in both
+directions: a device whose worker-side injector reports whole-device
+death comes back flagged in the reply and walks the normal
+``DeviceKill`` path; a worker *process* death (injected
+:class:`~repro.faults.WorkerKill` or real crash) marks every device the
+worker owned dead, fails the in-flight jobs, and lets the inherited
+healing ladder retry them on surviving devices — no
+:class:`~repro.common.errors.PoolStalledError`, and results identical
+to a fault-free run as long as capacity survives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Sequence
+
+from repro.common.errors import ConfigError, WorkerDiedError
+from repro.engine.system import CAPEConfig
+from repro.runtime.job import JobResult
+from repro.runtime.pool import DEFAULT_POOL, Device, DevicePool
+from repro.runtime._telemetry import TelemetryReport
+from repro.serve.spec import JobSpec, ServeJob
+from repro.serve.worker import WorkerHandle, WorkerOptions
+
+__all__ = ["ServePool", "default_mp_context"]
+
+
+def default_mp_context():
+    """``fork`` where available (cheap, inherits kernel registrations),
+    else ``spawn``."""
+    import multiprocessing as mp
+
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(method)
+
+
+class ServePool(DevicePool):
+    """A :class:`DevicePool` whose jobs execute in worker processes.
+
+    Args:
+        configs: design points, one device per entry (as DevicePool).
+        workers: worker processes; device ``i`` is owned by worker
+            ``i % workers`` (clamped to the device count).
+        plan_cache_warmup: specs each worker executes once at boot on a
+            throwaway system to warm its per-process plan cache.
+        worker_timeout: wall seconds to wait for one reply before
+            declaring the worker dead (a hung process must not wedge
+            the deterministic loop forever).
+        mp_context: a ``multiprocessing`` context; defaults to
+            :func:`default_mp_context`.
+        **pool_kwargs: everything :class:`DevicePool` accepts except
+            ``parallelism`` (meaningless here — concurrency comes from
+            the worker processes) and ``plan_cache`` (each worker runs
+            its own per-process cache; the bookkeeping process compiles
+            nothing).
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[CAPEConfig] = DEFAULT_POOL,
+        workers: int = 2,
+        *,
+        plan_cache_warmup: Sequence[JobSpec] = (),
+        worker_timeout: float = 120.0,
+        mp_context=None,
+        fault_plan=None,
+        **pool_kwargs,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError("a serve pool needs at least one worker")
+        for reserved in ("parallelism", "plan_cache"):
+            if reserved in pool_kwargs:
+                raise ConfigError(
+                    f"ServePool does not accept {reserved!r}: worker "
+                    f"processes supply the concurrency and own their "
+                    f"plan caches"
+                )
+        # Device-construction knobs are forwarded to the workers so
+        # their devices are built exactly like in-process ones; the
+        # parent keeps its own copy because DevicePool doesn't retain
+        # them.
+        self._memory_bytes = pool_kwargs.get("memory_bytes")
+        self._accounting = pool_kwargs.get("accounting", "paper")
+        self._backend = pool_kwargs.get("backend")
+        # The parent's systems are bookkeeping mirrors that never
+        # execute a job: no fault injectors (the workers own the
+        # injector state), no plan cache.
+        super().__init__(
+            configs, parallelism=1, plan_cache=False, **pool_kwargs
+        )
+        self.fault_plan = fault_plan
+        self.num_workers = min(workers, len(self.devices))
+        self.plan_cache_warmup = tuple(plan_cache_warmup)
+        self.worker_timeout = worker_timeout
+        self._mp_context = mp_context
+        #: device_id -> owning worker id (round-robin).
+        self.worker_of: Dict[int, int] = {
+            d.device_id: d.device_id % self.num_workers for d in self.devices
+        }
+        self._handles: Dict[int, WorkerHandle] = {}
+        self._dead_worker_ids: set = set()
+        #: Devices whose worker-side substrate (injector death or
+        #: process crash) reported whole-device loss.
+        self._dead_device_ids: set = set()
+        self._seq = itertools.count()
+        #: worker_id -> last seen plan-cache snapshot / stats reply.
+        self.worker_stats: Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Submission sugar
+    # ------------------------------------------------------------------
+
+    def submit_specs(
+        self,
+        specs: Iterable[JobSpec],
+        interarrival_cycles: float = 0.0,
+    ) -> List[ServeJob]:
+        """Materialise and submit a stream of specs."""
+        return self.submit_stream(
+            [spec.to_job() for spec in specs],
+            interarrival_cycles=interarrival_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _start_workers(self) -> None:
+        ctx = (
+            self._mp_context
+            if self._mp_context is not None
+            else default_mp_context()
+        )
+        options = WorkerOptions(
+            memory_bytes=self._memory_bytes,
+            accounting=self._accounting,
+            backend=self._backend,
+            warmup=self.plan_cache_warmup,
+            fault_plan=self.fault_plan,
+        )
+        for worker_id in range(self.num_workers):
+            owned = [
+                (d.device_id, d.config)
+                for d in self.devices
+                if self.worker_of[d.device_id] == worker_id
+            ]
+            self._handles[worker_id] = WorkerHandle(
+                worker_id, owned, options, mp_context=ctx
+            ).start()
+
+    def _stop_workers(self) -> None:
+        for worker_id, handle in self._handles.items():
+            if handle.alive and worker_id not in self._dead_worker_ids:
+                try:
+                    seq = next(self._seq)
+                    handle.send_stats(seq)
+                    kind, rseq, stats = handle.recv(timeout=self.worker_timeout)
+                    if kind == "stats" and rseq == seq:
+                        self.worker_stats[worker_id] = stats
+                except WorkerDiedError:
+                    pass
+            handle.shutdown()
+        self._handles.clear()
+
+    def _on_worker_death(self, handle: WorkerHandle) -> None:
+        """Record a crashed worker; its devices die via the ladder."""
+        if handle.worker_id in self._dead_worker_ids:
+            return
+        self._dead_worker_ids.add(handle.worker_id)
+        self._dead_device_ids.update(handle.device_ids)
+        if self.observer.enabled:
+            self.observer.counter("serve.worker_deaths").inc()
+            self.observer.instant(
+                f"worker-dead:{handle.worker_id}", "serve",
+                ts=self.clock.now, tid="pool",
+                devices=list(handle.device_ids),
+            )
+
+    # ------------------------------------------------------------------
+    # The execution tier (the one thing DevicePool doesn't supply)
+    # ------------------------------------------------------------------
+
+    def _device_dead(self, device: Device) -> bool:
+        return device.device_id in self._dead_device_ids
+
+    def _crashed_result(self, worker_id: int) -> JobResult:
+        return JobResult(
+            output=None,
+            validated=False,
+            service_cycles=0.0,
+            energy_j=0.0,
+            error=f"WorkerDiedError: serving worker {worker_id} died mid-job",
+        )
+
+    @contextmanager
+    def _execution_tier(self):
+        obs = self.observer
+        self._start_workers()
+        try:
+            if obs.enabled:
+                obs.metrics.gauge("serve.workers").set(self.num_workers)
+
+            def execute(batch) -> None:
+                pending = []
+                for device, job in batch:
+                    spec = getattr(job, "spec", None)
+                    if spec is None:
+                        raise ConfigError(
+                            f"{job!r} carries no JobSpec — ServePool jobs "
+                            f"must be built via JobSpec.to_job() / "
+                            f"submit_specs() so they can cross the "
+                            f"process boundary"
+                        )
+                    worker_id = self.worker_of[device.device_id]
+                    handle = self._handles[worker_id]
+                    if worker_id in self._dead_worker_ids:
+                        job.result = self._crashed_result(worker_id)
+                        continue
+                    seq = next(self._seq)
+                    try:
+                        handle.send_run(seq, device.device_id, spec)
+                    except WorkerDiedError:
+                        self._on_worker_death(handle)
+                        job.result = self._crashed_result(worker_id)
+                        continue
+                    pending.append((handle, seq, device, job))
+                for handle, seq, device, job in pending:
+                    if handle.worker_id in self._dead_worker_ids:
+                        job.result = self._crashed_result(handle.worker_id)
+                        continue
+                    try:
+                        kind, rseq, reply = handle.recv(
+                            timeout=self.worker_timeout
+                        )
+                    except WorkerDiedError:
+                        self._on_worker_death(handle)
+                        job.result = self._crashed_result(handle.worker_id)
+                        continue
+                    if kind != "result" or rseq != seq:
+                        raise ConfigError(
+                            f"worker {handle.worker_id} protocol error: "
+                            f"expected ('result', {seq}), got ({kind!r}, {rseq})"
+                        )
+                    job.result = JobResult(
+                        output=reply["output"],
+                        validated=reply["validated"],
+                        service_cycles=reply["service_cycles"],
+                        energy_j=reply["energy_j"],
+                        spills=reply["spills"],
+                        restores=reply["restores"],
+                        error=reply["error"],
+                    )
+                    if reply["device_dead"]:
+                        self._dead_device_ids.add(device.device_id)
+                    self.worker_stats[handle.worker_id] = {
+                        "worker_id": handle.worker_id,
+                        "jobs_executed": reply["jobs_executed"],
+                        "plan_cache": reply["plan_cache"],
+                    }
+                    if obs.enabled:
+                        obs.counter(
+                            "serve.worker.jobs", worker=handle.worker_id
+                        ).inc()
+                        cache = reply["plan_cache"]
+                        for key in ("hits", "misses", "entries"):
+                            obs.gauge(
+                                f"serve.plan.{key}", worker=handle.worker_id
+                            ).set(cache[key])
+
+            yield execute
+        finally:
+            self._stop_workers()
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, max_events: int = 1_000_000) -> TelemetryReport:
+        """Drain the loop with jobs executing on the worker tier.
+
+        Same contract as :meth:`DevicePool.run` — including
+        :class:`~repro.common.errors.PoolStalledError` when every
+        serviceable device (worker) is gone with work still queued.
+        """
+        return self._run_parallel(max_events)
+
+    def plan_cache_totals(self) -> dict:
+        """Aggregate the per-worker plan-cache snapshots."""
+        totals = {"entries": 0, "hits": 0, "misses": 0}
+        per_worker = {}
+        for worker_id, stats in sorted(self.worker_stats.items()):
+            cache = stats.get("plan_cache") or {}
+            per_worker[worker_id] = dict(cache)
+            for key in totals:
+                totals[key] += int(cache.get(key, 0))
+        return {"total": totals, "per_worker": per_worker}

@@ -1,0 +1,263 @@
+"""Picklable job descriptions for the process-sharded serving tier.
+
+A :class:`~repro.runtime.job.Job` wraps an arbitrary Python callable —
+perfect inside one process, unshippable across a pipe. A
+:class:`JobSpec` is the serving tier's wire format: a frozen, picklable
+description of *what* to run (a registered kernel name plus a payload of
+plain values and numpy arrays, or an assembled RISC-V program) together
+with the placement metadata the scheduler needs (footprint, priority,
+service estimate) and an optional golden output for validation.
+
+Kernels are plain functions ``fn(system, payload) -> output`` registered
+by name in :data:`KERNELS` via :func:`register_kernel`. Worker processes
+resolve the name back to the function at execution time, so a spec's
+pickle carries only data. The built-in kernels cover the homogeneous
+serving mixes the benchmarks use — including ``match_count``, the
+content-addressable search the substrate is named for. Custom kernels
+must be registered before the worker processes start (with the default
+``fork`` start method the registry is inherited; under ``spawn`` the
+registering module must be importable and imported by both sides — see
+``docs/SERVING.md``).
+
+Everything in a spec (and in a kernel's return value) must survive
+``pickle`` — numpy arrays, scalars, strings, tuples/dicts of those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.engine.system import CAPESystem
+from repro.runtime.job import Footprint, Job
+
+__all__ = [
+    "KERNELS",
+    "JobSpec",
+    "ServeJob",
+    "kernel_names",
+    "register_kernel",
+]
+
+#: Registered serving kernels: name -> ``fn(system, payload) -> output``.
+KERNELS: Dict[str, Callable[[CAPESystem, dict], Any]] = {}
+
+
+def register_kernel(name: str):
+    """Decorator: register ``fn(system, payload)`` under ``name``."""
+
+    def deco(fn):
+        if name in KERNELS:
+            raise ConfigError(f"kernel {name!r} is already registered")
+        KERNELS[name] = fn
+        return fn
+
+    return deco
+
+
+def kernel_names() -> tuple:
+    """The registered kernel names, sorted (for docs and errors)."""
+    return tuple(sorted(KERNELS))
+
+
+# ----------------------------------------------------------------------
+# Built-in kernels (the homogeneous serving mixes)
+# ----------------------------------------------------------------------
+
+_BASE = 0x1000
+
+
+def _load(system: CAPESystem, vreg: int, data: np.ndarray, slot: int = 0) -> int:
+    """Write ``data`` to memory and load it into ``vreg``; returns vl."""
+    data = np.asarray(data, dtype=np.int64)
+    addr = _BASE + slot * 4 * len(data)
+    system.memory.write_words(addr, data)
+    system.vle(vreg, addr)
+    return len(data)
+
+
+@register_kernel("vadd_sum")
+def _vadd_sum(system: CAPESystem, payload: dict):
+    """sum(a + a) — the smallest end-to-end vector round trip.
+
+    The operand is loaded into two distinct registers: the associative
+    add microcode requires distinct source rows, so this keeps the
+    kernel executable (and plan-cacheable) on the bit-level backends.
+    """
+    data = np.asarray(payload["data"], dtype=np.int64)
+    system.vsetvl(len(data))
+    _load(system, 1, data, slot=0)
+    _load(system, 2, data, slot=1)
+    system.vadd(3, 1, 2)
+    return int(system.vredsum(3, signed=False))
+
+
+@register_kernel("dot")
+def _dot(system: CAPESystem, payload: dict):
+    """x · y through vmul + the global reduction tree."""
+    x = np.asarray(payload["x"], dtype=np.int64)
+    y = np.asarray(payload["y"], dtype=np.int64)
+    system.vsetvl(len(x))
+    _load(system, 1, x, slot=0)
+    _load(system, 2, y, slot=1)
+    system.vmul(3, 1, 2)
+    return int(system.vredsum(3, signed=False))
+
+
+@register_kernel("saxpy_sum")
+def _saxpy_sum(system: CAPESystem, payload: dict):
+    """sum(a*x + y) with the scalar broadcast through vmv.v.x."""
+    x = np.asarray(payload["x"], dtype=np.int64)
+    y = np.asarray(payload["y"], dtype=np.int64)
+    a = int(payload["a"])
+    system.vsetvl(len(x))
+    _load(system, 1, x, slot=0)
+    _load(system, 2, y, slot=1)
+    system.vmv_vx(3, a)
+    system.vmul(4, 1, 3)
+    system.vadd(5, 4, 2)
+    return int(system.vredsum(5, signed=False))
+
+
+@register_kernel("match_count")
+def _match_count(system: CAPESystem, payload: dict):
+    """How many elements equal ``needle`` — an associative search.
+
+    The content-addressable request shape: one ``vmseq.vx`` search
+    (every lane compares simultaneously) folded through the tag
+    popcount. This is the lookup primitive of the paper's Section VII
+    memory modes and of every CAM-serving workload in the literature.
+    """
+    data = np.asarray(payload["data"], dtype=np.int64)
+    needle = int(payload["needle"])
+    system.vsetvl(len(data))
+    _load(system, 1, data)
+    system.vmseq_vx(2, 1, needle)
+    return int(system.vmask_popcount(2))
+
+
+@register_kernel("program")
+def _program(system: CAPESystem, payload: dict):
+    """Assemble and interpret a RISC-V program; output = final xregs.
+
+    Payload: ``source`` (assembly text) and optionally ``memory_words``
+    (``{byte_addr: array}`` image) and ``result_regs`` (indices of the
+    scalar registers to return; defaults to all 32).
+    """
+    from repro.isa.interpreter import Machine
+
+    for addr, values in (payload.get("memory_words") or {}).items():
+        system.memory.write_words(int(addr), np.asarray(values))
+    machine = Machine(payload["source"], cape=system).run()
+    regs = payload.get("result_regs")
+    xregs = list(machine.xregs)
+    if regs is None:
+        return tuple(int(v) for v in xregs)
+    return tuple(int(xregs[int(r)]) for r in regs)
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One picklable serving request.
+
+    Args:
+        name: telemetry / result-correlation label.
+        kernel: a name registered in :data:`KERNELS`.
+        payload: the kernel's input data (picklable values only).
+        lanes: vector elements of live state — drives capacity-aware
+            placement and per-tenant lane quotas (the
+            :class:`~repro.runtime.job.Footprint` machinery).
+        vregs: architectural vector registers kept live.
+        resident: whether the lanes must be simultaneously CSB-resident.
+        priority: higher runs earlier within a queue.
+        estimated_cycles: service-time estimate for SJF ordering.
+        backend: optional per-job bit-level backend override.
+        golden: optional expected output (compared on the worker).
+        tenant: quota bucket at the gateway (ignored by the batch pool).
+    """
+
+    name: str
+    kernel: str
+    payload: dict = field(default_factory=dict)
+    lanes: int = 64
+    vregs: int = 8
+    resident: bool = True
+    priority: int = 0
+    estimated_cycles: Optional[float] = None
+    backend: Optional[str] = None
+    golden: Any = None
+    tenant: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("a JobSpec needs a non-empty name")
+
+    @property
+    def footprint(self) -> Footprint:
+        """The spec's register-file claim (admission + quotas)."""
+        return Footprint(
+            lanes=self.lanes, vregs=self.vregs, resident=self.resident
+        )
+
+    def resolve_kernel(self) -> Callable[[CAPESystem, dict], Any]:
+        """Look the kernel up by name; raises ``ConfigError`` if unknown."""
+        try:
+            return KERNELS[self.kernel]
+        except KeyError:
+            raise ConfigError(
+                f"unknown serving kernel {self.kernel!r} "
+                f"(registered: {', '.join(kernel_names())})"
+            ) from None
+
+    def build_body(self) -> Callable[[CAPESystem], Any]:
+        """The job body a device executes (kernel bound to payload)."""
+        fn = self.resolve_kernel()
+        payload = self.payload
+
+        def body(system: CAPESystem):
+            return fn(system, payload)
+
+        return body
+
+    def to_job(self) -> "ServeJob":
+        """Materialise the runtime :class:`Job` for this spec.
+
+        The same construction runs on both sides of the process
+        boundary: worker processes execute the job against their own
+        device, and the sequential comparison path executes it in
+        process — which is what makes "bit-identical to sequential"
+        checkable at all.
+        """
+        return ServeJob(self)
+
+    def with_tenant(self, tenant: str) -> "JobSpec":
+        """A copy of the spec rebound to another quota bucket."""
+        return replace(self, tenant=tenant)
+
+
+class ServeJob(Job):
+    """A :class:`Job` built from (and still carrying) its spec.
+
+    The spec is the unit that crosses the process boundary; the job
+    object itself never leaves the bookkeeping process.
+    """
+
+    def __init__(self, spec: JobSpec) -> None:
+        super().__init__(
+            name=spec.name,
+            body=spec.build_body(),
+            footprint=spec.footprint,
+            priority=spec.priority,
+            estimated_cycles=spec.estimated_cycles,
+            golden=spec.golden,
+            backend=spec.backend,
+        )
+        self.spec = spec

@@ -1,0 +1,333 @@
+"""Worker processes: device shards behind a pipe.
+
+Each worker process owns one or more CAPE devices — a full
+:class:`~repro.engine.system.CAPESystem` per device, a *per-process*
+:class:`~repro.plan.PlanCache` shared by those systems (warmed at boot
+from the configured warmup specs), and, when a fault plan is active,
+each device's :class:`~repro.faults.FaultInjector` over its slice of
+the plan. Job execution happens entirely inside the worker: the parent
+ships a picklable :class:`~repro.serve.spec.JobSpec`, the worker
+materialises the job, resets the target device, executes, validates
+against the golden, and ships back a plain-dict reply with the outputs,
+cycle/energy charges, the device's death flag, and the plan-cache
+snapshot.
+
+The protocol is deliberately tiny — tuples over a duplex
+``multiprocessing`` pipe, requests answered strictly in order:
+
+========================  =============================================
+parent → worker           worker → parent
+========================  =============================================
+``("run", seq, di, spec)``   ``("result", seq, reply_dict)``
+``("stats", seq)``           ``("stats", seq, stats_dict)``
+``("shutdown",)``            (clean exit, pipe closes)
+========================  =============================================
+
+A worker crash — injected via :class:`~repro.faults.WorkerKill` or
+real — closes the pipe; the parent surfaces it as
+:class:`~repro.common.errors.WorkerDiedError` and the serving tier
+treats every device the worker owned as dead (the ``DeviceKill``
+pathway of the healing ladder).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError, WorkerDiedError
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.faults.injector import FaultInjector
+from repro.memory.mainmem import WordMemory
+from repro.plan.cache import PlanCache
+from repro.serve.spec import JobSpec
+
+__all__ = ["WorkerHandle", "WorkerOptions", "worker_main"]
+
+#: Exit code of an injected :class:`WorkerKill` crash (tests assert it).
+KILLED_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Everything a worker needs to rebuild its shard (picklable).
+
+    Attributes mirror the :class:`~repro.runtime.pool.DevicePool`
+    construction arguments so worker-side devices are indistinguishable
+    from the in-process devices the sequential comparison path uses.
+    """
+
+    memory_bytes: Optional[int] = None
+    accounting: str = "paper"
+    backend: Optional[str] = None
+    warmup: Tuple[JobSpec, ...] = ()
+    fault_plan: object = None  # Optional[FaultPlan]; picklable
+
+
+def _build_shard(
+    worker_id: int,
+    devices: Sequence[Tuple[int, CAPEConfig]],
+    options: WorkerOptions,
+):
+    """Construct this worker's systems, injectors, and plan cache."""
+    plan_cache = PlanCache()
+    systems: Dict[int, CAPESystem] = {}
+    injectors: Dict[int, Optional[FaultInjector]] = {}
+    for device_id, config in devices:
+        system = CAPESystem(
+            config,
+            memory=(
+                WordMemory(options.memory_bytes)
+                if options.memory_bytes is not None
+                else None
+            ),
+            accounting=options.accounting,
+            backend=options.backend,
+            plan_cache=plan_cache,
+        )
+        injector = None
+        if options.fault_plan is not None:
+            injector = FaultInjector(options.fault_plan.for_device(device_id))
+            system.attach_fault_injector(injector)
+        systems[device_id] = system
+        injectors[device_id] = injector
+    if options.warmup and devices:
+        # Warm the per-process plan cache on a throwaway system so the
+        # warmup never advances injector state — plans are shape-keyed
+        # (num_cols excluded), so one config warms every device.
+        scratch = CAPESystem(
+            devices[0][1],
+            memory=(
+                WordMemory(options.memory_bytes)
+                if options.memory_bytes is not None
+                else None
+            ),
+            accounting=options.accounting,
+            backend=options.backend,
+            plan_cache=plan_cache,
+        )
+        for spec in options.warmup:
+            scratch.reset()
+            spec.to_job().execute(scratch)
+    return systems, injectors, plan_cache
+
+
+def _execute(system: CAPESystem, injector, spec: JobSpec) -> dict:
+    """Run one spec on a (freshly reset) device; plain-dict reply.
+
+    ``Job.execute`` already captures body errors in the result; this
+    additionally catches spec-level failures (an unknown kernel, an
+    unpicklable payload surfacing late) so a malformed request costs
+    one error reply, never the worker process.
+    """
+    try:
+        job = spec.to_job()
+        system.reset()
+        result = job.execute(system)
+    except Exception as exc:  # noqa: BLE001 — the reply IS the error path
+        return {
+            "name": spec.name,
+            "output": None,
+            "validated": False,
+            "service_cycles": 0.0,
+            "energy_j": 0.0,
+            "spills": 0,
+            "restores": 0,
+            "error": f"{type(exc).__name__}: {exc}",
+            "device_dead": bool(injector is not None and injector.dead),
+            "faults_injected": (
+                sum(injector.injected.values()) if injector is not None else 0
+            ),
+        }
+    return {
+        "name": spec.name,
+        "output": result.output,
+        "validated": result.validated,
+        "service_cycles": result.service_cycles,
+        "energy_j": result.energy_j,
+        "spills": result.spills,
+        "restores": result.restores,
+        "error": result.error,
+        "device_dead": bool(injector is not None and injector.dead),
+        "faults_injected": (
+            sum(injector.injected.values()) if injector is not None else 0
+        ),
+    }
+
+
+def worker_main(
+    conn,
+    worker_id: int,
+    devices: Sequence[Tuple[int, CAPEConfig]],
+    options: WorkerOptions,
+) -> None:
+    """The worker process entry point: build the shard, serve the pipe.
+
+    Requests are served strictly in arrival order; an injected
+    :class:`~repro.faults.WorkerKill` exits the process abruptly (no
+    reply, exit code :data:`KILLED_EXIT_CODE`) *while* the matching job
+    is in flight, exactly like a hard crash.
+    """
+    systems, injectors, plan_cache = _build_shard(worker_id, devices, options)
+    kill_at_job = None
+    if options.fault_plan is not None:
+        kill_at_job = options.fault_plan.kill_job_for_worker(worker_id)
+    jobs_executed = 0
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:  # parent went away: nothing left to serve
+                return
+            if msg[0] == "shutdown":
+                return
+            if msg[0] == "run":
+                _, seq, device_id, spec = msg
+                jobs_executed += 1
+                if kill_at_job is not None and jobs_executed >= kill_at_job:
+                    # The injected crash: die mid-job, reply never sent.
+                    conn.close()
+                    os._exit(KILLED_EXIT_CODE)
+                reply = _execute(systems[device_id], injectors[device_id], spec)
+                reply["worker_id"] = worker_id
+                reply["device_id"] = device_id
+                reply["jobs_executed"] = jobs_executed
+                reply["plan_cache"] = plan_cache.stats()
+                conn.send(("result", seq, reply))
+            elif msg[0] == "stats":
+                _, seq = msg
+                conn.send(
+                    (
+                        "stats",
+                        seq,
+                        {
+                            "worker_id": worker_id,
+                            "pid": os.getpid(),
+                            "jobs_executed": jobs_executed,
+                            "plan_cache": plan_cache.stats(),
+                            "devices": {
+                                device_id: (
+                                    injector.report()
+                                    if injector is not None
+                                    else None
+                                )
+                                for device_id, injector in injectors.items()
+                            },
+                        },
+                    )
+                )
+            else:  # unknown message: fail loudly, don't wedge the pipe
+                raise ConfigError(f"unknown worker message {msg[0]!r}")
+    finally:
+        conn.close()
+
+
+class WorkerHandle:
+    """Parent-side handle on one worker process.
+
+    Wraps process lifecycle and the pipe protocol; every transport
+    failure (broken pipe on send, EOF on receive, a dead process) is
+    normalised to :class:`~repro.common.errors.WorkerDiedError` so
+    callers have exactly one crash signal to handle.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        devices: Sequence[Tuple[int, CAPEConfig]],
+        options: WorkerOptions,
+        mp_context=None,
+    ) -> None:
+        if not devices:
+            raise ConfigError(f"worker {worker_id} owns no devices")
+        self.worker_id = worker_id
+        self.devices = tuple(devices)
+        self.device_ids = tuple(device_id for device_id, _ in devices)
+        self.options = options
+        self._ctx = mp_context
+        self._process = None
+        self._conn = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "WorkerHandle":
+        import multiprocessing as mp
+
+        ctx = self._ctx if self._ctx is not None else mp.get_context()
+        parent, child = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=worker_main,
+            args=(child, self.worker_id, self.devices, self.options),
+            name=f"cape-serve-{self.worker_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+        self._conn = parent
+        return self
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return self._process.exitcode if self._process is not None else None
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Ask the worker to exit; escalate to terminate if it won't."""
+        if self._process is None:
+            return
+        try:
+            self._conn.send(("shutdown",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout)
+        self._conn.close()
+
+    # -- protocol -------------------------------------------------------
+
+    def _died(self) -> WorkerDiedError:
+        return WorkerDiedError(
+            f"serving worker {self.worker_id} died "
+            f"(exit code {self.exitcode}, devices {list(self.device_ids)})"
+        )
+
+    def send_run(self, seq: int, device_id: int, spec: JobSpec) -> None:
+        if device_id not in self.device_ids:
+            raise ConfigError(
+                f"device {device_id} is not owned by worker {self.worker_id}"
+            )
+        self._send(("run", seq, device_id, spec))
+
+    def send_stats(self, seq: int) -> None:
+        self._send(("stats", seq))
+
+    def _send(self, msg) -> None:
+        try:
+            self._conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._died() from exc
+
+    def recv(self, timeout: Optional[float] = None):
+        """Next ``(kind, seq, payload)`` reply; raises on crash/timeout."""
+        try:
+            if timeout is not None and not self._conn.poll(timeout):
+                raise WorkerDiedError(
+                    f"serving worker {self.worker_id} sent nothing for "
+                    f"{timeout}s (alive={self.alive})"
+                )
+            return self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise self._died() from exc
+
+    def __repr__(self) -> str:
+        state = "live" if self.alive else f"exit={self.exitcode}"
+        return (
+            f"WorkerHandle(#{self.worker_id}, "
+            f"devices={list(self.device_ids)}, {state})"
+        )

@@ -1,0 +1,47 @@
+"""The PR-3 deprecation shims keep warning and keep working."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+
+class TestTelemetryModuleShim:
+    def test_import_warns_and_reexports(self):
+        # Module-level warnings fire at first import; drop any cached
+        # module so this test controls the import.
+        sys.modules.pop("repro.runtime.telemetry", None)
+        with pytest.warns(
+            DeprecationWarning, match="repro.runtime.telemetry is deprecated"
+        ):
+            import repro.runtime.telemetry as shim
+        import repro.runtime._telemetry as canonical
+
+        for name in ("Telemetry", "TelemetryReport", "JobRecord", "DeviceRecord"):
+            assert getattr(shim, name) is getattr(canonical, name)
+
+    def test_cached_reimport_is_silent(self):
+        sys.modules.pop("repro.runtime.telemetry", None)
+        with pytest.warns(DeprecationWarning):
+            importlib.import_module("repro.runtime.telemetry")
+        # Second import hits sys.modules: no module code re-runs.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            importlib.import_module("repro.runtime.telemetry")
+
+
+class TestCAPERunStatsShim:
+    def test_access_warns_and_aliases_obs(self):
+        import repro.engine.system as system_module
+        from repro.obs import CAPERunStats as canonical
+
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            shimmed = system_module.CAPERunStats
+        assert shimmed is canonical
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.engine.system as system_module
+
+        with pytest.raises(AttributeError):
+            system_module.definitely_not_a_name

@@ -1,0 +1,41 @@
+"""DevicePool thread parallelism warns (once) where threads can't help."""
+
+import warnings
+
+import pytest
+
+import repro.runtime.pool as pool_module
+from repro.engine.system import CAPEConfig
+from repro.runtime import DevicePool, ThreadParallelismWarning
+
+TINY = CAPEConfig(name="tiny", num_chains=64)
+
+
+@pytest.fixture
+def single_cpu(monkeypatch):
+    """Pretend to be the 1-CPU host BENCH_5 measured 0.85x on."""
+    monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(pool_module, "_thread_parallelism_warned", False)
+
+
+def test_warns_once_on_single_cpu_and_points_at_serve(single_cpu):
+    with pytest.warns(ThreadParallelismWarning, match="repro.serve"):
+        DevicePool([TINY], parallelism=2)
+    # One warning per process: a second pool stays quiet.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        DevicePool([TINY], parallelism=2)
+
+
+def test_sequential_pool_never_warns(single_cpu):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        DevicePool([TINY], parallelism=1)
+
+
+def test_multi_core_host_not_warned(monkeypatch):
+    monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(pool_module, "_thread_parallelism_warned", False)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        DevicePool([TINY], parallelism=4)

@@ -1,0 +1,137 @@
+"""JobSpec: the picklable wire format and its kernel registry."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.serve import (
+    KERNELS,
+    JobSpec,
+    ServeJob,
+    kernel_names,
+    register_kernel,
+)
+
+TINY = CAPEConfig(name="tiny", num_chains=64)
+
+
+@pytest.fixture
+def system():
+    return CAPESystem(TINY)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = kernel_names()
+        for expected in ("vadd_sum", "dot", "saxpy_sum", "match_count", "program"):
+            assert expected in names
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_kernel("vadd_sum")(lambda system, payload: None)
+
+    def test_custom_kernel_round_trip(self, system):
+        @register_kernel("test_spec_double")
+        def _double(sys_, payload):
+            return int(payload["x"]) * 2
+
+        try:
+            spec = JobSpec("d", "test_spec_double", {"x": 21})
+            assert spec.to_job().execute(system).output == 42
+        finally:
+            del KERNELS["test_spec_double"]
+
+    def test_unknown_kernel_names_the_registry(self):
+        spec = JobSpec("bad", "no_such_kernel")
+        with pytest.raises(ConfigError, match="no_such_kernel"):
+            spec.resolve_kernel()
+
+
+class TestBuiltinKernels:
+    def test_vadd_sum(self, system):
+        data = np.arange(16)
+        spec = JobSpec("v", "vadd_sum", {"data": data}, lanes=16)
+        assert spec.to_job().execute(system).output == int((2 * data).sum())
+
+    def test_dot(self, system):
+        x, y = np.arange(8), np.arange(8) + 3
+        spec = JobSpec("d", "dot", {"x": x, "y": y}, lanes=8)
+        assert spec.to_job().execute(system).output == int((x * y).sum())
+
+    def test_saxpy_sum(self, system):
+        x, y = np.arange(8), np.arange(8) * 5
+        spec = JobSpec("s", "saxpy_sum", {"x": x, "y": y, "a": 3}, lanes=8)
+        assert spec.to_job().execute(system).output == int((3 * x + y).sum())
+
+    def test_match_count(self, system):
+        data = np.array([7, 1, 7, 2, 7, 3])
+        spec = JobSpec("m", "match_count", {"data": data, "needle": 7}, lanes=8)
+        assert spec.to_job().execute(system).output == 3
+
+    def test_program(self, system):
+        spec = JobSpec(
+            "p",
+            "program",
+            {
+                "source": """
+                    li a0, 4
+                    li a1, 0x1000
+                    vsetvli t0, a0, e32
+                    vle32.v v1, (a1)
+                    ecall
+                """,
+                "memory_words": {0x1000: [1, 2, 3, 4]},
+                "result_regs": [10],
+            },
+            lanes=4,
+        )
+        assert spec.to_job().execute(system).output == (4,)
+
+
+class TestSpec:
+    def test_pickle_round_trip(self):
+        spec = JobSpec(
+            "r", "dot", {"x": np.arange(4), "y": np.arange(4)},
+            lanes=4, priority=2, tenant="acme", golden=14,
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.name == "r" and clone.tenant == "acme"
+        np.testing.assert_array_equal(clone.payload["x"], spec.payload["x"])
+
+    def test_footprint_mirrors_spec(self):
+        spec = JobSpec("f", "dot", lanes=128, vregs=4, resident=False)
+        footprint = spec.footprint
+        assert (footprint.lanes, footprint.vregs, footprint.resident) == (
+            128, 4, False,
+        )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            JobSpec("", "dot")
+
+    def test_with_tenant_rebinds_only_tenant(self):
+        spec = JobSpec("t", "dot", lanes=8)
+        other = spec.with_tenant("acme")
+        assert other.tenant == "acme" and other.lanes == 8
+        assert spec.tenant == "default"
+
+    def test_to_job_is_serve_job_with_golden(self, system):
+        spec = JobSpec(
+            "g", "match_count", {"data": np.zeros(4), "needle": 0},
+            lanes=4, golden=4,
+        )
+        job = spec.to_job()
+        assert isinstance(job, ServeJob) and job.spec is spec
+        result = job.execute(system)
+        assert result.validated is True
+
+    def test_golden_mismatch_flags_result(self, system):
+        spec = JobSpec(
+            "bad-golden", "match_count",
+            {"data": np.zeros(4), "needle": 0}, lanes=4, golden=999,
+        )
+        result = spec.to_job().execute(system)
+        assert result.validated is False
