@@ -207,9 +207,80 @@ print(f"gateway served 20/20 mixed jobs across workers {sorted(workers)}; "
       f"checksums match the sequential pool")
 EOF
 
+echo "== gang smoke (stacked plan replay) =="
+python - <<'EOF'
+import time
+
+import numpy as np
+
+from repro.engine.system import CAPEConfig
+from repro.obs import Observer
+from repro.runtime.job import Footprint, Job
+from repro.runtime.pool import DevicePool
+
+NANO = CAPEConfig(name="nano", num_chains=8)  # 256 lanes
+
+
+def make_jobs():
+    # Homogeneous mix: identical program structure (no per-job
+    # scalars — those land in the plan key and split the gang),
+    # member-specific data.
+    jobs = []
+    for i in range(8):
+        rng = np.random.default_rng(0x6A46 + i)
+        a = rng.integers(0, 1 << 20, 256).astype(np.int64)
+
+        def body(system, a=a):
+            system.memory.write_words(0x1000, a)
+            system.vsetvl(256)
+            system.vle(1, 0x1000)
+            system.vadd(2, 1, 1)
+            for _ in range(12):
+                system.vmul(3, 2, 1)
+                system.vadd(2, 3, 1)
+            return int(system.vredsum(2, signed=False))
+
+        jobs.append(Job(f"gang{i}", body, Footprint(lanes=256)))
+    return jobs
+
+
+def run(gang):
+    obs = Observer()
+    pool = DevicePool((NANO,) * 8, backend="bitplane", gang=gang,
+                      observer=obs)
+    jobs = make_jobs()
+    for job in jobs:
+        pool.submit(job)
+    start = time.perf_counter()
+    report = pool.run()
+    wall = time.perf_counter() - start
+    outputs = [j.result.output for j in jobs]
+    uops = obs.metrics.total("csb.microops")
+    return wall, outputs, uops, report.makespan_cycles, obs
+
+
+run(False)  # warm the shared plan cache
+seq_wall, seq_out, seq_uops, seq_makespan, _ = min(
+    (run(False) for _ in range(2)), key=lambda r: r[0]
+)
+gang_wall, gang_out, gang_uops, gang_makespan, obs = min(
+    (run(True) for _ in range(2)), key=lambda r: r[0]
+)
+assert gang_out == seq_out, "gang outputs diverged from sequential"
+assert gang_uops == seq_uops, (gang_uops, seq_uops)
+assert gang_makespan == seq_makespan
+assert obs.metrics.total("gang.hit") == 8, "batch did not gang"
+speedup = seq_wall / gang_wall
+assert speedup >= 2.0, f"gang speedup {speedup:.2f}x < 2x"
+print(f"gang: 8 homogeneous jobs over 8 devices in {gang_wall:.3f}s vs "
+      f"{seq_wall:.3f}s sequential ({speedup:.1f}x), checksums, microops "
+      f"({gang_uops:.0f}) and makespan identical")
+EOF
+
 echo "== tier-1 tests =="
 python -m pytest -x -q "$@"
 
 echo "== slow markers =="
 python -m pytest -q -m slow benchmarks/bench_table2_microops.py \
-    tests/integration/test_chaos.py tests/serve/test_saturation.py
+    tests/integration/test_chaos.py tests/serve/test_saturation.py \
+    tests/gang/test_gang_chaos.py

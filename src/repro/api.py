@@ -8,13 +8,23 @@ importable from ``repro.api``, and these names are kept stable.
 
 Three levels of entry:
 
-* :func:`run` — one call: assemble a RISC-V vector program, execute it
-  on a fresh device, return a :class:`RunResult`.
+* :func:`submit` — the unified submission API: one call takes
+  :class:`JobSpec` descriptions and runs them on a single device
+  (``pool=None``), an in-process :class:`DevicePool` / process-sharded
+  :class:`ServePool` (``pool=<pool instance>``), or a fresh asyncio
+  :class:`Gateway` (``pool=ServeConfig(...)``) — returning
+  :class:`JobResult`\\ s everywhere. Execution shape (plan cache,
+  threads, workers, gang mode) rides in one :class:`ExecConfig`.
 * :class:`Device` — a CAPE system plus its memory and an assembler-aware
   ``run`` method; pick a design point (:data:`CAPE32K` /
   :data:`CAPE131K`) and optionally a bit-level execution backend.
 * the re-exported building blocks (:class:`CAPESystem`, :class:`Job`,
   :class:`DevicePool`, the error taxonomy) for everything else.
+
+The older per-surface entry points — :func:`run`, :func:`run_pool`,
+:func:`serve` — remain as thin deprecated shims over the same machinery
+(they emit :class:`DeprecationWarning`; new code should use
+:func:`submit`, or :meth:`Device.run` for ad-hoc assembly programs).
 
 Execution backends
 ------------------
@@ -69,8 +79,9 @@ Example::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -118,9 +129,11 @@ from repro.obs import (
     ProfileReport,
     Tracer,
 )
+from repro.gang import GANG_MODES, GangOutcome, run_ganged
 from repro.plan import GLOBAL_PLAN_CACHE, CompiledPlan, PlanCache
 from repro.runtime import (
     DevicePool,
+    ExecConfig,
     Footprint,
     Job,
     JobResult,
@@ -158,7 +171,10 @@ __all__ = [
     "DeviceKill",
     "DevicePool",
     "CompiledPlan",
+    "ExecConfig",
     "ExecutionBackend",
+    "GANG_MODES",
+    "GangOutcome",
     "FaultInjectionError",
     "FaultInjector",
     "FaultPlan",
@@ -202,8 +218,10 @@ __all__ = [
     "golden",
     "register_kernel",
     "run",
+    "run_ganged",
     "run_pool",
     "serve",
+    "submit",
 ]
 
 
@@ -392,6 +410,121 @@ class Device:
         self.system.reset()
 
 
+def _serve_result_to_job_result(result: ServeResult) -> JobResult:
+    return JobResult(
+        output=result.output,
+        validated=bool(result.validated),
+        service_cycles=result.service_cycles,
+        energy_j=result.energy_j,
+        spills=result.spills,
+        restores=result.restores,
+        error=result.error,
+    )
+
+
+def submit(
+    specs: Union[JobSpec, Sequence[JobSpec]],
+    *,
+    pool: Union[None, DevicePool, ServeConfig] = None,
+    exec: Optional[ExecConfig] = None,
+    config: CAPEConfig = CAPE32K,
+    backend: Optional[str] = None,
+    observer: Optional[Observer] = None,
+    interarrival_cycles: float = 0.0,
+) -> Union[JobResult, List[JobResult]]:
+    """The unified submission API: specs in, :class:`JobResult`\\ s out.
+
+    One entry point spans every execution surface; ``pool=`` selects it:
+
+    * ``None`` — a fresh single :class:`Device` of ``config`` (and
+      optional ``backend``) executes the specs sequentially.
+    * a :class:`DevicePool` or :class:`ServePool` *instance* — the specs
+      are submitted (spaced by ``interarrival_cycles``) and the pool is
+      drained. The pool's own construction fixed its execution shape,
+      so ``exec=`` / ``config`` / ``backend`` / ``observer`` must not
+      also be given.
+    * a :class:`ServeConfig` — a fresh asyncio :class:`Gateway` serves
+      the specs (the :func:`serve` path); ``exec=`` may override its
+      ``workers`` / ``gang``.
+
+    ``exec`` is the one :class:`ExecConfig` for plan-cache, thread,
+    worker, and gang knobs. Returns a single :class:`JobResult` when
+    ``specs`` is a single :class:`JobSpec`, else a list in submission
+    order. Jobs that need the legacy callable form can be bridged with
+    :meth:`JobSpec.from_job` / :meth:`Job.from_spec`.
+    """
+    single = isinstance(specs, JobSpec)
+    spec_list: List[JobSpec] = [specs] if single else list(specs)
+    for spec in spec_list:
+        if not isinstance(spec, JobSpec):
+            raise ConfigError(
+                f"submit() takes JobSpec descriptions, got "
+                f"{type(spec).__name__} (wrap a Job with JobSpec.from_job)"
+            )
+
+    if pool is None:
+        from repro.runtime.execconfig import resolve_exec
+
+        knobs = resolve_exec(exec, plan_cache=(True, True))
+        device = Device(
+            config,
+            backend=backend,
+            observer=observer,
+            plan_cache=knobs["plan_cache"],
+        )
+        results = []
+        for spec in spec_list:
+            device.reset()
+            job = Job.from_spec(spec)
+            job.result = job.execute(device.system)
+            results.append(job.result)
+    elif isinstance(pool, DevicePool):
+        rejected = [
+            name
+            for name, given in (
+                ("exec", exec is not None),
+                ("config", config is not CAPE32K),
+                ("backend", backend is not None),
+                ("observer", observer is not None),
+            )
+            if given
+        ]
+        if rejected:
+            raise ConfigError(
+                f"pool= reuses an existing pool whose construction already "
+                f"fixed {', '.join(rejected)}; set them when building the "
+                f"pool"
+            )
+        jobs = [Job.from_spec(spec) for spec in spec_list]
+        base = pool.clock.now
+        for i, job in enumerate(jobs):
+            pool.submit(job, at_cycle=base + i * interarrival_cycles)
+        pool.run()
+        results = [job.result for job in jobs]
+    elif isinstance(pool, ServeConfig):
+        import asyncio
+
+        serve_config = pool
+
+        async def _main() -> list:
+            async with Gateway(
+                serve_config, observer=observer, exec=exec
+            ) as gateway:
+                return list(
+                    await asyncio.gather(
+                        *(gateway.submit_retrying(s) for s in spec_list)
+                    )
+                )
+
+        results = [_serve_result_to_job_result(r) for r in asyncio.run(_main())]
+    else:
+        raise ConfigError(
+            f"pool= must be None, a DevicePool/ServePool instance, or a "
+            f"ServeConfig, got {type(pool).__name__}"
+        )
+    return results[0] if single else results
+
+
 def run(
     program: str,
     config: CAPEConfig = CAPE32K,
@@ -402,6 +535,11 @@ def run(
     plan_cache=True,
 ) -> RunResult:
     """Assemble and run a program on a fresh :class:`Device`.
+
+    .. deprecated:: PR 7
+        Use :func:`submit` with the ``"program"`` kernel
+        (``JobSpec(name, "program", {"source": ...})``) or
+        :meth:`Device.run` directly.
 
     Args:
         program: RISC-V assembly source (RV64I + RVV subset).
@@ -419,6 +557,12 @@ def run(
     Returns:
         A :class:`RunResult` (machine fields available by delegation).
     """
+    warnings.warn(
+        "repro.api.run() is deprecated; use repro.api.submit() with the "
+        "'program' kernel, or Device.run() for ad-hoc assembly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     device = Device(config, backend=backend, observer=observer, plan_cache=plan_cache)
     for addr, values in (memory_words or {}).items():
         device.write_words(addr, values)
@@ -450,7 +594,17 @@ def run_pool(
     state. ``configs``/``parallelism``/``plan_cache``/``observer`` and
     ``pool_kwargs`` describe pool *construction* and are rejected
     alongside ``pool=`` to rule out silent disagreement.
+
+    .. deprecated:: PR 7
+        Use :func:`submit` with ``pool=`` (an existing pool instance)
+        or construct a :class:`DevicePool` with an :class:`ExecConfig`.
     """
+    warnings.warn(
+        "repro.api.run_pool() is deprecated; use repro.api.submit(specs, "
+        "pool=DevicePool(..., exec=ExecConfig(...)))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if pool is not None:
         if pool_kwargs or observer is not None:
             raise ConfigError(
@@ -497,7 +651,16 @@ def serve(
     control, or individual :class:`ServeConfig` fields as keyword
     arguments. Must be called from outside a running event loop; async
     applications should use :class:`Gateway` directly.
+
+    .. deprecated:: PR 7
+        Use :func:`submit` with ``pool=ServeConfig(...)``.
     """
+    warnings.warn(
+        "repro.api.serve() is deprecated; use repro.api.submit(specs, "
+        "pool=ServeConfig(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     import asyncio
 
     if config is None:

@@ -74,6 +74,11 @@ class BitEngine:
             :class:`~repro.plan.PlanCache`.
     """
 
+    #: Live engines execute eagerly; :class:`~repro.gang.DeferredBitEngine`
+    #: overrides this so ``CAPESystem._bitexec`` skips the immediate
+    #: cross-validation peek and lets gang replay check the mirror later.
+    deferred = False
+
     def __init__(
         self,
         num_chains: int,

@@ -720,7 +720,9 @@ class CAPESystem:
         self._charge_compute(cycles)
         if self._bitengine is not None:
             bit_count = self._bitengine.popcount(vm, self.vl, self.vstart)
-            if bit_count != count:
+            # A deferred (gang phase 1) engine returns None: the count
+            # is cross-checked at stacked replay instead.
+            if bit_count is not None and bit_count != count:
                 if not self._tolerate_fault("popcount"):
                     raise ProtocolError(
                         f"bit-level {self._bitengine.backend!r} backend popcount "
@@ -937,6 +939,12 @@ class CAPESystem:
             return None
         if mnemonic == "vredsum.vs":
             return result
+        if engine.deferred:
+            # Gang phase 1: the mirror doesn't exist yet. The trace
+            # carries this sync; the stacked replay validates the
+            # destination with the same predicate before applying it.
+            engine.sync_register(vd, self.vregs[vd])
+            return None
         if not self._bitexec_matches(engine, mnemonic, vd):
             if self.fault_injector is None:
                 raise ProtocolError(

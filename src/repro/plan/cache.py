@@ -13,6 +13,14 @@ threads). Compilation happens *outside* the lock — recording a microcode
 walk can take microseconds and must not serialise unrelated lookups —
 with a first-wins re-check on insert so concurrent compilers of the same
 key converge on one plan object.
+
+Plans are no longer per-instruction-dispatch only: because a lowered
+plan is width-agnostic (its kernels read the column count from the
+backend they run over), gang execution (:mod:`repro.gang`) replays the
+*same* cached plan once across the stacked column blocks of N devices —
+the plan-key stream is what the gang runner groups jobs by, and the
+eligibility rules (bit-plane backend, no live CSB faults, no microop
+trace) are documented in ``docs/GANG.md``.
 """
 
 from __future__ import annotations

@@ -17,6 +17,7 @@ the spill-cost model.
 
 from repro.runtime.clock import SimClock
 from repro.runtime.context import ContextManager, ContextStats, VectorContext
+from repro.runtime.execconfig import ExecConfig
 from repro.runtime.health import DeviceHealth, HealthState
 from repro.runtime.job import (
     Footprint,
@@ -56,6 +57,7 @@ __all__ = [
     "DeviceHealth",
     "DevicePool",
     "DeviceRecord",
+    "ExecConfig",
     "FIFOPolicy",
     "HealthState",
     "Footprint",

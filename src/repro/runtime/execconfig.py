@@ -1,0 +1,102 @@
+"""One execution-shape knob for every submission surface.
+
+Before this module, execution shape was spread across per-surface
+keyword arguments: ``DevicePool(parallelism=..., plan_cache=...)``,
+``ServePool(workers=...)``, ``api.serve(config=ServeConfig(...))``.
+:class:`ExecConfig` folds them — plus the gang-execution mode — into a
+single frozen dataclass accepted everywhere jobs are submitted
+(:func:`repro.api.submit`, :class:`~repro.runtime.pool.DevicePool`,
+:class:`~repro.serve.pool.ServePool`,
+:class:`~repro.serve.gateway.Gateway`).
+
+Each surface consumes the members that apply to it (a thread-parallel
+``DevicePool`` ignores ``workers``; a process-sharded ``ServePool``
+ignores ``parallelism``) — the unused members are carried, not
+rejected, so one ``ExecConfig`` can describe a workload as it moves
+between tiers.
+
+Precedence
+----------
+
+Legacy keyword arguments remain for compatibility, with one rule:
+
+* ``exec=None`` (default): the legacy keywords apply, with each
+  surface's historical defaults (``DevicePool`` keeps ``gang=False``).
+* ``exec=ExecConfig(...)``: the config wins outright. Passing a
+  *non-default* legacy keyword alongside it raises
+  :class:`~repro.common.errors.ConfigError` — silently preferring one
+  over the other is how configuration bugs hide.
+
+Note the deliberate default shift: ``ExecConfig().gang == "auto"``
+(gang whenever at least two jobs are eligible), while the legacy
+surfaces default to ``gang=False``. Opting into the new config is
+opting into gang execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.gang.runner import resolve_gang_mode
+
+__all__ = ["ExecConfig", "resolve_exec"]
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Execution shape for a submission surface.
+
+    Args:
+        plan_cache: microcode plan-cache knob (``True`` for the
+            process-wide cache, ``False``/``None`` to compile per
+            dispatch, or an explicit
+            :class:`~repro.plan.PlanCache`).
+        parallelism: worker threads for in-process pools
+            (:class:`~repro.runtime.pool.DevicePool`).
+        workers: worker processes for the process-sharded serving tier
+            (:class:`~repro.serve.pool.ServePool`, the gateway).
+        gang: gang-execution mode — ``True`` gangs every eligible job,
+            ``"auto"`` gangs when at least two jobs in a batch are
+            eligible, ``False`` disables stacked replay (docs/GANG.md).
+    """
+
+    plan_cache: object = True
+    parallelism: int = 1
+    workers: int = 2
+    gang: object = "auto"
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ConfigError("parallelism must be at least 1")
+        if self.workers < 1:
+            raise ConfigError("workers must be at least 1")
+        resolve_gang_mode(self.gang)
+
+
+def resolve_exec(exec_config: ExecConfig | None, **legacy):
+    """Merge an optional :class:`ExecConfig` with legacy keywords.
+
+    ``legacy`` maps each knob name to a ``(value, default)`` pair as the
+    calling surface received it. Returns ``{name: effective_value}``
+    for exactly the requested knobs.
+
+    Raises:
+        ConfigError: ``exec_config`` was given together with a legacy
+            keyword that differs from its surface default.
+    """
+    if exec_config is None:
+        return {name: value for name, (value, _default) in legacy.items()}
+    if not isinstance(exec_config, ExecConfig):
+        raise ConfigError(
+            f"exec must be an ExecConfig, got {type(exec_config).__name__}"
+        )
+    clash = sorted(
+        name for name, (value, default) in legacy.items() if value != default
+    )
+    if clash:
+        raise ConfigError(
+            f"pass {', '.join(clash)} inside ExecConfig, not alongside it "
+            f"(exec= was given, so the legacy keyword(s) would be ignored)"
+        )
+    return {name: getattr(exec_config, name) for name in legacy}

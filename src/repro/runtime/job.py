@@ -241,6 +241,19 @@ class Job:
     # -- constructors ---------------------------------------------------
 
     @classmethod
+    def from_spec(cls, spec) -> "Job":
+        """Materialise a :class:`~repro.serve.spec.JobSpec` as a job.
+
+        The inverse bridge is :meth:`JobSpec.from_job
+        <repro.serve.spec.JobSpec.from_job>`; together they let the
+        unified :func:`repro.api.submit` accept specs on every surface
+        (single device, in-process pool, process-sharded serving).
+        Delegates to ``spec.to_job()``, so the resulting job still
+        carries its spec and can cross a process boundary.
+        """
+        return spec.to_job()
+
+    @classmethod
     def from_workload(
         cls,
         workload: Workload,

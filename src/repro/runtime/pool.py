@@ -50,10 +50,12 @@ from repro.common.errors import (
 )
 from repro.engine.system import CAPE32K, CAPE131K, CAPEConfig, CAPESystem
 from repro.faults.injector import FaultInjector
+from repro.gang import resolve_gang_mode, run_ganged
 from repro.memory.mainmem import WordMemory
 from repro.obs.observer import NULL_OBSERVER
 
 from repro.runtime.clock import SimClock
+from repro.runtime.execconfig import ExecConfig, resolve_exec
 from repro.runtime.health import DeviceHealth, HealthState
 from repro.runtime.job import Job, JobState
 from repro.runtime.scheduler import Scheduler
@@ -188,6 +190,17 @@ class DevicePool:
             system. ``True`` (default) shares the process-wide cache
             across all devices — the second device to dispatch an
             intrinsic reuses the first one's compiled plan.
+        gang: gang-execution mode (``True`` / ``False`` / ``"auto"``).
+            When enabled, each launch batch is handed to
+            :func:`repro.gang.run_ganged`: eligible bit-plane jobs with
+            matching plan-key streams replay their mirrors as one
+            stacked gang, ineligible or ejected jobs fall back to the
+            per-device path. Results, cycles, energy, and microop
+            totals are bit-identical either way — see ``docs/GANG.md``.
+        exec: optional :class:`~repro.runtime.execconfig.ExecConfig`
+            bundling ``plan_cache`` / ``parallelism`` / ``gang``.
+            Mutually exclusive with non-default values of those
+            keywords (:class:`~repro.common.errors.ConfigError`).
     """
 
     def __init__(
@@ -206,11 +219,22 @@ class DevicePool:
         retry_backoff_cycles: float = 1_000.0,
         parallelism: int = 1,
         plan_cache=True,
+        gang=False,
+        exec: Optional[ExecConfig] = None,
     ) -> None:
         if not configs:
             raise ConfigError("a pool needs at least one device")
+        knobs = resolve_exec(
+            exec,
+            plan_cache=(plan_cache, True),
+            parallelism=(parallelism, 1),
+            gang=(gang, False),
+        )
+        plan_cache = knobs["plan_cache"]
+        parallelism = knobs["parallelism"]
         if parallelism < 1:
             raise ConfigError("parallelism must be at least 1")
+        self.gang = resolve_gang_mode(knobs["gang"])
         self.clock = SimClock()
         self.scheduler = Scheduler(policy)
         self.telemetry = Telemetry()
@@ -610,7 +634,9 @@ class DevicePool:
         serviceable device quarantined or dead, parked jobs included) —
         never a silent partial return.
         """
-        if self.parallelism > 1:
+        if self.parallelism > 1 or self.gang is not False:
+            # Gang execution needs the batched driver too: the launchpad
+            # is what turns a timestamp's starts into a gangable batch.
             return self._run_parallel(max_events)
         events = 0
         while self.clock.tick():
@@ -649,6 +675,18 @@ class DevicePool:
                 obs.metrics.gauge("pool.parallel.workers").set(self.parallelism)
 
             def execute(batch) -> None:
+                if self.gang is not False:
+                    # Gang path: the whole batch runs on the main thread
+                    # — one stacked replay per eligible group, the
+                    # sequential fallback (ineligible or ejected jobs)
+                    # via the same locked per-device runner.
+                    run_ganged(
+                        [(device.system, job) for device, job in batch],
+                        mode=self.gang,
+                        observer=self.observer,
+                        run_job=lambda i: self._run_job(*batch[i]),
+                    )
+                    return
                 if len(batch) == 1:
                     self._run_job(*batch[0])
                     return

@@ -111,6 +111,12 @@ class ServeConfig:
             per-request deadline).
         retry_after_s: floor of the backpressure hint; the advertised
             value scales with observed service time and queue depth.
+        gang: gang-execution mode (``True`` / ``False`` / ``"auto"``).
+            When enabled, each dispatch round groups the dispatchable
+            requests by owning worker and ships one ``("gang", ...)``
+            request per worker; the worker gangs what can be ganged
+            (``docs/GANG.md``). ``False`` keeps one-request-per-message
+            dispatch.
     """
 
     configs: Tuple[CAPEConfig, ...] = (CAPE32K, CAPE32K)
@@ -126,14 +132,18 @@ class ServeConfig:
     max_retries: int = 3
     worker_timeout: float = 120.0
     retry_after_s: float = 0.05
+    gang: object = False
 
     def __post_init__(self) -> None:
+        from repro.gang import resolve_gang_mode
+
         if not self.configs:
             raise ConfigError("a gateway needs at least one device")
         if self.workers < 1:
             raise ConfigError("a gateway needs at least one worker")
         if self.max_queue < 1:
             raise ConfigError("max_queue must be at least 1")
+        resolve_gang_mode(self.gang)
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.default_quota)
@@ -257,7 +267,28 @@ class Gateway:
     ever schedule callbacks onto the loop.
     """
 
-    def __init__(self, config: ServeConfig = ServeConfig(), observer=None):
+    def __init__(
+        self,
+        config: ServeConfig = ServeConfig(),
+        observer=None,
+        exec=None,
+    ):
+        if exec is not None:
+            # The unified ExecConfig overrides the serving-shape members
+            # of the ServeConfig; passing both non-defaulted is refused
+            # (same precedence contract as the pools).
+            from dataclasses import replace
+
+            from repro.runtime.execconfig import resolve_exec
+
+            knobs = resolve_exec(
+                exec,
+                workers=(config.workers, 2),
+                gang=(config.gang, False),
+            )
+            config = replace(
+                config, workers=knobs["workers"], gang=knobs["gang"]
+            )
         self.config = config
         from repro.obs.observer import NULL_OBSERVER
 
@@ -270,6 +301,8 @@ class Gateway:
         self._seq = itertools.count()
         self._queue: deque = deque()
         self._inflight: Dict[int, _Request] = {}
+        #: In-flight gang requests: seq -> (worker_id, [requests]).
+        self._gangs: Dict[int, Tuple[int, List[_Request]]] = {}
         self._free_devices: deque = deque()
         self._dead_devices: set = set()
         self._worker_of: Dict[int, int] = {}
@@ -350,7 +383,7 @@ class Gateway:
     async def drain(self) -> None:
         """Stop admitting; wait until queued + in-flight work finishes."""
         self._closing = True
-        if not self._queue and not self._inflight:
+        if not self.pending:
             return
         self._drained.clear()
         await self._drained.wait()
@@ -376,7 +409,11 @@ class Gateway:
     @property
     def pending(self) -> int:
         """Requests queued + in flight."""
-        return len(self._queue) + len(self._inflight)
+        return (
+            len(self._queue)
+            + len(self._inflight)
+            + sum(len(group) for _wid, group in self._gangs.values())
+        )
 
     @property
     def live_devices(self) -> int:
@@ -495,18 +532,52 @@ class Gateway:
 
     def _pump(self) -> None:
         """Dispatch queued requests onto free devices."""
+        assignments = []
         while self._queue and self._free_devices:
             device_id = self._free_devices.popleft()
             if device_id in self._dead_devices:
                 continue
             request = self._queue.popleft()
-            self._dispatch(request, device_id)
+            assignments.append((request, device_id))
+        if self.config.gang is not False and assignments:
+            self._dispatch_ganged(assignments)
+        else:
+            for request, device_id in assignments:
+                self._dispatch(request, device_id)
         if self.observer.enabled:
             self.observer.gauge("serve.gateway.queue_depth").set(
                 len(self._queue)
             )
-        if self._closing and not self._queue and not self._inflight:
+        if (
+            self._closing
+            and not self._queue
+            and not self._inflight
+            and not self._gangs
+        ):
             self._drained.set()
+
+    def _dispatch_ganged(self, assignments) -> None:
+        """Ship one dispatch round as per-worker gang requests."""
+        by_worker: Dict[int, List[Tuple[_Request, int]]] = {}
+        for request, device_id in assignments:
+            by_worker.setdefault(
+                self._worker_of[device_id], []
+            ).append((request, device_id))
+        for worker_id, group in sorted(by_worker.items()):
+            handle = self._handles.get(worker_id)
+            seq = next(self._seq)
+            requests = []
+            payload = []
+            for request, device_id in group:
+                request.device_id = device_id
+                request.seq = seq
+                requests.append(request)
+                payload.append((device_id, request.spec))
+            self._gangs[seq] = (worker_id, requests)
+            try:
+                handle.send_gang(seq, payload, self.config.gang)
+            except WorkerDiedError:
+                self._on_worker_death(worker_id)
 
     def _dispatch(self, request: _Request, device_id: int) -> None:
         worker_id = self._worker_of[device_id]
@@ -528,6 +599,9 @@ class Gateway:
         if kind == "result":
             _, seq, reply = msg
             self._on_result(seq, reply)
+        elif kind == "gang":
+            _, seq, replies = msg
+            self._on_gang(seq, replies)
         elif kind == "stats":
             _, _seq, stats = msg
             self.report_data.plan_cache[worker_id] = stats.get(
@@ -538,6 +612,32 @@ class Gateway:
         request = self._inflight.pop(seq, None)
         if request is None:  # raced with a worker-death re-queue
             return
+        self._finish(request, reply)
+        self._pump()
+
+    def _on_gang(self, seq: int, replies) -> None:
+        entry = self._gangs.pop(seq, None)
+        if entry is None:  # raced with a worker-death re-queue
+            return
+        _worker_id, requests = entry
+        obs = self.observer
+        for request, reply in zip(requests, replies):
+            if obs.enabled and reply.get("ganged"):
+                obs.counter("gang.hit").inc()
+                obs.histogram("gang.size").observe(reply["gang_size"])
+            elif obs.enabled:
+                reason = (
+                    "ejected" if reply.get("ejected")
+                    else reply.get("gang_reason") or "?"
+                )
+                obs.counter("gang.miss", reason=reason).inc()
+                if reply.get("ejected"):
+                    obs.counter("gang.ejected").inc()
+            self._finish(request, reply)
+        self._pump()
+
+    def _finish(self, request: _Request, reply: dict) -> None:
+        """Fold one worker reply into its request's future + ledgers."""
         device_id = request.device_id
         if reply["device_dead"]:
             self._dead_devices.add(device_id)
@@ -580,7 +680,6 @@ class Gateway:
             )
         if not request.future.done():
             request.future.set_result(result)
-        self._pump()
 
     def _release_tenant(self, request: _Request) -> None:
         tenant = request.spec.tenant
@@ -610,6 +709,11 @@ class Gateway:
         ]
         for seq, request in orphans:
             del self._inflight[seq]
+        for seq, (gang_worker, requests) in list(self._gangs.items()):
+            if gang_worker == worker_id:
+                del self._gangs[seq]
+                orphans.extend((seq, request) for request in requests)
+        for _seq, request in orphans:
             request.retries += 1
             if (
                 request.retries <= self.config.max_retries

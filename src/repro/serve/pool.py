@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import itertools
 from contextlib import contextmanager
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.common.errors import ConfigError, WorkerDiedError
 from repro.engine.system import CAPEConfig
+from repro.gang import resolve_gang_mode
+from repro.runtime.execconfig import ExecConfig, resolve_exec
 from repro.runtime.job import JobResult
 from repro.runtime.pool import DEFAULT_POOL, Device, DevicePool
 from repro.runtime._telemetry import TelemetryReport
@@ -70,6 +72,17 @@ class ServePool(DevicePool):
             the deterministic loop forever).
         mp_context: a ``multiprocessing`` context; defaults to
             :func:`default_mp_context`.
+        gang: gang-execution mode (``True`` / ``False`` / ``"auto"``).
+            When enabled, each launch batch is split by owning worker
+            and shipped as one ``("gang", ...)`` request per worker;
+            the worker runs :func:`repro.gang.run_ganged` over its
+            shard — stacked replay for eligible groups, sequential
+            fallback otherwise. ``"auto"`` is evaluated per worker
+            sub-batch. See ``docs/GANG.md``.
+        exec: optional :class:`~repro.runtime.execconfig.ExecConfig`
+            bundling ``workers`` / ``gang`` (its ``parallelism`` and
+            ``plan_cache`` members don't apply to this tier). Mutually
+            exclusive with non-default values of those keywords.
         **pool_kwargs: everything :class:`DevicePool` accepts except
             ``parallelism`` (meaningless here — concurrency comes from
             the worker processes) and ``plan_cache`` (each worker runs
@@ -86,8 +99,15 @@ class ServePool(DevicePool):
         worker_timeout: float = 120.0,
         mp_context=None,
         fault_plan=None,
+        gang=False,
+        exec: Optional[ExecConfig] = None,
         **pool_kwargs,
     ) -> None:
+        knobs = resolve_exec(
+            exec, workers=(workers, 2), gang=(gang, False)
+        )
+        workers = knobs["workers"]
+        gang = knobs["gang"]
         if workers < 1:
             raise ConfigError("a serve pool needs at least one worker")
         for reserved in ("parallelism", "plan_cache"):
@@ -110,6 +130,9 @@ class ServePool(DevicePool):
         super().__init__(
             configs, parallelism=1, plan_cache=False, **pool_kwargs
         )
+        # The parent's gang knob stays False (its systems never execute
+        # jobs); this tier's gang mode steers the worker-side batches.
+        self.gang = resolve_gang_mode(gang)
         self.fault_plan = fault_plan
         self.num_workers = min(workers, len(self.devices))
         self.plan_cache_warmup = tuple(plan_cache_warmup)
@@ -214,6 +237,108 @@ class ServePool(DevicePool):
             error=f"WorkerDiedError: serving worker {worker_id} died mid-job",
         )
 
+    def _spec_of(self, job) -> JobSpec:
+        spec = getattr(job, "spec", None)
+        if spec is None:
+            raise ConfigError(
+                f"{job!r} carries no JobSpec — ServePool jobs "
+                f"must be built via JobSpec.to_job() / "
+                f"submit_specs() so they can cross the "
+                f"process boundary"
+            )
+        return spec
+
+    def _apply_reply(self, device: Device, job, reply: dict, handle) -> None:
+        """Fold one worker reply into the job, ledgers, and metrics."""
+        obs = self.observer
+        job.result = JobResult(
+            output=reply["output"],
+            validated=reply["validated"],
+            service_cycles=reply["service_cycles"],
+            energy_j=reply["energy_j"],
+            spills=reply["spills"],
+            restores=reply["restores"],
+            error=reply["error"],
+        )
+        if reply["device_dead"]:
+            self._dead_device_ids.add(device.device_id)
+        self.worker_stats[handle.worker_id] = {
+            "worker_id": handle.worker_id,
+            "jobs_executed": reply["jobs_executed"],
+            "plan_cache": reply["plan_cache"],
+        }
+        if obs.enabled:
+            obs.counter("serve.worker.jobs", worker=handle.worker_id).inc()
+            cache = reply["plan_cache"]
+            for key in ("hits", "misses", "entries"):
+                obs.gauge(
+                    f"serve.plan.{key}", worker=handle.worker_id
+                ).set(cache[key])
+            if "ganged" in reply:
+                # Gang outcome, accounted pool-side: the workers have no
+                # observer, so the reply carries what run_ganged would
+                # have emitted. gang.size is observed per member here
+                # (the in-process pool observes it once per gang).
+                if reply["ganged"]:
+                    obs.counter("gang.hit").inc()
+                    obs.histogram("gang.size").observe(reply["gang_size"])
+                elif reply["ejected"]:
+                    obs.counter("gang.ejected").inc()
+                    obs.counter("gang.miss", reason="ejected").inc()
+                else:
+                    obs.counter(
+                        "gang.miss", reason=reply["gang_reason"] or "?"
+                    ).inc()
+
+    def _execute_ganged(self, batch) -> None:
+        """Ship one launch batch as per-worker gang requests."""
+        by_worker: Dict[int, list] = {}
+        for device, job in batch:
+            self._spec_of(job)
+            by_worker.setdefault(
+                self.worker_of[device.device_id], []
+            ).append((device, job))
+        pending = []
+        for worker_id, group in sorted(by_worker.items()):
+            handle = self._handles[worker_id]
+            if worker_id in self._dead_worker_ids:
+                for _device, job in group:
+                    job.result = self._crashed_result(worker_id)
+                continue
+            seq = next(self._seq)
+            requests = [
+                (device.device_id, self._spec_of(job))
+                for device, job in group
+            ]
+            try:
+                handle.send_gang(seq, requests, self.gang)
+            except WorkerDiedError:
+                self._on_worker_death(handle)
+                for _device, job in group:
+                    job.result = self._crashed_result(worker_id)
+                continue
+            pending.append((handle, seq, group))
+        for handle, seq, group in pending:
+            if handle.worker_id in self._dead_worker_ids:
+                for _device, job in group:
+                    job.result = self._crashed_result(handle.worker_id)
+                continue
+            try:
+                kind, rseq, replies = handle.recv(timeout=self.worker_timeout)
+            except WorkerDiedError:
+                self._on_worker_death(handle)
+                for _device, job in group:
+                    job.result = self._crashed_result(handle.worker_id)
+                continue
+            if kind != "gang" or rseq != seq or len(replies) != len(group):
+                raise ConfigError(
+                    f"worker {handle.worker_id} protocol error: expected "
+                    f"('gang', {seq}) with {len(group)} replies, got "
+                    f"({kind!r}, {rseq}, {len(replies)} replies)"
+                )
+            for (device, job), reply in zip(group, replies):
+                self._apply_reply(device, job, reply, handle)
+
     @contextmanager
     def _execution_tier(self):
         obs = self.observer
@@ -223,16 +348,12 @@ class ServePool(DevicePool):
                 obs.metrics.gauge("serve.workers").set(self.num_workers)
 
             def execute(batch) -> None:
+                if self.gang is not False:
+                    self._execute_ganged(batch)
+                    return
                 pending = []
                 for device, job in batch:
-                    spec = getattr(job, "spec", None)
-                    if spec is None:
-                        raise ConfigError(
-                            f"{job!r} carries no JobSpec — ServePool jobs "
-                            f"must be built via JobSpec.to_job() / "
-                            f"submit_specs() so they can cross the "
-                            f"process boundary"
-                        )
+                    spec = self._spec_of(job)
                     worker_id = self.worker_of[device.device_id]
                     handle = self._handles[worker_id]
                     if worker_id in self._dead_worker_ids:
@@ -263,31 +384,7 @@ class ServePool(DevicePool):
                             f"worker {handle.worker_id} protocol error: "
                             f"expected ('result', {seq}), got ({kind!r}, {rseq})"
                         )
-                    job.result = JobResult(
-                        output=reply["output"],
-                        validated=reply["validated"],
-                        service_cycles=reply["service_cycles"],
-                        energy_j=reply["energy_j"],
-                        spills=reply["spills"],
-                        restores=reply["restores"],
-                        error=reply["error"],
-                    )
-                    if reply["device_dead"]:
-                        self._dead_device_ids.add(device.device_id)
-                    self.worker_stats[handle.worker_id] = {
-                        "worker_id": handle.worker_id,
-                        "jobs_executed": reply["jobs_executed"],
-                        "plan_cache": reply["plan_cache"],
-                    }
-                    if obs.enabled:
-                        obs.counter(
-                            "serve.worker.jobs", worker=handle.worker_id
-                        ).inc()
-                        cache = reply["plan_cache"]
-                        for key in ("hits", "misses", "entries"):
-                            obs.gauge(
-                                f"serve.plan.{key}", worker=handle.worker_id
-                            ).set(cache[key])
+                    self._apply_reply(device, job, reply, handle)
 
             yield execute
         finally:

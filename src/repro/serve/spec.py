@@ -139,6 +139,18 @@ def _match_count(system: CAPESystem, payload: dict):
     return int(system.vmask_popcount(2))
 
 
+@register_kernel("__body__")
+def _body_kernel(system: CAPESystem, payload: dict):
+    """Escape hatch for :meth:`JobSpec.from_job`: run a plain callable.
+
+    The payload carries the job's original ``body`` function. Such a
+    spec works on every in-process surface; crossing a process boundary
+    additionally requires the body itself to survive pickle (a
+    module-level function — closures and lambdas won't).
+    """
+    return payload["body"](system)
+
+
 @register_kernel("program")
 def _program(system: CAPESystem, payload: dict):
     """Assemble and interpret a RISC-V program; output = final xregs.
@@ -241,6 +253,38 @@ class JobSpec:
     def with_tenant(self, tenant: str) -> "JobSpec":
         """A copy of the spec rebound to another quota bucket."""
         return replace(self, tenant=tenant)
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobSpec":
+        """Describe an existing :class:`~repro.runtime.job.Job` as a spec.
+
+        A :class:`ServeJob` hands back the spec it was built from. Any
+        other job is wrapped through the ``__body__`` kernel, which
+        carries the job's callable in the payload — fine on every
+        in-process surface; shipping it to a worker process additionally
+        requires the body to be picklable. ``validate`` predicates
+        cannot cross (only ``golden`` survives); a job carrying one is
+        refused rather than silently under-validated.
+        """
+        if isinstance(job, ServeJob):
+            return job.spec
+        if job.validate is not None:
+            raise ConfigError(
+                f"job {job.name!r} carries a validate= callable, which a "
+                f"JobSpec cannot express; use golden= instead"
+            )
+        return cls(
+            name=job.name,
+            kernel="__body__",
+            payload={"body": job.body},
+            lanes=job.footprint.lanes,
+            vregs=job.footprint.vregs,
+            resident=job.footprint.resident,
+            priority=job.priority,
+            estimated_cycles=job.estimated_cycles,
+            backend=job.backend,
+            golden=job.golden,
+        )
 
 
 class ServeJob(Job):

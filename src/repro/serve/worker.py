@@ -15,13 +15,20 @@ snapshot.
 The protocol is deliberately tiny — tuples over a duplex
 ``multiprocessing`` pipe, requests answered strictly in order:
 
-========================  =============================================
-parent → worker           worker → parent
-========================  =============================================
-``("run", seq, di, spec)``   ``("result", seq, reply_dict)``
-``("stats", seq)``           ``("stats", seq, stats_dict)``
-``("shutdown",)``            (clean exit, pipe closes)
-========================  =============================================
+==============================  =========================================
+parent → worker                 worker → parent
+==============================  =========================================
+``("run", seq, di, spec)``      ``("result", seq, reply_dict)``
+``("gang", seq, reqs, mode)``   ``("gang", seq, [reply_dict, ...])``
+``("stats", seq)``              ``("stats", seq, stats_dict)``
+``("shutdown",)``               (clean exit, pipe closes)
+==============================  =========================================
+
+A ``gang`` request carries one launch batch for this worker's devices
+(``reqs`` is ``[(device_id, spec), ...]``); the worker runs it through
+:func:`repro.gang.run_ganged` — stacked replay for eligible groups,
+sequential fallback otherwise — and replies with one dict per request,
+each the normal ``run`` reply plus the gang outcome fields.
 
 A worker crash — injected via :class:`~repro.faults.WorkerKill` or
 real — closes the pipe; the parent surfaces it as
@@ -39,6 +46,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.common.errors import ConfigError, WorkerDiedError
 from repro.engine.system import CAPEConfig, CAPESystem
 from repro.faults.injector import FaultInjector
+from repro.gang import run_ganged
 from repro.memory.mainmem import WordMemory
 from repro.plan.cache import PlanCache
 from repro.serve.spec import JobSpec
@@ -113,33 +121,26 @@ def _build_shard(
     return systems, injectors, plan_cache
 
 
-def _execute(system: CAPESystem, injector, spec: JobSpec) -> dict:
-    """Run one spec on a (freshly reset) device; plain-dict reply.
+def _error_reply(spec: JobSpec, injector, exc: Exception) -> dict:
+    """Reply for a spec-level failure (unknown kernel, bad payload)."""
+    return {
+        "name": spec.name,
+        "output": None,
+        "validated": False,
+        "service_cycles": 0.0,
+        "energy_j": 0.0,
+        "spills": 0,
+        "restores": 0,
+        "error": f"{type(exc).__name__}: {exc}",
+        "device_dead": bool(injector is not None and injector.dead),
+        "faults_injected": (
+            sum(injector.injected.values()) if injector is not None else 0
+        ),
+    }
 
-    ``Job.execute`` already captures body errors in the result; this
-    additionally catches spec-level failures (an unknown kernel, an
-    unpicklable payload surfacing late) so a malformed request costs
-    one error reply, never the worker process.
-    """
-    try:
-        job = spec.to_job()
-        system.reset()
-        result = job.execute(system)
-    except Exception as exc:  # noqa: BLE001 — the reply IS the error path
-        return {
-            "name": spec.name,
-            "output": None,
-            "validated": False,
-            "service_cycles": 0.0,
-            "energy_j": 0.0,
-            "spills": 0,
-            "restores": 0,
-            "error": f"{type(exc).__name__}: {exc}",
-            "device_dead": bool(injector is not None and injector.dead),
-            "faults_injected": (
-                sum(injector.injected.values()) if injector is not None else 0
-            ),
-        }
+
+def _result_reply(spec: JobSpec, injector, result) -> dict:
+    """Reply carrying one executed job's result back over the pipe."""
     return {
         "name": spec.name,
         "output": result.output,
@@ -154,6 +155,63 @@ def _execute(system: CAPESystem, injector, spec: JobSpec) -> dict:
             sum(injector.injected.values()) if injector is not None else 0
         ),
     }
+
+
+def _execute(system: CAPESystem, injector, spec: JobSpec) -> dict:
+    """Run one spec on a (freshly reset) device; plain-dict reply.
+
+    ``Job.execute`` already captures body errors in the result; this
+    additionally catches spec-level failures (an unknown kernel, an
+    unpicklable payload surfacing late) so a malformed request costs
+    one error reply, never the worker process.
+    """
+    try:
+        job = spec.to_job()
+        system.reset()
+        result = job.execute(system)
+    except Exception as exc:  # noqa: BLE001 — the reply IS the error path
+        return _error_reply(spec, injector, exc)
+    return _result_reply(spec, injector, result)
+
+
+def _execute_gang(systems, injectors, requests, mode) -> list:
+    """Run a ``("gang", ...)`` request: one batch across owned devices.
+
+    ``requests`` is ``[(device_id, spec), ...]`` — at most one entry per
+    device, exactly the launch batch the parent's event loop formed.
+    :func:`repro.gang.run_ganged` does the eligibility split, stacked
+    replay, and sequential fallback; each reply dict is the normal
+    ``run`` reply plus the gang outcome fields (``ganged`` / ``ejected``
+    / ``gang_size`` / ``gang_reason``) so the parent can account
+    ``gang.*`` metrics without a second round trip.
+    """
+    replies: list = [None] * len(requests)
+    entries = []
+    slots = []
+    for i, (device_id, spec) in enumerate(requests):
+        try:
+            job = spec.to_job()
+        except Exception as exc:  # noqa: BLE001 — reply IS the error path
+            reply = _error_reply(spec, injectors[device_id], exc)
+            reply["device_id"] = device_id
+            reply.update(
+                ganged=False, ejected=False, gang_size=0, gang_reason="spec"
+            )
+            replies[i] = reply
+            continue
+        entries.append((systems[device_id], job))
+        slots.append(i)
+    outcomes = run_ganged(entries, mode=mode) if entries else []
+    for slot, (system, job), outcome in zip(slots, entries, outcomes):
+        device_id, spec = requests[slot]
+        reply = _result_reply(spec, injectors[device_id], job.result)
+        reply["device_id"] = device_id
+        reply["ganged"] = outcome.ganged
+        reply["ejected"] = outcome.ejected
+        reply["gang_size"] = outcome.gang_size
+        reply["gang_reason"] = outcome.reason
+        replies[slot] = reply
+    return replies
 
 
 def worker_main(
@@ -195,6 +253,22 @@ def worker_main(
                 reply["jobs_executed"] = jobs_executed
                 reply["plan_cache"] = plan_cache.stats()
                 conn.send(("result", seq, reply))
+            elif msg[0] == "gang":
+                _, seq, requests, mode = msg
+                end = jobs_executed + len(requests)
+                if kill_at_job is not None and end >= kill_at_job:
+                    # The injected crash lands inside this batch: die
+                    # mid-gang, reply never sent — the whole batch fails
+                    # over exactly like a crash during a lone run.
+                    conn.close()
+                    os._exit(KILLED_EXIT_CODE)
+                jobs_executed = end
+                replies = _execute_gang(systems, injectors, requests, mode)
+                for reply in replies:
+                    reply["worker_id"] = worker_id
+                    reply["jobs_executed"] = jobs_executed
+                    reply["plan_cache"] = plan_cache.stats()
+                conn.send(("gang", seq, replies))
             elif msg[0] == "stats":
                 _, seq = msg
                 conn.send(
@@ -303,6 +377,17 @@ class WorkerHandle:
                 f"device {device_id} is not owned by worker {self.worker_id}"
             )
         self._send(("run", seq, device_id, spec))
+
+    def send_gang(self, seq: int, requests, mode) -> None:
+        """Ship one launch batch ``[(device_id, spec), ...]`` for gang
+        execution on this worker's shard."""
+        for device_id, _spec in requests:
+            if device_id not in self.device_ids:
+                raise ConfigError(
+                    f"device {device_id} is not owned by worker "
+                    f"{self.worker_id}"
+                )
+        self._send(("gang", seq, list(requests), mode))
 
     def send_stats(self, seq: int) -> None:
         self._send(("stats", seq))

@@ -1,0 +1,208 @@
+"""The unified submission API and its deprecated predecessors.
+
+``api.submit(specs, pool=...)`` must return the same answers on every
+execution surface — a fresh device, an existing pool, a gateway — and
+the old per-surface entry points (``run`` / ``run_pool`` / ``serve``)
+must keep working while warning.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api import (
+    CAPE32K,
+    ConfigError,
+    Device,
+    DevicePool,
+    ExecConfig,
+    Job,
+    JobResult,
+    JobSpec,
+    ServeConfig,
+    submit,
+)
+from repro.engine.system import CAPEConfig
+from repro.runtime.execconfig import resolve_exec
+from repro.runtime.job import Footprint
+
+TINY = CAPEConfig(name="tiny", num_chains=64)
+
+
+def dot_spec(name, i=0):
+    return JobSpec(
+        name, "dot", {"x": np.arange(8) + i, "y": np.arange(8)}, lanes=8
+    )
+
+
+def dot_golden(i=0):
+    return int(((np.arange(8) + i) * np.arange(8)).sum())
+
+
+class TestSubmitSingleDevice:
+    def test_single_spec_returns_a_single_result(self):
+        result = submit(dot_spec("one", 3), config=TINY)
+        assert isinstance(result, JobResult)
+        assert result.output == dot_golden(3)
+        assert result.error is None
+
+    def test_spec_list_returns_results_in_order(self):
+        results = submit([dot_spec(f"s{i}", i) for i in range(4)], config=TINY)
+        assert [r.output for r in results] == [dot_golden(i) for i in range(4)]
+
+    def test_bitplane_backend_rides_along(self):
+        result = submit(dot_spec("b", 1), config=TINY, backend="bitplane")
+        assert result.output == dot_golden(1)
+
+    def test_non_spec_input_is_rejected_with_the_bridge_hint(self):
+        job = Job("j", lambda system: 1, Footprint(lanes=8))
+        with pytest.raises(ConfigError, match="JobSpec.from_job"):
+            submit([job])
+
+    def test_exec_config_plan_cache_knob_applies(self):
+        from repro.plan import PlanCache
+
+        cache = PlanCache()
+        result = submit(
+            dot_spec("c", 2), config=TINY, backend="bitplane",
+            exec=ExecConfig(plan_cache=cache),
+        )
+        assert result.output == dot_golden(2)
+        assert cache.stats()["misses"] > 0
+
+
+class TestSubmitPool:
+    def test_pool_instance_runs_the_batch(self):
+        pool = DevicePool((TINY, TINY))
+        results = submit(
+            [dot_spec(f"p{i}", i) for i in range(6)], pool=pool
+        )
+        assert [r.output for r in results] == [dot_golden(i) for i in range(6)]
+
+    def test_gang_pool_matches_plain_pool(self):
+        specs = [dot_spec(f"g{i}", i) for i in range(6)]
+        plain = submit(specs, pool=DevicePool((TINY, TINY), backend="bitplane"))
+        ganged = submit(
+            specs,
+            pool=DevicePool(
+                (TINY, TINY), backend="bitplane", exec=ExecConfig(gang=True)
+            ),
+        )
+        assert [
+            (r.output, r.service_cycles, r.energy_j) for r in ganged
+        ] == [(r.output, r.service_cycles, r.energy_j) for r in plain]
+
+    def test_construction_knobs_alongside_a_pool_are_rejected(self):
+        pool = DevicePool((TINY,))
+        with pytest.raises(ConfigError, match="already"):
+            submit([dot_spec("x")], pool=pool, exec=ExecConfig())
+        with pytest.raises(ConfigError, match="already"):
+            submit([dot_spec("x")], pool=pool, backend="bitplane")
+        with pytest.raises(ConfigError, match="already"):
+            submit([dot_spec("x")], pool=pool, config=TINY)
+
+    def test_unknown_pool_type_is_rejected(self):
+        with pytest.raises(ConfigError, match="pool="):
+            submit([dot_spec("x")], pool=object())
+
+
+class TestSubmitGateway:
+    def test_serve_config_boots_a_gateway(self):
+        results = submit(
+            [dot_spec(f"r{i}", i) for i in range(5)],
+            pool=ServeConfig(configs=(TINY, TINY), workers=2),
+        )
+        assert [r.output for r in results] == [dot_golden(i) for i in range(5)]
+        assert all(isinstance(r, JobResult) for r in results)
+
+    def test_exec_config_overrides_serve_workers_and_gang(self):
+        results = submit(
+            [dot_spec(f"w{i}", i) for i in range(4)],
+            pool=ServeConfig(configs=(TINY, TINY), backend="bitplane"),
+            exec=ExecConfig(workers=1, gang=True),
+        )
+        assert [r.output for r in results] == [dot_golden(i) for i in range(4)]
+
+
+class TestExecConfigResolution:
+    def test_legacy_values_win_when_no_exec_given(self):
+        knobs = resolve_exec(None, parallelism=(3, 1), gang=(True, False))
+        assert knobs == {"parallelism": 3, "gang": True}
+
+    def test_exec_values_win_outright(self):
+        knobs = resolve_exec(
+            ExecConfig(parallelism=2), parallelism=(1, 1), gang=(False, False)
+        )
+        assert knobs == {"parallelism": 2, "gang": "auto"}
+
+    def test_non_default_legacy_alongside_exec_is_an_error(self):
+        with pytest.raises(ConfigError, match="inside ExecConfig"):
+            resolve_exec(ExecConfig(), parallelism=(4, 1))
+
+
+class TestBridges:
+    def test_job_from_spec_round_trip(self):
+        spec = dot_spec("rt", 5)
+        job = Job.from_spec(spec)
+        assert JobSpec.from_job(job) is spec
+        device = Device(TINY)
+        job.result = job.execute(device.system)
+        assert job.result.output == dot_golden(5)
+
+    def test_plain_job_becomes_a_body_spec(self):
+        def body(system):
+            system.vsetvl(4)
+            system.vmv_vx(1, 7)
+            return int(system.vredsum(1, signed=False))
+
+        job = Job("plain", body, Footprint(lanes=4), golden=28)
+        spec = JobSpec.from_job(job)
+        assert spec.kernel == "__body__"
+        assert spec.golden == 28
+        result = submit(spec, config=TINY)
+        assert result.output == 28 and result.validated
+
+    def test_validate_callables_cannot_cross(self):
+        job = Job(
+            "v", lambda system: 1, Footprint(lanes=4),
+            validate=lambda out: out == 1,
+        )
+        with pytest.raises(ConfigError, match="golden="):
+            JobSpec.from_job(job)
+
+
+class TestDeprecatedShims:
+    PROGRAM = """
+        li a0, 1
+        ecall
+    """
+
+    def test_run_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="submit"):
+            result = api.run(self.PROGRAM, config=TINY)
+        assert result.halted
+
+    def test_run_pool_warns_and_works(self):
+        jobs = [dot_spec(f"rp{i}", i).to_job() for i in range(3)]
+        with pytest.warns(DeprecationWarning, match="submit"):
+            report = api.run_pool(jobs, configs=(TINY,))
+        assert report.completed == 3
+        assert [j.result.output for j in jobs] == [
+            dot_golden(i) for i in range(3)
+        ]
+
+    def test_serve_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="submit"):
+            results = api.serve(
+                [dot_spec(f"sv{i}", i) for i in range(3)],
+                configs=(TINY,), workers=1,
+            )
+        assert [r.output for r in results] == [dot_golden(i) for i in range(3)]
+
+    def test_submit_itself_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = submit(dot_spec("quiet"), config=TINY)
+        assert result.output == dot_golden(0)
