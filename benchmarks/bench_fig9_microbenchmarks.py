@@ -25,6 +25,7 @@ from repro.eval.tables import format_table
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_2.json"
 BENCH5_JSON = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+BENCH8_JSON = Path(__file__).resolve().parent.parent / "BENCH_8.json"
 
 
 def test_fig9_microbenchmarks(once):
@@ -129,13 +130,14 @@ class _WallClockProfile:
         )
 
 
-def _timed_suite(plan_cache, num_chains, sew, repeats):
+def _timed_suite(plan_cache, num_chains, sew, repeats, superplan=False):
     """Best-of-N wall time plus one per-kernel profiled pass.
 
     Returns ``(best_seconds, checksum, per_kernel_seconds, microops)``.
     The timing passes run under the null observer; one extra pass with a
     live observer reads the ``csb.microops`` total, which must be
-    identical with the plan cache on and off.
+    identical with the plan cache on and off — and with whole-kernel
+    superplans on and off.
     """
     from repro.eval.microprofile import run_fig9_kernels
     from repro.obs import Observer
@@ -143,18 +145,19 @@ def _timed_suite(plan_cache, num_chains, sew, repeats):
     best, checksum = None, None
     for _ in range(repeats):
         elapsed, checksum = run_fig9_kernels(
-            "bitplane", num_chains=num_chains, sew=sew, plan_cache=plan_cache
+            "bitplane", num_chains=num_chains, sew=sew,
+            plan_cache=plan_cache, superplan=superplan,
         )
         best = elapsed if best is None else min(best, elapsed)
     wall = _WallClockProfile()
     run_fig9_kernels(
         "bitplane", num_chains=num_chains, sew=sew,
-        plan_cache=plan_cache, profile=wall,
+        plan_cache=plan_cache, superplan=superplan, profile=wall,
     )
     observer = Observer()
     _, obs_checksum = run_fig9_kernels(
         "bitplane", num_chains=num_chains, sew=sew,
-        plan_cache=plan_cache, observer=observer,
+        plan_cache=plan_cache, superplan=superplan, observer=observer,
     )
     assert obs_checksum == checksum
     return best, checksum, wall.seconds, observer.metrics.total("csb.microops")
@@ -247,6 +250,7 @@ def run_plan_cache_compare(num_chains=64, sew=8, repeats=3):
     identical in every mode — the plan cache is purely a host-speed
     optimisation.
     """
+    from repro.api import plan_cache_snapshot
     from repro.plan import GLOBAL_PLAN_CACHE
 
     # Warm the shared cache so the "on" timing measures replay, not the
@@ -271,11 +275,7 @@ def run_plan_cache_compare(num_chains=64, sew=8, repeats=3):
         "per_kernel_seconds": {"on": on_kernels, "off": off_kernels},
         "checksum_identical": on_ck == off_ck,
         "microops_identical": on_uops == off_uops,
-        "plan_cache": {
-            "entries": len(GLOBAL_PLAN_CACHE),
-            "hits": GLOBAL_PLAN_CACHE.hits,
-            "misses": GLOBAL_PLAN_CACHE.misses,
-        },
+        "plan_cache": plan_cache_snapshot(),
         "parallel_pool": _parallel_pool_compare(num_chains, sew),
     }
     if BENCH_JSON.exists():
@@ -286,6 +286,70 @@ def run_plan_cache_compare(num_chains=64, sew=8, repeats=3):
                 baseline["bitplane_seconds"] / on_s, 2
             )
     return payload
+
+
+def run_superplan_compare(num_chains=64, sew=8, repeats=3):
+    """Time the warm bit-plane fig9 suite per-instruction vs superplan.
+
+    Both modes run against a warm :data:`GLOBAL_PLAN_CACHE`; the only
+    difference is whether the kernel set's mirror microcode replays one
+    cached :class:`~repro.plan.CompiledPlan` per instruction or as fused
+    whole-kernel :class:`~repro.plan.Superplan` traces. Returns the
+    ``BENCH_8.json`` payload — checksum and ``csb.microops`` totals must
+    be identical; only the host wall time is allowed to move.
+    """
+    from repro.api import plan_cache_snapshot
+    from repro.plan import GLOBAL_PLAN_CACHE
+
+    # Warm both tiers of the shared cache (per-op plans + superplans)
+    # so each timing measures warm replay, not the one-time fuse.
+    GLOBAL_PLAN_CACHE.clear()
+    _bit_level_suite("bitplane", num_chains=num_chains, sew=sew)
+    from repro.eval.microprofile import run_fig9_kernels
+
+    run_fig9_kernels(
+        "bitplane", num_chains=num_chains, sew=sew, superplan=True
+    )
+
+    per_s, per_ck, per_kernels, per_uops = _timed_suite(
+        True, num_chains, sew, repeats, superplan=False
+    )
+    sp_s, sp_ck, sp_kernels, sp_uops = _timed_suite(
+        True, num_chains, sew, repeats, superplan=True
+    )
+
+    payload = {
+        "benchmark": "fig9 kernels as bit-plane microcode — warm "
+        "per-instruction plan replay vs whole-kernel superplan replay",
+        "config": {"num_chains": num_chains, "sew": sew},
+        "per_instruction_seconds": round(per_s, 4),
+        "superplan_seconds": round(sp_s, 4),
+        "speedup_superplan": round(per_s / sp_s, 2),
+        "per_kernel_seconds": {
+            "per_instruction": per_kernels, "superplan": sp_kernels,
+        },
+        "checksum_identical": per_ck == sp_ck,
+        "microops_identical": per_uops == sp_uops,
+        "plan_cache": plan_cache_snapshot(),
+    }
+    if BENCH5_JSON.exists():
+        baseline = json.loads(BENCH5_JSON.read_text())
+        if baseline.get("config") == {"num_chains": num_chains, "sew": sew}:
+            payload["bench5_plan_cache_on_seconds"] = baseline[
+                "plan_cache_on_seconds"
+            ]
+    return payload
+
+
+def test_fig9_superplan_speedup():
+    payload = run_superplan_compare()
+    BENCH8_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print("Figure 9 kernels as microcode — superplan comparison")
+    print(json.dumps(payload, indent=2))
+    assert payload["checksum_identical"] and payload["microops_identical"]
+    assert payload["speedup_superplan"] >= 2
+    assert payload["plan_cache"]["superplans"] >= 1
 
 
 def test_fig9_plan_cache_speedup():
@@ -331,10 +395,23 @@ if __name__ == "__main__":
         help="'compare' times the bit-plane suite with the plan cache "
         "on vs off and writes BENCH_5.json; 'on'/'off' time one mode",
     )
+    parser.add_argument(
+        "--superplan",
+        action="store_true",
+        help="time the warm bit-plane suite per-instruction vs fused "
+        "whole-kernel superplans and write BENCH_8.json",
+    )
     parser.add_argument("--num-chains", type=int, default=64)
     parser.add_argument("--sew", type=int, default=8)
     args = parser.parse_args()
-    if args.plan_cache:
+    if args.superplan:
+        result = run_superplan_compare(
+            num_chains=args.num_chains, sew=args.sew
+        )
+        BENCH8_JSON.write_text(json.dumps(result, indent=2) + "\n")
+        print(json.dumps(result, indent=2))
+        print(f"wrote {BENCH8_JSON}")
+    elif args.plan_cache:
         if args.plan_cache == "compare":
             result = run_plan_cache_compare(
                 num_chains=args.num_chains, sew=args.sew

@@ -28,7 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.engine.system import CAPEConfig
-from repro.runtime import DevicePool
+from repro.runtime import DevicePool, ExecConfig
 from repro.serve import Gateway, JobSpec, ServeConfig, ServePool
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_6.json"
@@ -72,8 +72,14 @@ def checksum(outputs):
     return hash(tuple(outputs))
 
 
+def exec_for(workers=1):
+    """One ExecConfig drives every tier: worker count for the process
+    shards, superplans fused on the bit-plane mirrors."""
+    return ExecConfig(workers=workers, superplan="auto")
+
+
 def run_sequential(specs, configs):
-    pool = DevicePool(configs)
+    pool = DevicePool(configs, exec=exec_for())
     jobs = pool.submit_stream(
         [s.to_job() for s in specs], interarrival_cycles=10.0
     )
@@ -84,7 +90,7 @@ def run_sequential(specs, configs):
 
 
 def run_serve_pool(specs, configs, workers):
-    pool = ServePool(configs, workers=workers)
+    pool = ServePool(configs, exec=exec_for(workers))
     jobs = pool.submit_specs(specs, interarrival_cycles=10.0)
     start = time.perf_counter()
     pool.run()
@@ -95,10 +101,9 @@ def run_serve_pool(specs, configs, workers):
 def run_gateway(specs, configs, workers):
     async def main():
         cfg = ServeConfig(
-            configs=tuple(configs), workers=workers,
-            max_queue=max(64, len(specs)),
+            configs=tuple(configs), max_queue=max(64, len(specs)),
         )
-        async with Gateway(cfg) as gateway:
+        async with Gateway(cfg, exec=exec_for(workers)) as gateway:
             start = time.perf_counter()
             results = await asyncio.gather(
                 *(gateway.submit_retrying(spec) for spec in specs)

@@ -100,6 +100,9 @@ async def main(args):
             "batch": TenantQuota(max_pending=16),
         },
         fault_plan=fault_plan,
+        # Workers fuse each kernel's microcode into one cached superplan
+        # where eligible; fault-plan targets keep the per-primitive path.
+        superplan="auto",
     )
     async with Gateway(config) as gateway:
         batch = asyncio.create_task(

@@ -37,6 +37,7 @@ from repro.api import (
     CAPE32K,
     DevicePool,
     DeviceKill,
+    ExecConfig,
     FaultPlan,
     Job,
     Observer,
@@ -174,8 +175,13 @@ def chaos_plan(seed: int) -> FaultPlan:
 
 def run_pool(policy: str, observer: Observer = None, fault_plan=None):
     healing = dict(failure_threshold=2) if fault_plan is not None else {}
+    # One ExecConfig carries the execution knobs; scheduling policy,
+    # observability, and fault plans stay per-call arguments. Superplans
+    # in "auto" fuse kernels on clean bit-plane devices and quietly stand
+    # down wherever the fault storm attaches an injector.
     pool = DevicePool(
         POOL, policy=policy, observer=observer, fault_plan=fault_plan,
+        exec=ExecConfig(superplan="auto"),
         **healing,
     )
     pool.submit_stream(make_jobs(), interarrival_cycles=INTERARRIVAL)

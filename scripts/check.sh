@@ -89,6 +89,47 @@ print(f"plan cache: {on_s:.4f}s warm vs {off_s:.4f}s FSM walk "
       f"{uops[True]:.0f} microops identical")
 EOF
 
+echo "== perf smoke (superplan) =="
+python - <<'EOF'
+import sys
+
+import numpy as np
+
+sys.path.insert(0, "benchmarks")
+from bench_fig9_microbenchmarks import run_superplan_compare
+
+from repro.api import ExecConfig, JobSpec, plan_cache_snapshot, submit
+
+# The BENCH_8 measurement, live: warm per-instruction plan replay vs
+# whole-kernel superplan replay of the fig9 suite. The superplan must
+# be purely a host-speed win — identical checksum, identical
+# csb.microops — and at least 1.5x faster warm (the committed
+# BENCH_8.json records >= 2x; the smoke bar leaves headroom for a
+# loaded host).
+payload = run_superplan_compare()
+assert payload["checksum_identical"], payload
+assert payload["microops_identical"], payload
+speedup = payload["speedup_superplan"]
+assert speedup >= 1.5, f"superplan speedup {speedup}x < 1.5x"
+
+# The unified surface reaches the same machinery: one ExecConfig opts a
+# submit() call into superplans, and the one stats surface shows the
+# fused traces.
+result = submit(
+    JobSpec("sp-dot", "dot", {"x": np.arange(16), "y": np.arange(16)},
+            lanes=16),
+    exec=ExecConfig(superplan=True),
+    backend="bitplane",
+)
+assert result.output == int((np.arange(16) * np.arange(16)).sum())
+snap = plan_cache_snapshot()
+assert snap["superplans"] >= 1, snap
+print(f"superplan: {payload['superplan_seconds']}s fused vs "
+      f"{payload['per_instruction_seconds']}s per-instruction "
+      f"({speedup}x warm), checksum+microops identical; "
+      f"{snap['superplans']} superplans cached")
+EOF
+
 echo "== fault-injection smoke =="
 python - <<'EOF'
 import numpy as np

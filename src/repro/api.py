@@ -79,13 +79,13 @@ Example::
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.assoc.emulator import AssociativeEmulator, golden
+from repro.common.deprecation import warn_once_per_site
 from repro.common.errors import (
     AdmissionError,
     CapacityError,
@@ -130,7 +130,13 @@ from repro.obs import (
     Tracer,
 )
 from repro.gang import GANG_MODES, GangOutcome, run_ganged
-from repro.plan import GLOBAL_PLAN_CACHE, CompiledPlan, PlanCache
+from repro.plan import (
+    GLOBAL_PLAN_CACHE,
+    SUPERPLAN_MODES,
+    CompiledPlan,
+    PlanCache,
+    Superplan,
+)
 from repro.runtime import (
     DevicePool,
     ExecConfig,
@@ -205,7 +211,9 @@ __all__ = [
     "ServeResult",
     "SpillCorruptionError",
     "StuckBit",
+    "SUPERPLAN_MODES",
     "Subarray",
+    "Superplan",
     "TagFlip",
     "TelemetryReport",
     "TenantQuota",
@@ -216,6 +224,7 @@ __all__ = [
     "WorkerKill",
     "AssociativeEmulator",
     "golden",
+    "plan_cache_snapshot",
     "register_kernel",
     "run",
     "run_ganged",
@@ -223,6 +232,20 @@ __all__ = [
     "serve",
     "submit",
 ]
+
+
+def plan_cache_snapshot(cache: Optional[PlanCache] = None) -> dict:
+    """One consistent read of a plan cache's counters.
+
+    The single stats surface for every tier: benchmarks, the serving
+    workers' reply payloads, and ad-hoc scripts all read the same
+    :meth:`PlanCache.snapshot` dict — ``entries`` / ``superplans`` /
+    ``hits`` / ``misses`` / ``compiles`` / ``compile_ns`` /
+    ``affinity_hits`` / ``affinity_misses``. Defaults to the
+    process-wide :data:`GLOBAL_PLAN_CACHE`; pass a private
+    :class:`PlanCache` to read that one instead.
+    """
+    return (GLOBAL_PLAN_CACHE if cache is None else cache).snapshot()
 
 
 @dataclass
@@ -289,6 +312,12 @@ class Device:
             dispatch, or pass a private :class:`PlanCache`. Purely a
             host-speed knob; cycle/energy accounting is identical
             (``docs/PERFORMANCE.md``).
+        superplan: whole-kernel superplan mode (``True`` / ``False`` /
+            ``"auto"``): inside a :meth:`CAPESystem.superplan_scope`,
+            eligible mirror microcode is fused into one cached
+            whole-kernel trace and replayed in a single pass. Also a
+            pure host-speed knob — results, cycles, and microop totals
+            are bit-identical either way (``docs/PERFORMANCE.md``).
     """
 
     def __init__(
@@ -299,6 +328,7 @@ class Device:
         accounting: str = "paper",
         observer: Optional[Observer] = None,
         plan_cache=True,
+        superplan=False,
     ) -> None:
         self.system = CAPESystem(
             config,
@@ -307,6 +337,7 @@ class Device:
             backend=backend,
             observer=observer,
             plan_cache=plan_cache,
+            superplan=superplan,
         )
 
     # -- identity ------------------------------------------------------
@@ -465,12 +496,15 @@ def submit(
     if pool is None:
         from repro.runtime.execconfig import resolve_exec
 
-        knobs = resolve_exec(exec, plan_cache=(True, True))
+        knobs = resolve_exec(
+            exec, plan_cache=(True, True), superplan=(False, False)
+        )
         device = Device(
             config,
             backend=backend,
             observer=observer,
             plan_cache=knobs["plan_cache"],
+            superplan=knobs["superplan"],
         )
         results = []
         for spec in spec_list:
@@ -557,11 +591,9 @@ def run(
     Returns:
         A :class:`RunResult` (machine fields available by delegation).
     """
-    warnings.warn(
+    warn_once_per_site(
         "repro.api.run() is deprecated; use repro.api.submit() with the "
         "'program' kernel, or Device.run() for ad-hoc assembly",
-        DeprecationWarning,
-        stacklevel=2,
     )
     device = Device(config, backend=backend, observer=observer, plan_cache=plan_cache)
     for addr, values in (memory_words or {}).items():
@@ -599,11 +631,9 @@ def run_pool(
         Use :func:`submit` with ``pool=`` (an existing pool instance)
         or construct a :class:`DevicePool` with an :class:`ExecConfig`.
     """
-    warnings.warn(
+    warn_once_per_site(
         "repro.api.run_pool() is deprecated; use repro.api.submit(specs, "
         "pool=DevicePool(..., exec=ExecConfig(...)))",
-        DeprecationWarning,
-        stacklevel=2,
     )
     if pool is not None:
         if pool_kwargs or observer is not None:
@@ -655,11 +685,9 @@ def serve(
     .. deprecated:: PR 7
         Use :func:`submit` with ``pool=ServeConfig(...)``.
     """
-    warnings.warn(
+    warn_once_per_site(
         "repro.api.serve() is deprecated; use repro.api.submit(specs, "
         "pool=ServeConfig(...))",
-        DeprecationWarning,
-        stacklevel=2,
     )
     import asyncio
 

@@ -1,0 +1,59 @@
+"""Call-site-scoped deprecation warnings.
+
+The stock :func:`warnings.warn` dedupes through the global filter
+registry, which is keyed per *module* of the caller — one script that
+calls a deprecated shim from ten places gets one warning, and a process
+that has already tripped the filter stays silent even when a different
+file starts using the shim. For migration work the useful unit is the
+**call site**: every ``(filename, lineno)`` that still uses a deprecated
+entry point should hear about it exactly once, however many times the
+loop around it runs.
+
+:func:`warn_once_per_site` implements that: the first call from a given
+site emits the warning through :func:`warnings.warn` (so filters,
+``-W error``, and ``pytest.warns`` all keep working), and later calls
+from the same site are free. Sites are remembered for the life of the
+process; :func:`reset_warning_registry` clears them (test isolation).
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from typing import Set, Tuple
+
+__all__ = ["warn_once_per_site", "reset_warning_registry"]
+
+#: ``(filename, lineno)`` pairs that have already warned.
+_seen_sites: Set[Tuple[str, int]] = set()
+
+
+def warn_once_per_site(
+    message: str,
+    category: type = DeprecationWarning,
+    stacklevel: int = 2,
+) -> None:
+    """Emit ``message`` once per caller call site.
+
+    ``stacklevel`` follows the :func:`warnings.warn` convention: ``2``
+    attributes the warning to the caller of the function that invokes
+    this helper (the right value for a deprecated shim warning about
+    its own caller).
+    """
+    try:
+        frame = sys._getframe(stacklevel)
+    except ValueError:  # shallower stack than requested: warn anyway
+        frame = None
+    if frame is not None:
+        site = (frame.f_code.co_filename, frame.f_lineno)
+        if site in _seen_sites:
+            return
+        _seen_sites.add(site)
+    # +1 to hop over this helper's own frame so the reported location
+    # matches the recorded site.
+    warnings.warn(message, category, stacklevel=stacklevel + 1)
+
+
+def reset_warning_registry() -> None:
+    """Forget every recorded call site (each will warn again)."""
+    _seen_sites.clear()

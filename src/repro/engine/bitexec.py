@@ -48,6 +48,43 @@ MASKABLE = {
 #: Mnemonics producing a mask (only bit 0 of the destination is defined).
 MASK_RESULTS = {"vmseq.vx", "vmseq.vv", "vmslt.vv", "vmsltu.vv", "vmsne.vv"}
 
+#: Every mnemonic :func:`run_microcode` can lower. Superplan recording
+#: defers exactly these forms (minus the unsupported/aliased cases the
+#: engine would refuse); anything else flushes and takes the live path.
+SUPPORTED_MICROCODE = frozenset(
+    {
+        "vadd.vv", "vsub.vv", "vand.vv", "vor.vv", "vxor.vv",
+        "vadd.vx", "vrsub.vx", "vmul.vv", "vmv.v.x", "vmv.v.v",
+        "vmerge.vv", "vmseq.vx", "vmseq.vv", "vmslt.vv", "vmsltu.vv",
+        "vmsne.vv", "vmin.vv", "vmax.vv", "vminu.vv", "vmaxu.vv",
+        "vsll.vi", "vsrl.vi", "vsra.vi",
+    }
+)
+
+
+def microcode_unsupported_reason(
+    mnemonic: str,
+    vd: Optional[int],
+    vs1: Optional[int],
+    vs2: Optional[int],
+    mask_reg: Optional[int],
+) -> Optional[str]:
+    """Why this intrinsic form has no microcode path (``None`` = it has).
+
+    The exact predicate :meth:`BitEngine.execute` raises
+    :class:`UnsupportedMicrocode` for, factored out so superplan
+    recording and gang deferral classify forms identically to live
+    execution without running anything.
+    """
+    if mnemonic not in SUPPORTED_MICROCODE and mnemonic != "vredsum.vs":
+        return f"unsupported mnemonic {mnemonic}"
+    if mask_reg is not None and mnemonic not in MASKABLE and mnemonic != "vmerge.vv":
+        return f"masked {mnemonic} has no microcode"
+    sources = [r for r in (vs1, vs2) if r is not None]
+    if len(set(sources)) != len(sources) or (vd is not None and vd in sources):
+        return f"{mnemonic} with aliased operands"
+    return None
+
 
 class UnsupportedMicrocode(Exception):
     """Raised when an intrinsic form has no microcode implementation."""

@@ -18,6 +18,7 @@ tiles).
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -34,7 +35,21 @@ from repro.common.errors import (
     CSBCapacityError,
     ProtocolError,
 )
-from repro.engine.bitexec import MASK_RESULTS, BitEngine, UnsupportedMicrocode
+from repro.common.bitutils import ints_to_bits
+from repro.engine.bitexec import (
+    MASK_RESULTS,
+    BitEngine,
+    UnsupportedMicrocode,
+    microcode_unsupported_reason,
+    run_microcode,
+)
+from repro.csb.bitplane import BitplaneBackend
+from repro.plan import compile_chain_program
+from repro.plan.superplan import (
+    fuse_plans,
+    resolve_superplan_mode,
+    superplan_key,
+)
 from repro.engine.cp import ControlProcessor, CPStats
 from repro.engine.vcu import VCU, VCUStats
 from repro.engine.vmu import VMU, PageFault, VMUConfig, VMUStats
@@ -98,13 +113,11 @@ def __getattr__(name: str):
     :mod:`repro.obs.stats` (import it from :mod:`repro.api` or
     :mod:`repro.obs`)."""
     if name == "CAPERunStats":
-        import warnings
+        from repro.common.deprecation import warn_once_per_site
 
-        warnings.warn(
+        warn_once_per_site(
             "importing CAPERunStats from repro.engine.system is deprecated; "
             "use repro.api (or repro.obs.stats)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         return _CAPERunStats
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -166,6 +179,7 @@ class CAPESystem:
         observer=None,
         fault_injector=None,
         plan_cache=True,
+        superplan=False,
     ) -> None:
         self.config = config
         self.circuit = circuit if circuit is not None else CircuitModel()
@@ -205,6 +219,14 @@ class CAPESystem:
         #: the register-file occupancy the runtime schedules against.
         self._written_vregs: set = set()
         self._plan_cache = plan_cache
+        #: Whole-kernel superplan mode (True / False / "auto"): inside a
+        #: :meth:`superplan_scope`, eligible intrinsics defer their
+        #: mirror microcode into one fused cached trace (docs/PERFORMANCE.md).
+        self.superplan = resolve_superplan_mode(superplan)
+        self._sp_session: Optional[list] = None
+        self._sp_window: Optional[tuple] = None
+        #: vd -> functional row snapshot at its last deferred write.
+        self._sp_expected: dict = {}
         self._bitengine: Optional[BitEngine] = None
         self.fault_injector = None
         self.observer = NULL_OBSERVER
@@ -245,6 +267,7 @@ class CAPESystem:
         state persists across :meth:`reset`, so faults carry over between
         jobs on the same device; pass ``None`` to detach.
         """
+        self._superplan_flush()
         self.fault_injector = injector
         self.vmu.fault_injector = injector
         if injector is not None and injector.observer is None:
@@ -262,10 +285,12 @@ class CAPESystem:
         ``None`` drops back to purely functional execution.
         """
         if backend is None:
+            self._superplan_flush()
             self._bitengine = None
             return
         if self._bitengine is not None and self._bitengine.backend == backend:
             return
+        self._superplan_flush()
         self._bitengine = BitEngine(
             self.config.num_chains,
             self.config.element_bits,
@@ -288,6 +313,7 @@ class CAPESystem:
         device pool can reuse one system (and its preloaded data) across
         jobs instead of rebuilding it per run.
         """
+        self._superplan_flush()
         self.vregs.fill(0)
         self.vl = self.config.max_vl
         self.vstart = 0
@@ -318,6 +344,9 @@ class CAPESystem:
                 f"SEW {bits} unsupported (8, 16, or "
                 f"{self.config.element_bits})"
             )
+        # A width change invalidates the deferred window: replay what is
+        # pending under the SEW it was issued at.
+        self._superplan_flush()
         if bits not in self._models:
             self._models[bits] = InstructionModel(
                 self.circuit, width=bits, accounting=self._accounting
@@ -360,6 +389,7 @@ class CAPESystem:
                 available_lanes=self.config.max_vl,
                 cols_per_chain=self.config.cols_per_chain,
             )
+        self._superplan_flush()
         if sew is not None and sew != self.sew:
             self.set_sew(sew)
         self.vl = min(requested, self.config.max_vl)
@@ -370,6 +400,8 @@ class CAPESystem:
         """Program the ``vstart`` CSR (index of the first active element)."""
         if not 0 <= vstart <= self.vl:
             raise ConfigError(f"vstart {vstart} outside [0, vl={self.vl}]")
+        if vstart != self.vstart:
+            self._superplan_flush()
         self.vstart = vstart
 
     @property
@@ -437,6 +469,7 @@ class CAPESystem:
         """Commit the elements transferred before a load fault."""
         if count <= 0:
             return
+        self._superplan_flush()
         values, cycles = self.vmu.load(
             addr + 4 * offset, count, element_bytes=self.sew // 8
         )
@@ -719,6 +752,7 @@ class CAPESystem:
         )
         self._charge_compute(cycles)
         if self._bitengine is not None:
+            self._superplan_flush()
             bit_count = self._bitengine.popcount(vm, self.vl, self.vstart)
             # A deferred (gang phase 1) engine returns None: the count
             # is cross-checked at stacked replay instead.
@@ -858,6 +892,7 @@ class CAPESystem:
         if not regs:
             return 0.0
         start = self.stats.cycles
+        self._superplan_flush()
         block, cycles = self.vmu.fill(addr, len(regs), self.vl, protect=protect)
         for row, reg in zip(block, regs):
             self.vregs[reg, : self.vl] = row
@@ -921,6 +956,28 @@ class CAPESystem:
         engine = self._bitengine
         if engine is None:
             return None
+        sp = self._sp_session
+        if sp is not None:
+            if self._sp_deferrable(engine, mnemonic, vd, vs1, vs2, mask_reg):
+                if not sp:
+                    self._sp_window = (self.vl, self.vstart, self.sew)
+                sp.append((
+                    "op", mnemonic, self.sew, self.config.element_bits,
+                    vd, vs1, vs2,
+                    None if scalar is None else int(scalar),
+                    mask_reg, mask_reg is not None,
+                ))
+                # Snapshot the functional destination *now* (the
+                # functional op already ran): a later instruction in the
+                # same kernel may overwrite this row before the flush —
+                # e.g. a non-deferrable form targeting the same vd — and
+                # validation must compare against the value this write
+                # produced, not the live register file.
+                self._sp_expected[vd] = self.vregs[vd].copy()
+                return None
+            # An op the superplan path can't absorb: replay what is
+            # pending, then take the live per-instruction path below.
+            self._superplan_flush()
         try:
             result = engine.execute(
                 mnemonic,
@@ -972,6 +1029,165 @@ class CAPESystem:
             np.array_equal(got[sl] & bits, want[sl] & bits)
             and np.array_equal(got[outside], want[outside])
         )
+
+    # ------------------------------------------------------------------
+    # Whole-kernel superplans (docs/PERFORMANCE.md)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def superplan_scope(self):
+        """Defer eligible mirror microcode into one fused superplan.
+
+        Inside the scope, compute intrinsics still execute functionally
+        and charge cycles/energy per instruction; only the bit-level
+        mirror's microcode is deferred, as the per-instruction plan keys.
+        Any non-deferrable event — reductions, loads/spills touching the
+        mirror, window or SEW changes, backend/injector swaps — replays
+        the pending sequence first, so observable state at every flush
+        point is identical to per-instruction execution. Eligibility is
+        re-checked per instruction (plain bit-plane backend, no fault
+        injector, no microop trace, microcode exists for the form), so
+        the reference and faulty paths are untouched.
+
+        A no-op unless ``superplan`` was enabled at construction (or via
+        :class:`~repro.runtime.execconfig.ExecConfig`); nesting re-enters
+        the outer session. On an exception the pending tail is discarded
+        un-replayed — the runtime resets the device before its next job.
+        """
+        if not self.superplan or self._sp_session is not None:
+            yield
+            return
+        self._sp_session = []
+        self._sp_expected = {}
+        try:
+            yield
+            self._superplan_flush()
+        finally:
+            self._sp_session = None
+            self._sp_expected = {}
+
+    def _sp_deferrable(self, engine, mnemonic, vd, vs1, vs2, mask_reg) -> bool:
+        """Can this intrinsic's mirror microcode join the open session?"""
+        return (
+            vd is not None
+            and mnemonic != "vredsum.vs"
+            and type(engine) is BitEngine
+            and engine.csb.ganged is not None
+            and type(engine.csb.base) is BitplaneBackend
+            and self.fault_injector is None
+            and engine._plan_cache is not None
+            and not engine.csb.stats.keep_trace
+            and microcode_unsupported_reason(mnemonic, vd, vs1, vs2, mask_reg)
+            is None
+        )
+
+    def _superplan_flush(self) -> None:
+        """Replay the pending deferred sequence as one fused superplan.
+
+        Fetches (or fuses and caches) the superplan keyed by the pending
+        per-instruction plan-key sequence, replays it once on the ganged
+        bit-plane chain, then validates and re-syncs every register the
+        sequence wrote — with exactly the per-instruction predicate,
+        expressed in the bit-plane domain: modulo 2^SEW inside the active
+        window (bit 0 only for mask producers), bit-for-bit outside it.
+        The re-sync zeroes the architecturally-undefined upper planes
+        inside the window, so the mirror is left bit-identical to what
+        per-instruction execution (validate + ``sync_register``) leaves.
+        """
+        sp = self._sp_session
+        if not sp:
+            return
+        pending, self._sp_session = sp, []
+        expected, self._sp_expected = self._sp_expected, {}
+        engine = self._bitengine
+        vl, vstart, sew = self._sp_window
+        cache = engine._plan_cache
+        nsub = self.config.element_bits
+        skey = superplan_key(nsub, sew, pending)
+
+        def build():
+            entries = []
+            for key in pending:
+                (_tag, mnemonic, width, _nsub, vd, vs1, vs2, scalar,
+                 mask_reg, masked) = key
+                plan = cache.get_or_compile(
+                    key,
+                    lambda m=mnemonic, d=vd, a=vs1, b=vs2, s=scalar,
+                    mr=mask_reg, w=width, mk=masked: compile_chain_program(
+                        nsub,
+                        lambda rec: run_microcode(
+                            rec, m, d, a, b, s, mr, w, mk
+                        ),
+                    ),
+                    observer=self.observer,
+                )
+                entries.append((mnemonic, vd, mnemonic in MASK_RESULTS, plan))
+            return fuse_plans(skey, nsub, entries)
+
+        plan = cache.get_or_compile(skey, build, observer=self.observer)
+        engine.set_window(vl, vstart)
+        plan.replay(engine.csb.ganged)
+        self._sp_validate(engine, plan, expected, vl, vstart, sew)
+        obs = self.observer
+        if obs.enabled:
+            obs.counter("plan.superplan.flush").inc()
+            obs.counter("plan.superplan.instructions").inc(
+                plan.num_instructions
+            )
+            # Two monotone series rather than a "saved" delta: LUT
+            # pack/gather splitting can make a fused trace *longer*
+            # than its inputs when nothing is reused (counters must
+            # never decrease).
+            obs.counter("plan.superplan.kernels_in").inc(plan.kernels_in)
+            obs.counter("plan.superplan.kernels_out").inc(plan.kernels_out)
+
+    def _sp_validate(self, engine, plan, expected, vl, vstart, sew) -> None:
+        """Validate + re-sync each register a replayed superplan wrote.
+
+        ``expected`` maps vd -> the functional row snapshotted when its
+        last deferred write was recorded — the live register file may
+        already hold a *later* value for the same vd (written by the
+        non-deferrable op that triggered this flush).
+        """
+        base = engine.csb.base
+        nsub = self.config.element_bits
+        sl = slice(vstart, vl)
+        for vd, is_mask in plan.writes:
+            nbits = 1 if is_mask else sew
+            got = base.bits[:, vd, :]
+            want = expected[vd]
+            ok = bool(
+                np.array_equal(
+                    got[:nbits, sl], ints_to_bits(want[sl], nbits)
+                )
+            )
+            # Bit-for-bit outside the active window (catches microcode
+            # leaking past vstart/vl, like the per-instruction check).
+            if ok and vstart:
+                ok = bool(
+                    np.array_equal(
+                        got[:, :vstart], ints_to_bits(want[:vstart], nsub)
+                    )
+                )
+            if ok and vl < got.shape[1]:
+                ok = bool(
+                    np.array_equal(
+                        got[:, vl:], ints_to_bits(want[vl:], nsub)
+                    )
+                )
+            if not ok:
+                raise ProtocolError(
+                    f"bit-level {engine.backend!r} backend diverged from "
+                    f"the functional model replaying a superplan of "
+                    f"{plan.num_instructions} instructions (vd=v{vd}, "
+                    f"vl={vl}, vstart={vstart}, sew={sew})"
+                )
+            # Re-sync: zero the architecturally-undefined upper planes
+            # inside the window. The defined planes just validated equal
+            # to the functional row, so this leaves the mirror exactly
+            # where per-instruction sync_register would.
+            if nbits < nsub:
+                got[nbits:, sl] = 0
 
     def _tolerate_fault(self, kind: str) -> bool:
         """Count a detected bit-level divergence under fault injection.
@@ -1034,11 +1250,19 @@ class CAPESystem:
             ).inc()
 
     def _bitsync(self, vd: int) -> None:
-        """Mirror one functional register into the bit-level backend."""
+        """Mirror one functional register into the bit-level backend.
+
+        Callers that overwrite the functional row first must
+        ``_superplan_flush()`` *before* the overwrite — a pending
+        deferred write to ``vd`` validates against the pre-overwrite
+        functional value, exactly as per-instruction execution would
+        have at issue time.
+        """
         if self._bitengine is not None:
             self._bitengine.sync_register(vd, self.vregs[vd])
 
     def _write_active(self, vd: int, values: np.ndarray) -> None:
+        self._superplan_flush()
         sl = self.active_slice
         expected = sl.stop - sl.start
         if len(values) != expected:

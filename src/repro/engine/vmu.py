@@ -148,18 +148,25 @@ class VMU:
         self._mapped_pages.update(range(first, last + 1))
 
     def _check_pages(self, addr: int, vl: int) -> None:
-        """Raise :class:`PageFault` at the first unmapped element."""
-        if self._mapped_pages is None:
+        """Raise :class:`PageFault` at the first unmapped element.
+
+        Unit-stride element start addresses cover a contiguous page
+        range, so the walk is over pages, not elements; the faulting
+        element is the first whose start address lands in the unmapped
+        page (an element's page is that of its start address).
+        """
+        if self._mapped_pages is None or vl <= 0:
             return
         element_bytes = self.config.element_bytes
-        page = -1
-        for element in range(vl):
-            a = addr + element * element_bytes
-            p = a // PAGE_BYTES
-            if p != page:
-                page = p
-                if p not in self._mapped_pages:
-                    raise PageFault(element, a)
+        first = addr // PAGE_BYTES
+        last = (addr + (vl - 1) * element_bytes) // PAGE_BYTES
+        for p in range(first, last + 1):
+            if p not in self._mapped_pages:
+                if p == first:
+                    element = 0
+                else:
+                    element = -((addr - p * PAGE_BYTES) // element_bytes)
+                raise PageFault(element, addr + element * element_bytes)
 
     # ------------------------------------------------------------------
 

@@ -38,6 +38,7 @@ def run_fig9_kernels(
     observer: Optional[Observer] = None,
     profile: Optional[ProfileReport] = None,
     plan_cache=True,
+    superplan=False,
 ) -> Tuple[float, int]:
     """Run the Fig. 9 kernel set; returns ``(elapsed_seconds, checksum)``.
 
@@ -48,7 +49,9 @@ def run_fig9_kernels(
     each kernel in a :meth:`ProfileReport.kernel` scope. ``plan_cache``
     is the system's microcode plan-cache knob (``False`` re-walks the
     FSM per dispatch — the pre-plan behaviour, used by the plan-cache
-    comparison bench).
+    comparison bench). ``superplan`` additionally fuses the kernel set's
+    mirror microcode into one cached whole-kernel trace (the checksum,
+    cycles, and microop totals are identical either way).
     """
     import numpy as np
 
@@ -56,7 +59,8 @@ def run_fig9_kernels(
 
     config = CAPEConfig("fig9-bit", num_chains=num_chains)
     cape = CAPESystem(
-        config, backend=backend, observer=observer, plan_cache=plan_cache
+        config, backend=backend, observer=observer, plan_cache=plan_cache,
+        superplan=superplan,
     )
     n = config.max_vl
     rng = np.random.default_rng(seed)
@@ -71,25 +75,26 @@ def run_fig9_kernels(
     scope = profile.kernel if profile is not None else (lambda name: nullcontext())
 
     start = time.perf_counter()
-    with scope("setup"):
-        cape.vsetvl(n, sew=sew)
-        cape.vle(1, base_a)
-        cape.vle(2, base_b)
-    with scope("vvadd"):
-        cape.vadd(3, 1, 2)
-    with scope("vvmul"):
-        cape.vmul(4, 1, 2)
-    with scope("saxpy"):
-        cape.vadd(5, 4, 3)
-    with scope("memcpy"):
-        cape.vmv(6, 1)
-    with scope("dotprod"):
-        dot = cape.vredsum(4, signed=False)
-    with scope("idxsrch"):
-        cape.vmseq_vx(7, 1, int(a[0]))
-        hits = cape.vmask_popcount(7)
-    with scope("store"):
-        cape.vse(5, base_b)
+    with cape.superplan_scope():
+        with scope("setup"):
+            cape.vsetvl(n, sew=sew)
+            cape.vle(1, base_a)
+            cape.vle(2, base_b)
+        with scope("vvadd"):
+            cape.vadd(3, 1, 2)
+        with scope("vvmul"):
+            cape.vmul(4, 1, 2)
+        with scope("saxpy"):
+            cape.vadd(5, 4, 3)
+        with scope("memcpy"):
+            cape.vmv(6, 1)
+        with scope("dotprod"):
+            dot = cape.vredsum(4, signed=False)
+        with scope("idxsrch"):
+            cape.vmseq_vx(7, 1, int(a[0]))
+            hits = cape.vmask_popcount(7)
+        with scope("store"):
+            cape.vse(5, base_b)
     elapsed = time.perf_counter() - start
 
     checksum = int(dot) + int(hits) + int(cape.read_vreg(5).sum())

@@ -20,13 +20,25 @@ from repro.plan.cache import (
 )
 from repro.plan.plan import CompiledPlan, compile_chain_program
 from repro.plan.recorder import RecordingChain, Token
+from repro.plan.superplan import (
+    SUPERPLAN_MODES,
+    Superplan,
+    fuse_plans,
+    resolve_superplan_mode,
+    superplan_key,
+)
 
 __all__ = [
     "GLOBAL_PLAN_CACHE",
+    "SUPERPLAN_MODES",
     "CompiledPlan",
     "PlanCache",
     "RecordingChain",
+    "Superplan",
     "Token",
     "compile_chain_program",
+    "fuse_plans",
     "resolve_plan_cache",
+    "resolve_superplan_mode",
+    "superplan_key",
 ]

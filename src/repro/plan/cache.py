@@ -50,6 +50,9 @@ class PlanCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.compile_ns = 0
+        self.affinity_hits = 0
+        self.affinity_misses = 0
 
     def get_or_compile(
         self,
@@ -83,6 +86,7 @@ class PlanCache:
                     observer.counter("plan.cache.hit").inc()
                 return existing
             self.misses += 1
+            self.compile_ns += elapsed_ns
             self._plans[key] = plan
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
@@ -91,19 +95,52 @@ class PlanCache:
             observer.histogram("plan.cache.compile_ns").observe(elapsed_ns)
         return plan
 
-    def stats(self) -> dict:
-        """Point-in-time snapshot: ``{"entries", "hits", "misses"}``.
+    def note_affinity(self, warm: bool) -> None:
+        """Count one plan-affinity placement decision against this cache.
 
-        Picklable and cheap — the serving tier's worker processes ship
-        this across the pipe with every reply so the gateway can
-        aggregate per-process cache behaviour without sharing memory.
+        The pools call this when affinity steers (or fails to steer) a
+        job toward warm state, so the counters ride the same snapshot
+        the serving workers already ship across the pipe.
         """
+        with self._lock:
+            if warm:
+                self.affinity_hits += 1
+            else:
+                self.affinity_misses += 1
+
+    def snapshot(self) -> dict:
+        """The one plan-cache stats surface (picklable, cheap).
+
+        Keys: ``entries`` / ``superplans`` (cached whole-kernel fusions
+        among them), ``hits`` / ``misses`` (lookups), ``compiles`` and
+        ``compile_ns`` (actual builds and their wall time), and
+        ``affinity_hits`` / ``affinity_misses`` (plan-affinity placement
+        decisions recorded by the pools via :meth:`note_affinity`).
+        Serving workers ship this with every reply so the gateway can
+        aggregate per-process cache behaviour without sharing memory;
+        benchmarks and ``repro.api`` re-export it instead of reading
+        cache internals.
+        """
+        from repro.plan.superplan import Superplan
+
         with self._lock:
             return {
                 "entries": len(self._plans),
+                "superplans": sum(
+                    1 for p in self._plans.values()
+                    if isinstance(p, Superplan)
+                ),
                 "hits": self.hits,
                 "misses": self.misses,
+                "compiles": self.misses,
+                "compile_ns": self.compile_ns,
+                "affinity_hits": self.affinity_hits,
+                "affinity_misses": self.affinity_misses,
             }
+
+    def stats(self) -> dict:
+        """Deprecated alias of :meth:`snapshot` (kept for old callers)."""
+        return self.snapshot()
 
     def __len__(self) -> int:
         with self._lock:
@@ -118,6 +155,9 @@ class PlanCache:
             self._plans.clear()
             self.hits = 0
             self.misses = 0
+            self.compile_ns = 0
+            self.affinity_hits = 0
+            self.affinity_misses = 0
 
     def __repr__(self) -> str:
         return (

@@ -102,9 +102,16 @@ class _Ctx:
 # ---------------------------------------------------------------------------
 
 def _match(ctx: _Ctx, sub: int, items) -> np.ndarray:
-    match = np.ones(ctx.C, dtype=np.uint8)
     bits = ctx.bits
-    for row, want in items:
+    if not items:
+        return np.ones(ctx.C, dtype=np.uint8)
+    # Seed the accumulator from the first term (``^ 1`` already yields a
+    # fresh array; ``copy`` keeps the in-place ``&=`` off the live plane)
+    # instead of allocating an all-ones array and AND-ing into it.
+    row, want = items[0]
+    plane = bits[sub, row]
+    match = plane.copy() if want else plane ^ 1
+    for row, want in items[1:]:
         plane = bits[sub, row]
         match &= plane if want else plane ^ 1
     return match
@@ -136,18 +143,28 @@ def _op_search_next(payload, ctx: _Ctx) -> None:
 
 def _op_search_bp(payload, ctx: _Ctx) -> None:
     terms, accumulate, out = payload
-    match = np.ones((ctx.tags.shape[0], ctx.C), dtype=np.uint8)
     bits = ctx.bits
-    for kind, row, want in terms:
+
+    def term_planes(kind, row, want):
         planes = bits[:, row, :]
         if kind == 1:
-            match &= planes
-        elif kind == 0:
-            match &= planes ^ 1
-        else:
-            match &= np.where(
-                want == 1, planes, np.where(want == 0, planes ^ 1, np.uint8(1))
-            )
+            return planes
+        if kind == 0:
+            return planes ^ 1
+        return np.where(
+            want == 1, planes, np.where(want == 0, planes ^ 1, np.uint8(1))
+        )
+
+    if terms:
+        # Seed from the first term; only the ``kind == 1`` raw-plane view
+        # needs a copy before the in-place ``&=``.
+        kind, row, want = terms[0]
+        first = term_planes(kind, row, want)
+        match = first.copy() if kind == 1 else first
+        for kind, row, want in terms[1:]:
+            match &= term_planes(kind, row, want)
+    else:
+        match = np.ones((ctx.tags.shape[0], ctx.C), dtype=np.uint8)
     if accumulate:
         ctx.tags |= match
     else:

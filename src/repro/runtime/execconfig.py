@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.gang.runner import resolve_gang_mode
+from repro.plan.superplan import resolve_superplan_mode
 
 __all__ = ["ExecConfig", "resolve_exec"]
 
@@ -59,12 +60,25 @@ class ExecConfig:
         gang: gang-execution mode — ``True`` gangs every eligible job,
             ``"auto"`` gangs when at least two jobs in a batch are
             eligible, ``False`` disables stacked replay (docs/GANG.md).
+        superplan: whole-kernel superplan mode — ``True``/``"auto"``
+            fuse each job body's eligible mirror microcode into one
+            cached trace, ``False`` replays per instruction
+            (docs/PERFORMANCE.md). Same eligibility rules as gang
+            (plain bit-plane backend, no faults, no microop trace);
+            results, cycles, and microop totals are identical either
+            way.
+        plan_affinity: prefer devices/workers whose plan caches are
+            already warm for a job's superplan keys when breaking
+            placement ties. Tie-breaking only: with affinity off (the
+            default) placement is unchanged bit-for-bit.
     """
 
     plan_cache: object = True
     parallelism: int = 1
     workers: int = 2
     gang: object = "auto"
+    superplan: object = "auto"
+    plan_affinity: bool = False
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -72,6 +86,7 @@ class ExecConfig:
         if self.workers < 1:
             raise ConfigError("workers must be at least 1")
         resolve_gang_mode(self.gang)
+        resolve_superplan_mode(self.superplan)
 
 
 def resolve_exec(exec_config: ExecConfig | None, **legacy):

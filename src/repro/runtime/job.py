@@ -227,7 +227,11 @@ class Job:
         return result
 
     def _run_body(self, system: CAPESystem) -> Any:
-        return self.body(system)
+        # One job body == one superplan scope: a no-op unless the device
+        # was built with superplan enabled, in which case eligible mirror
+        # microcode fuses into one cached whole-kernel trace.
+        with system.superplan_scope():
+            return self.body(system)
 
     def _validated(self, output: Any) -> bool:
         if self.validate is not None:

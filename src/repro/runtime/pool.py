@@ -53,6 +53,8 @@ from repro.faults.injector import FaultInjector
 from repro.gang import resolve_gang_mode, run_ganged
 from repro.memory.mainmem import WordMemory
 from repro.obs.observer import NULL_OBSERVER
+from repro.plan import resolve_plan_cache
+from repro.plan.superplan import resolve_superplan_mode
 
 from repro.runtime.clock import SimClock
 from repro.runtime.execconfig import ExecConfig, resolve_exec
@@ -115,6 +117,9 @@ class Device:
         self.lane_occupancies: List[float] = []
         self.health = DeviceHealth()
         self.injector: Optional[FaultInjector] = None
+        #: Superplan affinity keys (job kernel names) this device has
+        #: been placed for — a proxy for "its plan cache is warm here".
+        self.affinity_keys: set = set()
         #: Serialises job execution on this device's system — the
         #: parallel driver runs *different* devices concurrently, never
         #: one device's jobs, so the injector/health ledger and the
@@ -197,8 +202,20 @@ class DevicePool:
             stacked gang, ineligible or ejected jobs fall back to the
             per-device path. Results, cycles, energy, and microop
             totals are bit-identical either way — see ``docs/GANG.md``.
+        superplan: whole-kernel superplan mode (``True`` / ``False`` /
+            ``"auto"``) passed to every device's system: each job body
+            runs inside a superplan scope, fusing eligible mirror
+            microcode into one cached trace (docs/PERFORMANCE.md).
+            Results, cycles, and microop totals are bit-identical either
+            way.
+        plan_affinity: break placement ties toward devices whose plan
+            caches are warm for a job's kernel (spec-carrying jobs
+            only). Tie-breaking only — with the default ``False``,
+            placement is unchanged bit-for-bit; with it on, placement
+            is still deterministic.
         exec: optional :class:`~repro.runtime.execconfig.ExecConfig`
-            bundling ``plan_cache`` / ``parallelism`` / ``gang``.
+            bundling ``plan_cache`` / ``parallelism`` / ``gang`` /
+            ``superplan`` / ``plan_affinity``.
             Mutually exclusive with non-default values of those
             keywords (:class:`~repro.common.errors.ConfigError`).
     """
@@ -220,6 +237,8 @@ class DevicePool:
         parallelism: int = 1,
         plan_cache=True,
         gang=False,
+        superplan=False,
+        plan_affinity=False,
         exec: Optional[ExecConfig] = None,
     ) -> None:
         if not configs:
@@ -229,12 +248,25 @@ class DevicePool:
             plan_cache=(plan_cache, True),
             parallelism=(parallelism, 1),
             gang=(gang, False),
+            superplan=(superplan, False),
+            plan_affinity=(plan_affinity, False),
         )
         plan_cache = knobs["plan_cache"]
         parallelism = knobs["parallelism"]
         if parallelism < 1:
             raise ConfigError("parallelism must be at least 1")
         self.gang = resolve_gang_mode(knobs["gang"])
+        self.superplan = resolve_superplan_mode(knobs["superplan"])
+        #: Plan-affinity placement: prefer a warm device when breaking
+        #: best-fit ties. Off by default — placement is bit-identical to
+        #: the affinity-free pool unless explicitly enabled.
+        self.plan_affinity = bool(knobs["plan_affinity"])
+        #: Pool-side affinity ledger (placement decisions, not cache
+        #: lookups) — the serving pool reads these because its parent
+        #: process holds no plan cache to count into.
+        self._affinity_hits = 0
+        self._affinity_misses = 0
+        self._plan_cache_resolved = resolve_plan_cache(plan_cache)
         self.clock = SimClock()
         self.scheduler = Scheduler(policy)
         self.telemetry = Telemetry()
@@ -265,6 +297,7 @@ class DevicePool:
                 accounting=accounting,
                 backend=backend,
                 plan_cache=plan_cache,
+                superplan=self.superplan,
             )
             device = Device(i, system)
             device.health = DeviceHealth(
@@ -328,6 +361,24 @@ class DevicePool:
         candidates = [d for d in live if d.device_id not in exclude] or live
         fitting = [d for d in candidates if job.footprint.fits(d.config)]
         if fitting:
+            akey = self._affinity_key(job) if self.plan_affinity else None
+            if akey is not None:
+                # Same best-fit ordering, with cache warmth inserted as
+                # a tie-breaker between capacity and load: among equal
+                # capacities, a device already placed for this kernel
+                # replays superplans straight out of its warm cache.
+                chosen = min(
+                    fitting,
+                    key=lambda d: (
+                        d.config.max_vl,
+                        0 if akey in d.affinity_keys else 1,
+                        d.load,
+                        d.device_id,
+                    ),
+                )
+                self._note_affinity(akey in chosen.affinity_keys)
+                self._mark_affinity(chosen, akey)
+                return chosen
             return min(
                 fitting,
                 key=lambda d: (d.config.max_vl, d.load, d.device_id),
@@ -349,6 +400,39 @@ class DevicePool:
             requested_registers=job.footprint.vregs,
             available_registers=CAPESystem.NUM_VREGS,
         )
+
+    @staticmethod
+    def _affinity_key(job: Job):
+        """A job's superplan-affinity key, or ``None``.
+
+        Spec-carrying jobs use their kernel name — jobs of one kernel
+        replay the same superplan sequence, so a device that already ran
+        the kernel holds its fused plans warm. Ad-hoc callable jobs have
+        no stable identity and never steer placement.
+        """
+        spec = getattr(job, "spec", None)
+        return getattr(spec, "kernel", None)
+
+    def _note_affinity(self, warm: bool) -> None:
+        """Record one affinity placement decision (cache + observer)."""
+        if warm:
+            self._affinity_hits += 1
+        else:
+            self._affinity_misses += 1
+        cache = self._plan_cache_resolved
+        if cache is not None:
+            cache.note_affinity(warm)
+        if self.observer.enabled:
+            self.observer.counter(
+                "plan.affinity.placements",
+                outcome="warm" if warm else "cold",
+            ).inc()
+
+    def _mark_affinity(self, device: Device, akey) -> None:
+        """Mark a placement's warm scope — this one device here; the
+        serving pool widens it to every device of the owning worker
+        (their plan cache is per process, not per device)."""
+        device.affinity_keys.add(akey)
 
     # ------------------------------------------------------------------
     # Event handlers

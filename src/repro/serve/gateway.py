@@ -117,6 +117,10 @@ class ServeConfig:
             request per worker; the worker gangs what can be ganged
             (``docs/GANG.md``). ``False`` keeps one-request-per-message
             dispatch.
+        superplan: whole-kernel superplan mode (``True`` / ``False`` /
+            ``"auto"``), shipped to every worker's systems
+            (``docs/PERFORMANCE.md``). Results, cycles, and microop
+            totals are bit-identical either way.
     """
 
     configs: Tuple[CAPEConfig, ...] = (CAPE32K, CAPE32K)
@@ -133,9 +137,11 @@ class ServeConfig:
     worker_timeout: float = 120.0
     retry_after_s: float = 0.05
     gang: object = False
+    superplan: object = False
 
     def __post_init__(self) -> None:
         from repro.gang import resolve_gang_mode
+        from repro.plan.superplan import resolve_superplan_mode
 
         if not self.configs:
             raise ConfigError("a gateway needs at least one device")
@@ -144,6 +150,7 @@ class ServeConfig:
         if self.max_queue < 1:
             raise ConfigError("max_queue must be at least 1")
         resolve_gang_mode(self.gang)
+        resolve_superplan_mode(self.superplan)
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.default_quota)
@@ -285,9 +292,13 @@ class Gateway:
                 exec,
                 workers=(config.workers, 2),
                 gang=(config.gang, False),
+                superplan=(config.superplan, False),
             )
             config = replace(
-                config, workers=knobs["workers"], gang=knobs["gang"]
+                config,
+                workers=knobs["workers"],
+                gang=knobs["gang"],
+                superplan=knobs["superplan"],
             )
         self.config = config
         from repro.obs.observer import NULL_OBSERVER
@@ -340,6 +351,7 @@ class Gateway:
             backend=cfg.backend,
             warmup=cfg.warmup,
             fault_plan=cfg.fault_plan,
+            superplan=cfg.superplan,
         )
         ctx = default_mp_context()
         for device_id, config in enumerate(cfg.configs):

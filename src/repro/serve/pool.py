@@ -79,10 +79,20 @@ class ServePool(DevicePool):
             shard — stacked replay for eligible groups, sequential
             fallback otherwise. ``"auto"`` is evaluated per worker
             sub-batch. See ``docs/GANG.md``.
+        superplan: whole-kernel superplan mode (``True`` / ``False`` /
+            ``"auto"``), shipped to every worker's systems via
+            :class:`~repro.serve.worker.WorkerOptions`
+            (docs/PERFORMANCE.md). Results, cycles, and microop totals
+            are bit-identical either way.
+        plan_affinity: break placement ties toward devices whose owning
+            worker has already run a job's kernel — a worker's plan
+            cache is per process, so every device it owns is equally
+            warm. Tie-breaking only; placement stays deterministic.
         exec: optional :class:`~repro.runtime.execconfig.ExecConfig`
-            bundling ``workers`` / ``gang`` (its ``parallelism`` and
-            ``plan_cache`` members don't apply to this tier). Mutually
-            exclusive with non-default values of those keywords.
+            bundling ``workers`` / ``gang`` / ``superplan`` /
+            ``plan_affinity`` (its ``parallelism`` and ``plan_cache``
+            members don't apply to this tier). Mutually exclusive with
+            non-default values of those keywords.
         **pool_kwargs: everything :class:`DevicePool` accepts except
             ``parallelism`` (meaningless here — concurrency comes from
             the worker processes) and ``plan_cache`` (each worker runs
@@ -100,14 +110,22 @@ class ServePool(DevicePool):
         mp_context=None,
         fault_plan=None,
         gang=False,
+        superplan=False,
+        plan_affinity=False,
         exec: Optional[ExecConfig] = None,
         **pool_kwargs,
     ) -> None:
         knobs = resolve_exec(
-            exec, workers=(workers, 2), gang=(gang, False)
+            exec,
+            workers=(workers, 2),
+            gang=(gang, False),
+            superplan=(superplan, False),
+            plan_affinity=(plan_affinity, False),
         )
         workers = knobs["workers"]
         gang = knobs["gang"]
+        superplan = knobs["superplan"]
+        plan_affinity = knobs["plan_affinity"]
         if workers < 1:
             raise ConfigError("a serve pool needs at least one worker")
         for reserved in ("parallelism", "plan_cache"):
@@ -126,10 +144,18 @@ class ServePool(DevicePool):
         self._backend = pool_kwargs.get("backend")
         # The parent's systems are bookkeeping mirrors that never
         # execute a job: no fault injectors (the workers own the
-        # injector state), no plan cache.
+        # injector state), no plan cache, no superplans (those live in
+        # the workers via WorkerOptions); plan affinity *does* apply
+        # here — placement is a parent-side decision.
         super().__init__(
-            configs, parallelism=1, plan_cache=False, **pool_kwargs
+            configs,
+            parallelism=1,
+            plan_cache=False,
+            plan_affinity=plan_affinity,
+            **pool_kwargs,
         )
+        #: Superplan mode shipped to the workers' systems.
+        self.superplan = superplan
         # The parent's gang knob stays False (its systems never execute
         # jobs); this tier's gang mode steers the worker-side batches.
         self.gang = resolve_gang_mode(gang)
@@ -182,6 +208,7 @@ class ServePool(DevicePool):
             backend=self._backend,
             warmup=self.plan_cache_warmup,
             fault_plan=self.fault_plan,
+            superplan=self.superplan,
         )
         for worker_id in range(self.num_workers):
             owned = [
@@ -227,6 +254,14 @@ class ServePool(DevicePool):
 
     def _device_dead(self, device: Device) -> bool:
         return device.device_id in self._dead_device_ids
+
+    def _mark_affinity(self, device: Device, akey) -> None:
+        """A worker's plan cache is per *process*: any device owned by
+        the placed device's worker is equally warm for this kernel."""
+        worker_id = self.worker_of[device.device_id]
+        for d in self.devices:
+            if self.worker_of[d.device_id] == worker_id:
+                d.affinity_keys.add(akey)
 
     def _crashed_result(self, worker_id: int) -> JobResult:
         return JobResult(
@@ -404,12 +439,24 @@ class ServePool(DevicePool):
         return self._run_parallel(max_events)
 
     def plan_cache_totals(self) -> dict:
-        """Aggregate the per-worker plan-cache snapshots."""
-        totals = {"entries": 0, "hits": 0, "misses": 0}
+        """Aggregate the per-worker plan-cache snapshots.
+
+        Workers ship :meth:`~repro.plan.PlanCache.snapshot` with every
+        reply; this sums the counters across workers. Affinity counters
+        are parent-side (placement happens here, the workers never see
+        it), so they are folded in from the pool's own ledger.
+        """
+        totals = {
+            "entries": 0, "superplans": 0, "hits": 0, "misses": 0,
+            "compiles": 0, "compile_ns": 0,
+            "affinity_hits": 0, "affinity_misses": 0,
+        }
         per_worker = {}
         for worker_id, stats in sorted(self.worker_stats.items()):
             cache = stats.get("plan_cache") or {}
             per_worker[worker_id] = dict(cache)
             for key in totals:
                 totals[key] += int(cache.get(key, 0))
+        totals["affinity_hits"] += self._affinity_hits
+        totals["affinity_misses"] += self._affinity_misses
         return {"total": totals, "per_worker": per_worker}

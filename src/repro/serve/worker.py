@@ -71,6 +71,9 @@ class WorkerOptions:
     backend: Optional[str] = None
     warmup: Tuple[JobSpec, ...] = ()
     fault_plan: object = None  # Optional[FaultPlan]; picklable
+    #: Whole-kernel superplan mode for the shard's systems
+    #: (``True`` / ``False`` / ``"auto"``, docs/PERFORMANCE.md).
+    superplan: object = False
 
 
 def _build_shard(
@@ -93,6 +96,7 @@ def _build_shard(
             accounting=options.accounting,
             backend=options.backend,
             plan_cache=plan_cache,
+            superplan=options.superplan,
         )
         injector = None
         if options.fault_plan is not None:
@@ -114,6 +118,7 @@ def _build_shard(
             accounting=options.accounting,
             backend=options.backend,
             plan_cache=plan_cache,
+            superplan=options.superplan,
         )
         for spec in options.warmup:
             scratch.reset()
@@ -251,7 +256,7 @@ def worker_main(
                 reply["worker_id"] = worker_id
                 reply["device_id"] = device_id
                 reply["jobs_executed"] = jobs_executed
-                reply["plan_cache"] = plan_cache.stats()
+                reply["plan_cache"] = plan_cache.snapshot()
                 conn.send(("result", seq, reply))
             elif msg[0] == "gang":
                 _, seq, requests, mode = msg
@@ -267,7 +272,7 @@ def worker_main(
                 for reply in replies:
                     reply["worker_id"] = worker_id
                     reply["jobs_executed"] = jobs_executed
-                    reply["plan_cache"] = plan_cache.stats()
+                    reply["plan_cache"] = plan_cache.snapshot()
                 conn.send(("gang", seq, replies))
             elif msg[0] == "stats":
                 _, seq = msg
@@ -279,7 +284,7 @@ def worker_main(
                             "worker_id": worker_id,
                             "pid": os.getpid(),
                             "jobs_executed": jobs_executed,
-                            "plan_cache": plan_cache.stats(),
+                            "plan_cache": plan_cache.snapshot(),
                             "devices": {
                                 device_id: (
                                     injector.report()

@@ -85,7 +85,10 @@ def make_jobs():
     return jobs
 
 
-def run_stream(fault_plan=None, observer=None, parallelism=1):
+def run_stream(
+    fault_plan=None, observer=None, parallelism=1,
+    superplan=False, plan_affinity=False,
+):
     pool = DevicePool(
         (NANO, NANO, NANO),
         memory_bytes=1 << 26,  # room for the spill slab base
@@ -96,6 +99,8 @@ def run_stream(fault_plan=None, observer=None, parallelism=1):
         retry_backoff_cycles=300.0,
         max_retries=4,
         parallelism=parallelism,
+        superplan=superplan,
+        plan_affinity=plan_affinity,
     )
     jobs = pool.submit_stream(make_jobs(), interarrival_cycles=40.0)
     report = pool.run(max_events=100_000)
@@ -163,6 +168,33 @@ def test_chaos_replays_bit_for_bit_from_the_seed():
 def test_chaos_plan_itself_is_reproducible():
     assert chaos_plan() == chaos_plan()
     assert chaos_plan().as_dict() == chaos_plan().as_dict()
+
+
+@pytest.mark.slow
+def test_chaos_stream_identical_with_superplans():
+    """The full storm replayed with whole-kernel superplans (and plan
+    affinity) enabled: devices with attached injectors are ineligible
+    per dispatch, so they keep the per-primitive fault-divergence
+    ladder, while clean devices fuse their kernels — and nothing about
+    the schedule, outputs, or healing ledger may move."""
+
+    def fingerprint(**kwargs):
+        _, jobs, report = run_stream(fault_plan=chaos_plan(), **kwargs)
+        return (
+            [(r.name, r.state, r.attempts, r.device_id,
+              r.start_cycle, r.finish_cycle) for r in report.jobs],
+            report.completed,
+            report.failed,
+            report.retries,
+            report.quarantines,
+            report.device_deaths,
+            report.makespan_cycles,
+            [j.result.output for j in jobs],
+        )
+
+    baseline = fingerprint()
+    fused = fingerprint(superplan="auto", plan_affinity=True)
+    assert fused == baseline
 
 
 @pytest.mark.slow

@@ -1,0 +1,220 @@
+"""Differential tests: whole-kernel superplan replay vs per-instruction.
+
+With ``superplan`` enabled, a :meth:`CAPESystem.superplan_scope` defers
+every eligible mirror dispatch and replays the whole kernel as one fused
+:class:`~repro.plan.Superplan`. The contract is total equivalence: every
+observable — destination values, the full register file, cycle and
+energy totals, and every ``csb.microops`` series — must be bit-identical
+to the per-instruction path, on both execution backends, across masked
+forms (including the masked-vmul re-sync fallback that forces a
+mid-scope flush), non-deferrable ops (reductions, popcounts), partial
+``vl``/``vstart`` windows, and runs with an active fault plan (where
+superplans go inactive and the PR-4 divergence ladder is preserved).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.system import CAPEConfig, CAPESystem
+from repro.faults import FaultInjector, FaultPlan, StuckBit, TagFlip
+from repro.obs import Observer
+from repro.plan import PlanCache
+
+NANO = CAPEConfig(name="nano-sp", num_chains=8)  # 256 lanes
+
+#: (system method, supports mask kwarg). Masked vmul exists in the table
+#: but falls back to a re-sync (non-deferrable) — kept deliberately so
+#: the differential covers a mid-scope flush.
+OPS = (
+    ("vadd", True),
+    ("vsub", True),
+    ("vmul", True),
+    ("vand", True),
+    ("vor", True),
+    ("vxor", True),
+    ("vmin", False),
+    ("vmax", False),
+)
+
+
+def run_program(
+    backend, superplan, a, b, mask, ops,
+    injector=None, vstart=0,
+):
+    """Run an op sequence inside one superplan scope; snapshot every
+    observable plus the cache's counter snapshot."""
+    obs = Observer()
+    cache = PlanCache()
+    system = CAPESystem(
+        NANO, backend=backend, observer=obs, plan_cache=cache,
+        superplan=superplan, fault_injector=injector,
+    )
+    n = len(a)
+    system.vsetvl(n)
+    system.vregs[1, :n] = a
+    system.vregs[2, :n] = b
+    system.vregs[6, :n] = mask
+    system._written_vregs.update({1, 2, 6})
+    if system._bitengine is not None:
+        for reg in (1, 2, 6):
+            system._bitengine.sync_register(reg, system.vregs[reg])
+    if vstart:
+        system.set_vstart(vstart)
+    with system.superplan_scope():
+        for i, (op, use_mask) in enumerate(ops):
+            _, maskable = next(entry for entry in OPS if entry[0] == op)
+            kwargs = {"mask": 6} if (use_mask and maskable) else {}
+            getattr(system, op)(3 + (i % 3), 1, 2, **kwargs)
+        system.vmerge(5, 1, 2, vm=6)
+        system.vmseq(7, 1, 2)
+        total = int(system.vredsum(3, signed=False))
+        hits = system.vmask_popcount(7)
+    state = {
+        "total": total,
+        "hits": hits,
+        "registers": [system.read_vreg(r).tolist() for r in range(8)],
+        "cycles": system.stats.cycles,
+        "energy": system.stats.energy_j,
+        "microops": {
+            key: value
+            for key, value in obs.metrics.snapshot().items()
+            if key[0] == "csb.microops"
+        },
+    }
+    return state, cache.snapshot()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(st.integers(0, 2**32 - 1), min_size=4, max_size=32),
+    st.lists(st.integers(0, 2**32 - 1), min_size=4, max_size=32),
+    st.lists(st.tuples(st.sampled_from([op for op, _ in OPS]), st.booleans()),
+             min_size=1, max_size=6),
+    st.sampled_from(["reference", "bitplane"]),
+)
+def test_superplan_replay_is_bit_identical(a, b, ops, backend):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    mask = [(x ^ y) & 1 for x, y in zip(a, b)]
+    fused, _ = run_program(backend, True, a, b, mask, ops)
+    single, _ = run_program(backend, False, a, b, mask, ops)
+    assert fused == single
+
+
+def test_superplan_actually_fuses_on_the_bitplane_backend():
+    """The equality above must not be vacuous: on the plain bit-plane
+    backend the scope really builds fused superplans (reference stays
+    per-instruction — its engine type is not eligible)."""
+    a = list(range(16))
+    b = list(range(16, 0, -1))
+    mask = [i & 1 for i in range(16)]
+    ops = [("vadd", False), ("vxor", True), ("vmin", False)]
+    _, fused_snap = run_program("bitplane", True, a, b, mask, ops)
+    assert fused_snap["superplans"] >= 1
+    _, ref_snap = run_program("reference", True, a, b, mask, ops)
+    assert ref_snap["superplans"] == 0
+
+
+@pytest.mark.parametrize("vstart,vl", [(0, 11), (3, 13), (5, 16)])
+def test_superplan_respects_partial_windows(vstart, vl):
+    """Elements outside ``[vstart, vl)`` are untouched by the fused
+    replay, exactly as per-instruction."""
+    rng = np.random.default_rng(0x5A)
+    a = rng.integers(0, 1 << 16, vl).tolist()
+    b = rng.integers(0, 1 << 16, vl).tolist()
+    mask = rng.integers(0, 2, vl).tolist()
+    ops = [("vadd", True), ("vmul", False), ("vmax", False)]
+    fused, snap = run_program(
+        "bitplane", True, a, b, mask, ops, vstart=vstart
+    )
+    single, _ = run_program(
+        "bitplane", False, a, b, mask, ops, vstart=vstart
+    )
+    assert fused == single
+    assert snap["superplans"] >= 1
+
+
+def test_masked_vmul_fallback_flushes_mid_scope():
+    """Masked vmul has no microcode: it re-syncs the mirror, which must
+    flush the open superplan segment first — and stay bit-identical."""
+    rng = np.random.default_rng(0x71)
+    a = rng.integers(0, 1 << 16, 16).tolist()
+    b = rng.integers(0, 1 << 16, 16).tolist()
+    mask = rng.integers(0, 2, 16).tolist()
+    ops = [("vadd", True), ("vmul", True), ("vxor", False), ("vsub", True)]
+    fused, snap = run_program("bitplane", True, a, b, mask, ops)
+    single, _ = run_program("bitplane", False, a, b, mask, ops)
+    assert fused == single
+    # The fallback split the scope but deferrable ops still fused.
+    assert snap["superplans"] >= 1
+
+
+@pytest.mark.parametrize("backend", ["reference", "bitplane"])
+def test_superplan_inactive_under_active_faults(backend):
+    """A fault injector makes every dispatch ineligible: the scope
+    stays live per-instruction, the divergence ladder applies, and the
+    outcome matches the superplan-off run exactly."""
+    rng = np.random.default_rng(0xCA9E)
+    a = rng.integers(0, 1 << 16, 16).tolist()
+    b = rng.integers(0, 1 << 16, 16).tolist()
+    mask = rng.integers(0, 2, 16).tolist()
+    ops = [("vadd", True), ("vmul", False), ("vxor", True), ("vmin", False)]
+
+    def faulty():
+        return FaultInjector(FaultPlan([
+            StuckBit(row=3, element=2, bit=1, value=1),
+            TagFlip(element=0, bit=0, at_search=3),
+        ]))
+
+    fused, snap = run_program(
+        backend, True, a, b, mask, ops, injector=faulty()
+    )
+    single, _ = run_program(
+        backend, False, a, b, mask, ops, injector=faulty()
+    )
+    assert fused == single
+    assert snap["superplans"] == 0
+
+
+def test_second_identical_kernel_replays_from_the_warm_cache():
+    """Same system, same kernel twice: the second scope compiles
+    nothing new and the results repeat exactly."""
+    obs = Observer()
+    cache = PlanCache()
+    system = CAPESystem(
+        NANO, backend="bitplane", observer=obs, plan_cache=cache,
+        superplan=True,
+    )
+    n = 16
+    outs = []
+    for _round in range(2):
+        system.reset()
+        system.vsetvl(n)
+        system.vregs[1, :n] = np.arange(n)
+        system.vregs[2, :n] = np.arange(n)[::-1].copy()
+        system._written_vregs.update({1, 2})
+        for reg in (1, 2):
+            system._bitengine.sync_register(reg, system.vregs[reg])
+        with system.superplan_scope():
+            system.vadd(3, 1, 2)
+            system.vmul(4, 1, 2)
+            system.vxor(5, 3, 4)
+        outs.append([system.read_vreg(r).tolist() for r in (3, 4, 5)])
+    assert outs[0] == outs[1]
+    snap = cache.snapshot()
+    compiles_after_two = snap["compiles"]
+    assert snap["superplans"] >= 1
+    # Third round: pure cache hits, zero new compiles.
+    system.reset()
+    system.vsetvl(n)
+    system.vregs[1, :n] = np.arange(n)
+    system.vregs[2, :n] = np.arange(n)[::-1].copy()
+    system._written_vregs.update({1, 2})
+    for reg in (1, 2):
+        system._bitengine.sync_register(reg, system.vregs[reg])
+    with system.superplan_scope():
+        system.vadd(3, 1, 2)
+        system.vmul(4, 1, 2)
+        system.vxor(5, 3, 4)
+    assert cache.snapshot()["compiles"] == compiles_after_two
