@@ -248,6 +248,33 @@ print(f"gateway served 20/20 mixed jobs across workers {sorted(workers)}; "
       f"checksums match the sequential pool")
 EOF
 
+echo "== resilience smoke (transport-fault storm) =="
+python - <<'EOF'
+import sys
+
+sys.path.insert(0, "benchmarks")
+from bench_resilience import assert_resilience, run_benchmark
+
+# The BENCH_9 soak, smoke-sized and live: one seeded transport storm
+# (hang + stragglers + dropped/garbled replies + a process kill)
+# through the gateway, fault-free vs hedging-off vs hedging-on. Every
+# admitted request must complete bit-identical to fault-free, and the
+# hedged storm p99 must beat unhedged — the unhedged tail is a
+# detection timeout, the hedged tail a service time (docs/SERVING.md).
+payload = run_benchmark(num_requests=48)
+assert_resilience(payload)
+off, on = payload["storm_hedging_off"], payload["storm_hedging_on"]
+assert on["goodput_req_per_s"] > 0 and off["goodput_req_per_s"] > 0
+print(
+    f"storm (seed {payload['storm']['seed']}): "
+    f"{payload['requests']}/{payload['requests']} requests bit-identical "
+    f"to fault-free; goodput {on['goodput_req_per_s']} req/s hedged vs "
+    f"{off['goodput_req_per_s']} unhedged, p99 {on['p99_latency_s']:.3f}s "
+    f"vs {off['p99_latency_s']:.3f}s "
+    f"({payload['p99_improvement_hedged']}x)"
+)
+EOF
+
 echo "== gang smoke (stacked plan replay) =="
 python - <<'EOF'
 import time
@@ -324,4 +351,4 @@ python -m pytest -x -q "$@"
 echo "== slow markers =="
 python -m pytest -q -m slow benchmarks/bench_table2_microops.py \
     tests/integration/test_chaos.py tests/serve/test_saturation.py \
-    tests/gang/test_gang_chaos.py
+    tests/gang/test_gang_chaos.py tests/serve/test_resilience.py

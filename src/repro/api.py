@@ -100,7 +100,10 @@ from repro.common.errors import (
     ReproError,
     RetryExhaustedError,
     SpillCorruptionError,
+    DeadlineExceededError,
     WorkerDiedError,
+    WorkerTimeoutError,
+    WorkerUnresponsiveError,
 )
 from repro.csb import BACKEND_NAMES, CSB, Chain, ExecutionBackend, Subarray
 from repro.engine.system import (
@@ -114,9 +117,14 @@ from repro.faults import (
     DeviceKill,
     FaultInjector,
     FaultPlan,
+    ReplyDrop,
+    ReplyGarble,
+    SlowWorker,
     StuckBit,
     TagFlip,
     TransferFault,
+    TransportSchedule,
+    WorkerHang,
     WorkerKill,
 )
 from repro.isa.interpreter import Machine, MachineResult
@@ -148,9 +156,11 @@ from repro.runtime import (
     ThreadParallelismWarning,
 )
 from repro.serve import (
+    CircuitBreaker,
     Gateway,
     GatewayReport,
     JobSpec,
+    ResilienceConfig,
     ServeConfig,
     ServePool,
     ServeResult,
@@ -171,7 +181,9 @@ __all__ = [
     "CapacityError",
     "Chain",
     "ChainKill",
+    "CircuitBreaker",
     "ConfigError",
+    "DeadlineExceededError",
     "Device",
     "DeviceFailedError",
     "DeviceKill",
@@ -202,13 +214,17 @@ __all__ = [
     "ProfileReport",
     "ProtocolError",
     "QuotaExceededError",
+    "ReplyDrop",
+    "ReplyGarble",
     "ReproError",
+    "ResilienceConfig",
     "RetryExhaustedError",
     "RunResult",
     "SegmentedJob",
     "ServeConfig",
     "ServePool",
     "ServeResult",
+    "SlowWorker",
     "SpillCorruptionError",
     "StuckBit",
     "SUPERPLAN_MODES",
@@ -220,8 +236,12 @@ __all__ = [
     "ThreadParallelismWarning",
     "Tracer",
     "TransferFault",
+    "TransportSchedule",
     "WorkerDiedError",
+    "WorkerHang",
     "WorkerKill",
+    "WorkerTimeoutError",
+    "WorkerUnresponsiveError",
     "AssociativeEmulator",
     "golden",
     "plan_cache_snapshot",

@@ -202,6 +202,41 @@ class WorkerDiedError(ReproError):
     """
 
 
+class WorkerTimeoutError(ReproError):
+    """A worker reply did not arrive within the poll window.
+
+    Distinct from :class:`WorkerDiedError`: the worker *process* is
+    still alive — the reply is merely late (a slow worker, a loaded
+    host) or lost (a dropped reply, a hung worker). Callers decide how
+    to escalate: keep waiting, hedge the request to another worker, or
+    conclude unresponsiveness once the hang threshold passes. The
+    serving tier never treats this alone as a crash.
+    """
+
+
+class WorkerUnresponsiveError(WorkerTimeoutError):
+    """A live worker process stopped making observable progress.
+
+    The escalation of :class:`WorkerTimeoutError`: the process is
+    alive but has sent neither replies nor heartbeats past the hang
+    threshold — a wedged interpreter, a deadlock, an injected
+    :class:`repro.faults.WorkerHang`. The serving tier routes around
+    the worker (terminate + failover) but counts it separately from a
+    process death.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A served request blew its wall-clock deadline.
+
+    Raised to the submitter when the gateway cancels a request whose
+    deadline expired before (or while) it could be dispatched; workers
+    enforce the same deadline by skipping execution of an
+    already-expired request (a cheap cancel, reported in the reply
+    rather than raised).
+    """
+
+
 class PoolStalledError(ReproError):
     """The pool's event loop stopped with jobs still queued or running.
 

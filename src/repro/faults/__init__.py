@@ -1,7 +1,9 @@
 """repro.faults — deterministic fault injection and repair bookkeeping.
 
-See :mod:`repro.faults.plan` for the fault taxonomy and seeded plans,
-and :mod:`repro.faults.injector` for the per-device injector and the
+See :mod:`repro.faults.plan` for the fault taxonomy and seeded plans
+(device-level substrate faults plus the process-scoped transport
+faults the serving tier injects on the wire), and
+:mod:`repro.faults.injector` for the per-device injector and the
 backend wrapper that asserts faults into live CSB storage.
 """
 
@@ -11,9 +13,14 @@ from repro.faults.plan import (
     ChainKill,
     DeviceKill,
     FaultPlan,
+    ReplyDrop,
+    ReplyGarble,
+    SlowWorker,
     StuckBit,
     TagFlip,
     TransferFault,
+    TransportSchedule,
+    WorkerHang,
     WorkerKill,
 )
 
@@ -23,9 +30,14 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultyBackend",
+    "ReplyDrop",
+    "ReplyGarble",
+    "SlowWorker",
     "StuckBit",
     "TagFlip",
     "TransferFault",
+    "TransportSchedule",
     "TRANSFER_KINDS",
+    "WorkerHang",
     "WorkerKill",
 ]

@@ -36,6 +36,33 @@ This module describes *what* can break, deterministically:
     FaultInjector` (and by :meth:`FaultPlan.for_device` projections);
     only the process-sharded serving tier consumes it.
 
+The *transport* faults extend the taxonomy onto the wire — the pipe
+protocol between the serving parent and its workers. Like
+``WorkerKill`` they are process-scoped (excluded from
+:meth:`FaultPlan.for_device`), deterministic (keyed on the worker's
+1-based lifetime job count), and consumed only by ``repro.serve``:
+
+``WorkerHang``
+    The worker wedges completely while executing its Nth job — a
+    deadlock, a runaway native kernel, an NFS stall. No reply, no
+    further heartbeats; the process stays alive. Only hang detection
+    (heartbeat silence past the hang threshold) tells it apart from a
+    merely slow worker.
+``SlowWorker``
+    The worker serves the listed jobs ``delay_s`` wall-seconds late —
+    a loaded host, a cold page cache, a degraded disk. Replies still
+    arrive, heartbeats keep flowing; the straggler discipline (hedged
+    re-dispatch) is the mitigation, never a crash verdict.
+``ReplyDrop``
+    The Nth job executes normally but its reply is lost on the wire —
+    a full pipe buffer, a dropped packet in a remoted transport. The
+    worker keeps serving later requests, which is exactly how the
+    parent infers the loss (a later seq arrives first).
+``ReplyGarble``
+    The Nth job's reply arrives corrupted — a truncated frame, a bad
+    pickle. The parent can detect it (the payload fails validation)
+    but not repair it; the request is retried or hedged.
+
 A :class:`FaultPlan` is an immutable, validated collection of these,
 optionally generated from a seed via :meth:`FaultPlan.chaos` — two plans
 built from the same seed are identical, so every downstream failure and
@@ -49,7 +76,7 @@ every device).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 import numpy as np
 
@@ -59,10 +86,16 @@ __all__ = [
     "ChainKill",
     "DeviceKill",
     "FaultPlan",
+    "ReplyDrop",
+    "ReplyGarble",
+    "SlowWorker",
     "StuckBit",
     "TagFlip",
     "TransferFault",
+    "TransportSchedule",
     "TRANSFER_KINDS",
+    "WorkerHang",
+    "WorkerKill",
 ]
 
 #: VMU transfer paths a :class:`TransferFault` may target.
@@ -209,7 +242,127 @@ class WorkerKill:
             )
 
 
-_FAULT_TYPES = (StuckBit, TagFlip, ChainKill, TransferFault, DeviceKill, WorkerKill)
+@dataclass(frozen=True)
+class WorkerHang:
+    """Serving worker ``worker`` wedges while executing its Nth job.
+
+    The process stays alive but makes no further progress: no reply
+    for the in-flight job, no replies for anything queued behind it,
+    and no further heartbeats. ``at_job`` counts the worker's jobs
+    from 1; ``worker=None`` applies to every worker.
+    """
+
+    at_job: int
+    worker: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.at_job < 1:
+            raise FaultInjectionError(
+                f"WorkerHang.at_job counts jobs from 1, got {self.at_job}"
+            )
+
+
+@dataclass(frozen=True)
+class SlowWorker:
+    """Worker ``worker`` serves the listed jobs ``delay_s`` late.
+
+    Each 1-based job index in ``at_jobs`` is delayed ``delay_s``
+    wall-seconds before its reply is produced — the deterministic
+    straggler. Heartbeats keep flowing, so the parent can tell "slow"
+    from "hung"; hedged re-dispatch is the mitigation.
+    """
+
+    delay_s: float
+    at_jobs: Tuple[int, ...] = ()
+    worker: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at_jobs", tuple(int(j) for j in self.at_jobs))
+
+    def validate(self) -> None:
+        if self.delay_s <= 0:
+            raise FaultInjectionError(
+                f"SlowWorker.delay_s must be positive, got {self.delay_s}"
+            )
+        if not self.at_jobs:
+            raise FaultInjectionError("SlowWorker.at_jobs must name at least one job")
+        for j in self.at_jobs:
+            if j < 1:
+                raise FaultInjectionError(
+                    f"SlowWorker.at_jobs counts jobs from 1, got {j}"
+                )
+
+
+@dataclass(frozen=True)
+class ReplyDrop:
+    """The Nth job's reply is lost on the wire (job still executes).
+
+    The worker's state advances exactly as on a successful run — only
+    the reply vanishes — so every later fault keyed on the job count
+    fires at the same instant whether or not the drop happened.
+    """
+
+    at_job: int
+    worker: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.at_job < 1:
+            raise FaultInjectionError(
+                f"ReplyDrop.at_job counts jobs from 1, got {self.at_job}"
+            )
+
+
+@dataclass(frozen=True)
+class ReplyGarble:
+    """The Nth job's reply arrives corrupted (detectably malformed)."""
+
+    at_job: int
+    worker: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.at_job < 1:
+            raise FaultInjectionError(
+                f"ReplyGarble.at_job counts jobs from 1, got {self.at_job}"
+            )
+
+
+@dataclass(frozen=True)
+class TransportSchedule:
+    """One worker's fold of a plan's process-scoped faults (picklable).
+
+    Produced by :meth:`FaultPlan.transport_for_worker`; consumed by
+    ``repro.serve.worker.worker_main``, which keys every entry on the
+    worker's 1-based lifetime job count. Precedence when several
+    faults land on the same job: kill > hang > drop > garble, with a
+    slow delay applying first in any case (a reply must be produced
+    late before it can be dropped or garbled).
+    """
+
+    kill_at: Optional[int] = None
+    hang_at: Optional[int] = None
+    #: job index -> delay in wall seconds (max wins on overlap).
+    slow: Dict[int, float] = field(default_factory=dict)
+    drop_at: FrozenSet[int] = frozenset()
+    garble_at: FrozenSet[int] = frozenset()
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.kill_at is None
+            and self.hang_at is None
+            and not self.slow
+            and not self.drop_at
+            and not self.garble_at
+        )
+
+
+#: Process-scoped faults: consumed by the serving tier, never by a
+#: device-bound :class:`~repro.faults.injector.FaultInjector`.
+_PROCESS_TYPES = (WorkerKill, WorkerHang, SlowWorker, ReplyDrop, ReplyGarble)
+
+_FAULT_TYPES = (
+    StuckBit, TagFlip, ChainKill, TransferFault, DeviceKill,
+) + _PROCESS_TYPES
 
 
 @dataclass(frozen=True)
@@ -248,14 +401,16 @@ class FaultPlan:
     def for_device(self, device_id: int) -> "FaultPlan":
         """Project the plan onto one device (``device=None`` = every).
 
-        Worker-scoped faults (:class:`WorkerKill`) are dropped: they
-        target a serving *process*, not a device, and are consumed by
-        the serving tier before any injector is built.
+        Process-scoped faults (:class:`WorkerKill` and the transport
+        taxonomy: :class:`WorkerHang`, :class:`SlowWorker`,
+        :class:`ReplyDrop`, :class:`ReplyGarble`) are dropped: they
+        target a serving *process* or its pipe, not a device, and are
+        consumed by the serving tier before any injector is built.
         """
         return FaultPlan(
             faults=tuple(
                 f for f in self.faults
-                if not isinstance(f, WorkerKill)
+                if not isinstance(f, _PROCESS_TYPES)
                 and (f.device is None or f.device == device_id)
             ),
             seed=self.seed,
@@ -273,6 +428,89 @@ class FaultPlan:
             if f.worker is None or f.worker == worker_id
         ]
         return min(kills) if kills else None
+
+    def transport_for_worker(self, worker_id: int) -> TransportSchedule:
+        """Fold the process-scoped faults onto one worker's schedule.
+
+        ``worker=None`` faults match every worker. Several faults of
+        one kind fold deterministically: the earliest kill/hang wins,
+        slow delays merge with the *longest* delay per job, and
+        drop/garble sets union. The result is a small picklable
+        :class:`TransportSchedule` the worker process consumes.
+        """
+        def mine(fault) -> bool:
+            return fault.worker is None or fault.worker == worker_id
+
+        slow: Dict[int, float] = {}
+        for f in self.of_type(SlowWorker):
+            if mine(f):
+                for j in f.at_jobs:
+                    slow[j] = max(slow.get(j, 0.0), float(f.delay_s))
+        hangs = [f.at_job for f in self.of_type(WorkerHang) if mine(f)]
+        return TransportSchedule(
+            kill_at=self.kill_job_for_worker(worker_id),
+            hang_at=min(hangs) if hangs else None,
+            slow=slow,
+            drop_at=frozenset(
+                f.at_job for f in self.of_type(ReplyDrop) if mine(f)
+            ),
+            garble_at=frozenset(
+                f.at_job for f in self.of_type(ReplyGarble) if mine(f)
+            ),
+        )
+
+    @classmethod
+    def transport_storm(
+        cls,
+        seed: int,
+        workers: int = 2,
+        hangs: int = 1,
+        slows: int = 2,
+        drops: int = 1,
+        garbles: int = 1,
+        kills: int = 0,
+        max_job: int = 12,
+        slow_delay_s: Tuple[float, float] = (0.05, 0.3),
+    ) -> "FaultPlan":
+        """A seeded transport-fault storm over ``workers`` workers.
+
+        The wire-level sibling of :meth:`chaos`: deterministically
+        scatters hangs, stragglers, dropped and garbled replies (and
+        optionally process kills) across the worker pool, keyed on
+        each worker's lifetime job count. Same seed, same storm — the
+        reproducer is the integer. Combine with :meth:`chaos` by
+        concatenating the two plans' faults when a scenario needs both
+        substrate and transport failures.
+        """
+        if workers < 1:
+            raise FaultInjectionError("a transport storm needs at least one worker")
+        rng = np.random.default_rng(seed)
+
+        def victim() -> int:
+            return int(rng.integers(0, workers))
+
+        def job() -> int:
+            return int(rng.integers(1, max_job + 1))
+
+        faults = []
+        for _ in range(hangs):
+            faults.append(WorkerHang(at_job=job(), worker=victim()))
+        lo, hi = slow_delay_s
+        for _ in range(slows):
+            faults.append(
+                SlowWorker(
+                    delay_s=float(rng.uniform(lo, hi)),
+                    at_jobs=tuple(sorted({job() for _ in range(2)})),
+                    worker=victim(),
+                )
+            )
+        for _ in range(drops):
+            faults.append(ReplyDrop(at_job=job(), worker=victim()))
+        for _ in range(garbles):
+            faults.append(ReplyGarble(at_job=job(), worker=victim()))
+        for _ in range(kills):
+            faults.append(WorkerKill(at_job=job(), worker=victim()))
+        return cls(faults=tuple(faults), seed=seed)
 
     def as_dict(self) -> dict:
         """JSON-able export (same contract as the stats surfaces)."""

@@ -31,6 +31,11 @@ from repro.serve.gateway import (
     TenantQuota,
 )
 from repro.serve.pool import ServePool, default_mp_context
+from repro.serve.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    ResilienceConfig,
+)
 from repro.serve.spec import (
     KERNELS,
     JobSpec,
@@ -46,11 +51,14 @@ from repro.serve.worker import (
 )
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
     "Gateway",
     "GatewayReport",
     "JobSpec",
     "KERNELS",
     "KILLED_EXIT_CODE",
+    "ResilienceConfig",
     "ServeConfig",
     "ServeJob",
     "ServePool",

@@ -32,6 +32,21 @@ Shutdown is graceful by default: ``drain()`` stops admission and waits
 for in-flight and queued work; ``close()`` drains, then shuts the
 workers down and joins the reader threads. ``async with Gateway(...)``
 does start/close automatically.
+
+**Resilience** (``ServeConfig.resilience``, docs/SERVING.md): workers
+emit heartbeats so a monitor task can tell a *hung* worker (alive,
+fully silent past ``hang_timeout_s`` — terminated and failed over,
+counted separately from a crash) from a merely slow one; per-request
+wall-clock deadlines ride the wire and are enforced at admission, in
+the queue, at dispatch, and worker-side; straggling requests are
+hedged to a second worker (first reply completes the future — replies
+are content-deterministic, so the race only picks *when*, never
+*what*); and per-worker circuit breakers trip on consecutive transport
+faults, steering dispatch around a flaky worker until a half-open
+probe clears it. Dropped replies are concluded from the per-worker
+FIFO reply order plus heartbeat progress marks, garbled replies from
+an unreadable payload; both re-queue the request like a worker-death
+orphan.
 """
 
 from __future__ import annotations
@@ -47,11 +62,15 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.common.errors import (
     AdmissionError,
     ConfigError,
+    DeadlineExceededError,
     QuotaExceededError,
     WorkerDiedError,
+    WorkerTimeoutError,
+    WorkerUnresponsiveError,
 )
 from repro.engine.system import CAPE32K, CAPEConfig
 from repro.serve.pool import default_mp_context
+from repro.serve.resilience import BreakerState, CircuitBreaker, ResilienceConfig
 from repro.serve.spec import JobSpec
 from repro.serve.worker import WorkerHandle, WorkerOptions
 
@@ -62,6 +81,11 @@ __all__ = [
     "ServeResult",
     "TenantQuota",
 ]
+
+#: Period of the gateway's monitor task — the resilience clock that
+#: cancels lapsed deadlines, declares hangs, concludes timeouts, and
+#: issues hedges. Small enough to react within a heartbeat interval.
+_MONITOR_PERIOD_S = 0.02
 
 
 @dataclass(frozen=True)
@@ -105,10 +129,15 @@ class ServeConfig:
             slices go to the workers; ``WorkerKill`` entries kill whole
             worker processes).
         max_retries: re-placement attempts for a request whose worker
-            died mid-flight.
-        worker_timeout: seconds of reader-thread silence tolerated while
-            the process is alive (liveness only; requests have no
-            per-request deadline).
+            died mid-flight (or whose reply was concluded lost).
+        worker_timeout: wall seconds a single dispatch may stay
+            outstanding before its reply is concluded lost and the
+            request re-queued — the blunt fallback behind the faster
+            heartbeat/seq-order detectors.
+        resilience: the :class:`~repro.serve.resilience.
+            ResilienceConfig` policy bag — heartbeat interval, hang
+            threshold, hedging, breakers, default deadline
+            (docs/SERVING.md).
         retry_after_s: floor of the backpressure hint; the advertised
             value scales with observed service time and queue depth.
         gang: gang-execution mode (``True`` / ``False`` / ``"auto"``).
@@ -138,6 +167,7 @@ class ServeConfig:
     retry_after_s: float = 0.05
     gang: object = False
     superplan: object = False
+    resilience: ResilienceConfig = ResilienceConfig()
 
     def __post_init__(self) -> None:
         from repro.gang import resolve_gang_mode
@@ -205,7 +235,18 @@ class GatewayReport:
     rejected_quota: int = 0
     rejected_closed: int = 0
     worker_deaths: int = 0
+    worker_unresponsive: int = 0
     retries: int = 0
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    hedges_wasted: int = 0
+    breaker_trips: int = 0
+    breaker_probes: int = 0
+    deadline_met: int = 0
+    deadline_missed: int = 0
+    deadline_cancelled: int = 0
+    #: detected transport faults by kind (dropped/garbled/hang/timeout).
+    transport_faults: Dict[str, int] = field(default_factory=dict)
     per_tenant: Dict[str, int] = field(default_factory=dict)
     wall_latencies_s: List[float] = field(default_factory=list)
     plan_cache: Dict[int, dict] = field(default_factory=dict)
@@ -238,7 +279,17 @@ class GatewayReport:
             "rejected_quota": self.rejected_quota,
             "rejected_closed": self.rejected_closed,
             "worker_deaths": self.worker_deaths,
+            "worker_unresponsive": self.worker_unresponsive,
             "retries": self.retries,
+            "hedges_issued": self.hedges_issued,
+            "hedges_won": self.hedges_won,
+            "hedges_wasted": self.hedges_wasted,
+            "breaker_trips": self.breaker_trips,
+            "breaker_probes": self.breaker_probes,
+            "deadline_met": self.deadline_met,
+            "deadline_missed": self.deadline_missed,
+            "deadline_cancelled": self.deadline_cancelled,
+            "transport_faults": dict(self.transport_faults),
             "per_tenant": dict(self.per_tenant),
             "p50_latency_s": self.latency_percentile(50),
             "p99_latency_s": self.latency_percentile(99),
@@ -250,16 +301,54 @@ class _Request:
     """One admitted request's mutable in-gateway state."""
 
     __slots__ = (
-        "spec", "future", "submitted_at", "retries", "device_id", "seq"
+        "spec", "future", "submitted_at", "retries", "device_id", "seq",
+        "deadline_at", "pending_seqs", "hedged", "finished", "queued",
     )
 
-    def __init__(self, spec: JobSpec, future: asyncio.Future) -> None:
+    def __init__(
+        self,
+        spec: JobSpec,
+        future: asyncio.Future,
+        deadline_at: Optional[float] = None,
+    ) -> None:
         self.spec = spec
         self.future = future
         self.submitted_at = time.perf_counter()
         self.retries = 0
         self.device_id: Optional[int] = None
         self.seq: Optional[int] = None
+        #: absolute ``time.monotonic()`` deadline, or None (unbounded).
+        self.deadline_at = deadline_at
+        #: seqs of outstanding run dispatches (primary and hedge).
+        self.pending_seqs: set = set()
+        self.hedged = False
+        self.finished = False
+        self.queued = False
+
+
+class _Dispatch:
+    """One ``send_run`` on the wire: request × (worker, device, seq).
+
+    A request normally has exactly one of these; a hedged straggler
+    has two. Dispatches live in the per-worker FIFO wire ledger until
+    their reply arrives or their loss is concluded (seq-order gap,
+    heartbeat progress mark, worker death, or ``worker_timeout``).
+    """
+
+    __slots__ = (
+        "seq", "ordinal", "worker_id", "device_id", "request",
+        "is_hedge", "sent_at", "concluded",
+    )
+
+    def __init__(self, seq, ordinal, worker_id, device_id, request, is_hedge):
+        self.seq = seq
+        self.ordinal = ordinal
+        self.worker_id = worker_id
+        self.device_id = device_id
+        self.request = request
+        self.is_hedge = is_hedge
+        self.sent_at = time.monotonic()
+        self.concluded = False
 
 
 class Gateway:
@@ -311,7 +400,10 @@ class Gateway:
         self._stop_readers = threading.Event()
         self._seq = itertools.count()
         self._queue: deque = deque()
-        self._inflight: Dict[int, _Request] = {}
+        #: Outstanding run dispatches by seq (primary and hedge).
+        self._dispatches: Dict[int, _Dispatch] = {}
+        #: Requests dispatched and not yet finished/re-queued.
+        self._inflight_requests: set = set()
         #: In-flight gang requests: seq -> (worker_id, [requests]).
         self._gangs: Dict[int, Tuple[int, List[_Request]]] = {}
         self._free_devices: deque = deque()
@@ -325,6 +417,19 @@ class Gateway:
         self._closed = False
         self._drained = asyncio.Event()
         self._ewma_wall_s: Optional[float] = None
+        # -- resilience state ------------------------------------------
+        self.resilience = config.resilience
+        #: worker_id -> circuit breaker (None when disabled).
+        self._breakers: Dict[int, Optional[CircuitBreaker]] = {}
+        #: worker_id -> FIFO of outstanding :class:`_Dispatch`.
+        self._wire: Dict[int, deque] = {}
+        #: worker_id -> lifetime run dispatches sent (worker ordinals).
+        self._wire_sent: Dict[int, int] = {}
+        #: worker_id -> monotonic time of the last frame the reader saw.
+        self._last_seen: Dict[int, float] = {}
+        #: Workers terminated on a hang verdict, awaiting reader EOF.
+        self._unresponsive: set = set()
+        self._monitor_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -352,12 +457,14 @@ class Gateway:
             warmup=cfg.warmup,
             fault_plan=cfg.fault_plan,
             superplan=cfg.superplan,
+            heartbeat_interval_s=cfg.resilience.heartbeat_interval_s,
         )
         ctx = default_mp_context()
         for device_id, config in enumerate(cfg.configs):
             self._worker_of[device_id] = device_id % num_workers
             self._device_config[device_id] = config
             self._free_devices.append(device_id)
+        now = time.monotonic()
         for worker_id in range(num_workers):
             owned = [
                 (device_id, config)
@@ -366,6 +473,10 @@ class Gateway:
             ]
             handle = WorkerHandle(worker_id, owned, options, mp_context=ctx)
             self._handles[worker_id] = handle.start()
+            self._breakers[worker_id] = cfg.resilience.make_breaker()
+            self._wire[worker_id] = deque()
+            self._wire_sent[worker_id] = 0
+            self._last_seen[worker_id] = now
             reader = threading.Thread(
                 target=self._reader_main,
                 args=(worker_id, handle),
@@ -374,6 +485,7 @@ class Gateway:
             )
             reader.start()
             self._readers.append(reader)
+        self._monitor_task = self._loop.create_task(self._monitor_main())
         if self.observer.enabled:
             self.observer.gauge("serve.gateway.workers").set(num_workers)
 
@@ -390,6 +502,9 @@ class Gateway:
                         self._on_worker_death, worker_id
                     )
                 return
+            # The hang detector's silence clock: a plain float store is
+            # atomic under the GIL, so no lock is needed here.
+            self._last_seen[worker_id] = time.monotonic()
             self._loop.call_soon_threadsafe(self._on_message, worker_id, msg)
 
     async def drain(self) -> None:
@@ -406,6 +521,13 @@ class Gateway:
             return
         await self.drain()
         self._closed = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+            self._monitor_task = None
         self._stop_readers.set()
         for handle in self._handles.values():
             await asyncio.to_thread(handle.shutdown)
@@ -423,7 +545,7 @@ class Gateway:
         """Requests queued + in flight."""
         return (
             len(self._queue)
-            + len(self._inflight)
+            + len(self._inflight_requests)
             + sum(len(group) for _wid, group in self._gangs.values())
         )
 
@@ -513,7 +635,14 @@ class Gateway:
             self.observer.counter(
                 "serve.gateway.submitted", tenant=spec.tenant
             ).inc()
-        request = _Request(spec, self._loop.create_future())
+        deadline_s = getattr(spec, "deadline_s", None)
+        if deadline_s is None:
+            deadline_s = self.resilience.default_deadline_s
+        deadline_at = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        request = _Request(spec, self._loop.create_future(), deadline_at)
+        request.queued = True
         self._queue.append(request)
         self._pump()
         return request.future
@@ -543,14 +672,30 @@ class Gateway:
     # ------------------------------------------------------------------
 
     def _pump(self) -> None:
-        """Dispatch queued requests onto free devices."""
+        """Dispatch queued requests onto free devices.
+
+        Breaker-gated: a device whose owning worker's circuit is OPEN
+        is skipped this round (bounded scan, skipped devices return to
+        the free list), so traffic routes around a flaky worker until
+        its cooldown lapses and a half-open probe clears it. The
+        monitor task re-pumps periodically, so skipped work is retried
+        without any caller action.
+        """
         assignments = []
-        while self._queue and self._free_devices:
+        skipped = []
+        now = time.monotonic()
+        scan = len(self._free_devices)
+        while self._queue and self._free_devices and scan > 0:
+            scan -= 1
             device_id = self._free_devices.popleft()
             if device_id in self._dead_devices:
                 continue
+            if not self._breaker_allows(self._worker_of[device_id], now):
+                skipped.append(device_id)
+                continue
             request = self._queue.popleft()
             assignments.append((request, device_id))
+        self._free_devices.extend(skipped)
         if self.config.gang is not False and assignments:
             self._dispatch_ganged(assignments)
         else:
@@ -563,10 +708,59 @@ class Gateway:
         if (
             self._closing
             and not self._queue
-            and not self._inflight
+            and not self._inflight_requests
             and not self._gangs
         ):
             self._drained.set()
+
+    def _breaker_allows(self, worker_id: int, now: float) -> bool:
+        """May work be routed to this worker? Counts half-open probes."""
+        breaker = self._breakers.get(worker_id)
+        if breaker is None:
+            return True
+        was_closed = breaker.state is BreakerState.CLOSED
+        allowed = breaker.allow(now)
+        if allowed and not was_closed:
+            # The cooldown lapsed: this admission is the probe.
+            self.report_data.breaker_probes += 1
+            if self.observer.enabled:
+                self.observer.counter(
+                    "serve.breaker.probes", worker=worker_id
+                ).inc()
+        return allowed
+
+    def _transport_failure(self, worker_id: int, kind: str) -> None:
+        """Account one detected transport fault against a worker."""
+        faults = self.report_data.transport_faults
+        faults[kind] = faults.get(kind, 0) + 1
+        if self.observer.enabled:
+            self.observer.counter(
+                "faults.transport.detected", kind=kind
+            ).inc()
+        breaker = self._breakers.get(worker_id)
+        if breaker is not None and breaker.record_failure(time.monotonic()):
+            self.report_data.breaker_trips += 1
+            if self.observer.enabled:
+                self.observer.counter(
+                    "serve.breaker.trips", worker=worker_id
+                ).inc()
+
+    def _transport_success(self, worker_id: int) -> None:
+        breaker = self._breakers.get(worker_id)
+        if breaker is not None:
+            breaker.record_success()
+
+    def _silence_budget_s(self) -> float:
+        """Total pipe silence tolerated from a worker that owes work.
+
+        With heartbeats on, a healthy worker is never silent for more
+        than an interval or two, so the hang threshold applies; with
+        them off, silence is normal during execution and only the
+        blunt ``worker_timeout`` bounds it.
+        """
+        if self.resilience.heartbeat_interval_s > 0:
+            return self.resilience.hang_timeout_s
+        return self.config.worker_timeout
 
     def _dispatch_ganged(self, assignments) -> None:
         """Ship one dispatch round as per-worker gang requests."""
@@ -583,6 +777,7 @@ class Gateway:
             for request, device_id in group:
                 request.device_id = device_id
                 request.seq = seq
+                request.queued = False
                 requests.append(request)
                 payload.append((device_id, request.spec))
             self._gangs[seq] = (worker_id, requests)
@@ -591,26 +786,80 @@ class Gateway:
             except WorkerDiedError:
                 self._on_worker_death(worker_id)
 
+    def _register_dispatch(
+        self,
+        request: _Request,
+        worker_id: int,
+        device_id: int,
+        seq: int,
+        is_hedge: bool,
+    ) -> _Dispatch:
+        """Enter one ``send_run`` into the wire ledger before sending."""
+        ordinal = self._wire_sent[worker_id] + 1
+        self._wire_sent[worker_id] = ordinal
+        dispatch = _Dispatch(
+            seq, ordinal, worker_id, device_id, request, is_hedge
+        )
+        self._dispatches[seq] = dispatch
+        self._wire[worker_id].append(dispatch)
+        request.pending_seqs.add(seq)
+        return dispatch
+
     def _dispatch(self, request: _Request, device_id: int) -> None:
+        now = time.monotonic()
+        if request.deadline_at is not None and now >= request.deadline_at:
+            # The budget lapsed while queued: cancel instead of burning
+            # a device on work whose caller already gave up.
+            if device_id not in self._dead_devices:
+                self._free_devices.append(device_id)
+            self._cancel_deadline(request)
+            return
         worker_id = self._worker_of[device_id]
         handle = self._handles.get(worker_id)
         seq = next(self._seq)
         request.device_id = device_id
         request.seq = seq
-        self._inflight[seq] = request
+        request.queued = False
+        self._inflight_requests.add(request)
+        self._register_dispatch(request, worker_id, device_id, seq, False)
+        remaining = (
+            None
+            if request.deadline_at is None
+            else request.deadline_at - now
+        )
         try:
-            handle.send_run(seq, device_id, request.spec)
+            handle.send_run(seq, device_id, request.spec, deadline_s=remaining)
         except WorkerDiedError:
             # The reader thread will (or already did) report the death;
             # reporting here too is idempotent and keeps the request on
             # the fast path to re-placement.
             self._on_worker_death(worker_id)
 
+    def _cancel_deadline(self, request: _Request) -> None:
+        """Fail a request whose wall-clock budget lapsed undispatched."""
+        request.finished = True
+        request.queued = False
+        self._inflight_requests.discard(request)
+        self._release_tenant(request)
+        self.report_data.deadline_cancelled += 1
+        self.report_data.failed += 1
+        if self.observer.enabled:
+            self.observer.counter("serve.deadline.cancelled").inc()
+        if not request.future.done():
+            request.future.set_exception(
+                DeadlineExceededError(
+                    f"request {request.spec.name!r} exceeded its "
+                    f"wall-clock deadline before dispatch"
+                )
+            )
+
     def _on_message(self, worker_id: int, msg) -> None:
         kind = msg[0]
         if kind == "result":
             _, seq, reply = msg
-            self._on_result(seq, reply)
+            self._on_result(worker_id, seq, reply)
+        elif kind == "heartbeat":
+            self._on_heartbeat(worker_id, msg[2] or {})
         elif kind == "gang":
             _, seq, replies = msg
             self._on_gang(seq, replies)
@@ -620,12 +869,149 @@ class Gateway:
                 "plan_cache", {}
             )
 
-    def _on_result(self, seq: int, reply: dict) -> None:
-        request = self._inflight.pop(seq, None)
-        if request is None:  # raced with a worker-death re-queue
+    def _on_heartbeat(self, worker_id: int, info: dict) -> None:
+        """Fold a liveness frame: fault gauges + the drop detector.
+
+        ``jobs_completed`` is updated worker-side only *after* a reply
+        is sent (or deliberately dropped), and the pipe is FIFO — so a
+        heartbeat carrying mark ``n`` proves every reply up to worker
+        ordinal ``n`` was already delivered or will never come.
+        Anything still on the wire ledger at or below the mark was
+        dropped.
+        """
+        injected = info.get("transport_injected")
+        if injected and self.observer.enabled:
+            for fault_kind, count in sorted(injected.items()):
+                self.observer.gauge(
+                    "faults.transport.injected",
+                    worker=worker_id,
+                    kind=fault_kind,
+                ).set(count)
+        completed = info.get("jobs_completed")
+        if completed is not None:
+            wire = self._wire.get(worker_id)
+            concluded = False
+            while wire and wire[0].ordinal <= completed:
+                self._conclude_dispatch_lost(wire.popleft(), "dropped")
+                concluded = True
+            if concluded:
+                self._pump()
+
+    def _on_result(self, worker_id: int, seq: int, payload) -> None:
+        wire = self._wire.get(worker_id)
+        if wire is None:
             return
-        self._finish(request, reply)
+        # Replies are strictly ordered per worker: a reply sequenced
+        # past an outstanding dispatch proves that reply was dropped.
+        while wire and wire[0].seq < seq:
+            self._conclude_dispatch_lost(wire.popleft(), "dropped")
+        if not wire or wire[0].seq != seq:
+            return  # stale frame from a worker already failed over
+        dispatch = wire.popleft()
+        self._dispatches.pop(seq, None)
+        request = dispatch.request
+        request.pending_seqs.discard(seq)
+        if not isinstance(payload, dict):
+            # A garbled frame: the seq routed it, the payload is junk.
+            self._conclude_dispatch_lost(dispatch, "garbled")
+            self._pump()
+            return
+        self._transport_success(worker_id)
+        self._settle_device(dispatch.device_id, payload)
+        if dispatch.concluded:
+            # A reply that was merely late: this dispatch was already
+            # concluded lost. If its retry is still queued, answer it
+            # now; if it re-dispatched, let the new flight answer.
+            if not request.finished and request.queued:
+                try:
+                    self._queue.remove(request)
+                except ValueError:
+                    pass
+                else:
+                    request.queued = False
+                    self._finish(request, payload, dispatch.device_id)
+            self._pump()
+            return
+        if request.finished:
+            # The hedge race was already decided by a sibling dispatch;
+            # this reply's work was redundant (its device is free again).
+            self._pump()
+            return
+        if request.hedged:
+            if dispatch.is_hedge:
+                self.report_data.hedges_won += 1
+                if self.observer.enabled:
+                    self.observer.counter("serve.hedge.won").inc()
+            else:
+                self.report_data.hedges_wasted += 1
+                if self.observer.enabled:
+                    self.observer.counter("serve.hedge.wasted").inc()
+        self._finish(request, payload, dispatch.device_id)
         self._pump()
+
+    def _settle_device(self, device_id: int, reply: dict) -> None:
+        """Return a dispatch's device to rotation (or retire it)."""
+        if reply.get("device_dead"):
+            self._dead_devices.add(device_id)
+            self._free_devices = deque(
+                d for d in self._free_devices if d not in self._dead_devices
+            )
+        elif device_id not in self._dead_devices:
+            self._free_devices.append(device_id)
+
+    def _conclude_dispatch_lost(self, dispatch: _Dispatch, kind: str) -> None:
+        """This dispatch's reply will never usefully arrive.
+
+        Frees the device it occupied (unless the whole worker is gone —
+        death failover retires those), accounts the transport fault,
+        and — when no sibling dispatch can still answer — re-queues or
+        fails the request.
+        """
+        if dispatch.concluded:
+            return
+        dispatch.concluded = True
+        self._dispatches.pop(dispatch.seq, None)
+        request = dispatch.request
+        request.pending_seqs.discard(dispatch.seq)
+        worker_gone = kind in ("died", "unresponsive")
+        if not worker_gone:
+            self._transport_failure(dispatch.worker_id, kind)
+            if dispatch.device_id not in self._dead_devices:
+                self._free_devices.append(dispatch.device_id)
+        if request.finished or request.queued or request.pending_seqs:
+            return
+        self._requeue_or_fail(request, kind)
+
+    def _requeue_or_fail(self, request: _Request, kind: str) -> None:
+        """A request's last live dispatch is gone: retry or give up."""
+        self._inflight_requests.discard(request)
+        request.hedged = False
+        request.retries += 1
+        if request.retries <= self.config.max_retries and self.live_devices:
+            self.report_data.retries += 1
+            request.queued = True
+            self._queue.appendleft(request)
+            return
+        request.finished = True
+        self._release_tenant(request)
+        self.report_data.failed += 1
+        if not request.future.done():
+            if kind == "died":
+                exc: Exception = WorkerDiedError(
+                    f"worker died and no retry capacity remains for "
+                    f"{request.spec.name!r}"
+                )
+            elif kind == "unresponsive":
+                exc = WorkerUnresponsiveError(
+                    f"worker went unresponsive and no retry capacity "
+                    f"remains for {request.spec.name!r}"
+                )
+            else:
+                exc = WorkerTimeoutError(
+                    f"reply for {request.spec.name!r} concluded lost "
+                    f"({kind}) and no retry capacity remains"
+                )
+            request.future.set_exception(exc)
 
     def _on_gang(self, seq: int, replies) -> None:
         entry = self._gangs.pop(seq, None)
@@ -645,16 +1031,20 @@ class Gateway:
                 obs.counter("gang.miss", reason=reason).inc()
                 if reply.get("ejected"):
                     obs.counter("gang.ejected").inc()
-            self._finish(request, reply)
+            self._settle_device(request.device_id, reply)
+            self._finish(request, reply, request.device_id)
         self._pump()
 
-    def _finish(self, request: _Request, reply: dict) -> None:
-        """Fold one worker reply into its request's future + ledgers."""
-        device_id = request.device_id
-        if reply["device_dead"]:
-            self._dead_devices.add(device_id)
-        elif device_id not in self._dead_devices:
-            self._free_devices.append(device_id)
+    def _finish(self, request: _Request, reply: dict, device_id: int) -> None:
+        """Fold the winning reply into its request's future + ledgers.
+
+        Device bookkeeping happens per *dispatch* (the caller settles
+        the replying dispatch's device); this folds the request-level
+        state: tenant release, deadline accounting, the result future.
+        """
+        request.finished = True
+        request.queued = False
+        self._inflight_requests.discard(request)
         self.report_data.plan_cache[reply["worker_id"]] = reply["plan_cache"]
         wall_s = time.perf_counter() - request.submitted_at
         self._ewma_wall_s = (
@@ -682,6 +1072,19 @@ class Gateway:
             self.report_data.completed += 1
         else:
             self.report_data.failed += 1
+        if reply.get("deadline_cancelled"):
+            self.report_data.deadline_cancelled += 1
+            if self.observer.enabled:
+                self.observer.counter("serve.deadline.cancelled").inc()
+        elif request.deadline_at is not None:
+            if time.monotonic() <= request.deadline_at:
+                self.report_data.deadline_met += 1
+                if self.observer.enabled:
+                    self.observer.counter("serve.deadline.met").inc()
+            else:
+                self.report_data.deadline_missed += 1
+                if self.observer.enabled:
+                    self.observer.counter("serve.deadline.missed").inc()
         self.report_data.wall_latencies_s.append(wall_s)
         if self.observer.enabled:
             self.observer.counter(
@@ -702,51 +1105,43 @@ class Gateway:
             0, self._tenant_lanes.get(tenant, 0) - request.spec.footprint.lanes
         )
 
-    def _on_worker_death(self, worker_id: int) -> None:
-        """Fail over a crashed worker: retire devices, re-queue flights."""
+    def _on_worker_death(
+        self, worker_id: int, unresponsive: bool = False
+    ) -> None:
+        """Fail over a gone worker: retire devices, conclude its wire.
+
+        ``unresponsive=True`` is the hang verdict's entry point (the
+        monitor terminated a live-but-silent worker): same failover,
+        separate accounting.
+        """
         handle = self._handles.pop(worker_id, None)
         if handle is None:
             return
-        self.report_data.worker_deaths += 1
+        kind = "unresponsive" if unresponsive else "died"
+        if not unresponsive:
+            self.report_data.worker_deaths += 1
+            if self.observer.enabled:
+                self.observer.counter("serve.gateway.worker_deaths").inc()
         self._dead_devices.update(handle.device_ids)
         self._free_devices = deque(
             d for d in self._free_devices if d not in self._dead_devices
         )
-        if self.observer.enabled:
-            self.observer.counter("serve.gateway.worker_deaths").inc()
-        orphans = [
-            (seq, request)
-            for seq, request in self._inflight.items()
-            if request.device_id in handle.device_ids
-        ]
-        for seq, request in orphans:
-            del self._inflight[seq]
+        wire = self._wire.get(worker_id)
+        if wire:
+            for dispatch in list(wire):
+                self._conclude_dispatch_lost(dispatch, kind)
+            wire.clear()
         for seq, (gang_worker, requests) in list(self._gangs.items()):
             if gang_worker == worker_id:
                 del self._gangs[seq]
-                orphans.extend((seq, request) for request in requests)
-        for _seq, request in orphans:
-            request.retries += 1
-            if (
-                request.retries <= self.config.max_retries
-                and self.live_devices
-            ):
-                self.report_data.retries += 1
-                self._queue.appendleft(request)
-            else:
-                self._release_tenant(request)
-                self.report_data.failed += 1
-                if not request.future.done():
-                    request.future.set_exception(
-                        WorkerDiedError(
-                            f"worker {worker_id} died and no retry "
-                            f"capacity remains for {request.spec.name!r}"
-                        )
-                    )
+                for request in requests:
+                    self._requeue_or_fail(request, kind)
         if not self.live_devices:
             # Total capacity loss: everything still queued fails fast.
             while self._queue:
                 request = self._queue.popleft()
+                request.finished = True
+                request.queued = False
                 self._release_tenant(request)
                 self.report_data.failed += 1
                 if not request.future.done():
@@ -756,6 +1151,127 @@ class Gateway:
                         )
                     )
         self._pump()
+
+    # ------------------------------------------------------------------
+    # The monitor task (hangs, deadlines, hedges, timeouts)
+    # ------------------------------------------------------------------
+
+    async def _monitor_main(self) -> None:
+        """The resilience clock, ~every 20 ms on the event loop."""
+        try:
+            while True:
+                await asyncio.sleep(_MONITOR_PERIOD_S)
+                self._tick(time.monotonic())
+        except asyncio.CancelledError:
+            raise
+
+    def _tick(self, now: float) -> None:
+        """One monitor pass: escalate everything the wall clock owes."""
+        if not self._started or self._closed:
+            return
+        # Queued requests whose deadline lapsed are cancelled, not run.
+        if self._queue:
+            expired = [
+                r
+                for r in self._queue
+                if r.deadline_at is not None and now >= r.deadline_at
+            ]
+            if expired:
+                gone = set(id(r) for r in expired)
+                self._queue = deque(
+                    r for r in self._queue if id(r) not in gone
+                )
+                for request in expired:
+                    self._cancel_deadline(request)
+        # Hang detection: a worker that owes work and has been totally
+        # silent (no reply, no heartbeat) past the budget is wedged.
+        budget = self._silence_budget_s()
+        for worker_id in sorted(self._handles):
+            owes = any(
+                not d.concluded for d in self._wire.get(worker_id, ())
+            ) or any(
+                gang_worker == worker_id
+                for gang_worker, _reqs in self._gangs.values()
+            )
+            if not owes:
+                continue
+            if now - self._last_seen.get(worker_id, now) <= budget:
+                continue
+            self._declare_unresponsive(worker_id)
+        # Per-dispatch escalations: timeout conclusions and hedging.
+        threshold = self.resilience.hedge_threshold(self._ewma_wall_s)
+        for dispatch in list(self._dispatches.values()):
+            if dispatch.concluded:
+                continue
+            age = now - dispatch.sent_at
+            if age > self.config.worker_timeout:
+                self._conclude_dispatch_lost(dispatch, "timeout")
+                continue
+            request = dispatch.request
+            if (
+                threshold is not None
+                and not dispatch.is_hedge
+                and not request.hedged
+                and not request.finished
+                and age > threshold
+            ):
+                self._maybe_hedge(request, dispatch, now)
+        self._pump()
+
+    def _declare_unresponsive(self, worker_id: int) -> None:
+        """Hang verdict: terminate the wedged process, fail over."""
+        handle = self._handles.get(worker_id)
+        if handle is None or worker_id in self._unresponsive:
+            return
+        if not handle.alive:
+            self._on_worker_death(worker_id)
+            return
+        self._unresponsive.add(worker_id)
+        self.report_data.worker_unresponsive += 1
+        if self.observer.enabled:
+            self.observer.counter("serve.worker.unresponsive").inc()
+        self._transport_failure(worker_id, "hang")
+        handle.terminate(timeout=0.0)
+        self._on_worker_death(worker_id, unresponsive=True)
+
+    def _maybe_hedge(
+        self, request: _Request, primary: _Dispatch, now: float
+    ) -> None:
+        """Re-dispatch a straggler to a free device on another worker.
+
+        The hedge occupies a free device like any dispatch; whichever
+        reply lands first completes the future (replies are
+        content-deterministic, so the race only decides *when*, never
+        *what*), and the loser's reply just returns its device.
+        """
+        for device_id in list(self._free_devices):
+            if device_id in self._dead_devices:
+                continue
+            worker_id = self._worker_of[device_id]
+            if worker_id == primary.worker_id:
+                continue
+            if not self._breaker_allows(worker_id, now):
+                continue
+            self._free_devices.remove(device_id)
+            request.hedged = True
+            seq = next(self._seq)
+            self._register_dispatch(request, worker_id, device_id, seq, True)
+            self.report_data.hedges_issued += 1
+            if self.observer.enabled:
+                self.observer.counter("serve.hedge.issued").inc()
+            remaining = (
+                None
+                if request.deadline_at is None
+                else request.deadline_at - now
+            )
+            handle = self._handles.get(worker_id)
+            try:
+                handle.send_run(
+                    seq, device_id, request.spec, deadline_s=remaining
+                )
+            except WorkerDiedError:
+                self._on_worker_death(worker_id)
+            return
 
     # ------------------------------------------------------------------
     # Reporting

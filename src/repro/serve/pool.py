@@ -33,20 +33,96 @@ to a fault-free run as long as capacity survives.
 from __future__ import annotations
 
 import itertools
+import time
+from collections import deque
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.common.errors import ConfigError, WorkerDiedError
+from repro.common.errors import (
+    ConfigError,
+    WorkerDiedError,
+    WorkerTimeoutError,
+)
 from repro.engine.system import CAPEConfig
 from repro.gang import resolve_gang_mode
 from repro.runtime.execconfig import ExecConfig, resolve_exec
 from repro.runtime.job import JobResult
 from repro.runtime.pool import DEFAULT_POOL, Device, DevicePool
 from repro.runtime._telemetry import TelemetryReport
+from repro.serve.resilience import BreakerState, CircuitBreaker, ResilienceConfig
 from repro.serve.spec import JobSpec, ServeJob
 from repro.serve.worker import WorkerHandle, WorkerOptions
 
 __all__ = ["ServePool", "default_mp_context"]
+
+#: How long one poll of a worker pipe blocks while collecting replies.
+#: Small enough that other workers' replies and the silence clocks are
+#: serviced promptly; the loop is I/O-bound either way.
+_POLL_SLICE_S = 0.02
+
+
+class _Expectation:
+    """One dispatched ``run`` request awaiting its ordered reply.
+
+    Lives in the pool's per-worker wire ledger (strict FIFO, mirroring
+    the worker's reply order) until its reply is received — or, once
+    *concluded* lost (drop/timeout/death), until a later reply or the
+    ledger's end sweeps it out. Concluded expectations are kept in the
+    ledger so a reply that turns out to be merely late still matches
+    its frame instead of desynchronising the stream.
+    """
+
+    __slots__ = (
+        "seq", "ordinal", "worker_id", "entry", "is_hedge",
+        "concluded", "sent_at",
+    )
+
+    def __init__(self, seq, ordinal, worker_id, entry, is_hedge, sent_at):
+        self.seq = seq
+        self.ordinal = ordinal
+        self.worker_id = worker_id
+        self.entry = entry
+        self.is_hedge = is_hedge
+        self.concluded = False
+        self.sent_at = sent_at
+
+
+class _Pending:
+    """One in-flight batch entry, from ``send_run`` to resolution.
+
+    Tracks the primary dispatch and (optionally) one hedge: which
+    replies arrived, which were concluded lost, and how the entry
+    finally resolved. Winner selection is canonical — the primary's
+    reply wins the bookkeeping whenever it arrives; a hedge reply is
+    applied only once the primary is *concluded lost* (death, hang,
+    drop, garble), so the ledger never depends on the wall-clock race
+    between two live replies.
+    """
+
+    __slots__ = (
+        "device", "job", "spec", "primary", "hedge", "lost",
+        "hedge_reply", "hedge_lost", "hedge_accounted", "resolved",
+    )
+
+    def __init__(self, device, job, spec, primary: _Expectation):
+        self.device = device
+        self.job = job
+        self.spec = spec
+        self.primary = primary
+        self.hedge: Optional[_Expectation] = None
+        self.lost = None  # reason once the primary is concluded lost
+        self.hedge_reply = None
+        self.hedge_lost = False
+        self.hedge_accounted = False
+        self.resolved = False
+
+    def hedge_open(self) -> bool:
+        """A hedge reply may still arrive."""
+        return (
+            self.hedge is not None
+            and self.hedge_reply is None
+            and not self.hedge_lost
+        )
 
 
 def default_mp_context():
@@ -67,9 +143,21 @@ class ServePool(DevicePool):
             ``i % workers`` (clamped to the device count).
         plan_cache_warmup: specs each worker executes once at boot on a
             throwaway system to warm its per-process plan cache.
-        worker_timeout: wall seconds to wait for one reply before
-            declaring the worker dead (a hung process must not wedge
-            the deterministic loop forever).
+        worker_timeout: wall seconds an individual dispatch may stay
+            outstanding before its reply is *concluded lost* and the
+            job falls to the healing ladder. A slow reply is no longer
+            a worker death: the worker stays up, and only hang
+            detection (total silence past ``resilience.hang_timeout_s``
+            with heartbeats enabled) or pipe EOF retires it.
+        resilience: a :class:`~repro.serve.resilience.ResilienceConfig`
+            — worker heartbeats + hang detection, hedged re-dispatch of
+            stragglers with canonical (primary-wins) winner selection,
+            and per-worker circuit breakers. Breakers never steer
+            *primary* placement in this tier (placement must stay
+            bit-identical to sequential execution, and breaker state is
+            wall-clock); they gate hedge targets and feed
+            ``serve.breaker.*`` metrics. Defaults to
+            ``ResilienceConfig()`` (heartbeats on, hedging off).
         mp_context: a ``multiprocessing`` context; defaults to
             :func:`default_mp_context`.
         gang: gang-execution mode (``True`` / ``False`` / ``"auto"``).
@@ -112,6 +200,7 @@ class ServePool(DevicePool):
         gang=False,
         superplan=False,
         plan_affinity=False,
+        resilience: Optional[ResilienceConfig] = None,
         exec: Optional[ExecConfig] = None,
         **pool_kwargs,
     ) -> None:
@@ -163,6 +252,11 @@ class ServePool(DevicePool):
         self.num_workers = min(workers, len(self.devices))
         self.plan_cache_warmup = tuple(plan_cache_warmup)
         self.worker_timeout = worker_timeout
+        #: Resilience policy: heartbeats/hang detection, hedged
+        #: re-dispatch, per-worker circuit breakers (docs/SERVING.md).
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
         self._mp_context = mp_context
         #: device_id -> owning worker id (round-robin).
         self.worker_of: Dict[int, int] = {
@@ -176,6 +270,24 @@ class ServePool(DevicePool):
         self._seq = itertools.count()
         #: worker_id -> last seen plan-cache snapshot / stats reply.
         self.worker_stats: Dict[int, dict] = {}
+        #: worker_id -> circuit breaker (None when breakers disabled).
+        self._breakers: Dict[int, Optional[CircuitBreaker]] = {}
+        #: worker_id -> lifetime run-requests sent (mirrors the
+        #: worker's ``jobs_executed`` counter; drop detection keys
+        #: heartbeat progress against these ordinals).
+        self._wire_sent: Dict[int, int] = {}
+        #: worker_id -> FIFO of :class:`_Expectation` (the wire ledger;
+        #: persists across batches so late replies still match frames).
+        self._wire_expect: Dict[int, deque] = {}
+        #: worker_id -> monotonic timestamp of the last frame seen
+        #: (reply or heartbeat); the silence clock for hang detection.
+        self._last_seen: Dict[int, float] = {}
+        #: EWMA of observed reply wall times (the hedge threshold's
+        #: baseline when ``hedge_after_s`` is not set explicitly).
+        self._ewma_reply_s: Optional[float] = None
+        #: Workers declared unresponsive (hang detection), a subset of
+        #: ``_dead_worker_ids`` once routed around.
+        self._unresponsive_worker_ids: set = set()
 
     # ------------------------------------------------------------------
     # Submission sugar
@@ -209,7 +321,9 @@ class ServePool(DevicePool):
             warmup=self.plan_cache_warmup,
             fault_plan=self.fault_plan,
             superplan=self.superplan,
+            heartbeat_interval_s=self.resilience.heartbeat_interval_s,
         )
+        now = time.monotonic()
         for worker_id in range(self.num_workers):
             owned = [
                 (d.device_id, d.config)
@@ -219,6 +333,10 @@ class ServePool(DevicePool):
             self._handles[worker_id] = WorkerHandle(
                 worker_id, owned, options, mp_context=ctx
             ).start()
+            self._breakers[worker_id] = self.resilience.make_breaker()
+            self._wire_sent[worker_id] = 0
+            self._wire_expect[worker_id] = deque()
+            self._last_seen[worker_id] = now
 
     def _stop_workers(self) -> None:
         for worker_id, handle in self._handles.items():
@@ -226,10 +344,19 @@ class ServePool(DevicePool):
                 try:
                     seq = next(self._seq)
                     handle.send_stats(seq)
-                    kind, rseq, stats = handle.recv(timeout=self.worker_timeout)
-                    if kind == "stats" and rseq == seq:
-                        self.worker_stats[worker_id] = stats
-                except WorkerDiedError:
+                    deadline = time.monotonic() + self.worker_timeout
+                    while True:
+                        budget = max(0.05, deadline - time.monotonic())
+                        msg = handle.recv(timeout=budget)
+                        if msg[0] != "stats":
+                            # Heartbeats or straggler replies to already
+                            # concluded dispatches: consume and move on.
+                            continue
+                        _kind, rseq, stats = msg
+                        if rseq == seq:
+                            self.worker_stats[worker_id] = stats
+                        break
+                except (WorkerDiedError, WorkerTimeoutError):
                     pass
             handle.shutdown()
         self._handles.clear()
@@ -240,6 +367,7 @@ class ServePool(DevicePool):
             return
         self._dead_worker_ids.add(handle.worker_id)
         self._dead_device_ids.update(handle.device_ids)
+        self._conclude_worker_gone(handle.worker_id, "died")
         if self.observer.enabled:
             self.observer.counter("serve.worker_deaths").inc()
             self.observer.instant(
@@ -325,6 +453,375 @@ class ServePool(DevicePool):
                         "gang.miss", reason=reply["gang_reason"] or "?"
                     ).inc()
 
+    # ------------------------------------------------------------------
+    # Resilient reply collection
+    # ------------------------------------------------------------------
+
+    def _silence_budget_s(self) -> float:
+        """Total pipe silence tolerated from a live worker with work owed.
+
+        With heartbeats on, a healthy worker is never silent for more
+        than an interval or two, so the hang threshold applies; with
+        them off, silence is normal during execution and only the blunt
+        ``worker_timeout`` bounds it.
+        """
+        if self.resilience.heartbeat_interval_s > 0:
+            return self.resilience.hang_timeout_s
+        return self.worker_timeout
+
+    def _transport_failure(self, worker_id: int, kind: str) -> None:
+        """Account one detected transport fault against a worker."""
+        breaker = self._breakers.get(worker_id)
+        if breaker is not None and breaker.record_failure(time.monotonic()):
+            if self.observer.enabled:
+                self.observer.counter(
+                    "serve.breaker.trips", worker=worker_id
+                ).inc()
+        if self.observer.enabled:
+            self.observer.counter("faults.transport.detected", kind=kind).inc()
+
+    def _transport_success(self, worker_id: int) -> None:
+        breaker = self._breakers.get(worker_id)
+        if breaker is not None:
+            breaker.record_success()
+
+    def _transport_failed_result(self, kind: str, worker_id: int) -> JobResult:
+        """The failed result a lost dispatch resolves to (ladder fodder)."""
+        if kind == "died":
+            return self._crashed_result(worker_id)
+        messages = {
+            "unresponsive": (
+                f"WorkerUnresponsiveError: serving worker {worker_id} went "
+                f"silent past the hang threshold"
+            ),
+            "dropped": (
+                f"ReplyDrop: reply from serving worker {worker_id} "
+                f"concluded lost"
+            ),
+            "garbled": (
+                f"ReplyGarble: serving worker {worker_id} sent an "
+                f"unreadable reply"
+            ),
+            "timeout": (
+                f"WorkerTimeoutError: serving worker {worker_id} exceeded "
+                f"worker_timeout with the request outstanding"
+            ),
+        }
+        return JobResult(
+            output=None,
+            validated=False,
+            service_cycles=0.0,
+            energy_j=0.0,
+            error=messages.get(kind, f"{kind}: worker {worker_id}"),
+        )
+
+    def _conclude_lost(self, exp: _Expectation, kind: str) -> None:
+        """Conclude one dispatch's reply will never usefully arrive."""
+        if exp.concluded:
+            return
+        exp.concluded = True
+        self._transport_failure(exp.worker_id, kind)
+        entry = exp.entry
+        if exp.is_hedge:
+            entry.hedge_lost = True
+        elif entry.lost is None and not entry.resolved:
+            entry.lost = kind
+
+    def _conclude_worker_gone(self, worker_id: int, kind: str) -> None:
+        """Fold a dead/unresponsive worker over its whole wire ledger."""
+        for exp in self._wire_expect.get(worker_id, ()):
+            if exp.concluded:
+                continue
+            exp.concluded = True
+            entry = exp.entry
+            if exp.is_hedge:
+                entry.hedge_lost = True
+            elif entry.lost is None and not entry.resolved:
+                entry.lost = kind
+        self._wire_expect[worker_id] = deque()
+
+    def _declare_unresponsive(self, handle: WorkerHandle) -> None:
+        """Hang verdict: alive but fully silent past the budget.
+
+        Distinct from a death — counted separately — but the remedy is
+        the same routing-around: terminate the wedged process and let
+        the :meth:`_on_worker_death` failover retire its devices.
+        """
+        worker_id = handle.worker_id
+        if worker_id in self._dead_worker_ids:
+            return
+        self._unresponsive_worker_ids.add(worker_id)
+        if self.observer.enabled:
+            self.observer.counter("serve.worker.unresponsive").inc()
+        self._transport_failure(worker_id, "hang")
+        self._conclude_worker_gone(worker_id, "unresponsive")
+        handle.terminate()
+        self._on_worker_death(handle)
+
+    def _spec_deadline_s(self, spec) -> Optional[float]:
+        deadline = getattr(spec, "deadline_s", None)
+        if deadline is None:
+            return self.resilience.default_deadline_s
+        return deadline
+
+    def _note_reply_time(self, exp: _Expectation) -> None:
+        dt = max(0.0, time.monotonic() - exp.sent_at)
+        prev = self._ewma_reply_s
+        self._ewma_reply_s = dt if prev is None else 0.2 * dt + 0.8 * prev
+
+    def _count_deadline(self, reply: dict) -> None:
+        if self.observer.enabled and reply.get("deadline_cancelled"):
+            self.observer.counter("serve.deadline.cancelled").inc()
+
+    def _count_hedge_wasted(self, entry: _Pending) -> None:
+        if entry.hedge is None or entry.hedge_accounted:
+            return
+        entry.hedge_accounted = True
+        if self.observer.enabled:
+            self.observer.counter("serve.hedge.wasted").inc()
+
+    def _apply_primary(self, entry: _Pending, reply: dict) -> None:
+        self._apply_reply(
+            entry.device,
+            entry.job,
+            reply,
+            self._handles[entry.primary.worker_id],
+        )
+        self._count_deadline(reply)
+        entry.resolved = True
+
+    def _apply_hedge(self, entry: _Pending, reply: dict) -> None:
+        self._apply_reply(
+            entry.device, entry.job, reply, self._handles[entry.hedge.worker_id]
+        )
+        self._count_deadline(reply)
+        entry.resolved = True
+        entry.hedge_accounted = True
+        if self.observer.enabled:
+            self.observer.counter("serve.hedge.won").inc()
+
+    def _live_hedge_targets(self, primary_worker_id: int):
+        """Deterministic candidate order for a hedge dispatch."""
+        now = time.monotonic()
+        obs = self.observer
+        for worker_id in sorted(self._handles):
+            if (
+                worker_id == primary_worker_id
+                or worker_id in self._dead_worker_ids
+            ):
+                continue
+            breaker = self._breakers.get(worker_id)
+            if breaker is not None:
+                was_open = breaker.state is BreakerState.OPEN
+                if not breaker.allow(now):
+                    continue
+                if was_open and obs.enabled:  # cooldown lapsed: a probe
+                    obs.counter("serve.breaker.probes", worker=worker_id).inc()
+            yield worker_id
+
+    def _issue_hedge(self, entry: _Pending) -> bool:
+        """Re-dispatch a straggling entry's spec to another worker.
+
+        The hedge runs on the target worker's first device — replies
+        are content-deterministic, so *which* device computed the
+        result doesn't matter; the entry's bookkeeping stays keyed on
+        the primary placement either way (canonical winner selection).
+        """
+        for worker_id in self._live_hedge_targets(entry.primary.worker_id):
+            handle = self._handles[worker_id]
+            seq = next(self._seq)
+            try:
+                handle.send_run(
+                    seq,
+                    handle.device_ids[0],
+                    entry.spec,
+                    deadline_s=self._spec_deadline_s(entry.spec),
+                )
+            except WorkerDiedError:
+                self._on_worker_death(handle)
+                continue
+            ordinal = self._wire_sent[worker_id] + 1
+            self._wire_sent[worker_id] = ordinal
+            exp = _Expectation(
+                seq, ordinal, worker_id, entry, True, time.monotonic()
+            )
+            entry.hedge = exp
+            self._wire_expect[worker_id].append(exp)
+            if self.observer.enabled:
+                self.observer.counter("serve.hedge.issued").inc()
+            return True
+        return False
+
+    def _process_frame(self, worker_id: int, msg) -> None:
+        """Fold one pipe frame (heartbeat or reply) into the ledgers."""
+        obs = self.observer
+        self._last_seen[worker_id] = time.monotonic()
+        kind = msg[0]
+        if kind == "heartbeat":
+            info = msg[2] or {}
+            injected = info.get("transport_injected")
+            if injected and obs.enabled:
+                for fault_kind, count in sorted(injected.items()):
+                    obs.gauge(
+                        "faults.transport.injected",
+                        worker=worker_id,
+                        kind=fault_kind,
+                    ).set(count)
+            completed = info.get("jobs_completed")
+            if completed is not None:
+                # The worker already sent (or dropped) every reply up
+                # to this mark, and FIFO delivery read them before this
+                # heartbeat — anything still outstanding was dropped.
+                q = self._wire_expect[worker_id]
+                while q and q[0].ordinal <= completed:
+                    self._conclude_lost(q.popleft(), "dropped")
+            return
+        if kind != "result":
+            raise ConfigError(
+                f"worker {worker_id} protocol error: unexpected {kind!r} "
+                f"frame while collecting run replies"
+            )
+        _, rseq, payload = msg
+        q = self._wire_expect[worker_id]
+        # Replies are strictly ordered per worker: a reply sequenced
+        # past an outstanding expectation proves that reply was dropped.
+        while q and q[0].seq < rseq:
+            self._conclude_lost(q.popleft(), "dropped")
+        if not q or q[0].seq != rseq:
+            raise ConfigError(
+                f"worker {worker_id} protocol error: reply seq {rseq} "
+                f"matches no outstanding request"
+            )
+        exp = q.popleft()
+        entry = exp.entry
+        if not isinstance(payload, dict):
+            # A garbled frame: the seq routed it, the payload is junk.
+            self._conclude_lost(exp, "garbled")
+            return
+        self._transport_success(worker_id)
+        self._note_reply_time(exp)
+        if exp.is_hedge:
+            if entry.resolved:
+                self._count_hedge_wasted(entry)
+            elif entry.lost is not None:
+                self._apply_hedge(entry, payload)
+            else:
+                entry.hedge_reply = payload
+            return
+        # The primary's reply always wins the bookkeeping — even when a
+        # hedge resolved the entry first, re-applying the primary is a
+        # no-op on values (replies are content-deterministic) and keeps
+        # the ledger canonical.
+        self._apply_primary(entry, payload)
+        self._count_hedge_wasted(entry)
+
+    def _sweep_entries(self, entries) -> None:
+        """Wall-clock escalations between polls: hangs, timeouts, hedges."""
+        now = time.monotonic()
+        budget = self._silence_budget_s()
+        for worker_id in sorted(self._handles):
+            if worker_id in self._dead_worker_ids:
+                continue
+            q = self._wire_expect[worker_id]
+            if not any(not exp.concluded for exp in q):
+                continue
+            if now - self._last_seen[worker_id] <= budget:
+                continue
+            handle = self._handles[worker_id]
+            if handle.alive:
+                self._declare_unresponsive(handle)
+            else:
+                self._on_worker_death(handle)
+        threshold = self.resilience.hedge_threshold(self._ewma_reply_s)
+        for entry in entries:
+            if entry.resolved:
+                continue
+            primary = entry.primary
+            if (
+                entry.lost is None
+                and not primary.concluded
+                and now - primary.sent_at > self.worker_timeout
+            ):
+                self._conclude_lost(primary, "timeout")
+            if (
+                entry.hedge_open()
+                and now - entry.hedge.sent_at > self.worker_timeout
+            ):
+                self._conclude_lost(entry.hedge, "timeout")
+            if self.resilience.hedge and entry.hedge is None:
+                overdue = entry.lost is not None or (
+                    threshold is not None
+                    and now - primary.sent_at > threshold
+                )
+                if overdue:
+                    self._issue_hedge(entry)
+            if entry.lost is not None and not entry.resolved:
+                if entry.hedge_reply is not None:
+                    self._apply_hedge(entry, entry.hedge_reply)
+                elif not entry.hedge_open():
+                    entry.job.result = self._transport_failed_result(
+                        entry.lost, primary.worker_id
+                    )
+                    entry.resolved = True
+
+    def _collect(self, entries) -> None:
+        """Drain the wire until every batch entry resolves.
+
+        One poll slice per worker per pass (draining bursts without
+        blocking), then a sweep for the wall-clock escalations. Failed
+        resolutions feed the inherited healing ladder exactly like an
+        in-process device failure, so retries/replays stay deterministic.
+        """
+        while not all(entry.resolved for entry in entries):
+            for worker_id in sorted(self._handles):
+                if worker_id in self._dead_worker_ids:
+                    continue
+                handle = self._handles[worker_id]
+                q = self._wire_expect[worker_id]
+                try:
+                    # Idle workers get a zero-length poll purely to keep
+                    # heartbeats from backing up the pipe buffer.
+                    msg = handle.recv(timeout=_POLL_SLICE_S if q else 0)
+                    while True:
+                        self._process_frame(worker_id, msg)
+                        msg = handle.recv(timeout=0)
+                except WorkerTimeoutError:
+                    pass
+                except WorkerDiedError:
+                    self._on_worker_death(handle)
+            self._sweep_entries(entries)
+
+    def _recv_gang_frame(self, handle: WorkerHandle):
+        """Await one gang reply, skipping heartbeats; ``None`` on loss.
+
+        Gang batches are not hedged (a batch is one atomic request), so
+        the escalation ladder is simpler: silence past the hang budget
+        from a live worker is an unresponsive verdict; EOF or the
+        overall ``worker_timeout`` is a death.
+        """
+        worker_id = handle.worker_id
+        deadline = time.monotonic() + self.worker_timeout
+        while True:
+            try:
+                msg = handle.recv(timeout=_POLL_SLICE_S)
+            except WorkerTimeoutError:
+                now = time.monotonic()
+                silent = now - self._last_seen.get(worker_id, now)
+                if silent > self._silence_budget_s() or now > deadline:
+                    if handle.alive:
+                        self._declare_unresponsive(handle)
+                    else:
+                        self._on_worker_death(handle)
+                    return None
+                continue
+            except WorkerDiedError:
+                self._on_worker_death(handle)
+                return None
+            self._last_seen[worker_id] = time.monotonic()
+            if msg[0] == "heartbeat":
+                continue
+            return msg
+
     def _execute_ganged(self, batch) -> None:
         """Ship one launch batch as per-worker gang requests."""
         by_worker: Dict[int, list] = {}
@@ -358,13 +855,12 @@ class ServePool(DevicePool):
                 for _device, job in group:
                     job.result = self._crashed_result(handle.worker_id)
                 continue
-            try:
-                kind, rseq, replies = handle.recv(timeout=self.worker_timeout)
-            except WorkerDiedError:
-                self._on_worker_death(handle)
+            frame = self._recv_gang_frame(handle)
+            if frame is None:  # died or declared unresponsive
                 for _device, job in group:
                     job.result = self._crashed_result(handle.worker_id)
                 continue
+            kind, rseq, replies = frame
             if kind != "gang" or rseq != seq or len(replies) != len(group):
                 raise ConfigError(
                     f"worker {handle.worker_id} protocol error: expected "
@@ -386,7 +882,7 @@ class ServePool(DevicePool):
                 if self.gang is not False:
                     self._execute_ganged(batch)
                     return
-                pending = []
+                entries = []
                 for device, job in batch:
                     spec = self._spec_of(job)
                     worker_id = self.worker_of[device.device_id]
@@ -396,30 +892,28 @@ class ServePool(DevicePool):
                         continue
                     seq = next(self._seq)
                     try:
-                        handle.send_run(seq, device.device_id, spec)
+                        handle.send_run(
+                            seq,
+                            device.device_id,
+                            spec,
+                            deadline_s=self._spec_deadline_s(spec),
+                        )
                     except WorkerDiedError:
                         self._on_worker_death(handle)
                         job.result = self._crashed_result(worker_id)
                         continue
-                    pending.append((handle, seq, device, job))
-                for handle, seq, device, job in pending:
-                    if handle.worker_id in self._dead_worker_ids:
-                        job.result = self._crashed_result(handle.worker_id)
-                        continue
-                    try:
-                        kind, rseq, reply = handle.recv(
-                            timeout=self.worker_timeout
-                        )
-                    except WorkerDiedError:
-                        self._on_worker_death(handle)
-                        job.result = self._crashed_result(handle.worker_id)
-                        continue
-                    if kind != "result" or rseq != seq:
-                        raise ConfigError(
-                            f"worker {handle.worker_id} protocol error: "
-                            f"expected ('result', {seq}), got ({kind!r}, {rseq})"
-                        )
-                    self._apply_reply(device, job, reply, handle)
+                    ordinal = self._wire_sent[worker_id] + 1
+                    self._wire_sent[worker_id] = ordinal
+                    exp = _Expectation(
+                        seq, ordinal, worker_id, None,
+                        False, time.monotonic(),
+                    )
+                    entry = _Pending(device, job, spec, exp)
+                    exp.entry = entry
+                    self._wire_expect[worker_id].append(exp)
+                    entries.append(entry)
+                if entries:
+                    self._collect(entries)
 
             yield execute
         finally:

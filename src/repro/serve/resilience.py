@@ -1,0 +1,228 @@
+"""Serving-tier resilience primitives: breakers and the policy bag.
+
+The serving tier's tail-latency discipline under partial failure —
+the DRAMA-style straggler mitigation the large-dataset search
+literature assumes — is built from four mechanisms, configured here
+and enforced in :mod:`repro.serve.pool` / :mod:`repro.serve.gateway`:
+
+* **Heartbeats** — workers emit periodic ``("heartbeat", ...)``
+  messages from a side thread, so the parent can tell a *slow* worker
+  (replies late, heartbeats flowing) from a *hung* one (process
+  alive, pipe silent past ``hang_timeout_s`` →
+  :class:`~repro.common.errors.WorkerUnresponsiveError`) from a
+  *dead* one (pipe EOF → :class:`~repro.common.errors.WorkerDiedError`).
+* **Deadlines** — a request's wall-clock budget rides the wire; the
+  worker skips execution of an already-expired request (cheap
+  cancel) and the gateway cancels queued work whose deadline lapsed.
+* **Hedged re-dispatch** — a request outstanding longer than the
+  hedge threshold is re-issued to a second worker. Winner selection
+  is *canonical*: whenever the primary's reply arrives it wins the
+  bookkeeping, so the deterministic tier's placement/results/telemetry
+  stay bit-identical to the unhedged run; the hedge only ever fills
+  in for a reply that never comes.
+* **Circuit breakers** — per-worker ledgers (modeled on the
+  :class:`~repro.runtime.health.DeviceHealth`
+  QUARANTINED→PROBATION machine) trip after consecutive transport
+  failures, route traffic around the worker for a doubling cooldown,
+  then let one half-open probe through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+__all__ = ["BreakerState", "CircuitBreaker", "ResilienceConfig"]
+
+
+class BreakerState(enum.Enum):
+    """The three states of a per-worker circuit breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """One worker's transport-failure ledger and routing switch.
+
+    The wall-clock sibling of the pool's
+    :class:`~repro.runtime.health.DeviceHealth` ledger::
+
+        CLOSED ──(threshold consecutive transport failures)──▶ OPEN
+           ▲                                                    │
+           │                                        (cooldown elapses)
+           │                                                    ▼
+           └──(probe reply arrives clean)─────────────── HALF_OPEN
+                                                                │
+                               (probe fails)────────────────────┘
+                                             (re-opened, cooldown doubled)
+
+    Transport failures are timeouts, hang verdicts, dropped and
+    garbled replies — never an application-level job error (a job
+    whose *reply* arrived fine is the healing ladder's business, not
+    the wire's). While OPEN, :meth:`allow` steers dispatch around the
+    worker; once the cooldown lapses exactly one probe request is let
+    through, and its outcome closes or re-opens the circuit.
+
+    All transitions are driven by caller-supplied ``now`` timestamps,
+    so the breaker itself is clock-agnostic (wall seconds at the
+    gateway, any monotonic float in tests).
+    """
+
+    trip_threshold: int = 3
+    cooldown_s: float = 0.5
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    trips: int = 0
+    probes: int = 0
+    open_until: float = 0.0
+    _backoff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.trip_threshold < 1:
+            raise ConfigError("breaker trip_threshold must be at least 1")
+        if self.cooldown_s <= 0:
+            raise ConfigError("breaker cooldown_s must be positive")
+
+    def allow(self, now: float) -> bool:
+        """May a request be routed to this worker right now?
+
+        CLOSED always allows. OPEN refuses until the cooldown lapses,
+        at which point the breaker half-opens and admits exactly one
+        probe; further requests are refused until that probe's outcome
+        is recorded.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN and now >= self.open_until:
+            self.state = BreakerState.HALF_OPEN
+            self.probes += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A clean reply: clear the streak; a probe closes the circuit."""
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+            self._backoff = 0.0
+
+    def record_failure(self, now: float) -> bool:
+        """A transport failure at ``now``; True if this trips the circuit.
+
+        A failed half-open probe re-opens immediately (the probe
+        disproved the recovery); a CLOSED breaker needs the streak to
+        reach ``trip_threshold``.
+        """
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN or (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.trip_threshold
+        ):
+            self.trip(now)
+            return True
+        return False
+
+    def trip(self, now: float) -> None:
+        """Open the circuit; each re-trip doubles the cooldown."""
+        self._backoff = (
+            self.cooldown_s if self._backoff == 0.0 else self._backoff * 2
+        )
+        self.state = BreakerState.OPEN
+        self.open_until = now + self._backoff
+        self.trips += 1
+        self.consecutive_failures = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state.value,
+            "trips": self.trips,
+            "probes": self.probes,
+            "consecutive_failures": self.consecutive_failures,
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The serving tier's resilience policy (one picklable bag).
+
+    Args:
+        heartbeat_interval_s: period of the worker-side heartbeat
+            thread; ``0`` disables heartbeats (and with them hang
+            detection — silence then only resolves at
+            ``hang_timeout_s`` against the last reply).
+        hang_timeout_s: wall seconds of total pipe silence (no reply,
+            no heartbeat) tolerated from a live worker with requests
+            outstanding before it is declared unresponsive
+            (:class:`~repro.common.errors.WorkerUnresponsiveError`)
+            and routed around.
+        hedge: enable hedged re-dispatch of stragglers.
+        hedge_after_s: outstanding-time threshold that triggers a
+            hedge; ``None`` derives it as ``hedge_multiplier`` times
+            the observed EWMA service time (with a 10 ms floor).
+        hedge_multiplier: the EWMA multiplier used when
+            ``hedge_after_s`` is ``None``.
+        breaker_threshold: consecutive transport failures that trip a
+            worker's circuit breaker; ``0`` disables breakers.
+        breaker_cooldown_s: first cooldown of a tripped breaker
+            (doubles on every re-trip).
+        default_deadline_s: wall-clock deadline applied to requests
+            whose spec carries none; ``None`` leaves them unbounded.
+    """
+
+    heartbeat_interval_s: float = 0.05
+    hang_timeout_s: float = 2.0
+    hedge: bool = False
+    hedge_after_s: float | None = None
+    hedge_multiplier: float = 4.0
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 0.5
+    default_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s < 0:
+            raise ConfigError("heartbeat_interval_s must be >= 0 (0 disables)")
+        if self.hang_timeout_s <= 0:
+            raise ConfigError("hang_timeout_s must be positive")
+        if self.hedge_after_s is not None and self.hedge_after_s <= 0:
+            raise ConfigError("hedge_after_s must be positive when set")
+        if self.hedge_multiplier <= 1.0:
+            raise ConfigError("hedge_multiplier must exceed 1")
+        if self.breaker_threshold < 0:
+            raise ConfigError("breaker_threshold must be >= 0 (0 disables)")
+        if self.breaker_cooldown_s <= 0:
+            raise ConfigError("breaker_cooldown_s must be positive")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ConfigError("default_deadline_s must be positive when set")
+
+    @property
+    def breakers_enabled(self) -> bool:
+        return self.breaker_threshold > 0
+
+    def hedge_threshold(self, ewma_s: float | None) -> float | None:
+        """The outstanding-time bar that triggers a hedge, or ``None``.
+
+        With hedging off, always ``None``. An explicit ``hedge_after_s``
+        wins; otherwise the threshold tracks the observed EWMA service
+        time (``None`` until the first reply establishes one).
+        """
+        if not self.hedge:
+            return None
+        if self.hedge_after_s is not None:
+            return self.hedge_after_s
+        if ewma_s is None:
+            return None
+        return max(0.01, self.hedge_multiplier * ewma_s)
+
+    def make_breaker(self) -> CircuitBreaker | None:
+        """A fresh per-worker breaker, or ``None`` when disabled."""
+        if not self.breakers_enabled:
+            return None
+        return CircuitBreaker(
+            trip_threshold=self.breaker_threshold,
+            cooldown_s=self.breaker_cooldown_s,
+        )

@@ -190,6 +190,16 @@ class JobSpec:
         vregs: architectural vector registers kept live.
         resident: whether the lanes must be simultaneously CSB-resident.
         priority: higher runs earlier within a queue.
+        deadline_cycles: optional turnaround target in *simulated*
+            cycles from submission; rides the wire so
+            :class:`~repro.runtime._telemetry.TelemetryReport` deadline
+            accounting works for served jobs exactly as for in-process
+            ones.
+        deadline_s: optional *wall-clock* budget in seconds. The
+            serving tier carries the remaining budget on every
+            dispatch; workers cheap-cancel requests that arrive already
+            expired and the gateway cancels queued work whose budget
+            lapsed (docs/SERVING.md).
         estimated_cycles: service-time estimate for SJF ordering.
         backend: optional per-job bit-level backend override.
         golden: optional expected output (compared on the worker).
@@ -203,6 +213,8 @@ class JobSpec:
     vregs: int = 8
     resident: bool = True
     priority: int = 0
+    deadline_cycles: Optional[float] = None
+    deadline_s: Optional[float] = None
     estimated_cycles: Optional[float] = None
     backend: Optional[str] = None
     golden: Any = None
@@ -211,6 +223,8 @@ class JobSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigError("a JobSpec needs a non-empty name")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError("deadline_s must be positive when set")
 
     @property
     def footprint(self) -> Footprint:
@@ -281,6 +295,7 @@ class JobSpec:
             vregs=job.footprint.vregs,
             resident=job.footprint.resident,
             priority=job.priority,
+            deadline_cycles=job.deadline_cycles,
             estimated_cycles=job.estimated_cycles,
             backend=job.backend,
             golden=job.golden,
@@ -300,6 +315,7 @@ class ServeJob(Job):
             body=spec.build_body(),
             footprint=spec.footprint,
             priority=spec.priority,
+            deadline_cycles=spec.deadline_cycles,
             estimated_cycles=spec.estimated_cycles,
             golden=spec.golden,
             backend=spec.backend,

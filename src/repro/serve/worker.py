@@ -15,14 +15,24 @@ snapshot.
 The protocol is deliberately tiny — tuples over a duplex
 ``multiprocessing`` pipe, requests answered strictly in order:
 
-==============================  =========================================
-parent → worker                 worker → parent
-==============================  =========================================
-``("run", seq, di, spec)``      ``("result", seq, reply_dict)``
-``("gang", seq, reqs, mode)``   ``("gang", seq, [reply_dict, ...])``
-``("stats", seq)``              ``("stats", seq, stats_dict)``
-``("shutdown",)``               (clean exit, pipe closes)
-==============================  =========================================
+=================================  ======================================
+parent → worker                    worker → parent
+=================================  ======================================
+``("run", seq, di, spec[, dl])``   ``("result", seq, reply_dict)``
+``("gang", seq, reqs, mode)``      ``("gang", seq, [reply_dict, ...])``
+``("stats", seq)``                 ``("stats", seq, stats_dict)``
+``("shutdown",)``                  (clean exit, pipe closes)
+(unsolicited, from a side thread)  ``("heartbeat", worker_id, info)``
+=================================  ======================================
+
+The optional fifth ``run`` element ``dl`` is the request's *remaining*
+wall-clock budget in seconds (``None`` = unbounded); a worker that
+receives an already-expired request cheap-cancels it — an error reply
+with ``deadline_cancelled`` set, no execution. When
+``WorkerOptions.heartbeat_interval_s`` is positive, a side thread
+interleaves ``heartbeat`` messages with the ordered replies (sends
+share one lock, so frames never tear); parents must skip them when
+awaiting a reply.
 
 A ``gang`` request carries one launch batch for this worker's devices
 (``reqs`` is ``[(device_id, spec), ...]``); the worker runs it through
@@ -34,16 +44,28 @@ A worker crash — injected via :class:`~repro.faults.WorkerKill` or
 real — closes the pipe; the parent surfaces it as
 :class:`~repro.common.errors.WorkerDiedError` and the serving tier
 treats every device the worker owned as dead (the ``DeviceKill``
-pathway of the healing ladder).
+pathway of the healing ladder). The rest of the transport taxonomy
+(:class:`~repro.faults.WorkerHang` / :class:`~repro.faults.SlowWorker`
+/ :class:`~repro.faults.ReplyDrop` / :class:`~repro.faults.ReplyGarble`)
+is injected here on the worker side of the pipe, keyed on the worker's
+1-based lifetime job count, so seeded chaos storms exercise the wire
+itself — see :class:`~repro.faults.TransportSchedule` for precedence.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigError, WorkerDiedError
+from repro.common.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    WorkerDiedError,
+    WorkerTimeoutError,
+)
 from repro.engine.system import CAPEConfig, CAPESystem
 from repro.faults.injector import FaultInjector
 from repro.gang import run_ganged
@@ -51,7 +73,7 @@ from repro.memory.mainmem import WordMemory
 from repro.plan.cache import PlanCache
 from repro.serve.spec import JobSpec
 
-__all__ = ["WorkerHandle", "WorkerOptions", "worker_main"]
+__all__ = ["GARBLED_PAYLOAD", "WorkerHandle", "WorkerOptions", "worker_main"]
 
 #: Exit code of an injected :class:`WorkerKill` crash (tests assert it).
 KILLED_EXIT_CODE = 17
@@ -74,6 +96,10 @@ class WorkerOptions:
     #: Whole-kernel superplan mode for the shard's systems
     #: (``True`` / ``False`` / ``"auto"``, docs/PERFORMANCE.md).
     superplan: object = False
+    #: Period of the unsolicited ``("heartbeat", ...)`` messages a side
+    #: thread sends so the parent can tell a hung worker from a slow
+    #: one; ``0`` (the default) disables the thread entirely.
+    heartbeat_interval_s: float = 0.0
 
 
 def _build_shard(
@@ -219,6 +245,67 @@ def _execute_gang(systems, injectors, requests, mode) -> list:
     return replies
 
 
+#: The reply payload an injected :class:`~repro.faults.ReplyGarble`
+#: substitutes for the real dict — deliberately not a mapping, so any
+#: parent-side reply handler trips over it (tests assert the marker).
+GARBLED_PAYLOAD = "\x00garbled-by-fault-plan\x00"
+
+
+def _cancel_reply(spec: JobSpec, injector, deadline_s) -> dict:
+    """Reply for a worker-side cheap cancel of an expired request."""
+    reply = _error_reply(
+        spec,
+        injector,
+        DeadlineExceededError(
+            f"deadline expired before execution "
+            f"(remaining budget {deadline_s:.3g}s)"
+        ),
+    )
+    reply["deadline_cancelled"] = True
+    return reply
+
+
+class _Heartbeat:
+    """The worker's side thread: unsolicited liveness over the pipe.
+
+    Shares ``send_lock`` with the main loop so a heartbeat can never
+    tear a reply frame mid-pickle. An injected
+    :class:`~repro.faults.WorkerHang` stops the thread along with the
+    main loop — a hung worker goes *fully* silent, which is exactly the
+    signal hang detection keys on.
+    """
+
+    def __init__(self, conn, worker_id: int, interval_s: float, send_lock):
+        self._conn = conn
+        self._worker_id = worker_id
+        self._interval_s = interval_s
+        self._send_lock = send_lock
+        self._stop = threading.Event()
+        self._thread = None
+        self.info: Dict[str, object] = {}
+
+    def start(self) -> None:
+        if self._interval_s <= 0:
+            return
+        self._thread = threading.Thread(
+            target=self._main, name="cape-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _main(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                with self._send_lock:
+                    self._conn.send(
+                        ("heartbeat", self._worker_id, dict(self.info))
+                    )
+            except (BrokenPipeError, OSError):
+                return  # parent went away; nothing to report to
+
+
 def worker_main(
     conn,
     worker_id: int,
@@ -230,13 +317,40 @@ def worker_main(
     Requests are served strictly in arrival order; an injected
     :class:`~repro.faults.WorkerKill` exits the process abruptly (no
     reply, exit code :data:`KILLED_EXIT_CODE`) *while* the matching job
-    is in flight, exactly like a hard crash.
+    is in flight, exactly like a hard crash. The rest of the transport
+    schedule fires here too, keyed on the 1-based lifetime job count:
+    a hang wedges the process (alive, fully silent — heartbeats stop
+    with the main loop), a slow delays the reply, a drop executes the
+    job but never sends (device state still advances, exactly as if
+    the reply were lost in flight), a garble sends a non-dict payload.
     """
     systems, injectors, plan_cache = _build_shard(worker_id, devices, options)
-    kill_at_job = None
+    schedule = None
     if options.fault_plan is not None:
-        kill_at_job = options.fault_plan.kill_job_for_worker(worker_id)
+        schedule = options.fault_plan.transport_for_worker(worker_id)
+        if schedule.empty:
+            schedule = None
+    kill_at = schedule.kill_at if schedule is not None else None
     jobs_executed = 0
+    injected = {"hang": 0, "slow": 0, "drop": 0, "garble": 0}
+    send_lock = threading.Lock()
+    heartbeat = _Heartbeat(
+        conn, worker_id, options.heartbeat_interval_s, send_lock
+    )
+    heartbeat.start()
+
+    def send(msg) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    def hang_forever() -> None:
+        # The injected wedge: stop heartbeats, keep the process alive,
+        # never touch the pipe again. The parent's hang detector (not
+        # pipe EOF) is what must notice; it terminates us.
+        heartbeat.stop()
+        while True:
+            time.sleep(3600.0)
+
     try:
         while True:
             try:
@@ -246,37 +360,91 @@ def worker_main(
             if msg[0] == "shutdown":
                 return
             if msg[0] == "run":
-                _, seq, device_id, spec = msg
+                if len(msg) == 5:
+                    _, seq, device_id, spec, deadline_s = msg
+                else:  # pre-deadline 4-tuple senders remain valid
+                    _, seq, device_id, spec = msg
+                    deadline_s = None
                 jobs_executed += 1
-                if kill_at_job is not None and jobs_executed >= kill_at_job:
+                j = jobs_executed
+                heartbeat.info["jobs_executed"] = j
+                if kill_at is not None and j >= kill_at:
                     # The injected crash: die mid-job, reply never sent.
                     conn.close()
                     os._exit(KILLED_EXIT_CODE)
-                reply = _execute(systems[device_id], injectors[device_id], spec)
+                if schedule is not None and (
+                    schedule.hang_at is not None and j >= schedule.hang_at
+                ):
+                    injected["hang"] += 1
+                    hang_forever()
+                if deadline_s is not None and deadline_s <= 0:
+                    # Cheap cancel: the budget was gone on arrival, so
+                    # skip execution and say why in the reply.
+                    reply = _cancel_reply(
+                        spec, injectors[device_id], deadline_s
+                    )
+                else:
+                    reply = _execute(
+                        systems[device_id], injectors[device_id], spec
+                    )
                 reply["worker_id"] = worker_id
                 reply["device_id"] = device_id
-                reply["jobs_executed"] = jobs_executed
+                reply["jobs_executed"] = j
                 reply["plan_cache"] = plan_cache.snapshot()
-                conn.send(("result", seq, reply))
+                if schedule is not None:
+                    delay = schedule.slow.get(j)
+                    if delay is not None:
+                        injected["slow"] += 1
+                        time.sleep(delay)
+                    if j in schedule.drop_at:
+                        # The job ran — device state advanced — but the
+                        # reply vanishes, as if lost on the wire. The
+                        # completion mark below still advances (updated
+                        # only *after* the send would have happened), so
+                        # the parent's drop detector can conclude the
+                        # loss from a later heartbeat.
+                        injected["drop"] += 1
+                        heartbeat.info["transport_injected"] = dict(injected)
+                        heartbeat.info["jobs_completed"] = j
+                        continue
+                    if j in schedule.garble_at:
+                        injected["garble"] += 1
+                        heartbeat.info["transport_injected"] = dict(injected)
+                        send(("result", seq, GARBLED_PAYLOAD))
+                        heartbeat.info["jobs_completed"] = j
+                        continue
+                send(("result", seq, reply))
+                # Updated after the send (under FIFO): any heartbeat
+                # carrying this mark was framed behind the reply, so a
+                # parent that saw the mark but no reply knows the reply
+                # was dropped, not merely late.
+                heartbeat.info["jobs_completed"] = j
             elif msg[0] == "gang":
                 _, seq, requests, mode = msg
                 end = jobs_executed + len(requests)
-                if kill_at_job is not None and end >= kill_at_job:
+                if kill_at is not None and end >= kill_at:
                     # The injected crash lands inside this batch: die
                     # mid-gang, reply never sent — the whole batch fails
                     # over exactly like a crash during a lone run.
                     conn.close()
                     os._exit(KILLED_EXIT_CODE)
+                if schedule is not None and (
+                    schedule.hang_at is not None and end >= schedule.hang_at
+                ):
+                    injected["hang"] += 1
+                    hang_forever()
                 jobs_executed = end
+                heartbeat.info["jobs_executed"] = end
                 replies = _execute_gang(systems, injectors, requests, mode)
                 for reply in replies:
                     reply["worker_id"] = worker_id
                     reply["jobs_executed"] = jobs_executed
                     reply["plan_cache"] = plan_cache.snapshot()
-                conn.send(("gang", seq, replies))
+                send(("gang", seq, replies))
+                heartbeat.info["jobs_completed"] = jobs_executed
             elif msg[0] == "stats":
                 _, seq = msg
-                conn.send(
+                send(
                     (
                         "stats",
                         seq,
@@ -284,6 +452,7 @@ def worker_main(
                             "worker_id": worker_id,
                             "pid": os.getpid(),
                             "jobs_executed": jobs_executed,
+                            "transport_injected": dict(injected),
                             "plan_cache": plan_cache.snapshot(),
                             "devices": {
                                 device_id: (
@@ -299,16 +468,19 @@ def worker_main(
             else:  # unknown message: fail loudly, don't wedge the pipe
                 raise ConfigError(f"unknown worker message {msg[0]!r}")
     finally:
+        heartbeat.stop()
         conn.close()
 
 
 class WorkerHandle:
     """Parent-side handle on one worker process.
 
-    Wraps process lifecycle and the pipe protocol; every transport
-    failure (broken pipe on send, EOF on receive, a dead process) is
-    normalised to :class:`~repro.common.errors.WorkerDiedError` so
-    callers have exactly one crash signal to handle.
+    Wraps process lifecycle and the pipe protocol. Hard transport
+    failures (broken pipe on send, EOF on receive, a dead process) are
+    normalised to :class:`~repro.common.errors.WorkerDiedError`;
+    a reply that is merely *late* from a live process surfaces as
+    :class:`~repro.common.errors.WorkerTimeoutError` so callers never
+    mistake a slow worker for a crashed one.
     """
 
     def __init__(
@@ -354,6 +526,14 @@ class WorkerHandle:
     def exitcode(self) -> Optional[int]:
         return self._process.exitcode if self._process is not None else None
 
+    def terminate(self, timeout: float = 1.0) -> None:
+        """Hard-stop a wedged worker (hang verdicts: no shutdown message
+        can help a process that stopped reading its pipe)."""
+        if self._process is None:
+            return
+        self._process.terminate()
+        self._process.join(timeout)
+
     def shutdown(self, timeout: float = 5.0) -> None:
         """Ask the worker to exit; escalate to terminate if it won't."""
         if self._process is None:
@@ -376,12 +556,24 @@ class WorkerHandle:
             f"(exit code {self.exitcode}, devices {list(self.device_ids)})"
         )
 
-    def send_run(self, seq: int, device_id: int, spec: JobSpec) -> None:
+    def send_run(
+        self,
+        seq: int,
+        device_id: int,
+        spec: JobSpec,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        """Dispatch one spec; ``deadline_s`` is the *remaining* wall
+        budget (``None`` = unbounded), enforced worker-side as a cheap
+        cancel when it is already spent on arrival."""
         if device_id not in self.device_ids:
             raise ConfigError(
                 f"device {device_id} is not owned by worker {self.worker_id}"
             )
-        self._send(("run", seq, device_id, spec))
+        if deadline_s is None:
+            self._send(("run", seq, device_id, spec))
+        else:
+            self._send(("run", seq, device_id, spec, float(deadline_s)))
 
     def send_gang(self, seq: int, requests, mode) -> None:
         """Ship one launch batch ``[(device_id, spec), ...]`` for gang
@@ -404,12 +596,25 @@ class WorkerHandle:
             raise self._died() from exc
 
     def recv(self, timeout: Optional[float] = None):
-        """Next ``(kind, seq, payload)`` reply; raises on crash/timeout."""
+        """Next ``(kind, seq, payload)`` message; raises on crash/timeout.
+
+        A poll timeout from a *live* process raises
+        :class:`~repro.common.errors.WorkerTimeoutError` — the reply is
+        late or lost, not dead; the caller decides whether to keep
+        waiting, hedge, or escalate to unresponsive. Only a dead
+        process or a closed pipe raises
+        :class:`~repro.common.errors.WorkerDiedError`. Note heartbeats
+        arrive through here too — callers awaiting a reply must skip
+        ``("heartbeat", ...)`` frames.
+        """
         try:
             if timeout is not None and not self._conn.poll(timeout):
-                raise WorkerDiedError(
+                if not self.alive:
+                    raise self._died()
+                raise WorkerTimeoutError(
                     f"serving worker {self.worker_id} sent nothing for "
-                    f"{timeout}s (alive={self.alive})"
+                    f"{timeout}s (process alive — slow, hung, or the "
+                    f"reply was dropped)"
                 )
             return self._conn.recv()
         except (EOFError, BrokenPipeError, OSError) as exc:

@@ -7,9 +7,15 @@ from repro.faults import (
     ChainKill,
     DeviceKill,
     FaultPlan,
+    ReplyDrop,
+    ReplyGarble,
+    SlowWorker,
     StuckBit,
     TagFlip,
     TransferFault,
+    TransportSchedule,
+    WorkerHang,
+    WorkerKill,
 )
 
 
@@ -100,3 +106,94 @@ def test_as_dict_round_trips_fields():
         "kind": "StuckBit", "row": 1, "element": 2, "bit": 3,
         "value": 0, "device": None,
     }
+
+
+# ----------------------------------------------------------------------
+# The transport taxonomy (PR 9): process-scoped faults and their folds
+# ----------------------------------------------------------------------
+
+
+def test_transport_faults_validate_on_construction():
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([WorkerHang(at_job=0)])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([SlowWorker(delay_s=0.0, at_jobs=(1,))])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([SlowWorker(delay_s=0.1, at_jobs=())])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([SlowWorker(delay_s=0.1, at_jobs=(0,))])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([ReplyDrop(at_job=-1)])
+    with pytest.raises(FaultInjectionError):
+        FaultPlan([ReplyGarble(at_job=0)])
+
+
+def test_for_device_excludes_the_whole_transport_taxonomy():
+    plan = FaultPlan([
+        WorkerKill(at_job=3, worker=0),
+        WorkerHang(at_job=2, worker=1),
+        SlowWorker(delay_s=0.1, at_jobs=(1,), worker=0),
+        ReplyDrop(at_job=4),
+        ReplyGarble(at_job=5),
+        StuckBit(row=0, element=0, bit=0, value=1, device=0),
+    ])
+    # Devices see only the substrate fault; the wire faults target a
+    # serving process and must never reach a FaultInjector.
+    assert len(plan.for_device(0)) == 1
+    assert plan.for_device(1).empty
+
+
+def test_transport_for_worker_folds_deterministically():
+    plan = FaultPlan([
+        WorkerHang(at_job=7, worker=0),
+        WorkerHang(at_job=3, worker=0),   # earliest hang wins
+        WorkerHang(at_job=2, worker=1),
+        SlowWorker(delay_s=0.1, at_jobs=(2, 4), worker=0),
+        SlowWorker(delay_s=0.3, at_jobs=(4,)),  # broadcast; max delay wins
+        ReplyDrop(at_job=5, worker=0),
+        ReplyDrop(at_job=6),              # broadcast
+        ReplyGarble(at_job=8, worker=1),
+        WorkerKill(at_job=9, worker=0),
+    ])
+    s0 = plan.transport_for_worker(0)
+    assert s0.hang_at == 3
+    assert s0.kill_at == 9
+    assert s0.slow == {2: 0.1, 4: 0.3}
+    assert s0.drop_at == {5, 6}
+    assert s0.garble_at == frozenset()
+    s1 = plan.transport_for_worker(1)
+    assert s1.hang_at == 2
+    assert s1.kill_at is None
+    assert s1.slow == {4: 0.3}
+    assert s1.drop_at == {6}
+    assert s1.garble_at == {8}
+    assert plan.transport_for_worker(2).slow == {4: 0.3}  # broadcasts only
+
+
+def test_transport_schedule_empty():
+    assert TransportSchedule().empty
+    assert FaultPlan().transport_for_worker(0).empty
+    assert not TransportSchedule(hang_at=1).empty
+
+
+def test_transport_storm_is_deterministic_and_in_range():
+    a = FaultPlan.transport_storm(41, workers=3, kills=1, max_job=6)
+    b = FaultPlan.transport_storm(41, workers=3, kills=1, max_job=6)
+    assert a == b
+    assert a.seed == 41
+    assert a != FaultPlan.transport_storm(42, workers=3, kills=1, max_job=6)
+    kinds = {type(f) for f in a.faults}
+    assert kinds == {WorkerHang, SlowWorker, ReplyDrop, ReplyGarble, WorkerKill}
+    for f in a.faults:
+        assert 0 <= f.worker < 3
+        jobs = f.at_jobs if isinstance(f, SlowWorker) else (f.at_job,)
+        assert all(1 <= j <= 6 for j in jobs)
+
+
+def test_transport_faults_survive_as_dict():
+    plan = FaultPlan([SlowWorker(delay_s=0.25, at_jobs=(1, 3), worker=2)])
+    d = plan.as_dict()["faults"][0]
+    assert d["kind"] == "SlowWorker"
+    assert d["delay_s"] == 0.25
+    assert d["at_jobs"] == (1, 3)
+    assert d["worker"] == 2
