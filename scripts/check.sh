@@ -275,6 +275,39 @@ print(
 )
 EOF
 
+echo "== wire smoke (shm data plane + batched dispatch) =="
+python - <<'EOF'
+import glob
+import sys
+
+sys.path.insert(0, "benchmarks")
+from bench_serving import run_wire_compare
+
+# The BENCH_10 large-payload cell, live: the same 1M-element request
+# stream through the gateway on the inline-pickle plane vs the
+# shared-memory plane with a 2 ms batch window. The shm plane must be
+# purely a transport win — numpy-computed checksums identical in both
+# modes — and at least 1.5x the pickle plane's req/s (the committed
+# BENCH_10.json records >= 3x; the smoke bar leaves headroom for a
+# loaded host). Afterwards /dev/shm must hold no cape-* residue: the
+# parent owns every slab and ring and unlinks them all at close.
+point = run_wire_compare(1_000_000, 12)
+assert point["checksums_identical"], point
+for tier in ("pickle", "shm"):
+    assert point[tier]["completed"] == point["requests"], point[tier]
+    assert point[tier]["payload_bytes_out"] > 0, point[tier]
+assert point["shm"]["shm_hits"] > 0, point["shm"]
+speedup = point["speedup_shm_vs_pickle"]
+assert speedup >= 1.5, f"shm+batched speedup {speedup}x < 1.5x"
+residue = glob.glob("/dev/shm/cape-wire-*") + glob.glob("/dev/shm/cape-ring-*")
+assert not residue, f"leaked shm segments: {residue}"
+print(f"wire: {point['requests']} x {point['payload_bytes']} B requests, "
+      f"{point['shm']['req_per_s']} req/s shm+batched vs "
+      f"{point['pickle']['req_per_s']} pickle ({speedup}x), "
+      f"{point['shm']['jobs_per_frame']} jobs/frame, checksums identical, "
+      f"no /dev/shm residue")
+EOF
+
 echo "== gang smoke (stacked plan replay) =="
 python - <<'EOF'
 import time
@@ -351,4 +384,5 @@ python -m pytest -x -q "$@"
 echo "== slow markers =="
 python -m pytest -q -m slow benchmarks/bench_table2_microops.py \
     tests/integration/test_chaos.py tests/serve/test_saturation.py \
-    tests/gang/test_gang_chaos.py tests/serve/test_resilience.py
+    tests/gang/test_gang_chaos.py tests/serve/test_resilience.py \
+    tests/serve/test_wire.py

@@ -496,12 +496,15 @@ def submit(
       also be given.
     * a :class:`ServeConfig` — a fresh asyncio :class:`Gateway` serves
       the specs (the :func:`serve` path); ``exec=`` may override its
-      ``workers`` / ``gang``.
+      ``workers`` / ``gang`` / ``wire`` / ``batch_window_s``.
 
     ``exec`` is the one :class:`ExecConfig` for plan-cache, thread,
-    worker, and gang knobs. Returns a single :class:`JobResult` when
-    ``specs`` is a single :class:`JobSpec`, else a list in submission
-    order. Jobs that need the legacy callable form can be bridged with
+    worker, gang, and serving data-plane knobs (``wire`` picks the
+    shared-memory vs pickle payload path, ``batch_window_s`` the
+    gateway's micro-batching window — docs/SERVING.md). Returns a
+    single :class:`JobResult` when ``specs`` is a single
+    :class:`JobSpec`, else a list in submission order. Jobs that need
+    the legacy callable form can be bridged with
     :meth:`JobSpec.from_job` / :meth:`Job.from_spec`.
     """
     single = isinstance(specs, JobSpec)

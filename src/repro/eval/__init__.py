@@ -13,7 +13,12 @@ from repro.eval.harness import (
     run_micro_suite,
 )
 from repro.eval.roofline import Roofline, RooflinePoint
-from repro.eval.serving import healing_table, latency_table, serving_report
+from repro.eval.serving import (
+    healing_table,
+    latency_table,
+    serving_report,
+    wire_table,
+)
 from repro.eval.tables import format_table
 
 __all__ = [
@@ -27,4 +32,5 @@ __all__ = [
     "run_micro_suite",
     "run_phoenix_suite",
     "serving_report",
+    "wire_table",
 ]

@@ -48,6 +48,29 @@ def latency_table(report: TelemetryReport) -> str:
     )
 
 
+def wire_table(stats: dict) -> str:
+    """Data-plane ledger: frames, batching, bytes, shm hit rate.
+
+    ``stats`` is a serving tier's wire-stats dict
+    (:attr:`~repro.serve.pool.ServePool.wire_stats` /
+    :attr:`~repro.serve.gateway.Gateway.wire_stats`, the live stats of
+    the tier's :class:`~repro.serve.shm.HostWire`).
+    """
+    frames = stats.get("frames", 0)
+    jobs = stats.get("batched_jobs", 0)
+    rows = [
+        ["wire mode", stats.get("mode", "?")],
+        ["frames sent", frames],
+        ["jobs carried", jobs],
+        ["jobs per frame", round(jobs / frames, 2) if frames else 0.0],
+        ["payload bytes out", stats.get("bytes_out", 0)],
+        ["payload bytes in", stats.get("bytes_in", 0)],
+        ["shm transfers", stats.get("shm_hits", 0)],
+        ["pickle fallbacks", stats.get("fallbacks", 0)],
+    ]
+    return format_table(["wire", "value"], rows)
+
+
 def healing_table(report: TelemetryReport) -> str:
     """Self-healing ledger: retries, quarantines, and device deaths."""
     retried = [j for j in report.jobs if j.attempts > 0]
@@ -61,12 +84,17 @@ def healing_table(report: TelemetryReport) -> str:
     return format_table(["event", "count"], rows)
 
 
-def serving_report(report: TelemetryReport, title: str = "CAPE pool run") -> str:
+def serving_report(
+    report: TelemetryReport,
+    title: str = "CAPE pool run",
+    wire: dict | None = None,
+) -> str:
     """One printable report: headline, jobs, latency, devices, queues.
 
     A self-healing section (retry/quarantine/death counts) appears only
     when the run actually healed something — fault-free reports are
-    unchanged.
+    unchanged. Pass a serving tier's ``wire_stats`` dict as ``wire`` to
+    append a data-plane section (:func:`wire_table`).
     """
     sections = [
         title,
@@ -90,5 +118,11 @@ def serving_report(report: TelemetryReport, title: str = "CAPE pool run") -> str
             "",
             "Self-healing ledger",
             healing_table(report),
+        ]
+    if wire is not None:
+        sections += [
+            "",
+            "Wire / data plane",
+            wire_table(wire),
         ]
     return "\n".join(sections)

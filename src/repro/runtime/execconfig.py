@@ -71,6 +71,15 @@ class ExecConfig:
             already warm for a job's superplan keys when breaking
             placement ties. Tie-breaking only: with affinity off (the
             default) placement is unchanged bit-for-bit.
+        wire: serving-tier data-plane mode — ``"auto"`` ships numpy
+            payloads/results as shared-memory descriptors when the
+            platform supports it, ``"shm"`` requires it, ``"pickle"``
+            keeps everything inline (docs/SERVING.md). Results,
+            placement, and telemetry are bit-identical in every mode.
+        batch_window_s: the gateway's micro-batching window — how long
+            an assignable request may wait for round-mates so one wire
+            frame can carry the whole per-worker round. ``0`` (the
+            default) dispatches each request in its own frame.
     """
 
     plan_cache: object = True
@@ -79,6 +88,8 @@ class ExecConfig:
     gang: object = "auto"
     superplan: object = "auto"
     plan_affinity: bool = False
+    wire: str = "auto"
+    batch_window_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -87,6 +98,15 @@ class ExecConfig:
             raise ConfigError("workers must be at least 1")
         resolve_gang_mode(self.gang)
         resolve_superplan_mode(self.superplan)
+        # Inline literal check: importing repro.serve.shm here would
+        # cycle (serve -> runtime.pool -> execconfig).
+        if self.wire not in ("auto", "shm", "pickle"):
+            raise ConfigError(
+                f"wire must be one of ('auto', 'shm', 'pickle'), "
+                f"got {self.wire!r}"
+            )
+        if self.batch_window_s < 0:
+            raise ConfigError("batch_window_s must be >= 0")
 
 
 def resolve_exec(exec_config: ExecConfig | None, **legacy):

@@ -17,9 +17,13 @@ Two front doors over one worker substrate:
 
 Work crosses the process boundary as picklable
 :class:`~repro.serve.spec.JobSpec` descriptions naming a registered
-kernel; the fault ledger crosses it in both directions (worker-side
-injectors report device death in replies; a worker crash — injectable
-via :class:`~repro.faults.WorkerKill` — retires the worker's devices
+kernel — with numpy payloads and array results travelling as zero-copy
+shared-memory descriptors when the platform supports it
+(:mod:`repro.serve.shm`, the ``wire=`` knob) — and each dispatch round
+coalesces into batched wire frames. The fault ledger crosses the
+boundary in both directions (worker-side injectors report device death
+in replies; a worker crash — injectable via
+:class:`~repro.faults.WorkerKill` — retires the worker's devices
 through the PR-4 healing ladder). See ``docs/SERVING.md``.
 """
 
@@ -35,6 +39,16 @@ from repro.serve.resilience import (
     BreakerState,
     CircuitBreaker,
     ResilienceConfig,
+)
+from repro.serve.shm import (
+    WIRE_MODES,
+    HostWire,
+    ShmRef,
+    SlabArena,
+    WorkerWire,
+    payload_nbytes,
+    resolve_wire_mode,
+    shm_available,
 )
 from repro.serve.spec import (
     KERNELS,
@@ -55,6 +69,7 @@ __all__ = [
     "CircuitBreaker",
     "Gateway",
     "GatewayReport",
+    "HostWire",
     "JobSpec",
     "KERNELS",
     "KILLED_EXIT_CODE",
@@ -63,11 +78,18 @@ __all__ = [
     "ServeJob",
     "ServePool",
     "ServeResult",
+    "ShmRef",
+    "SlabArena",
     "TenantQuota",
+    "WIRE_MODES",
     "WorkerHandle",
     "WorkerOptions",
+    "WorkerWire",
     "default_mp_context",
     "kernel_names",
+    "payload_nbytes",
     "register_kernel",
+    "resolve_wire_mode",
+    "shm_available",
     "worker_main",
 ]

@@ -47,6 +47,16 @@ probe clears it. Dropped replies are concluded from the per-worker
 FIFO reply order plus heartbeat progress marks, garbled replies from
 an unreadable payload; both re-queue the request like a worker-death
 orphan.
+
+**Data plane** (``ServeConfig.wire`` / ``batch_window_s``,
+docs/SERVING.md): numpy payloads and array results cross the worker
+boundary as shared-memory descriptors (:mod:`repro.serve.shm`) when
+the platform supports it, and every dispatch rides a batched
+``("runs", seq, members, ack)`` frame — one per request by default,
+one per per-worker round when the micro-batching window is open. A
+lost or garbled batch frame is one transport fault that orphans every
+member through the same detectors as before; results, placement, and
+telemetry stay bit-identical in every wire mode.
 """
 
 from __future__ import annotations
@@ -56,7 +66,7 @@ import itertools
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import (
@@ -71,6 +81,7 @@ from repro.common.errors import (
 from repro.engine.system import CAPE32K, CAPEConfig
 from repro.serve.pool import default_mp_context
 from repro.serve.resilience import BreakerState, CircuitBreaker, ResilienceConfig
+from repro.serve.shm import WIRE_MODES, HostWire, payload_nbytes
 from repro.serve.spec import JobSpec
 from repro.serve.worker import WorkerHandle, WorkerOptions
 
@@ -150,6 +161,16 @@ class ServeConfig:
             ``"auto"``), shipped to every worker's systems
             (``docs/PERFORMANCE.md``). Results, cycles, and microop
             totals are bit-identical either way.
+        wire: data-plane mode (``"auto"`` / ``"shm"`` / ``"pickle"``,
+            docs/SERVING.md). With shared memory, numpy payloads and
+            array results cross the worker boundary as zero-copy
+            segment descriptors instead of pickled bytes. Results,
+            placement, and telemetry are bit-identical in every mode.
+        batch_window_s: the micro-batching window. ``0`` (default)
+            ships each request in its own wire frame; ``> 0`` lets an
+            assignable request wait up to this many wall seconds for
+            round-mates so each per-worker dispatch round coalesces
+            into one ``("runs", ...)`` frame.
     """
 
     configs: Tuple[CAPEConfig, ...] = (CAPE32K, CAPE32K)
@@ -168,6 +189,8 @@ class ServeConfig:
     gang: object = False
     superplan: object = False
     resilience: ResilienceConfig = ResilienceConfig()
+    wire: str = "auto"
+    batch_window_s: float = 0.0
 
     def __post_init__(self) -> None:
         from repro.gang import resolve_gang_mode
@@ -181,6 +204,12 @@ class ServeConfig:
             raise ConfigError("max_queue must be at least 1")
         resolve_gang_mode(self.gang)
         resolve_superplan_mode(self.superplan)
+        if self.wire not in WIRE_MODES:
+            raise ConfigError(
+                f"wire must be one of {WIRE_MODES}, got {self.wire!r}"
+            )
+        if self.batch_window_s < 0:
+            raise ConfigError("batch_window_s must be >= 0")
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.default_quota)
@@ -245,6 +274,11 @@ class GatewayReport:
     deadline_met: int = 0
     deadline_missed: int = 0
     deadline_cancelled: int = 0
+    #: payload data shipped to workers (spec payloads + goldens) and
+    #: received back (result arrays), measured as data bytes — array
+    #: nbytes + 8 per scalar — so the figures compare across wire modes.
+    payload_bytes_out: int = 0
+    payload_bytes_in: int = 0
     #: detected transport faults by kind (dropped/garbled/hang/timeout).
     transport_faults: Dict[str, int] = field(default_factory=dict)
     per_tenant: Dict[str, int] = field(default_factory=dict)
@@ -289,6 +323,8 @@ class GatewayReport:
             "deadline_met": self.deadline_met,
             "deadline_missed": self.deadline_missed,
             "deadline_cancelled": self.deadline_cancelled,
+            "payload_bytes_out": self.payload_bytes_out,
+            "payload_bytes_in": self.payload_bytes_in,
             "transport_faults": dict(self.transport_faults),
             "per_tenant": dict(self.per_tenant),
             "p50_latency_s": self.latency_percentile(50),
@@ -326,26 +362,33 @@ class _Request:
         self.queued = False
 
 
-class _Dispatch:
-    """One ``send_run`` on the wire: request × (worker, device, seq).
+class _Frame:
+    """One ``("runs", ...)`` frame on the wire: seq × worker × members.
 
-    A request normally has exactly one of these; a hedged straggler
-    has two. Dispatches live in the per-worker FIFO wire ledger until
-    their reply arrives or their loss is concluded (seq-order gap,
-    heartbeat progress mark, worker death, or ``worker_timeout``).
+    ``members`` is the ordered ``(request, device_id)`` list the frame
+    carries — one entry at ``batch_window_s == 0``, a whole per-worker
+    dispatch round when micro-batching coalesces. One wire message has
+    one fate: the frame's reply answers every member, and a concluded
+    loss (seq-order gap, heartbeat progress mark, worker death, or
+    ``worker_timeout``) orphans every member together while counting a
+    single transport fault. ``ordinal`` is the *end* position of the
+    frame's jobs in the worker's lifetime dispatch count, matching the
+    worker-side ``jobs_completed`` heartbeat mark. ``tokens`` are the
+    request-arena blocks pinned for the members' shared-memory
+    payloads, released only on proof the worker is done reading them.
     """
 
     __slots__ = (
-        "seq", "ordinal", "worker_id", "device_id", "request",
+        "seq", "ordinal", "worker_id", "members", "tokens",
         "is_hedge", "sent_at", "concluded",
     )
 
-    def __init__(self, seq, ordinal, worker_id, device_id, request, is_hedge):
+    def __init__(self, seq, ordinal, worker_id, members, tokens, is_hedge):
         self.seq = seq
         self.ordinal = ordinal
         self.worker_id = worker_id
-        self.device_id = device_id
-        self.request = request
+        self.members = members
+        self.tokens = tokens
         self.is_hedge = is_hedge
         self.sent_at = time.monotonic()
         self.concluded = False
@@ -382,12 +425,16 @@ class Gateway:
                 workers=(config.workers, 2),
                 gang=(config.gang, False),
                 superplan=(config.superplan, False),
+                wire=(config.wire, "auto"),
+                batch_window_s=(config.batch_window_s, 0.0),
             )
             config = replace(
                 config,
                 workers=knobs["workers"],
                 gang=knobs["gang"],
                 superplan=knobs["superplan"],
+                wire=knobs["wire"],
+                batch_window_s=knobs["batch_window_s"],
             )
         self.config = config
         from repro.obs.observer import NULL_OBSERVER
@@ -400,12 +447,13 @@ class Gateway:
         self._stop_readers = threading.Event()
         self._seq = itertools.count()
         self._queue: deque = deque()
-        #: Outstanding run dispatches by seq (primary and hedge).
-        self._dispatches: Dict[int, _Dispatch] = {}
+        #: Outstanding dispatch frames by seq (primary and hedge).
+        self._frames: Dict[int, _Frame] = {}
         #: Requests dispatched and not yet finished/re-queued.
         self._inflight_requests: set = set()
-        #: In-flight gang requests: seq -> (worker_id, [requests]).
-        self._gangs: Dict[int, Tuple[int, List[_Request]]] = {}
+        #: In-flight gang requests:
+        #: seq -> (worker_id, [requests], arena tokens).
+        self._gangs: Dict[int, Tuple[int, List[_Request], tuple]] = {}
         self._free_devices: deque = deque()
         self._dead_devices: set = set()
         self._worker_of: Dict[int, int] = {}
@@ -417,11 +465,19 @@ class Gateway:
         self._closed = False
         self._drained = asyncio.Event()
         self._ewma_wall_s: Optional[float] = None
+        # -- data plane ------------------------------------------------
+        #: Host side of the shared-memory wire (built in :meth:`start`).
+        self._host_wire: Optional[HostWire] = None
+        #: Live wire/data-plane counters (the host wire's stats dict).
+        self.wire_stats: Optional[dict] = None
+        #: Absolute monotonic expiry of the open micro-batching window,
+        #: or None when no round is being held for round-mates.
+        self._window_deadline: Optional[float] = None
         # -- resilience state ------------------------------------------
         self.resilience = config.resilience
         #: worker_id -> circuit breaker (None when disabled).
         self._breakers: Dict[int, Optional[CircuitBreaker]] = {}
-        #: worker_id -> FIFO of outstanding :class:`_Dispatch`.
+        #: worker_id -> FIFO of outstanding :class:`_Frame`.
         self._wire: Dict[int, deque] = {}
         #: worker_id -> lifetime run dispatches sent (worker ordinals).
         self._wire_sent: Dict[int, int] = {}
@@ -460,6 +516,8 @@ class Gateway:
             heartbeat_interval_s=cfg.resilience.heartbeat_interval_s,
         )
         ctx = default_mp_context()
+        self._host_wire = HostWire(cfg.wire, observer=self.observer)
+        self.wire_stats = self._host_wire.stats
         for device_id, config in enumerate(cfg.configs):
             self._worker_of[device_id] = device_id % num_workers
             self._device_config[device_id] = config
@@ -471,7 +529,13 @@ class Gateway:
                 for device_id, config in enumerate(cfg.configs)
                 if self._worker_of[device_id] == worker_id
             ]
-            handle = WorkerHandle(worker_id, owned, options, mp_context=ctx)
+            worker_options = replace(
+                options,
+                reply_segment=self._host_wire.reply_segment_for(worker_id),
+            )
+            handle = WorkerHandle(
+                worker_id, owned, worker_options, mp_context=ctx
+            )
             self._handles[worker_id] = handle.start()
             self._breakers[worker_id] = cfg.resilience.make_breaker()
             self._wire[worker_id] = deque()
@@ -535,6 +599,11 @@ class Gateway:
             await asyncio.to_thread(reader.join, 5.0)
         self._handles.clear()
         self._readers.clear()
+        if self._host_wire is not None:
+            # Unlinks every slab and reply-ring segment; the stats dict
+            # (self.wire_stats) survives for post-close reporting.
+            self._host_wire.close()
+            self._host_wire = None
 
     # ------------------------------------------------------------------
     # Admission + submission
@@ -546,7 +615,7 @@ class Gateway:
         return (
             len(self._queue)
             + len(self._inflight_requests)
-            + sum(len(group) for _wid, group in self._gangs.values())
+            + sum(len(group) for _wid, group, _tok in self._gangs.values())
         )
 
     @property
@@ -680,7 +749,29 @@ class Gateway:
         its cooldown lapses and a half-open probe clears it. The
         monitor task re-pumps periodically, so skipped work is retried
         without any caller action.
+
+        With ``batch_window_s > 0`` an incomplete round (fewer queued
+        requests than free live devices) is held open briefly so
+        round-mates can coalesce into one wire frame per worker; the
+        window never delays a full round or a draining gateway, and it
+        only affects frame *packing* — placement is the same
+        footprint-aware round-robin either way.
         """
+        window = self.config.batch_window_s
+        if window > 0 and self._queue and not self._closing:
+            free_live = sum(
+                1
+                for d in self._free_devices
+                if d not in self._dead_devices
+            )
+            if free_live and len(self._queue) < free_live:
+                now = time.monotonic()
+                if self._window_deadline is None:
+                    self._window_deadline = now + window
+                    self._loop.call_later(window, self._pump)
+                if now < self._window_deadline:
+                    return  # hold the round open for round-mates
+        self._window_deadline = None
         assignments = []
         skipped = []
         now = time.monotonic()
@@ -698,9 +789,23 @@ class Gateway:
         self._free_devices.extend(skipped)
         if self.config.gang is not False and assignments:
             self._dispatch_ganged(assignments)
-        else:
+        elif assignments:
+            by_worker: Dict[int, List[Tuple[_Request, int]]] = {}
             for request, device_id in assignments:
-                self._dispatch(request, device_id)
+                by_worker.setdefault(
+                    self._worker_of[device_id], []
+                ).append((request, device_id))
+            for worker_id, group in sorted(by_worker.items()):
+                if self.config.batch_window_s > 0:
+                    # Micro-batched: the worker's whole round rides one
+                    # ("runs", ...) frame.
+                    self._dispatch_frame(worker_id, group)
+                else:
+                    # One frame per request: wire-level behaviour (and
+                    # fault granularity) identical to per-request
+                    # dispatch.
+                    for member in group:
+                        self._dispatch_frame(worker_id, [member])
         if self.observer.enabled:
             self.observer.gauge("serve.gateway.queue_depth").set(
                 len(self._queue)
@@ -762,6 +867,10 @@ class Gateway:
             return self.resilience.hang_timeout_s
         return self.config.worker_timeout
 
+    def _spec_bytes_out(self, spec: JobSpec) -> int:
+        """Data bytes this spec ships to a worker (payload + golden)."""
+        return payload_nbytes(spec.payload) + payload_nbytes(spec.golden)
+
     def _dispatch_ganged(self, assignments) -> None:
         """Ship one dispatch round as per-worker gang requests."""
         by_worker: Dict[int, List[Tuple[_Request, int]]] = {}
@@ -774,66 +883,115 @@ class Gateway:
             seq = next(self._seq)
             requests = []
             payload = []
+            tokens: list = []
             for request, device_id in group:
                 request.device_id = device_id
                 request.seq = seq
                 request.queued = False
                 requests.append(request)
-                payload.append((device_id, request.spec))
-            self._gangs[seq] = (worker_id, requests)
+                wire_spec, spec_tokens = self._host_wire.encode_spec(
+                    request.spec
+                )
+                tokens.extend(spec_tokens)
+                self.report_data.payload_bytes_out += self._spec_bytes_out(
+                    request.spec
+                )
+                payload.append((device_id, wire_spec))
+            # Registered before sending so a death during send releases
+            # the arena tokens through the normal failover path.
+            self._gangs[seq] = (worker_id, requests, tuple(tokens))
             try:
-                handle.send_gang(seq, payload, self.config.gang)
+                handle.send_gang(
+                    seq,
+                    payload,
+                    self.config.gang,
+                    ack=self._host_wire.ack_for(worker_id),
+                )
             except WorkerDiedError:
                 self._on_worker_death(worker_id)
+                continue
+            self._host_wire.note_frame(len(payload))
 
-    def _register_dispatch(
+    def _release_frame(self, frame: _Frame) -> None:
+        """Free a frame's request-arena tokens (idempotent).
+
+        Called only on proof the worker is done reading the blocks: its
+        reply arrived (even garbled), a drop was proven by the FIFO
+        detectors, or the worker is gone. A bare timeout conclusion
+        keeps the tokens pinned until one of those proofs lands (the
+        arena's own close() unlinks everything as the backstop).
+        """
+        if frame.tokens and self._host_wire is not None:
+            self._host_wire.free(frame.tokens)
+        frame.tokens = ()
+
+    def _dispatch_frame(
         self,
-        request: _Request,
         worker_id: int,
-        device_id: int,
-        seq: int,
-        is_hedge: bool,
-    ) -> _Dispatch:
-        """Enter one ``send_run`` into the wire ledger before sending."""
-        ordinal = self._wire_sent[worker_id] + 1
-        self._wire_sent[worker_id] = ordinal
-        dispatch = _Dispatch(
-            seq, ordinal, worker_id, device_id, request, is_hedge
-        )
-        self._dispatches[seq] = dispatch
-        self._wire[worker_id].append(dispatch)
-        request.pending_seqs.add(seq)
-        return dispatch
-
-    def _dispatch(self, request: _Request, device_id: int) -> None:
+        pairs: List[Tuple[_Request, int]],
+        is_hedge: bool = False,
+    ) -> None:
+        """Ship one ``("runs", ...)`` frame carrying ``pairs``."""
         now = time.monotonic()
-        if request.deadline_at is not None and now >= request.deadline_at:
-            # The budget lapsed while queued: cancel instead of burning
-            # a device on work whose caller already gave up.
-            if device_id not in self._dead_devices:
-                self._free_devices.append(device_id)
-            self._cancel_deadline(request)
+        members = []
+        for request, device_id in pairs:
+            if (
+                not is_hedge
+                and request.deadline_at is not None
+                and now >= request.deadline_at
+            ):
+                # The budget lapsed while queued: cancel instead of
+                # burning a device on work whose caller already gave up.
+                # (Hedges skip this — their primary may still answer —
+                # and ship the lapsed budget for worker-side cancel.)
+                if device_id not in self._dead_devices:
+                    self._free_devices.append(device_id)
+                self._cancel_deadline(request)
+                continue
+            members.append((request, device_id))
+        if not members:
             return
-        worker_id = self._worker_of[device_id]
         handle = self._handles.get(worker_id)
         seq = next(self._seq)
-        request.device_id = device_id
-        request.seq = seq
-        request.queued = False
-        self._inflight_requests.add(request)
-        self._register_dispatch(request, worker_id, device_id, seq, False)
-        remaining = (
-            None
-            if request.deadline_at is None
-            else request.deadline_at - now
+        wire_members = []
+        tokens: list = []
+        for request, device_id in members:
+            request.device_id = device_id
+            request.seq = seq
+            request.queued = False
+            self._inflight_requests.add(request)
+            request.pending_seqs.add(seq)
+            wire_spec, spec_tokens = self._host_wire.encode_spec(
+                request.spec
+            )
+            tokens.extend(spec_tokens)
+            self.report_data.payload_bytes_out += self._spec_bytes_out(
+                request.spec
+            )
+            remaining = (
+                None
+                if request.deadline_at is None
+                else request.deadline_at - now
+            )
+            wire_members.append((device_id, wire_spec, remaining))
+        ordinal = self._wire_sent[worker_id] + len(members)
+        self._wire_sent[worker_id] = ordinal
+        frame = _Frame(
+            seq, ordinal, worker_id, members, tuple(tokens), is_hedge
         )
+        self._frames[seq] = frame
+        self._wire[worker_id].append(frame)
         try:
-            handle.send_run(seq, device_id, request.spec, deadline_s=remaining)
+            handle.send_runs(
+                seq, wire_members, ack=self._host_wire.ack_for(worker_id)
+            )
         except WorkerDiedError:
             # The reader thread will (or already did) report the death;
-            # reporting here too is idempotent and keeps the request on
+            # reporting here too is idempotent and keeps the requests on
             # the fast path to re-placement.
             self._on_worker_death(worker_id)
+            return
+        self._host_wire.note_frame(len(members))
 
     def _cancel_deadline(self, request: _Request) -> None:
         """Fail a request whose wall-clock budget lapsed undispatched."""
@@ -855,9 +1013,9 @@ class Gateway:
 
     def _on_message(self, worker_id: int, msg) -> None:
         kind = msg[0]
-        if kind == "result":
-            _, seq, reply = msg
-            self._on_result(worker_id, seq, reply)
+        if kind == "results":
+            _, seq, payload = msg
+            self._on_results(worker_id, seq, payload)
         elif kind == "heartbeat":
             self._on_heartbeat(worker_id, msg[2] or {})
         elif kind == "gang":
@@ -892,61 +1050,81 @@ class Gateway:
             wire = self._wire.get(worker_id)
             concluded = False
             while wire and wire[0].ordinal <= completed:
-                self._conclude_dispatch_lost(wire.popleft(), "dropped")
+                frame = wire.popleft()
+                # The progress mark proves the worker moved past this
+                # frame: done reading its arena blocks, reply dropped.
+                self._release_frame(frame)
+                self._conclude_frame_lost(frame, "dropped")
                 concluded = True
             if concluded:
                 self._pump()
 
-    def _on_result(self, worker_id: int, seq: int, payload) -> None:
+    def _on_results(self, worker_id: int, seq: int, payload) -> None:
         wire = self._wire.get(worker_id)
         if wire is None:
             return
         # Replies are strictly ordered per worker: a reply sequenced
-        # past an outstanding dispatch proves that reply was dropped.
+        # past an outstanding frame proves that frame's reply was
+        # dropped.
         while wire and wire[0].seq < seq:
-            self._conclude_dispatch_lost(wire.popleft(), "dropped")
+            gapped = wire.popleft()
+            self._release_frame(gapped)
+            self._conclude_frame_lost(gapped, "dropped")
         if not wire or wire[0].seq != seq:
             return  # stale frame from a worker already failed over
-        dispatch = wire.popleft()
-        self._dispatches.pop(seq, None)
-        request = dispatch.request
-        request.pending_seqs.discard(seq)
-        if not isinstance(payload, dict):
+        frame = wire.popleft()
+        # The worker replied, so it is provably done reading the
+        # frame's request-arena blocks — garbled or not.
+        self._release_frame(frame)
+        self._frames.pop(seq, None)
+        for request, _device_id in frame.members:
+            request.pending_seqs.discard(seq)
+        if (
+            not isinstance(payload, list)
+            or len(payload) != len(frame.members)
+            or not all(isinstance(r, dict) for r in payload)
+        ):
             # A garbled frame: the seq routed it, the payload is junk.
-            self._conclude_dispatch_lost(dispatch, "garbled")
+            # One wire message, one fate — every member re-queues.
+            self._conclude_frame_lost(frame, "garbled")
             self._pump()
             return
         self._transport_success(worker_id)
-        self._settle_device(dispatch.device_id, payload)
-        if dispatch.concluded:
-            # A reply that was merely late: this dispatch was already
-            # concluded lost. If its retry is still queued, answer it
-            # now; if it re-dispatched, let the new flight answer.
-            if not request.finished and request.queued:
-                try:
-                    self._queue.remove(request)
-                except ValueError:
-                    pass
+        for (request, device_id), reply in zip(frame.members, payload):
+            reply = self._host_wire.decode_reply(worker_id, reply)
+            self.report_data.payload_bytes_in += payload_nbytes(
+                reply.get("output")
+            )
+            self._settle_device(device_id, reply)
+            if frame.concluded:
+                # A reply that was merely late: this frame was already
+                # concluded lost. If the member's retry is still
+                # queued, answer it now; if it re-dispatched, let the
+                # new flight answer.
+                if not request.finished and request.queued:
+                    try:
+                        self._queue.remove(request)
+                    except ValueError:
+                        pass
+                    else:
+                        request.queued = False
+                        self._finish(request, reply, device_id)
+                continue
+            if request.finished:
+                # The hedge race was already decided by a sibling
+                # dispatch; this reply's work was redundant (its device
+                # is free again).
+                continue
+            if request.hedged:
+                if frame.is_hedge:
+                    self.report_data.hedges_won += 1
+                    if self.observer.enabled:
+                        self.observer.counter("serve.hedge.won").inc()
                 else:
-                    request.queued = False
-                    self._finish(request, payload, dispatch.device_id)
-            self._pump()
-            return
-        if request.finished:
-            # The hedge race was already decided by a sibling dispatch;
-            # this reply's work was redundant (its device is free again).
-            self._pump()
-            return
-        if request.hedged:
-            if dispatch.is_hedge:
-                self.report_data.hedges_won += 1
-                if self.observer.enabled:
-                    self.observer.counter("serve.hedge.won").inc()
-            else:
-                self.report_data.hedges_wasted += 1
-                if self.observer.enabled:
-                    self.observer.counter("serve.hedge.wasted").inc()
-        self._finish(request, payload, dispatch.device_id)
+                    self.report_data.hedges_wasted += 1
+                    if self.observer.enabled:
+                        self.observer.counter("serve.hedge.wasted").inc()
+            self._finish(request, reply, device_id)
         self._pump()
 
     def _settle_device(self, device_id: int, reply: dict) -> None:
@@ -959,28 +1137,30 @@ class Gateway:
         elif device_id not in self._dead_devices:
             self._free_devices.append(device_id)
 
-    def _conclude_dispatch_lost(self, dispatch: _Dispatch, kind: str) -> None:
-        """This dispatch's reply will never usefully arrive.
+    def _conclude_frame_lost(self, frame: _Frame, kind: str) -> None:
+        """This frame's reply will never usefully arrive.
 
-        Frees the device it occupied (unless the whole worker is gone —
-        death failover retires those), accounts the transport fault,
-        and — when no sibling dispatch can still answer — re-queues or
-        fails the request.
+        One wire message, one fate: every member request is orphaned
+        together, but the transport fault is accounted once per
+        *frame* — the wire saw one loss, however many jobs rode it.
+        Frees each member's device (unless the whole worker is gone —
+        death failover retires those) and, for members with no sibling
+        dispatch still able to answer, re-queues or fails the request.
         """
-        if dispatch.concluded:
+        if frame.concluded:
             return
-        dispatch.concluded = True
-        self._dispatches.pop(dispatch.seq, None)
-        request = dispatch.request
-        request.pending_seqs.discard(dispatch.seq)
+        frame.concluded = True
+        self._frames.pop(frame.seq, None)
         worker_gone = kind in ("died", "unresponsive")
         if not worker_gone:
-            self._transport_failure(dispatch.worker_id, kind)
-            if dispatch.device_id not in self._dead_devices:
-                self._free_devices.append(dispatch.device_id)
-        if request.finished or request.queued or request.pending_seqs:
-            return
-        self._requeue_or_fail(request, kind)
+            self._transport_failure(frame.worker_id, kind)
+        for request, device_id in frame.members:
+            request.pending_seqs.discard(frame.seq)
+            if not worker_gone and device_id not in self._dead_devices:
+                self._free_devices.append(device_id)
+            if request.finished or request.queued or request.pending_seqs:
+                continue
+            self._requeue_or_fail(request, kind)
 
     def _requeue_or_fail(self, request: _Request, kind: str) -> None:
         """A request's last live dispatch is gone: retry or give up."""
@@ -1017,9 +1197,16 @@ class Gateway:
         entry = self._gangs.pop(seq, None)
         if entry is None:  # raced with a worker-death re-queue
             return
-        _worker_id, requests = entry
+        worker_id, requests, tokens = entry
+        # The gang replied: the worker is done reading the arena blocks.
+        if tokens and self._host_wire is not None:
+            self._host_wire.free(tokens)
         obs = self.observer
         for request, reply in zip(requests, replies):
+            reply = self._host_wire.decode_reply(worker_id, reply)
+            self.report_data.payload_bytes_in += payload_nbytes(
+                reply.get("output")
+            )
             if obs.enabled and reply.get("ganged"):
                 obs.counter("gang.hit").inc()
                 obs.histogram("gang.size").observe(reply["gang_size"])
@@ -1128,12 +1315,16 @@ class Gateway:
         )
         wire = self._wire.get(worker_id)
         if wire:
-            for dispatch in list(wire):
-                self._conclude_dispatch_lost(dispatch, kind)
+            for frame in list(wire):
+                # A dead worker cannot still be reading the arena.
+                self._release_frame(frame)
+                self._conclude_frame_lost(frame, kind)
             wire.clear()
-        for seq, (gang_worker, requests) in list(self._gangs.items()):
+        for seq, (gang_worker, requests, tokens) in list(self._gangs.items()):
             if gang_worker == worker_id:
                 del self._gangs[seq]
+                if tokens and self._host_wire is not None:
+                    self._host_wire.free(tokens)
                 for request in requests:
                     self._requeue_or_fail(request, kind)
         if not self.live_devices:
@@ -1188,34 +1379,34 @@ class Gateway:
         budget = self._silence_budget_s()
         for worker_id in sorted(self._handles):
             owes = any(
-                not d.concluded for d in self._wire.get(worker_id, ())
+                not f.concluded for f in self._wire.get(worker_id, ())
             ) or any(
                 gang_worker == worker_id
-                for gang_worker, _reqs in self._gangs.values()
+                for gang_worker, _reqs, _tok in self._gangs.values()
             )
             if not owes:
                 continue
             if now - self._last_seen.get(worker_id, now) <= budget:
                 continue
             self._declare_unresponsive(worker_id)
-        # Per-dispatch escalations: timeout conclusions and hedging.
+        # Per-frame escalations: timeout conclusions and hedging.
         threshold = self.resilience.hedge_threshold(self._ewma_wall_s)
-        for dispatch in list(self._dispatches.values()):
-            if dispatch.concluded:
+        for frame in list(self._frames.values()):
+            if frame.concluded:
                 continue
-            age = now - dispatch.sent_at
+            age = now - frame.sent_at
             if age > self.config.worker_timeout:
-                self._conclude_dispatch_lost(dispatch, "timeout")
+                # No token release here: a timeout is a verdict about
+                # the caller's patience, not proof the worker stopped
+                # reading. The blocks stay pinned until a FIFO proof,
+                # the worker's death, or close() unlinks the arena.
+                self._conclude_frame_lost(frame, "timeout")
                 continue
-            request = dispatch.request
-            if (
-                threshold is not None
-                and not dispatch.is_hedge
-                and not request.hedged
-                and not request.finished
-                and age > threshold
-            ):
-                self._maybe_hedge(request, dispatch, now)
+            if threshold is None or frame.is_hedge or age <= threshold:
+                continue
+            for request, _device_id in frame.members:
+                if not request.hedged and not request.finished:
+                    self._maybe_hedge(request, frame, now)
         self._pump()
 
     def _declare_unresponsive(self, worker_id: int) -> None:
@@ -1235,14 +1426,15 @@ class Gateway:
         self._on_worker_death(worker_id, unresponsive=True)
 
     def _maybe_hedge(
-        self, request: _Request, primary: _Dispatch, now: float
+        self, request: _Request, primary: _Frame, now: float
     ) -> None:
         """Re-dispatch a straggler to a free device on another worker.
 
-        The hedge occupies a free device like any dispatch; whichever
-        reply lands first completes the future (replies are
-        content-deterministic, so the race only decides *when*, never
-        *what*), and the loser's reply just returns its device.
+        The hedge rides its own single-member frame and occupies a free
+        device like any dispatch; whichever reply lands first completes
+        the future (replies are content-deterministic, so the race only
+        decides *when*, never *what*), and the loser's reply just
+        returns its device.
         """
         for device_id in list(self._free_devices):
             if device_id in self._dead_devices:
@@ -1254,23 +1446,12 @@ class Gateway:
                 continue
             self._free_devices.remove(device_id)
             request.hedged = True
-            seq = next(self._seq)
-            self._register_dispatch(request, worker_id, device_id, seq, True)
             self.report_data.hedges_issued += 1
             if self.observer.enabled:
                 self.observer.counter("serve.hedge.issued").inc()
-            remaining = (
-                None
-                if request.deadline_at is None
-                else request.deadline_at - now
+            self._dispatch_frame(
+                worker_id, [(request, device_id)], is_hedge=True
             )
-            handle = self._handles.get(worker_id)
-            try:
-                handle.send_run(
-                    seq, device_id, request.spec, deadline_s=remaining
-                )
-            except WorkerDiedError:
-                self._on_worker_death(worker_id)
             return
 
     # ------------------------------------------------------------------

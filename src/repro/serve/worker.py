@@ -15,15 +15,27 @@ snapshot.
 The protocol is deliberately tiny — tuples over a duplex
 ``multiprocessing`` pipe, requests answered strictly in order:
 
-=================================  ======================================
-parent → worker                    worker → parent
-=================================  ======================================
-``("run", seq, di, spec[, dl])``   ``("result", seq, reply_dict)``
-``("gang", seq, reqs, mode)``      ``("gang", seq, [reply_dict, ...])``
-``("stats", seq)``                 ``("stats", seq, stats_dict)``
-``("shutdown",)``                  (clean exit, pipe closes)
-(unsolicited, from a side thread)  ``("heartbeat", worker_id, info)``
-=================================  ======================================
+=====================================  ====================================
+parent → worker                        worker → parent
+=====================================  ====================================
+``("run", seq, di, spec[, dl])``       ``("result", seq, reply_dict)``
+``("runs", seq, members, ack)``        ``("results", seq, [reply, ...])``
+``("gang", seq, reqs, mode[, ack])``   ``("gang", seq, [reply_dict, ...])``
+``("stats", seq)``                     ``("stats", seq, stats_dict)``
+``("shutdown",)``                      (clean exit, pipe closes)
+(unsolicited, from a side thread)      ``("heartbeat", worker_id, info)``
+=====================================  ====================================
+
+``runs`` is the batched-dispatch frame: ``members`` is one launch
+round's worth of ``(device_id, spec, deadline_s)`` tuples for this
+worker, answered by exactly one ``results`` frame carrying the member
+replies in order — one pickle + one syscall per *round* instead of per
+request. ``ack`` piggybacks the parent's cumulative reply-ring consume
+mark for the shared-memory data plane (``repro.serve.shm``): specs may
+arrive with :class:`~repro.serve.shm.ShmRef` descriptors in place of
+numpy arrays (decoded here into zero-copy views), and reply arrays are
+written into this worker's reply ring when one was provisioned via
+``WorkerOptions.reply_segment``.
 
 The optional fifth ``run`` element ``dl`` is the request's *remaining*
 wall-clock budget in seconds (``None`` = unbounded); a worker that
@@ -71,6 +83,7 @@ from repro.faults.injector import FaultInjector
 from repro.gang import run_ganged
 from repro.memory.mainmem import WordMemory
 from repro.plan.cache import PlanCache
+from repro.serve.shm import DEFAULT_MIN_BYTES, WorkerWire
 from repro.serve.spec import JobSpec
 
 __all__ = ["GARBLED_PAYLOAD", "WorkerHandle", "WorkerOptions", "worker_main"]
@@ -100,6 +113,11 @@ class WorkerOptions:
     #: thread sends so the parent can tell a hung worker from a slow
     #: one; ``0`` (the default) disables the thread entirely.
     heartbeat_interval_s: float = 0.0
+    #: Name of this worker's parent-owned reply-ring segment on the
+    #: shared-memory data plane; ``None`` keeps replies fully inline.
+    reply_segment: Optional[str] = None
+    #: Arrays below this many bytes stay inline even on the shm wire.
+    wire_min_bytes: int = DEFAULT_MIN_BYTES
 
 
 def _build_shard(
@@ -325,6 +343,7 @@ def worker_main(
     the reply were lost in flight), a garble sends a non-dict payload.
     """
     systems, injectors, plan_cache = _build_shard(worker_id, devices, options)
+    wire = WorkerWire(options.reply_segment, options.wire_min_bytes)
     schedule = None
     if options.fault_plan is not None:
         schedule = options.fault_plan.transport_for_worker(worker_id)
@@ -365,6 +384,7 @@ def worker_main(
                 else:  # pre-deadline 4-tuple senders remain valid
                     _, seq, device_id, spec = msg
                     deadline_s = None
+                spec = wire.decode_spec(spec)
                 jobs_executed += 1
                 j = jobs_executed
                 heartbeat.info["jobs_executed"] = j
@@ -419,8 +439,76 @@ def worker_main(
                 # parent that saw the mark but no reply knows the reply
                 # was dropped, not merely late.
                 heartbeat.info["jobs_completed"] = j
+            elif msg[0] == "runs":
+                _, seq, members, ack = msg
+                wire.note_ack(ack)
+                start = jobs_executed
+                end = start + len(members)
+                if kill_at is not None and end >= kill_at:
+                    # The injected crash lands inside this frame: die
+                    # mid-batch, reply never sent — every member fails
+                    # over exactly like a crash during a lone run.
+                    conn.close()
+                    os._exit(KILLED_EXIT_CODE)
+                if schedule is not None and (
+                    schedule.hang_at is not None and end >= schedule.hang_at
+                ):
+                    injected["hang"] += 1
+                    hang_forever()
+                jobs_executed = end
+                heartbeat.info["jobs_executed"] = end
+                replies = []
+                for i, (device_id, spec, deadline_s) in enumerate(members):
+                    spec = wire.decode_spec(spec)
+                    if deadline_s is not None and deadline_s <= 0:
+                        reply = _cancel_reply(
+                            spec, injectors[device_id], deadline_s
+                        )
+                    else:
+                        reply = _execute(
+                            systems[device_id], injectors[device_id], spec
+                        )
+                    reply["worker_id"] = worker_id
+                    reply["device_id"] = device_id
+                    reply["jobs_executed"] = start + i + 1
+                    reply["plan_cache"] = plan_cache.snapshot()
+                    replies.append(reply)
+                if schedule is not None:
+                    span = range(start + 1, end + 1)
+                    for j in span:
+                        delay = schedule.slow.get(j)
+                        if delay is not None:
+                            injected["slow"] += 1
+                            time.sleep(delay)
+                    dropped = [j for j in span if j in schedule.drop_at]
+                    garbled = [j for j in span if j in schedule.garble_at]
+                    if dropped:
+                        # Any member loss drops the *whole* frame — one
+                        # wire message, one fate. The completion mark
+                        # still advances to the frame end so the
+                        # parent's detectors conclude every member.
+                        injected["drop"] += len(dropped)
+                        heartbeat.info["transport_injected"] = dict(injected)
+                        heartbeat.info["jobs_completed"] = end
+                        continue
+                    if garbled:
+                        injected["garble"] += len(garbled)
+                        heartbeat.info["transport_injected"] = dict(injected)
+                        send(("results", seq, GARBLED_PAYLOAD))
+                        heartbeat.info["jobs_completed"] = end
+                        continue
+                send(
+                    ("results", seq, [wire.encode_reply(r) for r in replies])
+                )
+                heartbeat.info["jobs_completed"] = end
             elif msg[0] == "gang":
-                _, seq, requests, mode = msg
+                _, seq, requests, mode = msg[:4]
+                if len(msg) == 5:
+                    wire.note_ack(msg[4])
+                requests = [
+                    (device_id, wire.decode_spec(spec))
+                    for device_id, spec in requests
+                ]
                 end = jobs_executed + len(requests)
                 if kill_at is not None and end >= kill_at:
                     # The injected crash lands inside this batch: die
@@ -440,7 +528,7 @@ def worker_main(
                     reply["worker_id"] = worker_id
                     reply["jobs_executed"] = jobs_executed
                     reply["plan_cache"] = plan_cache.snapshot()
-                send(("gang", seq, replies))
+                send(("gang", seq, [wire.encode_reply(r) for r in replies]))
                 heartbeat.info["jobs_completed"] = jobs_executed
             elif msg[0] == "stats":
                 _, seq = msg
@@ -469,6 +557,7 @@ def worker_main(
                 raise ConfigError(f"unknown worker message {msg[0]!r}")
     finally:
         heartbeat.stop()
+        wire.close()
         conn.close()
 
 
@@ -550,9 +639,10 @@ class WorkerHandle:
 
     # -- protocol -------------------------------------------------------
 
-    def _died(self) -> WorkerDiedError:
+    def _died(self, context: str = "") -> WorkerDiedError:
+        detail = f" {context}" if context else ""
         return WorkerDiedError(
-            f"serving worker {self.worker_id} died "
+            f"serving worker {self.worker_id} died{detail} "
             f"(exit code {self.exitcode}, devices {list(self.device_ids)})"
         )
 
@@ -575,7 +665,20 @@ class WorkerHandle:
         else:
             self._send(("run", seq, device_id, spec, float(deadline_s)))
 
-    def send_gang(self, seq: int, requests, mode) -> None:
+    def send_runs(self, seq: int, members, ack: int = 0) -> None:
+        """Ship one batched-dispatch frame: a list of
+        ``(device_id, wire_spec, deadline_s)`` members answered by a
+        single ``("results", seq, [reply, ...])`` frame. ``ack`` is the
+        parent's cumulative reply-ring consume mark (shm wire only)."""
+        for device_id, _spec, _deadline_s in members:
+            if device_id not in self.device_ids:
+                raise ConfigError(
+                    f"device {device_id} is not owned by worker "
+                    f"{self.worker_id}"
+                )
+        self._send(("runs", seq, list(members), int(ack)))
+
+    def send_gang(self, seq: int, requests, mode, ack: int = 0) -> None:
         """Ship one launch batch ``[(device_id, spec), ...]`` for gang
         execution on this worker's shard."""
         for device_id, _spec in requests:
@@ -584,7 +687,7 @@ class WorkerHandle:
                     f"device {device_id} is not owned by worker "
                     f"{self.worker_id}"
                 )
-        self._send(("gang", seq, list(requests), mode))
+        self._send(("gang", seq, list(requests), mode, int(ack)))
 
     def send_stats(self, seq: int) -> None:
         self._send(("stats", seq))
@@ -593,7 +696,9 @@ class WorkerHandle:
         try:
             self._conn.send(msg)
         except (BrokenPipeError, OSError) as exc:
-            raise self._died() from exc
+            # Name the worker and the frame kind: a storm log full of
+            # bare BrokenPipeErrors is unattributable.
+            raise self._died(f"while sending a {msg[0]!r} frame") from exc
 
     def recv(self, timeout: Optional[float] = None):
         """Next ``(kind, seq, payload)`` message; raises on crash/timeout.
